@@ -1,0 +1,139 @@
+//! Criterion benchmarks of the framework itself: engine event dispatch,
+//! virtual channels, writer policies, and a small end-to-end pipeline.
+//! These measure the *wall-clock* cost of the emulation machinery (how
+//! fast experiments run), not virtual time.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use datacutter::{
+    run_app, DataBuffer, Filter, FilterCtx, FilterError, GraphBuilder, Placement, WritePolicy,
+};
+use hetsim::{channel, ClusterSpec, Env, HostId, HostSpec, SimDuration, Simulation, TopologyBuilder};
+
+fn bench_engine_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("delay_events_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.spawn("ticker", |env: Env| {
+                for _ in 0..10_000u32 {
+                    env.delay(SimDuration::from_nanos(10));
+                }
+            });
+            sim.run().unwrap().events
+        })
+    });
+    group.bench_function("two_process_pingpong_5k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let (tx_a, rx_a) = channel::<u32>(sim.waker(), 1);
+            let (tx_b, rx_b) = channel::<u32>(sim.waker(), 1);
+            sim.spawn("ping", move |env: Env| {
+                for i in 0..5_000u32 {
+                    tx_a.send(&env, i).unwrap();
+                    let _ = rx_b.recv(&env);
+                }
+            });
+            sim.spawn("pong", move |env: Env| {
+                while let Some(v) = rx_a.recv(&env) {
+                    if tx_b.send(&env, v).is_err() {
+                        break;
+                    }
+                }
+            });
+            sim.run().unwrap().events
+        })
+    });
+    group.finish();
+}
+
+struct Src(u32);
+impl Filter for Src {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        for i in 0..self.0 {
+            ctx.write(0, DataBuffer::new(i, 1024));
+        }
+        Ok(())
+    }
+}
+struct Work;
+impl Filter for Work {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        while let Some(b) = ctx.read(0) {
+            let v = b.downcast::<u32>();
+            ctx.compute(SimDuration::from_micros(100));
+            ctx.write(0, DataBuffer::new(v, 1024));
+        }
+        Ok(())
+    }
+}
+struct Snk;
+impl Filter for Snk {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        while let Some(b) = ctx.read(0) {
+            black_box(b.downcast::<u32>());
+        }
+        Ok(())
+    }
+}
+
+fn small_topology(n: usize) -> (hetsim::Topology, Vec<HostId>) {
+    let mut b = TopologyBuilder::new();
+    let c = b.add_cluster(ClusterSpec {
+        name: "c".into(),
+        nic_bandwidth_bps: 100.0e6,
+        nic_latency: SimDuration::from_micros(50),
+    });
+    let hosts = (0..n)
+        .map(|i| {
+            b.add_host(
+                c,
+                HostSpec {
+                    name: format!("h{i}"),
+                    cores: 2,
+                    speed: 1.0,
+                    mem_mb: 512,
+                    disks: 1,
+                    disk_bandwidth_bps: 30.0e6,
+                    disk_seek: SimDuration::from_millis(5),
+                },
+            )
+        })
+        .collect();
+    (b.build(), hosts)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    for policy in [WritePolicy::RoundRobin, WritePolicy::demand_driven()] {
+        group.throughput(Throughput::Elements(500));
+        group.bench_function(format!("3_stage_500_buffers_{}", policy.label()), |b| {
+            b.iter(|| {
+                let (topo, hosts) = small_topology(4);
+                let mut g = GraphBuilder::new();
+                let s = g.add_filter("src", Placement::on_host(hosts[0], 1), |_| Src(500));
+                let w = g.add_filter(
+                    "work",
+                    Placement::one_per_host(&[hosts[1], hosts[2]]),
+                    |_| Work,
+                );
+                let k = g.add_filter("snk", Placement::on_host(hosts[3], 1), |_| Snk);
+                g.connect(s, w, policy);
+                g.connect(w, k, WritePolicy::RoundRobin);
+                run_app(&topo, g.build()).unwrap().events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_engine_dispatch, bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks of the computational kernels: surface
+//! extraction, rasterization, hidden-surface merging, Hilbert indexing,
+//! and synthetic field generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use isosurf::{Camera, Material, Triangle, ZBuffer};
+use volume::{hilbert_coords, hilbert_index, Dims, RectGrid};
+
+fn sphere(n: u32, r: f32) -> RectGrid {
+    let c = (n - 1) as f32 / 2.0;
+    RectGrid::from_fn(Dims::new(n, n, n), |x, y, z| {
+        let dx = x as f32 - c;
+        let dy = y as f32 - c;
+        let dz = z as f32 - c;
+        r - (dx * dx + dy * dy + dz * dz).sqrt()
+    })
+}
+
+fn extract_triangles(g: &RectGrid) -> Vec<Triangle> {
+    let mut tris = Vec::new();
+    isosurf::extract(g, (0, 0, 0), 0.0, &mut tris);
+    tris
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract");
+    for n in [17u32, 33, 65] {
+        let g = sphere(n, (n as f32) / 3.0);
+        group.throughput(Throughput::Elements(g.dims.cells()));
+        group.bench_function(format!("marching_cubes_{n}^3"), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                isosurf::extract(black_box(&g), (0, 0, 0), 0.0, &mut out);
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_raster(c: &mut Criterion) {
+    let g = sphere(33, 11.0);
+    let tris = extract_triangles(&g);
+    let mut group = c.benchmark_group("raster");
+    group.throughput(Throughput::Elements(tris.len() as u64));
+    for res in [256u32, 1024] {
+        let cam = Camera::framing(g.dims, res, res);
+        let proj = cam.projector();
+        let m = Material::default();
+        group.bench_function(format!("zbuffer_{res}px"), |b| {
+            b.iter(|| {
+                let mut zb = ZBuffer::new(res, res);
+                let mut px = 0u64;
+                for t in &tris {
+                    if let Some(p) = isosurf::raster_triangle(&proj, res, res, &m, t, |x, y, d, rgb| {
+                        zb.plot(x, y, d, rgb);
+                    }) {
+                        px += p;
+                    }
+                }
+                px
+            })
+        });
+        group.bench_function(format!("active_pixel_{res}px"), |b| {
+            b.iter(|| {
+                let mut ap = isosurf::ActivePixelBuffer::new(res, 4096);
+                let mut target = ZBuffer::new(res, res);
+                let mut sink = |batch: Vec<isosurf::WinningPixel>| {
+                    isosurf::merge_batch(&mut target, &batch);
+                };
+                for t in &tris {
+                    let _ = isosurf::raster_triangle(&proj, res, res, &m, t, |x, y, d, rgb| {
+                        ap.plot(x, y, d, rgb, &mut sink);
+                    });
+                }
+                ap.force_flush(&mut sink);
+                target.active_pixels()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zbuffer_merge(c: &mut Criterion) {
+    let mut a = ZBuffer::new(512, 512);
+    let mut b2 = ZBuffer::new(512, 512);
+    for i in 0..512u32 {
+        for j in (0..512u32).step_by(3) {
+            a.plot(j, i, (i + j) as f32, [1, 2, 3]);
+            b2.plot(j, i, (i * 2 + j) as f32 * 0.5, [4, 5, 6]);
+        }
+    }
+    let mut group = c.benchmark_group("merge");
+    group.throughput(Throughput::Elements(512 * 512));
+    group.bench_function("zbuffer_merge_512", |b| {
+        b.iter(|| {
+            let mut t = a.clone();
+            t.merge(black_box(&b2));
+            t.active_pixels()
+        })
+    });
+    group.finish();
+}
+
+fn bench_hilbert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hilbert");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("encode_16^3", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for z in 0..16u32 {
+                for y in 0..16u32 {
+                    for x in 0..16u32 {
+                        acc ^= hilbert_index(black_box([x, y, z]), 4);
+                    }
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("decode_16^3", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..4096u64 {
+                let c3 = hilbert_coords(black_box(i), 4);
+                acc ^= c3[0] ^ c3[1] ^ c3[2];
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_parssim(c: &mut Criterion) {
+    let sim = volume::ParSSim::new(volume::SimParams::new(Dims::new(33, 33, 33), 7));
+    let mut group = c.benchmark_group("parssim");
+    group.throughput(Throughput::Elements(33 * 33 * 33));
+    group.bench_function("field_33^3", |b| {
+        b.iter(|| sim.field(black_box(0), black_box(3)).data.len())
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(20);
+    targets = bench_extract,
+    bench_raster,
+    bench_zbuffer_merge,
+    bench_hilbert,
+    bench_parssim
+}
+criterion_main!(benches);

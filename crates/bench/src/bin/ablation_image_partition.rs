@@ -1,0 +1,93 @@
+//! **Ablation (the paper's §6 future work)** — image partitioning vs
+//! image replication for the raster stage.
+//!
+//! The paper: "we could partition the image space into subregions among
+//! the raster filters, thus eliminating [most of the work of] the merge
+//! filter. However, this will cause load imbalance among raster filters if
+//! the amount of data for each subregion is not the same."
+//!
+//! Both effects are measured here:
+//!
+//! * **raster-bound** regime (few nodes, moderate image): the projected
+//!   surface concentrates in the middle image bands, so partitioning
+//!   starves the outer bands' copies while replication + demand-driven
+//!   scheduling keeps everyone busy — replication wins;
+//! * **merge-bound** regime (many nodes, 2048², z-buffer): replication
+//!   funnels one dense z-buffer *per copy* through the single merge
+//!   filter, partitioning ships exactly one image in total — partitioning
+//!   wins big.
+
+use bench::{dc_avg, large_dataset, make_cfg, ExperimentScale, Table};
+use datacutter::{Placement, WritePolicy};
+use dcapp::{Algorithm, Grouping, PipelineSpec};
+use hetsim::presets::rogue_cluster;
+
+fn main() {
+    let scale = ExperimentScale { timesteps: 1 };
+    let ds = large_dataset();
+
+    let mut t = Table::new(&[
+        "regime", "nodes", "image", "alg", "replicated (s)", "partitioned (s)",
+        "repl merge MB", "part merge MB",
+    ]);
+    let mut raster_bound_gap = 1.0f64;
+    let mut merge_bound_gap = 1.0f64;
+    for (regime, nodes, image, algs) in [
+        ("raster-bound", 4usize, 1024u32, vec![Algorithm::ZBuffer, Algorithm::ActivePixel]),
+        ("merge-bound", 8, 2048, vec![Algorithm::ZBuffer]),
+    ] {
+        for alg in algs {
+            let (topo, hosts) = rogue_cluster(nodes);
+            let cfg = make_cfg(ds.clone(), hosts.clone(), 2, image);
+            let mk = |grouping| PipelineSpec {
+                grouping,
+                algorithm: alg,
+                policy: WritePolicy::demand_driven(),
+                merge_host: hosts[0],
+            };
+            let (repl_t, repl_r) = dc_avg(
+                &topo,
+                &cfg,
+                &mk(Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) }),
+                scale,
+            );
+            let (part_t, part_r) = dc_avg(
+                &topo,
+                &cfg,
+                &mk(Grouping::ImagePartitioned { raster: Placement::one_per_host(&hosts) }),
+                scale,
+            );
+            if regime == "raster-bound" && alg == Algorithm::ActivePixel {
+                raster_bound_gap = part_t / repl_t;
+            }
+            if regime == "merge-bound" {
+                merge_bound_gap = repl_t / part_t;
+            }
+            t.row(vec![
+                regime.into(),
+                nodes.to_string(),
+                image.to_string(),
+                alg.label().into(),
+                format!("{repl_t:.2}"),
+                format!("{part_t:.2}"),
+                format!(
+                    "{:.1}",
+                    repl_r[0].report.stream(repl_r[0].to_merge).total_bytes() as f64 / 1e6
+                ),
+                format!(
+                    "{:.1}",
+                    part_r[0].report.stream(part_r[0].to_merge).total_bytes() as f64 / 1e6
+                ),
+            ]);
+        }
+    }
+    t.print("Ablation: image partitioning vs replication (DD policy)");
+    println!(
+        "raster-bound: partitioning {raster_bound_gap:.2}x slower (band load imbalance); \
+         merge-bound: partitioning {merge_bound_gap:.2}x faster (merge volume)"
+    );
+    println!(
+        "shape check (the trade-off exists in both directions): {}",
+        if raster_bound_gap > 1.1 && merge_bound_gap > 1.3 { "OK" } else { "CHECK" }
+    );
+}

@@ -1,0 +1,66 @@
+//! **Figure 4** — isosurface rendering times for the original ADR
+//! implementation and the two component-based versions, as the number of
+//! homogeneous (Rogue) nodes varies; 512² and 2048² output images.
+//!
+//! Paper shape: ADR (tuned for exactly this homogeneous, accumulator-based
+//! setting) wins or ties at low node counts; the component-based Z-buffer
+//! version is at worst ~20% slower; the Active Pixel version is about the
+//! same or faster than ADR from 2 nodes up.
+
+use bench::{adr_avg, dc_avg, large_dataset, make_cfg, ExperimentScale, Table};
+use datacutter::{Placement, WritePolicy};
+use dcapp::{Algorithm, Grouping, PipelineSpec};
+use hetsim::presets::rogue_cluster;
+
+fn main() {
+    let scale = ExperimentScale::default();
+    let ds = large_dataset();
+    let mut t = Table::new(&["nodes", "image", "ADR", "DC Z-buffer", "DC ActivePixel"]);
+    let mut shape_ok = true;
+
+    for nodes in [1usize, 2, 4, 8] {
+        for image in [512u32, 2048] {
+            let (topo, hosts) = rogue_cluster(nodes);
+            let cfg = make_cfg(ds.clone(), hosts.clone(), 2, image);
+
+            let (adr_t, _) = adr_avg(&topo, &cfg, scale);
+
+            let mk_spec = |alg| PipelineSpec {
+                grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+                algorithm: alg,
+                policy: WritePolicy::demand_driven(),
+                merge_host: hosts[0],
+            };
+            let (zb_t, _) = dc_avg(&topo, &cfg, &mk_spec(Algorithm::ZBuffer), scale);
+            let (ap_t, _) = dc_avg(&topo, &cfg, &mk_spec(Algorithm::ActivePixel), scale);
+
+            t.row(vec![
+                nodes.to_string(),
+                format!("{image}"),
+                format!("{adr_t:.2}"),
+                format!("{zb_t:.2}"),
+                format!("{ap_t:.2}"),
+            ]);
+
+            // Paper: component versions competitive with ADR on its home
+            // turf; the DC z-buffer merge funnels every copy's dense
+            // buffer through ONE filter (the bottleneck the paper's §6
+            // acknowledges), so the competitiveness claim is checked where
+            // the merge volume doesn't saturate the emulated Fast
+            // Ethernet (512² images). AP must win at scale.
+            if image == 512 && zb_t > adr_t * 1.5 {
+                shape_ok = false;
+                eprintln!("NOTE: DC-ZB {zb_t:.2}s vs ADR {adr_t:.2}s at {nodes} nodes/{image}");
+            }
+            if nodes >= 2 && ap_t > adr_t * 1.1 {
+                shape_ok = false;
+                eprintln!("NOTE: DC-AP {ap_t:.2}s vs ADR {adr_t:.2}s at {nodes} nodes/{image}");
+            }
+        }
+    }
+    t.print("Figure 4: rendering time (s) on homogeneous Rogue nodes");
+    println!(
+        "shape check (DC-ZB competitive at 512², DC-AP same or faster from 2 nodes): {}",
+        if shape_ok { "OK" } else { "CHECK NOTES" }
+    );
+}

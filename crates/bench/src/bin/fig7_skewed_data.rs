@@ -1,0 +1,81 @@
+//! **Figure 7** — skewed data distribution: 2 Blue + 2 Rogue nodes;
+//! P ∈ {0, 25, 50, 75}% of the files are moved from the Blue nodes onto
+//! the Rogue nodes; three groupings × three policies; active-pixel
+//! algorithm, 2048² image.
+//!
+//! Paper shapes: RERa–M is the most sensitive to skew (SPMD — the run
+//! lasts as long as the node with the most data); R–ERa–M decouples
+//! retrieval from processing; RE–Ra–M does that while moving less data,
+//! so it is the best configuration; DD helps further.
+
+use bench::{dc_avg, large_dataset, make_cfg, ExperimentScale, Table};
+use datacutter::{Placement, WritePolicy};
+use dcapp::{Algorithm, Grouping, PipelineSpec};
+use hetsim::presets::rogue_blue_mix;
+use volume::FilePlacement;
+
+fn main() {
+    let scale = ExperimentScale::default();
+    let ds = large_dataset();
+    let mut rera_sensitivity = Vec::new();
+    let mut rera_split_sensitivity = Vec::new();
+
+    for skew in [0u32, 25, 50, 75] {
+        let mut t = Table::new(&["config", "RR", "WRR", "DD"]);
+        for grouping_label in ["RERa-M", "R-ERa-M", "RE-Ra-M"] {
+            let mut row = vec![grouping_label.to_string()];
+            for policy in
+                [WritePolicy::RoundRobin, WritePolicy::WeightedRoundRobin, WritePolicy::demand_driven()]
+            {
+                let (topo, rogues, blues) = rogue_blue_mix(2);
+                // Storage node order: blue0, blue1, rogue0, rogue1 — files
+                // move FROM blue (0,1) TO rogue (2,3).
+                let hosts = vec![blues[0], blues[1], rogues[0], rogues[1]];
+                let cfg = {
+                    let base = make_cfg(ds.clone(), hosts.clone(), 2, 2048);
+                    let mut c = dcapp::clone_config(&base);
+                    c.placement = FilePlacement::skewed(64, 4, 2, &[0, 1], &[2, 3], skew);
+                    std::sync::Arc::new(c)
+                };
+                let compute = Placement::one_per_host(&hosts);
+                let spec = PipelineSpec {
+                    grouping: match grouping_label {
+                        "RERa-M" => Grouping::RERaM,
+                        "R-ERa-M" => Grouping::REraSplit { era: compute },
+                        _ => Grouping::RERaSplit { raster: compute },
+                    },
+                    algorithm: Algorithm::ActivePixel,
+                    policy,
+                    merge_host: blues[0],
+                };
+                let (secs, _) = dc_avg(&topo, &cfg, &spec, scale);
+                if policy.label() == "DD" {
+                    match grouping_label {
+                        "RERa-M" => rera_sensitivity.push(secs),
+                        "R-ERa-M" => rera_split_sensitivity.push(secs),
+                        _ => {}
+                    }
+                }
+                row.push(format!("{secs:.2}"));
+            }
+            t.row(row);
+        }
+        t.print(&format!(
+            "Figure 7: skewed {skew}% (files moved Blue -> Rogue), 2 Blue + 2 Rogue, ActivePixel 2048x2048"
+        ));
+    }
+
+    let fused = rera_sensitivity.last().unwrap() / rera_sensitivity[0];
+    let decoupled = rera_split_sensitivity.last().unwrap() / rera_split_sensitivity[0];
+    println!("\nskew sensitivity 0% -> 75% (DD): RERa-M {fused:.2}x, R-ERa-M {decoupled:.2}x");
+    println!(
+        "shape check (fused SPMD config sensitive to skew, fully decoupled config \
+         nearly flat): {}",
+        if fused > decoupled && fused > 1.1 { "OK" } else { "CHECK" }
+    );
+    println!(
+        "note: the paper's RERa-M grew more steeply because its runs were I/O-bound \
+         (2.5 GB/timestep); here compute dominates and the skew target (Rogue) has \
+         the faster single-thread CPU, which partially compensates"
+    );
+}

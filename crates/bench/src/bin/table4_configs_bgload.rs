@@ -1,0 +1,87 @@
+//! **Table 4** — execution time for the three filter groupings under
+//! background load, for RR vs DD, both algorithms, both image sizes.
+//!
+//! Setup (paper §4.3): 8 Rogue nodes; every node runs one copy of each
+//! filter; the merge runs on the last node, which carries no background
+//! load; background jobs run on 4 of the remaining nodes.
+//!
+//! Paper shapes: DD beats RR and the gap widens with load; RERa–M shows
+//! little DD benefit (nothing to redistribute); RE–Ra–M is usually best;
+//! the z-buffer algorithm collapses at 2048².
+
+use bench::{dc_avg, large_dataset, make_cfg, ExperimentScale, Table};
+use datacutter::{Placement, WritePolicy};
+use dcapp::{Algorithm, Grouping, PipelineSpec};
+use hetsim::presets::rogue_cluster;
+
+fn main() {
+    let scale = ExperimentScale::default();
+    let ds = large_dataset();
+
+    type GroupingFor = Box<dyn Fn(&[hetsim::HostId]) -> Grouping>;
+    let groupings: Vec<(&str, GroupingFor)> = vec![
+        ("RERa-M", Box::new(|_h: &[hetsim::HostId]| Grouping::RERaM)),
+        (
+            "RE-Ra-M",
+            Box::new(|h: &[hetsim::HostId]| Grouping::RERaSplit {
+                raster: Placement::one_per_host(h),
+            }),
+        ),
+        (
+            "R-ERa-M",
+            Box::new(|h: &[hetsim::HostId]| Grouping::REraSplit {
+                era: Placement::one_per_host(h),
+            }),
+        ),
+    ];
+
+    for image in [512u32, 2048] {
+        for alg in [Algorithm::ActivePixel, Algorithm::ZBuffer] {
+            let mut t =
+                Table::new(&["bg", "config", "RR", "DD", "DD gain"]);
+            let mut dd_gain_at_16 = Vec::new();
+            for bg in [0u32, 1, 4, 16] {
+                for (label, mk_grouping) in &groupings {
+                    let mut times = Vec::new();
+                    for policy in [WritePolicy::RoundRobin, WritePolicy::demand_driven()] {
+                        let (topo, hosts) = rogue_cluster(8);
+                        // bg jobs on 4 of the 7 non-merge nodes.
+                        for &h in &hosts[..4] {
+                            topo.host(h).cpu.set_bg_jobs(bg);
+                        }
+                        let cfg = make_cfg(ds.clone(), hosts.clone(), 2, image);
+                        let spec = PipelineSpec {
+                            grouping: mk_grouping(&hosts),
+                            algorithm: alg,
+                            policy,
+                            merge_host: hosts[7],
+                        };
+                        let (secs, _) = dc_avg(&topo, &cfg, &spec, scale);
+                        times.push(secs);
+                    }
+                    if bg == 16 && *label != "RERa-M" {
+                        dd_gain_at_16.push(times[0] / times[1]);
+                    }
+                    t.row(vec![
+                        bg.to_string(),
+                        label.to_string(),
+                        format!("{:.2}", times[0]),
+                        format!("{:.2}", times[1]),
+                        format!("{:.2}x", times[0] / times[1]),
+                    ]);
+                }
+            }
+            t.print(&format!(
+                "Table 4: execution time (s), 8 Rogue nodes, bg on 4 nodes — {} {}x{}",
+                alg.label(),
+                image,
+                image
+            ));
+            let ok = dd_gain_at_16.iter().all(|&g| g > 1.1);
+            println!(
+                "shape check (DD gains over RR at heavy load for split configs): {}",
+                if ok { "OK" } else { "CHECK" }
+            );
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! **Table 5** — adding an 8-way compute node (Deathstar) behind a slow
+//! Fast-Ethernet uplink to 1/2/4/8 two-way Red data nodes; active-pixel
+//! algorithm, 2048² image; RR vs WRR vs DD.
+//!
+//! Paper shapes: RE–Ra–M beats R–ERa–M (less data over the slow uplink);
+//! WRR is the best policy (weights the 7 copies on the 8-way node without
+//! DD's acknowledgment traffic over the slow link); the benefit of the
+//! compute node fades as the number of data nodes grows.
+
+use bench::{dc_avg, large_dataset, make_cfg, ExperimentScale, Table};
+use datacutter::{Placement, WritePolicy};
+use dcapp::{Algorithm, Grouping, PipelineSpec};
+use hetsim::presets::red_with_deathstar;
+
+fn main() {
+    let scale = ExperimentScale::default();
+    let ds = large_dataset();
+
+    let mut t = Table::new(&["data nodes", "config", "RR", "WRR", "DD"]);
+    let mut wrr_wins = 0usize;
+    let mut rr_never_best = true;
+    let mut re_ra_rows = 0usize;
+    let mut cells = 0usize;
+    let mut re_ra_beats = 0usize;
+    let mut rows = 0usize;
+
+    for n_red in [1usize, 2, 4, 8] {
+        let mut per_config = Vec::new();
+        for split_read in [false, true] {
+            let mut row = vec![n_red.to_string(), if split_read { "R-ERa-M" } else { "RE-Ra-M" }.to_string()];
+            let mut times = Vec::new();
+            for policy in
+                [WritePolicy::RoundRobin, WritePolicy::WeightedRoundRobin, WritePolicy::demand_driven()]
+            {
+                let (topo, reds, deathstar) = red_with_deathstar(n_red);
+                let cfg = make_cfg(ds.clone(), reds.clone(), 1, 2048);
+                // Compute copies: 1 per data node + 7 on the 8-way node.
+                let mut per_host: Vec<(hetsim::HostId, u32)> =
+                    reds.iter().map(|&h| (h, 1)).collect();
+                per_host.push((deathstar, 7));
+                let compute = Placement { per_host };
+                let spec = PipelineSpec {
+                    grouping: if split_read {
+                        Grouping::REraSplit { era: compute }
+                    } else {
+                        Grouping::RERaSplit { raster: compute }
+                    },
+                    algorithm: Algorithm::ActivePixel,
+                    policy,
+                    merge_host: deathstar,
+                };
+                let (secs, _) = dc_avg(&topo, &cfg, &spec, scale);
+                times.push(secs);
+                row.push(format!("{secs:.2}"));
+            }
+            cells += 1;
+            let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            if times[0] <= best * 1.001 {
+                rr_never_best = false;
+            }
+            // WRR must be the winner in the configuration the paper
+            // highlights it for (RE-Ra-M).
+            if !split_read {
+                re_ra_rows += 1;
+                if times[1] <= best * 1.05 {
+                    wrr_wins += 1;
+                }
+            }
+            per_config.push((times[0], best));
+            t.row(row);
+            rows += 1;
+        }
+        if per_config[0].1 <= per_config[1].1 {
+            re_ra_beats += 1;
+        }
+    }
+    let _ = rows;
+    t.print("Table 5: execution time (s), Red data nodes + 8-way compute node (ActivePixel, 2048x2048)");
+    println!(
+        "WRR best in {wrr_wins}/{re_ra_rows} RE-Ra-M rows; RR never best: {rr_never_best}; \
+         RE-Ra-M beats R-ERa-M in {re_ra_beats}/4 node counts ({cells} cells total)"
+    );
+    println!(
+        "NOTE: the paper finds RE-Ra-M better in ALL cases because its chunk volume\n\
+         (2.5 GB/timestep) dwarfs the triangle volume; at our emulation scale the\n\
+         volume ratio is ~1.5:1, so parallelizing extraction on the 8-way node can\n\
+         win at low data-node counts. The policy shape (weighting the 8-way node\n\
+         matters; plain RR underuses it) is the reproducible claim."
+    );
+    println!(
+        "shape check (WRR wins RE-Ra-M rows; RR never best): {}",
+        if wrr_wins == re_ra_rows && rr_never_best { "OK" } else { "CHECK" }
+    );
+}

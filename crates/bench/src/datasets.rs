@@ -1,0 +1,63 @@
+//! Reference datasets for the experiments — scaled-down analogues of the
+//! paper's ParSSim outputs with the same structure (equal sub-volumes,
+//! 64 Hilbert-declustered data files, multiple species and timesteps).
+
+use volume::{Dataset, Dims};
+
+/// Number of data files, as in the paper.
+pub const N_FILES: u32 = 64;
+
+/// Timesteps averaged per experiment cell. The paper averages 5; the
+/// default here keeps the full suite fast — override with the
+/// `DC_TIMESTEPS` environment variable.
+pub const QUICK_TIMESTEPS: u32 = 2;
+
+/// Timesteps to average, honoring `DC_TIMESTEPS`.
+pub fn timesteps() -> u32 {
+    std::env::var("DC_TIMESTEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t: &u32| (1..=10).contains(&t))
+        .unwrap_or(QUICK_TIMESTEPS)
+}
+
+/// Analogue of the paper's 1.5 GB dataset (256×256×1024 grid, 1536
+/// sub-volumes): 64×64×128 cells in 128 sub-volumes.
+pub fn small_dataset() -> Dataset {
+    Dataset::generate(Dims::new(65, 65, 129), (4, 4, 8), N_FILES, 0x5eed_0001)
+}
+
+/// Analogue of the paper's 25 GB dataset (1024³ grid, 24576 sub-volumes):
+/// 96×96×192 cells in 432 sub-volumes.
+pub fn large_dataset() -> Dataset {
+    Dataset::generate(Dims::new(97, 97, 193), (6, 6, 12), N_FILES, 0x5eed_0002)
+}
+
+/// Isovalue used throughout the experiments (mid-range for the synthetic
+/// plume fields).
+pub const ISO: f32 = 0.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_have_expected_chunk_counts() {
+        assert_eq!(small_dataset().layout().count(), 128);
+        assert_eq!(large_dataset().layout().count(), 432);
+    }
+
+    #[test]
+    fn files_are_64() {
+        assert_eq!(small_dataset().declustering().n_files, 64);
+    }
+
+    #[test]
+    fn isosurface_is_nonempty_on_both() {
+        for ds in [small_dataset(), large_dataset()] {
+            let f = ds.field(0, 0);
+            let above = f.data.iter().filter(|&&v| v > ISO).count();
+            assert!(above > 0 && above < f.data.len());
+        }
+    }
+}

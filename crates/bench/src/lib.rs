@@ -1,0 +1,27 @@
+//! # bench — experiment harnesses for the paper's evaluation
+//!
+//! One binary per table/figure (see `src/bin/`); this library holds the
+//! shared pieces: the reference datasets, run helpers averaging over
+//! timesteps, and plain-text table rendering.
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Table 1 (buffer counts/volumes)        | `table1_buffers` |
+//! | Table 2 (filter processing times)      | `table2_filter_times` |
+//! | Figure 4 (ADR vs DC, homogeneous)      | `fig4_adr_homogeneous` |
+//! | Figure 5 (ADR vs DC, heterogeneous)    | `fig5_adr_heterogeneous` |
+//! | Table 3 (DD buffers per node class)    | `table3_dd_buffers` |
+//! | Table 4 (groupings × policies × load)  | `table4_configs_bgload` |
+//! | Table 5 (8-way compute node, RR/WRR/DD)| `table5_compute_node` |
+//! | Figure 7 (skewed data distribution)    | `fig7_skewed_data` |
+//! | Ablations (non-paper)                  | `ablation_*` |
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod runs;
+pub mod table;
+
+pub use datasets::{large_dataset, small_dataset, ISO, QUICK_TIMESTEPS};
+pub use runs::{adr_avg, dc_avg, load_hosts, make_cfg, ExperimentScale};
+pub use table::Table;

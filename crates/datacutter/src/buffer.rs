@@ -1,0 +1,93 @@
+//! Fixed-size data buffers exchanged over streams.
+//!
+//! DataCutter streams move untyped fixed-size byte buffers. We keep the
+//! untyped nature (filters are wired together without shared generics) but
+//! skip actual serialization: a [`DataBuffer`] carries a type-erased
+//! payload plus an explicit `wire_bytes` — the size the buffer *would*
+//! occupy on the wire, which is what the network emulation charges.
+
+use std::any::Any;
+
+/// Framing overhead charged per buffer on top of its payload bytes.
+pub const BUFFER_OVERHEAD_BYTES: u64 = 64;
+
+/// Wire size of a demand-driven acknowledgment message.
+pub const ACK_WIRE_BYTES: u64 = 64;
+
+/// Wire size of an end-of-work marker message.
+pub const EOW_WIRE_BYTES: u64 = 32;
+
+/// A unit of data flowing on a stream.
+pub struct DataBuffer {
+    payload: Box<dyn Any + Send>,
+    wire_bytes: u64,
+}
+
+impl DataBuffer {
+    /// Wrap `payload`, declaring its wire size (payload bytes only; framing
+    /// overhead is added by the transport).
+    pub fn new<T: Any + Send>(payload: T, wire_bytes: u64) -> Self {
+        DataBuffer { payload: Box::new(payload), wire_bytes }
+    }
+
+    /// Declared payload wire size.
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
+    /// Total bytes the transport charges for this buffer.
+    pub fn transport_bytes(&self) -> u64 {
+        self.wire_bytes + BUFFER_OVERHEAD_BYTES
+    }
+
+    /// Recover the payload. Panics with a descriptive message on a type
+    /// mismatch — that is always a wiring bug, not a data condition.
+    pub fn downcast<T: Any>(self) -> T {
+        match self.payload.downcast::<T>() {
+            Ok(b) => *b,
+            Err(_) => panic!(
+                "stream payload type mismatch: expected {}",
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Inspect the payload without consuming the buffer.
+    pub fn peek<T: Any>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for DataBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataBuffer").field("wire_bytes", &self.wire_bytes).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_payload() {
+        let b = DataBuffer::new(vec![1u32, 2, 3], 12);
+        assert_eq!(b.wire_bytes(), 12);
+        assert_eq!(b.transport_bytes(), 12 + BUFFER_OVERHEAD_BYTES);
+        assert_eq!(b.downcast::<Vec<u32>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let b = DataBuffer::new(String::from("hello"), 5);
+        assert_eq!(b.peek::<String>().unwrap(), "hello");
+        assert!(b.peek::<u32>().is_none());
+        assert_eq!(b.downcast::<String>(), "hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn downcast_mismatch_panics() {
+        let b = DataBuffer::new(1u32, 4);
+        let _ = b.downcast::<String>();
+    }
+}

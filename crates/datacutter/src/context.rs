@@ -1,0 +1,278 @@
+//! The runtime context handed to each filter copy: stream reads/writes,
+//! CPU work, and disk I/O, all charged to the emulated cluster.
+
+use std::sync::Arc;
+
+use hetsim::{Env, HostId, Receiver, Sender, SimDuration, Topology};
+use parking_lot::Mutex;
+
+use crate::buffer::DataBuffer;
+use crate::filter::CopyInfo;
+use crate::metrics::CopyCell;
+use crate::policy::{AckHandle, WriterState};
+
+/// A message on a copy-set queue.
+pub(crate) enum Envelope {
+    /// A data buffer with its (optional) demand-driven ack handle.
+    Data { buf: DataBuffer, ack: Option<AckHandle> },
+    /// In-band end-of-work marker from one producer copy.
+    Eow,
+    /// Injected once per consumer copy when all producers' markers for the
+    /// current unit of work have been seen.
+    UowDone,
+}
+
+/// Message from a filter copy to its per-stream outbox sender process.
+pub(crate) enum OutMsg {
+    /// Route one data envelope to the chosen copy set.
+    Data { copyset_idx: usize, envelope: Envelope },
+    /// Broadcast an end-of-work marker to every copy set.
+    Eow,
+}
+
+/// Per-copy-set end-of-work accounting: when markers from all producer
+/// copies have been seen for the current UOW, each consumer copy in the
+/// set gets one `UowDone`.
+pub(crate) struct UowGate {
+    pub producers: u32,
+    pub copies: u32,
+    pub eows: u32,
+}
+
+pub(crate) struct InputPort {
+    pub rx: Receiver<Envelope>,
+    pub inject_tx: Sender<Envelope>,
+    pub courier_tx: Sender<AckHandle>,
+    pub gate: Arc<Mutex<UowGate>>,
+    pub copyset_counters: crate::metrics::CopySetCell,
+}
+
+pub(crate) struct OutputPort {
+    pub writer: WriterState,
+    pub outbox_tx: Sender<OutMsg>,
+    /// Number of consumer copy sets (valid `write_to` targets).
+    pub targets: usize,
+}
+
+/// Execution context of one filter copy. Provides the stream interface
+/// (read / write with end-of-work), plus cost-charging compute and disk
+/// operations.
+pub struct FilterCtx {
+    pub(crate) env: Env,
+    pub(crate) topo: Topology,
+    pub(crate) info: CopyInfo,
+    pub(crate) uow: u32,
+    pub(crate) inputs: Vec<InputPort>,
+    pub(crate) outputs: Vec<OutputPort>,
+    pub(crate) metrics: CopyCell,
+    pub(crate) trace: Option<(hetsim::Trace, String)>,
+}
+
+impl FilterCtx {
+    /// This copy's identity (copy index, total copies, host).
+    pub fn copy(&self) -> CopyInfo {
+        self.info
+    }
+
+    /// Index of the current unit of work (0-based). A work cycle runs
+    /// `init` → `process` → `finalize` once per UOW; applications use this
+    /// to select what the cycle operates on (e.g. which timestep to
+    /// render).
+    pub fn uow(&self) -> u32 {
+        self.uow
+    }
+
+    /// Host this copy runs on.
+    pub fn host(&self) -> HostId {
+        self.info.host
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> hetsim::SimTime {
+        self.env.now()
+    }
+
+    /// The simulation environment (for advanced filters spawning helpers).
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Number of input streams (read ports).
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output streams (write ports).
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Read the next buffer from input `port`. Returns `None` at
+    /// end-of-work for the current unit of work (all upstream copies
+    /// finished and the queue drained). Acknowledges demand-driven buffers
+    /// as they are dequeued — "the buffer is now being processed", as the
+    /// paper puts it.
+    pub fn read(&mut self, port: usize) -> Option<DataBuffer> {
+        loop {
+            let span = self
+                .trace
+                .as_ref()
+                .map(|(t, who)| (t.clone(), t.begin(&self.env, "read-wait", who.clone())));
+            let t0 = self.env.now();
+            let got = self.inputs[port].rx.recv(&self.env);
+            let waited = self.env.now() - t0;
+            {
+                let mut m = self.metrics.lock();
+                m.read_wait += waited;
+            }
+            if let Some((t, s)) = span {
+                t.end(&self.env, s);
+            }
+            match got {
+                Some(Envelope::Data { buf, ack }) => {
+                    {
+                        let mut m = self.metrics.lock();
+                        m.buffers_in += 1;
+                        m.bytes_in += buf.wire_bytes();
+                    }
+                    {
+                        let mut c = self.inputs[port].copyset_counters.lock();
+                        c.buffers_received += 1;
+                        c.bytes_received += buf.wire_bytes();
+                    }
+                    if let Some(ack) = ack {
+                        // Hand to the ack courier; the courier pays the
+                        // reverse network path so this copy keeps working.
+                        let _ = self.inputs[port].courier_tx.send(&self.env, ack);
+                    }
+                    return Some(buf);
+                }
+                Some(Envelope::Eow) => {
+                    // One producer copy finished this UOW. When the whole
+                    // producer side is done, release every copy in the set.
+                    let complete = {
+                        let mut g = self.inputs[port].gate.lock();
+                        g.eows += 1;
+                        if g.eows == g.producers {
+                            g.eows = 0;
+                            Some(g.copies)
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some(copies) = complete {
+                        for _ in 0..copies {
+                            let _ = self.inputs[port]
+                                .inject_tx
+                                .send(&self.env, Envelope::UowDone);
+                        }
+                    }
+                }
+                Some(Envelope::UowDone) | None => return None,
+            }
+        }
+    }
+
+    /// Write `buf` to output `port`. The writer policy picks the consumer
+    /// copy set (demand-driven writers may block here for window credit);
+    /// the transfer itself is overlapped via a per-copy outbox.
+    pub fn write(&mut self, port: usize, buf: DataBuffer) {
+        let t0 = self.env.now();
+        let out = &mut self.outputs[port];
+        let idx = out.writer.select(&self.env);
+        let ack = out.writer.demand_state().map(|state| AckHandle { state, copyset_idx: idx });
+        let bytes = buf.wire_bytes();
+        out.outbox_tx
+            .send(
+                &self.env,
+                OutMsg::Data { copyset_idx: idx, envelope: Envelope::Data { buf, ack } },
+            )
+            .unwrap_or_else(|_| panic!("outbox closed while filter still writing"));
+        let waited = self.env.now() - t0;
+        let mut m = self.metrics.lock();
+        m.buffers_out += 1;
+        m.bytes_out += bytes;
+        m.write_wait += waited;
+    }
+
+    /// Write `buf` to output `port` addressed to a *specific* consumer
+    /// copy set (by its copy-set index), bypassing the stream's writer
+    /// policy. Used for content-based routing — e.g. image-partitioned
+    /// rendering, where a triangle must go to the raster copy set owning
+    /// its screen region. No demand-driven acknowledgment is generated.
+    pub fn write_to(&mut self, port: usize, copyset_idx: usize, buf: DataBuffer) {
+        let t0 = self.env.now();
+        let out = &mut self.outputs[port];
+        let bytes = buf.wire_bytes();
+        out.outbox_tx
+            .send(
+                &self.env,
+                OutMsg::Data { copyset_idx, envelope: Envelope::Data { buf, ack: None } },
+            )
+            .unwrap_or_else(|_| panic!("outbox closed while filter still writing"));
+        let waited = self.env.now() - t0;
+        let mut m = self.metrics.lock();
+        m.buffers_out += 1;
+        m.bytes_out += bytes;
+        m.write_wait += waited;
+    }
+
+    /// Number of consumer copy sets on output `port` (the valid targets
+    /// for [`write_to`](Self::write_to)).
+    pub fn consumer_copysets(&self, port: usize) -> usize {
+        self.outputs[port].targets
+    }
+
+    /// Emit end-of-work markers on every output stream (runtime use, at
+    /// the end of each work cycle).
+    pub(crate) fn emit_eow(&mut self) {
+        for out in &mut self.outputs {
+            let _ = out.outbox_tx.send(&self.env, OutMsg::Eow);
+        }
+    }
+
+    /// Charge `work` seconds of reference-speed computation to this host's
+    /// CPU (subject to its speed factor, other filter copies, and
+    /// background jobs).
+    pub fn compute(&mut self, work: SimDuration) {
+        let span = self
+            .trace
+            .as_ref()
+            .map(|(t, who)| (t.clone(), t.begin(&self.env, "compute", who.clone())));
+        let t0 = self.env.now();
+        self.topo.host(self.info.host).cpu.compute(&self.env, work);
+        let elapsed = self.env.now() - t0;
+        {
+            let mut m = self.metrics.lock();
+            m.work += work;
+            m.compute_elapsed += elapsed;
+        }
+        if let Some((t, s)) = span {
+            t.end(&self.env, s);
+        }
+    }
+
+    /// Read `bytes` from local disk `disk_index` (modulo the host's disk
+    /// count), blocking for queueing + service time. `sequential` skips
+    /// most of the positioning overhead (continuation of a file scan).
+    pub fn disk_read(&mut self, disk_index: usize, bytes: u64, sequential: bool) {
+        let host = self.topo.host(self.info.host);
+        assert!(!host.disks.is_empty(), "host {:?} has no disks", self.info.host);
+        let t0 = self.env.now();
+        let disk = &host.disks[disk_index % host.disks.len()];
+        if sequential {
+            disk.read_seq(&self.env, bytes);
+        } else {
+            disk.read(&self.env, bytes);
+        }
+        let elapsed = self.env.now() - t0;
+        let mut m = self.metrics.lock();
+        m.disk_bytes += bytes;
+        m.disk_elapsed += elapsed;
+    }
+
+    /// The cluster topology (placement-aware filters may inspect it).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+}

@@ -1,0 +1,54 @@
+//! The filter interface: `init` / `process` / `finalize` callbacks, exactly
+//! the contract the paper's Section 2 describes.
+
+use crate::context::FilterCtx;
+
+/// Error type filters may surface from `process`; aborts the run.
+#[derive(Debug)]
+pub struct FilterError(pub String);
+
+impl std::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "filter error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// A user-defined application component.
+///
+/// One instance exists per *transparent copy*; the filter is unaware of its
+/// siblings (transparency). A work cycle runs `init`, then `process` —
+/// which reads input streams until end-of-work and writes output streams —
+/// then `finalize`.
+pub trait Filter: Send {
+    /// Pre-allocate resources for the coming unit of work.
+    fn init(&mut self, _ctx: &mut FilterCtx) {}
+
+    /// Consume input buffers and produce output buffers until end-of-work
+    /// (reads return `None`).
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError>;
+
+    /// Release per-UOW resources.
+    fn finalize(&mut self, _ctx: &mut FilterCtx) {}
+}
+
+/// Information handed to filter factories when instantiating a copy.
+#[derive(Debug, Clone, Copy)]
+pub struct CopyInfo {
+    /// Index of this copy among all copies of the filter (0-based).
+    pub copy_index: usize,
+    /// Total copies of the filter across all hosts.
+    pub total_copies: usize,
+    /// Index of this copy's copy set (= position of its host in the
+    /// filter's placement); consumers at targeted-write streams are
+    /// addressed by this index.
+    pub copyset_index: usize,
+    /// Total number of copy sets (hosts) the filter spans.
+    pub total_copysets: usize,
+    /// Host the copy is placed on.
+    pub host: hetsim::HostId,
+}
+
+/// Factory producing one filter instance per transparent copy.
+pub type FilterFactory = Box<dyn Fn(CopyInfo) -> Box<dyn Filter> + Send + Sync>;

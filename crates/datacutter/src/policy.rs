@@ -1,0 +1,369 @@
+//! Writer policies: how a producer copy picks which consumer copy set
+//! receives each stream buffer (Section 2 of the paper).
+//!
+//! * **Round Robin (RR)** — cycle over consumer hosts, one buffer each.
+//!   Zero overhead, load-oblivious.
+//! * **Weighted Round Robin (WRR)** — cycle with each host appearing once
+//!   per transparent copy it runs, so buffer counts are proportional to
+//!   copy counts. Zero overhead, capacity-aware but load-oblivious.
+//! * **Demand Driven (DD)** — a sliding-window credit scheme: consumers
+//!   acknowledge each buffer as they start processing it; the producer
+//!   sends to the copy set with the fewest unacknowledged buffers (ties
+//!   prefer co-located copy sets) and blocks when every copy set is at its
+//!   window limit. Adapts to load at the cost of ack traffic.
+
+use std::sync::Arc;
+
+use hetsim::{Env, HostId, ProcessId};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Policy selector carried in stream specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Round robin over consumer copy sets.
+    RoundRobin,
+    /// Round robin weighted by copies per host.
+    WeightedRoundRobin,
+    /// Demand-driven sliding window with this many in-flight
+    /// (unacknowledged) buffers allowed per consumer *copy*.
+    DemandDriven {
+        /// Window per consumer copy; a copy set's window is
+        /// `window_per_copy × copies`.
+        window_per_copy: u32,
+    },
+}
+
+impl WritePolicy {
+    /// The demand-driven policy with the default window (2 buffers per
+    /// consumer copy: one in processing, one queued).
+    pub fn demand_driven() -> WritePolicy {
+        WritePolicy::DemandDriven { window_per_copy: 2 }
+    }
+
+    /// Short display label used by the experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WritePolicy::RoundRobin => "RR",
+            WritePolicy::WeightedRoundRobin => "WRR",
+            WritePolicy::DemandDriven { .. } => "DD",
+        }
+    }
+}
+
+/// Static description of one consumer copy set (all copies of the consumer
+/// filter on one host).
+#[derive(Debug, Clone, Copy)]
+pub struct CopySetInfo {
+    /// Host the copy set runs on.
+    pub host: HostId,
+    /// Number of transparent copies in the set.
+    pub copies: u32,
+}
+
+/// Per-producer-copy policy state.
+pub enum WriterState {
+    /// RR / WRR: a precomputed cyclic schedule of copy-set indices.
+    Cyclic {
+        /// Copy-set index per slot, repeated cyclically.
+        schedule: Vec<usize>,
+        /// Next slot.
+        pos: usize,
+    },
+    /// DD: shared credit state (also referenced by ack couriers).
+    Demand(Arc<DemandState>),
+}
+
+impl WriterState {
+    /// Build the state for `policy` over `sets`, for a producer running on
+    /// `producer_host`.
+    pub fn new(policy: WritePolicy, sets: &[CopySetInfo], producer_host: HostId) -> Self {
+        match policy {
+            WritePolicy::RoundRobin => {
+                WriterState::Cyclic { schedule: (0..sets.len()).collect(), pos: 0 }
+            }
+            WritePolicy::WeightedRoundRobin => {
+                // Interleave hosts proportionally to copy counts rather than
+                // bursting: emit one round per "virtual slot".
+                let max_copies = sets.iter().map(|s| s.copies).max().unwrap_or(1);
+                let mut schedule = Vec::new();
+                for round in 0..max_copies {
+                    for (i, s) in sets.iter().enumerate() {
+                        if round < s.copies {
+                            schedule.push(i);
+                        }
+                    }
+                }
+                WriterState::Cyclic { schedule, pos: 0 }
+            }
+            WritePolicy::DemandDriven { window_per_copy } => WriterState::Demand(Arc::new(
+                DemandState::new(sets, producer_host, window_per_copy),
+            )),
+        }
+    }
+
+    /// Pick the copy set for the next buffer, blocking (DD only) until a
+    /// window slot is free.
+    pub fn select(&mut self, env: &Env) -> usize {
+        match self {
+            WriterState::Cyclic { schedule, pos } => {
+                let idx = schedule[*pos];
+                *pos = (*pos + 1) % schedule.len();
+                idx
+            }
+            WriterState::Demand(state) => state.acquire_slot(env),
+        }
+    }
+
+    /// DD shared state, if this writer is demand-driven.
+    pub fn demand_state(&self) -> Option<Arc<DemandState>> {
+        match self {
+            WriterState::Demand(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Shared demand-driven credit state for one producer copy.
+pub struct DemandState {
+    inner: Mutex<DemandInner>,
+    producer_host: HostId,
+}
+
+struct DemandInner {
+    sets: Vec<CopySetInfo>,
+    unacked: Vec<u32>,
+    window: Vec<u32>,
+    waiters: Vec<ProcessId>,
+    /// Cumulative buffers sent per copy set (metrics).
+    sent: Vec<u64>,
+    /// Rotating scan start so ties among remote copy sets spread evenly
+    /// instead of biasing toward low indices.
+    cursor: usize,
+}
+
+impl DemandState {
+    fn new(sets: &[CopySetInfo], producer_host: HostId, window_per_copy: u32) -> Self {
+        DemandState {
+            inner: Mutex::new(DemandInner {
+                sets: sets.to_vec(),
+                unacked: vec![0; sets.len()],
+                window: sets.iter().map(|s| window_per_copy.max(1) * s.copies.max(1)).collect(),
+                waiters: Vec::new(),
+                sent: vec![0; sets.len()],
+                cursor: 0,
+            }),
+            producer_host,
+        }
+    }
+
+    /// Host of the producer copy owning this state (acks are addressed to
+    /// it so the reverse network path is charged).
+    pub fn producer_host(&self) -> HostId {
+        self.producer_host
+    }
+
+    /// Block until some copy set has window room, then take a slot on the
+    /// least-loaded one. Ties prefer a co-located copy set; among equally
+    /// loaded remote sets a rotating cursor spreads the choice evenly.
+    fn acquire_slot(&self, env: &Env) -> usize {
+        loop {
+            {
+                let mut st = self.inner.lock();
+                let n = st.sets.len();
+                let start = st.cursor;
+                let mut best: Option<usize> = None;
+                for k in 0..n {
+                    let i = (start + k) % n;
+                    if st.unacked[i] >= st.window[i] {
+                        continue;
+                    }
+                    best = match best {
+                        None => Some(i),
+                        Some(b) => {
+                            // Fewest unacked wins; on ties a co-located set
+                            // beats a remote one (scan order settles
+                            // remote-vs-remote ties).
+                            let better = st.unacked[i] < st.unacked[b]
+                                || (st.unacked[i] == st.unacked[b]
+                                    && st.sets[i].host == self.producer_host
+                                    && st.sets[b].host != self.producer_host);
+                            Some(if better { i } else { b })
+                        }
+                    };
+                }
+                if let Some(i) = best {
+                    st.unacked[i] += 1;
+                    st.sent[i] += 1;
+                    st.cursor = (i + 1) % n;
+                    return i;
+                }
+                st.waiters.push(env.pid());
+            }
+            env.block();
+        }
+    }
+
+    /// Record an acknowledgment from copy set `idx`, releasing one window
+    /// slot and waking any blocked producer.
+    pub fn ack(&self, env: &Env, idx: usize) {
+        let waiters: Vec<ProcessId> = {
+            let mut st = self.inner.lock();
+            st.unacked[idx] = st.unacked[idx].saturating_sub(1);
+            st.waiters.drain(..).collect()
+        };
+        for pid in waiters {
+            env.wake(pid);
+        }
+    }
+
+    /// Buffers sent per copy set so far.
+    pub fn sent_counts(&self) -> Vec<u64> {
+        self.inner.lock().sent.clone()
+    }
+
+    /// Currently unacknowledged buffers per copy set.
+    pub fn unacked_counts(&self) -> Vec<u32> {
+        self.inner.lock().unacked.clone()
+    }
+}
+
+/// Handle shipped inside a buffer so the consumer can acknowledge it back
+/// to the producing copy (DD only).
+#[derive(Clone)]
+pub struct AckHandle {
+    /// The producer copy's credit state.
+    pub state: Arc<DemandState>,
+    /// Which copy set received the buffer.
+    pub copyset_idx: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::Simulation;
+
+    fn sets3() -> Vec<CopySetInfo> {
+        vec![
+            CopySetInfo { host: HostId(0), copies: 1 },
+            CopySetInfo { host: HostId(1), copies: 2 },
+            CopySetInfo { host: HostId(2), copies: 1 },
+        ]
+    }
+
+    #[test]
+    fn rr_cycles_uniformly() {
+        let mut sim = Simulation::new();
+        let sets = sets3();
+        sim.spawn("p", move |env| {
+            let mut w = WriterState::new(WritePolicy::RoundRobin, &sets, HostId(0));
+            let picks: Vec<usize> = (0..6).map(|_| w.select(&env)).collect();
+            assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn wrr_weights_by_copies() {
+        let mut sim = Simulation::new();
+        let sets = sets3();
+        sim.spawn("p", move |env| {
+            let mut w = WriterState::new(WritePolicy::WeightedRoundRobin, &sets, HostId(0));
+            let picks: Vec<usize> = (0..8).map(|_| w.select(&env)).collect();
+            // Schedule: round 0 -> 0,1,2; round 1 -> 1 (only host1 has 2
+            // copies); then repeats.
+            assert_eq!(picks, vec![0, 1, 2, 1, 0, 1, 2, 1]);
+            let count1 = picks.iter().filter(|&&p| p == 1).count();
+            assert_eq!(count1, 4); // twice the share of the others
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn dd_prefers_least_unacked() {
+        let mut sim = Simulation::new();
+        let sets = sets3();
+        sim.spawn("p", move |env| {
+            let mut w = WriterState::new(
+                WritePolicy::DemandDriven { window_per_copy: 4 },
+                &sets,
+                HostId(9), // not co-located with any set
+            );
+            // First pick: all zero -> first index wins.
+            assert_eq!(w.select(&env), 0);
+            // Now set 0 has 1 unacked; next pick goes elsewhere.
+            assert_eq!(w.select(&env), 1);
+            assert_eq!(w.select(&env), 2);
+            let st = w.demand_state().unwrap();
+            assert_eq!(st.unacked_counts(), vec![1, 1, 1]);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn dd_ties_prefer_local() {
+        let mut sim = Simulation::new();
+        let sets = sets3();
+        sim.spawn("p", move |env| {
+            let mut w = WriterState::new(
+                WritePolicy::DemandDriven { window_per_copy: 4 },
+                &sets,
+                HostId(1), // co-located with set index 1
+            );
+            assert_eq!(w.select(&env), 1);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn dd_blocks_at_window_until_ack() {
+        let mut sim = Simulation::new();
+        let sets = vec![CopySetInfo { host: HostId(0), copies: 1 }];
+        let state_slot: Arc<Mutex<Option<Arc<DemandState>>>> = Arc::new(Mutex::new(None));
+        let slot2 = state_slot.clone();
+        let progress: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let prog2 = progress.clone();
+        sim.spawn("p", move |env| {
+            let mut w =
+                WriterState::new(WritePolicy::DemandDriven { window_per_copy: 1 }, &sets, HostId(5));
+            *slot2.lock() = Some(w.demand_state().unwrap());
+            for _ in 0..2 {
+                let _ = w.select(&env);
+                prog2.lock().push(env.now().as_nanos());
+            }
+        });
+        sim.spawn("acker", move |env| {
+            env.delay(hetsim::SimDuration::from_millis(50));
+            let st = state_slot.lock().clone().expect("producer ran first");
+            st.ack(&env, 0);
+        });
+        sim.run().unwrap();
+        let p = progress.lock().clone();
+        assert_eq!(p[0], 0);
+        assert_eq!(p[1], 50_000_000, "second send must wait for the ack");
+    }
+
+    #[test]
+    fn dd_window_scales_with_copies() {
+        let mut sim = Simulation::new();
+        let sets = vec![CopySetInfo { host: HostId(0), copies: 3 }];
+        sim.spawn("p", move |env| {
+            let mut w =
+                WriterState::new(WritePolicy::DemandDriven { window_per_copy: 2 }, &sets, HostId(5));
+            // Window = 2 * 3 = 6 slots available without blocking.
+            for _ in 0..6 {
+                let _ = w.select(&env);
+            }
+            let st = w.demand_state().unwrap();
+            assert_eq!(st.unacked_counts(), vec![6]);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(WritePolicy::RoundRobin.label(), "RR");
+        assert_eq!(WritePolicy::WeightedRoundRobin.label(), "WRR");
+        assert_eq!(WritePolicy::demand_driven().label(), "DD");
+    }
+}

@@ -1,0 +1,921 @@
+//! Instantiates an [`AppGraph`] on a [`Topology`] and executes one unit of
+//! work: spawns every transparent filter copy as an emulated process, wires
+//! logical streams through per-copy-set shared queues, runs per-copy outbox
+//! senders (so communication overlaps computation) and per-copy-set ack
+//! couriers (so demand-driven acknowledgments travel the reverse network
+//! path), then runs the simulation to completion and harvests metrics.
+//!
+//! End-of-work markers flow in-band: when a producer copy finishes its
+//! work cycle, an EOW marker is broadcast to every consumer copy set; once
+//! a copy set has seen the marker from every producer copy, each consumer
+//! copy's next read returns `None`. Multi-UOW runs repeat the cycle with a
+//! global barrier in between.
+
+use std::sync::Arc;
+
+use hetsim::{Env, SimError, SimTime, Simulation, Topology};
+use parking_lot::Mutex;
+
+use crate::buffer::{ACK_WIRE_BYTES, EOW_WIRE_BYTES};
+use crate::context::{Envelope, FilterCtx, InputPort, OutMsg, OutputPort, UowGate};
+use crate::filter::CopyInfo;
+use crate::graph::{AppGraph, FilterId};
+use crate::metrics::{
+    CopyCell, CopyCounters, CopyReport, CopySetCell, RunReport, StreamReport,
+};
+use crate::policy::{AckHandle, CopySetInfo, WriterState};
+
+/// Capacity of each per-copy outbox (models the kernel socket buffer that
+/// lets a filter keep computing while a previous buffer is on the wire).
+const OUTBOX_CAPACITY: usize = 2;
+
+/// Capacity of ack courier queues; effectively unbounded so consumers never
+/// block on acknowledging.
+const COURIER_CAPACITY: usize = 1 << 16;
+
+/// Execute one unit of work of `graph` on `topo`. Equivalent to
+/// [`run_app_uows`] with a single cycle.
+pub fn run_app(topo: &Topology, graph: AppGraph) -> Result<RunReport, SimError> {
+    run_app_inner(topo, graph, 1, None)
+}
+
+/// Execute `uows` consecutive units of work. Every filter copy runs the
+/// full `init` → `process` → `finalize` cycle once per UOW (selecting its
+/// work via [`FilterCtx::uow`]); end-of-work markers flow in-band on the
+/// streams, and a global barrier separates cycles (the next UOW starts
+/// only after every copy finished the previous one, like the paper's
+/// per-query execution).
+pub fn run_app_uows(topo: &Topology, graph: AppGraph, uows: u32) -> Result<RunReport, SimError> {
+    run_app_inner(topo, graph, uows, None)
+}
+
+/// Like [`run_app_uows`], recording per-copy compute and read-wait spans
+/// into `trace` for timeline inspection.
+pub fn run_app_traced(
+    topo: &Topology,
+    graph: AppGraph,
+    uows: u32,
+    trace: hetsim::Trace,
+) -> Result<RunReport, SimError> {
+    run_app_full(topo, graph, uows, Some(trace), |_| {})
+}
+
+/// Like [`run_app_uows`], additionally letting the caller spawn auxiliary
+/// processes into the pipeline's simulation before it starts — e.g. a
+/// [`hetsim::spawn_load_generator`] storming a host *while the pipeline
+/// runs*, the "varying resource availability" scenario of the paper.
+///
+/// Note: the run ends when every process — including auxiliaries — has
+/// finished, so an auxiliary outliving the pipeline extends the reported
+/// `elapsed`.
+pub fn run_app_with(
+    topo: &Topology,
+    graph: AppGraph,
+    uows: u32,
+    setup: impl FnOnce(&mut Simulation),
+) -> Result<RunReport, SimError> {
+    run_app_full(topo, graph, uows, None, setup)
+}
+
+fn run_app_inner(
+    topo: &Topology,
+    graph: AppGraph,
+    uows: u32,
+    trace: Option<hetsim::Trace>,
+) -> Result<RunReport, SimError> {
+    run_app_full(topo, graph, uows, trace, |_| {})
+}
+
+fn run_app_full(
+    topo: &Topology,
+    graph: AppGraph,
+    uows: u32,
+    trace: Option<hetsim::Trace>,
+    setup: impl FnOnce(&mut Simulation),
+) -> Result<RunReport, SimError> {
+    assert!(uows >= 1, "at least one unit of work");
+    let graph = Arc::new(graph);
+    let mut sim = Simulation::new();
+    setup(&mut sim);
+    let waker = sim.waker();
+
+    // ---- per-stream wiring ------------------------------------------------
+    struct StreamRt {
+        sets: Vec<CopySetInfo>,
+        data_txs: Vec<hetsim::Sender<Envelope>>,
+        data_rxs: Vec<hetsim::Receiver<Envelope>>,
+        courier_txs: Vec<hetsim::Sender<AckHandle>>,
+        gates: Vec<Arc<Mutex<UowGate>>>,
+        cells: Vec<CopySetCell>,
+    }
+
+    let mut streams_rt: Vec<StreamRt> = Vec::with_capacity(graph.streams.len());
+    for spec in &graph.streams {
+        let consumer = &graph.filters[spec.to.0 as usize];
+        let producers = graph.filters[spec.from.0 as usize].placement.total_copies();
+        let mut sets = Vec::new();
+        let mut data_txs = Vec::new();
+        let mut data_rxs = Vec::new();
+        let mut courier_txs = Vec::new();
+        let mut gates = Vec::new();
+        let mut cells = Vec::new();
+        for &(host, copies) in &consumer.placement.per_host {
+            sets.push(CopySetInfo { host, copies });
+            // Room for data plus the UowDone tokens injected at the end of
+            // each cycle.
+            let cap = spec.queue_capacity * copies as usize + copies as usize;
+            let (tx, rx) = hetsim::channel(waker.clone(), cap.max(1));
+            data_txs.push(tx);
+            data_rxs.push(rx);
+            gates.push(Arc::new(Mutex::new(UowGate { producers, copies, eows: 0 })));
+            let (ctx_tx, ctx_rx) = hetsim::channel::<AckHandle>(waker.clone(), COURIER_CAPACITY);
+            courier_txs.push(ctx_tx);
+            cells.push(CopySetCell::default());
+            // Ack courier for this copy set: pays the reverse network path
+            // for each acknowledgment, then credits the producer's window.
+            let topo2 = topo.clone();
+            sim.spawn(format!("courier:{}@h{}", spec.name, host.0), move |env: Env| {
+                while let Some(ack) = ctx_rx.recv(&env) {
+                    topo2.transfer(&env, host, ack.state.producer_host(), ACK_WIRE_BYTES);
+                    ack.state.ack(&env, ack.copyset_idx);
+                }
+            });
+        }
+        streams_rt.push(StreamRt { sets, data_txs, data_rxs, courier_txs, gates, cells });
+    }
+
+    // ---- per-copy spawning ------------------------------------------------
+    let all_copies: u32 = graph.filters.iter().map(|f| f.placement.total_copies()).sum();
+    let barrier = hetsim::Barrier::new(all_copies as usize);
+    let uow_boundaries: Arc<Mutex<Vec<SimTime>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut copy_cells: Vec<(FilterId, String, usize, hetsim::HostId, CopyCell)> = Vec::new();
+    for (fidx, fspec) in graph.filters.iter().enumerate() {
+        let fid = FilterId(fidx as u32);
+        let input_ids = graph.inputs_of(fid);
+        let output_ids = graph.outputs_of(fid);
+        let total_copies = fspec.placement.total_copies() as usize;
+
+        let mut copy_index = 0usize;
+        for (set_idx, &(host, copies)) in fspec.placement.per_host.iter().enumerate() {
+            for _k in 0..copies {
+                let cell: CopyCell = Arc::new(Mutex::new(CopyCounters::default()));
+                copy_cells.push((fid, fspec.name.clone(), copy_index, host, cell.clone()));
+
+                // Input ports: this copy shares its host's copy-set queue.
+                let mut inputs = Vec::new();
+                for &sid in &input_ids {
+                    let rt = &streams_rt[sid.0 as usize];
+                    inputs.push(InputPort {
+                        rx: rt.data_rxs[set_idx].clone(),
+                        inject_tx: rt.data_txs[set_idx].clone(),
+                        courier_tx: rt.courier_txs[set_idx].clone(),
+                        gate: rt.gates[set_idx].clone(),
+                        copyset_counters: rt.cells[set_idx].clone(),
+                    });
+                }
+
+                // Output ports: per-copy writer state + outbox sender.
+                let mut outputs = Vec::new();
+                for &sid in &output_ids {
+                    let rt = &streams_rt[sid.0 as usize];
+                    let spec = &graph.streams[sid.0 as usize];
+                    let (outbox_tx, outbox_rx) =
+                        hetsim::channel::<OutMsg>(waker.clone(), OUTBOX_CAPACITY);
+                    let targets = rt.data_txs.clone();
+                    let sets = rt.sets.clone();
+                    let topo2 = topo.clone();
+                    sim.spawn(
+                        format!("sender:{}#{}@h{}", spec.name, copy_index, host.0),
+                        move |env: Env| {
+                            while let Some(msg) = outbox_rx.recv(&env) {
+                                match msg {
+                                    OutMsg::Data { copyset_idx, envelope } => {
+                                        let bytes = match &envelope {
+                                            Envelope::Data { buf, .. } => buf.transport_bytes(),
+                                            _ => EOW_WIRE_BYTES,
+                                        };
+                                        let to = sets[copyset_idx].host;
+                                        topo2.transfer(&env, host, to, bytes);
+                                        if targets[copyset_idx].send(&env, envelope).is_err() {
+                                            // Consumer gone: late buffer at
+                                            // teardown; drop it.
+                                            break;
+                                        }
+                                    }
+                                    OutMsg::Eow => {
+                                        for (i, tx) in targets.iter().enumerate() {
+                                            topo2.transfer(
+                                                &env,
+                                                host,
+                                                sets[i].host,
+                                                EOW_WIRE_BYTES,
+                                            );
+                                            let _ = tx.send(&env, Envelope::Eow);
+                                        }
+                                    }
+                                }
+                            }
+                        },
+                    );
+                    outputs.push(OutputPort {
+                        writer: WriterState::new(spec.policy, &rt.sets, host),
+                        outbox_tx,
+                        targets: rt.sets.len(),
+                    });
+                }
+
+                let info = CopyInfo {
+                    copy_index,
+                    total_copies,
+                    copyset_index: set_idx,
+                    total_copysets: fspec.placement.per_host.len(),
+                    host,
+                };
+                let topo2 = topo.clone();
+                let graph2 = graph.clone();
+                let barrier2 = barrier.clone();
+                let boundaries2 = uow_boundaries.clone();
+                let copy_name = format!("{}#{}@h{}", fspec.name, copy_index, host.0);
+                let trace2 = trace.clone().map(|t| (t, copy_name.clone()));
+                sim.spawn(copy_name, move |env: Env| {
+                    let mut filter = (graph2.filters[fid.0 as usize].factory)(info);
+                    let mut ctx = FilterCtx {
+                        env,
+                        topo: topo2,
+                        info,
+                        uow: 0,
+                        inputs,
+                        outputs,
+                        metrics: cell,
+                        trace: trace2,
+                    };
+                    for uow in 0..uows {
+                        ctx.uow = uow;
+                        filter.init(&mut ctx);
+                        if let Err(e) = filter.process(&mut ctx) {
+                            panic!("{e}");
+                        }
+                        filter.finalize(&mut ctx);
+                        ctx.emit_eow();
+                        if uow + 1 < uows {
+                            // Work cycles are separated by a global
+                            // barrier, like the paper's per-query runs.
+                            if barrier2.wait(ctx.env()) {
+                                boundaries2.lock().push(ctx.env().now());
+                            }
+                        }
+                    }
+                });
+                copy_index += 1;
+            }
+        }
+    }
+
+    // Drop the wiring originals so channels close when the last real user
+    // (sender process / filter copy) finishes.
+    let harvest: Vec<(String, Vec<(hetsim::HostId, CopySetCell)>)> = streams_rt
+        .iter()
+        .map(|rt| {
+            (
+                String::new(),
+                rt.sets.iter().map(|s| s.host).zip(rt.cells.iter().cloned()).collect(),
+            )
+        })
+        .collect();
+    drop(streams_rt);
+
+    let stats = sim.run()?;
+
+    let copies = copy_cells
+        .into_iter()
+        .map(|(filter, filter_name, copy_index, host, cell)| CopyReport {
+            filter,
+            filter_name,
+            copy_index,
+            host,
+            counters: cell.lock().clone(),
+        })
+        .collect();
+
+    let streams = harvest
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, sets))| StreamReport {
+            stream: crate::graph::StreamId(i as u32),
+            stream_name: graph.streams[i].name.clone(),
+            copysets: sets.into_iter().map(|(h, c)| (h, c.lock().clone())).collect(),
+        })
+        .collect();
+
+    let mut boundaries = std::mem::take(&mut *uow_boundaries.lock());
+    boundaries.sort_unstable();
+
+    Ok(RunReport {
+        elapsed: stats.end_time - SimTime::ZERO,
+        events: stats.events,
+        uow_boundaries: boundaries,
+        copies,
+        streams,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DataBuffer;
+    use crate::filter::{Filter, FilterError};
+    use crate::graph::{GraphBuilder, Placement};
+    use crate::policy::WritePolicy;
+    use hetsim::{ClusterSpec, HostId, HostSpec, SimDuration, TopologyBuilder};
+
+    fn flat_topology(n: usize) -> Topology {
+        let mut b = TopologyBuilder::new();
+        let c = b.add_cluster(ClusterSpec {
+            name: "c".into(),
+            nic_bandwidth_bps: 100.0e6,
+            nic_latency: SimDuration::from_micros(50),
+        });
+        for i in 0..n {
+            b.add_host(
+                c,
+                HostSpec {
+                    name: format!("h{i}"),
+                    cores: 1,
+                    speed: 1.0,
+                    mem_mb: 512,
+                    disks: 1,
+                    disk_bandwidth_bps: 50.0e6,
+                    disk_seek: SimDuration::from_millis(5),
+                },
+            );
+        }
+        b.build()
+    }
+
+    struct Source {
+        n: u32,
+    }
+    impl Filter for Source {
+        fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+            for i in 0..self.n {
+                ctx.compute(SimDuration::from_millis(1));
+                ctx.write(0, DataBuffer::new(i, 1024));
+            }
+            Ok(())
+        }
+    }
+
+    struct Doubler {
+        work: SimDuration,
+    }
+    impl Filter for Doubler {
+        fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+            while let Some(b) = ctx.read(0) {
+                let v = b.downcast::<u32>();
+                ctx.compute(self.work);
+                ctx.write(0, DataBuffer::new(v * 2, 1024));
+            }
+            Ok(())
+        }
+    }
+
+    struct Collect {
+        out: Arc<Mutex<Vec<u32>>>,
+    }
+    impl Filter for Collect {
+        fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+            while let Some(b) = ctx.read(0) {
+                self.out.lock().push(b.downcast::<u32>());
+            }
+            Ok(())
+        }
+    }
+
+    fn pipeline(
+        topo: &Topology,
+        policy: WritePolicy,
+        n_items: u32,
+        worker_hosts: &[HostId],
+        worker_work_ms: u64,
+    ) -> (RunReport, Vec<u32>) {
+        let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut g = GraphBuilder::new();
+        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), move |_| Source { n: n_items });
+        let work = SimDuration::from_millis(worker_work_ms);
+        let dbl = g.add_filter("dbl", Placement::one_per_host(worker_hosts), move |_| Doubler { work });
+        let out2 = out.clone();
+        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect { out: out2.clone() });
+        g.connect(src, dbl, policy);
+        g.connect(dbl, snk, WritePolicy::RoundRobin);
+        let report = run_app(topo, g.build()).unwrap();
+        let v = out.lock().clone();
+        (report, v)
+    }
+
+    #[test]
+    fn linear_pipeline_delivers_everything() {
+        let topo = flat_topology(3);
+        let (report, mut got) =
+            pipeline(&topo, WritePolicy::RoundRobin, 20, &[HostId(1), HostId(2)], 2);
+        got.sort_unstable();
+        let want: Vec<u32> = (0..20).map(|i| i * 2).collect();
+        assert_eq!(got, want);
+        assert!(report.elapsed > SimDuration::ZERO);
+        // Stream 0: 20 buffers, 10 per copy set under RR.
+        let s = report.stream(crate::graph::StreamId(0));
+        assert_eq!(s.total_buffers(), 20);
+        for (_, c) in &s.copysets {
+            assert_eq!(c.buffers_received, 10);
+        }
+    }
+
+    #[test]
+    fn wrr_respects_copy_weights() {
+        let topo = flat_topology(3);
+        let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut g = GraphBuilder::new();
+        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| Source { n: 30 });
+        // Host1 gets 2 copies, host2 gets 1.
+        let dbl = g.add_filter(
+            "dbl",
+            Placement { per_host: vec![(HostId(1), 2), (HostId(2), 1)] },
+            |_| Doubler { work: SimDuration::from_millis(1) },
+        );
+        let out2 = out.clone();
+        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect { out: out2.clone() });
+        g.connect(src, dbl, WritePolicy::WeightedRoundRobin);
+        g.connect(dbl, snk, WritePolicy::RoundRobin);
+        let report = run_app(&topo, g.build()).unwrap();
+        let s = report.stream(crate::graph::StreamId(0));
+        assert_eq!(s.copysets[0].1.buffers_received, 20);
+        assert_eq!(s.copysets[1].1.buffers_received, 10);
+        assert_eq!(out.lock().len(), 30);
+    }
+
+    #[test]
+    fn dd_shifts_load_away_from_slow_host() {
+        let mut b = TopologyBuilder::new();
+        let c = b.add_cluster(ClusterSpec {
+            name: "c".into(),
+            nic_bandwidth_bps: 100.0e6,
+            nic_latency: SimDuration::from_micros(50),
+        });
+        // Host 0: source+sink. Host 1: fast worker. Host 2: slow worker.
+        for (i, speed) in [(0, 1.0f64), (1, 1.0), (2, 0.2)] {
+            b.add_host(
+                c,
+                HostSpec {
+                    name: format!("h{i}"),
+                    cores: 1,
+                    speed,
+                    mem_mb: 512,
+                    disks: 1,
+                    disk_bandwidth_bps: 50.0e6,
+                    disk_seek: SimDuration::from_millis(5),
+                },
+            );
+        }
+        let topo = b.build();
+        let (report, got) =
+            pipeline(&topo, WritePolicy::demand_driven(), 40, &[HostId(1), HostId(2)], 4);
+        assert_eq!(got.len(), 40);
+        let s = report.stream(crate::graph::StreamId(0));
+        let fast = s.copysets[0].1.buffers_received;
+        let slow = s.copysets[1].1.buffers_received;
+        assert_eq!(fast + slow, 40);
+        assert!(fast > slow * 2, "DD should favour the fast host: fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn rr_vs_dd_completion_time_under_imbalance() {
+        let mk = || {
+            let mut b = TopologyBuilder::new();
+            let c = b.add_cluster(ClusterSpec {
+                name: "c".into(),
+                nic_bandwidth_bps: 100.0e6,
+                nic_latency: SimDuration::from_micros(50),
+            });
+            for (i, speed) in [(0, 1.0f64), (1, 1.0), (2, 0.25)] {
+                b.add_host(
+                    c,
+                    HostSpec {
+                        name: format!("h{i}"),
+                        cores: 1,
+                        speed,
+                        mem_mb: 512,
+                        disks: 1,
+                        disk_bandwidth_bps: 50.0e6,
+                        disk_seek: SimDuration::from_millis(5),
+                    },
+                );
+            }
+            b.build()
+        };
+        let topo = mk();
+        let (rr, _) = pipeline(&topo, WritePolicy::RoundRobin, 40, &[HostId(1), HostId(2)], 4);
+        let topo = mk();
+        let (dd, _) =
+            pipeline(&topo, WritePolicy::demand_driven(), 40, &[HostId(1), HostId(2)], 4);
+        assert!(
+            dd.elapsed < rr.elapsed,
+            "DD ({}) should beat RR ({}) under heterogeneity",
+            dd.elapsed,
+            rr.elapsed
+        );
+    }
+
+    #[test]
+    fn copy_metrics_account_for_work() {
+        let topo = flat_topology(3);
+        let (report, _) = pipeline(&topo, WritePolicy::RoundRobin, 10, &[HostId(1), HostId(2)], 3);
+        let dbl = FilterId(1);
+        // 10 buffers x 3 ms of work across copies.
+        assert_eq!(report.filter_work(dbl).as_nanos(), 30_000_000);
+        let copies = report.copies_of(dbl);
+        assert_eq!(copies.len(), 2);
+        let total_in: u64 = copies.iter().map(|c| c.counters.buffers_in).sum();
+        assert_eq!(total_in, 10);
+    }
+
+    #[test]
+    fn multiple_copies_share_one_copyset_queue() {
+        let topo = flat_topology(2);
+        let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut g = GraphBuilder::new();
+        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| Source { n: 24 });
+        // 3 copies on one host: one copy set with demand-based sharing.
+        let dbl = g.add_filter("dbl", Placement::on_host(HostId(1), 3), |_| Doubler {
+            work: SimDuration::from_millis(2),
+        });
+        let out2 = out.clone();
+        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect { out: out2.clone() });
+        g.connect(src, dbl, WritePolicy::RoundRobin);
+        g.connect(dbl, snk, WritePolicy::RoundRobin);
+        let report = run_app(&topo, g.build()).unwrap();
+        assert_eq!(out.lock().len(), 24);
+        // All three copies did some of the work.
+        for c in report.copies_of(FilterId(1)) {
+            assert!(c.counters.buffers_in > 0, "idle copy {:?}", c.copy_index);
+        }
+        let _ = dbl;
+        let _ = src;
+        let _ = snk;
+    }
+
+    #[test]
+    fn source_only_graph_runs() {
+        let topo = flat_topology(1);
+        let mut g = GraphBuilder::new();
+        struct Quiet;
+        impl Filter for Quiet {
+            fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                ctx.compute(SimDuration::from_millis(5));
+                Ok(())
+            }
+        }
+        g.add_filter("quiet", Placement::on_host(HostId(0), 1), |_| Quiet);
+        let report = run_app(&topo, g.build()).unwrap();
+        assert_eq!(report.elapsed.as_nanos(), 5_000_000);
+    }
+
+    #[test]
+    fn filter_error_aborts_run() {
+        let topo = flat_topology(1);
+        let mut g = GraphBuilder::new();
+        struct Bad;
+        impl Filter for Bad {
+            fn process(&mut self, _ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                Err(FilterError("broken".into()))
+            }
+        }
+        g.add_filter("bad", Placement::on_host(HostId(0), 1), |_| Bad);
+        match run_app(&topo, g.build()) {
+            Err(SimError::ProcessPanic { process, message }) => {
+                assert!(process.starts_with("bad#0"));
+                assert!(message.contains("broken"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn init_and_finalize_are_called() {
+        let topo = flat_topology(1);
+        let log: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Lifecycle {
+            log: Arc<Mutex<Vec<&'static str>>>,
+        }
+        impl Filter for Lifecycle {
+            fn init(&mut self, _ctx: &mut FilterCtx) {
+                self.log.lock().push("init");
+            }
+            fn process(&mut self, _ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                self.log.lock().push("process");
+                Ok(())
+            }
+            fn finalize(&mut self, _ctx: &mut FilterCtx) {
+                self.log.lock().push("finalize");
+            }
+        }
+        let mut g = GraphBuilder::new();
+        let log2 = log.clone();
+        g.add_filter("lc", Placement::on_host(HostId(0), 1), move |_| Lifecycle { log: log2.clone() });
+        run_app(&topo, g.build()).unwrap();
+        assert_eq!(*log.lock(), vec!["init", "process", "finalize"]);
+    }
+
+    #[test]
+    fn fan_out_filter_feeds_two_streams() {
+        // One producer with two output ports feeding different consumers.
+        let topo = flat_topology(3);
+        struct Splitter;
+        impl Filter for Splitter {
+            fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                assert_eq!(ctx.output_count(), 2);
+                for i in 0..10u32 {
+                    ctx.write((i % 2) as usize, DataBuffer::new(i, 64));
+                }
+                Ok(())
+            }
+        }
+        let evens: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let odds: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut g = GraphBuilder::new();
+        let s = g.add_filter("split", Placement::on_host(HostId(0), 1), |_| Splitter);
+        let e2 = evens.clone();
+        let ce = g.add_filter("evens", Placement::on_host(HostId(1), 1), move |_| Collect {
+            out: e2.clone(),
+        });
+        let o2 = odds.clone();
+        let co = g.add_filter("odds", Placement::on_host(HostId(2), 1), move |_| Collect {
+            out: o2.clone(),
+        });
+        g.connect(s, ce, WritePolicy::RoundRobin); // port 0
+        g.connect(s, co, WritePolicy::RoundRobin); // port 1
+        run_app(&topo, g.build()).unwrap();
+        assert_eq!(*evens.lock(), vec![0, 2, 4, 6, 8]);
+        assert_eq!(*odds.lock(), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn fan_in_filter_reads_two_ports() {
+        // Two producers into one consumer through separate input ports,
+        // each with independent end-of-work.
+        let topo = flat_topology(3);
+        struct Fixed(u32, u32); // base, count
+        impl Filter for Fixed {
+            fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                for i in 0..self.1 {
+                    ctx.write(0, DataBuffer::new(self.0 + i, 64));
+                }
+                Ok(())
+            }
+        }
+        struct Zip {
+            out: Arc<Mutex<(Vec<u32>, Vec<u32>)>>,
+        }
+        impl Filter for Zip {
+            fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                assert_eq!(ctx.input_count(), 2);
+                while let Some(b) = ctx.read(0) {
+                    self.out.lock().0.push(b.downcast::<u32>());
+                }
+                while let Some(b) = ctx.read(1) {
+                    self.out.lock().1.push(b.downcast::<u32>());
+                }
+                Ok(())
+            }
+        }
+        let out: Arc<Mutex<(Vec<u32>, Vec<u32>)>> = Arc::default();
+        let mut g = GraphBuilder::new();
+        let a = g.add_filter("a", Placement::on_host(HostId(0), 1), |_| Fixed(100, 4));
+        let b = g.add_filter("b", Placement::on_host(HostId(1), 1), |_| Fixed(200, 3));
+        let o2 = out.clone();
+        let z = g.add_filter("zip", Placement::on_host(HostId(2), 1), move |_| Zip {
+            out: o2.clone(),
+        });
+        g.connect(a, z, WritePolicy::RoundRobin); // zip port 0
+        g.connect(b, z, WritePolicy::RoundRobin); // zip port 1
+        run_app(&topo, g.build()).unwrap();
+        let v = out.lock().clone();
+        assert_eq!(v.0, vec![100, 101, 102, 103]);
+        assert_eq!(v.1, vec![200, 201, 202]);
+    }
+
+    #[test]
+    fn traced_run_records_compute_and_wait_spans() {
+        let topo = flat_topology(2);
+        let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut g = GraphBuilder::new();
+        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| Source { n: 5 });
+        let dbl = g.add_filter("dbl", Placement::on_host(HostId(1), 1), |_| Doubler {
+            work: SimDuration::from_millis(2),
+        });
+        let out2 = out.clone();
+        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect {
+            out: out2.clone(),
+        });
+        g.connect(src, dbl, WritePolicy::RoundRobin);
+        g.connect(dbl, snk, WritePolicy::RoundRobin);
+        let trace = hetsim::Trace::new();
+        crate::runtime::run_app_traced(&topo, g.build(), 1, trace.clone()).unwrap();
+        let busy = trace.busy_by_label();
+        let labels: Vec<&str> = busy.iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels.contains(&"compute"), "{labels:?}");
+        assert!(labels.contains(&"read-wait"), "{labels:?}");
+        // Doubler computed 5 x 2ms; source 5 x 1ms.
+        let compute = busy.iter().find(|(l, _)| l == "compute").unwrap().1;
+        assert!(compute.as_nanos() >= 15_000_000, "compute total {compute}");
+        // Spans carry the copy identity.
+        assert!(trace.timeline().iter().any(|s| s.detail.starts_with("dbl#0")));
+    }
+
+    #[test]
+    fn write_to_targets_specific_copysets() {
+        let topo = flat_topology(3);
+        let out: Arc<Mutex<Vec<(hetsim::HostId, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Router;
+        impl Filter for Router {
+            fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                assert_eq!(ctx.consumer_copysets(0), 2);
+                for i in 0..10u32 {
+                    // Evens to set 0, odds to set 1.
+                    ctx.write_to(0, (i % 2) as usize, DataBuffer::new(i, 64));
+                }
+                Ok(())
+            }
+        }
+        struct Tagger {
+            out: Arc<Mutex<Vec<(hetsim::HostId, u32)>>>,
+        }
+        impl Filter for Tagger {
+            fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                while let Some(b) = ctx.read(0) {
+                    let host = ctx.host();
+                    self.out.lock().push((host, b.downcast::<u32>()));
+                }
+                Ok(())
+            }
+        }
+        let mut g = GraphBuilder::new();
+        let r = g.add_filter("router", Placement::on_host(HostId(0), 1), |_| Router);
+        let out2 = out.clone();
+        let t = g.add_filter(
+            "tagger",
+            Placement::one_per_host(&[HostId(1), HostId(2)]),
+            move |info| {
+                // Copy-set identity is exposed to the factory.
+                assert_eq!(info.total_copysets, 2);
+                Tagger { out: out2.clone() }
+            },
+        );
+        g.connect(r, t, WritePolicy::RoundRobin);
+        run_app(&topo, g.build()).unwrap();
+        let v = out.lock().clone();
+        assert_eq!(v.len(), 10);
+        for (host, val) in v {
+            let expected = if val % 2 == 0 { HostId(1) } else { HostId(2) };
+            assert_eq!(host, expected, "value {val} routed to wrong set");
+        }
+    }
+
+    #[test]
+    fn multi_uow_lifecycle_runs_per_cycle() {
+        let topo = flat_topology(2);
+        let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Cycler {
+            log: Arc<Mutex<Vec<String>>>,
+        }
+        impl Filter for Cycler {
+            fn init(&mut self, ctx: &mut FilterCtx) {
+                self.log.lock().push(format!("init{}", ctx.uow()));
+            }
+            fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                for i in 0..3u32 {
+                    ctx.write(0, DataBuffer::new(ctx.uow() * 100 + i, 64));
+                }
+                Ok(())
+            }
+            fn finalize(&mut self, ctx: &mut FilterCtx) {
+                self.log.lock().push(format!("fini{}", ctx.uow()));
+            }
+        }
+        let got: Arc<Mutex<Vec<(u32, Vec<u32>)>>> = Arc::new(Mutex::new(Vec::new()));
+        struct PerUow {
+            got: Arc<Mutex<Vec<(u32, Vec<u32>)>>>,
+            current: Vec<u32>,
+        }
+        impl Filter for PerUow {
+            fn init(&mut self, _ctx: &mut FilterCtx) {
+                self.current.clear();
+            }
+            fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                while let Some(b) = ctx.read(0) {
+                    self.current.push(b.downcast::<u32>());
+                }
+                Ok(())
+            }
+            fn finalize(&mut self, ctx: &mut FilterCtx) {
+                self.got.lock().push((ctx.uow(), self.current.clone()));
+            }
+        }
+        let mut g = GraphBuilder::new();
+        let log2 = log.clone();
+        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), move |_| Cycler {
+            log: log2.clone(),
+        });
+        let got2 = got.clone();
+        let snk = g.add_filter("snk", Placement::on_host(HostId(1), 1), move |_| PerUow {
+            got: got2.clone(),
+            current: Vec::new(),
+        });
+        g.connect(src, snk, WritePolicy::RoundRobin);
+        let report = run_app_uows(&topo, g.build(), 3).unwrap();
+
+        // Lifecycle ran once per UOW on the source.
+        let l = log.lock().clone();
+        assert_eq!(l, vec!["init0", "fini0", "init1", "fini1", "init2", "fini2"]);
+        // Each UOW's data stayed within its cycle.
+        let v = got.lock().clone();
+        assert_eq!(v.len(), 3);
+        for (uow, items) in &v {
+            let want: Vec<u32> = (0..3).map(|i| uow * 100 + i).collect();
+            assert_eq!(items, &want, "uow {uow}");
+        }
+        // Two barrier boundaries, increasing, within the run.
+        assert_eq!(report.uow_boundaries.len(), 2);
+        assert!(report.uow_boundaries[0] < report.uow_boundaries[1]);
+        assert_eq!(report.uow_elapsed().len(), 3);
+        assert!(report.uow_elapsed().iter().all(|d| !d.is_zero()));
+    }
+
+    #[test]
+    fn multi_uow_with_transparent_copies_is_complete() {
+        // Copies + DD policy across 3 cycles: every item of every cycle is
+        // delivered exactly once.
+        let topo = flat_topology(3);
+        let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        struct UowSource;
+        impl Filter for UowSource {
+            fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                for i in 0..12u32 {
+                    ctx.compute(SimDuration::from_millis(1));
+                    ctx.write(0, DataBuffer::new(ctx.uow() * 1000 + i, 256));
+                }
+                Ok(())
+            }
+        }
+        let mut g = GraphBuilder::new();
+        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| UowSource);
+        let dbl = g.add_filter(
+            "dbl",
+            Placement { per_host: vec![(HostId(1), 2), (HostId(2), 1)] },
+            |_| Doubler { work: SimDuration::from_millis(2) },
+        );
+        let out2 = out.clone();
+        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect {
+            out: out2.clone(),
+        });
+        g.connect(src, dbl, WritePolicy::demand_driven());
+        g.connect(dbl, snk, WritePolicy::RoundRobin);
+        run_app_uows(&topo, g.build(), 3).unwrap();
+        let mut v = out.lock().clone();
+        v.sort_unstable();
+        let mut want: Vec<u32> = (0..3u32)
+            .flat_map(|u| (0..12u32).map(move |i| (u * 1000 + i) * 2))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(v, want);
+        let _ = (src, dbl, snk);
+    }
+
+    #[test]
+    fn read_wait_is_recorded_for_starved_consumer() {
+        let topo = flat_topology(2);
+        let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut g = GraphBuilder::new();
+        struct SlowSource;
+        impl Filter for SlowSource {
+            fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+                for i in 0..5u32 {
+                    ctx.compute(SimDuration::from_millis(20));
+                    ctx.write(0, DataBuffer::new(i, 100));
+                }
+                Ok(())
+            }
+        }
+        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| SlowSource);
+        let out2 = out.clone();
+        let snk = g.add_filter("snk", Placement::on_host(HostId(1), 1), move |_| Collect { out: out2.clone() });
+        g.connect(src, snk, WritePolicy::RoundRobin);
+        let report = run_app(&topo, g.build()).unwrap();
+        let snk_copy = &report.copies_of(snk)[0];
+        assert!(
+            snk_copy.counters.read_wait.as_nanos() > 50_000_000,
+            "sink should wait ~100ms, got {}",
+            snk_copy.counters.read_wait
+        );
+        let _ = src;
+    }
+}

@@ -1,0 +1,208 @@
+//! `dcrender` — command-line isosurface renderer on the emulated cluster.
+//!
+//! ```text
+//! cargo run --release -p dcapp --bin dcrender -- \
+//!     --nodes 4 --grid 64 --image 512 --iso 0.5 --species 0 --timestep 2 \
+//!     --grouping re-ra-m --policy dd --algorithm ap --out render.ppm
+//! ```
+//!
+//! Run with `--help` for the full flag list. `--plan` lets the automatic
+//! planner pick grouping/placement/policy instead.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use datacutter::{Placement, WritePolicy};
+use dcapp::{Algorithm, AppConfig, Grouping, PipelineSpec};
+use hetsim::presets::rogue_cluster;
+use volume::{Dataset, Dims};
+
+struct Args {
+    nodes: usize,
+    grid: u32,
+    image: u32,
+    iso: f32,
+    species: u32,
+    timestep: u32,
+    seed: u64,
+    grouping: String,
+    policy: String,
+    algorithm: String,
+    out: String,
+    plan: bool,
+    verbose: bool,
+}
+
+const HELP: &str = "dcrender — isosurface rendering on an emulated heterogeneous cluster
+
+USAGE: dcrender [FLAGS]
+
+  --nodes N        cluster size (default 4)
+  --grid N         volume cells per axis (default 64)
+  --image N        output image width=height (default 512)
+  --iso V          isosurface value (default 0.5)
+  --species N      chemical species 0..3 (default 0)
+  --timestep N     stored timestep 0..9 (default 0)
+  --seed N         dataset seed (default 42)
+  --grouping G     rera-m | re-ra-m | r-era-m | part (default re-ra-m)
+  --policy P       rr | wrr | dd (default dd)
+  --algorithm A    zb | ap (default ap)
+  --out PATH       output PPM path (default render.ppm)
+  --plan           let the planner choose grouping/placement/policy
+  --verbose        print per-copy metrics and host utilization
+  --help           this text";
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        nodes: 4,
+        grid: 64,
+        image: 512,
+        iso: 0.5,
+        species: 0,
+        timestep: 0,
+        seed: 42,
+        grouping: "re-ra-m".into(),
+        policy: "dd".into(),
+        algorithm: "ap".into(),
+        out: "render.ppm".into(),
+        plan: false,
+        verbose: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("missing value for {}", argv[*i - 1]);
+            exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--nodes" => a.nodes = next(&mut i).parse().expect("--nodes"),
+            "--grid" => a.grid = next(&mut i).parse().expect("--grid"),
+            "--image" => a.image = next(&mut i).parse().expect("--image"),
+            "--iso" => a.iso = next(&mut i).parse().expect("--iso"),
+            "--species" => a.species = next(&mut i).parse().expect("--species"),
+            "--timestep" => a.timestep = next(&mut i).parse().expect("--timestep"),
+            "--seed" => a.seed = next(&mut i).parse().expect("--seed"),
+            "--grouping" => a.grouping = next(&mut i),
+            "--policy" => a.policy = next(&mut i),
+            "--algorithm" => a.algorithm = next(&mut i),
+            "--out" => a.out = next(&mut i),
+            "--plan" => a.plan = true,
+            "--verbose" => a.verbose = true,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}\n\n{HELP}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let (topo, hosts) = rogue_cluster(args.nodes);
+
+    // Chunk the volume ~16 cells per axis per chunk.
+    let per_axis = (args.grid / 16).max(1);
+    let dataset = Dataset::generate(
+        Dims::new(args.grid + 1, args.grid + 1, args.grid + 1),
+        (per_axis, per_axis, per_axis),
+        64.min(per_axis.pow(3)).max(1),
+        args.seed,
+    );
+    let mut cfg = AppConfig::new(dataset, hosts.clone(), 2, args.image, args.image);
+    cfg.iso = args.iso;
+    cfg.species = args.species % volume::SPECIES_COUNT;
+    cfg.timestep = args.timestep % volume::TIMESTEPS;
+    cfg.material = isosurf::species_material(cfg.species);
+    let cfg = Arc::new(cfg);
+
+    let spec = if args.plan {
+        let plan = dcapp::plan(&topo, &cfg, &hosts);
+        println!("planner: {}", plan.rationale);
+        plan.spec
+    } else {
+        let everywhere = Placement::one_per_host(&hosts);
+        PipelineSpec {
+            grouping: match args.grouping.as_str() {
+                "rera-m" => Grouping::RERaM,
+                "re-ra-m" => Grouping::RERaSplit { raster: everywhere },
+                "r-era-m" => Grouping::REraSplit { era: everywhere },
+                "part" => Grouping::ImagePartitioned { raster: everywhere },
+                g => {
+                    eprintln!("unknown grouping {g}");
+                    exit(2);
+                }
+            },
+            algorithm: match args.algorithm.as_str() {
+                "zb" => Algorithm::ZBuffer,
+                "ap" => Algorithm::ActivePixel,
+                x => {
+                    eprintln!("unknown algorithm {x}");
+                    exit(2);
+                }
+            },
+            policy: match args.policy.as_str() {
+                "rr" => WritePolicy::RoundRobin,
+                "wrr" => WritePolicy::WeightedRoundRobin,
+                "dd" => WritePolicy::demand_driven(),
+                p => {
+                    eprintln!("unknown policy {p}");
+                    exit(2);
+                }
+            },
+            merge_host: hosts[0],
+        }
+    };
+
+    println!(
+        "rendering {}^3 cells at {}x{} on {} nodes: {} + {} + {}",
+        args.grid,
+        args.image,
+        args.image,
+        args.nodes,
+        spec.grouping.label(),
+        spec.policy.label(),
+        spec.algorithm.label()
+    );
+    let r = dcapp::run_pipeline(&topo, &cfg, &spec).unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        exit(1);
+    });
+    println!(
+        "done in {:.3} virtual seconds ({} engine events, {} surface pixels)",
+        r.elapsed.as_secs_f64(),
+        r.report.events,
+        r.image.coverage(isosurf::BACKGROUND)
+    );
+    if args.verbose {
+        for c in &r.report.copies {
+            println!(
+                "  {:>6} #{} @h{:<2} in {:>5} out {:>5} work {:>8.4}s stall {:>8.4}s",
+                c.filter_name,
+                c.copy_index,
+                c.host.0,
+                c.counters.buffers_in,
+                c.counters.buffers_out,
+                c.counters.work.as_secs_f64(),
+                (c.counters.read_wait + c.counters.write_wait).as_secs_f64()
+            );
+        }
+        for u in topo.utilization(r.elapsed) {
+            println!("  {u}");
+        }
+    }
+    r.image.save_ppm(&args.out).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        exit(1);
+    });
+    println!("wrote {}", args.out);
+}

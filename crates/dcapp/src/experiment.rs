@@ -1,0 +1,418 @@
+//! Running pipelines and validating their output.
+
+use datacutter::{run_app, RunReport};
+use hetsim::{SimDuration, SimError, Topology};
+use isosurf::Image;
+
+use crate::config::SharedConfig;
+use crate::pipeline::{build_pipeline, Pipeline, PipelineSpec};
+
+/// Outcome of one pipeline run (one unit of work = one timestep rendered).
+pub struct PipelineResult {
+    /// End-to-end virtual time.
+    pub elapsed: SimDuration,
+    /// Framework metrics.
+    pub report: RunReport,
+    /// The rendered image.
+    pub image: Image,
+    /// The stream ids of interest (copied from the pipeline handles).
+    pub to_raster: Option<datacutter::StreamId>,
+    /// Stream into the merge filter.
+    pub to_merge: datacutter::StreamId,
+    /// Filter ids in pipeline order.
+    pub filters: Vec<datacutter::FilterId>,
+}
+
+/// Build and run `spec` once on `topo`.
+pub fn run_pipeline(
+    topo: &Topology,
+    cfg: &SharedConfig,
+    spec: &PipelineSpec,
+) -> Result<PipelineResult, SimError> {
+    let Pipeline { graph, image, to_raster, to_merge, filters } = build_pipeline(cfg, spec);
+    let report = run_app(topo, graph)?;
+    let mut images = std::mem::take(&mut *image.lock());
+    assert_eq!(images.len(), 1, "single-UOW run deposits exactly one image");
+    Ok(PipelineResult {
+        elapsed: report.elapsed,
+        report,
+        image: images.pop().expect("one image"),
+        to_raster,
+        to_merge,
+        filters,
+    })
+}
+
+/// Result of a multi-UOW run: one image per unit of work (consecutive
+/// timesteps), cumulative metrics, and per-UOW elapsed times.
+pub struct MultiUowResult {
+    /// Framework metrics (cumulative over all UOWs).
+    pub report: RunReport,
+    /// One rendered image per UOW, in order.
+    pub images: Vec<isosurf::Image>,
+    /// Per-UOW elapsed virtual time.
+    pub uow_elapsed: Vec<SimDuration>,
+}
+
+/// Run `uows` consecutive units of work in a **single** simulation: filter
+/// copies stay resident and cycle through `init` → `process` → `finalize`
+/// per UOW, rendering timesteps `cfg.timestep`, `cfg.timestep + 1`, ... —
+/// the paper's "five consecutive timesteps" workload as one run.
+pub fn run_pipeline_uows(
+    topo: &Topology,
+    cfg: &SharedConfig,
+    spec: &PipelineSpec,
+    uows: u32,
+) -> Result<MultiUowResult, SimError> {
+    let Pipeline { graph, image, .. } = build_pipeline(cfg, spec);
+    let report = datacutter::runtime::run_app_uows(topo, graph, uows)?;
+    let images = std::mem::take(&mut *image.lock());
+    assert_eq!(images.len(), uows as usize, "one image per unit of work");
+    let uow_elapsed = report.uow_elapsed();
+    Ok(MultiUowResult { report, images, uow_elapsed })
+}
+
+/// Run `spec` for `timesteps` consecutive timesteps (fresh simulation per
+/// timestep, as the paper clears caches between runs) and return the
+/// per-timestep results. The config's `timestep` field is overridden.
+pub fn run_timesteps(
+    topo: &Topology,
+    cfg: &SharedConfig,
+    spec: &PipelineSpec,
+    timesteps: std::ops::Range<u32>,
+) -> Result<Vec<PipelineResult>, SimError> {
+    let mut out = Vec::new();
+    for t in timesteps {
+        let mut c = clone_config(cfg);
+        c.timestep = t;
+        let c: SharedConfig = std::sync::Arc::new(c);
+        out.push(run_pipeline(topo, &c, spec)?);
+    }
+    Ok(out)
+}
+
+/// Average elapsed time of a result set, in seconds.
+pub fn avg_elapsed_secs(results: &[PipelineResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(|r| r.elapsed.as_secs_f64()).sum::<f64>() / results.len() as f64
+}
+
+/// The sequential reference image for `cfg` (single-node ground truth).
+/// Honors the range query at chunk granularity, exactly like the
+/// distributed read filters.
+pub fn reference_image(cfg: &SharedConfig) -> Image {
+    let field = cfg.dataset.field(cfg.species, cfg.timestep);
+    if cfg.query.is_none() {
+        return isosurf::render_zbuffer(&field, &cfg.camera, cfg.iso, &cfg.material);
+    }
+    let layout = cfg.dataset.layout();
+    let mut tris = Vec::new();
+    for chunk in cfg.selected_chunks() {
+        let info = layout.info(chunk);
+        let sub = layout.extract(&field, chunk);
+        isosurf::extract(&sub, info.cell_origin, cfg.iso, &mut tris);
+    }
+    let mut zb = isosurf::ZBuffer::new(cfg.camera.width, cfg.camera.height);
+    isosurf::render::raster_into_zbuffer(&tris, &cfg.camera, &cfg.material, &mut zb);
+    zb.to_image(isosurf::BACKGROUND)
+}
+
+/// Clone an `AppConfig` (datasets share storage; the rest is plain data).
+pub fn clone_config(cfg: &SharedConfig) -> crate::config::AppConfig {
+    crate::config::AppConfig {
+        dataset: cfg.dataset.clone(),
+        iso: cfg.iso,
+        species: cfg.species,
+        timestep: cfg.timestep,
+        query: cfg.query,
+        camera: cfg.camera,
+        material: cfg.material,
+        cost: cfg.cost,
+        tri_batch: cfg.tri_batch,
+        wpa_capacity: cfg.wpa_capacity,
+        zb_band_bytes: cfg.zb_band_bytes,
+        placement: cfg.placement.clone(),
+        storage_hosts: cfg.storage_hosts.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Algorithm, AppConfig};
+    use crate::pipeline::Grouping;
+    use datacutter::{Placement, WritePolicy};
+    use hetsim::presets::rogue_cluster;
+    use std::sync::Arc;
+    use volume::{Dataset, Dims};
+
+    fn small_setup(nodes: usize, width: u32) -> (Topology, SharedConfig) {
+        let (topo, hosts) = rogue_cluster(nodes);
+        let ds = Dataset::generate(Dims::new(25, 25, 25), (2, 2, 2), 8, 11);
+        let cfg = AppConfig::new(ds, hosts, 2, width, width);
+        (topo, Arc::new(cfg))
+    }
+
+    fn spec(topo: &Topology, cfg: &SharedConfig, g: Grouping, alg: Algorithm) -> PipelineSpec {
+        let _ = topo;
+        PipelineSpec {
+            grouping: g,
+            algorithm: alg,
+            policy: WritePolicy::demand_driven(),
+            merge_host: cfg.storage_hosts[0],
+        }
+    }
+
+    #[test]
+    fn rera_m_matches_reference() {
+        let (topo, cfg) = small_setup(2, 96);
+        let s = spec(&topo, &cfg, Grouping::RERaM, Algorithm::ActivePixel);
+        let r = run_pipeline(&topo, &cfg, &s).unwrap();
+        let reference = reference_image(&cfg);
+        assert_eq!(r.image.diff_pixels(&reference), 0);
+        assert!(r.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn re_ra_m_matches_reference_both_algorithms() {
+        let (topo, cfg) = small_setup(2, 96);
+        for alg in [Algorithm::ZBuffer, Algorithm::ActivePixel] {
+            let s = spec(
+                &topo,
+                &cfg,
+                Grouping::RERaSplit { raster: Placement::one_per_host(&cfg.storage_hosts) },
+                alg,
+            );
+            let r = run_pipeline(&topo, &cfg, &s).unwrap();
+            let reference = reference_image(&cfg);
+            assert_eq!(r.image.diff_pixels(&reference), 0, "algorithm {alg:?}");
+        }
+    }
+
+    #[test]
+    fn r_era_m_matches_reference() {
+        let (topo, cfg) = small_setup(2, 96);
+        let s = spec(
+            &topo,
+            &cfg,
+            Grouping::REraSplit { era: Placement::one_per_host(&cfg.storage_hosts) },
+            Algorithm::ActivePixel,
+        );
+        let r = run_pipeline(&topo, &cfg, &s).unwrap();
+        assert_eq!(r.image.diff_pixels(&reference_image(&cfg)), 0);
+    }
+
+    #[test]
+    fn four_stage_matches_reference() {
+        let (topo, cfg) = small_setup(4, 96);
+        let hosts = &cfg.storage_hosts;
+        let s = spec(
+            &topo,
+            &cfg,
+            Grouping::FourStage {
+                extract: Placement::on_host(hosts[1], 1),
+                raster: Placement::on_host(hosts[2], 1),
+            },
+            Algorithm::ZBuffer,
+        );
+        // Only host 0 holds data in this test: rebuild config with one
+        // storage host but a 4-host topology.
+        let mut c = clone_config(&cfg);
+        c.storage_hosts = vec![hosts[0]];
+        c.placement = volume::FilePlacement::balanced(8, 1, 2);
+        let c: SharedConfig = Arc::new(c);
+        let mut s2 = s;
+        s2.merge_host = hosts[3];
+        let r = run_pipeline(&topo, &c, &s2).unwrap();
+        assert_eq!(r.image.diff_pixels(&reference_image(&c)), 0);
+        // Four filters + merge stream wiring present.
+        assert_eq!(r.filters.len(), 4);
+        assert!(r.to_raster.is_some());
+    }
+
+    #[test]
+    fn multiple_raster_copies_still_consistent() {
+        // The paper's headline consistency property: the output must not
+        // depend on how many transparent copies run.
+        let (topo, cfg) = small_setup(4, 96);
+        for copies in [1u32, 2, 3] {
+            let s = spec(
+                &topo,
+                &cfg,
+                Grouping::RERaSplit {
+                    raster: Placement {
+                        per_host: cfg.storage_hosts.iter().map(|&h| (h, copies)).collect(),
+                    },
+                },
+                Algorithm::ActivePixel,
+            );
+            let r = run_pipeline(&topo, &cfg, &s).unwrap();
+            assert_eq!(
+                r.image.diff_pixels(&reference_image(&cfg)),
+                0,
+                "copies per host = {copies}"
+            );
+        }
+    }
+
+    #[test]
+    fn zbuffer_moves_more_merge_bytes_than_active_pixel() {
+        // Table 1's shape: the z-buffer algorithm sends fewer, larger
+        // buffers and a greater total volume to the merge filter.
+        let (topo, cfg) = small_setup(2, 128);
+        let mk = |alg| {
+            spec(
+                &topo,
+                &cfg,
+                Grouping::RERaSplit { raster: Placement::one_per_host(&cfg.storage_hosts) },
+                alg,
+            )
+        };
+        let zb = run_pipeline(&topo, &cfg, &mk(Algorithm::ZBuffer)).unwrap();
+        let ap = run_pipeline(&topo, &cfg, &mk(Algorithm::ActivePixel)).unwrap();
+        let zb_bytes = zb.report.stream(zb.to_merge).total_bytes();
+        let ap_bytes = ap.report.stream(ap.to_merge).total_bytes();
+        assert!(zb_bytes > ap_bytes, "zb {zb_bytes} vs ap {ap_bytes}");
+    }
+
+    #[test]
+    fn range_query_renders_selected_chunks_only() {
+        let (topo, cfg) = small_setup(2, 96);
+        // Query the lower octant of the volume.
+        let mut c = clone_config(&cfg);
+        c.query = Some(volume::CellRange { lo: (0, 0, 0), hi: (12, 12, 12) });
+        let cfg_q: SharedConfig = Arc::new(c);
+        let s = spec(
+            &topo,
+            &cfg_q,
+            Grouping::RERaSplit { raster: Placement::one_per_host(&cfg_q.storage_hosts) },
+            Algorithm::ActivePixel,
+        );
+        let full = run_pipeline(&topo, &cfg, &s).unwrap();
+        let part = run_pipeline(&topo, &cfg_q, &s).unwrap();
+        // Matches the chunk-granular query reference exactly.
+        assert_eq!(part.image.diff_pixels(&reference_image(&cfg_q)), 0);
+        // Different from the full rendering, and cheaper.
+        assert!(part.image.diff_pixels(&full.image) > 0);
+        let full_disk: u64 =
+            full.report.copies.iter().map(|c| c.counters.disk_bytes).sum();
+        let part_disk: u64 =
+            part.report.copies.iter().map(|c| c.counters.disk_bytes).sum();
+        assert!(part_disk < full_disk / 2, "query read {part_disk} vs full {full_disk}");
+        assert!(part.elapsed < full.elapsed);
+    }
+
+    #[test]
+    fn empty_range_query_renders_background() {
+        let (topo, cfg) = small_setup(2, 64);
+        let mut c = clone_config(&cfg);
+        c.query = Some(volume::CellRange { lo: (5, 5, 5), hi: (5, 9, 9) });
+        let cfg_q: SharedConfig = Arc::new(c);
+        let s = spec(&topo, &cfg_q, Grouping::RERaM, Algorithm::ZBuffer);
+        let r = run_pipeline(&topo, &cfg_q, &s).unwrap();
+        assert_eq!(r.image.coverage(isosurf::BACKGROUND), 0);
+    }
+
+    #[test]
+    fn image_partitioned_matches_reference_both_algorithms() {
+        let (topo, cfg) = small_setup(3, 96);
+        for alg in [Algorithm::ZBuffer, Algorithm::ActivePixel] {
+            let s = spec(
+                &topo,
+                &cfg,
+                Grouping::ImagePartitioned {
+                    raster: Placement::one_per_host(&cfg.storage_hosts),
+                },
+                alg,
+            );
+            let r = run_pipeline(&topo, &cfg, &s).unwrap();
+            assert_eq!(
+                r.image.diff_pixels(&reference_image(&cfg)),
+                0,
+                "partitioned {alg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_partitioned_zbuffer_ships_one_image_total() {
+        // The point of partitioning for the z-buffer algorithm: merge
+        // volume is one image's worth in total, instead of one per copy.
+        let (topo, cfg) = small_setup(4, 128);
+        let replicated = spec(
+            &topo,
+            &cfg,
+            Grouping::RERaSplit { raster: Placement::one_per_host(&cfg.storage_hosts) },
+            Algorithm::ZBuffer,
+        );
+        let partitioned = spec(
+            &topo,
+            &cfg,
+            Grouping::ImagePartitioned { raster: Placement::one_per_host(&cfg.storage_hosts) },
+            Algorithm::ZBuffer,
+        );
+        let rr = run_pipeline(&topo, &cfg, &replicated).unwrap();
+        let rp = run_pipeline(&topo, &cfg, &partitioned).unwrap();
+        let vol_replicated = rr.report.stream(rr.to_merge).total_bytes();
+        let vol_partitioned = rp.report.stream(rp.to_merge).total_bytes();
+        // 4 copies x full image vs 1 x full image.
+        assert_eq!(vol_replicated, 4 * vol_partitioned);
+        assert_eq!(rp.image.diff_pixels(&rr.image), 0);
+    }
+
+    #[test]
+    fn multi_uow_run_matches_per_timestep_references() {
+        let (topo, cfg) = small_setup(2, 96);
+        let s = spec(
+            &topo,
+            &cfg,
+            Grouping::RERaSplit { raster: Placement::one_per_host(&cfg.storage_hosts) },
+            Algorithm::ActivePixel,
+        );
+        let multi = run_pipeline_uows(&topo, &cfg, &s, 3).unwrap();
+        assert_eq!(multi.images.len(), 3);
+        assert_eq!(multi.uow_elapsed.len(), 3);
+        for (t, img) in multi.images.iter().enumerate() {
+            let mut c = clone_config(&cfg);
+            c.timestep = t as u32;
+            let reference = reference_image(&Arc::new(c));
+            assert_eq!(img.diff_pixels(&reference), 0, "uow {t}");
+        }
+        // Consecutive cycles should take comparable time (same pipeline,
+        // evolving field).
+        let times: Vec<f64> = multi.uow_elapsed.iter().map(|d| d.as_secs_f64()).collect();
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min < 2.0, "per-UOW times wildly uneven: {times:?}");
+    }
+
+    #[test]
+    fn multi_uow_zbuffer_resets_accumulators_between_cycles() {
+        // If the raster or merge filters leaked z-buffer state across
+        // UOWs, later images would contain ghosts of earlier timesteps.
+        let (topo, cfg) = small_setup(2, 96);
+        let s = spec(
+            &topo,
+            &cfg,
+            Grouping::RERaSplit { raster: Placement::one_per_host(&cfg.storage_hosts) },
+            Algorithm::ZBuffer,
+        );
+        let multi = run_pipeline_uows(&topo, &cfg, &s, 2).unwrap();
+        let mut c = clone_config(&cfg);
+        c.timestep = 1;
+        let reference = reference_image(&Arc::new(c));
+        assert_eq!(multi.images[1].diff_pixels(&reference), 0);
+    }
+
+    #[test]
+    fn timestep_sweep_produces_distinct_images() {
+        let (topo, cfg) = small_setup(2, 96);
+        let s = spec(&topo, &cfg, Grouping::RERaM, Algorithm::ActivePixel);
+        let results = run_timesteps(&topo, &cfg, &s, 0..3).unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(avg_elapsed_secs(&results) > 0.0);
+        assert!(results[0].image.diff_pixels(&results[2].image) > 0, "fields evolve over time");
+    }
+}

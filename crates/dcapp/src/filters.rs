@@ -1,0 +1,314 @@
+//! The application filters (Figure 2(b) of the paper) and their fused
+//! groupings (Figure 3): `R`, `E`, `Ra`, `M`, plus `RE`, `ERa`, and `RERa`.
+
+use std::sync::Arc;
+
+use datacutter::{DataBuffer, Filter, FilterCtx, FilterError};
+use isosurf::Image;
+use parking_lot::Mutex;
+
+use crate::config::{Algorithm, SharedConfig};
+use crate::parts::{ExtractStage, MergeStage, RasterStage, ReadStage, RoutedExtractStage};
+use crate::payload::{ChunkPayload, RaOut, TriBatch};
+
+/// Shared slot the merge filter deposits final images into (one per unit
+/// of work, in UOW order).
+pub type ImageSlot = Arc<Mutex<Vec<Image>>>;
+
+fn write_chunk(ctx: &mut FilterCtx, p: ChunkPayload) {
+    let wire = p.wire_bytes();
+    ctx.write(0, DataBuffer::new(p, wire));
+}
+
+fn write_tris(ctx: &mut FilterCtx, b: TriBatch) {
+    let wire = b.wire_bytes();
+    ctx.write(0, DataBuffer::new(b, wire));
+}
+
+fn write_raout(ctx: &mut FilterCtx, r: RaOut) {
+    let wire = r.wire_bytes();
+    ctx.write(0, DataBuffer::new(r, wire));
+}
+
+/// **R** — reads this node's declustered chunks and streams voxel buffers.
+pub struct ReadFilter {
+    pub(crate) stage: ReadStage,
+}
+
+impl ReadFilter {
+    /// `node_index` selects which storage node's files this copy serves.
+    pub fn new(cfg: SharedConfig, node_index: usize) -> Self {
+        ReadFilter { stage: ReadStage { cfg, node_index } }
+    }
+}
+
+impl Filter for ReadFilter {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        self.stage.run(ctx, write_chunk);
+        Ok(())
+    }
+}
+
+/// **E** — marching-cubes extraction of voxel buffers into triangle
+/// batches.
+pub struct ExtractFilter {
+    stage: ExtractStage,
+}
+
+impl ExtractFilter {
+    /// Build from shared config.
+    pub fn new(cfg: SharedConfig) -> Self {
+        ExtractFilter { stage: ExtractStage::new(cfg) }
+    }
+}
+
+impl Filter for ExtractFilter {
+    fn init(&mut self, _ctx: &mut FilterCtx) {
+        self.stage.reset();
+    }
+
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        while let Some(b) = ctx.read(0) {
+            let chunk = b.downcast::<ChunkPayload>();
+            self.stage.feed(ctx, chunk, write_tris);
+        }
+        self.stage.flush(ctx, write_tris);
+        Ok(())
+    }
+}
+
+/// **Ra** — transforms, projects, clips, shades, and resolves hidden
+/// surfaces with the configured algorithm. Under image partitioning the
+/// copy set owns one horizontal band of the screen.
+pub struct RasterFilter {
+    cfg: SharedConfig,
+    alg: Algorithm,
+    scissor: Option<(u32, u32)>,
+    stage: Option<RasterStage>,
+}
+
+impl RasterFilter {
+    /// Build for the given algorithm (image-replicated: every copy sees
+    /// the whole screen).
+    pub fn new(cfg: SharedConfig, alg: Algorithm) -> Self {
+        RasterFilter { cfg, alg, scissor: None, stage: None }
+    }
+
+    /// Build a copy owning only image rows `[band.0, band.1)`.
+    pub fn partitioned(cfg: SharedConfig, alg: Algorithm, band: (u32, u32)) -> Self {
+        RasterFilter { cfg, alg, scissor: Some(band), stage: None }
+    }
+}
+
+impl Filter for RasterFilter {
+    fn init(&mut self, _ctx: &mut FilterCtx) {
+        // The z-buffer / WPA is allocated in init, per the paper.
+        self.stage = Some(RasterStage::with_scissor(self.alg, &self.cfg, self.scissor));
+    }
+
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        let stage = self.stage.as_mut().expect("init ran");
+        while let Some(b) = ctx.read(0) {
+            let batch = b.downcast::<TriBatch>();
+            stage.feed(&self.cfg, ctx, batch, write_raout);
+        }
+        stage.finish(&self.cfg, ctx, write_raout);
+        Ok(())
+    }
+
+    fn finalize(&mut self, _ctx: &mut FilterCtx) {
+        self.stage = None;
+    }
+}
+
+/// **M** — composites partial results into the final image (always a
+/// single copy, per the paper).
+pub struct MergeFilter {
+    stage: Option<MergeStage>,
+    cfg: SharedConfig,
+    slot: ImageSlot,
+}
+
+impl MergeFilter {
+    /// The final image is deposited into `slot` at finalize.
+    pub fn new(cfg: SharedConfig, slot: ImageSlot) -> Self {
+        MergeFilter { stage: None, cfg, slot }
+    }
+}
+
+impl Filter for MergeFilter {
+    fn init(&mut self, _ctx: &mut FilterCtx) {
+        self.stage = Some(MergeStage::new(self.cfg.clone()));
+    }
+
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        let stage = self.stage.as_mut().expect("init ran");
+        while let Some(b) = ctx.read(0) {
+            let out = b.downcast::<RaOut>();
+            stage.feed(ctx, out);
+        }
+        Ok(())
+    }
+
+    fn finalize(&mut self, _ctx: &mut FilterCtx) {
+        if let Some(stage) = self.stage.take() {
+            self.slot.lock().push(stage.image());
+        }
+    }
+}
+
+/// **RE** — fused read + extract (the paper's best-performing grouping
+/// pairs this with separate `Ra`).
+pub struct ReadExtractFilter {
+    read: ReadStage,
+    extract: ExtractStage,
+}
+
+impl ReadExtractFilter {
+    /// `node_index` selects the storage node this copy serves.
+    pub fn new(cfg: SharedConfig, node_index: usize) -> Self {
+        ReadExtractFilter {
+            read: ReadStage { cfg: cfg.clone(), node_index },
+            extract: ExtractStage::new(cfg),
+        }
+    }
+}
+
+impl Filter for ReadExtractFilter {
+    fn init(&mut self, _ctx: &mut FilterCtx) {
+        self.extract.reset();
+    }
+
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        let extract = &mut self.extract;
+        self.read.run(ctx, |ctx, chunk| {
+            extract.feed(ctx, chunk, write_tris);
+        });
+        extract.flush(ctx, write_tris);
+        Ok(())
+    }
+}
+
+/// **REp** — read + extract with screen-space routing: each triangle batch
+/// is addressed (via targeted writes) to the raster copy set owning the
+/// image band it falls in. The image-partitioned configuration from the
+/// paper's §6 future work.
+pub struct PartitionedReadExtractFilter {
+    read: ReadStage,
+    extract: RoutedExtractStage,
+}
+
+impl PartitionedReadExtractFilter {
+    /// `node_index` selects the storage node; `bands` are the raster copy
+    /// sets' image bands, indexed by copy-set index.
+    pub fn new(cfg: SharedConfig, node_index: usize, bands: Vec<(u32, u32)>) -> Self {
+        PartitionedReadExtractFilter {
+            read: ReadStage { cfg: cfg.clone(), node_index },
+            extract: RoutedExtractStage::new(cfg, bands),
+        }
+    }
+}
+
+impl Filter for PartitionedReadExtractFilter {
+    fn init(&mut self, _ctx: &mut FilterCtx) {
+        self.extract.reset();
+    }
+
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        let extract = &mut self.extract;
+        let route = |ctx: &mut FilterCtx, band: usize, b: TriBatch| {
+            let wire = b.wire_bytes();
+            ctx.write_to(0, band, DataBuffer::new(b, wire));
+        };
+        self.read.run(ctx, |ctx, chunk| {
+            extract.feed(ctx, chunk, route);
+        });
+        extract.flush(ctx, route);
+        Ok(())
+    }
+}
+
+/// **ERa** — fused extract + raster.
+pub struct ExtractRasterFilter {
+    cfg: SharedConfig,
+    alg: Algorithm,
+    extract: ExtractStage,
+    raster: Option<RasterStage>,
+}
+
+impl ExtractRasterFilter {
+    /// Build for the given algorithm.
+    pub fn new(cfg: SharedConfig, alg: Algorithm) -> Self {
+        ExtractRasterFilter { extract: ExtractStage::new(cfg.clone()), cfg, alg, raster: None }
+    }
+}
+
+impl Filter for ExtractRasterFilter {
+    fn init(&mut self, _ctx: &mut FilterCtx) {
+        self.extract.reset();
+        self.raster = Some(RasterStage::new(self.alg, &self.cfg));
+    }
+
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        let raster = self.raster.as_mut().expect("init ran");
+        let extract = &mut self.extract;
+        let cfg = &self.cfg;
+        while let Some(b) = ctx.read(0) {
+            let chunk = b.downcast::<ChunkPayload>();
+            extract.feed(ctx, chunk, |ctx, tris| {
+                raster.feed(cfg, ctx, tris, write_raout);
+            });
+        }
+        extract.flush(ctx, |ctx, tris| {
+            raster.feed(cfg, ctx, tris, write_raout);
+        });
+        raster.finish(cfg, ctx, write_raout);
+        Ok(())
+    }
+}
+
+/// **RERa** — fully fused read + extract + raster (SPMD-like; only the
+/// merge remains separate).
+pub struct ReadExtractRasterFilter {
+    cfg: SharedConfig,
+    alg: Algorithm,
+    read: ReadStage,
+    extract: ExtractStage,
+    raster: Option<RasterStage>,
+}
+
+impl ReadExtractRasterFilter {
+    /// `node_index` selects the storage node this copy serves.
+    pub fn new(cfg: SharedConfig, alg: Algorithm, node_index: usize) -> Self {
+        ReadExtractRasterFilter {
+            read: ReadStage { cfg: cfg.clone(), node_index },
+            extract: ExtractStage::new(cfg.clone()),
+            cfg,
+            alg,
+            raster: None,
+        }
+    }
+}
+
+impl Filter for ReadExtractRasterFilter {
+    fn init(&mut self, _ctx: &mut FilterCtx) {
+        self.extract.reset();
+        self.raster = Some(RasterStage::new(self.alg, &self.cfg));
+    }
+
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        let raster = self.raster.as_mut().expect("init ran");
+        let extract = &mut self.extract;
+        let cfg = &self.cfg;
+        self.read.run(ctx, |ctx, chunk| {
+            extract.feed(ctx, chunk, |ctx, tris| {
+                raster.feed(cfg, ctx, tris, write_raout);
+            });
+        });
+        extract.flush(ctx, |ctx, tris| {
+            raster.feed(cfg, ctx, tris, write_raout);
+        });
+        raster.finish(cfg, ctx, write_raout);
+        Ok(())
+    }
+}

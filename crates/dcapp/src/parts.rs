@@ -1,0 +1,366 @@
+//! Composable stage logic shared between the isolated filters (R, E, Ra,
+//! M) and the fused groupings (RE, ERa, RERa). Each stage charges its
+//! compute cost to the host CPU via the filter context; fusing stages is
+//! then literally function composition, which is how the paper's grouped
+//! configurations behave.
+
+use datacutter::FilterCtx;
+use isosurf::{
+    merge_batch, raster_triangle, ActivePixelBuffer, Image, Triangle, WinningPixel, ZBuffer,
+    BACKGROUND, EMPTY_DEPTH,
+};
+
+use crate::config::{Algorithm, SharedConfig};
+use crate::payload::{ChunkPayload, RaOut, TriBatch};
+
+/// Reads this storage node's declustered chunks off its local disks.
+pub(crate) struct ReadStage {
+    pub cfg: SharedConfig,
+    pub node_index: usize,
+}
+
+impl ReadStage {
+    /// Stream every local chunk through `sink`, charging disk + CPU.
+    /// Chunks within a file are read sequentially (Hilbert order), so only
+    /// the first read of each file pays the full positioning overhead.
+    /// Unit of work `k` renders timestep `cfg.timestep + k` (wrapped to
+    /// the stored range), so a multi-UOW run browses consecutive
+    /// timesteps like the paper's experiments.
+    pub fn run(&self, ctx: &mut FilterCtx, mut sink: impl FnMut(&mut FilterCtx, ChunkPayload)) {
+        let timestep = (self.cfg.timestep + ctx.uow()) % volume::TIMESTEPS;
+        let selected = self.cfg.selected_chunks();
+        for (file, disk) in self.cfg.files_for_node(self.node_index) {
+            let mut sequential = false;
+            for &chunk in self.cfg.dataset.chunks_in_file(file) {
+                if !selected.contains(&chunk) {
+                    // Outside the range query: skipped chunks break the
+                    // sequential scan, so the next read re-seeks.
+                    sequential = false;
+                    continue;
+                }
+                let bytes = self.cfg.dataset.chunk_bytes(chunk);
+                ctx.disk_read(disk as usize, bytes, sequential);
+                sequential = true;
+                ctx.compute(self.cfg.cost.read_cost(bytes));
+                let info = self.cfg.dataset.chunk_info(chunk);
+                let grid = self.cfg.dataset.read_chunk(self.cfg.species, timestep, chunk);
+                sink(ctx, ChunkPayload { origin: info.cell_origin, grid });
+            }
+        }
+    }
+}
+
+/// Marching-cubes extraction with fixed-size triangle batching.
+pub(crate) struct ExtractStage {
+    pub cfg: SharedConfig,
+    pending: Vec<Triangle>,
+}
+
+impl ExtractStage {
+    pub fn new(cfg: SharedConfig) -> Self {
+        ExtractStage { pending: Vec::new(), cfg }
+    }
+
+    /// Drop any state from a previous unit of work (call from `init`).
+    pub fn reset(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Extract one chunk, emitting full batches through `sink`.
+    pub fn feed(
+        &mut self,
+        ctx: &mut FilterCtx,
+        chunk: ChunkPayload,
+        mut sink: impl FnMut(&mut FilterCtx, TriBatch),
+    ) {
+        let before = self.pending.len();
+        let stats = isosurf::extract(&chunk.grid, chunk.origin, self.cfg.iso, &mut self.pending);
+        let produced = self.pending.len() - before;
+        ctx.compute(self.cfg.cost.extract_cost(stats.cells, produced as u64));
+        while self.pending.len() >= self.cfg.tri_batch {
+            let batch: Vec<Triangle> = self.pending.drain(..self.cfg.tri_batch).collect();
+            sink(ctx, TriBatch { tris: batch });
+        }
+    }
+
+    /// Emit any partial batch (call at end-of-work).
+    pub fn flush(&mut self, ctx: &mut FilterCtx, mut sink: impl FnMut(&mut FilterCtx, TriBatch)) {
+        if !self.pending.is_empty() {
+            let batch: Vec<Triangle> = std::mem::take(&mut self.pending);
+            sink(ctx, TriBatch { tris: batch });
+        }
+    }
+}
+
+/// Hidden-surface removal: dense z-buffer or sparse active-pixel. An
+/// optional scissor restricts the stage to a horizontal band of the image
+/// (image-partitioned rendering, the paper's §6 alternative to
+/// image-replication).
+pub(crate) enum RasterStage {
+    Zb { zb: ZBuffer, scissor: Option<(u32, u32)> },
+    Ap { ap: ActivePixelBuffer, scissor: Option<(u32, u32)> },
+}
+
+impl RasterStage {
+    pub fn new(alg: Algorithm, cfg: &SharedConfig) -> Self {
+        Self::with_scissor(alg, cfg, None)
+    }
+
+    /// A stage that only owns image rows `[scissor.0, scissor.1)`.
+    pub fn with_scissor(alg: Algorithm, cfg: &SharedConfig, scissor: Option<(u32, u32)>) -> Self {
+        match alg {
+            Algorithm::ZBuffer => RasterStage::Zb {
+                zb: ZBuffer::new(cfg.camera.width, cfg.camera.height),
+                scissor,
+            },
+            Algorithm::ActivePixel => RasterStage::Ap {
+                ap: ActivePixelBuffer::new(cfg.camera.width, cfg.wpa_capacity),
+                scissor,
+            },
+        }
+    }
+
+    /// Rasterize one triangle batch. Under the active-pixel algorithm,
+    /// filled WPA batches flow out through `sink` immediately; under the
+    /// z-buffer algorithm nothing is emitted until [`finish`](Self::finish).
+    pub fn feed(
+        &mut self,
+        cfg: &SharedConfig,
+        ctx: &mut FilterCtx,
+        batch: TriBatch,
+        mut sink: impl FnMut(&mut FilterCtx, RaOut),
+    ) {
+        let proj = cfg.camera.projector();
+        let (w, h) = (cfg.camera.width, cfg.camera.height);
+        let mut pixels = 0u64;
+        match self {
+            RasterStage::Zb { zb, scissor } => {
+                let band = scissor.unwrap_or((0, h));
+                for t in &batch.tris {
+                    if let Some(p) = raster_triangle(&proj, w, h, &cfg.material, t, |x, y, d, rgb| {
+                        if y >= band.0 && y < band.1 {
+                            zb.plot(x, y, d, rgb);
+                        }
+                    }) {
+                        pixels += p;
+                    }
+                }
+                ctx.compute(cfg.cost.raster_cost(batch.tris.len() as u64, pixels));
+            }
+            RasterStage::Ap { ap, scissor } => {
+                let band = scissor.unwrap_or((0, h));
+                let mut flushed: Vec<Vec<WinningPixel>> = Vec::new();
+                {
+                    let mut on_flush = |b: Vec<WinningPixel>| flushed.push(b);
+                    for t in &batch.tris {
+                        if let Some(p) =
+                            raster_triangle(&proj, w, h, &cfg.material, t, |x, y, d, rgb| {
+                                if y >= band.0 && y < band.1 {
+                                    ap.plot(x, y, d, rgb, &mut on_flush);
+                                }
+                            })
+                        {
+                            pixels += p;
+                        }
+                    }
+                }
+                ctx.compute(cfg.cost.raster_cost(batch.tris.len() as u64, pixels));
+                for b in flushed {
+                    sink(ctx, RaOut::Wpa(b));
+                }
+            }
+        }
+    }
+
+    /// End-of-work: the z-buffer variant now ships its whole buffer in
+    /// fixed-size bands (the synchronization point the paper describes);
+    /// the active-pixel variant flushes its partial WPA.
+    pub fn finish(
+        &mut self,
+        cfg: &SharedConfig,
+        ctx: &mut FilterCtx,
+        mut sink: impl FnMut(&mut FilterCtx, RaOut),
+    ) {
+        match self {
+            RasterStage::Zb { zb, scissor } => {
+                // Only this stage's owned rows travel to the merge — the
+                // whole image under replication, just the band under
+                // partitioning.
+                let (owned_lo, owned_hi) = scissor.unwrap_or((0, zb.height));
+                let rows = cfg.band_rows();
+                let w = zb.width;
+                let mut y0 = owned_lo;
+                while y0 < owned_hi {
+                    let n = rows.min(owned_hi - y0);
+                    let a = (y0 * w) as usize;
+                    let b = ((y0 + n) * w) as usize;
+                    sink(
+                        ctx,
+                        RaOut::Band {
+                            y0,
+                            width: w,
+                            depth: zb.depth[a..b].to_vec(),
+                            color: zb.color[a..b].to_vec(),
+                        },
+                    );
+                    y0 += n;
+                }
+            }
+            RasterStage::Ap { ap, .. } => {
+                let mut flushed: Vec<Vec<WinningPixel>> = Vec::new();
+                ap.force_flush(&mut |b| flushed.push(b));
+                for b in flushed {
+                    sink(ctx, RaOut::Wpa(b));
+                }
+            }
+        }
+    }
+}
+
+/// Extraction with screen-space routing: triangles are batched per image
+/// band and handed to `sink(ctx, band_index, batch)`, for the
+/// image-partitioned configuration where each raster copy set owns a band.
+pub(crate) struct RoutedExtractStage {
+    pub cfg: SharedConfig,
+    proj: isosurf::Projector,
+    bands: Vec<(u32, u32)>,
+    pending: Vec<Vec<Triangle>>,
+    scratch: Vec<Triangle>,
+}
+
+impl RoutedExtractStage {
+    pub fn new(cfg: SharedConfig, bands: Vec<(u32, u32)>) -> Self {
+        let proj = cfg.camera.projector();
+        let pending = bands.iter().map(|_| Vec::new()).collect();
+        RoutedExtractStage { cfg, proj, bands, pending, scratch: Vec::new() }
+    }
+
+    /// Drop state from a previous unit of work.
+    pub fn reset(&mut self) {
+        for p in &mut self.pending {
+            p.clear();
+        }
+        self.scratch.clear();
+    }
+
+    /// Extract one chunk and route its triangles to the bands their screen
+    /// projection overlaps (a boundary triangle goes to every band it
+    /// touches; each receiving raster stage scissors to its own rows).
+    pub fn feed(
+        &mut self,
+        ctx: &mut FilterCtx,
+        chunk: ChunkPayload,
+        mut sink: impl FnMut(&mut FilterCtx, usize, TriBatch),
+    ) {
+        self.scratch.clear();
+        let stats =
+            isosurf::extract(&chunk.grid, chunk.origin, self.cfg.iso, &mut self.scratch);
+        ctx.compute(self.cfg.cost.extract_cost(stats.cells, self.scratch.len() as u64));
+        let h = self.cfg.camera.height as f32;
+        for t in &self.scratch {
+            // Screen y-range of the triangle; behind-camera triangles are
+            // dropped (the raster filter would reject them anyway).
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            let mut visible = true;
+            for v in &t.v {
+                match self.proj.project(*v) {
+                    Some(s) => {
+                        lo = lo.min(s.y);
+                        hi = hi.max(s.y);
+                    }
+                    None => {
+                        visible = false;
+                        break;
+                    }
+                }
+            }
+            if !visible || hi < 0.0 || lo >= h {
+                continue;
+            }
+            for (i, &(b0, b1)) in self.bands.iter().enumerate() {
+                if lo < b1 as f32 && hi >= b0 as f32 {
+                    self.pending[i].push(*t);
+                }
+            }
+        }
+        for i in 0..self.bands.len() {
+            while self.pending[i].len() >= self.cfg.tri_batch {
+                let batch: Vec<Triangle> = self.pending[i].drain(..self.cfg.tri_batch).collect();
+                sink(ctx, i, TriBatch { tris: batch });
+            }
+        }
+    }
+
+    /// Emit all partial batches (call at end-of-work).
+    pub fn flush(
+        &mut self,
+        ctx: &mut FilterCtx,
+        mut sink: impl FnMut(&mut FilterCtx, usize, TriBatch),
+    ) {
+        for i in 0..self.bands.len() {
+            if !self.pending[i].is_empty() {
+                let batch: Vec<Triangle> = std::mem::take(&mut self.pending[i]);
+                sink(ctx, i, TriBatch { tris: batch });
+            }
+        }
+    }
+}
+
+/// Split `height` rows into `n` equal horizontal bands.
+pub(crate) fn split_bands(height: u32, n: usize) -> Vec<(u32, u32)> {
+    assert!(n >= 1 && height as usize >= n);
+    let n32 = n as u32;
+    (0..n32)
+        .map(|i| {
+            let base = height / n32;
+            let rem = height % n32;
+            let extent = base + if i < rem { 1 } else { 0 };
+            let origin = i * base + i.min(rem);
+            (origin, origin + extent)
+        })
+        .collect()
+}
+
+/// The merge filter's accumulator: folds partial results into the final
+/// image. Handles both algorithms' payloads.
+pub(crate) struct MergeStage {
+    pub cfg: SharedConfig,
+    zb: ZBuffer,
+    /// Depth entries folded (metrics).
+    pub entries: u64,
+}
+
+impl MergeStage {
+    pub fn new(cfg: SharedConfig) -> Self {
+        let zb = ZBuffer::new(cfg.camera.width, cfg.camera.height);
+        MergeStage { cfg, zb, entries: 0 }
+    }
+
+    /// Fold one partial result.
+    pub fn feed(&mut self, ctx: &mut FilterCtx, out: RaOut) {
+        let entries = out.merge_entries();
+        match out {
+            RaOut::Band { y0, width, depth, color } => {
+                debug_assert_eq!(width, self.zb.width);
+                let base = (y0 * width) as usize;
+                for (i, (&d, &c)) in depth.iter().zip(color.iter()).enumerate() {
+                    if d != EMPTY_DEPTH {
+                        let idx = base + i;
+                        if d < self.zb.depth[idx] {
+                            self.zb.depth[idx] = d;
+                            self.zb.color[idx] = c;
+                        }
+                    }
+                }
+            }
+            RaOut::Wpa(batch) => merge_batch(&mut self.zb, &batch),
+        }
+        self.entries += entries;
+        ctx.compute(self.cfg.cost.merge_cost(entries));
+    }
+
+    /// Extract the final image.
+    pub fn image(&self) -> Image {
+        self.zb.to_image(BACKGROUND)
+    }
+}

@@ -1,0 +1,105 @@
+//! Stream payload types exchanged between the application filters, with
+//! their wire sizes.
+
+use isosurf::{Triangle, WinningPixel, TRIANGLE_WIRE_BYTES, WPA_ENTRY_WIRE_BYTES, ZBUF_ENTRY_WIRE_BYTES};
+use volume::RectGrid;
+
+/// R → E payload: one sub-volume of voxel data.
+pub struct ChunkPayload {
+    /// Global cell origin of the chunk (so extracted geometry lands in
+    /// world coordinates).
+    pub origin: (u32, u32, u32),
+    /// Point data (cells + 1 layer of points).
+    pub grid: RectGrid,
+}
+
+impl ChunkPayload {
+    /// Bytes this chunk occupies on the wire (header + f32 payload).
+    pub fn wire_bytes(&self) -> u64 {
+        12 + self.grid.dims.byte_size()
+    }
+}
+
+/// E → Ra payload: a batch of extracted triangles.
+pub struct TriBatch {
+    /// The triangles.
+    pub tris: Vec<Triangle>,
+}
+
+impl TriBatch {
+    /// Wire size of the batch.
+    pub fn wire_bytes(&self) -> u64 {
+        self.tris.len() as u64 * TRIANGLE_WIRE_BYTES
+    }
+}
+
+/// Ra → M payload: partial rendering results under either algorithm.
+pub enum RaOut {
+    /// A horizontal band of a dense z-buffer (z-buffer algorithm; sent
+    /// only after end-of-work).
+    Band {
+        /// First row of the band.
+        y0: u32,
+        /// Band width (= image width).
+        width: u32,
+        /// Per-pixel depth, row-major within the band.
+        depth: Vec<f32>,
+        /// Per-pixel color.
+        color: Vec<[u8; 3]>,
+    },
+    /// A batch of winning pixels (active-pixel algorithm; streamed
+    /// throughout processing).
+    Wpa(Vec<WinningPixel>),
+}
+
+impl RaOut {
+    /// Wire size of this message.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            RaOut::Band { depth, .. } => depth.len() as u64 * ZBUF_ENTRY_WIRE_BYTES,
+            RaOut::Wpa(v) => v.len() as u64 * WPA_ENTRY_WIRE_BYTES,
+        }
+    }
+
+    /// Number of depth entries the merge filter will fold.
+    pub fn merge_entries(&self) -> u64 {
+        match self {
+            RaOut::Band { depth, .. } => depth.len() as u64,
+            RaOut::Wpa(v) => v.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volume::Dims;
+
+    #[test]
+    fn chunk_wire_bytes() {
+        let p = ChunkPayload {
+            origin: (0, 0, 0),
+            grid: RectGrid::filled(Dims::new(3, 3, 3), 0.0),
+        };
+        assert_eq!(p.wire_bytes(), 12 + 27 * 4);
+    }
+
+    #[test]
+    fn tribatch_wire_bytes() {
+        let b = TriBatch { tris: vec![] };
+        assert_eq!(b.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn raout_sizes() {
+        let band = RaOut::Band { y0: 0, width: 4, depth: vec![0.0; 8], color: vec![[0; 3]; 8] };
+        assert_eq!(band.wire_bytes(), 8 * ZBUF_ENTRY_WIRE_BYTES);
+        assert_eq!(band.merge_entries(), 8);
+        let wpa = RaOut::Wpa(vec![
+            WinningPixel { x: 0, y: 0, depth: 1.0, rgb: [0, 0, 0] };
+            5
+        ]);
+        assert_eq!(wpa.wire_bytes(), 5 * WPA_ENTRY_WIRE_BYTES);
+        assert_eq!(wpa.merge_entries(), 5);
+    }
+}

@@ -1,0 +1,702 @@
+//! Deterministic discrete-event engine with thread-backed cooperative
+//! processes.
+//!
+//! Each simulated entity (a DataCutter filter copy, a disk server, a
+//! background-load generator, ...) runs as a real OS thread, but execution is
+//! *cooperative*: at any instant exactly one thread — either the engine or a
+//! single process — is running. A process advances virtual time by calling
+//! [`Env::delay`], and blocks on synchronization primitives built from
+//! [`Env::block`] / [`Env::wake`]. The engine orders wake-ups by
+//! `(virtual time, sequence number)`, so runs are fully deterministic:
+//! the same program produces the same event order and the same final clock
+//! on every execution.
+//!
+//! This is the "process-interaction" simulation style (SimPy, CSIM): the
+//! simulated code is ordinary imperative Rust that happens to sleep on a
+//! virtual clock instead of the wall clock.
+//!
+//! # Example
+//!
+//! ```
+//! use hetsim::{Simulation, SimDuration};
+//!
+//! let mut sim = Simulation::new();
+//! sim.spawn("worker", |env| {
+//!     env.delay(SimDuration::from_millis(10));
+//!     assert_eq!(env.now().as_nanos(), 10_000_000);
+//! });
+//! let stats = sim.run().unwrap();
+//! assert_eq!(stats.end_time.as_nanos(), 10_000_000);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a process within one [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub u32);
+
+/// Monotonic counter distinguishing successive blocking episodes of one
+/// process, so stale wake events are ignored.
+type Epoch = u64;
+
+/// Errors surfaced by [`Simulation::run`].
+#[derive(Debug)]
+pub enum SimError {
+    /// The event queue drained while processes were still blocked. The
+    /// payload lists the names of the stuck processes.
+    Deadlock(Vec<String>),
+    /// A process panicked; the payload carries the process name and, when
+    /// available, the panic message.
+    ProcessPanic {
+        /// Name of the panicking process.
+        process: String,
+        /// Panic message, when it was a string payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock(names) => {
+                write!(f, "simulation deadlock; blocked processes: {}", names.join(", "))
+            }
+            SimError::ProcessPanic { process, message } => {
+                write!(f, "process '{process}' panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary returned by a successful [`Simulation::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Virtual time when the last event was processed.
+    pub end_time: SimTime,
+    /// Number of wake events the engine dispatched.
+    pub events: u64,
+    /// Number of processes that ran to completion.
+    pub processes: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Spawned; first wake not yet granted.
+    Created,
+    /// Currently executing (at most one process at a time).
+    Running,
+    /// Parked awaiting a wake event carrying this epoch.
+    Blocked(Epoch),
+    /// Ran to completion (or unwound).
+    Finished,
+    /// Told to unwind at the next blocking point.
+    Cancelled,
+}
+
+struct Proc {
+    name: String,
+    status: Status,
+    epoch: Epoch,
+    cv: Arc<Condvar>,
+}
+
+#[derive(PartialEq, Eq)]
+struct EventKey {
+    time: SimTime,
+    seq: u64,
+    pid: ProcessId,
+    epoch: Epoch,
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Core {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<EventKey>>,
+    procs: Vec<Proc>,
+    running: Option<ProcessId>,
+    live: usize,
+    dispatched: u64,
+    completed: u32,
+    panic: Option<(String, String)>,
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    engine_cv: Condvar,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Sentinel panic payload used to unwind cancelled process threads without
+/// tripping the global panic hook.
+struct CancelToken;
+
+/// Handle given to each process; all interaction with the virtual clock and
+/// with other processes goes through it. Cheap to clone.
+#[derive(Clone)]
+pub struct Env {
+    pid: ProcessId,
+    shared: Arc<Shared>,
+}
+
+impl Env {
+    /// The calling process's id.
+    #[inline]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.core.lock().now
+    }
+
+    /// Advance this process's virtual clock by `d`, letting other
+    /// processes run in the meantime. Robust against stray [`Env::wake`]
+    /// calls: the full duration always elapses.
+    pub fn delay(&self, d: SimDuration) {
+        let target = {
+            let core = self.shared.core.lock();
+            core.now + d
+        };
+        loop {
+            let mut core = self.shared.core.lock();
+            if core.now >= target {
+                return;
+            }
+            self.schedule_self(&mut core, target);
+            self.yield_blocked(core);
+        }
+    }
+
+    /// Yield to any other process scheduled at the current instant, then
+    /// resume (still at the same virtual time).
+    pub fn yield_now(&self) {
+        let mut core = self.shared.core.lock();
+        let at = core.now;
+        self.schedule_self(&mut core, at);
+        self.yield_blocked(core);
+    }
+
+    /// Park the calling process until some other process calls
+    /// [`Env::wake`] for it. Building block for synchronization primitives;
+    /// application code normally uses channels or semaphores instead.
+    pub fn block(&self) {
+        let core = self.shared.core.lock();
+        self.yield_blocked(core);
+    }
+
+    /// Schedule a wake event (at the current instant) for `pid` if it is
+    /// blocked. Safe to call for a process that has already been woken by
+    /// another path: stale wakes are ignored via epochs. Returns `true` when
+    /// a wake was actually scheduled.
+    pub fn wake(&self, pid: ProcessId) -> bool {
+        let mut core = self.shared.core.lock();
+        wake_in(&mut core, pid)
+    }
+
+    /// Spawn a child process. It becomes runnable at the current virtual
+    /// time (after already-queued events at this instant).
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ProcessId
+    where
+        F: FnOnce(Env) + Send + 'static,
+    {
+        spawn_inner(&self.shared, name.into(), f)
+    }
+
+    /// A handle that can schedule wakes without being a process — used by
+    /// `Drop` impls of synchronization primitives.
+    pub fn waker(&self) -> Waker {
+        Waker { shared: self.shared.clone() }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn schedule_self(&self, core: &mut Core, at: SimTime) {
+        let seq = core.seq;
+        core.seq += 1;
+        let epoch = core.procs[self.pid.0 as usize].epoch;
+        core.events.push(Reverse(EventKey { time: at, seq, pid: self.pid, epoch }));
+    }
+
+    /// Mark self blocked, hand control to the engine, and wait to be granted
+    /// the CPU again. Must be entered with the core lock held.
+    fn yield_blocked(&self, mut core: parking_lot::MutexGuard<'_, Core>) {
+        let idx = self.pid.0 as usize;
+        let epoch = core.procs[idx].epoch;
+        core.procs[idx].status = Status::Blocked(epoch);
+        core.running = None;
+        self.shared.engine_cv.notify_one();
+        let cv = core.procs[idx].cv.clone();
+        loop {
+            match core.procs[idx].status {
+                Status::Running => return,
+                Status::Cancelled => {
+                    drop(core);
+                    resume_unwind(Box::new(CancelToken));
+                }
+                _ => cv.wait(&mut core),
+            }
+        }
+    }
+}
+
+/// Schedules wake events from contexts that are not themselves processes
+/// (e.g. `Drop` impls of channel endpoints held outside the simulation).
+#[derive(Clone)]
+pub struct Waker {
+    shared: Arc<Shared>,
+}
+
+impl Waker {
+    /// Wake `pid` at the current virtual instant if it is blocked.
+    pub fn wake(&self, pid: ProcessId) -> bool {
+        let mut core = self.shared.core.lock();
+        wake_in(&mut core, pid)
+    }
+}
+
+fn wake_in(core: &mut Core, pid: ProcessId) -> bool {
+    let idx = pid.0 as usize;
+    match core.procs[idx].status {
+        Status::Blocked(epoch) => {
+            let seq = core.seq;
+            core.seq += 1;
+            let time = core.now;
+            core.events.push(Reverse(EventKey { time, seq, pid, epoch }));
+            true
+        }
+        _ => false,
+    }
+}
+
+fn spawn_inner<F>(shared: &Arc<Shared>, name: String, f: F) -> ProcessId
+where
+    F: FnOnce(Env) + Send + 'static,
+{
+    let mut core = shared.core.lock();
+    let pid = ProcessId(core.procs.len() as u32);
+    let cv = Arc::new(Condvar::new());
+    core.procs.push(Proc { name, status: Status::Created, epoch: 0, cv });
+    core.live += 1;
+    // First wake, at the current instant.
+    let seq = core.seq;
+    core.seq += 1;
+    let time = core.now;
+    core.events.push(Reverse(EventKey { time, seq, pid, epoch: 0 }));
+    drop(core);
+
+    let env = Env { pid, shared: shared.clone() };
+    let shared2 = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("hetsim-{}", pid.0))
+        .spawn(move || {
+            // Wait until the engine grants the first slice.
+            {
+                let mut core = shared2.core.lock();
+                let idx = pid.0 as usize;
+                let cv = core.procs[idx].cv.clone();
+                loop {
+                    match core.procs[idx].status {
+                        Status::Running => break,
+                        Status::Cancelled => {
+                            finish(&shared2, &mut core, pid, None);
+                            return;
+                        }
+                        _ => cv.wait(&mut core),
+                    }
+                }
+            }
+            let env2 = env.clone();
+            let result = catch_unwind(AssertUnwindSafe(move || f(env2)));
+            let mut core = shared2.core.lock();
+            let panic_info = match result {
+                Ok(()) => None,
+                Err(payload) => {
+                    if payload.downcast_ref::<CancelToken>().is_some() {
+                        None
+                    } else {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                        Some(msg)
+                    }
+                }
+            };
+            finish(&shared2, &mut core, pid, panic_info);
+        })
+        .expect("failed to spawn simulation process thread");
+
+    // Engine joins these at teardown.
+    shared.handles.lock().push(handle);
+    pid
+}
+
+fn finish(shared: &Shared, core: &mut Core, pid: ProcessId, panic_info: Option<String>) {
+    let idx = pid.0 as usize;
+    if let Some(msg) = panic_info {
+        let name = core.procs[idx].name.clone();
+        core.panic.get_or_insert((name, msg));
+    }
+    if core.procs[idx].status != Status::Cancelled {
+        core.completed += 1;
+    }
+    core.procs[idx].status = Status::Finished;
+    core.live -= 1;
+    if core.running == Some(pid) {
+        core.running = None;
+    }
+    shared.engine_cv.notify_one();
+}
+
+/// The simulation: owns the event queue, the virtual clock, and all process
+/// threads. Construct, spawn root processes, then [`run`](Simulation::run).
+pub struct Simulation {
+    shared: Arc<Shared>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Create an empty simulation with the clock at zero.
+    pub fn new() -> Self {
+        Simulation {
+            shared: Arc::new(Shared {
+                core: Mutex::new(Core {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    events: BinaryHeap::new(),
+                    procs: Vec::new(),
+                    running: None,
+                    live: 0,
+                    dispatched: 0,
+                    completed: 0,
+                    panic: None,
+                }),
+                engine_cv: Condvar::new(),
+                handles: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Spawn a root process. See [`Env::spawn`] for spawning from within a
+    /// running process.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> ProcessId
+    where
+        F: FnOnce(Env) + Send + 'static,
+    {
+        spawn_inner(&self.shared, name.into(), f)
+    }
+
+    /// A [`Waker`] tied to this simulation, for constructing channels and
+    /// other primitives before the run starts.
+    pub fn waker(&self) -> Waker {
+        Waker { shared: self.shared.clone() }
+    }
+
+    /// Drive the simulation until every process has finished or the run
+    /// fails (deadlock / process panic).
+    pub fn run(&mut self) -> Result<RunStats, SimError> {
+        self.run_inner(None)
+    }
+
+    /// Like [`run`](Simulation::run), but additionally sleeps on the wall
+    /// clock so that `scale` wall-seconds pass per virtual second — useful
+    /// for watching an emulation in "real time". `scale = 0.0` is
+    /// equivalent to `run`.
+    pub fn run_throttled(&mut self, scale: f64) -> Result<RunStats, SimError> {
+        self.run_inner(Some(scale))
+    }
+
+    fn run_inner(&mut self, throttle: Option<f64>) -> Result<RunStats, SimError> {
+        loop {
+            let mut core = self.shared.core.lock();
+            if let Some((process, message)) = core.panic.take() {
+                drop(core);
+                self.cancel_all();
+                return Err(SimError::ProcessPanic { process, message });
+            }
+            let ev = loop {
+                match core.events.pop() {
+                    Some(Reverse(ev)) => {
+                        // Skip stale wakes (process moved on or finished).
+                        let p = &core.procs[ev.pid.0 as usize];
+                        let fresh = match p.status {
+                            Status::Blocked(epoch) => epoch == ev.epoch,
+                            Status::Created => ev.epoch == 0,
+                            _ => false,
+                        };
+                        if fresh {
+                            break Some(ev);
+                        }
+                    }
+                    None => break None,
+                }
+            };
+            let Some(ev) = ev else {
+                // Queue drained: success iff nobody is still blocked.
+                if core.live == 0 {
+                    return Ok(RunStats {
+                        end_time: core.now,
+                        events: core.dispatched,
+                        processes: core.completed,
+                    });
+                }
+                let blocked: Vec<String> = core
+                    .procs
+                    .iter()
+                    .filter(|p| matches!(p.status, Status::Blocked(_) | Status::Created))
+                    .map(|p| p.name.clone())
+                    .collect();
+                drop(core);
+                self.cancel_all();
+                return Err(SimError::Deadlock(blocked));
+            };
+
+            if let Some(scale) = throttle {
+                let delta = ev.time - core.now;
+                if !delta.is_zero() && scale > 0.0 {
+                    let wall = delta.as_secs_f64() * scale;
+                    drop(core);
+                    std::thread::sleep(std::time::Duration::from_secs_f64(wall));
+                    core = self.shared.core.lock();
+                }
+            }
+
+            core.now = ev.time;
+            core.dispatched += 1;
+            let idx = ev.pid.0 as usize;
+            core.procs[idx].status = Status::Running;
+            core.procs[idx].epoch += 1;
+            core.running = Some(ev.pid);
+            core.procs[idx].cv.notify_one();
+            // Wait for the granted process to block or finish.
+            while core.running.is_some() && core.panic.is_none() {
+                self.shared.engine_cv.wait(&mut core);
+            }
+        }
+    }
+
+    fn cancel_all(&self) {
+        let mut core = self.shared.core.lock();
+        for p in core.procs.iter_mut() {
+            match p.status {
+                Status::Finished => {}
+                _ => {
+                    p.status = Status::Cancelled;
+                    p.cv.notify_one();
+                }
+            }
+        }
+        drop(core);
+        let mut handles = self.shared.handles.lock();
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Current virtual time (mainly for assertions in tests).
+    pub fn now(&self) -> SimTime {
+        self.shared.core.lock().now
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        self.cancel_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_process_advances_clock() {
+        let mut sim = Simulation::new();
+        sim.spawn("p", |env| {
+            assert_eq!(env.now(), SimTime::ZERO);
+            env.delay(SimDuration::from_secs(3));
+            assert_eq!(env.now().as_secs_f64(), 3.0);
+        });
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.end_time.as_secs_f64(), 3.0);
+        assert_eq!(stats.processes, 1);
+    }
+
+    #[test]
+    fn processes_interleave_in_time_order() {
+        use std::sync::Mutex as StdMutex;
+        let log: Arc<StdMutex<Vec<(u64, &'static str)>>> = Arc::new(StdMutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        for (name, step) in [("a", 3u64), ("b", 5u64)] {
+            let log = log.clone();
+            sim.spawn(name, move |env| {
+                for _ in 0..3 {
+                    env.delay(SimDuration::from_millis(step));
+                    log.lock().unwrap().push((env.now().as_nanos() / 1_000_000, name));
+                }
+            });
+        }
+        sim.run().unwrap();
+        let got = log.lock().unwrap().clone();
+        assert_eq!(
+            got,
+            vec![(3, "a"), (5, "b"), (6, "a"), (9, "a"), (10, "b"), (15, "b")]
+        );
+    }
+
+    #[test]
+    fn spawn_from_within_process() {
+        let mut sim = Simulation::new();
+        sim.spawn("parent", |env| {
+            env.delay(SimDuration::from_millis(1));
+            env.spawn("child", |env| {
+                assert_eq!(env.now().as_nanos(), 1_000_000);
+                env.delay(SimDuration::from_millis(2));
+            });
+            env.delay(SimDuration::from_millis(5));
+        });
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.end_time.as_nanos(), 6_000_000);
+        assert_eq!(stats.processes, 2);
+    }
+
+    #[test]
+    fn block_and_wake_handshake() {
+        let mut sim = Simulation::new();
+        let mut pid_holder = None;
+        let waiter = sim.spawn("waiter", |env| {
+            env.block();
+            assert_eq!(env.now().as_nanos(), 7_000_000);
+        });
+        pid_holder.replace(waiter);
+        sim.spawn("waker", move |env| {
+            env.delay(SimDuration::from_millis(7));
+            assert!(env.wake(waiter));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut sim = Simulation::new();
+        sim.spawn("stuck", |env| {
+            env.block();
+        });
+        match sim.run() {
+            Err(SimError::Deadlock(names)) => assert_eq!(names, vec!["stuck".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn process_panic_is_reported() {
+        let mut sim = Simulation::new();
+        sim.spawn("bad", |_env| {
+            panic!("boom");
+        });
+        match sim.run() {
+            Err(SimError::ProcessPanic { process, message }) => {
+                assert_eq!(process, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_wakes_are_ignored() {
+        let mut sim = Simulation::new();
+        let sleeper = sim.spawn("sleeper", |env| {
+            // A stray wake mid-delay must not shorten the delay, and the
+            // delay's own (now stale) wake event must not double-resume.
+            env.delay(SimDuration::from_millis(2));
+            env.delay(SimDuration::from_millis(2));
+            assert_eq!(env.now().as_nanos(), 4_000_000);
+        });
+        sim.spawn("noisy", move |env| {
+            env.delay(SimDuration::from_millis(1));
+            env.wake(sleeper); // sleeper is mid-delay; wake arrives early
+        });
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.end_time.as_nanos(), 4_000_000);
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        use std::sync::Mutex as StdMutex;
+        let log: Arc<StdMutex<Vec<&'static str>>> = Arc::new(StdMutex::new(Vec::new()));
+        let mut sim = Simulation::new();
+        let l1 = log.clone();
+        sim.spawn("first", move |env| {
+            l1.lock().unwrap().push("first-before");
+            env.yield_now();
+            l1.lock().unwrap().push("first-after");
+        });
+        let l2 = log.clone();
+        sim.spawn("second", move |_env| {
+            l2.lock().unwrap().push("second");
+        });
+        sim.run().unwrap();
+        assert_eq!(*log.lock().unwrap(), vec!["first-before", "second", "first-after"]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn trace() -> Vec<(u64, u32)> {
+            use std::sync::Mutex as StdMutex;
+            let log: Arc<StdMutex<Vec<(u64, u32)>>> = Arc::new(StdMutex::new(Vec::new()));
+            let mut sim = Simulation::new();
+            for i in 0..8u32 {
+                let log = log.clone();
+                sim.spawn(format!("p{i}"), move |env| {
+                    for k in 0..5u64 {
+                        env.delay(SimDuration::from_nanos((i as u64 + 1) * 37 + k * 11));
+                        log.lock().unwrap().push((env.now().as_nanos(), i));
+                    }
+                });
+            }
+            sim.run().unwrap();
+            let v = log.lock().unwrap().clone();
+            v
+        }
+        assert_eq!(trace(), trace());
+    }
+
+    #[test]
+    fn drop_without_run_does_not_hang() {
+        let mut sim = Simulation::new();
+        sim.spawn("never-ran", |env| {
+            env.delay(SimDuration::from_secs(1));
+        });
+        drop(sim); // must cancel and join cleanly
+    }
+}

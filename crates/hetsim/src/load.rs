@@ -1,0 +1,154 @@
+//! Time-varying background load: the paper's third cause of heterogeneity
+//! — "shared resources can result in varying resource availability".
+//!
+//! A [`LoadProfile`] is a schedule of `(hold duration, background jobs)`
+//! steps; [`spawn_load_generator`] runs it against a host CPU as a
+//! simulation process, so the competing load *changes while the pipeline
+//! runs* (unlike the static `Cpu::set_bg_jobs`). Profiles can be built
+//! explicitly, as square waves, or pseudo-randomly from a seed (a small
+//! internal LCG keeps this crate dependency-free and runs deterministic).
+
+use crate::engine::{Env, Simulation};
+use crate::resources::Cpu;
+use crate::time::SimDuration;
+
+/// A schedule of background-job levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadProfile {
+    /// `(hold, jobs)` steps applied in order.
+    pub steps: Vec<(SimDuration, u32)>,
+}
+
+impl LoadProfile {
+    /// Constant load.
+    pub fn constant(jobs: u32) -> Self {
+        LoadProfile { steps: vec![(SimDuration::from_secs(3600), jobs)] }
+    }
+
+    /// A square wave alternating between `low` and `high` every `period`.
+    pub fn square(low: u32, high: u32, period: SimDuration, cycles: u32) -> Self {
+        let mut steps = Vec::with_capacity(cycles as usize * 2);
+        for _ in 0..cycles {
+            steps.push((period, low));
+            steps.push((period, high));
+        }
+        LoadProfile { steps }
+    }
+
+    /// A deterministic pseudo-random walk: `n_steps` steps of `step` each,
+    /// with job counts in `0..=max_jobs`, derived from `seed`.
+    pub fn random(seed: u64, max_jobs: u32, n_steps: u32, step: SimDuration) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let steps = (0..n_steps).map(|_| (step, lcg() % (max_jobs + 1))).collect();
+        LoadProfile { steps }
+    }
+
+    /// Total scheduled duration.
+    pub fn duration(&self) -> SimDuration {
+        self.steps.iter().fold(SimDuration::ZERO, |acc, &(d, _)| acc + d)
+    }
+
+    /// Peak job count.
+    pub fn peak(&self) -> u32 {
+        self.steps.iter().map(|&(_, j)| j).max().unwrap_or(0)
+    }
+}
+
+/// Drive `profile` against `cpu` from the calling process, then restore
+/// zero background load.
+pub fn drive_load(env: &Env, cpu: &Cpu, profile: &LoadProfile) {
+    for &(hold, jobs) in &profile.steps {
+        cpu.set_bg_jobs(jobs);
+        env.delay(hold);
+    }
+    cpu.set_bg_jobs(0);
+}
+
+/// Spawn a generator process applying `profile` to `cpu` (once; the host
+/// returns to zero background jobs afterwards).
+pub fn spawn_load_generator(sim: &mut Simulation, name: impl Into<String>, cpu: Cpu, profile: LoadProfile) {
+    sim.spawn(name, move |env| {
+        drive_load(&env, &cpu, &profile);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn square_wave_shape() {
+        let p = LoadProfile::square(0, 8, SimDuration::from_millis(10), 3);
+        assert_eq!(p.steps.len(), 6);
+        assert_eq!(p.peak(), 8);
+        assert_eq!(p.duration().as_nanos(), 60_000_000);
+    }
+
+    #[test]
+    fn random_profile_is_deterministic_and_bounded() {
+        let a = LoadProfile::random(7, 5, 20, SimDuration::from_millis(3));
+        let b = LoadProfile::random(7, 5, 20, SimDuration::from_millis(3));
+        assert_eq!(a, b);
+        assert!(a.peak() <= 5);
+        assert_ne!(a, LoadProfile::random(8, 5, 20, SimDuration::from_millis(3)));
+        // Not constant (with overwhelming probability for this seed).
+        let distinct: std::collections::HashSet<u32> =
+            a.steps.iter().map(|&(_, j)| j).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn generator_dilates_compute_in_phases() {
+        // Worker computes through a load spike: its second half slows.
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(1, 1.0);
+        // 50ms calm, then a long storm of 9 jobs.
+        let profile = LoadProfile {
+            steps: vec![
+                (SimDuration::from_millis(50), 0),
+                (SimDuration::from_secs(2), 9),
+            ],
+        };
+        spawn_load_generator(&mut sim, "storm", cpu.clone(), profile);
+        let end: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+        let e2 = end.clone();
+        let cpu2 = cpu.clone();
+        sim.spawn("worker", move |env| {
+            cpu2.compute(&env, SimDuration::from_millis(100));
+            *e2.lock() = env.now().as_secs_f64();
+        });
+        sim.run().unwrap();
+        let t = *end.lock();
+        // ~50ms at full speed + remaining ~50ms of work at 1/10 speed
+        // ≈ 550ms (quantized by the compute slice size).
+        assert!(
+            (0.4..0.7).contains(&t),
+            "worker should finish mid-storm around 0.55s, got {t}"
+        );
+        // Load generator restored calm.
+        assert_eq!(cpu.bg_jobs(), 0);
+    }
+
+    #[test]
+    fn constant_profile_matches_static_setting() {
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(1, 1.0);
+        let profile = LoadProfile::constant(3);
+        spawn_load_generator(&mut sim, "bg", cpu.clone(), profile);
+        let cpu2 = cpu.clone();
+        sim.spawn("worker", move |env| {
+            env.delay(SimDuration::from_millis(1)); // let the generator start
+            cpu2.compute(&env, SimDuration::from_millis(100));
+            // 4x dilation expected.
+            let t = env.now().as_secs_f64();
+            assert!((0.35..0.45).contains(&t), "{t}");
+        });
+        sim.run().unwrap();
+    }
+}

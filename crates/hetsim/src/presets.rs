@@ -1,0 +1,255 @@
+//! Topology presets modeling the University of Maryland testbed the paper
+//! ran on (Section 4):
+//!
+//! * **Red** — 8 × 2-processor Pentium II 450 MHz, 256 MB, 1 × 18 GB SCSI
+//!   disk, Gigabit Ethernet.
+//! * **Deathstar** — 1 × 8-processor Pentium III 550 MHz, 4 GB, connected
+//!   to the other clusters via Fast Ethernet.
+//! * **Blue** — 8 × 2-processor Pentium III 550 MHz, 1 GB, 2 × 18 GB SCSI
+//!   disks, Gigabit Ethernet.
+//! * **Rogue** — 8 × 1-processor Pentium III 650 MHz, 128 MB, 2 × 75 GB IDE
+//!   disks, Switched Fast Ethernet internally, Gigabit uplink.
+//!
+//! Speed factors are relative to the Rogue P3-650 core (1.0). The absolute
+//! values are estimates (the paper reports none); what matters for
+//! reproducing the result *shapes* is the ordering and rough ratios.
+
+use crate::time::SimDuration;
+use crate::topology::{ClusterId, ClusterSpec, HostId, HostSpec, Topology, TopologyBuilder};
+
+/// Bytes/second of Gigabit Ethernet after protocol overhead.
+pub const GIGABIT_BPS: f64 = 100.0e6;
+/// Bytes/second of switched Fast Ethernet (100 Mbit) after overhead.
+pub const FAST_ETHERNET_BPS: f64 = 11.5e6;
+
+/// Relative speed of a Pentium II 450 MHz core.
+pub const RED_SPEED: f64 = 0.55;
+/// Relative speed of a Pentium III 550 MHz core.
+pub const BLUE_SPEED: f64 = 0.85;
+/// Relative speed of a Pentium III 650 MHz core (reference).
+pub const ROGUE_SPEED: f64 = 1.0;
+
+/// ~2001-era SCSI disk sequential bandwidth.
+pub const SCSI_BPS: f64 = 30.0e6;
+/// ~2001-era IDE disk sequential bandwidth.
+pub const IDE_BPS: f64 = 25.0e6;
+
+/// The full UMD testbed with handles to each cluster's hosts.
+pub struct UmdTestbed {
+    /// The instantiated topology.
+    pub topology: Topology,
+    /// Red cluster id and its 8 hosts.
+    pub red: (ClusterId, Vec<HostId>),
+    /// Blue cluster id and its 8 hosts.
+    pub blue: (ClusterId, Vec<HostId>),
+    /// Rogue cluster id and its 8 hosts.
+    pub rogue: (ClusterId, Vec<HostId>),
+    /// Deathstar cluster id and its single 8-way host.
+    pub deathstar: (ClusterId, HostId),
+}
+
+fn red_host(i: usize) -> HostSpec {
+    HostSpec {
+        name: format!("red{i}"),
+        cores: 2,
+        speed: RED_SPEED,
+        mem_mb: 256,
+        disks: 1,
+        disk_bandwidth_bps: SCSI_BPS,
+        disk_seek: SimDuration::from_millis(6),
+    }
+}
+
+fn blue_host(i: usize) -> HostSpec {
+    HostSpec {
+        name: format!("blue{i}"),
+        cores: 2,
+        speed: BLUE_SPEED,
+        mem_mb: 1024,
+        disks: 2,
+        disk_bandwidth_bps: SCSI_BPS,
+        disk_seek: SimDuration::from_millis(6),
+    }
+}
+
+fn rogue_host(i: usize) -> HostSpec {
+    HostSpec {
+        name: format!("rogue{i}"),
+        cores: 1,
+        speed: ROGUE_SPEED,
+        mem_mb: 128,
+        disks: 2,
+        disk_bandwidth_bps: IDE_BPS,
+        disk_seek: SimDuration::from_millis(9),
+    }
+}
+
+fn deathstar_host() -> HostSpec {
+    HostSpec {
+        name: "deathstar".into(),
+        cores: 8,
+        speed: BLUE_SPEED,
+        mem_mb: 4096,
+        disks: 2,
+        disk_bandwidth_bps: SCSI_BPS,
+        disk_seek: SimDuration::from_millis(6),
+    }
+}
+
+/// Build the complete UMD testbed (25 hosts across 4 clusters).
+pub fn umd_testbed() -> UmdTestbed {
+    let mut b = TopologyBuilder::new();
+    let red = b.add_cluster(ClusterSpec {
+        name: "red".into(),
+        nic_bandwidth_bps: GIGABIT_BPS,
+        nic_latency: SimDuration::from_micros(60),
+    });
+    let blue = b.add_cluster(ClusterSpec {
+        name: "blue".into(),
+        nic_bandwidth_bps: GIGABIT_BPS,
+        nic_latency: SimDuration::from_micros(60),
+    });
+    let rogue = b.add_cluster(ClusterSpec {
+        name: "rogue".into(),
+        nic_bandwidth_bps: FAST_ETHERNET_BPS,
+        nic_latency: SimDuration::from_micros(90),
+    });
+    let deathstar = b.add_cluster(ClusterSpec {
+        name: "deathstar".into(),
+        nic_bandwidth_bps: FAST_ETHERNET_BPS,
+        nic_latency: SimDuration::from_micros(90),
+    });
+
+    let red_hosts: Vec<HostId> = (0..8).map(|i| b.add_host(red, red_host(i))).collect();
+    let blue_hosts: Vec<HostId> = (0..8).map(|i| b.add_host(blue, blue_host(i))).collect();
+    let rogue_hosts: Vec<HostId> = (0..8).map(|i| b.add_host(rogue, rogue_host(i))).collect();
+    let ds_host = b.add_host(deathstar, deathstar_host());
+
+    // Red, Blue, Rogue interconnected via Gigabit; Deathstar via Fast
+    // Ethernet to everything.
+    let gig = |b: &mut TopologyBuilder, a, c| {
+        b.connect_clusters(a, c, GIGABIT_BPS, SimDuration::from_micros(120));
+    };
+    gig(&mut b, red, blue);
+    gig(&mut b, red, rogue);
+    gig(&mut b, blue, rogue);
+    for c in [red, blue, rogue] {
+        b.connect_clusters(deathstar, c, FAST_ETHERNET_BPS, SimDuration::from_micros(150));
+    }
+
+    UmdTestbed {
+        topology: b.build(),
+        red: (red, red_hosts),
+        blue: (blue, blue_hosts),
+        rogue: (rogue, rogue_hosts),
+        deathstar: (deathstar, ds_host),
+    }
+}
+
+/// A standalone homogeneous Rogue-like cluster of `n` nodes (the setting of
+/// the paper's Figure 4 homogeneity experiment).
+pub fn rogue_cluster(n: usize) -> (Topology, Vec<HostId>) {
+    let mut b = TopologyBuilder::new();
+    let rogue = b.add_cluster(ClusterSpec {
+        name: "rogue".into(),
+        nic_bandwidth_bps: FAST_ETHERNET_BPS,
+        nic_latency: SimDuration::from_micros(90),
+    });
+    let hosts = (0..n).map(|i| b.add_host(rogue, rogue_host(i))).collect();
+    (b.build(), hosts)
+}
+
+/// Half-Rogue / half-Blue mix used by the paper's heterogeneity experiment
+/// (Figure 5): returns `(topology, rogue_hosts, blue_hosts)` with
+/// `n_each` hosts per cluster.
+pub fn rogue_blue_mix(n_each: usize) -> (Topology, Vec<HostId>, Vec<HostId>) {
+    let mut b = TopologyBuilder::new();
+    let rogue = b.add_cluster(ClusterSpec {
+        name: "rogue".into(),
+        nic_bandwidth_bps: FAST_ETHERNET_BPS,
+        nic_latency: SimDuration::from_micros(90),
+    });
+    let blue = b.add_cluster(ClusterSpec {
+        name: "blue".into(),
+        nic_bandwidth_bps: GIGABIT_BPS,
+        nic_latency: SimDuration::from_micros(60),
+    });
+    b.connect_clusters(rogue, blue, GIGABIT_BPS, SimDuration::from_micros(120));
+    let rogues = (0..n_each).map(|i| b.add_host(rogue, rogue_host(i))).collect();
+    let blues = (0..n_each).map(|i| b.add_host(blue, blue_host(i))).collect();
+    (b.build(), rogues, blues)
+}
+
+/// `n_red` 2-way Red data nodes plus the 8-way Deathstar compute node over
+/// its slow Fast-Ethernet uplink (the setting of the paper's Table 5).
+pub fn red_with_deathstar(n_red: usize) -> (Topology, Vec<HostId>, HostId) {
+    let mut b = TopologyBuilder::new();
+    let red = b.add_cluster(ClusterSpec {
+        name: "red".into(),
+        nic_bandwidth_bps: GIGABIT_BPS,
+        nic_latency: SimDuration::from_micros(60),
+    });
+    let deathstar = b.add_cluster(ClusterSpec {
+        name: "deathstar".into(),
+        nic_bandwidth_bps: FAST_ETHERNET_BPS,
+        nic_latency: SimDuration::from_micros(90),
+    });
+    b.connect_clusters(red, deathstar, FAST_ETHERNET_BPS, SimDuration::from_micros(150));
+    let reds = (0..n_red).map(|i| b.add_host(red, red_host(i))).collect();
+    let ds = b.add_host(deathstar, deathstar_host());
+    (b.build(), reds, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_has_25_hosts() {
+        let tb = umd_testbed();
+        assert_eq!(tb.topology.len(), 25);
+        assert_eq!(tb.red.1.len(), 8);
+        assert_eq!(tb.blue.1.len(), 8);
+        assert_eq!(tb.rogue.1.len(), 8);
+    }
+
+    #[test]
+    fn rogue_is_reference_speed_single_core() {
+        let tb = umd_testbed();
+        let h = tb.topology.host(tb.rogue.1[0]);
+        assert_eq!(h.cpu.cores(), 1);
+        assert_eq!(h.cpu.speed(), 1.0);
+        assert_eq!(h.disks.len(), 2);
+    }
+
+    #[test]
+    fn deathstar_is_8_way() {
+        let tb = umd_testbed();
+        let h = tb.topology.host(tb.deathstar.1);
+        assert_eq!(h.cpu.cores(), 8);
+    }
+
+    #[test]
+    fn blue_is_faster_than_red() {
+        assert!(BLUE_SPEED > RED_SPEED);
+        assert!(ROGUE_SPEED > BLUE_SPEED);
+    }
+
+    #[test]
+    fn mix_builder_shapes() {
+        let (topo, rogues, blues) = rogue_blue_mix(4);
+        assert_eq!(topo.len(), 8);
+        assert_eq!(rogues.len(), 4);
+        assert_eq!(blues.len(), 4);
+        // Cross-cluster path exists.
+        assert!(topo.path_cost_per_byte(rogues[0], blues[0]).is_finite());
+    }
+
+    #[test]
+    fn red_deathstar_uplink_is_slow() {
+        let (topo, reds, ds) = red_with_deathstar(2);
+        let intra = topo.path_cost_per_byte(reds[0], reds[1]);
+        let uplink = topo.path_cost_per_byte(reds[0], ds);
+        assert!(uplink > intra * 5.0, "uplink {uplink} intra {intra}");
+    }
+}

@@ -1,0 +1,422 @@
+//! Cost-charging resources: CPUs with processor-sharing contention, disks,
+//! and network links.
+//!
+//! Costs are expressed as *work* ([`SimDuration`] of dedicated time on a
+//! reference-speed core, or bytes moved) and converted to elapsed virtual
+//! time using each resource's parameters. All resources accumulate busy-time
+//! and byte counters for the experiment harnesses.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::Env;
+use crate::sync::Semaphore;
+use crate::time::SimDuration;
+
+/// A host CPU modeled as `cores` identical cores under processor sharing.
+///
+/// A computation of `w` work-seconds on a host with relative speed `s`
+/// elapses `w / s * max(1, (active + bg_jobs) / cores)` virtual seconds,
+/// re-evaluated every quantum so that load changes mid-computation take
+/// effect. `bg_jobs` models the paper's equal-priority background user
+/// processes: on Linux, `b` CPU-bound background jobs sharing `c` cores with
+/// `a` application threads give each thread roughly `c / (a + b)` of a core.
+#[derive(Clone)]
+pub struct Cpu {
+    inner: Arc<Mutex<CpuState>>,
+}
+
+struct CpuState {
+    cores: u32,
+    speed: f64,
+    bg_jobs: u32,
+    active: u32,
+    busy: SimDuration,
+    work_done: SimDuration,
+}
+
+/// How finely a computation is sliced so contention changes get picked up.
+const CPU_QUANTA: u64 = 16;
+
+impl Cpu {
+    /// A CPU with `cores` cores running at `speed` times the reference
+    /// speed. `speed` must be positive.
+    pub fn new(cores: u32, speed: f64) -> Self {
+        assert!(cores >= 1, "a host needs at least one core");
+        assert!(speed > 0.0, "speed factor must be positive");
+        Cpu {
+            inner: Arc::new(Mutex::new(CpuState {
+                cores,
+                speed,
+                bg_jobs: 0,
+                active: 0,
+                busy: SimDuration::ZERO,
+                work_done: SimDuration::ZERO,
+            })),
+        }
+    }
+
+    /// Set the number of equal-priority CPU-bound background jobs.
+    pub fn set_bg_jobs(&self, jobs: u32) {
+        self.inner.lock().bg_jobs = jobs;
+    }
+
+    /// Current number of background jobs.
+    pub fn bg_jobs(&self) -> u32 {
+        self.inner.lock().bg_jobs
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> u32 {
+        self.inner.lock().cores
+    }
+
+    /// Relative speed factor.
+    pub fn speed(&self) -> f64 {
+        self.inner.lock().speed
+    }
+
+    /// Execute `work` seconds of reference-speed computation, blocking the
+    /// calling process for the contention- and speed-adjusted elapsed time.
+    pub fn compute(&self, env: &Env, work: SimDuration) {
+        if work.is_zero() {
+            return;
+        }
+        {
+            let mut st = self.inner.lock();
+            st.active += 1;
+            st.work_done += work;
+        }
+        let quantum = std::cmp::max(work.as_nanos() / CPU_QUANTA, 1);
+        let mut remaining = work.as_nanos();
+        while remaining > 0 {
+            let slice = remaining.min(quantum);
+            let factor = {
+                let st = self.inner.lock();
+                let demand = (st.active + st.bg_jobs) as f64 / st.cores as f64;
+                demand.max(1.0) / st.speed
+            };
+            let elapsed = SimDuration::from_nanos(slice).mul_f64(factor);
+            env.delay(elapsed);
+            self.inner.lock().busy += elapsed;
+            remaining -= slice;
+        }
+        self.inner.lock().active -= 1;
+    }
+
+    /// Total virtual time application threads spent occupying this CPU.
+    pub fn busy_time(&self) -> SimDuration {
+        self.inner.lock().busy
+    }
+
+    /// Total reference-speed work charged to this CPU.
+    pub fn work_done(&self) -> SimDuration {
+        self.inner.lock().work_done
+    }
+}
+
+/// A disk with FIFO request service: each read pays a fixed positioning
+/// overhead plus bytes / bandwidth, one request at a time.
+#[derive(Clone)]
+pub struct Disk {
+    sem: Semaphore,
+    inner: Arc<Mutex<DiskState>>,
+}
+
+struct DiskState {
+    bandwidth_bps: f64,
+    seek: SimDuration,
+    bytes_read: u64,
+    reads: u64,
+    busy: SimDuration,
+}
+
+impl Disk {
+    /// A disk serving `bandwidth_bps` bytes per second with `seek`
+    /// positioning overhead per request.
+    pub fn new(bandwidth_bps: f64, seek: SimDuration) -> Self {
+        assert!(bandwidth_bps > 0.0, "disk bandwidth must be positive");
+        Disk {
+            sem: Semaphore::new(1),
+            inner: Arc::new(Mutex::new(DiskState {
+                bandwidth_bps,
+                seek,
+                bytes_read: 0,
+                reads: 0,
+                busy: SimDuration::ZERO,
+            })),
+        }
+    }
+
+    /// Read `bytes` from the disk, blocking for queueing + service time
+    /// (full positioning overhead — use for the first read of a file).
+    pub fn read(&self, env: &Env, bytes: u64) {
+        self.read_inner(env, bytes, 1.0);
+    }
+
+    /// Sequential continuation read: the head is already positioned, so
+    /// only a small fraction of the positioning overhead (rotational
+    /// settling, track switches) is charged.
+    pub fn read_seq(&self, env: &Env, bytes: u64) {
+        self.read_inner(env, bytes, 0.125);
+    }
+
+    fn read_inner(&self, env: &Env, bytes: u64, seek_frac: f64) {
+        self.sem.acquire(env);
+        let service = {
+            let st = self.inner.lock();
+            st.seek.mul_f64(seek_frac)
+                + SimDuration::from_secs_f64(bytes as f64 / st.bandwidth_bps)
+        };
+        env.delay(service);
+        {
+            let mut st = self.inner.lock();
+            st.bytes_read += bytes;
+            st.reads += 1;
+            st.busy += service;
+        }
+        self.sem.release(env);
+    }
+
+    /// Total bytes served.
+    pub fn bytes_read(&self) -> u64 {
+        self.inner.lock().bytes_read
+    }
+
+    /// Number of read requests served.
+    pub fn reads(&self) -> u64 {
+        self.inner.lock().reads
+    }
+
+    /// Accumulated service time.
+    pub fn busy_time(&self) -> SimDuration {
+        self.inner.lock().busy
+    }
+}
+
+/// A unidirectional network link with store-and-forward service: a transfer
+/// occupies the link for `bytes / bandwidth`, then the message experiences
+/// propagation `latency` off the link (pipelined with the next transfer).
+#[derive(Clone)]
+pub struct Link {
+    sem: Semaphore,
+    inner: Arc<Mutex<LinkState>>,
+}
+
+struct LinkState {
+    name: String,
+    bandwidth_bps: f64,
+    latency: SimDuration,
+    bytes: u64,
+    transfers: u64,
+    busy: SimDuration,
+}
+
+impl Link {
+    /// A link carrying `bandwidth_bps` bytes/second with `latency`
+    /// propagation delay.
+    pub fn new(name: impl Into<String>, bandwidth_bps: f64, latency: SimDuration) -> Self {
+        assert!(bandwidth_bps > 0.0, "link bandwidth must be positive");
+        Link {
+            sem: Semaphore::new(1),
+            inner: Arc::new(Mutex::new(LinkState {
+                name: name.into(),
+                bandwidth_bps,
+                latency,
+                bytes: 0,
+                transfers: 0,
+                busy: SimDuration::ZERO,
+            })),
+        }
+    }
+
+    /// Move `bytes` across the link, blocking for queueing, serialization,
+    /// and propagation.
+    pub fn transfer(&self, env: &Env, bytes: u64) {
+        self.sem.acquire(env);
+        let (serialize, latency) = {
+            let st = self.inner.lock();
+            (SimDuration::from_secs_f64(bytes as f64 / st.bandwidth_bps), st.latency)
+        };
+        env.delay(serialize);
+        {
+            let mut st = self.inner.lock();
+            st.bytes += bytes;
+            st.transfers += 1;
+            st.busy += serialize;
+        }
+        self.sem.release(env);
+        env.delay(latency);
+    }
+
+    /// Begin occupying the link as part of a multi-link route (see
+    /// `Topology::transfer`). Pair with [`occupy_end`](Self::occupy_end).
+    pub fn occupy_begin(&self, env: &Env) {
+        self.sem.acquire(env);
+    }
+
+    /// Finish a route occupancy started with
+    /// [`occupy_begin`](Self::occupy_begin), recording `bytes` moved during
+    /// `held` of occupancy and releasing the link.
+    pub fn occupy_end(&self, env: &Env, bytes: u64, held: SimDuration) {
+        {
+            let mut st = self.inner.lock();
+            st.bytes += bytes;
+            st.transfers += 1;
+            st.busy += held;
+        }
+        self.sem.release(env);
+    }
+
+    /// Configured propagation latency.
+    pub fn latency(&self) -> SimDuration {
+        self.inner.lock().latency
+    }
+
+    /// Link label (diagnostics).
+    pub fn name(&self) -> String {
+        self.inner.lock().name.clone()
+    }
+
+    /// Total bytes carried.
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    /// Number of transfers carried.
+    pub fn transfers(&self) -> u64 {
+        self.inner.lock().transfers
+    }
+
+    /// Accumulated serialization (occupancy) time.
+    pub fn busy_time(&self) -> SimDuration {
+        self.inner.lock().busy
+    }
+
+    /// Configured bandwidth in bytes/second.
+    pub fn bandwidth_bps(&self) -> f64 {
+        self.inner.lock().bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+
+    #[test]
+    fn cpu_uncontended_runs_at_speed() {
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(1, 2.0); // 2x reference speed
+        sim.spawn("t", move |env| {
+            cpu.compute(&env, SimDuration::from_secs(2));
+            assert_eq!(env.now().as_secs_f64(), 1.0);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn cpu_contention_slows_down() {
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(1, 1.0);
+        let ends: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2 {
+            let cpu = cpu.clone();
+            let ends = ends.clone();
+            sim.spawn(format!("t{i}"), move |env| {
+                cpu.compute(&env, SimDuration::from_secs(1));
+                ends.lock().push(env.now().as_secs_f64());
+            });
+        }
+        sim.run().unwrap();
+        // Two threads sharing one core: ~2s each rather than 1s.
+        for &t in ends.lock().iter() {
+            assert!((1.9..=2.1).contains(&t), "end {t}");
+        }
+    }
+
+    #[test]
+    fn cpu_multicore_no_contention() {
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(2, 1.0);
+        let ends: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2 {
+            let cpu = cpu.clone();
+            let ends = ends.clone();
+            sim.spawn(format!("t{i}"), move |env| {
+                cpu.compute(&env, SimDuration::from_secs(1));
+                ends.lock().push(env.now().as_secs_f64());
+            });
+        }
+        sim.run().unwrap();
+        for &t in ends.lock().iter() {
+            assert!((0.99..=1.01).contains(&t), "end {t}");
+        }
+    }
+
+    #[test]
+    fn cpu_background_jobs_steal_time() {
+        let mut sim = Simulation::new();
+        let cpu = Cpu::new(1, 1.0);
+        cpu.set_bg_jobs(3);
+        sim.spawn("t", move |env| {
+            cpu.compute(&env, SimDuration::from_secs(1));
+            // 1 app thread + 3 bg jobs on 1 core -> 4x dilation.
+            assert!((3.9..=4.1).contains(&env.now().as_secs_f64()));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn disk_serializes_requests() {
+        let mut sim = Simulation::new();
+        let disk = Disk::new(100.0, SimDuration::from_millis(10)); // 100 B/s
+        let ends: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2 {
+            let disk = disk.clone();
+            let ends = ends.clone();
+            sim.spawn(format!("r{i}"), move |env| {
+                disk.read(&env, 100); // 1s + 10ms seek
+                ends.lock().push(env.now().as_nanos() / 1_000_000);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*ends.lock(), vec![1010, 2020]);
+        assert_eq!(disk.bytes_read(), 200);
+        assert_eq!(disk.reads(), 2);
+    }
+
+    #[test]
+    fn link_charges_serialization_plus_latency() {
+        let mut sim = Simulation::new();
+        let link = Link::new("l", 1000.0, SimDuration::from_millis(5));
+        let l2 = link.clone();
+        sim.spawn("x", move |env| {
+            l2.transfer(&env, 500); // 0.5s + 5ms
+            assert_eq!(env.now().as_nanos(), 505_000_000);
+        });
+        sim.run().unwrap();
+        assert_eq!(link.bytes(), 500);
+        assert_eq!(link.transfers(), 1);
+    }
+
+    #[test]
+    fn link_latency_is_pipelined() {
+        // Two back-to-back transfers: second waits for serialization of the
+        // first, not its propagation.
+        let mut sim = Simulation::new();
+        let link = Link::new("l", 1000.0, SimDuration::from_millis(100));
+        let ends: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2 {
+            let link = link.clone();
+            let ends = ends.clone();
+            sim.spawn(format!("x{i}"), move |env| {
+                link.transfer(&env, 1000); // 1s serialize + 0.1s latency
+                ends.lock().push(env.now().as_nanos() / 1_000_000);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*ends.lock(), vec![1100, 2100]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Execution tracing: an opt-in recorder that collects a timeline of
+//! annotated spans from simulation processes, for debugging pipelines and
+//! producing Gantt-style activity reports.
+//!
+//! Processes call [`Trace::begin`]/[`Trace::end`] around interesting operations (the
+//! DataCutter runtime is instrumented this way when a trace is attached);
+//! after the run, [`Trace::timeline`] yields the ordered spans and
+//! [`Trace::busy_by_label`] aggregates them.
+//!
+//! ```
+//! use hetsim::{Simulation, SimDuration};
+//! use hetsim::trace::Trace;
+//!
+//! let mut sim = Simulation::new();
+//! let trace = Trace::new();
+//! let t = trace.clone();
+//! sim.spawn("worker", move |env| {
+//!     let s = t.begin(&env, "compute", "phase-1");
+//!     env.delay(SimDuration::from_millis(3));
+//!     t.end(&env, s);
+//! });
+//! sim.run().unwrap();
+//! let spans = trace.timeline();
+//! assert_eq!(spans.len(), 1);
+//! assert_eq!(spans[0].label, "compute");
+//! assert_eq!(spans[0].duration().as_nanos(), 3_000_000);
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::Env;
+use crate::time::{SimDuration, SimTime};
+
+/// One recorded activity span.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Recording process's name is not tracked (processes are app-level);
+    /// `label` categorizes the activity ("compute", "disk", "send", ...).
+    pub label: String,
+    /// Free-form detail ("chunk 17", "E->Ra buffer", ...).
+    pub detail: String,
+    /// Span start, virtual time.
+    pub start: SimTime,
+    /// Span end, virtual time.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// Length of the span.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// Handle for an open span (returned by [`Trace::begin`]).
+#[derive(Debug)]
+pub struct OpenSpan {
+    label: String,
+    detail: String,
+    start: SimTime,
+}
+
+/// A shared, append-only trace recorder. Cheap to clone. Bounded: beyond
+/// `capacity` spans, new spans are counted but dropped (the run never
+/// fails because tracing was left on).
+#[derive(Clone)]
+pub struct Trace {
+    inner: Arc<Mutex<TraceInner>>,
+}
+
+struct TraceInner {
+    spans: Vec<Span>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trace {
+    /// A recorder with the default capacity (1M spans).
+    pub fn new() -> Self {
+        Self::with_capacity(1 << 20)
+    }
+
+    /// A recorder bounded at `capacity` spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            inner: Arc::new(Mutex::new(TraceInner {
+                spans: Vec::new(),
+                capacity,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Open a span at the current virtual time.
+    pub fn begin(&self, env: &Env, label: impl Into<String>, detail: impl Into<String>) -> OpenSpan {
+        OpenSpan { label: label.into(), detail: detail.into(), start: env.now() }
+    }
+
+    /// Close a span at the current virtual time and record it.
+    pub fn end(&self, env: &Env, open: OpenSpan) {
+        let span = Span {
+            label: open.label,
+            detail: open.detail,
+            start: open.start,
+            end: env.now(),
+        };
+        let mut t = self.inner.lock();
+        if t.spans.len() < t.capacity {
+            t.spans.push(span);
+        } else {
+            t.dropped += 1;
+        }
+    }
+
+    /// Record an instantaneous marker.
+    pub fn mark(&self, env: &Env, label: impl Into<String>, detail: impl Into<String>) {
+        let open = self.begin(env, label, detail);
+        self.end(env, open);
+    }
+
+    /// All spans, ordered by start time.
+    pub fn timeline(&self) -> Vec<Span> {
+        let mut v = self.inner.lock().spans.clone();
+        v.sort_by_key(|s| (s.start, s.end));
+        v
+    }
+
+    /// Total recorded time per label, descending.
+    pub fn busy_by_label(&self) -> Vec<(String, SimDuration)> {
+        let mut map: std::collections::HashMap<String, SimDuration> =
+            std::collections::HashMap::new();
+        for s in self.inner.lock().spans.iter() {
+            *map.entry(s.label.clone()).or_insert(SimDuration::ZERO) += s.duration();
+        }
+        let mut v: Vec<_> = map.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of spans recorded / dropped.
+    pub fn counts(&self) -> (usize, u64) {
+        let t = self.inner.lock();
+        (t.spans.len(), t.dropped)
+    }
+
+    /// Render a simple text timeline (one line per span), for debugging.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in self.timeline() {
+            out.push_str(&format!(
+                "{:>12.6} .. {:>12.6}  {:<10} {}\n",
+                s.start.as_secs_f64(),
+                s.end.as_secs_f64(),
+                s.label,
+                s.detail
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+
+    #[test]
+    fn spans_record_virtual_time() {
+        let mut sim = Simulation::new();
+        let trace = Trace::new();
+        let t = trace.clone();
+        sim.spawn("p", move |env| {
+            env.delay(SimDuration::from_millis(5));
+            let s = t.begin(&env, "work", "step A");
+            env.delay(SimDuration::from_millis(10));
+            t.end(&env, s);
+            t.mark(&env, "event", "done");
+        });
+        sim.run().unwrap();
+        let spans = trace.timeline();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start.as_nanos(), 5_000_000);
+        assert_eq!(spans[0].duration().as_nanos(), 10_000_000);
+        assert_eq!(spans[1].duration(), SimDuration::ZERO);
+        assert!(trace.render().contains("step A"));
+    }
+
+    #[test]
+    fn busy_by_label_aggregates() {
+        let mut sim = Simulation::new();
+        let trace = Trace::new();
+        for i in 0..3u64 {
+            let t = trace.clone();
+            sim.spawn(format!("p{i}"), move |env| {
+                let s = t.begin(&env, "compute", "");
+                env.delay(SimDuration::from_millis(i + 1));
+                t.end(&env, s);
+                let s = t.begin(&env, "io", "");
+                env.delay(SimDuration::from_millis(1));
+                t.end(&env, s);
+            });
+        }
+        sim.run().unwrap();
+        let busy = trace.busy_by_label();
+        assert_eq!(busy[0].0, "compute");
+        assert_eq!(busy[0].1.as_nanos(), 6_000_000);
+        assert_eq!(busy[1].0, "io");
+        assert_eq!(busy[1].1.as_nanos(), 3_000_000);
+    }
+
+    #[test]
+    fn capacity_bound_drops_quietly() {
+        let mut sim = Simulation::new();
+        let trace = Trace::with_capacity(2);
+        let t = trace.clone();
+        sim.spawn("p", move |env| {
+            for i in 0..5 {
+                t.mark(&env, "m", format!("{i}"));
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(trace.counts(), (2, 3));
+    }
+
+    #[test]
+    fn timeline_is_sorted_across_processes() {
+        let mut sim = Simulation::new();
+        let trace = Trace::new();
+        for (name, offset) in [("late", 9u64), ("early", 1u64)] {
+            let t = trace.clone();
+            sim.spawn(name, move |env| {
+                env.delay(SimDuration::from_millis(offset));
+                t.mark(&env, name, "");
+            });
+        }
+        sim.run().unwrap();
+        let spans = trace.timeline();
+        assert_eq!(spans[0].label, "early");
+        assert_eq!(spans[1].label, "late");
+    }
+}

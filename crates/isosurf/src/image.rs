@@ -1,0 +1,97 @@
+//! RGB images and PPM output.
+
+/// A simple row-major RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major RGB data.
+    pub data: Vec<[u8; 3]>,
+}
+
+impl Image {
+    /// A solid-color image.
+    pub fn new(width: u32, height: u32, fill: [u8; 3]) -> Self {
+        Image { width, height, data: vec![fill; width as usize * height as usize] }
+    }
+
+    /// Pixel at `(x, y)`.
+    #[inline]
+    pub fn at(&self, x: u32, y: u32) -> [u8; 3] {
+        self.data[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Set pixel at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, rgb: [u8; 3]) {
+        let w = self.width as usize;
+        self.data[y as usize * w + x as usize] = rgb;
+    }
+
+    /// Number of pixels differing from `other` (same size required).
+    pub fn diff_pixels(&self, other: &Image) -> u64 {
+        assert_eq!((self.width, self.height), (other.width, other.height), "size mismatch");
+        self.data.iter().zip(&other.data).filter(|(a, b)| a != b).count() as u64
+    }
+
+    /// Number of pixels not equal to `background`.
+    pub fn coverage(&self, background: [u8; 3]) -> u64 {
+        self.data.iter().filter(|&&p| p != background).count() as u64
+    }
+
+    /// Encode as binary PPM (P6).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.reserve(self.data.len() * 3);
+        for px in &self.data {
+            out.extend_from_slice(px);
+        }
+        out
+    }
+
+    /// Write a PPM file.
+    pub fn save_ppm(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_ppm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut img = Image::new(4, 3, [0, 0, 0]);
+        img.set(2, 1, [10, 20, 30]);
+        assert_eq!(img.at(2, 1), [10, 20, 30]);
+        assert_eq!(img.at(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn diff_counts_changed_pixels() {
+        let a = Image::new(2, 2, [0, 0, 0]);
+        let mut b = a.clone();
+        assert_eq!(a.diff_pixels(&b), 0);
+        b.set(0, 0, [1, 1, 1]);
+        b.set(1, 1, [2, 2, 2]);
+        assert_eq!(a.diff_pixels(&b), 2);
+    }
+
+    #[test]
+    fn coverage_ignores_background() {
+        let mut img = Image::new(2, 2, [9, 9, 9]);
+        assert_eq!(img.coverage([9, 9, 9]), 0);
+        img.set(0, 1, [1, 2, 3]);
+        assert_eq!(img.coverage([9, 9, 9]), 1);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Image::new(3, 2, [1, 2, 3]);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 18);
+    }
+}

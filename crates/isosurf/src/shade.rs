@@ -1,0 +1,88 @@
+//! Flat shading of extracted triangles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::{vec3, Vec3};
+
+/// Surface appearance: base color plus simple directional lighting.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Material {
+    /// Base color, 0..=255 RGB.
+    pub base: [u8; 3],
+    /// Ambient term in `[0, 1]`.
+    pub ambient: f32,
+    /// Diffuse term in `[0, 1]`.
+    pub diffuse: f32,
+    /// Unit light direction (from surface toward the light).
+    pub light: Vec3,
+}
+
+impl Default for Material {
+    fn default() -> Self {
+        Material {
+            base: [220, 120, 60],
+            ambient: 0.25,
+            diffuse: 0.75,
+            light: vec3(0.5, 0.7, 0.6).normalized(),
+        }
+    }
+}
+
+/// Per-species materials mirroring the four ParSSim chemical species.
+pub fn species_material(species: u32) -> Material {
+    let base = match species % 4 {
+        0 => [220, 120, 60],  // oxide orange
+        1 => [70, 140, 220],  // solute blue
+        2 => [90, 200, 110],  // biomass green
+        _ => [200, 90, 200],  // tracer magenta
+    };
+    Material { base, ..Material::default() }
+}
+
+/// Lambertian flat shade of a face with unit normal `n` (two-sided).
+pub fn shade(m: &Material, n: Vec3) -> [u8; 3] {
+    let lambert = n.dot(m.light).abs();
+    let k = (m.ambient + m.diffuse * lambert).clamp(0.0, 1.0);
+    [
+        (m.base[0] as f32 * k) as u8,
+        (m.base[1] as f32 * k) as u8,
+        (m.base[2] as f32 * k) as u8,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facing_light_is_brightest() {
+        let m = Material::default();
+        let facing = shade(&m, m.light);
+        let edge_on = shade(&m, vec3(m.light.y, -m.light.x, 0.0).normalized());
+        assert!(facing[0] > edge_on[0]);
+    }
+
+    #[test]
+    fn shading_is_two_sided() {
+        let m = Material::default();
+        assert_eq!(shade(&m, m.light), shade(&m, -m.light));
+    }
+
+    #[test]
+    fn ambient_floor_is_respected() {
+        let m = Material::default();
+        let dark = shade(&m, vec3(m.light.y, -m.light.x, 0.0).normalized());
+        assert!(dark[0] as f32 >= m.base[0] as f32 * m.ambient - 1.0);
+    }
+
+    #[test]
+    fn species_materials_differ() {
+        let colors: Vec<[u8; 3]> = (0..4).map(|s| species_material(s).base).collect();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert_ne!(colors[i], colors[j]);
+            }
+        }
+        assert_eq!(species_material(5).base, species_material(1).base);
+    }
+}

@@ -1,0 +1,224 @@
+//! Hilbert-curve declustering of chunks across data files, and placement
+//! of data files onto cluster disks.
+//!
+//! Following Faloutsos & Bhagwat (the algorithm the paper cites), chunks
+//! are sorted by the Hilbert index of their lattice coordinate and striped
+//! round-robin across `n_files` files. Spatially close chunks land in
+//! different files, so a contiguous range query hits many files — and,
+//! once files are spread over hosts/disks, many spindles in parallel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chunks::{ChunkId, ChunkLayout};
+use crate::hilbert::hilbert_index;
+
+/// Identifies a data file within one declustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+/// Assignment of every chunk to a data file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Declustering {
+    /// Number of data files.
+    pub n_files: u32,
+    /// `file_of_chunk[chunk.0]` is the owning file.
+    pub file_of_chunk: Vec<FileId>,
+    /// Chunks in each file, in Hilbert-curve order.
+    pub chunks_of_file: Vec<Vec<ChunkId>>,
+}
+
+/// Decluster `layout`'s chunks across `n_files` files (the paper uses 64).
+pub fn hilbert_decluster(layout: &ChunkLayout, n_files: u32) -> Declustering {
+    assert!(n_files >= 1);
+    let (cx, cy, cz) = layout.chunks;
+    let max_side = cx.max(cy).max(cz);
+    let bits = (32 - (max_side - 1).leading_zeros()).max(1);
+
+    let mut order: Vec<(u64, ChunkId)> = (0..layout.count())
+        .map(|i| {
+            let id = ChunkId(i);
+            let (x, y, z) = layout.coord(id);
+            (hilbert_index([x, y, z], bits), id)
+        })
+        .collect();
+    order.sort_unstable();
+
+    let mut file_of_chunk = vec![FileId(0); layout.count() as usize];
+    let mut chunks_of_file: Vec<Vec<ChunkId>> = vec![Vec::new(); n_files as usize];
+    for (pos, (_, id)) in order.into_iter().enumerate() {
+        let f = FileId((pos as u32) % n_files);
+        file_of_chunk[id.0 as usize] = f;
+        chunks_of_file[f.0 as usize].push(id);
+    }
+    Declustering { n_files, file_of_chunk, chunks_of_file }
+}
+
+/// Placement of data files onto `(host, disk)` pairs. Host indices here
+/// are *storage node indices* (0-based within the set of data-holding
+/// nodes); callers map them to topology host ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FilePlacement {
+    /// `location_of_file[file.0] = (node_index, disk_index)`.
+    pub location_of_file: Vec<(u32, u32)>,
+    /// Number of storage nodes.
+    pub n_nodes: u32,
+}
+
+impl FilePlacement {
+    /// Spread files round-robin across `n_nodes` nodes with
+    /// `disks_per_node` disks each — the paper's "balanced" placement.
+    pub fn balanced(n_files: u32, n_nodes: u32, disks_per_node: u32) -> Self {
+        assert!(n_nodes >= 1 && disks_per_node >= 1);
+        let location_of_file = (0..n_files)
+            .map(|f| {
+                let node = f % n_nodes;
+                let disk = (f / n_nodes) % disks_per_node;
+                (node, disk)
+            })
+            .collect();
+        FilePlacement { location_of_file, n_nodes }
+    }
+
+    /// The paper's skewed placement (Section 4.5): start balanced over
+    /// `n_nodes`, then move `percent`% of the files owned by nodes in
+    /// `from_nodes` onto `to_nodes` (distributed evenly). Models datasets
+    /// that could not be placed evenly because of space constraints.
+    pub fn skewed(
+        n_files: u32,
+        n_nodes: u32,
+        disks_per_node: u32,
+        from_nodes: &[u32],
+        to_nodes: &[u32],
+        percent: u32,
+    ) -> Self {
+        assert!(percent <= 100);
+        let mut p = Self::balanced(n_files, n_nodes, disks_per_node);
+        let movable: Vec<u32> = (0..n_files)
+            .filter(|&f| from_nodes.contains(&p.location_of_file[f as usize].0))
+            .collect();
+        let to_move = (movable.len() as u64 * percent as u64 / 100) as usize;
+        for (i, &f) in movable.iter().take(to_move).enumerate() {
+            let node = to_nodes[i % to_nodes.len()];
+            let disk = (i as u32 / to_nodes.len() as u32) % disks_per_node;
+            p.location_of_file[f as usize] = (node, disk);
+        }
+        p
+    }
+
+    /// Number of files stored on each node.
+    pub fn files_per_node(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_nodes as usize];
+        for &(node, _) in &self.location_of_file {
+            counts[node as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Dims;
+
+    fn layout_64() -> ChunkLayout {
+        ChunkLayout::new(Dims::new(17, 17, 17), (4, 4, 4))
+    }
+
+    #[test]
+    fn every_chunk_gets_a_file() {
+        let l = layout_64();
+        let d = hilbert_decluster(&l, 8);
+        assert_eq!(d.file_of_chunk.len(), 64);
+        let total: usize = d.chunks_of_file.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn files_are_balanced() {
+        let l = layout_64();
+        let d = hilbert_decluster(&l, 8);
+        for f in &d.chunks_of_file {
+            assert_eq!(f.len(), 8);
+        }
+    }
+
+    #[test]
+    fn mapping_is_consistent() {
+        let l = layout_64();
+        let d = hilbert_decluster(&l, 7); // uneven divisor
+        for (i, &f) in d.file_of_chunk.iter().enumerate() {
+            assert!(d.chunks_of_file[f.0 as usize].contains(&ChunkId(i as u32)));
+        }
+    }
+
+    #[test]
+    fn adjacent_chunks_usually_differ_in_file() {
+        // Hilbert striping sends curve-adjacent (hence space-adjacent)
+        // chunks to different files.
+        let l = layout_64();
+        let d = hilbert_decluster(&l, 8);
+        let mut same = 0;
+        let mut pairs = 0;
+        for z in 0..4u32 {
+            for y in 0..4u32 {
+                for x in 0..3u32 {
+                    let a = d.file_of_chunk[l.id_at((x, y, z)).0 as usize];
+                    let b = d.file_of_chunk[l.id_at((x + 1, y, z)).0 as usize];
+                    pairs += 1;
+                    if a == b {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        assert!(same * 4 < pairs, "too many x-neighbours share a file: {same}/{pairs}");
+    }
+
+    #[test]
+    fn non_power_of_two_lattice() {
+        let l = ChunkLayout::new(Dims::new(13, 10, 7), (3, 3, 2));
+        let d = hilbert_decluster(&l, 4);
+        assert_eq!(d.file_of_chunk.len(), 18);
+        let total: usize = d.chunks_of_file.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 18);
+    }
+
+    #[test]
+    fn balanced_placement_spreads_files() {
+        let p = FilePlacement::balanced(64, 4, 2);
+        assert_eq!(p.files_per_node(), vec![16, 16, 16, 16]);
+        // Both disks used on node 0.
+        let disks: std::collections::HashSet<u32> = p
+            .location_of_file
+            .iter()
+            .filter(|(n, _)| *n == 0)
+            .map(|&(_, d)| d)
+            .collect();
+        assert_eq!(disks.len(), 2);
+    }
+
+    #[test]
+    fn skewed_placement_moves_percentage() {
+        // 4 nodes; move 50% of files on nodes {0,1} to nodes {2,3}.
+        let p = FilePlacement::skewed(64, 4, 2, &[0, 1], &[2, 3], 50);
+        let counts = p.files_per_node();
+        assert_eq!(counts[0] + counts[1], 16);
+        assert_eq!(counts[2] + counts[3], 48);
+    }
+
+    #[test]
+    fn skewed_zero_percent_is_balanced() {
+        let a = FilePlacement::balanced(64, 4, 2);
+        let b = FilePlacement::skewed(64, 4, 2, &[0, 1], &[2, 3], 0);
+        assert_eq!(a.location_of_file, b.location_of_file);
+    }
+
+    #[test]
+    fn skewed_hundred_percent_empties_sources() {
+        let p = FilePlacement::skewed(64, 4, 2, &[0, 1], &[2, 3], 100);
+        let counts = p.files_per_node();
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[2] + counts[3], 64);
+    }
+}

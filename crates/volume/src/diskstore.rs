@@ -1,0 +1,280 @@
+//! On-disk dataset storage: the declustered data files as real files.
+//!
+//! The in-memory [`crate::Dataset`] regenerates fields on demand — ideal
+//! for deterministic experiments. This module materializes a dataset the
+//! way the paper stored it: one binary file per declustering bucket (the
+//! paper uses 64), each holding its chunks in Hilbert order, so a library
+//! user can stage data once and stream it back without the generator.
+//!
+//! File format (little endian):
+//!
+//! ```text
+//! magic "DCVF" | u32 version | u32 n_records
+//! repeated records: u32 chunk_id | u32 payload_len | payload (encode_chunk)
+//! ```
+//!
+//! A `manifest.dcm` file records the grid dims, chunk lattice, and file
+//! count so a store can be opened without out-of-band information.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::chunks::{ChunkId, ChunkLayout};
+use crate::decluster::FileId;
+use crate::grid::{Dims, RectGrid};
+use crate::store::{decode_chunk, encode_chunk, Dataset};
+
+const FILE_MAGIC: &[u8; 4] = b"DCVF";
+const MANIFEST_MAGIC: &[u8; 4] = b"DCVM";
+const VERSION: u32 = 1;
+
+/// A dataset materialized as data files in a directory.
+pub struct DiskStore {
+    dir: PathBuf,
+    layout: ChunkLayout,
+    n_files: u32,
+    /// Chunk ids per file, in record order.
+    chunks_of_file: Vec<Vec<ChunkId>>,
+}
+
+fn file_path(dir: &Path, file: FileId) -> PathBuf {
+    dir.join(format!("data_{:03}.dcvf", file.0))
+}
+
+/// Write one timestep of one species of `dataset` into `dir` as
+/// declustered data files plus a manifest. Returns the opened store.
+pub fn write_dataset(
+    dir: impl AsRef<Path>,
+    dataset: &Dataset,
+    species: u32,
+    timestep: u32,
+) -> io::Result<DiskStore> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    let layout = *dataset.layout();
+    let n_files = dataset.declustering().n_files;
+
+    // Manifest.
+    {
+        let mut m = Vec::new();
+        m.extend_from_slice(MANIFEST_MAGIC);
+        m.extend_from_slice(&VERSION.to_le_bytes());
+        for v in [
+            layout.grid.nx,
+            layout.grid.ny,
+            layout.grid.nz,
+            layout.chunks.0,
+            layout.chunks.1,
+            layout.chunks.2,
+            n_files,
+        ] {
+            m.extend_from_slice(&v.to_le_bytes());
+        }
+        fs::write(dir.join("manifest.dcm"), m)?;
+    }
+
+    let mut chunks_of_file = Vec::with_capacity(n_files as usize);
+    for f in 0..n_files {
+        let file = FileId(f);
+        let ids = dataset.chunks_in_file(file).to_vec();
+        let mut out = Vec::new();
+        out.extend_from_slice(FILE_MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+        for &id in &ids {
+            let payload = encode_chunk(&dataset.read_chunk(species, timestep, id));
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        let mut fh = fs::File::create(file_path(dir, file))?;
+        fh.write_all(&out)?;
+        chunks_of_file.push(ids);
+    }
+    Ok(DiskStore { dir: dir.to_path_buf(), layout, n_files, chunks_of_file })
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl DiskStore {
+    /// Open a store previously written by [`write_dataset`].
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<DiskStore> {
+        let dir = dir.as_ref().to_path_buf();
+        let m = fs::read(dir.join("manifest.dcm"))?;
+        if m.len() < 8 + 7 * 4 || &m[0..4] != MANIFEST_MAGIC {
+            return Err(bad("bad manifest"));
+        }
+        let word = |i: usize| -> u32 {
+            u32::from_le_bytes(m[8 + i * 4..12 + i * 4].try_into().expect("length checked"))
+        };
+        let layout = ChunkLayout::new(
+            Dims::new(word(0), word(1), word(2)),
+            (word(3), word(4), word(5)),
+        );
+        let n_files = word(6);
+
+        let mut chunks_of_file = Vec::with_capacity(n_files as usize);
+        for f in 0..n_files {
+            let mut fh = fs::File::open(file_path(&dir, FileId(f)))?;
+            let mut header = [0u8; 12];
+            fh.read_exact(&mut header)?;
+            if &header[0..4] != FILE_MAGIC {
+                return Err(bad("bad data file magic"));
+            }
+            let n_records =
+                u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
+            let mut ids = Vec::with_capacity(n_records as usize);
+            let mut rec = [0u8; 8];
+            for _ in 0..n_records {
+                fh.read_exact(&mut rec)?;
+                let id = u32::from_le_bytes(rec[0..4].try_into().expect("fixed"));
+                let len = u32::from_le_bytes(rec[4..8].try_into().expect("fixed"));
+                ids.push(ChunkId(id));
+                // Skip the payload.
+                io::copy(&mut Read::by_ref(&mut fh).take(len as u64), &mut io::sink())?;
+            }
+            chunks_of_file.push(ids);
+        }
+        Ok(DiskStore { dir, layout, n_files, chunks_of_file })
+    }
+
+    /// The chunk layout.
+    pub fn layout(&self) -> &ChunkLayout {
+        &self.layout
+    }
+
+    /// Number of data files.
+    pub fn n_files(&self) -> u32 {
+        self.n_files
+    }
+
+    /// Chunks stored in `file`, in record order.
+    pub fn chunks_in_file(&self, file: FileId) -> &[ChunkId] {
+        &self.chunks_of_file[file.0 as usize]
+    }
+
+    /// Read one chunk's point data back from its data file.
+    pub fn read_chunk(&self, file: FileId, chunk: ChunkId) -> io::Result<RectGrid> {
+        let mut fh = fs::File::open(file_path(&self.dir, file))?;
+        let mut header = [0u8; 12];
+        fh.read_exact(&mut header)?;
+        let n_records = u32::from_le_bytes(header[8..12].try_into().expect("fixed"));
+        let mut rec = [0u8; 8];
+        for _ in 0..n_records {
+            fh.read_exact(&mut rec)?;
+            let id = u32::from_le_bytes(rec[0..4].try_into().expect("fixed"));
+            let len = u32::from_le_bytes(rec[4..8].try_into().expect("fixed")) as usize;
+            if id == chunk.0 {
+                let mut payload = vec![0u8; len];
+                fh.read_exact(&mut payload)?;
+                return decode_chunk(&payload).ok_or_else(|| bad("corrupt chunk payload"));
+            }
+            io::copy(&mut Read::by_ref(&mut fh).take(len as u64), &mut io::sink())?;
+        }
+        Err(io::Error::new(io::ErrorKind::NotFound, format!("chunk {} not in file", chunk.0)))
+    }
+
+    /// Read every chunk of `file` sequentially (the read filter's access
+    /// pattern: one pass over the file in Hilbert order).
+    pub fn read_file(&self, file: FileId) -> io::Result<Vec<(ChunkId, RectGrid)>> {
+        let mut fh = fs::File::open(file_path(&self.dir, file))?;
+        let mut header = [0u8; 12];
+        fh.read_exact(&mut header)?;
+        let n_records = u32::from_le_bytes(header[8..12].try_into().expect("fixed"));
+        let mut out = Vec::with_capacity(n_records as usize);
+        let mut rec = [0u8; 8];
+        for _ in 0..n_records {
+            fh.read_exact(&mut rec)?;
+            let id = u32::from_le_bytes(rec[0..4].try_into().expect("fixed"));
+            let len = u32::from_le_bytes(rec[4..8].try_into().expect("fixed")) as usize;
+            let mut payload = vec![0u8; len];
+            fh.read_exact(&mut payload)?;
+            out.push((ChunkId(id), decode_chunk(&payload).ok_or_else(|| bad("corrupt chunk"))?));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dcvol_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn dataset() -> Dataset {
+        Dataset::generate(Dims::new(9, 9, 17), (2, 2, 4), 6, 99)
+    }
+
+    #[test]
+    fn write_open_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let ds = dataset();
+        let written = write_dataset(&dir, &ds, 1, 3).unwrap();
+        assert_eq!(written.n_files(), 6);
+
+        let opened = DiskStore::open(&dir).unwrap();
+        assert_eq!(opened.layout(), ds.layout());
+        for f in 0..6 {
+            assert_eq!(opened.chunks_in_file(FileId(f)), ds.chunks_in_file(FileId(f)));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunk_contents_survive_the_disk() {
+        let dir = tmpdir("contents");
+        let ds = dataset();
+        let store = write_dataset(&dir, &ds, 0, 2).unwrap();
+        for f in 0..store.n_files() {
+            for &chunk in store.chunks_in_file(FileId(f)) {
+                let from_disk = store.read_chunk(FileId(f), chunk).unwrap();
+                let from_mem = ds.read_chunk(0, 2, chunk);
+                assert_eq!(from_disk, from_mem, "chunk {}", chunk.0);
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sequential_file_scan_yields_hilbert_order() {
+        let dir = tmpdir("scan");
+        let ds = dataset();
+        let store = write_dataset(&dir, &ds, 0, 0).unwrap();
+        let records = store.read_file(FileId(0)).unwrap();
+        let ids: Vec<ChunkId> = records.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, ds.chunks_in_file(FileId(0)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_chunk_reports_not_found() {
+        let dir = tmpdir("missing");
+        let ds = dataset();
+        let store = write_dataset(&dir, &ds, 0, 0).unwrap();
+        // Find a chunk NOT in file 0.
+        let absent = (0..ds.layout().count())
+            .map(ChunkId)
+            .find(|c| !store.chunks_in_file(FileId(0)).contains(c))
+            .unwrap();
+        let err = store.read_chunk(FileId(0), absent).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected() {
+        let dir = tmpdir("corrupt");
+        let ds = dataset();
+        write_dataset(&dir, &ds, 0, 0).unwrap();
+        fs::write(dir.join("manifest.dcm"), b"garbage").unwrap();
+        assert!(DiskStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,217 @@
+//! 3-D Hilbert space-filling curve (Skilling's transpose algorithm).
+//!
+//! Used by [`crate::decluster`] to order sub-volumes before assigning them
+//! to data files, following the Hilbert-curve-based declustering of
+//! Faloutsos & Bhagwat that the paper uses: chunks close on the curve are
+//! close in space, so striping the curve across files spreads any spatially
+//! contiguous range query over many files (and hence many disks).
+
+/// Encode a 3-D coordinate into its Hilbert-curve index.
+///
+/// Each coordinate must be `< 2^bits`; `bits` must be `<= 21` so the result
+/// fits a `u64`.
+pub fn hilbert_index(coords: [u32; 3], bits: u32) -> u64 {
+    assert!((1..=21).contains(&bits), "bits must be in 1..=21");
+    for &c in &coords {
+        assert!(c < (1u32 << bits), "coordinate {c} out of range for {bits} bits");
+    }
+    let mut x = coords;
+    axes_to_transpose(&mut x, bits);
+    interleave(x, bits)
+}
+
+/// Decode a Hilbert-curve index back into its 3-D coordinate.
+pub fn hilbert_coords(index: u64, bits: u32) -> [u32; 3] {
+    assert!((1..=21).contains(&bits), "bits must be in 1..=21");
+    assert!(index < 1u64 << (3 * bits), "index out of range for {bits} bits");
+    let mut x = deinterleave(index, bits);
+    transpose_to_axes(&mut x, bits);
+    x
+}
+
+/// Gray-code "transpose" form -> axis coordinates (Skilling 2004).
+fn transpose_to_axes(x: &mut [u32; 3], bits: u32) {
+    let n = 3usize;
+    let t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    let mut q: u32 = 2;
+    while q != (1u32 << bits) {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Axis coordinates -> Gray-code "transpose" form (Skilling 2004).
+fn axes_to_transpose(x: &mut [u32; 3], bits: u32) {
+    let n = 3usize;
+    let mut q: u32 = 1 << (bits - 1);
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t2: u32 = 0;
+    let mut q: u32 = 1 << (bits - 1);
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t2 ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t2;
+    }
+}
+
+/// Pack the transpose form into a single index: bit `b` of axis `i`
+/// contributes bit `3*b + (2 - i)` of the result.
+fn interleave(x: [u32; 3], bits: u32) -> u64 {
+    let mut out: u64 = 0;
+    for b in (0..bits).rev() {
+        for (i, xi) in x.iter().enumerate() {
+            let bit = ((xi >> b) & 1) as u64;
+            out = (out << 1) | bit;
+            let _ = i;
+        }
+    }
+    out
+}
+
+/// Inverse of [`interleave`].
+fn deinterleave(index: u64, bits: u32) -> [u32; 3] {
+    let mut x = [0u32; 3];
+    let mut idx = index;
+    for b in 0..bits {
+        for i in (0..3).rev() {
+            x[i] |= ((idx & 1) as u32) << b;
+            idx >>= 1;
+        }
+    }
+    x
+}
+
+/// Order the points of a `side³` box (with `side = 2^bits`) by Hilbert
+/// index; returns coordinates in curve order. Convenience for declustering.
+pub fn hilbert_order(bits: u32) -> Vec<[u32; 3]> {
+    let side = 1u64 << bits;
+    let total = side * side * side;
+    (0..total).map(|i| hilbert_coords(i, bits)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small() {
+        for bits in 1..=4 {
+            let side = 1u32 << bits;
+            for z in 0..side {
+                for y in 0..side {
+                    for x in 0..side {
+                        let idx = hilbert_index([x, y, z], bits);
+                        assert_eq!(hilbert_coords(idx, bits), [x, y, z]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_a_permutation() {
+        let bits = 3;
+        let side = 1u32 << bits;
+        let mut seen = vec![false; (side * side * side) as usize];
+        for z in 0..side {
+            for y in 0..side {
+                for x in 0..side {
+                    let idx = hilbert_index([x, y, z], bits) as usize;
+                    assert!(!seen[idx], "duplicate index {idx}");
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn consecutive_indices_are_adjacent() {
+        // The defining Hilbert property: successive curve positions differ
+        // by exactly one unit step along exactly one axis.
+        for bits in 1..=4 {
+            let order = hilbert_order(bits);
+            for w in order.windows(2) {
+                let d: u32 = (0..3)
+                    .map(|i| (w[0][i] as i64 - w[1][i] as i64).unsigned_abs() as u32)
+                    .sum();
+                assert_eq!(d, 1, "non-adjacent step {:?} -> {:?} at bits={bits}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn curve_starts_at_origin() {
+        for bits in 1..=4 {
+            assert_eq!(hilbert_coords(0, bits), [0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn locality_beats_row_major() {
+        // Average spatial distance between curve-consecutive cells must be
+        // 1 (perfect), whereas row-major wraps rows with long jumps.
+        let bits = 3;
+        let side = 1u32 << bits;
+        let order = hilbert_order(bits);
+        let hilbert_total: f64 = order
+            .windows(2)
+            .map(|w| {
+                (0..3).map(|i| (w[0][i] as f64 - w[1][i] as f64).powi(2)).sum::<f64>().sqrt()
+            })
+            .sum();
+        let mut row_major = Vec::new();
+        for z in 0..side {
+            for y in 0..side {
+                for x in 0..side {
+                    row_major.push([x, y, z]);
+                }
+            }
+        }
+        let rm_total: f64 = row_major
+            .windows(2)
+            .map(|w| {
+                (0..3).map(|i| (w[0][i] as f64 - w[1][i] as f64).powi(2)).sum::<f64>().sqrt()
+            })
+            .sum();
+        assert!(hilbert_total < rm_total, "hilbert {hilbert_total} vs row-major {rm_total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate")]
+    fn out_of_range_coord_panics() {
+        let _ = hilbert_index([8, 0, 0], 3);
+    }
+}

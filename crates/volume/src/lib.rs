@@ -1,0 +1,33 @@
+//! # volume — scientific dataset substrate
+//!
+//! The data layer of the DataCutter reproduction: rectilinear scalar
+//! grids, a deterministic ParSSim-like synthetic generator, partitioning
+//! into equal sub-volumes, Hilbert-curve declustering across data files,
+//! file→disk placement (balanced and skewed), range queries, and a binary
+//! chunk encoding.
+//!
+//! The paper's datasets (1.5 GB / 25 GB ParSSim reactive-transport output)
+//! are replaced by scaled-down synthetic fields with identical *structure*:
+//! the same chunking and declustering scheme, spatially coherent plume
+//! fields whose isosurface density varies across chunks, and multiple
+//! species over multiple timesteps.
+
+#![warn(missing_docs)]
+
+pub mod chunks;
+pub mod decluster;
+pub mod diskstore;
+pub mod grid;
+pub mod hilbert;
+pub mod parssim;
+pub mod query;
+pub mod store;
+
+pub use chunks::{ChunkId, ChunkInfo, ChunkLayout};
+pub use decluster::{hilbert_decluster, Declustering, FileId, FilePlacement};
+pub use diskstore::{write_dataset, DiskStore};
+pub use grid::{Dims, RectGrid};
+pub use hilbert::{hilbert_coords, hilbert_index};
+pub use parssim::{ParSSim, SimParams, SPECIES_COUNT, TIMESTEPS};
+pub use query::{chunks_intersecting, CellRange};
+pub use store::{decode_chunk, encode_chunk, Dataset};

@@ -1,0 +1,115 @@
+//! Range queries over chunked datasets.
+//!
+//! The paper's application class accesses input data "by a range query,
+//! which defines a multi-dimensional bounding box in the input space".
+//! A [`CellRange`] selects a box of cells; [`chunks_intersecting`] resolves
+//! it to the chunk ids that must be fetched.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chunks::{ChunkId, ChunkLayout};
+
+/// A half-open box of cells `[lo, hi)` along each axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellRange {
+    /// Inclusive lower corner (cell coordinates).
+    pub lo: (u32, u32, u32),
+    /// Exclusive upper corner (cell coordinates).
+    pub hi: (u32, u32, u32),
+}
+
+impl CellRange {
+    /// The whole grid covered by `layout`.
+    pub fn all(layout: &ChunkLayout) -> Self {
+        CellRange {
+            lo: (0, 0, 0),
+            hi: (layout.grid.nx - 1, layout.grid.ny - 1, layout.grid.nz - 1),
+        }
+    }
+
+    /// True when the box selects no cells.
+    pub fn is_empty(&self) -> bool {
+        self.lo.0 >= self.hi.0 || self.lo.1 >= self.hi.1 || self.lo.2 >= self.hi.2
+    }
+
+    /// Number of cells selected.
+    pub fn cells(&self) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        (self.hi.0 - self.lo.0) as u64
+            * (self.hi.1 - self.lo.1) as u64
+            * (self.hi.2 - self.lo.2) as u64
+    }
+}
+
+/// Chunk ids whose owned cells intersect `range`, in id order.
+pub fn chunks_intersecting(layout: &ChunkLayout, range: &CellRange) -> Vec<ChunkId> {
+    if range.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for info in layout.all() {
+        let (ox, oy, oz) = info.cell_origin;
+        let (ex, ey, ez) = info.cell_extent;
+        let overlap = ox < range.hi.0
+            && ox + ex > range.lo.0
+            && oy < range.hi.1
+            && oy + ey > range.lo.1
+            && oz < range.hi.2
+            && oz + ez > range.lo.2;
+        if overlap {
+            out.push(info.id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Dims;
+
+    fn layout() -> ChunkLayout {
+        ChunkLayout::new(Dims::new(9, 9, 9), (2, 2, 2)) // 8 cells/axis, 4 per chunk
+    }
+
+    #[test]
+    fn full_range_selects_all_chunks() {
+        let l = layout();
+        let r = CellRange::all(&l);
+        assert_eq!(chunks_intersecting(&l, &r).len(), 8);
+        assert_eq!(r.cells(), 512);
+    }
+
+    #[test]
+    fn empty_range_selects_nothing() {
+        let l = layout();
+        let r = CellRange { lo: (4, 4, 4), hi: (4, 8, 8) };
+        assert!(r.is_empty());
+        assert!(chunks_intersecting(&l, &r).is_empty());
+    }
+
+    #[test]
+    fn corner_range_selects_one_chunk() {
+        let l = layout();
+        let r = CellRange { lo: (0, 0, 0), hi: (2, 2, 2) };
+        assert_eq!(chunks_intersecting(&l, &r), vec![ChunkId(0)]);
+    }
+
+    #[test]
+    fn straddling_range_selects_neighbours() {
+        let l = layout();
+        // x span 3..5 crosses the x=4 chunk boundary.
+        let r = CellRange { lo: (3, 0, 0), hi: (5, 2, 2) };
+        let got = chunks_intersecting(&l, &r);
+        assert_eq!(got, vec![ChunkId(0), ChunkId(1)]);
+    }
+
+    #[test]
+    fn central_range_touches_all_octants() {
+        let l = layout();
+        let r = CellRange { lo: (3, 3, 3), hi: (5, 5, 5) };
+        assert_eq!(chunks_intersecting(&l, &r).len(), 8);
+    }
+}

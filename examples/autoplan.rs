@@ -1,0 +1,73 @@
+//! Automatic configuration: let the planner probe the dataset, model the
+//! candidate configurations, and pick the grouping/placement/policy — then
+//! check its choice against a brute-force sweep.
+//!
+//! ```text
+//! cargo run --release -p examples --bin autoplan
+//! ```
+
+use std::sync::Arc;
+
+use datacutter::{Placement, WritePolicy};
+use dcapp::{Algorithm, AppConfig, Grouping, PipelineSpec};
+use hetsim::presets::rogue_blue_mix;
+use volume::{Dataset, Dims};
+
+fn main() {
+    // A heterogeneous, loaded cluster: 2 busy Rogue + 2 idle Blue nodes.
+    let (topo, rogues, blues) = rogue_blue_mix(2);
+    for &h in &rogues {
+        topo.host(h).cpu.set_bg_jobs(6);
+    }
+    let mut hosts = rogues.clone();
+    hosts.extend(&blues);
+
+    let dataset = Dataset::generate(Dims::new(49, 49, 97), (4, 4, 8), 64, 31);
+    let mut cfg = AppConfig::new(dataset, hosts.clone(), 2, 512, 512);
+    cfg.iso = 0.5;
+    let cfg = Arc::new(cfg);
+
+    let plan = dcapp::plan(&topo, &cfg, &hosts);
+    println!("planner: {}", plan.rationale);
+    println!("model estimates per configuration:");
+    for (label, secs) in &plan.candidates {
+        println!("  {label:>8}: {secs:.2}s (model)");
+    }
+
+    let planned = dcapp::run_pipeline(&topo, &cfg, &plan.spec).expect("run");
+    println!(
+        "\nplanned  [{} + {}]: {:.3}s measured",
+        plan.spec.grouping.label(),
+        plan.spec.policy.label(),
+        planned.elapsed.as_secs_f64()
+    );
+
+    // Brute force for comparison.
+    let mut best = (String::new(), f64::INFINITY);
+    for grouping in [
+        Grouping::RERaM,
+        Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+        Grouping::REraSplit { era: Placement::one_per_host(&hosts) },
+    ] {
+        for policy in [WritePolicy::RoundRobin, WritePolicy::WeightedRoundRobin, WritePolicy::demand_driven()] {
+            let spec = PipelineSpec {
+                grouping: grouping.clone(),
+                algorithm: Algorithm::ActivePixel,
+                policy,
+                merge_host: blues[0],
+            };
+            let r = dcapp::run_pipeline(&topo, &cfg, &spec).expect("run");
+            let label = format!("{} + {}", spec.grouping.label(), policy.label());
+            println!("  sweep  [{label}]: {:.3}s", r.elapsed.as_secs_f64());
+            if r.elapsed.as_secs_f64() < best.1 {
+                best = (label, r.elapsed.as_secs_f64());
+            }
+        }
+    }
+    println!(
+        "\nbest of sweep: [{}] {:.3}s — planner landed within {:.0}%",
+        best.0,
+        best.1,
+        (planned.elapsed.as_secs_f64() / best.1 - 1.0) * 100.0
+    );
+}

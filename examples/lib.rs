@@ -1,0 +1,19 @@
+//! Shared helpers for the examples. The actual examples are the binaries
+//! next to this file:
+//!
+//! * `quickstart` — build a small cluster, render one timestep through the
+//!   RE–Ra–M pipeline, save a PPM, print the run metrics.
+//! * `heterogeneous_cluster` — background load on half the nodes; watch
+//!   demand-driven scheduling shift buffers to the idle nodes.
+//! * `skewed_storage` — unbalanced data placement; compare the filter
+//!   groupings' sensitivity.
+//! * `timestep_movie` — render all ten stored timesteps to PPM frames.
+//! * `custom_filters` — write your own filters against the `datacutter`
+//!   API (a word-count pipeline, nothing to do with rendering).
+
+/// Directory examples write their output images into.
+pub fn out_dir() -> std::path::PathBuf {
+    let p = std::path::PathBuf::from("target/example-output");
+    std::fs::create_dir_all(&p).expect("create output dir");
+    p
+}

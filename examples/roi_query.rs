@@ -1,0 +1,51 @@
+//! Range-query rendering: zoom into a region of interest. Only the chunks
+//! whose cells intersect the query box are read off disk and processed —
+//! the access pattern that defines the paper's application class.
+//!
+//! ```text
+//! cargo run --release -p examples --bin roi_query
+//! ```
+
+use std::sync::Arc;
+
+use datacutter::{Placement, WritePolicy};
+use dcapp::{Algorithm, AppConfig, Grouping, PipelineSpec};
+use hetsim::presets::rogue_cluster;
+use volume::{CellRange, Dataset, Dims};
+
+fn main() {
+    let (topo, hosts) = rogue_cluster(4);
+    let dataset = Dataset::generate(Dims::new(65, 65, 65), (4, 4, 4), 64, 2024);
+
+    let queries: [(&str, Option<CellRange>); 3] = [
+        ("full volume", None),
+        ("upper half", Some(CellRange { lo: (0, 0, 32), hi: (64, 64, 64) })),
+        ("center core", Some(CellRange { lo: (24, 24, 24), hi: (40, 40, 40) })),
+    ];
+
+    let dir = examples::out_dir();
+    for (name, query) in queries {
+        let mut cfg = AppConfig::new(dataset.clone(), hosts.clone(), 2, 384, 384);
+        cfg.iso = 0.5;
+        cfg.query = query;
+        let cfg = Arc::new(cfg);
+        let spec = PipelineSpec {
+            grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+            algorithm: Algorithm::ActivePixel,
+            policy: WritePolicy::demand_driven(),
+            merge_host: hosts[0],
+        };
+        let r = dcapp::run_pipeline(&topo, &cfg, &spec).expect("run");
+        let disk: u64 = r.report.copies.iter().map(|c| c.counters.disk_bytes).sum();
+        let path = dir.join(format!("roi_{}.ppm", name.replace(' ', "_")));
+        r.image.save_ppm(&path).expect("write");
+        println!(
+            "{name:>12}: {:>7.3}s, {:>5.2} MB read, {:>6} surface pixels -> {}",
+            r.elapsed.as_secs_f64(),
+            disk as f64 / 1e6,
+            r.image.coverage(isosurf::BACKGROUND),
+            path.display()
+        );
+    }
+    println!("\nsmaller queries touch fewer declustered chunks: less I/O, less compute, same pipeline");
+}

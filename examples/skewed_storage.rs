@@ -1,0 +1,46 @@
+//! Skewed storage demo: most of the dataset's files sit on two of the four
+//! nodes. Compare how the three filter groupings cope.
+//!
+//! ```text
+//! cargo run --release -p examples --bin skewed_storage
+//! ```
+
+use std::sync::Arc;
+
+use datacutter::{Placement, WritePolicy};
+use dcapp::{Algorithm, AppConfig, Grouping, PipelineSpec};
+use hetsim::presets::rogue_blue_mix;
+use volume::{Dataset, Dims, FilePlacement};
+
+fn main() {
+    let dataset = Dataset::generate(Dims::new(49, 49, 97), (4, 4, 8), 64, 9);
+
+    for skew in [0u32, 50, 100] {
+        println!("\n--- {skew}% of the Blue nodes' files moved to the Rogue nodes ---");
+        let (topo, rogues, blues) = rogue_blue_mix(2);
+        let hosts = vec![blues[0], blues[1], rogues[0], rogues[1]];
+        for grouping_label in ["RERa-M", "R-ERa-M", "RE-Ra-M"] {
+            let mut cfg = AppConfig::new(dataset.clone(), hosts.clone(), 2, 512, 512);
+            cfg.iso = 0.5;
+            cfg.placement = FilePlacement::skewed(64, 4, 2, &[0, 1], &[2, 3], skew);
+            let cfg = Arc::new(cfg);
+            let compute = Placement::one_per_host(&hosts);
+            let spec = PipelineSpec {
+                grouping: match grouping_label {
+                    "RERa-M" => Grouping::RERaM,
+                    "R-ERa-M" => Grouping::REraSplit { era: compute },
+                    _ => Grouping::RERaSplit { raster: compute },
+                },
+                algorithm: Algorithm::ActivePixel,
+                policy: WritePolicy::demand_driven(),
+                merge_host: blues[0],
+            };
+            let r = dcapp::run_pipeline(&topo, &cfg, &spec).expect("run");
+            println!("  {:>8}: {:>7.3}s", grouping_label, r.elapsed.as_secs_f64());
+        }
+    }
+    println!(
+        "\nThe fused RERa-M is hostage to the node with the most data; the split \
+         groupings decouple retrieval from processing and degrade far less."
+    );
+}

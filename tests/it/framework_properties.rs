@@ -1,0 +1,253 @@
+//! Property-based tests on the emulation engine and the filter framework:
+//! message integrity, FIFO ordering, policy accounting, and determinism
+//! under randomized workloads.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use datacutter::{
+    run_app, DataBuffer, Filter, FilterCtx, FilterError, GraphBuilder, Placement, WritePolicy,
+};
+use hetsim::{channel, ClusterSpec, HostId, HostSpec, SimDuration, Simulation, TopologyBuilder};
+
+fn topology(n: usize) -> (hetsim::Topology, Vec<HostId>) {
+    let mut b = TopologyBuilder::new();
+    let c = b.add_cluster(ClusterSpec {
+        name: "c".into(),
+        nic_bandwidth_bps: 50.0e6,
+        nic_latency: SimDuration::from_micros(80),
+    });
+    let hosts = (0..n)
+        .map(|i| {
+            b.add_host(
+                c,
+                HostSpec {
+                    name: format!("h{i}"),
+                    cores: 1 + (i as u32 % 2),
+                    speed: 0.5 + 0.25 * (i as f64 % 3.0),
+                    mem_mb: 256,
+                    disks: 1,
+                    disk_bandwidth_bps: 25.0e6,
+                    disk_seek: SimDuration::from_millis(5),
+                },
+            )
+        })
+        .collect();
+    (b.build(), hosts)
+}
+
+struct Numbers {
+    n: u32,
+    delay_us: u64,
+}
+impl Filter for Numbers {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        for i in 0..self.n {
+            ctx.compute(SimDuration::from_micros(self.delay_us));
+            ctx.write(0, DataBuffer::new(i, 128));
+        }
+        Ok(())
+    }
+}
+
+struct Relay {
+    work_us: u64,
+}
+impl Filter for Relay {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        while let Some(b) = ctx.read(0) {
+            ctx.compute(SimDuration::from_micros(self.work_us));
+            let v = b.downcast::<u32>();
+            ctx.write(0, DataBuffer::new(v, 128));
+        }
+        Ok(())
+    }
+}
+
+struct Gather {
+    out: Arc<Mutex<Vec<u32>>>,
+}
+impl Filter for Gather {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        while let Some(b) = ctx.read(0) {
+            self.out.lock().push(b.downcast::<u32>());
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No message is lost or duplicated through a randomized two-stage
+    /// pipeline, for any policy / copy-count / host-count combination.
+    #[test]
+    fn pipelines_never_lose_or_duplicate(
+        n_hosts in 2usize..5,
+        copies in 1u32..4,
+        n_items in 1u32..60,
+        policy_sel in 0u8..3,
+        src_delay in 0u64..200,
+        work in 0u64..400,
+    ) {
+        let (topo, hosts) = topology(n_hosts);
+        let policy = match policy_sel {
+            0 => WritePolicy::RoundRobin,
+            1 => WritePolicy::WeightedRoundRobin,
+            _ => WritePolicy::demand_driven(),
+        };
+        let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut g = GraphBuilder::new();
+        let src = g.add_filter("src", Placement::on_host(hosts[0], 1), move |_| Numbers {
+            n: n_items,
+            delay_us: src_delay,
+        });
+        let relay_hosts: Vec<HostId> = hosts[1..].to_vec();
+        let relay = g.add_filter(
+            "relay",
+            Placement { per_host: relay_hosts.iter().map(|&h| (h, copies)).collect() },
+            move |_| Relay { work_us: work },
+        );
+        let out2 = out.clone();
+        let sink = g.add_filter("sink", Placement::on_host(hosts[0], 1), move |_| Gather {
+            out: out2.clone(),
+        });
+        g.connect(src, relay, policy);
+        g.connect(relay, sink, WritePolicy::RoundRobin);
+        run_app(&topo, g.build()).unwrap();
+        let mut got = out.lock().clone();
+        got.sort_unstable();
+        let want: Vec<u32> = (0..n_items).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// A single-copy consumer observes each producer's items in FIFO
+    /// order regardless of timing.
+    #[test]
+    fn streams_are_fifo_per_producer(
+        n_items in 1u32..50,
+        src_delay in 0u64..300,
+        work in 0u64..300,
+    ) {
+        let (topo, hosts) = topology(2);
+        let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut g = GraphBuilder::new();
+        let src = g.add_filter("src", Placement::on_host(hosts[0], 1), move |_| Numbers {
+            n: n_items,
+            delay_us: src_delay,
+        });
+        let out2 = out.clone();
+        let sink = g.add_filter("sink", Placement::on_host(hosts[1], 1), move |_| Gather {
+            out: out2.clone(),
+        });
+        g.connect(src, sink, WritePolicy::RoundRobin);
+        let _ = work;
+        run_app(&topo, g.build()).unwrap();
+        let got = out.lock().clone();
+        let want: Vec<u32> = (0..n_items).collect();
+        prop_assert_eq!(got, want); // in order, not just same multiset
+    }
+
+    /// The whole framework is deterministic: any random configuration run
+    /// twice yields identical virtual end times and event counts.
+    #[test]
+    fn random_pipelines_are_deterministic(
+        n_hosts in 2usize..5,
+        copies in 1u32..3,
+        n_items in 1u32..40,
+        work in 0u64..500,
+    ) {
+        let run = || {
+            let (topo, hosts) = topology(n_hosts);
+            let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+            let mut g = GraphBuilder::new();
+            let src = g.add_filter("src", Placement::on_host(hosts[0], 1), move |_| Numbers {
+                n: n_items,
+                delay_us: 50,
+            });
+            let relay = g.add_filter(
+                "relay",
+                Placement { per_host: hosts[1..].iter().map(|&h| (h, copies)).collect() },
+                move |_| Relay { work_us: work },
+            );
+            let out2 = out.clone();
+            let sink = g.add_filter("sink", Placement::on_host(hosts[0], 1), move |_| Gather {
+                out: out2.clone(),
+            });
+            g.connect(src, relay, WritePolicy::demand_driven());
+            g.connect(relay, sink, WritePolicy::RoundRobin);
+            let report = run_app(&topo, g.build()).unwrap();
+            let collected = out.lock().clone();
+            (report.elapsed.as_nanos(), report.events, collected)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Raw channels: random send/recv interleavings conserve items and
+    /// preserve order.
+    #[test]
+    fn raw_channels_conserve_items(
+        cap in 1usize..8,
+        n in 1u32..100,
+        send_gap in 0u64..50,
+        recv_gap in 0u64..50,
+    ) {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>(sim.waker(), cap);
+        sim.spawn("tx", move |env| {
+            for i in 0..n {
+                if send_gap > 0 {
+                    env.delay(SimDuration::from_micros(send_gap));
+                }
+                tx.send(&env, i).unwrap();
+            }
+        });
+        let got: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let g2 = got.clone();
+        sim.spawn("rx", move |env| {
+            while let Some(v) = rx.recv(&env) {
+                if recv_gap > 0 {
+                    env.delay(SimDuration::from_micros(recv_gap));
+                }
+                g2.lock().push(v);
+            }
+        });
+        sim.run().unwrap();
+        let want: Vec<u32> = (0..n).collect();
+        prop_assert_eq!(got.lock().clone(), want);
+    }
+
+    /// CPU conservation: elapsed time for a batch of computations is never
+    /// less than total work divided by total capacity.
+    #[test]
+    fn cpu_elapsed_respects_capacity(
+        cores in 1u32..4,
+        speed_pct in 25u32..200,
+        n_threads in 1usize..5,
+        work_ms in 1u64..50,
+    ) {
+        let speed = speed_pct as f64 / 100.0;
+        let cpu = hetsim::Cpu::new(cores, speed);
+        let mut sim = Simulation::new();
+        for i in 0..n_threads {
+            let cpu = cpu.clone();
+            sim.spawn(format!("t{i}"), move |env| {
+                cpu.compute(&env, SimDuration::from_millis(work_ms));
+            });
+        }
+        let stats = sim.run().unwrap();
+        let total_work = work_ms as f64 / 1e3 * n_threads as f64;
+        let capacity = cores as f64 * speed;
+        let lower_bound = total_work / capacity;
+        let elapsed = stats.end_time.as_secs_f64();
+        prop_assert!(
+            elapsed >= lower_bound * 0.999,
+            "elapsed {elapsed} < floor {lower_bound}"
+        );
+        // And not absurdly more than the serial worst case.
+        let upper = total_work / speed + 1e-6;
+        prop_assert!(elapsed <= upper * 1.001, "elapsed {elapsed} > ceiling {upper}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared helpers for the cross-crate integration tests in `it/`.
+
+use std::sync::Arc;
+
+use dcapp::{AppConfig, SharedConfig};
+use hetsim::{HostId, Topology};
+use volume::{Dataset, Dims};
+
+/// A small but non-trivial dataset: 24×24×48 cells, 36 chunks, 16 files.
+pub fn test_dataset(seed: u64) -> Dataset {
+    Dataset::generate(Dims::new(25, 25, 49), (3, 3, 4), 16, seed)
+}
+
+/// Standard test configuration over the given hosts.
+pub fn test_cfg(dataset: Dataset, hosts: Vec<HostId>, image: u32) -> SharedConfig {
+    let mut cfg = AppConfig::new(dataset, hosts, 2, image, image);
+    cfg.iso = 0.5;
+    Arc::new(cfg)
+}
+
+/// A homogeneous test cluster.
+pub fn cluster(n: usize) -> (Topology, Vec<HostId>) {
+    hetsim::presets::rogue_cluster(n)
+}
