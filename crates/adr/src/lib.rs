@@ -68,8 +68,9 @@ pub fn run_adr(topo: &Topology, cfg: &SharedConfig) -> Result<AdrResult, SimErro
     let n = cfg.storage_hosts.len();
     let merge_host = cfg.storage_hosts[0];
 
-    let stats: Vec<Arc<Mutex<NodeStats>>> =
-        (0..n).map(|_| Arc::new(Mutex::new(NodeStats::default()))).collect();
+    let stats: Vec<Arc<Mutex<NodeStats>>> = (0..n)
+        .map(|_| Arc::new(Mutex::new(NodeStats::default())))
+        .collect();
     let image_slot: Arc<Mutex<Option<Image>>> = Arc::new(Mutex::new(None));
 
     // Accumulator inboxes for the tree reduction: in round `r`, node
@@ -86,7 +87,8 @@ pub fn run_adr(topo: &Topology, cfg: &SharedConfig) -> Result<AdrResult, SimErro
 
     for (i, &host) in cfg.storage_hosts.iter().enumerate() {
         // I/O process: prefetch local chunks ahead of the compute process.
-        let (io_tx, io_rx) = hetsim::channel::<((u32, u32, u32), RectGrid)>(waker.clone(), IO_DEPTH);
+        let (io_tx, io_rx) =
+            hetsim::channel::<((u32, u32, u32), RectGrid)>(waker.clone(), IO_DEPTH);
         let cfg2 = cfg.clone();
         let topo2 = topo.clone();
         sim.spawn(format!("adr-io{i}"), move |env: Env| {

@@ -8,7 +8,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use datacutter::{
     run_app, DataBuffer, Filter, FilterCtx, FilterError, GraphBuilder, Placement, WritePolicy,
 };
-use hetsim::{channel, ClusterSpec, Env, HostId, HostSpec, SimDuration, Simulation, TopologyBuilder};
+use hetsim::{
+    channel, ClusterSpec, Env, HostId, HostSpec, SimDuration, Simulation, TopologyBuilder,
+};
 
 fn bench_engine_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
@@ -128,7 +130,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(400))

@@ -54,9 +54,11 @@ fn bench_raster(c: &mut Criterion) {
                 let mut zb = ZBuffer::new(res, res);
                 let mut px = 0u64;
                 for t in &tris {
-                    if let Some(p) = isosurf::raster_triangle(&proj, res, res, &m, t, |x, y, d, rgb| {
-                        zb.plot(x, y, d, rgb);
-                    }) {
+                    if let Some(p) =
+                        isosurf::raster_triangle(&proj, res, res, &m, t, |x, y, d, rgb| {
+                            zb.plot(x, y, d, rgb);
+                        })
+                    {
                         px += p;
                     }
                 }
@@ -143,7 +145,7 @@ fn bench_parssim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(400))

@@ -1,0 +1,154 @@
+//! Serial vs data-parallel render kernels across thread counts.
+//!
+//! Sweeps explicit `ThreadPool`s of 1/2/4/8 lanes over the three
+//! parallelized kernels — marching-cubes extraction (z-slab decomposition),
+//! pairwise z-buffer merge (row bands), and the many-buffer tree reduction —
+//! against their serial baselines, and writes the medians to
+//! `BENCH_kernels.json` at the workspace root for the experiment log.
+//!
+//! Speedups only materialize on multi-core hosts; on a single-CPU
+//! container the parallel variants measure pure pool overhead (and the
+//! global pool sizes itself to 1, keeping production paths serial).
+
+use criterion::{black_box, criterion_group, Criterion, Throughput};
+
+use isosurf::{extract_serial, extract_with, ExtractScratch, ThreadPool, ZBuffer};
+use volume::{Dims, RectGrid};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn sphere(n: u32, r: f32) -> RectGrid {
+    let c = (n - 1) as f32 / 2.0;
+    RectGrid::from_fn(Dims::new(n, n, n), |x, y, z| {
+        let dx = x as f32 - c;
+        let dy = y as f32 - c;
+        let dz = z as f32 - c;
+        r - (dx * dx + dy * dy + dz * dz).sqrt()
+    })
+}
+
+fn noisy_zbuffer(w: u32, h: u32, seed: u64) -> ZBuffer {
+    let mut zb = ZBuffer::new(w, h);
+    let mut s = seed | 1;
+    for _ in 0..(w as u64 * h as u64) {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = s >> 16;
+        zb.plot(
+            (r % w as u64) as u32,
+            ((r >> 12) % h as u64) as u32,
+            ((r >> 24) % 1024) as f32,
+            [r as u8, (r >> 8) as u8, (r >> 16) as u8],
+        );
+    }
+    zb
+}
+
+fn bench_extract_threads(c: &mut Criterion) {
+    let g = sphere(65, 21.0);
+    let mut group = c.benchmark_group("extract_par");
+    group.throughput(Throughput::Elements(g.dims.cells()));
+    group.bench_function("serial_65^3", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            extract_serial(black_box(&g), (0, 0, 0), 0.0, &mut out);
+            out.len()
+        })
+    });
+    for t in THREADS {
+        let pool = ThreadPool::new(t);
+        let mut scratch = ExtractScratch::default();
+        group.bench_function(format!("{t}_threads_65^3"), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                extract_with(&pool, &mut scratch, black_box(&g), (0, 0, 0), 0.0, &mut out);
+                out.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_threads(c: &mut Criterion) {
+    let (w, h) = (1024u32, 1024u32);
+    let base = noisy_zbuffer(w, h, 1);
+    let other = noisy_zbuffer(w, h, 2);
+    let mut group = c.benchmark_group("merge_par");
+    group.throughput(Throughput::Elements(w as u64 * h as u64));
+    group.bench_function("serial_1024px", |b| {
+        b.iter(|| {
+            let mut zb = base.clone();
+            zb.merge_serial(black_box(&other));
+            zb.depth[0]
+        })
+    });
+    for t in THREADS {
+        let pool = ThreadPool::new(t);
+        group.bench_function(format!("{t}_threads_1024px"), |b| {
+            b.iter(|| {
+                let mut zb = base.clone();
+                zb.merge_with(&pool, black_box(&other));
+                zb.depth[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_many_threads(c: &mut Criterion) {
+    let (w, h, n) = (512u32, 512u32, 16usize);
+    let bufs: Vec<ZBuffer> = (0..n).map(|i| noisy_zbuffer(w, h, i as u64 + 1)).collect();
+    let mut group = c.benchmark_group("merge_many_par");
+    group.throughput(Throughput::Elements(w as u64 * h as u64 * (n as u64 - 1)));
+    group.bench_function(format!("serial_fold_{n}x512px"), |b| {
+        b.iter(|| {
+            let mut set = bufs.clone();
+            isosurf::merge_many_serial(black_box(&mut set));
+            set[0].depth[0]
+        })
+    });
+    for t in THREADS {
+        let pool = ThreadPool::new(t);
+        group.bench_function(format!("{t}_threads_tree_{n}x512px"), |b| {
+            b.iter(|| {
+                let mut set = bufs.clone();
+                isosurf::merge_many_with(&pool, black_box(&mut set));
+                set[0].depth[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(15);
+    targets = bench_extract_threads, bench_merge_threads, bench_merge_many_threads
+}
+
+fn main() {
+    let c = benches();
+    let mut json = String::from("[\n");
+    for (i, r) in c.results().iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "  {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+            r.id, r.median_ns
+        ));
+    }
+    json.push_str("\n]\n");
+    // `cargo bench` runs with cwd = the package dir; anchor on the
+    // manifest so the log lands at the workspace root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    }
+}

@@ -15,10 +15,20 @@ fn main() {
     let scale = ExperimentScale { timesteps: 1 };
     let ds = large_dataset();
 
-    let mut t = Table::new(&["tri batch", "wpa cap", "time (s)", "E->Ra bufs", "Ra->M bufs"]);
-    for (tri_batch, wpa) in
-        [(32usize, 128usize), (128, 512), (512, 2048), (2048, 8192), (8192, 32768)]
-    {
+    let mut t = Table::new(&[
+        "tri batch",
+        "wpa cap",
+        "time (s)",
+        "E->Ra bufs",
+        "Ra->M bufs",
+    ]);
+    for (tri_batch, wpa) in [
+        (32usize, 128usize),
+        (128, 512),
+        (512, 2048),
+        (2048, 8192),
+        (8192, 32768),
+    ] {
         let (topo, hosts) = rogue_cluster(4);
         let mut cfg = AppConfig::new(ds.clone(), hosts.clone(), 2, 512, 512);
         cfg.iso = bench::ISO;
@@ -26,7 +36,9 @@ fn main() {
         cfg.wpa_capacity = wpa;
         let cfg = Arc::new(cfg);
         let spec = PipelineSpec {
-            grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+            grouping: Grouping::RERaSplit {
+                raster: Placement::one_per_host(&hosts),
+            },
             algorithm: Algorithm::ActivePixel,
             policy: WritePolicy::demand_driven(),
             merge_host: hosts[0],
@@ -37,7 +49,10 @@ fn main() {
             tri_batch.to_string(),
             wpa.to_string(),
             format!("{secs:.3}"),
-            r.report.stream(r.to_raster.unwrap()).total_buffers().to_string(),
+            r.report
+                .stream(r.to_raster.unwrap())
+                .total_buffers()
+                .to_string(),
             r.report.stream(r.to_merge).total_buffers().to_string(),
         ]);
     }

@@ -25,15 +25,23 @@ fn main() {
         cfg.iso = bench::ISO;
         let cfg = Arc::new(cfg);
         let spec = PipelineSpec {
-            grouping: Grouping::RERaSplit { raster: Placement::on_host(deathstar, copies) },
+            grouping: Grouping::RERaSplit {
+                raster: Placement::on_host(deathstar, copies),
+            },
             algorithm: Algorithm::ActivePixel,
             policy: WritePolicy::WeightedRoundRobin,
             merge_host: deathstar,
         };
         let (secs, _) = dc_avg(&topo, &cfg, &spec, scale);
         let b = *base.get_or_insert(secs);
-        t.row(vec![copies.to_string(), format!("{secs:.2}"), format!("{:.2}x", b / secs)]);
+        t.row(vec![
+            copies.to_string(),
+            format!("{secs:.2}"),
+            format!("{:.2}x", b / secs),
+        ]);
     }
-    t.print("Ablation: raster copy scaling on the 8-way compute node (4 Red data nodes, 1024x1024)");
+    t.print(
+        "Ablation: raster copy scaling on the 8-way compute node (4 Red data nodes, 1024x1024)",
+    );
     println!("expected: near-linear to ~4 copies, flattening at the core count and the\nshared Fast-Ethernet uplink");
 }

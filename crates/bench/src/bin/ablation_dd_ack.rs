@@ -46,9 +46,11 @@ fn main() {
     for bw_mbps in [1.0f64, 4.0, 11.5, 100.0] {
         let mut row = vec![format!("{bw_mbps}")];
         let policies: Vec<WritePolicy> = std::iter::once(WritePolicy::WeightedRoundRobin)
-            .chain([1u32, 2, 4, 8].into_iter().map(|w| WritePolicy::DemandDriven {
-                window_per_copy: w,
-            }))
+            .chain(
+                [1u32, 2, 4, 8]
+                    .into_iter()
+                    .map(|w| WritePolicy::DemandDriven { window_per_copy: w }),
+            )
             .collect();
         for policy in policies {
             let (topo, hosts) = cluster(4, bw_mbps * 1e6);
@@ -60,7 +62,9 @@ fn main() {
             cfg.iso = bench::ISO;
             let cfg = Arc::new(cfg);
             let spec = PipelineSpec {
-                grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+                grouping: Grouping::RERaSplit {
+                    raster: Placement::one_per_host(&hosts),
+                },
                 algorithm: Algorithm::ActivePixel,
                 policy,
                 merge_host: hosts[3],
@@ -70,7 +74,9 @@ fn main() {
         }
         t.row(row);
     }
-    t.print("Ablation: DD window vs interconnect bandwidth (4 nodes, 2 loaded, ActivePixel 512x512)");
+    t.print(
+        "Ablation: DD window vs interconnect bandwidth (4 nodes, 2 loaded, ActivePixel 512x512)",
+    );
     println!(
         "measured: DD beats WRR at every bandwidth here, and tighter windows adapt\n\
          harder. Ack *bandwidth* (64 B per ~60 KB buffer) never dominates at these\n\

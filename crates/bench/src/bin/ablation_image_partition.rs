@@ -27,13 +27,24 @@ fn main() {
     let ds = large_dataset();
 
     let mut t = Table::new(&[
-        "regime", "nodes", "image", "alg", "replicated (s)", "partitioned (s)",
-        "repl merge MB", "part merge MB",
+        "regime",
+        "nodes",
+        "image",
+        "alg",
+        "replicated (s)",
+        "partitioned (s)",
+        "repl merge MB",
+        "part merge MB",
     ]);
     let mut raster_bound_gap = 1.0f64;
     let mut merge_bound_gap = 1.0f64;
     for (regime, nodes, image, algs) in [
-        ("raster-bound", 4usize, 1024u32, vec![Algorithm::ZBuffer, Algorithm::ActivePixel]),
+        (
+            "raster-bound",
+            4usize,
+            1024u32,
+            vec![Algorithm::ZBuffer, Algorithm::ActivePixel],
+        ),
         ("merge-bound", 8, 2048, vec![Algorithm::ZBuffer]),
     ] {
         for alg in algs {
@@ -48,13 +59,17 @@ fn main() {
             let (repl_t, repl_r) = dc_avg(
                 &topo,
                 &cfg,
-                &mk(Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) }),
+                &mk(Grouping::RERaSplit {
+                    raster: Placement::one_per_host(&hosts),
+                }),
                 scale,
             );
             let (part_t, part_r) = dc_avg(
                 &topo,
                 &cfg,
-                &mk(Grouping::ImagePartitioned { raster: Placement::one_per_host(&hosts) }),
+                &mk(Grouping::ImagePartitioned {
+                    raster: Placement::one_per_host(&hosts),
+                }),
                 scale,
             );
             if regime == "raster-bound" && alg == Algorithm::ActivePixel {
@@ -88,6 +103,10 @@ fn main() {
     );
     println!(
         "shape check (the trade-off exists in both directions): {}",
-        if raster_bound_gap > 1.1 && merge_bound_gap > 1.3 { "OK" } else { "CHECK" }
+        if raster_bound_gap > 1.1 && merge_bound_gap > 1.3 {
+            "OK"
+        } else {
+            "CHECK"
+        }
     );
 }

@@ -15,14 +15,21 @@ fn main() {
     let ds = large_dataset();
 
     let mut t = Table::new(&[
-        "nodes", "alg", "time (s)", "merge MB", "merge work (s)", "merge stall (s)",
+        "nodes",
+        "alg",
+        "time (s)",
+        "merge MB",
+        "merge work (s)",
+        "merge stall (s)",
     ]);
     for nodes in [2usize, 4, 8, 16] {
         for alg in [Algorithm::ZBuffer, Algorithm::ActivePixel] {
             let (topo, hosts) = rogue_cluster(nodes);
             let cfg = make_cfg(ds.clone(), hosts.clone(), 2, 1024);
             let spec = PipelineSpec {
-                grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+                grouping: Grouping::RERaSplit {
+                    raster: Placement::one_per_host(&hosts),
+                },
                 algorithm: alg,
                 policy: WritePolicy::demand_driven(),
                 merge_host: hosts[0],
@@ -35,7 +42,10 @@ fn main() {
                 nodes.to_string(),
                 alg.label().to_string(),
                 format!("{secs:.2}"),
-                format!("{:.1}", r.report.stream(r.to_merge).total_bytes() as f64 / 1e6),
+                format!(
+                    "{:.1}",
+                    r.report.stream(r.to_merge).total_bytes() as f64 / 1e6
+                ),
                 format!("{:.2}", m.work.as_secs_f64()),
                 format!("{:.2}", m.read_wait.as_secs_f64()),
             ]);

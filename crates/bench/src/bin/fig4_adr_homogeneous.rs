@@ -26,7 +26,9 @@ fn main() {
             let (adr_t, _) = adr_avg(&topo, &cfg, scale);
 
             let mk_spec = |alg| PipelineSpec {
-                grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+                grouping: Grouping::RERaSplit {
+                    raster: Placement::one_per_host(&hosts),
+                },
                 algorithm: alg,
                 policy: WritePolicy::demand_driven(),
                 merge_host: hosts[0],

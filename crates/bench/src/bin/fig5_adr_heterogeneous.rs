@@ -19,7 +19,9 @@ fn main() {
     let mut shape_notes = Vec::new();
 
     for n_each in [2usize, 4, 8] {
-        let mut t = Table::new(&["bg jobs", "image", "ADR", "DC ZB", "DC AP", "ZB/ADR", "AP/ADR"]);
+        let mut t = Table::new(&[
+            "bg jobs", "image", "ADR", "DC ZB", "DC AP", "ZB/ADR", "AP/ADR",
+        ]);
         let mut adr_degradation = Vec::new();
         let mut ap_ratio = Vec::new();
         for bg in [0u32, 1, 4, 16] {
@@ -32,7 +34,9 @@ fn main() {
 
                 let (adr_t, _) = adr_avg(&topo, &cfg, scale);
                 let mk = |alg| PipelineSpec {
-                    grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+                    grouping: Grouping::RERaSplit {
+                        raster: Placement::one_per_host(&hosts),
+                    },
                     algorithm: alg,
                     policy: WritePolicy::demand_driven(),
                     merge_host: blues[0],

@@ -24,9 +24,11 @@ fn main() {
         let mut t = Table::new(&["config", "RR", "WRR", "DD"]);
         for grouping_label in ["RERa-M", "R-ERa-M", "RE-Ra-M"] {
             let mut row = vec![grouping_label.to_string()];
-            for policy in
-                [WritePolicy::RoundRobin, WritePolicy::WeightedRoundRobin, WritePolicy::demand_driven()]
-            {
+            for policy in [
+                WritePolicy::RoundRobin,
+                WritePolicy::WeightedRoundRobin,
+                WritePolicy::demand_driven(),
+            ] {
                 let (topo, rogues, blues) = rogue_blue_mix(2);
                 // Storage node order: blue0, blue1, rogue0, rogue1 — files
                 // move FROM blue (0,1) TO rogue (2,3).
@@ -71,7 +73,11 @@ fn main() {
     println!(
         "shape check (fused SPMD config sensitive to skew, fully decoupled config \
          nearly flat): {}",
-        if fused > decoupled && fused > 1.1 { "OK" } else { "CHECK" }
+        if fused > decoupled && fused > 1.1 {
+            "OK"
+        } else {
+            "CHECK"
+        }
     );
     println!(
         "note: the paper's RERa-M grew more steeply because its runs were I/O-bound \

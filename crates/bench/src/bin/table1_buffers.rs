@@ -57,7 +57,13 @@ fn main() {
     let sid = datacutter::StreamId(2);
     let zbm = zb.report.stream(sid);
     let apm = ap.report.stream(sid);
-    assert!(apm.total_buffers() > zbm.total_buffers(), "AP should send more Ra->M buffers");
-    assert!(apm.total_bytes() < zbm.total_bytes(), "AP should move fewer Ra->M bytes");
+    assert!(
+        apm.total_buffers() > zbm.total_buffers(),
+        "AP should send more Ra->M buffers"
+    );
+    assert!(
+        apm.total_bytes() < zbm.total_bytes(),
+        "AP should move fewer Ra->M bytes"
+    );
     println!("shape check: OK");
 }

@@ -23,7 +23,10 @@ fn main() {
     let mut t = Table::new(&["algorithm", "R", "E", "Ra", "M", "sum"]);
     let mut ra_work = [0.0f64; 2];
     let mut e_work = [0.0f64; 2];
-    for (k, alg) in [Algorithm::ZBuffer, Algorithm::ActivePixel].into_iter().enumerate() {
+    for (k, alg) in [Algorithm::ZBuffer, Algorithm::ActivePixel]
+        .into_iter()
+        .enumerate()
+    {
         let spec = PipelineSpec {
             grouping: Grouping::FourStage {
                 extract: Placement::on_host(hosts[1], 1),
@@ -54,7 +57,12 @@ fn main() {
 
     println!("paper shape: Ra is by far the most expensive filter, E second");
     for k in 0..2 {
-        assert!(ra_work[k] > 3.0 * e_work[k], "raster should dominate: Ra={} E={}", ra_work[k], e_work[k]);
+        assert!(
+            ra_work[k] > 3.0 * e_work[k],
+            "raster should dominate: Ra={} E={}",
+            ra_work[k],
+            e_work[k]
+        );
     }
     println!("shape check: OK");
 }

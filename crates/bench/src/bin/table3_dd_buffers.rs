@@ -17,9 +17,7 @@ fn main() {
     let mut shape_ok = true;
 
     for n_each in [2usize, 4, 8] {
-        let mut t = Table::new(&[
-            "bg", "alg", "image", "rogue avg", "blue avg", "blue/rogue",
-        ]);
+        let mut t = Table::new(&["bg", "alg", "image", "rogue avg", "blue avg", "blue/rogue"]);
         let mut shift = Vec::new();
         for bg in [0u32, 1, 4, 16] {
             for alg in [Algorithm::ZBuffer, Algorithm::ActivePixel] {
@@ -38,7 +36,9 @@ fn main() {
                     };
                     load_hosts(&topo, &rogues, bg);
                     let spec = PipelineSpec {
-                        grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+                        grouping: Grouping::RERaSplit {
+                            raster: Placement::one_per_host(&hosts),
+                        },
                         algorithm: alg,
                         policy: WritePolicy::demand_driven(),
                         merge_host: blues[0],

@@ -37,8 +37,7 @@ fn main() {
 
     for image in [512u32, 2048] {
         for alg in [Algorithm::ActivePixel, Algorithm::ZBuffer] {
-            let mut t =
-                Table::new(&["bg", "config", "RR", "DD", "DD gain"]);
+            let mut t = Table::new(&["bg", "config", "RR", "DD", "DD gain"]);
             let mut dd_gain_at_16 = Vec::new();
             for bg in [0u32, 1, 4, 16] {
                 for (label, mk_grouping) in &groupings {

@@ -27,11 +27,16 @@ fn main() {
     for n_red in [1usize, 2, 4, 8] {
         let mut per_config = Vec::new();
         for split_read in [false, true] {
-            let mut row = vec![n_red.to_string(), if split_read { "R-ERa-M" } else { "RE-Ra-M" }.to_string()];
+            let mut row = vec![
+                n_red.to_string(),
+                if split_read { "R-ERa-M" } else { "RE-Ra-M" }.to_string(),
+            ];
             let mut times = Vec::new();
-            for policy in
-                [WritePolicy::RoundRobin, WritePolicy::WeightedRoundRobin, WritePolicy::demand_driven()]
-            {
+            for policy in [
+                WritePolicy::RoundRobin,
+                WritePolicy::WeightedRoundRobin,
+                WritePolicy::demand_driven(),
+            ] {
                 let (topo, reds, deathstar) = red_with_deathstar(n_red);
                 let cfg = make_cfg(ds.clone(), reds.clone(), 1, 2048);
                 // Compute copies: 1 per data node + 7 on the 8-way node.
@@ -75,7 +80,9 @@ fn main() {
         }
     }
     let _ = rows;
-    t.print("Table 5: execution time (s), Red data nodes + 8-way compute node (ActivePixel, 2048x2048)");
+    t.print(
+        "Table 5: execution time (s), Red data nodes + 8-way compute node (ActivePixel, 2048x2048)",
+    );
     println!(
         "WRR best in {wrr_wins}/{re_ra_rows} RE-Ra-M rows; RR never best: {rr_never_best}; \
          RE-Ra-M beats R-ERa-M in {re_ra_beats}/4 node counts ({cells} cells total)"
@@ -89,6 +96,10 @@ fn main() {
     );
     println!(
         "shape check (WRR wins RE-Ra-M rows; RR never best): {}",
-        if wrr_wins == re_ra_rows && rr_never_best { "OK" } else { "CHECK" }
+        if wrr_wins == re_ra_rows && rr_never_best {
+            "OK"
+        } else {
+            "CHECK"
+        }
     );
 }

@@ -17,7 +17,9 @@ pub struct ExperimentScale {
 
 impl Default for ExperimentScale {
     fn default() -> Self {
-        ExperimentScale { timesteps: timesteps() }
+        ExperimentScale {
+            timesteps: timesteps(),
+        }
     }
 }
 
@@ -43,8 +45,8 @@ pub fn dc_avg(
     spec: &PipelineSpec,
     scale: ExperimentScale,
 ) -> (f64, Vec<PipelineResult>) {
-    let results = dcapp::run_timesteps(topo, cfg, spec, 0..scale.timesteps)
-        .expect("pipeline run failed");
+    let results =
+        dcapp::run_timesteps(topo, cfg, spec, 0..scale.timesteps).expect("pipeline run failed");
     (dcapp::avg_elapsed_secs(&results), results)
 }
 
@@ -55,8 +57,7 @@ pub fn adr_avg(
     cfg: &SharedConfig,
     scale: ExperimentScale,
 ) -> (f64, Vec<adr::AdrResult>) {
-    let results =
-        adr::run_adr_timesteps(topo, cfg, 0..scale.timesteps).expect("ADR run failed");
+    let results = adr::run_adr_timesteps(topo, cfg, 0..scale.timesteps).expect("ADR run failed");
     (adr::avg_elapsed_secs(&results), results)
 }
 

@@ -21,13 +21,20 @@ pub const EOW_WIRE_BYTES: u64 = 32;
 pub struct DataBuffer {
     payload: Box<dyn Any + Send>,
     wire_bytes: u64,
+    /// Name of the payload's concrete type, kept so a mis-wired downcast
+    /// can say what the buffer actually holds.
+    type_name: &'static str,
 }
 
 impl DataBuffer {
     /// Wrap `payload`, declaring its wire size (payload bytes only; framing
     /// overhead is added by the transport).
     pub fn new<T: Any + Send>(payload: T, wire_bytes: u64) -> Self {
-        DataBuffer { payload: Box::new(payload), wire_bytes }
+        DataBuffer {
+            payload: Box::new(payload),
+            wire_bytes,
+            type_name: std::any::type_name::<T>(),
+        }
     }
 
     /// Declared payload wire size.
@@ -43,11 +50,20 @@ impl DataBuffer {
     /// Recover the payload. Panics with a descriptive message on a type
     /// mismatch — that is always a wiring bug, not a data condition.
     pub fn downcast<T: Any>(self) -> T {
+        self.downcast_ctx("stream")
+    }
+
+    /// [`downcast`](Self::downcast) with a caller-supplied context (e.g.
+    /// `"Ra filter input"`) so the mismatch panic names the mis-wired
+    /// stream, what the buffer actually holds, and its declared wire size.
+    pub fn downcast_ctx<T: Any>(self, ctx: &str) -> T {
         match self.payload.downcast::<T>() {
             Ok(b) => *b,
             Err(_) => panic!(
-                "stream payload type mismatch: expected {}",
-                std::any::type_name::<T>()
+                "{ctx}: payload type mismatch: expected {}, buffer holds {} ({} wire bytes)",
+                std::any::type_name::<T>(),
+                self.type_name,
+                self.wire_bytes,
             ),
         }
     }
@@ -60,7 +76,9 @@ impl DataBuffer {
 
 impl std::fmt::Debug for DataBuffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DataBuffer").field("wire_bytes", &self.wire_bytes).finish()
+        f.debug_struct("DataBuffer")
+            .field("wire_bytes", &self.wire_bytes)
+            .finish()
     }
 }
 
@@ -89,5 +107,24 @@ mod tests {
     fn downcast_mismatch_panics() {
         let b = DataBuffer::new(1u32, 4);
         let _ = b.downcast::<String>();
+    }
+
+    #[test]
+    fn mismatch_message_names_both_types_and_wire_size() {
+        let b = DataBuffer::new(7u32, 4);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.downcast_ctx::<String>("Ra filter input")
+        }))
+        .expect_err("mismatched downcast must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("Ra filter input"), "missing context: {msg}");
+        assert!(
+            msg.contains("alloc::string::String"),
+            "missing expected type: {msg}"
+        );
+        assert!(msg.contains("u32"), "missing actual type: {msg}");
+        assert!(msg.contains("4 wire bytes"), "missing wire size: {msg}");
     }
 }

@@ -14,7 +14,10 @@ use crate::policy::{AckHandle, WriterState};
 /// A message on a copy-set queue.
 pub(crate) enum Envelope {
     /// A data buffer with its (optional) demand-driven ack handle.
-    Data { buf: DataBuffer, ack: Option<AckHandle> },
+    Data {
+        buf: DataBuffer,
+        ack: Option<AckHandle>,
+    },
     /// In-band end-of-work marker from one producer copy.
     Eow,
     /// Injected once per consumer copy when all producers' markers for the
@@ -25,7 +28,10 @@ pub(crate) enum Envelope {
 /// Message from a filter copy to its per-stream outbox sender process.
 pub(crate) enum OutMsg {
     /// Route one data envelope to the chosen copy set.
-    Data { copyset_idx: usize, envelope: Envelope },
+    Data {
+        copyset_idx: usize,
+        envelope: Envelope,
+    },
     /// Broadcast an end-of-work marker to every copy set.
     Eow,
 }
@@ -180,12 +186,18 @@ impl FilterCtx {
         let t0 = self.env.now();
         let out = &mut self.outputs[port];
         let idx = out.writer.select(&self.env);
-        let ack = out.writer.demand_state().map(|state| AckHandle { state, copyset_idx: idx });
+        let ack = out.writer.demand_state().map(|state| AckHandle {
+            state,
+            copyset_idx: idx,
+        });
         let bytes = buf.wire_bytes();
         out.outbox_tx
             .send(
                 &self.env,
-                OutMsg::Data { copyset_idx: idx, envelope: Envelope::Data { buf, ack } },
+                OutMsg::Data {
+                    copyset_idx: idx,
+                    envelope: Envelope::Data { buf, ack },
+                },
             )
             .unwrap_or_else(|_| panic!("outbox closed while filter still writing"));
         let waited = self.env.now() - t0;
@@ -207,7 +219,10 @@ impl FilterCtx {
         out.outbox_tx
             .send(
                 &self.env,
-                OutMsg::Data { copyset_idx, envelope: Envelope::Data { buf, ack: None } },
+                OutMsg::Data {
+                    copyset_idx,
+                    envelope: Envelope::Data { buf, ack: None },
+                },
             )
             .unwrap_or_else(|_| panic!("outbox closed while filter still writing"));
         let waited = self.env.now() - t0;
@@ -257,7 +272,11 @@ impl FilterCtx {
     /// most of the positioning overhead (continuation of a file scan).
     pub fn disk_read(&mut self, disk_index: usize, bytes: u64, sequential: bool) {
         let host = self.topo.host(self.info.host);
-        assert!(!host.disks.is_empty(), "host {:?} has no disks", self.info.host);
+        assert!(
+            !host.disks.is_empty(),
+            "host {:?} has no disks",
+            self.info.host
+        );
         let t0 = self.env.now();
         let disk = &host.disks[disk_index % host.disks.len()];
         if sequential {

@@ -31,12 +31,16 @@ pub struct Placement {
 impl Placement {
     /// One copy on each of `hosts`.
     pub fn one_per_host(hosts: &[HostId]) -> Self {
-        Placement { per_host: hosts.iter().map(|&h| (h, 1)).collect() }
+        Placement {
+            per_host: hosts.iter().map(|&h| (h, 1)).collect(),
+        }
     }
 
     /// `copies` copies on a single host.
     pub fn on_host(host: HostId, copies: u32) -> Self {
-        Placement { per_host: vec![(host, copies)] }
+        Placement {
+            per_host: vec![(host, copies)],
+        }
     }
 
     /// Total copies across hosts.
@@ -140,7 +144,12 @@ impl GraphBuilder {
 
     /// Add a filter with the given placement. `factory` is called once per
     /// transparent copy.
-    pub fn add_filter<F, M>(&mut self, name: impl Into<String>, placement: Placement, factory: M) -> FilterId
+    pub fn add_filter<F, M>(
+        &mut self,
+        name: impl Into<String>,
+        placement: Placement,
+        factory: M,
+    ) -> FilterId
     where
         F: Filter + 'static,
         M: Fn(CopyInfo) -> F + Send + Sync + 'static,
@@ -171,8 +180,14 @@ impl GraphBuilder {
         policy: WritePolicy,
         queue_capacity: usize,
     ) -> StreamId {
-        assert!((from.0 as usize) < self.filters.len(), "unknown producer filter");
-        assert!((to.0 as usize) < self.filters.len(), "unknown consumer filter");
+        assert!(
+            (from.0 as usize) < self.filters.len(),
+            "unknown producer filter"
+        );
+        assert!(
+            (to.0 as usize) < self.filters.len(),
+            "unknown consumer filter"
+        );
         assert!(from != to, "a stream cannot connect a filter to itself");
         assert!(queue_capacity >= 1);
         let id = StreamId(self.streams.len() as u32);
@@ -180,13 +195,22 @@ impl GraphBuilder {
             "{}->{}",
             self.filters[from.0 as usize].name, self.filters[to.0 as usize].name
         );
-        self.streams.push(StreamSpec { name, from, to, policy, queue_capacity });
+        self.streams.push(StreamSpec {
+            name,
+            from,
+            to,
+            policy,
+            queue_capacity,
+        });
         id
     }
 
     /// Finish the graph.
     pub fn build(self) -> AppGraph {
-        AppGraph { filters: self.filters, streams: self.streams }
+        AppGraph {
+            filters: self.filters,
+            streams: self.streams,
+        }
     }
 }
 
@@ -207,7 +231,11 @@ mod tests {
     fn build_linear_graph() {
         let mut g = GraphBuilder::new();
         let a = g.add_filter("a", Placement::on_host(HostId(0), 1), |_| Nop);
-        let b = g.add_filter("b", Placement::one_per_host(&[HostId(0), HostId(1)]), |_| Nop);
+        let b = g.add_filter(
+            "b",
+            Placement::one_per_host(&[HostId(0), HostId(1)]),
+            |_| Nop,
+        );
         let s = g.connect(a, b, WritePolicy::RoundRobin);
         let graph = g.build();
         assert_eq!(graph.filter_count(), 2);
@@ -224,7 +252,9 @@ mod tests {
         let mut g = GraphBuilder::new();
         g.add_filter(
             "a",
-            Placement { per_host: vec![(HostId(0), 1), (HostId(0), 2)] },
+            Placement {
+                per_host: vec![(HostId(0), 1), (HostId(0), 2)],
+            },
             |_| Nop,
         );
     }

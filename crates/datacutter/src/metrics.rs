@@ -125,7 +125,10 @@ impl RunReport {
     /// Sum of reference-speed work charged by copies of `f` — the
     /// "processing time of the filter" in the paper's Table 2 sense.
     pub fn filter_work(&self, f: FilterId) -> SimDuration {
-        self.copies_of(f).iter().map(|c| c.counters.work).fold(SimDuration::ZERO, |a, b| a + b)
+        self.copies_of(f)
+            .iter()
+            .map(|c| c.counters.work)
+            .fold(SimDuration::ZERO, |a, b| a + b)
     }
 
     /// Max per-copy compute-elapsed among copies of `f` (critical path
@@ -180,9 +183,27 @@ mod tests {
                 stream: StreamId(0),
                 stream_name: "e->ra".into(),
                 copysets: vec![
-                    (HostId(0), CopySetCounters { buffers_received: 10, bytes_received: 100 }),
-                    (HostId(1), CopySetCounters { buffers_received: 30, bytes_received: 300 }),
-                    (HostId(2), CopySetCounters { buffers_received: 20, bytes_received: 200 }),
+                    (
+                        HostId(0),
+                        CopySetCounters {
+                            buffers_received: 10,
+                            bytes_received: 100,
+                        },
+                    ),
+                    (
+                        HostId(1),
+                        CopySetCounters {
+                            buffers_received: 30,
+                            bytes_received: 300,
+                        },
+                    ),
+                    (
+                        HostId(2),
+                        CopySetCounters {
+                            buffers_received: 20,
+                            bytes_received: 200,
+                        },
+                    ),
                 ],
             }],
         }

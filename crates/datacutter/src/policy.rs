@@ -79,9 +79,10 @@ impl WriterState {
     /// `producer_host`.
     pub fn new(policy: WritePolicy, sets: &[CopySetInfo], producer_host: HostId) -> Self {
         match policy {
-            WritePolicy::RoundRobin => {
-                WriterState::Cyclic { schedule: (0..sets.len()).collect(), pos: 0 }
-            }
+            WritePolicy::RoundRobin => WriterState::Cyclic {
+                schedule: (0..sets.len()).collect(),
+                pos: 0,
+            },
             WritePolicy::WeightedRoundRobin => {
                 // Interleave hosts proportionally to copy counts rather than
                 // bursting: emit one round per "virtual slot".
@@ -148,7 +149,10 @@ impl DemandState {
             inner: Mutex::new(DemandInner {
                 sets: sets.to_vec(),
                 unacked: vec![0; sets.len()],
-                window: sets.iter().map(|s| window_per_copy.max(1) * s.copies.max(1)).collect(),
+                window: sets
+                    .iter()
+                    .map(|s| window_per_copy.max(1) * s.copies.max(1))
+                    .collect(),
                 waiters: Vec::new(),
                 sent: vec![0; sets.len()],
                 cursor: 0,
@@ -245,9 +249,18 @@ mod tests {
 
     fn sets3() -> Vec<CopySetInfo> {
         vec![
-            CopySetInfo { host: HostId(0), copies: 1 },
-            CopySetInfo { host: HostId(1), copies: 2 },
-            CopySetInfo { host: HostId(2), copies: 1 },
+            CopySetInfo {
+                host: HostId(0),
+                copies: 1,
+            },
+            CopySetInfo {
+                host: HostId(1),
+                copies: 2,
+            },
+            CopySetInfo {
+                host: HostId(2),
+                copies: 1,
+            },
         ]
     }
 
@@ -318,14 +331,20 @@ mod tests {
     #[test]
     fn dd_blocks_at_window_until_ack() {
         let mut sim = Simulation::new();
-        let sets = vec![CopySetInfo { host: HostId(0), copies: 1 }];
+        let sets = vec![CopySetInfo {
+            host: HostId(0),
+            copies: 1,
+        }];
         let state_slot: Arc<Mutex<Option<Arc<DemandState>>>> = Arc::new(Mutex::new(None));
         let slot2 = state_slot.clone();
         let progress: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
         let prog2 = progress.clone();
         sim.spawn("p", move |env| {
-            let mut w =
-                WriterState::new(WritePolicy::DemandDriven { window_per_copy: 1 }, &sets, HostId(5));
+            let mut w = WriterState::new(
+                WritePolicy::DemandDriven { window_per_copy: 1 },
+                &sets,
+                HostId(5),
+            );
             *slot2.lock() = Some(w.demand_state().unwrap());
             for _ in 0..2 {
                 let _ = w.select(&env);
@@ -346,10 +365,16 @@ mod tests {
     #[test]
     fn dd_window_scales_with_copies() {
         let mut sim = Simulation::new();
-        let sets = vec![CopySetInfo { host: HostId(0), copies: 3 }];
+        let sets = vec![CopySetInfo {
+            host: HostId(0),
+            copies: 3,
+        }];
         sim.spawn("p", move |env| {
-            let mut w =
-                WriterState::new(WritePolicy::DemandDriven { window_per_copy: 2 }, &sets, HostId(5));
+            let mut w = WriterState::new(
+                WritePolicy::DemandDriven { window_per_copy: 2 },
+                &sets,
+                HostId(5),
+            );
             // Window = 2 * 3 = 6 slots available without blocking.
             for _ in 0..6 {
                 let _ = w.select(&env);

@@ -20,9 +20,7 @@ use crate::buffer::{ACK_WIRE_BYTES, EOW_WIRE_BYTES};
 use crate::context::{Envelope, FilterCtx, InputPort, OutMsg, OutputPort, UowGate};
 use crate::filter::CopyInfo;
 use crate::graph::{AppGraph, FilterId};
-use crate::metrics::{
-    CopyCell, CopyCounters, CopyReport, CopySetCell, RunReport, StreamReport,
-};
+use crate::metrics::{CopyCell, CopyCounters, CopyReport, CopySetCell, RunReport, StreamReport};
 use crate::policy::{AckHandle, CopySetInfo, WriterState};
 
 /// Capacity of each per-copy outbox (models the kernel socket buffer that
@@ -127,25 +125,43 @@ fn run_app_full(
             let (tx, rx) = hetsim::channel(waker.clone(), cap.max(1));
             data_txs.push(tx);
             data_rxs.push(rx);
-            gates.push(Arc::new(Mutex::new(UowGate { producers, copies, eows: 0 })));
+            gates.push(Arc::new(Mutex::new(UowGate {
+                producers,
+                copies,
+                eows: 0,
+            })));
             let (ctx_tx, ctx_rx) = hetsim::channel::<AckHandle>(waker.clone(), COURIER_CAPACITY);
             courier_txs.push(ctx_tx);
             cells.push(CopySetCell::default());
             // Ack courier for this copy set: pays the reverse network path
             // for each acknowledgment, then credits the producer's window.
             let topo2 = topo.clone();
-            sim.spawn(format!("courier:{}@h{}", spec.name, host.0), move |env: Env| {
-                while let Some(ack) = ctx_rx.recv(&env) {
-                    topo2.transfer(&env, host, ack.state.producer_host(), ACK_WIRE_BYTES);
-                    ack.state.ack(&env, ack.copyset_idx);
-                }
-            });
+            sim.spawn(
+                format!("courier:{}@h{}", spec.name, host.0),
+                move |env: Env| {
+                    while let Some(ack) = ctx_rx.recv(&env) {
+                        topo2.transfer(&env, host, ack.state.producer_host(), ACK_WIRE_BYTES);
+                        ack.state.ack(&env, ack.copyset_idx);
+                    }
+                },
+            );
         }
-        streams_rt.push(StreamRt { sets, data_txs, data_rxs, courier_txs, gates, cells });
+        streams_rt.push(StreamRt {
+            sets,
+            data_txs,
+            data_rxs,
+            courier_txs,
+            gates,
+            cells,
+        });
     }
 
     // ---- per-copy spawning ------------------------------------------------
-    let all_copies: u32 = graph.filters.iter().map(|f| f.placement.total_copies()).sum();
+    let all_copies: u32 = graph
+        .filters
+        .iter()
+        .map(|f| f.placement.total_copies())
+        .sum();
     let barrier = hetsim::Barrier::new(all_copies as usize);
     let uow_boundaries: Arc<Mutex<Vec<SimTime>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -190,7 +206,10 @@ fn run_app_full(
                         move |env: Env| {
                             while let Some(msg) = outbox_rx.recv(&env) {
                                 match msg {
-                                    OutMsg::Data { copyset_idx, envelope } => {
+                                    OutMsg::Data {
+                                        copyset_idx,
+                                        envelope,
+                                    } => {
                                         let bytes = match &envelope {
                                             Envelope::Data { buf, .. } => buf.transport_bytes(),
                                             _ => EOW_WIRE_BYTES,
@@ -279,7 +298,11 @@ fn run_app_full(
         .map(|rt| {
             (
                 String::new(),
-                rt.sets.iter().map(|s| s.host).zip(rt.cells.iter().cloned()).collect(),
+                rt.sets
+                    .iter()
+                    .map(|s| s.host)
+                    .zip(rt.cells.iter().cloned())
+                    .collect(),
             )
         })
         .collect();
@@ -304,7 +327,10 @@ fn run_app_full(
         .map(|(i, (_, sets))| StreamReport {
             stream: crate::graph::StreamId(i as u32),
             stream_name: graph.streams[i].name.clone(),
-            copysets: sets.into_iter().map(|(h, c)| (h, c.lock().clone())).collect(),
+            copysets: sets
+                .into_iter()
+                .map(|(h, c)| (h, c.lock().clone()))
+                .collect(),
         })
         .collect();
 
@@ -401,11 +427,17 @@ mod tests {
     ) -> (RunReport, Vec<u32>) {
         let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
         let mut g = GraphBuilder::new();
-        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), move |_| Source { n: n_items });
+        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), move |_| Source {
+            n: n_items,
+        });
         let work = SimDuration::from_millis(worker_work_ms);
-        let dbl = g.add_filter("dbl", Placement::one_per_host(worker_hosts), move |_| Doubler { work });
+        let dbl = g.add_filter("dbl", Placement::one_per_host(worker_hosts), move |_| {
+            Doubler { work }
+        });
         let out2 = out.clone();
-        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect { out: out2.clone() });
+        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect {
+            out: out2.clone(),
+        });
         g.connect(src, dbl, policy);
         g.connect(dbl, snk, WritePolicy::RoundRobin);
         let report = run_app(topo, g.build()).unwrap();
@@ -416,8 +448,13 @@ mod tests {
     #[test]
     fn linear_pipeline_delivers_everything() {
         let topo = flat_topology(3);
-        let (report, mut got) =
-            pipeline(&topo, WritePolicy::RoundRobin, 20, &[HostId(1), HostId(2)], 2);
+        let (report, mut got) = pipeline(
+            &topo,
+            WritePolicy::RoundRobin,
+            20,
+            &[HostId(1), HostId(2)],
+            2,
+        );
         got.sort_unstable();
         let want: Vec<u32> = (0..20).map(|i| i * 2).collect();
         assert_eq!(got, want);
@@ -435,15 +472,23 @@ mod tests {
         let topo = flat_topology(3);
         let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
         let mut g = GraphBuilder::new();
-        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| Source { n: 30 });
+        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| Source {
+            n: 30,
+        });
         // Host1 gets 2 copies, host2 gets 1.
         let dbl = g.add_filter(
             "dbl",
-            Placement { per_host: vec![(HostId(1), 2), (HostId(2), 1)] },
-            |_| Doubler { work: SimDuration::from_millis(1) },
+            Placement {
+                per_host: vec![(HostId(1), 2), (HostId(2), 1)],
+            },
+            |_| Doubler {
+                work: SimDuration::from_millis(1),
+            },
         );
         let out2 = out.clone();
-        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect { out: out2.clone() });
+        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect {
+            out: out2.clone(),
+        });
         g.connect(src, dbl, WritePolicy::WeightedRoundRobin);
         g.connect(dbl, snk, WritePolicy::RoundRobin);
         let report = run_app(&topo, g.build()).unwrap();
@@ -477,14 +522,22 @@ mod tests {
             );
         }
         let topo = b.build();
-        let (report, got) =
-            pipeline(&topo, WritePolicy::demand_driven(), 40, &[HostId(1), HostId(2)], 4);
+        let (report, got) = pipeline(
+            &topo,
+            WritePolicy::demand_driven(),
+            40,
+            &[HostId(1), HostId(2)],
+            4,
+        );
         assert_eq!(got.len(), 40);
         let s = report.stream(crate::graph::StreamId(0));
         let fast = s.copysets[0].1.buffers_received;
         let slow = s.copysets[1].1.buffers_received;
         assert_eq!(fast + slow, 40);
-        assert!(fast > slow * 2, "DD should favour the fast host: fast={fast} slow={slow}");
+        assert!(
+            fast > slow * 2,
+            "DD should favour the fast host: fast={fast} slow={slow}"
+        );
     }
 
     #[test]
@@ -513,10 +566,21 @@ mod tests {
             b.build()
         };
         let topo = mk();
-        let (rr, _) = pipeline(&topo, WritePolicy::RoundRobin, 40, &[HostId(1), HostId(2)], 4);
+        let (rr, _) = pipeline(
+            &topo,
+            WritePolicy::RoundRobin,
+            40,
+            &[HostId(1), HostId(2)],
+            4,
+        );
         let topo = mk();
-        let (dd, _) =
-            pipeline(&topo, WritePolicy::demand_driven(), 40, &[HostId(1), HostId(2)], 4);
+        let (dd, _) = pipeline(
+            &topo,
+            WritePolicy::demand_driven(),
+            40,
+            &[HostId(1), HostId(2)],
+            4,
+        );
         assert!(
             dd.elapsed < rr.elapsed,
             "DD ({}) should beat RR ({}) under heterogeneity",
@@ -528,7 +592,13 @@ mod tests {
     #[test]
     fn copy_metrics_account_for_work() {
         let topo = flat_topology(3);
-        let (report, _) = pipeline(&topo, WritePolicy::RoundRobin, 10, &[HostId(1), HostId(2)], 3);
+        let (report, _) = pipeline(
+            &topo,
+            WritePolicy::RoundRobin,
+            10,
+            &[HostId(1), HostId(2)],
+            3,
+        );
         let dbl = FilterId(1);
         // 10 buffers x 3 ms of work across copies.
         assert_eq!(report.filter_work(dbl).as_nanos(), 30_000_000);
@@ -543,13 +613,17 @@ mod tests {
         let topo = flat_topology(2);
         let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
         let mut g = GraphBuilder::new();
-        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| Source { n: 24 });
+        let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| Source {
+            n: 24,
+        });
         // 3 copies on one host: one copy set with demand-based sharing.
         let dbl = g.add_filter("dbl", Placement::on_host(HostId(1), 3), |_| Doubler {
             work: SimDuration::from_millis(2),
         });
         let out2 = out.clone();
-        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect { out: out2.clone() });
+        let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect {
+            out: out2.clone(),
+        });
         g.connect(src, dbl, WritePolicy::RoundRobin);
         g.connect(dbl, snk, WritePolicy::RoundRobin);
         let report = run_app(&topo, g.build()).unwrap();
@@ -620,7 +694,9 @@ mod tests {
         }
         let mut g = GraphBuilder::new();
         let log2 = log.clone();
-        g.add_filter("lc", Placement::on_host(HostId(0), 1), move |_| Lifecycle { log: log2.clone() });
+        g.add_filter("lc", Placement::on_host(HostId(0), 1), move |_| Lifecycle {
+            log: log2.clone(),
+        });
         run_app(&topo, g.build()).unwrap();
         assert_eq!(*log.lock(), vec!["init", "process", "finalize"]);
     }
@@ -644,8 +720,8 @@ mod tests {
         let mut g = GraphBuilder::new();
         let s = g.add_filter("split", Placement::on_host(HostId(0), 1), |_| Splitter);
         let e2 = evens.clone();
-        let ce = g.add_filter("evens", Placement::on_host(HostId(1), 1), move |_| Collect {
-            out: e2.clone(),
+        let ce = g.add_filter("evens", Placement::on_host(HostId(1), 1), move |_| {
+            Collect { out: e2.clone() }
         });
         let o2 = odds.clone();
         let co = g.add_filter("odds", Placement::on_host(HostId(2), 1), move |_| Collect {
@@ -728,7 +804,10 @@ mod tests {
         let compute = busy.iter().find(|(l, _)| l == "compute").unwrap().1;
         assert!(compute.as_nanos() >= 15_000_000, "compute total {compute}");
         // Spans carry the copy identity.
-        assert!(trace.timeline().iter().any(|s| s.detail.starts_with("dbl#0")));
+        assert!(trace
+            .timeline()
+            .iter()
+            .any(|s| s.detail.starts_with("dbl#0")));
     }
 
     #[test]
@@ -801,9 +880,10 @@ mod tests {
                 self.log.lock().push(format!("fini{}", ctx.uow()));
             }
         }
-        let got: Arc<Mutex<Vec<(u32, Vec<u32>)>>> = Arc::new(Mutex::new(Vec::new()));
+        type UowLog = Arc<Mutex<Vec<(u32, Vec<u32>)>>>;
+        let got: UowLog = Arc::new(Mutex::new(Vec::new()));
         struct PerUow {
-            got: Arc<Mutex<Vec<(u32, Vec<u32>)>>>,
+            got: UowLog,
             current: Vec<u32>,
         }
         impl Filter for PerUow {
@@ -835,7 +915,10 @@ mod tests {
 
         // Lifecycle ran once per UOW on the source.
         let l = log.lock().clone();
-        assert_eq!(l, vec!["init0", "fini0", "init1", "fini1", "init2", "fini2"]);
+        assert_eq!(
+            l,
+            vec!["init0", "fini0", "init1", "fini1", "init2", "fini2"]
+        );
         // Each UOW's data stayed within its cycle.
         let v = got.lock().clone();
         assert_eq!(v.len(), 3);
@@ -870,8 +953,12 @@ mod tests {
         let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| UowSource);
         let dbl = g.add_filter(
             "dbl",
-            Placement { per_host: vec![(HostId(1), 2), (HostId(2), 1)] },
-            |_| Doubler { work: SimDuration::from_millis(2) },
+            Placement {
+                per_host: vec![(HostId(1), 2), (HostId(2), 1)],
+            },
+            |_| Doubler {
+                work: SimDuration::from_millis(2),
+            },
         );
         let out2 = out.clone();
         let snk = g.add_filter("snk", Placement::on_host(HostId(0), 1), move |_| Collect {
@@ -907,7 +994,9 @@ mod tests {
         }
         let src = g.add_filter("src", Placement::on_host(HostId(0), 1), |_| SlowSource);
         let out2 = out.clone();
-        let snk = g.add_filter("snk", Placement::on_host(HostId(1), 1), move |_| Collect { out: out2.clone() });
+        let snk = g.add_filter("snk", Placement::on_host(HostId(1), 1), move |_| Collect {
+            out: out2.clone(),
+        });
         g.connect(src, snk, WritePolicy::RoundRobin);
         let report = run_app(&topo, g.build()).unwrap();
         let snk_copy = &report.copies_of(snk)[0];

@@ -29,7 +29,13 @@ pub fn run_pipeline(
     cfg: &SharedConfig,
     spec: &PipelineSpec,
 ) -> Result<PipelineResult, SimError> {
-    let Pipeline { graph, image, to_raster, to_merge, filters } = build_pipeline(cfg, spec);
+    let Pipeline {
+        graph,
+        image,
+        to_raster,
+        to_merge,
+        filters,
+    } = build_pipeline(cfg, spec);
     let report = run_app(topo, graph)?;
     let mut images = std::mem::take(&mut *image.lock());
     assert_eq!(images.len(), 1, "single-UOW run deposits exactly one image");
@@ -69,7 +75,11 @@ pub fn run_pipeline_uows(
     let images = std::mem::take(&mut *image.lock());
     assert_eq!(images.len(), uows as usize, "one image per unit of work");
     let uow_elapsed = report.uow_elapsed();
-    Ok(MultiUowResult { report, images, uow_elapsed })
+    Ok(MultiUowResult {
+        report,
+        images,
+        uow_elapsed,
+    })
 }
 
 /// Run `spec` for `timesteps` consecutive timesteps (fresh simulation per
@@ -182,7 +192,9 @@ mod tests {
             let s = spec(
                 &topo,
                 &cfg,
-                Grouping::RERaSplit { raster: Placement::one_per_host(&cfg.storage_hosts) },
+                Grouping::RERaSplit {
+                    raster: Placement::one_per_host(&cfg.storage_hosts),
+                },
                 alg,
             );
             let r = run_pipeline(&topo, &cfg, &s).unwrap();
@@ -197,7 +209,9 @@ mod tests {
         let s = spec(
             &topo,
             &cfg,
-            Grouping::REraSplit { era: Placement::one_per_host(&cfg.storage_hosts) },
+            Grouping::REraSplit {
+                era: Placement::one_per_host(&cfg.storage_hosts),
+            },
             Algorithm::ActivePixel,
         );
         let r = run_pipeline(&topo, &cfg, &s).unwrap();
@@ -266,7 +280,9 @@ mod tests {
             spec(
                 &topo,
                 &cfg,
-                Grouping::RERaSplit { raster: Placement::one_per_host(&cfg.storage_hosts) },
+                Grouping::RERaSplit {
+                    raster: Placement::one_per_host(&cfg.storage_hosts),
+                },
                 alg,
             )
         };
@@ -282,12 +298,17 @@ mod tests {
         let (topo, cfg) = small_setup(2, 96);
         // Query the lower octant of the volume.
         let mut c = clone_config(&cfg);
-        c.query = Some(volume::CellRange { lo: (0, 0, 0), hi: (12, 12, 12) });
+        c.query = Some(volume::CellRange {
+            lo: (0, 0, 0),
+            hi: (12, 12, 12),
+        });
         let cfg_q: SharedConfig = Arc::new(c);
         let s = spec(
             &topo,
             &cfg_q,
-            Grouping::RERaSplit { raster: Placement::one_per_host(&cfg_q.storage_hosts) },
+            Grouping::RERaSplit {
+                raster: Placement::one_per_host(&cfg_q.storage_hosts),
+            },
             Algorithm::ActivePixel,
         );
         let full = run_pipeline(&topo, &cfg, &s).unwrap();
@@ -296,11 +317,22 @@ mod tests {
         assert_eq!(part.image.diff_pixels(&reference_image(&cfg_q)), 0);
         // Different from the full rendering, and cheaper.
         assert!(part.image.diff_pixels(&full.image) > 0);
-        let full_disk: u64 =
-            full.report.copies.iter().map(|c| c.counters.disk_bytes).sum();
-        let part_disk: u64 =
-            part.report.copies.iter().map(|c| c.counters.disk_bytes).sum();
-        assert!(part_disk < full_disk / 2, "query read {part_disk} vs full {full_disk}");
+        let full_disk: u64 = full
+            .report
+            .copies
+            .iter()
+            .map(|c| c.counters.disk_bytes)
+            .sum();
+        let part_disk: u64 = part
+            .report
+            .copies
+            .iter()
+            .map(|c| c.counters.disk_bytes)
+            .sum();
+        assert!(
+            part_disk < full_disk / 2,
+            "query read {part_disk} vs full {full_disk}"
+        );
         assert!(part.elapsed < full.elapsed);
     }
 
@@ -308,7 +340,10 @@ mod tests {
     fn empty_range_query_renders_background() {
         let (topo, cfg) = small_setup(2, 64);
         let mut c = clone_config(&cfg);
-        c.query = Some(volume::CellRange { lo: (5, 5, 5), hi: (5, 9, 9) });
+        c.query = Some(volume::CellRange {
+            lo: (5, 5, 5),
+            hi: (5, 9, 9),
+        });
         let cfg_q: SharedConfig = Arc::new(c);
         let s = spec(&topo, &cfg_q, Grouping::RERaM, Algorithm::ZBuffer);
         let r = run_pipeline(&topo, &cfg_q, &s).unwrap();
@@ -344,13 +379,17 @@ mod tests {
         let replicated = spec(
             &topo,
             &cfg,
-            Grouping::RERaSplit { raster: Placement::one_per_host(&cfg.storage_hosts) },
+            Grouping::RERaSplit {
+                raster: Placement::one_per_host(&cfg.storage_hosts),
+            },
             Algorithm::ZBuffer,
         );
         let partitioned = spec(
             &topo,
             &cfg,
-            Grouping::ImagePartitioned { raster: Placement::one_per_host(&cfg.storage_hosts) },
+            Grouping::ImagePartitioned {
+                raster: Placement::one_per_host(&cfg.storage_hosts),
+            },
             Algorithm::ZBuffer,
         );
         let rr = run_pipeline(&topo, &cfg, &replicated).unwrap();
@@ -368,7 +407,9 @@ mod tests {
         let s = spec(
             &topo,
             &cfg,
-            Grouping::RERaSplit { raster: Placement::one_per_host(&cfg.storage_hosts) },
+            Grouping::RERaSplit {
+                raster: Placement::one_per_host(&cfg.storage_hosts),
+            },
             Algorithm::ActivePixel,
         );
         let multi = run_pipeline_uows(&topo, &cfg, &s, 3).unwrap();
@@ -396,7 +437,9 @@ mod tests {
         let s = spec(
             &topo,
             &cfg,
-            Grouping::RERaSplit { raster: Placement::one_per_host(&cfg.storage_hosts) },
+            Grouping::RERaSplit {
+                raster: Placement::one_per_host(&cfg.storage_hosts),
+            },
             Algorithm::ZBuffer,
         );
         let multi = run_pipeline_uows(&topo, &cfg, &s, 2).unwrap();
@@ -413,6 +456,9 @@ mod tests {
         let results = run_timesteps(&topo, &cfg, &s, 0..3).unwrap();
         assert_eq!(results.len(), 3);
         assert!(avg_elapsed_secs(&results) > 0.0);
-        assert!(results[0].image.diff_pixels(&results[2].image) > 0, "fields evolve over time");
+        assert!(
+            results[0].image.diff_pixels(&results[2].image) > 0,
+            "fields evolve over time"
+        );
     }
 }

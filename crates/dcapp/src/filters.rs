@@ -38,7 +38,9 @@ pub struct ReadFilter {
 impl ReadFilter {
     /// `node_index` selects which storage node's files this copy serves.
     pub fn new(cfg: SharedConfig, node_index: usize) -> Self {
-        ReadFilter { stage: ReadStage { cfg, node_index } }
+        ReadFilter {
+            stage: ReadStage { cfg, node_index },
+        }
     }
 }
 
@@ -58,7 +60,9 @@ pub struct ExtractFilter {
 impl ExtractFilter {
     /// Build from shared config.
     pub fn new(cfg: SharedConfig) -> Self {
-        ExtractFilter { stage: ExtractStage::new(cfg) }
+        ExtractFilter {
+            stage: ExtractStage::new(cfg),
+        }
     }
 }
 
@@ -69,7 +73,7 @@ impl Filter for ExtractFilter {
 
     fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
         while let Some(b) = ctx.read(0) {
-            let chunk = b.downcast::<ChunkPayload>();
+            let chunk = b.downcast_ctx::<ChunkPayload>("E filter input");
             self.stage.feed(ctx, chunk, write_tris);
         }
         self.stage.flush(ctx, write_tris);
@@ -91,12 +95,22 @@ impl RasterFilter {
     /// Build for the given algorithm (image-replicated: every copy sees
     /// the whole screen).
     pub fn new(cfg: SharedConfig, alg: Algorithm) -> Self {
-        RasterFilter { cfg, alg, scissor: None, stage: None }
+        RasterFilter {
+            cfg,
+            alg,
+            scissor: None,
+            stage: None,
+        }
     }
 
     /// Build a copy owning only image rows `[band.0, band.1)`.
     pub fn partitioned(cfg: SharedConfig, alg: Algorithm, band: (u32, u32)) -> Self {
-        RasterFilter { cfg, alg, scissor: Some(band), stage: None }
+        RasterFilter {
+            cfg,
+            alg,
+            scissor: Some(band),
+            stage: None,
+        }
     }
 }
 
@@ -109,7 +123,7 @@ impl Filter for RasterFilter {
     fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
         let stage = self.stage.as_mut().expect("init ran");
         while let Some(b) = ctx.read(0) {
-            let batch = b.downcast::<TriBatch>();
+            let batch = b.downcast_ctx::<TriBatch>("Ra filter input");
             stage.feed(&self.cfg, ctx, batch, write_raout);
         }
         stage.finish(&self.cfg, ctx, write_raout);
@@ -132,7 +146,11 @@ pub struct MergeFilter {
 impl MergeFilter {
     /// The final image is deposited into `slot` at finalize.
     pub fn new(cfg: SharedConfig, slot: ImageSlot) -> Self {
-        MergeFilter { stage: None, cfg, slot }
+        MergeFilter {
+            stage: None,
+            cfg,
+            slot,
+        }
     }
 }
 
@@ -144,7 +162,7 @@ impl Filter for MergeFilter {
     fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
         let stage = self.stage.as_mut().expect("init ran");
         while let Some(b) = ctx.read(0) {
-            let out = b.downcast::<RaOut>();
+            let out = b.downcast_ctx::<RaOut>("M filter input");
             stage.feed(ctx, out);
         }
         Ok(())
@@ -168,7 +186,10 @@ impl ReadExtractFilter {
     /// `node_index` selects the storage node this copy serves.
     pub fn new(cfg: SharedConfig, node_index: usize) -> Self {
         ReadExtractFilter {
-            read: ReadStage { cfg: cfg.clone(), node_index },
+            read: ReadStage {
+                cfg: cfg.clone(),
+                node_index,
+            },
             extract: ExtractStage::new(cfg),
         }
     }
@@ -203,7 +224,10 @@ impl PartitionedReadExtractFilter {
     /// sets' image bands, indexed by copy-set index.
     pub fn new(cfg: SharedConfig, node_index: usize, bands: Vec<(u32, u32)>) -> Self {
         PartitionedReadExtractFilter {
-            read: ReadStage { cfg: cfg.clone(), node_index },
+            read: ReadStage {
+                cfg: cfg.clone(),
+                node_index,
+            },
             extract: RoutedExtractStage::new(cfg, bands),
         }
     }
@@ -239,7 +263,12 @@ pub struct ExtractRasterFilter {
 impl ExtractRasterFilter {
     /// Build for the given algorithm.
     pub fn new(cfg: SharedConfig, alg: Algorithm) -> Self {
-        ExtractRasterFilter { extract: ExtractStage::new(cfg.clone()), cfg, alg, raster: None }
+        ExtractRasterFilter {
+            extract: ExtractStage::new(cfg.clone()),
+            cfg,
+            alg,
+            raster: None,
+        }
     }
 }
 
@@ -254,7 +283,7 @@ impl Filter for ExtractRasterFilter {
         let extract = &mut self.extract;
         let cfg = &self.cfg;
         while let Some(b) = ctx.read(0) {
-            let chunk = b.downcast::<ChunkPayload>();
+            let chunk = b.downcast_ctx::<ChunkPayload>("ERa filter input");
             extract.feed(ctx, chunk, |ctx, tris| {
                 raster.feed(cfg, ctx, tris, write_raout);
             });
@@ -281,7 +310,10 @@ impl ReadExtractRasterFilter {
     /// `node_index` selects the storage node this copy serves.
     pub fn new(cfg: SharedConfig, alg: Algorithm, node_index: usize) -> Self {
         ReadExtractRasterFilter {
-            read: ReadStage { cfg: cfg.clone(), node_index },
+            read: ReadStage {
+                cfg: cfg.clone(),
+                node_index,
+            },
             extract: ExtractStage::new(cfg.clone()),
             cfg,
             alg,

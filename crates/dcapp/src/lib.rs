@@ -20,13 +20,14 @@ pub mod filters;
 pub mod payload;
 pub mod pipeline;
 pub mod planner;
+pub mod pool;
 
 mod parts;
 
 pub use config::{Algorithm, AppConfig, CostModel, SharedConfig};
 pub use experiment::{
-    run_pipeline_uows, MultiUowResult,
-    avg_elapsed_secs, clone_config, reference_image, run_pipeline, run_timesteps, PipelineResult,
+    avg_elapsed_secs, clone_config, reference_image, run_pipeline, run_pipeline_uows,
+    run_timesteps, MultiUowResult, PipelineResult,
 };
 pub use filters::{
     ExtractFilter, ExtractRasterFilter, ImageSlot, MergeFilter, PartitionedReadExtractFilter,
@@ -35,3 +36,4 @@ pub use filters::{
 pub use payload::{ChunkPayload, RaOut, TriBatch};
 pub use pipeline::{build_pipeline, Grouping, Pipeline, PipelineSpec};
 pub use planner::{estimate_work, plan, Plan, WorkEstimate};
+pub use pool::{BufferPool, PoolVec};

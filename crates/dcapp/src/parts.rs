@@ -12,6 +12,7 @@ use isosurf::{
 
 use crate::config::{Algorithm, SharedConfig};
 use crate::payload::{ChunkPayload, RaOut, TriBatch};
+use crate::pool::BufferPool;
 
 /// Reads this storage node's declustered chunks off its local disks.
 pub(crate) struct ReadStage {
@@ -43,22 +44,39 @@ impl ReadStage {
                 sequential = true;
                 ctx.compute(self.cfg.cost.read_cost(bytes));
                 let info = self.cfg.dataset.chunk_info(chunk);
-                let grid = self.cfg.dataset.read_chunk(self.cfg.species, timestep, chunk);
-                sink(ctx, ChunkPayload { origin: info.cell_origin, grid });
+                let grid = self
+                    .cfg
+                    .dataset
+                    .read_chunk(self.cfg.species, timestep, chunk);
+                sink(
+                    ctx,
+                    ChunkPayload {
+                        origin: info.cell_origin,
+                        grid,
+                    },
+                );
             }
         }
     }
 }
 
-/// Marching-cubes extraction with fixed-size triangle batching.
+/// Marching-cubes extraction with fixed-size triangle batching. Outgoing
+/// batches draw from a per-copy [`BufferPool`], so after the first unit
+/// of work the batching loop allocates nothing: consumers dropping a
+/// [`TriBatch`] recycle its buffer back here.
 pub(crate) struct ExtractStage {
     pub cfg: SharedConfig,
     pending: Vec<Triangle>,
+    pool: BufferPool<Triangle>,
 }
 
 impl ExtractStage {
     pub fn new(cfg: SharedConfig) -> Self {
-        ExtractStage { pending: Vec::new(), cfg }
+        ExtractStage {
+            pending: Vec::new(),
+            pool: BufferPool::new(),
+            cfg,
+        }
     }
 
     /// Drop any state from a previous unit of work (call from `init`).
@@ -78,7 +96,10 @@ impl ExtractStage {
         let produced = self.pending.len() - before;
         ctx.compute(self.cfg.cost.extract_cost(stats.cells, produced as u64));
         while self.pending.len() >= self.cfg.tri_batch {
-            let batch: Vec<Triangle> = self.pending.drain(..self.cfg.tri_batch).collect();
+            let mut batch = self.pool.take(self.cfg.tri_batch);
+            batch
+                .buf_mut()
+                .extend(self.pending.drain(..self.cfg.tri_batch));
             sink(ctx, TriBatch { tris: batch });
         }
     }
@@ -86,7 +107,8 @@ impl ExtractStage {
     /// Emit any partial batch (call at end-of-work).
     pub fn flush(&mut self, ctx: &mut FilterCtx, mut sink: impl FnMut(&mut FilterCtx, TriBatch)) {
         if !self.pending.is_empty() {
-            let batch: Vec<Triangle> = std::mem::take(&mut self.pending);
+            let mut batch = self.pool.take(self.pending.len());
+            batch.buf_mut().append(&mut self.pending);
             sink(ctx, TriBatch { tris: batch });
         }
     }
@@ -97,8 +119,20 @@ impl ExtractStage {
 /// (image-partitioned rendering, the paper's §6 alternative to
 /// image-replication).
 pub(crate) enum RasterStage {
-    Zb { zb: ZBuffer, scissor: Option<(u32, u32)> },
-    Ap { ap: ActivePixelBuffer, scissor: Option<(u32, u32)> },
+    Zb {
+        zb: ZBuffer,
+        scissor: Option<(u32, u32)>,
+        /// Band buffers for end-of-work shipping, recycled by the merge.
+        dpool: BufferPool<f32>,
+        cpool: BufferPool<[u8; 3]>,
+    },
+    Ap {
+        ap: ActivePixelBuffer,
+        scissor: Option<(u32, u32)>,
+        /// WPA batch buffers: recycled ones are re-supplied to `ap` before
+        /// each feed, so steady-state flushes allocate nothing.
+        pool: BufferPool<WinningPixel>,
+    },
 }
 
 impl RasterStage {
@@ -112,10 +146,13 @@ impl RasterStage {
             Algorithm::ZBuffer => RasterStage::Zb {
                 zb: ZBuffer::new(cfg.camera.width, cfg.camera.height),
                 scissor,
+                dpool: BufferPool::new(),
+                cpool: BufferPool::new(),
             },
             Algorithm::ActivePixel => RasterStage::Ap {
                 ap: ActivePixelBuffer::new(cfg.camera.width, cfg.wpa_capacity),
                 scissor,
+                pool: BufferPool::new(),
             },
         }
     }
@@ -134,25 +171,33 @@ impl RasterStage {
         let (w, h) = (cfg.camera.width, cfg.camera.height);
         let mut pixels = 0u64;
         match self {
-            RasterStage::Zb { zb, scissor } => {
+            RasterStage::Zb { zb, scissor, .. } => {
                 let band = scissor.unwrap_or((0, h));
-                for t in &batch.tris {
-                    if let Some(p) = raster_triangle(&proj, w, h, &cfg.material, t, |x, y, d, rgb| {
-                        if y >= band.0 && y < band.1 {
-                            zb.plot(x, y, d, rgb);
-                        }
-                    }) {
+                for t in batch.tris.iter() {
+                    if let Some(p) =
+                        raster_triangle(&proj, w, h, &cfg.material, t, |x, y, d, rgb| {
+                            if y >= band.0 && y < band.1 {
+                                zb.plot(x, y, d, rgb);
+                            }
+                        })
+                    {
                         pixels += p;
                     }
                 }
                 ctx.compute(cfg.cost.raster_cost(batch.tris.len() as u64, pixels));
             }
-            RasterStage::Ap { ap, scissor } => {
+            RasterStage::Ap { ap, scissor, pool } => {
+                // Re-arm the active-pixel buffer with every batch buffer the
+                // merge has recycled since the last feed: flushes then reuse
+                // them instead of allocating.
+                while let Some(v) = pool.try_take_raw() {
+                    ap.supply(v);
+                }
                 let band = scissor.unwrap_or((0, h));
                 let mut flushed: Vec<Vec<WinningPixel>> = Vec::new();
                 {
                     let mut on_flush = |b: Vec<WinningPixel>| flushed.push(b);
-                    for t in &batch.tris {
+                    for t in batch.tris.iter() {
                         if let Some(p) =
                             raster_triangle(&proj, w, h, &cfg.material, t, |x, y, d, rgb| {
                                 if y >= band.0 && y < band.1 {
@@ -166,7 +211,7 @@ impl RasterStage {
                 }
                 ctx.compute(cfg.cost.raster_cost(batch.tris.len() as u64, pixels));
                 for b in flushed {
-                    sink(ctx, RaOut::Wpa(b));
+                    sink(ctx, RaOut::Wpa(pool.adopt(b)));
                 }
             }
         }
@@ -182,10 +227,16 @@ impl RasterStage {
         mut sink: impl FnMut(&mut FilterCtx, RaOut),
     ) {
         match self {
-            RasterStage::Zb { zb, scissor } => {
+            RasterStage::Zb {
+                zb,
+                scissor,
+                dpool,
+                cpool,
+            } => {
                 // Only this stage's owned rows travel to the merge — the
                 // whole image under replication, just the band under
-                // partitioning.
+                // partitioning. Band buffers are pooled: the merge dropping
+                // a band returns both vectors here for the next timestep.
                 let (owned_lo, owned_hi) = scissor.unwrap_or((0, zb.height));
                 let rows = cfg.band_rows();
                 let w = zb.width;
@@ -194,23 +245,27 @@ impl RasterStage {
                     let n = rows.min(owned_hi - y0);
                     let a = (y0 * w) as usize;
                     let b = ((y0 + n) * w) as usize;
+                    let mut depth = dpool.take(b - a);
+                    depth.buf_mut().extend_from_slice(&zb.depth[a..b]);
+                    let mut color = cpool.take(b - a);
+                    color.buf_mut().extend_from_slice(&zb.color[a..b]);
                     sink(
                         ctx,
                         RaOut::Band {
                             y0,
                             width: w,
-                            depth: zb.depth[a..b].to_vec(),
-                            color: zb.color[a..b].to_vec(),
+                            depth,
+                            color,
                         },
                     );
                     y0 += n;
                 }
             }
-            RasterStage::Ap { ap, .. } => {
+            RasterStage::Ap { ap, pool, .. } => {
                 let mut flushed: Vec<Vec<WinningPixel>> = Vec::new();
                 ap.force_flush(&mut |b| flushed.push(b));
                 for b in flushed {
-                    sink(ctx, RaOut::Wpa(b));
+                    sink(ctx, RaOut::Wpa(pool.adopt(b)));
                 }
             }
         }
@@ -226,13 +281,21 @@ pub(crate) struct RoutedExtractStage {
     bands: Vec<(u32, u32)>,
     pending: Vec<Vec<Triangle>>,
     scratch: Vec<Triangle>,
+    pool: BufferPool<Triangle>,
 }
 
 impl RoutedExtractStage {
     pub fn new(cfg: SharedConfig, bands: Vec<(u32, u32)>) -> Self {
         let proj = cfg.camera.projector();
         let pending = bands.iter().map(|_| Vec::new()).collect();
-        RoutedExtractStage { cfg, proj, bands, pending, scratch: Vec::new() }
+        RoutedExtractStage {
+            cfg,
+            proj,
+            bands,
+            pending,
+            scratch: Vec::new(),
+            pool: BufferPool::new(),
+        }
     }
 
     /// Drop state from a previous unit of work.
@@ -253,9 +316,12 @@ impl RoutedExtractStage {
         mut sink: impl FnMut(&mut FilterCtx, usize, TriBatch),
     ) {
         self.scratch.clear();
-        let stats =
-            isosurf::extract(&chunk.grid, chunk.origin, self.cfg.iso, &mut self.scratch);
-        ctx.compute(self.cfg.cost.extract_cost(stats.cells, self.scratch.len() as u64));
+        let stats = isosurf::extract(&chunk.grid, chunk.origin, self.cfg.iso, &mut self.scratch);
+        ctx.compute(
+            self.cfg
+                .cost
+                .extract_cost(stats.cells, self.scratch.len() as u64),
+        );
         let h = self.cfg.camera.height as f32;
         for t in &self.scratch {
             // Screen y-range of the triangle; behind-camera triangles are
@@ -285,7 +351,10 @@ impl RoutedExtractStage {
         }
         for i in 0..self.bands.len() {
             while self.pending[i].len() >= self.cfg.tri_batch {
-                let batch: Vec<Triangle> = self.pending[i].drain(..self.cfg.tri_batch).collect();
+                let mut batch = self.pool.take(self.cfg.tri_batch);
+                batch
+                    .buf_mut()
+                    .extend(self.pending[i].drain(..self.cfg.tri_batch));
                 sink(ctx, i, TriBatch { tris: batch });
             }
         }
@@ -299,7 +368,8 @@ impl RoutedExtractStage {
     ) {
         for i in 0..self.bands.len() {
             if !self.pending[i].is_empty() {
-                let batch: Vec<Triangle> = std::mem::take(&mut self.pending[i]);
+                let mut batch = self.pool.take(self.pending[i].len());
+                batch.buf_mut().append(&mut self.pending[i]);
                 sink(ctx, i, TriBatch { tris: batch });
             }
         }
@@ -333,14 +403,23 @@ pub(crate) struct MergeStage {
 impl MergeStage {
     pub fn new(cfg: SharedConfig) -> Self {
         let zb = ZBuffer::new(cfg.camera.width, cfg.camera.height);
-        MergeStage { cfg, zb, entries: 0 }
+        MergeStage {
+            cfg,
+            zb,
+            entries: 0,
+        }
     }
 
     /// Fold one partial result.
     pub fn feed(&mut self, ctx: &mut FilterCtx, out: RaOut) {
         let entries = out.merge_entries();
         match out {
-            RaOut::Band { y0, width, depth, color } => {
+            RaOut::Band {
+                y0,
+                width,
+                depth,
+                color,
+            } => {
                 debug_assert_eq!(width, self.zb.width);
                 let base = (y0 * width) as usize;
                 for (i, (&d, &c)) in depth.iter().zip(color.iter()).enumerate() {

@@ -1,8 +1,12 @@
 //! Stream payload types exchanged between the application filters, with
 //! their wire sizes.
 
-use isosurf::{Triangle, WinningPixel, TRIANGLE_WIRE_BYTES, WPA_ENTRY_WIRE_BYTES, ZBUF_ENTRY_WIRE_BYTES};
+use isosurf::{
+    Triangle, WinningPixel, TRIANGLE_WIRE_BYTES, WPA_ENTRY_WIRE_BYTES, ZBUF_ENTRY_WIRE_BYTES,
+};
 use volume::RectGrid;
+
+use crate::pool::PoolVec;
 
 /// R → E payload: one sub-volume of voxel data.
 pub struct ChunkPayload {
@@ -20,10 +24,12 @@ impl ChunkPayload {
     }
 }
 
-/// E → Ra payload: a batch of extracted triangles.
+/// E → Ra payload: a batch of extracted triangles. The buffer is pooled:
+/// dropping the batch (after rasterization) recycles it to the extract
+/// stage that produced it.
 pub struct TriBatch {
     /// The triangles.
-    pub tris: Vec<Triangle>,
+    pub tris: PoolVec<Triangle>,
 }
 
 impl TriBatch {
@@ -43,13 +49,13 @@ pub enum RaOut {
         /// Band width (= image width).
         width: u32,
         /// Per-pixel depth, row-major within the band.
-        depth: Vec<f32>,
+        depth: PoolVec<f32>,
         /// Per-pixel color.
-        color: Vec<[u8; 3]>,
+        color: PoolVec<[u8; 3]>,
     },
     /// A batch of winning pixels (active-pixel algorithm; streamed
     /// throughout processing).
-    Wpa(Vec<WinningPixel>),
+    Wpa(PoolVec<WinningPixel>),
 }
 
 impl RaOut {
@@ -86,19 +92,34 @@ mod tests {
 
     #[test]
     fn tribatch_wire_bytes() {
-        let b = TriBatch { tris: vec![] };
+        let b = TriBatch {
+            tris: vec![].into(),
+        };
         assert_eq!(b.wire_bytes(), 0);
     }
 
     #[test]
     fn raout_sizes() {
-        let band = RaOut::Band { y0: 0, width: 4, depth: vec![0.0; 8], color: vec![[0; 3]; 8] };
+        let band = RaOut::Band {
+            y0: 0,
+            width: 4,
+            depth: vec![0.0; 8].into(),
+            color: vec![[0; 3]; 8].into(),
+        };
         assert_eq!(band.wire_bytes(), 8 * ZBUF_ENTRY_WIRE_BYTES);
         assert_eq!(band.merge_entries(), 8);
-        let wpa = RaOut::Wpa(vec![
-            WinningPixel { x: 0, y: 0, depth: 1.0, rgb: [0, 0, 0] };
-            5
-        ]);
+        let wpa = RaOut::Wpa(
+            vec![
+                WinningPixel {
+                    x: 0,
+                    y: 0,
+                    depth: 1.0,
+                    rgb: [0, 0, 0]
+                };
+                5
+            ]
+            .into(),
+        );
         assert_eq!(wpa.wire_bytes(), 5 * WPA_ENTRY_WIRE_BYTES);
         assert_eq!(wpa.merge_entries(), 5);
     }

@@ -107,10 +107,13 @@ pub fn build_pipeline(cfg: &SharedConfig, spec: &PipelineSpec) -> Pipeline {
                 ReadFilter::new(cfg2.clone(), mk_read_index(info))
             });
             let cfg2 = cfg.clone();
-            let e = g.add_filter("E", extract.clone(), move |_| ExtractFilter::new(cfg2.clone()));
+            let e = g.add_filter("E", extract.clone(), move |_| {
+                ExtractFilter::new(cfg2.clone())
+            });
             let cfg2 = cfg.clone();
-            let ra =
-                g.add_filter("Ra", raster.clone(), move |_| RasterFilter::new(cfg2.clone(), alg));
+            let ra = g.add_filter("Ra", raster.clone(), move |_| {
+                RasterFilter::new(cfg2.clone(), alg)
+            });
             let cfg2 = cfg.clone();
             let slot = image.clone();
             let m = g.add_filter("M", Placement::on_host(spec.merge_host, 1), move |_| {
@@ -140,8 +143,9 @@ pub fn build_pipeline(cfg: &SharedConfig, spec: &PipelineSpec) -> Pipeline {
                 ReadExtractFilter::new(cfg2.clone(), mk_read_index(info))
             });
             let cfg2 = cfg.clone();
-            let ra =
-                g.add_filter("Ra", raster.clone(), move |_| RasterFilter::new(cfg2.clone(), alg));
+            let ra = g.add_filter("Ra", raster.clone(), move |_| {
+                RasterFilter::new(cfg2.clone(), alg)
+            });
             let cfg2 = cfg.clone();
             let slot = image.clone();
             let m = g.add_filter("M", Placement::on_host(spec.merge_host, 1), move |_| {
@@ -156,11 +160,7 @@ pub fn build_pipeline(cfg: &SharedConfig, spec: &PipelineSpec) -> Pipeline {
             let cfg2 = cfg.clone();
             let bands2 = bands.clone();
             let re = g.add_filter("REp", storage, move |info| {
-                PartitionedReadExtractFilter::new(
-                    cfg2.clone(),
-                    mk_read_index(info),
-                    bands2.clone(),
-                )
+                PartitionedReadExtractFilter::new(cfg2.clone(), mk_read_index(info), bands2.clone())
             });
             let cfg2 = cfg.clone();
             let ra = g.add_filter("Ra", raster.clone(), move |info| {
@@ -197,5 +197,11 @@ pub fn build_pipeline(cfg: &SharedConfig, spec: &PipelineSpec) -> Pipeline {
         }
     };
 
-    Pipeline { graph: g.build(), image, to_raster, to_merge, filters }
+    Pipeline {
+        graph: g.build(),
+        image,
+        to_raster,
+        to_merge,
+        filters,
+    }
 }

@@ -67,7 +67,11 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Deadlock(names) => {
-                write!(f, "simulation deadlock; blocked processes: {}", names.join(", "))
+                write!(
+                    f,
+                    "simulation deadlock; blocked processes: {}",
+                    names.join(", ")
+                )
             }
             SimError::ProcessPanic { process, message } => {
                 write!(f, "process '{process}' panicked: {message}")
@@ -228,7 +232,9 @@ impl Env {
     /// A handle that can schedule wakes without being a process — used by
     /// `Drop` impls of synchronization primitives.
     pub fn waker(&self) -> Waker {
-        Waker { shared: self.shared.clone() }
+        Waker {
+            shared: self.shared.clone(),
+        }
     }
 
     // -- internals ---------------------------------------------------------
@@ -237,7 +243,12 @@ impl Env {
         let seq = core.seq;
         core.seq += 1;
         let epoch = core.procs[self.pid.0 as usize].epoch;
-        core.events.push(Reverse(EventKey { time: at, seq, pid: self.pid, epoch }));
+        core.events.push(Reverse(EventKey {
+            time: at,
+            seq,
+            pid: self.pid,
+            epoch,
+        }));
     }
 
     /// Mark self blocked, hand control to the engine, and wait to be granted
@@ -284,7 +295,12 @@ fn wake_in(core: &mut Core, pid: ProcessId) -> bool {
             let seq = core.seq;
             core.seq += 1;
             let time = core.now;
-            core.events.push(Reverse(EventKey { time, seq, pid, epoch }));
+            core.events.push(Reverse(EventKey {
+                time,
+                seq,
+                pid,
+                epoch,
+            }));
             true
         }
         _ => false,
@@ -298,16 +314,29 @@ where
     let mut core = shared.core.lock();
     let pid = ProcessId(core.procs.len() as u32);
     let cv = Arc::new(Condvar::new());
-    core.procs.push(Proc { name, status: Status::Created, epoch: 0, cv });
+    core.procs.push(Proc {
+        name,
+        status: Status::Created,
+        epoch: 0,
+        cv,
+    });
     core.live += 1;
     // First wake, at the current instant.
     let seq = core.seq;
     core.seq += 1;
     let time = core.now;
-    core.events.push(Reverse(EventKey { time, seq, pid, epoch: 0 }));
+    core.events.push(Reverse(EventKey {
+        time,
+        seq,
+        pid,
+        epoch: 0,
+    }));
     drop(core);
 
-    let env = Env { pid, shared: shared.clone() };
+    let env = Env {
+        pid,
+        shared: shared.clone(),
+    };
     let shared2 = shared.clone();
     let handle = std::thread::Builder::new()
         .name(format!("hetsim-{}", pid.0))
@@ -418,7 +447,9 @@ impl Simulation {
     /// A [`Waker`] tied to this simulation, for constructing channels and
     /// other primitives before the run starts.
     pub fn waker(&self) -> Waker {
-        Waker { shared: self.shared.clone() }
+        Waker {
+            shared: self.shared.clone(),
+        }
     }
 
     /// Drive the simulation until every process has finished or the run
@@ -561,7 +592,9 @@ mod tests {
             sim.spawn(name, move |env| {
                 for _ in 0..3 {
                     env.delay(SimDuration::from_millis(step));
-                    log.lock().unwrap().push((env.now().as_nanos() / 1_000_000, name));
+                    log.lock()
+                        .unwrap()
+                        .push((env.now().as_nanos() / 1_000_000, name));
                 }
             });
         }
@@ -666,7 +699,10 @@ mod tests {
             l2.lock().unwrap().push("second");
         });
         sim.run().unwrap();
-        assert_eq!(*log.lock().unwrap(), vec!["first-before", "second", "first-after"]);
+        assert_eq!(
+            *log.lock().unwrap(),
+            vec!["first-before", "second", "first-after"]
+        );
     }
 
     #[test]

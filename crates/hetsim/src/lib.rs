@@ -36,7 +36,7 @@ pub use load::{drive_load, spawn_load_generator, LoadProfile};
 pub use resources::{Cpu, Disk, Link};
 pub use sync::{channel, Barrier, Receiver, Semaphore, SendError, Sender};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Span, Trace};
 pub use topology::{
     ClusterId, ClusterSpec, Host, HostId, HostSpec, HostUtilization, Topology, TopologyBuilder,
 };
+pub use trace::{Span, Trace};

@@ -22,7 +22,9 @@ pub struct LoadProfile {
 impl LoadProfile {
     /// Constant load.
     pub fn constant(jobs: u32) -> Self {
-        LoadProfile { steps: vec![(SimDuration::from_secs(3600), jobs)] }
+        LoadProfile {
+            steps: vec![(SimDuration::from_secs(3600), jobs)],
+        }
     }
 
     /// A square wave alternating between `low` and `high` every `period`.
@@ -40,16 +42,22 @@ impl LoadProfile {
     pub fn random(seed: u64, max_jobs: u32, n_steps: u32, step: SimDuration) -> Self {
         let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
         let mut lcg = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
-        let steps = (0..n_steps).map(|_| (step, lcg() % (max_jobs + 1))).collect();
+        let steps = (0..n_steps)
+            .map(|_| (step, lcg() % (max_jobs + 1)))
+            .collect();
         LoadProfile { steps }
     }
 
     /// Total scheduled duration.
     pub fn duration(&self) -> SimDuration {
-        self.steps.iter().fold(SimDuration::ZERO, |acc, &(d, _)| acc + d)
+        self.steps
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(d, _)| acc + d)
     }
 
     /// Peak job count.
@@ -70,7 +78,12 @@ pub fn drive_load(env: &Env, cpu: &Cpu, profile: &LoadProfile) {
 
 /// Spawn a generator process applying `profile` to `cpu` (once; the host
 /// returns to zero background jobs afterwards).
-pub fn spawn_load_generator(sim: &mut Simulation, name: impl Into<String>, cpu: Cpu, profile: LoadProfile) {
+pub fn spawn_load_generator(
+    sim: &mut Simulation,
+    name: impl Into<String>,
+    cpu: Cpu,
+    profile: LoadProfile,
+) {
     sim.spawn(name, move |env| {
         drive_load(&env, &cpu, &profile);
     });
@@ -96,10 +109,12 @@ mod tests {
         let b = LoadProfile::random(7, 5, 20, SimDuration::from_millis(3));
         assert_eq!(a, b);
         assert!(a.peak() <= 5);
-        assert_ne!(a, LoadProfile::random(8, 5, 20, SimDuration::from_millis(3)));
+        assert_ne!(
+            a,
+            LoadProfile::random(8, 5, 20, SimDuration::from_millis(3))
+        );
         // Not constant (with overwhelming probability for this seed).
-        let distinct: std::collections::HashSet<u32> =
-            a.steps.iter().map(|&(_, j)| j).collect();
+        let distinct: std::collections::HashSet<u32> = a.steps.iter().map(|&(_, j)| j).collect();
         assert!(distinct.len() > 1);
     }
 

@@ -166,8 +166,7 @@ impl Disk {
         self.sem.acquire(env);
         let service = {
             let st = self.inner.lock();
-            st.seek.mul_f64(seek_frac)
-                + SimDuration::from_secs_f64(bytes as f64 / st.bandwidth_bps)
+            st.seek.mul_f64(seek_frac) + SimDuration::from_secs_f64(bytes as f64 / st.bandwidth_bps)
         };
         env.delay(service);
         {
@@ -237,7 +236,10 @@ impl Link {
         self.sem.acquire(env);
         let (serialize, latency) = {
             let st = self.inner.lock();
-            (SimDuration::from_secs_f64(bytes as f64 / st.bandwidth_bps), st.latency)
+            (
+                SimDuration::from_secs_f64(bytes as f64 / st.bandwidth_bps),
+                st.latency,
+            )
         };
         env.delay(serialize);
         {

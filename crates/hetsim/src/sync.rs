@@ -33,7 +33,12 @@ struct SemState {
 impl Semaphore {
     /// Create a semaphore holding `permits` permits.
     pub fn new(permits: u64) -> Self {
-        Semaphore { inner: Arc::new(Mutex::new(SemState { permits, waiters: VecDeque::new() })) }
+        Semaphore {
+            inner: Arc::new(Mutex::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
     }
 
     /// Take one permit, blocking in virtual time until available.
@@ -300,14 +305,18 @@ impl<T: Send> Receiver<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.chan.state.lock().senders += 1;
-        Sender { chan: self.chan.clone() }
+        Sender {
+            chan: self.chan.clone(),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
         self.chan.state.lock().receivers += 1;
-        Receiver { chan: self.chan.clone() }
+        Receiver {
+            chan: self.chan.clone(),
+        }
     }
 }
 
@@ -368,7 +377,10 @@ mod tests {
         }
         sim.run().unwrap();
         let v = done.lock().clone();
-        assert_eq!(v.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(
+            v.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
     }
 
     #[test]
@@ -449,7 +461,11 @@ mod tests {
             });
         }
         sim.run().unwrap();
-        assert_eq!(*releasers.lock(), vec![0], "the late arriver releases the round");
+        assert_eq!(
+            *releasers.lock(),
+            vec![0],
+            "the late arriver releases the round"
+        );
     }
 
     #[test]
@@ -567,6 +583,9 @@ mod tests {
         sim.run().unwrap();
         let c = *counts.lock();
         assert_eq!(c[0] + c[1], 20);
-        assert!(c[0] > 0 && c[1] > 0, "both consumers should get items: {c:?}");
+        assert!(
+            c[0] > 0 && c[1] > 0,
+            "both consumers should get items: {c:?}"
+        );
     }
 }

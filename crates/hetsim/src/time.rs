@@ -203,7 +203,10 @@ mod tests {
     fn from_secs_f64_clamps() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration(u64::MAX));
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY),
+            SimDuration(u64::MAX)
+        );
         assert_eq!(SimDuration::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
     }
 

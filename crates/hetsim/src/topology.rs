@@ -150,8 +150,13 @@ impl TopologyBuilder {
 
     /// Instantiate the topology.
     pub fn build(self) -> Topology {
-        let clusters: Vec<ClusterInfo> =
-            self.clusters.iter().map(|c| ClusterInfo { name: c.name.clone() }).collect();
+        let clusters: Vec<ClusterInfo> = self
+            .clusters
+            .iter()
+            .map(|c| ClusterInfo {
+                name: c.name.clone(),
+            })
+            .collect();
         let mut hosts = Vec::with_capacity(self.hosts.len());
         for (idx, (cluster, spec)) in self.hosts.into_iter().enumerate() {
             let cspec = &self.clusters[cluster.0 as usize];
@@ -357,7 +362,10 @@ fn route_transfer(env: &Env, route: &[&Link], bytes: u64) {
     for link in route {
         link.occupy_begin(env);
     }
-    let min_bw = route.iter().map(|l| l.bandwidth_bps()).fold(f64::INFINITY, f64::min);
+    let min_bw = route
+        .iter()
+        .map(|l| l.bandwidth_bps())
+        .fold(f64::INFINITY, f64::min);
     let serialize = SimDuration::from_secs_f64(bytes as f64 / min_bw);
     env.delay(serialize);
     let mut latency = SimDuration::ZERO;

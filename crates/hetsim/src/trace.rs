@@ -100,8 +100,17 @@ impl Trace {
     }
 
     /// Open a span at the current virtual time.
-    pub fn begin(&self, env: &Env, label: impl Into<String>, detail: impl Into<String>) -> OpenSpan {
-        OpenSpan { label: label.into(), detail: detail.into(), start: env.now() }
+    pub fn begin(
+        &self,
+        env: &Env,
+        label: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> OpenSpan {
+        OpenSpan {
+            label: label.into(),
+            detail: detail.into(),
+            start: env.now(),
+        }
     }
 
     /// Close a span at the current virtual time and record it.

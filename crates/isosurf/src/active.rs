@@ -46,6 +46,9 @@ pub struct ActivePixelBuffer {
     capacity: usize,
     msa: Vec<MsaSlot>,
     epoch: u32,
+    /// Consumed output vectors returned via [`supply`](Self::supply);
+    /// flushes reuse these instead of allocating.
+    spare: Vec<Vec<WinningPixel>>,
     /// Pixels plotted (candidates), for stats.
     pub plotted: u64,
     /// In-place WPA updates (dedup hits), for stats.
@@ -61,10 +64,28 @@ impl ActivePixelBuffer {
             width,
             wpa: Vec::with_capacity(capacity),
             capacity,
-            msa: vec![MsaSlot { y: 0, wpa_index: 0, epoch: 0 }; width as usize],
+            msa: vec![
+                MsaSlot {
+                    y: 0,
+                    wpa_index: 0,
+                    epoch: 0
+                };
+                width as usize
+            ],
             epoch: 1,
+            spare: Vec::new(),
             plotted: 0,
             dedup_hits: 0,
+        }
+    }
+
+    /// Return a consumed output vector for reuse by a later flush. In the
+    /// steady state the downstream consumer feeds every flushed batch back
+    /// here and the accumulator never allocates.
+    pub fn supply(&mut self, mut v: Vec<WinningPixel>) {
+        v.clear();
+        if v.capacity() >= self.capacity {
+            self.spare.push(v);
         }
     }
 
@@ -95,8 +116,17 @@ impl ActivePixelBuffer {
             }
         }
         let idx = self.wpa.len() as u32;
-        self.wpa.push(WinningPixel { x: x as u16, y: y as u16, depth, rgb });
-        self.msa[x as usize] = MsaSlot { y: y as u16, wpa_index: idx, epoch: self.epoch };
+        self.wpa.push(WinningPixel {
+            x: x as u16,
+            y: y as u16,
+            depth,
+            rgb,
+        });
+        self.msa[x as usize] = MsaSlot {
+            y: y as u16,
+            wpa_index: idx,
+            epoch: self.epoch,
+        };
         if self.wpa.len() >= self.capacity {
             self.force_flush(flush);
         }
@@ -108,7 +138,11 @@ impl ActivePixelBuffer {
         if self.wpa.is_empty() {
             return;
         }
-        let batch = std::mem::replace(&mut self.wpa, Vec::with_capacity(self.capacity));
+        let replacement = self
+            .spare
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.capacity));
+        let batch = std::mem::replace(&mut self.wpa, replacement);
         self.epoch = self.epoch.wrapping_add(1).max(1);
         flush(batch);
     }
@@ -119,13 +153,68 @@ impl ActivePixelBuffer {
     }
 }
 
+/// Batch length below which [`merge_batch`] stays serial (a typical WPA
+/// buffer is a couple thousand entries — far too little to fan out).
+const PAR_MIN_BATCH: usize = 16 * 1024;
+
 /// Merge a batch of winning pixels into the final (dense) buffer held by
 /// the merge filter. Commutative and associative with z-buffer merging, so
 /// active-pixel and z-buffer pipelines produce identical images.
+///
+/// With the default-on `parallel` feature, very large batches fan out
+/// over image row bands on the
+/// [global pool](crate::par::ThreadPool::global), bit-identical to
+/// [`merge_batch_serial`].
 pub fn merge_batch(target: &mut ZBuffer, batch: &[WinningPixel]) {
+    #[cfg(feature = "parallel")]
+    {
+        let pool = crate::par::ThreadPool::global();
+        if pool.threads() > 1 && batch.len() >= PAR_MIN_BATCH && target.height >= 2 {
+            return merge_batch_with(pool, target, batch);
+        }
+    }
+    merge_batch_serial(target, batch);
+}
+
+/// Serial reference batch merge; always available.
+pub fn merge_batch_serial(target: &mut ZBuffer, batch: &[WinningPixel]) {
     for wp in batch {
         target.plot(wp.x as u32, wp.y as u32, wp.depth, wp.rgb);
     }
+}
+
+/// [`merge_batch`] on an explicit pool: each lane scans the whole batch
+/// and applies only the entries whose row falls in its band. Per-pixel
+/// candidate order is therefore exactly the batch order — the same order
+/// the serial kernel applies — so the result is bit-identical regardless
+/// of thread count.
+pub fn merge_batch_with(
+    pool: &crate::par::ThreadPool,
+    target: &mut ZBuffer,
+    batch: &[WinningPixel],
+) {
+    if pool.threads() <= 1 {
+        return merge_batch_serial(target, batch);
+    }
+    let w = target.width as usize;
+    let depth = crate::par::SendPtr::new(target.depth.as_mut_ptr());
+    let color = crate::par::SendPtr::new(target.color.as_mut_ptr());
+    crate::par::for_each_band(pool, target.height as usize, &|_, rows| {
+        for wp in batch {
+            let y = wp.y as usize;
+            if y >= rows.start && y < rows.end {
+                let i = y * w + wp.x as usize;
+                // SAFETY: row bands are disjoint, so pixel `i` is owned by
+                // exactly one lane.
+                unsafe {
+                    if wp.depth < *depth.get().add(i) {
+                        *depth.get().add(i) = wp.depth;
+                        *color.get().add(i) = wp.rgb;
+                    }
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]
@@ -192,9 +281,24 @@ mod tests {
         merge_batch(
             &mut zb,
             &[
-                WinningPixel { x: 2, y: 2, depth: 5.0, rgb: [5, 5, 5] },
-                WinningPixel { x: 2, y: 2, depth: 3.0, rgb: [3, 3, 3] },
-                WinningPixel { x: 2, y: 2, depth: 8.0, rgb: [8, 8, 8] },
+                WinningPixel {
+                    x: 2,
+                    y: 2,
+                    depth: 5.0,
+                    rgb: [5, 5, 5],
+                },
+                WinningPixel {
+                    x: 2,
+                    y: 2,
+                    depth: 3.0,
+                    rgb: [3, 3, 3],
+                },
+                WinningPixel {
+                    x: 2,
+                    y: 2,
+                    depth: 8.0,
+                    rgb: [8, 8, 8],
+                },
             ],
         );
         assert_eq!(zb.active_pixels(), 1);
@@ -204,9 +308,24 @@ mod tests {
     #[test]
     fn merge_order_does_not_matter() {
         let batch = [
-            WinningPixel { x: 0, y: 0, depth: 2.0, rgb: [2, 0, 0] },
-            WinningPixel { x: 0, y: 0, depth: 1.0, rgb: [1, 0, 0] },
-            WinningPixel { x: 1, y: 0, depth: 4.0, rgb: [4, 0, 0] },
+            WinningPixel {
+                x: 0,
+                y: 0,
+                depth: 2.0,
+                rgb: [2, 0, 0],
+            },
+            WinningPixel {
+                x: 0,
+                y: 0,
+                depth: 1.0,
+                rgb: [1, 0, 0],
+            },
+            WinningPixel {
+                x: 1,
+                y: 0,
+                depth: 4.0,
+                rgb: [4, 0, 0],
+            },
         ];
         let mut fwd = ZBuffer::new(2, 1);
         merge_batch(&mut fwd, &batch);
@@ -218,9 +337,75 @@ mod tests {
     }
 
     #[test]
+    fn supplied_vectors_are_reused_by_flushes() {
+        let mut ap = ActivePixelBuffer::new(16, 4);
+        let returned: std::cell::RefCell<Vec<Vec<WinningPixel>>> = Default::default();
+        let mut sink = |b: Vec<WinningPixel>| returned.borrow_mut().push(b);
+        for i in 0..8u32 {
+            ap.plot(i % 16, 0, 1.0, [0, 0, 0], &mut sink);
+        }
+        assert_eq!(returned.borrow().len(), 2);
+        // Feed both batches back; record their buffer addresses.
+        let addrs: Vec<*const WinningPixel> =
+            returned.borrow().iter().map(|v| v.as_ptr()).collect();
+        for v in returned.borrow_mut().drain(..) {
+            ap.supply(v);
+        }
+        // The next flush ships the vector that was already installed as
+        // the working WPA before the supply; rotate it out first.
+        for i in 0..4u32 {
+            ap.plot(i, 1, 1.0, [0, 0, 0], &mut sink);
+        }
+        returned.borrow_mut().clear();
+        for i in 0..8u32 {
+            ap.plot(i % 16, 2, 1.0, [0, 0, 0], &mut sink);
+        }
+        assert_eq!(returned.borrow().len(), 2);
+        for v in returned.borrow().iter() {
+            assert!(
+                addrs.contains(&v.as_ptr()),
+                "flush allocated a fresh vector"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_merge_batch_is_bit_identical_to_serial() {
+        // Duplicate positions with equal depths force tie-break coverage;
+        // candidate order must decide, exactly as in the serial kernel.
+        let mut batch = Vec::new();
+        let mut s = 42u64;
+        for _ in 0..20_000 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (s >> 33) as u32;
+            batch.push(WinningPixel {
+                x: (r % 64) as u16,
+                y: ((r >> 8) % 96) as u16,
+                depth: ((r >> 16) % 8) as f32,
+                rgb: [r as u8, (r >> 8) as u8, (r >> 16) as u8],
+            });
+        }
+        let mut serial = ZBuffer::new(64, 96);
+        merge_batch_serial(&mut serial, &batch);
+        for threads in [1usize, 2, 3, 4] {
+            let pool = crate::par::ThreadPool::new(threads);
+            let mut par = ZBuffer::new(64, 96);
+            merge_batch_with(&pool, &mut par, &batch);
+            assert_eq!(serial, par, "{threads} threads");
+        }
+    }
+
+    #[test]
     fn wire_bytes_track_active_pixels_only() {
         // The point of the algorithm: cost scales with activity.
-        let batch = vec![WinningPixel { x: 0, y: 0, depth: 1.0, rgb: [0, 0, 0] }; 10];
+        let batch = [WinningPixel {
+            x: 0,
+            y: 0,
+            depth: 1.0,
+            rgb: [0, 0, 0],
+        }; 10];
         let bytes = batch.len() as u64 * WPA_ENTRY_WIRE_BYTES;
         assert_eq!(bytes, 120);
     }

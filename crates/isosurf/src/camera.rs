@@ -189,8 +189,8 @@ mod tests {
         let p = cam().projector();
         let near_span =
             p.project(vec3(1.0, 0.0, 5.0)).unwrap().x - p.project(vec3(-1.0, 0.0, 5.0)).unwrap().x;
-        let far_span =
-            p.project(vec3(1.0, 0.0, -5.0)).unwrap().x - p.project(vec3(-1.0, 0.0, -5.0)).unwrap().x;
+        let far_span = p.project(vec3(1.0, 0.0, -5.0)).unwrap().x
+            - p.project(vec3(-1.0, 0.0, -5.0)).unwrap().x;
         assert!(near_span > far_span);
     }
 }

@@ -14,7 +14,11 @@ pub struct Image {
 impl Image {
     /// A solid-color image.
     pub fn new(width: u32, height: u32, fill: [u8; 3]) -> Self {
-        Image { width, height, data: vec![fill; width as usize * height as usize] }
+        Image {
+            width,
+            height,
+            data: vec![fill; width as usize * height as usize],
+        }
     }
 
     /// Pixel at `(x, y)`.
@@ -32,8 +36,16 @@ impl Image {
 
     /// Number of pixels differing from `other` (same size required).
     pub fn diff_pixels(&self, other: &Image) -> u64 {
-        assert_eq!((self.width, self.height), (other.width, other.height), "size mismatch");
-        self.data.iter().zip(&other.data).filter(|(a, b)| a != b).count() as u64
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "size mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .filter(|(a, b)| a != b)
+            .count() as u64
     }
 
     /// Number of pixels not equal to `background`.

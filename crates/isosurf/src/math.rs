@@ -194,7 +194,11 @@ mod tests {
 
     #[test]
     fn look_at_maps_eye_to_origin() {
-        let m = Mat4::look_at(vec3(5.0, 3.0, 2.0), vec3(0.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0));
+        let m = Mat4::look_at(
+            vec3(5.0, 3.0, 2.0),
+            vec3(0.0, 0.0, 0.0),
+            vec3(0.0, 1.0, 0.0),
+        );
         assert!(close(m.transform_point(vec3(5.0, 3.0, 2.0)), Vec3::ZERO));
     }
 
@@ -203,7 +207,10 @@ mod tests {
         let eye = vec3(0.0, 0.0, 10.0);
         let m = Mat4::look_at(eye, Vec3::ZERO, vec3(0.0, 1.0, 0.0));
         let t = m.transform_point(Vec3::ZERO);
-        assert!(t.z < 0.0, "target should be in front (negative z), got {t:?}");
+        assert!(
+            t.z < 0.0,
+            "target should be in front (negative z), got {t:?}"
+        );
         assert!(t.x.abs() < 1e-5 && t.y.abs() < 1e-5);
     }
 
@@ -211,13 +218,23 @@ mod tests {
     fn identity_multiplication() {
         let m = Mat4::look_at(vec3(1.0, 2.0, 3.0), Vec3::ZERO, vec3(0.0, 1.0, 0.0));
         let p = vec3(0.3, -0.7, 2.0);
-        assert!(close(m.mul_mat(&Mat4::IDENTITY).transform_point(p), m.transform_point(p)));
-        assert!(close(Mat4::IDENTITY.mul_mat(&m).transform_point(p), m.transform_point(p)));
+        assert!(close(
+            m.mul_mat(&Mat4::IDENTITY).transform_point(p),
+            m.transform_point(p)
+        ));
+        assert!(close(
+            Mat4::IDENTITY.mul_mat(&m).transform_point(p),
+            m.transform_point(p)
+        ));
     }
 
     #[test]
     fn transform_vec_ignores_translation() {
-        let m = Mat4::look_at(vec3(100.0, 0.0, 0.0), vec3(101.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0));
+        let m = Mat4::look_at(
+            vec3(100.0, 0.0, 0.0),
+            vec3(101.0, 0.0, 0.0),
+            vec3(0.0, 1.0, 0.0),
+        );
         let v = m.transform_vec(vec3(0.0, 1.0, 0.0));
         assert!((v.length() - 1.0).abs() < 1e-5);
     }

@@ -58,19 +58,129 @@ fn corner_offset(i: usize) -> (u32, u32, u32) {
     ((i & 1) as u32, ((i >> 1) & 1) as u32, ((i >> 2) & 1) as u32)
 }
 
+/// Cells below which [`extract`] stays serial: slab fan-out costs more
+/// than it saves on small grids (a pipeline chunk is typically a few
+/// hundred cells).
+const PAR_MIN_CELLS: u64 = 16 * 1024;
+
 /// Extract the isosurface of `grid` at `iso`, with the grid's point
 /// `(0,0,0)` located at world position `origin` (chunks pass their global
 /// cell origin so surfaces from different chunks line up). Triangles are
 /// appended to `out`; returns scan statistics.
-pub fn extract(grid: &RectGrid, origin: (u32, u32, u32), iso: f32, out: &mut Vec<Triangle>) -> ExtractStats {
+///
+/// With the default-on `parallel` feature, large grids are decomposed
+/// into z-slabs extracted on the [global pool](crate::par::ThreadPool::global)
+/// and spliced back in slab order, which is bit-identical to
+/// [`extract_serial`]. Use [`extract_with`] to control the pool and reuse
+/// slab scratch buffers across calls.
+pub fn extract(
+    grid: &RectGrid,
+    origin: (u32, u32, u32),
+    iso: f32,
+    out: &mut Vec<Triangle>,
+) -> ExtractStats {
+    #[cfg(feature = "parallel")]
+    {
+        let pool = crate::par::ThreadPool::global();
+        if pool.threads() > 1 && grid.dims.cells() >= PAR_MIN_CELLS {
+            let mut scratch = ExtractScratch::default();
+            return extract_with(pool, &mut scratch, grid, origin, iso, out);
+        }
+    }
+    extract_serial(grid, origin, iso, out)
+}
+
+/// Serial reference extraction; always available, bit-identical to the
+/// parallel path.
+pub fn extract_serial(
+    grid: &RectGrid,
+    origin: (u32, u32, u32),
+    iso: f32,
+    out: &mut Vec<Triangle>,
+) -> ExtractStats {
+    let d = grid.dims;
+    if d.nx < 2 || d.ny < 2 || d.nz < 2 {
+        return ExtractStats::default();
+    }
+    extract_slab(grid, origin, iso, 0..d.nz - 1, out)
+}
+
+/// Reusable per-slab output buffers for [`extract_with`]: hold one across
+/// calls (e.g. per extract-filter copy) and the steady state allocates
+/// nothing.
+#[derive(Default)]
+pub struct ExtractScratch {
+    slabs: Vec<std::sync::Mutex<(Vec<Triangle>, ExtractStats)>>,
+}
+
+/// [`extract`] with an explicit pool and reusable slab scratch. Slabs are
+/// claimed work-stealing style (density varies across z), but results are
+/// spliced in slab index order, so output order — and every triangle bit —
+/// matches [`extract_serial`].
+pub fn extract_with(
+    pool: &crate::par::ThreadPool,
+    scratch: &mut ExtractScratch,
+    grid: &RectGrid,
+    origin: (u32, u32, u32),
+    iso: f32,
+    out: &mut Vec<Triangle>,
+) -> ExtractStats {
+    let d = grid.dims;
+    if d.nx < 2 || d.ny < 2 || d.nz < 2 {
+        return ExtractStats::default();
+    }
+    let z_cells = (d.nz - 1) as usize;
+    let threads = pool.threads();
+    if threads <= 1 || grid.dims.cells() < PAR_MIN_CELLS || z_cells < 2 {
+        return extract_slab(grid, origin, iso, 0..d.nz - 1, out);
+    }
+    // More slabs than lanes smooths out the load imbalance from uneven
+    // triangle density; ×4 is plenty without fragmenting the splice.
+    let n_slabs = z_cells.min(threads * 4);
+    if scratch.slabs.len() < n_slabs {
+        scratch.slabs.resize_with(n_slabs, Default::default);
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slabs = &scratch.slabs;
+    pool.broadcast(&|_| loop {
+        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if i >= n_slabs {
+            break;
+        }
+        let band = crate::par::band_of(z_cells, n_slabs, i);
+        let mut slot = slabs[i].lock().expect("slab slot");
+        slot.0.clear();
+        slot.1 = extract_slab(
+            grid,
+            origin,
+            iso,
+            band.start as u32..band.end as u32,
+            &mut slot.0,
+        );
+    });
+    let mut stats = ExtractStats::default();
+    for slab in &scratch.slabs[..n_slabs] {
+        let slot = slab.lock().expect("slab slot");
+        stats.cells += slot.1.cells;
+        stats.triangles += slot.1.triangles;
+        out.extend_from_slice(&slot.0);
+    }
+    stats
+}
+
+/// Scan cells with `z` in `z_range` (the serial kernel over one slab).
+fn extract_slab(
+    grid: &RectGrid,
+    origin: (u32, u32, u32),
+    iso: f32,
+    z_range: std::ops::Range<u32>,
+    out: &mut Vec<Triangle>,
+) -> ExtractStats {
     let d = grid.dims;
     let mut stats = ExtractStats::default();
-    if d.nx < 2 || d.ny < 2 || d.nz < 2 {
-        return stats;
-    }
     let mut corner_val = [0.0f32; 8];
     let mut corner_pos = [Vec3::ZERO; 8];
-    for z in 0..d.nz - 1 {
+    for z in z_range {
         for y in 0..d.ny - 1 {
             for x in 0..d.nx - 1 {
                 stats.cells += 1;
@@ -103,9 +213,81 @@ pub fn extract(grid: &RectGrid, origin: (u32, u32, u32), iso: f32, out: &mut Vec
 #[inline]
 fn edge_point(pa: Vec3, va: f32, pb: Vec3, vb: f32, iso: f32) -> Vec3 {
     let denom = vb - va;
-    let t = if denom.abs() < 1e-12 { 0.5 } else { ((iso - va) / denom).clamp(0.0, 1.0) };
+    let t = if denom.abs() < 1e-12 {
+        0.5
+    } else {
+        ((iso - va) / denom).clamp(0.0, 1.0)
+    };
     pa.lerp(pb, t)
 }
+
+/// One precomputed tetrahedron case, indexed by the 4-bit inside mask
+/// (bit `i` set ⇔ `v[i] > iso`).
+///
+/// For `n_in` 1 or 3, `idx` is `[isolated, o0, o1, o2]`: the isolated
+/// vertex (inside for 1, outside for 3) then the other three ascending.
+/// For `n_in` 2, `idx` is `[in0, in1, out0, out1]`, each pair ascending.
+/// These orders reproduce exactly what the old find/filter scan produced,
+/// so the emitted geometry is bit-identical — the table only removes the
+/// two `Vec` allocations per active tetrahedron.
+#[derive(Clone, Copy)]
+struct TetCase {
+    n_in: u8,
+    idx: [u8; 4],
+}
+
+const TET_CASES: [TetCase; 16] = {
+    let mut cases = [TetCase {
+        n_in: 0,
+        idx: [0; 4],
+    }; 16];
+    let mut mask = 0usize;
+    while mask < 16 {
+        let n_in = (mask & 1) + (mask >> 1 & 1) + (mask >> 2 & 1) + (mask >> 3 & 1);
+        let mut idx = [0u8; 4];
+        if n_in == 1 || n_in == 3 {
+            let isolated_bit = if n_in == 1 { 1 } else { 0 };
+            let mut a = 4usize;
+            let mut i = 0;
+            while i < 4 {
+                if (mask >> i) & 1 == isolated_bit && a == 4 {
+                    a = i;
+                }
+                i += 1;
+            }
+            idx[0] = a as u8;
+            let mut k = 1;
+            let mut i = 0;
+            while i < 4 {
+                if i != a {
+                    idx[k] = i as u8;
+                    k += 1;
+                }
+                i += 1;
+            }
+        } else if n_in == 2 {
+            let mut k_in = 0;
+            let mut k_out = 2;
+            let mut i = 0;
+            while i < 4 {
+                if (mask >> i) & 1 == 1 {
+                    idx[k_in] = i as u8;
+                    k_in += 1;
+                } else {
+                    idx[k_out] = i as u8;
+                    k_out += 1;
+                }
+                i += 1;
+            }
+        }
+        cases[mask] = TetCase {
+            n_in: n_in as u8,
+            idx,
+        };
+        mask += 1;
+    }
+    cases
+};
 
 /// Polygonise one tetrahedron; appends 0–2 triangles, returns the count.
 fn polygonise_tet(
@@ -117,52 +299,50 @@ fn polygonise_tet(
 ) -> usize {
     let p = [pos[tet[0]], pos[tet[1]], pos[tet[2]], pos[tet[3]]];
     let v = [val[tet[0]], val[tet[1]], val[tet[2]], val[tet[3]]];
-    let mut inside = [false; 4];
-    let mut n_in = 0;
-    for i in 0..4 {
-        if v[i] > iso {
-            inside[i] = true;
-            n_in += 1;
-        }
+    let mut mask = 0usize;
+    for (i, &vi) in v.iter().enumerate() {
+        mask |= usize::from(vi > iso) << i;
     }
-    match n_in {
+    let case = &TET_CASES[mask];
+    let [i0, i1, i2, i3] = [
+        case.idx[0] as usize,
+        case.idx[1] as usize,
+        case.idx[2] as usize,
+        case.idx[3] as usize,
+    ];
+    match case.n_in {
         0 | 4 => 0,
         1 | 3 => {
             // One vertex isolated (inside for n_in = 1, outside for 3):
             // single triangle across the three edges at that vertex.
-            let isolated_is_inside = n_in == 1;
-            let a = (0..4).find(|&i| inside[i] == isolated_is_inside).expect("isolated vertex");
-            let others: Vec<usize> = (0..4).filter(|&i| i != a).collect();
             let tri = [
-                edge_point(p[a], v[a], p[others[0]], v[others[0]], iso),
-                edge_point(p[a], v[a], p[others[1]], v[others[1]], iso),
-                edge_point(p[a], v[a], p[others[2]], v[others[2]], iso),
+                edge_point(p[i0], v[i0], p[i1], v[i1], iso),
+                edge_point(p[i0], v[i0], p[i2], v[i2], iso),
+                edge_point(p[i0], v[i0], p[i3], v[i3], iso),
             ];
-            let inside_ref = if isolated_is_inside { p[a] } else { centroid3(&p, &others) };
+            let inside_ref = if case.n_in == 1 {
+                p[i0]
+            } else {
+                (p[i1] + p[i2] + p[i3]) / 3.0
+            };
             push_oriented(out, tri, inside_ref) as usize
         }
         2 => {
             // Two inside / two outside: the crossing is a quad on four
             // edges; emit two triangles.
-            let ins: Vec<usize> = (0..4).filter(|&i| inside[i]).collect();
-            let outs: Vec<usize> = (0..4).filter(|&i| !inside[i]).collect();
             let q = [
-                edge_point(p[ins[0]], v[ins[0]], p[outs[0]], v[outs[0]], iso),
-                edge_point(p[ins[0]], v[ins[0]], p[outs[1]], v[outs[1]], iso),
-                edge_point(p[ins[1]], v[ins[1]], p[outs[1]], v[outs[1]], iso),
-                edge_point(p[ins[1]], v[ins[1]], p[outs[0]], v[outs[0]], iso),
+                edge_point(p[i0], v[i0], p[i2], v[i2], iso),
+                edge_point(p[i0], v[i0], p[i3], v[i3], iso),
+                edge_point(p[i1], v[i1], p[i3], v[i3], iso),
+                edge_point(p[i1], v[i1], p[i2], v[i2], iso),
             ];
-            let inside_ref = (p[ins[0]] + p[ins[1]]) * 0.5;
+            let inside_ref = (p[i0] + p[i1]) * 0.5;
             let mut n = push_oriented(out, [q[0], q[1], q[2]], inside_ref) as usize;
             n += push_oriented(out, [q[0], q[2], q[3]], inside_ref) as usize;
             n
         }
         _ => unreachable!(),
     }
-}
-
-fn centroid3(p: &[Vec3; 4], idx: &[usize]) -> Vec3 {
-    (p[idx[0]] + p[idx[1]] + p[idx[2]]) / 3.0
 }
 
 /// Append `tri` with its normal oriented away from `inside_ref` (a point on
@@ -176,7 +356,10 @@ fn push_oriented(out: &mut Vec<Triangle>, tri: [Vec3; 3], inside_ref: Vec3) -> b
     let center = (tri[0] + tri[1] + tri[2]) / 3.0;
     let n = n.normalized();
     if n.dot(inside_ref - center) > 0.0 {
-        out.push(Triangle { v: [tri[0], tri[2], tri[1]], normal: -n });
+        out.push(Triangle {
+            v: [tri[0], tri[2], tri[1]],
+            normal: -n,
+        });
     } else {
         out.push(Triangle { v: tri, normal: n });
     }
@@ -214,7 +397,11 @@ mod tests {
         let g = sphere_grid(17, 5.0);
         let mut out = Vec::new();
         let stats = extract(&g, (0, 0, 0), 0.0, &mut out);
-        assert!(stats.triangles > 100, "sphere too coarse: {}", stats.triangles);
+        assert!(
+            stats.triangles > 100,
+            "sphere too coarse: {}",
+            stats.triangles
+        );
         assert_eq!(stats.triangles as usize, out.len());
     }
 
@@ -258,7 +445,11 @@ mod tests {
         let mut out = Vec::new();
         extract(&g, (0, 0, 0), 0.0, &mut out);
         let key = |v: Vec3| {
-            ((v.x * 4096.0).round() as i64, (v.y * 4096.0).round() as i64, (v.z * 4096.0).round() as i64)
+            (
+                (v.x * 4096.0).round() as i64,
+                (v.y * 4096.0).round() as i64,
+                (v.z * 4096.0).round() as i64,
+            )
         };
         let mut edge_count: std::collections::HashMap<_, i32> = std::collections::HashMap::new();
         for t in &out {
@@ -275,7 +466,12 @@ mod tests {
             }
         }
         let unbalanced = edge_count.values().filter(|&&c| c != 0).count();
-        assert_eq!(unbalanced, 0, "{unbalanced} unbalanced edges of {}", edge_count.len());
+        assert_eq!(
+            unbalanced,
+            0,
+            "{unbalanced} unbalanced edges of {}",
+            edge_count.len()
+        );
     }
 
     #[test]
@@ -307,7 +503,11 @@ mod tests {
             extract(&sub, info.cell_origin, 0.0, &mut out);
         }
         let key = |v: Vec3| {
-            ((v.x * 4096.0).round() as i64, (v.y * 4096.0).round() as i64, (v.z * 4096.0).round() as i64)
+            (
+                (v.x * 4096.0).round() as i64,
+                (v.y * 4096.0).round() as i64,
+                (v.z * 4096.0).round() as i64,
+            )
         };
         let mut edge_count: std::collections::HashMap<_, i32> = std::collections::HashMap::new();
         for t in &out {
@@ -349,5 +549,55 @@ mod tests {
         let mut out = Vec::new();
         let stats = extract(&g, (0, 0, 0), 0.0, &mut out);
         assert_eq!(stats.cells, 8 * 8 * 8);
+    }
+
+    #[test]
+    fn parallel_extract_is_bit_identical_to_serial() {
+        // 32³ cells — above PAR_MIN_CELLS so the slab path really runs.
+        let g = sphere_grid(33, 10.0);
+        let mut serial = Vec::new();
+        let s_stats = extract_serial(&g, (5, 6, 7), 0.0, &mut serial);
+        for threads in [1usize, 2, 3, 4] {
+            let pool = crate::par::ThreadPool::new(threads);
+            let mut scratch = ExtractScratch::default();
+            let mut par_out = Vec::new();
+            let p_stats = extract_with(&pool, &mut scratch, &g, (5, 6, 7), 0.0, &mut par_out);
+            assert_eq!(s_stats, p_stats, "{threads} threads");
+            assert_eq!(serial.len(), par_out.len(), "{threads} threads");
+            assert!(
+                serial.iter().zip(&par_out).all(|(a, b)| a == b),
+                "{threads} threads: triangle mismatch"
+            );
+            // Scratch reuse must not change the result.
+            let mut again = Vec::new();
+            extract_with(&pool, &mut scratch, &g, (5, 6, 7), 0.0, &mut again);
+            assert!(serial.iter().zip(&again).all(|(a, b)| a == b));
+        }
+    }
+
+    #[test]
+    fn case_table_matches_bitcount_semantics() {
+        for (mask, case) in TET_CASES.iter().enumerate() {
+            assert_eq!(case.n_in as u32, (mask as u32).count_ones());
+            match case.n_in {
+                1 | 3 => {
+                    let isolated_inside = case.n_in == 1;
+                    let a = case.idx[0] as usize;
+                    assert_eq!((mask >> a) & 1 == 1, isolated_inside);
+                    // Others ascending, covering the complement.
+                    let others = [case.idx[1], case.idx[2], case.idx[3]];
+                    assert!(others.windows(2).all(|w| w[0] < w[1]));
+                    assert!(!others.contains(&(a as u8)));
+                }
+                2 => {
+                    let (i0, i1) = (case.idx[0] as usize, case.idx[1] as usize);
+                    let (o0, o1) = (case.idx[2] as usize, case.idx[3] as usize);
+                    assert!(i0 < i1 && o0 < o1);
+                    assert!((mask >> i0) & 1 == 1 && (mask >> i1) & 1 == 1);
+                    assert!((mask >> o0) & 1 == 0 && (mask >> o1) & 1 == 0);
+                }
+                _ => {}
+            }
+        }
     }
 }

@@ -1,0 +1,340 @@
+//! Data-parallel runtime for the render kernels.
+//!
+//! A tiny, dependency-free fork/join pool: `N` workers parked on a
+//! condition variable, woken to run one shared closure per *broadcast*
+//! (each worker receives its index), with the caller blocked until every
+//! worker finishes. Because the caller blocks, the closure may borrow from
+//! the caller's stack — the same contract as scoped threads, amortizing
+//! thread spawn cost across calls.
+//!
+//! Kernels ([`crate::mc::extract`], [`crate::zbuf::ZBuffer::merge`],
+//! [`crate::active::merge_batch`]) use the [`global`](ThreadPool::global)
+//! pool by default (gated by the default-on `parallel` cargo feature) and
+//! accept an explicit pool in their `*_with` variants so benchmarks can
+//! sweep thread counts. All parallel decompositions in this crate are
+//! *deterministic*: they partition work so results are bit-identical to
+//! the serial kernels regardless of scheduling.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A broadcast job: a type-erased pointer to the caller's closure. The
+/// caller blocks inside [`ThreadPool::broadcast`] until every worker has
+/// finished, so the pointee outlives all use.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: the pointee is `Sync` and the caller keeps it alive for the
+// whole broadcast (it blocks until `remaining == 0`).
+unsafe impl Send for Job {}
+
+struct State {
+    job: Option<Job>,
+    /// Bumped once per broadcast; workers run each generation exactly once.
+    generation: u64,
+    /// Workers that have not yet finished the current generation.
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for a new generation.
+    work_cv: Condvar,
+    /// The caller waits here for `remaining` to reach zero.
+    done_cv: Condvar,
+    /// Set when a worker's closure panicked (the caller re-panics).
+    panicked: AtomicBool,
+}
+
+/// A persistent fork/join worker pool. See the module docs.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// A pool running jobs on `threads` lanes. `threads <= 1` spawns no
+    /// workers at all: broadcasts run inline on the caller.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                remaining: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let workers = if threads > 1 {
+            (0..threads)
+                .map(|i| {
+                    let shared = shared.clone();
+                    std::thread::Builder::new()
+                        .name(format!("isosurf-par-{i}"))
+                        .spawn(move || worker(shared, i))
+                        .expect("spawn pool worker")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ThreadPool { shared, workers }
+    }
+
+    /// Number of parallel lanes `broadcast` runs (at least 1).
+    pub fn threads(&self) -> usize {
+        self.workers.len().max(1)
+    }
+
+    /// The process-wide pool, sized from `ISOSURF_THREADS` if set, else
+    /// the machine's available parallelism. Built on first use.
+    pub fn global() -> &'static ThreadPool {
+        static POOL: OnceLock<ThreadPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let n = std::env::var("ISOSURF_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
+            ThreadPool::new(n)
+        })
+    }
+
+    /// Run `f(lane)` once on every lane (`0..threads()`), blocking until
+    /// all lanes finish. Concurrent broadcasts from different threads are
+    /// serialized; nested broadcasts from inside a job would deadlock and
+    /// must not be issued (kernels only ever call serial code in jobs).
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        let n = self.workers.len();
+        if n == 0 {
+            f(0);
+            return;
+        }
+        // SAFETY: we erase the borrow's lifetime; the closure stays alive
+        // because this function does not return until every worker is done
+        // with it.
+        let job = Job {
+            f: unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+            },
+        };
+        let mut st = self.shared.state.lock().expect("pool lock");
+        // Serialize with any in-flight broadcast from another thread.
+        while st.remaining > 0 {
+            st = self.shared.done_cv.wait(st).expect("pool lock");
+        }
+        st.job = Some(job);
+        st.generation += 1;
+        st.remaining = n;
+        self.shared.work_cv.notify_all();
+        while st.remaining > 0 {
+            st = self.shared.done_cv.wait(st).expect("pool lock");
+        }
+        st.job = None;
+        drop(st);
+        if self.shared.panicked.swap(false, Ordering::SeqCst) {
+            panic!("a ThreadPool worker panicked during broadcast");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker(shared: Arc<Shared>, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    break st.job.expect("job set with generation");
+                }
+                st = shared.work_cv.wait(st).expect("pool lock");
+            }
+        };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: the broadcasting thread keeps the closure alive until
+            // `remaining` reaches zero, which happens strictly after this
+            // call returns.
+            (unsafe { &*job.f })(index)
+        }));
+        if r.is_err() {
+            shared.panicked.store(true, Ordering::SeqCst);
+        }
+        let mut st = shared.state.lock().expect("pool lock");
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Split `0..len` into one contiguous band per pool lane (earlier bands
+/// take the remainder) and run `f(lane, band)` on each non-empty band in
+/// parallel. Band boundaries depend only on `len` and `pool.threads()`,
+/// never on scheduling.
+pub fn for_each_band(pool: &ThreadPool, len: usize, f: &(dyn Fn(usize, Range<usize>) + Sync)) {
+    let t = pool.threads();
+    if t <= 1 || len == 0 {
+        if len > 0 {
+            f(0, 0..len);
+        }
+        return;
+    }
+    pool.broadcast(&|lane| {
+        let band = band_of(len, t, lane);
+        if !band.is_empty() {
+            f(lane, band);
+        }
+    });
+}
+
+/// The `lane`-th of `t` contiguous bands covering `0..len`.
+pub(crate) fn band_of(len: usize, t: usize, lane: usize) -> Range<usize> {
+    let base = len / t;
+    let rem = len % t;
+    let start = lane * base + lane.min(rem);
+    let extent = base + usize::from(lane < rem);
+    start..(start + extent).min(len)
+}
+
+/// A raw pointer assertable as `Send + Sync`, for kernels that hand each
+/// worker a *disjoint* region of one buffer. Safety rests entirely on the
+/// disjointness argument at each use site. The pointer is reached via
+/// [`get`](SendPtr::get) rather than a public field so closures capture
+/// the `Sync` wrapper, not the bare pointer.
+pub(crate) struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    pub(crate) fn new(p: *mut T) -> Self {
+        SendPtr(p)
+    }
+
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn broadcast_runs_every_lane() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let hits = AtomicUsize::new(0);
+            pool.broadcast(&|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), pool.threads());
+        }
+    }
+
+    #[test]
+    fn broadcasts_are_reusable() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.broadcast(&|lane| {
+                total.fetch_add(lane + 1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 50 * (1 + 2 + 3));
+    }
+
+    #[test]
+    fn bands_partition_exactly() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            for t in [1usize, 2, 3, 8, 13] {
+                let mut covered = vec![false; len];
+                for lane in 0..t {
+                    for i in band_of(len, t, lane) {
+                        assert!(!covered[i], "index {i} covered twice");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "len {len} t {t} not covered");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_band_sums_match() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let expect: u64 = data.iter().sum();
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let total = std::sync::atomic::AtomicU64::new(0);
+            for_each_band(&pool, data.len(), &|_, r| {
+                let s: u64 = data[r].iter().sum();
+                total.fetch_add(s, Ordering::SeqCst);
+            });
+            assert_eq!(total.load(Ordering::SeqCst), expect);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast(&|lane| {
+                if lane == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The pool still works afterwards.
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(&|_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let id = std::thread::current().id();
+        pool.broadcast(&|_| {
+            assert_eq!(std::thread::current().id(), id);
+        });
+    }
+}

@@ -127,7 +127,14 @@ pub fn collect_pixels(
 /// A world-space triangle helper for tests and benches.
 pub fn world_tri(a: Vec3, b: Vec3, c: Vec3) -> Triangle {
     let n = (b - a).cross(c - a).normalized();
-    Triangle { v: [a, b, c], normal: if n == Vec3::ZERO { vec3(0.0, 0.0, 1.0) } else { n } }
+    Triangle {
+        v: [a, b, c],
+        normal: if n == Vec3::ZERO {
+            vec3(0.0, 0.0, 1.0)
+        } else {
+            n
+        },
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +158,11 @@ mod tests {
     #[test]
     fn centered_triangle_covers_pixels() {
         let proj = cam(64, 64).projector();
-        let t = world_tri(vec3(-2.0, -2.0, 0.0), vec3(2.0, -2.0, 0.0), vec3(0.0, 2.0, 0.0));
+        let t = world_tri(
+            vec3(-2.0, -2.0, 0.0),
+            vec3(2.0, -2.0, 0.0),
+            vec3(0.0, 2.0, 0.0),
+        );
         let px = collect_pixels(&proj, 64, 64, &t);
         assert!(px.len() > 50, "only {} pixels", px.len());
         // All within viewport.
@@ -161,7 +172,11 @@ mod tests {
     #[test]
     fn depth_is_constant_for_screen_parallel_triangle() {
         let proj = cam(64, 64).projector();
-        let t = world_tri(vec3(-1.0, -1.0, 2.0), vec3(1.0, -1.0, 2.0), vec3(0.0, 1.0, 2.0));
+        let t = world_tri(
+            vec3(-1.0, -1.0, 2.0),
+            vec3(1.0, -1.0, 2.0),
+            vec3(0.0, 1.0, 2.0),
+        );
         for (_, _, d) in collect_pixels(&proj, 64, 64, &t) {
             assert!((d - 8.0).abs() < 0.05, "depth {d}");
         }
@@ -170,7 +185,11 @@ mod tests {
     #[test]
     fn depth_varies_for_tilted_triangle() {
         let proj = cam(64, 64).projector();
-        let t = world_tri(vec3(-2.0, 0.0, 4.0), vec3(2.0, 0.0, -4.0), vec3(0.0, 2.0, 0.0));
+        let t = world_tri(
+            vec3(-2.0, 0.0, 4.0),
+            vec3(2.0, 0.0, -4.0),
+            vec3(0.0, 2.0, 0.0),
+        );
         let px = collect_pixels(&proj, 64, 64, &t);
         let min = px.iter().map(|p| p.2).fold(f32::INFINITY, f32::min);
         let max = px.iter().map(|p| p.2).fold(0.0f32, f32::max);
@@ -180,16 +199,26 @@ mod tests {
     #[test]
     fn offscreen_triangle_is_rejected() {
         let proj = cam(64, 64).projector();
-        let t = world_tri(vec3(100.0, 100.0, 0.0), vec3(101.0, 100.0, 0.0), vec3(100.0, 101.0, 0.0));
+        let t = world_tri(
+            vec3(100.0, 100.0, 0.0),
+            vec3(101.0, 100.0, 0.0),
+            vec3(100.0, 101.0, 0.0),
+        );
         let material = Material::default();
-        let r = raster_triangle(&proj, 64, 64, &material, &t, |_, _, _, _| panic!("no pixels"));
+        let r = raster_triangle(&proj, 64, 64, &material, &t, |_, _, _, _| {
+            panic!("no pixels")
+        });
         assert_eq!(r, None);
     }
 
     #[test]
     fn behind_camera_triangle_is_rejected() {
         let proj = cam(64, 64).projector();
-        let t = world_tri(vec3(0.0, 0.0, 20.0), vec3(1.0, 0.0, 20.0), vec3(0.0, 1.0, 20.0));
+        let t = world_tri(
+            vec3(0.0, 0.0, 20.0),
+            vec3(1.0, 0.0, 20.0),
+            vec3(0.0, 1.0, 20.0),
+        );
         assert!(collect_pixels(&proj, 64, 64, &t).is_empty());
     }
 
@@ -197,7 +226,11 @@ mod tests {
     fn partially_offscreen_triangle_is_clipped() {
         let proj = cam(64, 64).projector();
         // Spans far beyond the left edge.
-        let t = world_tri(vec3(-50.0, -1.0, 0.0), vec3(1.0, -1.0, 0.0), vec3(1.0, 1.0, 0.0));
+        let t = world_tri(
+            vec3(-50.0, -1.0, 0.0),
+            vec3(1.0, -1.0, 0.0),
+            vec3(1.0, 1.0, 0.0),
+        );
         let px = collect_pixels(&proj, 64, 64, &t);
         assert!(!px.is_empty());
         assert!(px.iter().all(|&(x, y, _)| x < 64 && y < 64));
@@ -206,12 +239,20 @@ mod tests {
     #[test]
     fn winding_does_not_change_coverage() {
         let proj = cam(64, 64).projector();
-        let t1 = world_tri(vec3(-2.0, -2.0, 0.0), vec3(2.0, -2.0, 0.0), vec3(0.0, 2.0, 0.0));
-        let t2 = world_tri(vec3(0.0, 2.0, 0.0), vec3(2.0, -2.0, 0.0), vec3(-2.0, -2.0, 0.0));
+        let t1 = world_tri(
+            vec3(-2.0, -2.0, 0.0),
+            vec3(2.0, -2.0, 0.0),
+            vec3(0.0, 2.0, 0.0),
+        );
+        let t2 = world_tri(
+            vec3(0.0, 2.0, 0.0),
+            vec3(2.0, -2.0, 0.0),
+            vec3(-2.0, -2.0, 0.0),
+        );
         let mut p1 = collect_pixels(&proj, 64, 64, &t1);
         let mut p2 = collect_pixels(&proj, 64, 64, &t2);
-        p1.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
-        p2.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        p1.sort_by_key(|p| (p.0, p.1));
+        p2.sort_by_key(|p| (p.0, p.1));
         let xy1: Vec<_> = p1.iter().map(|p| (p.0, p.1)).collect();
         let xy2: Vec<_> = p2.iter().map(|p| (p.0, p.1)).collect();
         assert_eq!(xy1, xy2);
@@ -220,7 +261,11 @@ mod tests {
     #[test]
     fn degenerate_triangle_draws_nothing() {
         let proj = cam(64, 64).projector();
-        let t = world_tri(vec3(0.0, 0.0, 0.0), vec3(1.0, 1.0, 0.0), vec3(2.0, 2.0, 0.0));
+        let t = world_tri(
+            vec3(0.0, 0.0, 0.0),
+            vec3(1.0, 1.0, 0.0),
+            vec3(2.0, 2.0, 0.0),
+        );
         assert!(collect_pixels(&proj, 64, 64, &t).is_empty());
     }
 }

@@ -31,12 +31,15 @@ impl Default for Material {
 /// Per-species materials mirroring the four ParSSim chemical species.
 pub fn species_material(species: u32) -> Material {
     let base = match species % 4 {
-        0 => [220, 120, 60],  // oxide orange
-        1 => [70, 140, 220],  // solute blue
-        2 => [90, 200, 110],  // biomass green
-        _ => [200, 90, 200],  // tracer magenta
+        0 => [220, 120, 60], // oxide orange
+        1 => [70, 140, 220], // solute blue
+        2 => [90, 200, 110], // biomass green
+        _ => [200, 90, 200], // tracer magenta
     };
-    Material { base, ..Material::default() }
+    Material {
+        base,
+        ..Material::default()
+    }
 }
 
 /// Lambertian flat shade of a face with unit normal `n` (two-sided).

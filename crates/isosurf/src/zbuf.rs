@@ -18,6 +18,10 @@ pub const ZBUF_ENTRY_WIRE_BYTES: u64 = 8;
 /// Depth value of an untouched (inactive) pixel.
 pub const EMPTY_DEPTH: f32 = f32::INFINITY;
 
+/// Pixels below which [`ZBuffer::merge`] stays serial (band fan-out costs
+/// more than the fold on small images).
+const PAR_MIN_PIXELS: usize = 64 * 1024;
+
 /// A dense depth+color buffer over the whole image plane.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ZBuffer {
@@ -35,7 +39,12 @@ impl ZBuffer {
     /// An empty buffer (all pixels inactive).
     pub fn new(width: u32, height: u32) -> Self {
         let n = width as usize * height as usize;
-        ZBuffer { width, height, depth: vec![EMPTY_DEPTH; n], color: vec![[0, 0, 0]; n] }
+        ZBuffer {
+            width,
+            height,
+            depth: vec![EMPTY_DEPTH; n],
+            color: vec![[0, 0, 0]; n],
+        }
     }
 
     #[inline]
@@ -59,14 +68,69 @@ impl ZBuffer {
     }
 
     /// Fold `other` into `self`, keeping the nearest surface per pixel.
+    ///
+    /// With the default-on `parallel` feature, large buffers merge in
+    /// row bands on the [global pool](crate::par::ThreadPool::global);
+    /// the depth test is element-wise, so the result is bit-identical to
+    /// [`merge_serial`](Self::merge_serial).
     pub fn merge(&mut self, other: &ZBuffer) {
-        assert_eq!((self.width, self.height), (other.width, other.height), "size mismatch");
+        #[cfg(feature = "parallel")]
+        {
+            let pool = crate::par::ThreadPool::global();
+            if pool.threads() > 1 && self.depth.len() >= PAR_MIN_PIXELS {
+                return self.merge_with(pool, other);
+            }
+        }
+        self.merge_serial(other);
+    }
+
+    /// Serial reference merge; always available.
+    pub fn merge_serial(&mut self, other: &ZBuffer) {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "size mismatch"
+        );
         for i in 0..self.depth.len() {
             if other.depth[i] < self.depth[i] {
                 self.depth[i] = other.depth[i];
                 self.color[i] = other.color[i];
             }
         }
+    }
+
+    /// [`merge`](Self::merge) on an explicit pool: each lane folds one
+    /// contiguous band of pixels. Ties keep `self` (strict `<` test), same
+    /// as the serial kernel, and bands are disjoint, so the result is
+    /// bit-identical regardless of thread count.
+    pub fn merge_with(&mut self, pool: &crate::par::ThreadPool, other: &ZBuffer) {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "size mismatch"
+        );
+        if pool.threads() <= 1 {
+            return self.merge_serial(other);
+        }
+        let len = self.depth.len();
+        let depth = crate::par::SendPtr::new(self.depth.as_mut_ptr());
+        let color = crate::par::SendPtr::new(self.color.as_mut_ptr());
+        let od = &other.depth[..len];
+        let oc = &other.color[..len];
+        crate::par::for_each_band(pool, len, &|_, band| {
+            // SAFETY: bands are disjoint index ranges of `self`'s buffers,
+            // so each element is written by at most one lane.
+            let d =
+                unsafe { std::slice::from_raw_parts_mut(depth.get().add(band.start), band.len()) };
+            let c =
+                unsafe { std::slice::from_raw_parts_mut(color.get().add(band.start), band.len()) };
+            for (k, j) in band.enumerate() {
+                if od[j] < d[k] {
+                    d[k] = od[j];
+                    c[k] = oc[j];
+                }
+            }
+        });
     }
 
     /// Number of active (written) pixels.
@@ -88,6 +152,74 @@ impl ZBuffer {
             }
         }
         img
+    }
+}
+
+/// Reduce `bufs` into `bufs[0]`, keeping the nearest surface per pixel.
+///
+/// With the default-on `parallel` feature this is a tree reduction on the
+/// [global pool](crate::par::ThreadPool::global); the merge filter uses it
+/// to fold the per-copy partial buffers that accumulate at end-of-work.
+/// The depth test keeps the lower-index buffer on ties (strict `<`), the
+/// same tie-break a left-to-right serial fold applies, so the result is
+/// bit-identical to [`merge_many_serial`]. No-op on an empty slice.
+pub fn merge_many(bufs: &mut [ZBuffer]) {
+    #[cfg(feature = "parallel")]
+    {
+        let pool = crate::par::ThreadPool::global();
+        if pool.threads() > 1
+            && bufs.len() >= 2
+            && bufs[0].depth.len() * (bufs.len() - 1) >= PAR_MIN_PIXELS
+        {
+            return merge_many_with(pool, bufs);
+        }
+    }
+    merge_many_serial(bufs);
+}
+
+/// Serial left-to-right fold of `bufs` into `bufs[0]`; always available.
+pub fn merge_many_serial(bufs: &mut [ZBuffer]) {
+    if bufs.is_empty() {
+        return;
+    }
+    let (dst, rest) = bufs.split_at_mut(1);
+    for b in rest {
+        dst[0].merge_serial(b);
+    }
+}
+
+/// [`merge_many`] on an explicit pool: a binary tree reduction with the
+/// pairs of each round merged concurrently (each pair serially). Round
+/// `g` merges buffer `i + g` into buffer `i` for `i ≡ 0 (mod 2g)`; the
+/// destination always has the lower index, so ties resolve exactly as in
+/// the serial fold.
+pub fn merge_many_with(pool: &crate::par::ThreadPool, bufs: &mut [ZBuffer]) {
+    let n = bufs.len();
+    if n < 2 {
+        return;
+    }
+    if pool.threads() <= 1 {
+        return merge_many_serial(bufs);
+    }
+    let ptr = crate::par::SendPtr::new(bufs.as_mut_ptr());
+    let mut gap = 1usize;
+    while gap < n {
+        let pairs: Vec<usize> = (0..n).step_by(2 * gap).filter(|i| i + gap < n).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        pool.broadcast(&|_| loop {
+            let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if k >= pairs.len() {
+                break;
+            }
+            let i = pairs[k];
+            // SAFETY: within a round, pair (i, i+gap) index sets are
+            // disjoint across pairs, so each buffer is touched by exactly
+            // one lane.
+            let dst = unsafe { &mut *ptr.get().add(i) };
+            let src = unsafe { &*ptr.get().add(i + gap) };
+            dst.merge_serial(src);
+        });
+        gap *= 2;
     }
 }
 
@@ -168,6 +300,73 @@ mod tests {
         let img = zb.to_image([7, 8, 9]);
         assert_eq!(img.data[0], [255, 0, 0]);
         assert_eq!(img.data[1], [7, 8, 9]);
+    }
+
+    /// Deterministic pseudo-random buffer with duplicate depths so ties
+    /// actually occur.
+    fn noisy(w: u32, h: u32, seed: u64) -> ZBuffer {
+        let mut zb = ZBuffer::new(w, h);
+        let mut s = seed;
+        for i in 0..zb.depth.len() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (s >> 33) as u32;
+            if !r.is_multiple_of(3) {
+                // Coarse depth quantization → plenty of exact ties.
+                zb.depth[i] = (r % 16) as f32;
+                zb.color[i] = [(r >> 8) as u8, (r >> 16) as u8, (r >> 24) as u8];
+            }
+        }
+        zb
+    }
+
+    #[test]
+    fn parallel_merge_is_bit_identical_to_serial() {
+        let base = noisy(256, 300, 1); // ≥ PAR_MIN_PIXELS
+        let other = noisy(256, 300, 2);
+        let mut serial = base.clone();
+        serial.merge_serial(&other);
+        for threads in [1usize, 2, 3, 4] {
+            let pool = crate::par::ThreadPool::new(threads);
+            let mut par = base.clone();
+            par.merge_with(&pool, &other);
+            assert_eq!(serial, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn merge_many_tree_matches_serial_fold() {
+        for n in [1usize, 2, 3, 5, 8, 9] {
+            let bufs: Vec<ZBuffer> = (0..n).map(|i| noisy(64, 64, i as u64 + 10)).collect();
+            let mut serial = bufs.clone();
+            merge_many_serial(&mut serial);
+            for threads in [2usize, 4] {
+                let pool = crate::par::ThreadPool::new(threads);
+                let mut tree = bufs.clone();
+                merge_many_with(&pool, &mut tree);
+                assert_eq!(serial[0], tree[0], "n={n} threads={threads}");
+            }
+            let mut auto = bufs.clone();
+            merge_many(&mut auto);
+            assert_eq!(serial[0], auto[0], "n={n} auto");
+        }
+    }
+
+    #[test]
+    fn merge_many_ties_keep_lowest_buffer_index() {
+        // All buffers plot the same pixel at the same depth; the serial
+        // fold keeps buffer 0, and the tree reduction must agree.
+        let mut bufs: Vec<ZBuffer> = (0..6)
+            .map(|i| {
+                let mut z = ZBuffer::new(4, 4);
+                z.plot(2, 2, 1.0, [i as u8, 0, 0]);
+                z
+            })
+            .collect();
+        let pool = crate::par::ThreadPool::new(4);
+        merge_many_with(&pool, &mut bufs);
+        assert_eq!(bufs[0].color[2 * 4 + 2], [0, 0, 0]);
     }
 
     #[test]

@@ -40,7 +40,11 @@ pub struct ChunkInfo {
 impl ChunkInfo {
     /// Point dimensions of the stored data (cells + 1 along each axis).
     pub fn point_dims(&self) -> Dims {
-        Dims::new(self.cell_extent.0 + 1, self.cell_extent.1 + 1, self.cell_extent.2 + 1)
+        Dims::new(
+            self.cell_extent.0 + 1,
+            self.cell_extent.1 + 1,
+            self.cell_extent.2 + 1,
+        )
     }
 
     /// Bytes of the stored f32 point data.
@@ -104,7 +108,12 @@ impl ChunkLayout {
     pub fn extract(&self, field: &RectGrid, id: ChunkId) -> RectGrid {
         assert_eq!(field.dims, self.grid, "field does not match layout grid");
         let info = self.info(id);
-        field.extract(info.cell_origin.0, info.cell_origin.1, info.cell_origin.2, info.point_dims())
+        field.extract(
+            info.cell_origin.0,
+            info.cell_origin.1,
+            info.cell_origin.2,
+            info.point_dims(),
+        )
     }
 }
 

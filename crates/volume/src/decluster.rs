@@ -50,7 +50,11 @@ pub fn hilbert_decluster(layout: &ChunkLayout, n_files: u32) -> Declustering {
         file_of_chunk[id.0 as usize] = f;
         chunks_of_file[f.0 as usize].push(id);
     }
-    Declustering { n_files, file_of_chunk, chunks_of_file }
+    Declustering {
+        n_files,
+        file_of_chunk,
+        chunks_of_file,
+    }
 }
 
 /// Placement of data files onto `(host, disk)` pairs. Host indices here
@@ -76,7 +80,10 @@ impl FilePlacement {
                 (node, disk)
             })
             .collect();
-        FilePlacement { location_of_file, n_nodes }
+        FilePlacement {
+            location_of_file,
+            n_nodes,
+        }
     }
 
     /// The paper's skewed placement (Section 4.5): start balanced over
@@ -171,7 +178,10 @@ mod tests {
                 }
             }
         }
-        assert!(same * 4 < pairs, "too many x-neighbours share a file: {same}/{pairs}");
+        assert!(
+            same * 4 < pairs,
+            "too many x-neighbours share a file: {same}/{pairs}"
+        );
     }
 
     #[test]

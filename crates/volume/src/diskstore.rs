@@ -92,7 +92,12 @@ pub fn write_dataset(
         fh.write_all(&out)?;
         chunks_of_file.push(ids);
     }
-    Ok(DiskStore { dir: dir.to_path_buf(), layout, n_files, chunks_of_file })
+    Ok(DiskStore {
+        dir: dir.to_path_buf(),
+        layout,
+        n_files,
+        chunks_of_file,
+    })
 }
 
 fn bad(msg: &str) -> io::Error {
@@ -124,8 +129,7 @@ impl DiskStore {
             if &header[0..4] != FILE_MAGIC {
                 return Err(bad("bad data file magic"));
             }
-            let n_records =
-                u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
+            let n_records = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
             let mut ids = Vec::with_capacity(n_records as usize);
             let mut rec = [0u8; 8];
             for _ in 0..n_records {
@@ -138,7 +142,12 @@ impl DiskStore {
             }
             chunks_of_file.push(ids);
         }
-        Ok(DiskStore { dir, layout, n_files, chunks_of_file })
+        Ok(DiskStore {
+            dir,
+            layout,
+            n_files,
+            chunks_of_file,
+        })
     }
 
     /// The chunk layout.
@@ -174,7 +183,10 @@ impl DiskStore {
             }
             io::copy(&mut Read::by_ref(&mut fh).take(len as u64), &mut io::sink())?;
         }
-        Err(io::Error::new(io::ErrorKind::NotFound, format!("chunk {} not in file", chunk.0)))
+        Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("chunk {} not in file", chunk.0),
+        ))
     }
 
     /// Read every chunk of `file` sequentially (the read filter's access
@@ -192,7 +204,10 @@ impl DiskStore {
             let len = u32::from_le_bytes(rec[4..8].try_into().expect("fixed")) as usize;
             let mut payload = vec![0u8; len];
             fh.read_exact(&mut payload)?;
-            out.push((ChunkId(id), decode_chunk(&payload).ok_or_else(|| bad("corrupt chunk"))?));
+            out.push((
+                ChunkId(id),
+                decode_chunk(&payload).ok_or_else(|| bad("corrupt chunk"))?,
+            ));
         }
         Ok(out)
     }
@@ -222,7 +237,10 @@ mod tests {
         let opened = DiskStore::open(&dir).unwrap();
         assert_eq!(opened.layout(), ds.layout());
         for f in 0..6 {
-            assert_eq!(opened.chunks_in_file(FileId(f)), ds.chunks_in_file(FileId(f)));
+            assert_eq!(
+                opened.chunks_in_file(FileId(f)),
+                ds.chunks_in_file(FileId(f))
+            );
         }
         fs::remove_dir_all(&dir).unwrap();
     }

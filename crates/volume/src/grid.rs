@@ -63,7 +63,10 @@ pub struct RectGrid {
 impl RectGrid {
     /// A grid filled with `value`.
     pub fn filled(dims: Dims, value: f32) -> Self {
-        RectGrid { dims, data: vec![value; dims.points() as usize] }
+        RectGrid {
+            dims,
+            data: vec![value; dims.points() as usize],
+        }
     }
 
     /// Build a grid by evaluating `f(x, y, z)` at every point.
@@ -113,7 +116,9 @@ impl RectGrid {
     pub fn value_range(&self) -> (f32, f32) {
         self.data
             .iter()
-            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
     }
 }
 

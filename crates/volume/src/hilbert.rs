@@ -13,7 +13,10 @@
 pub fn hilbert_index(coords: [u32; 3], bits: u32) -> u64 {
     assert!((1..=21).contains(&bits), "bits must be in 1..=21");
     for &c in &coords {
-        assert!(c < (1u32 << bits), "coordinate {c} out of range for {bits} bits");
+        assert!(
+            c < (1u32 << bits),
+            "coordinate {c} out of range for {bits} bits"
+        );
     }
     let mut x = coords;
     axes_to_transpose(&mut x, bits);
@@ -23,7 +26,10 @@ pub fn hilbert_index(coords: [u32; 3], bits: u32) -> u64 {
 /// Decode a Hilbert-curve index back into its 3-D coordinate.
 pub fn hilbert_coords(index: u64, bits: u32) -> [u32; 3] {
     assert!((1..=21).contains(&bits), "bits must be in 1..=21");
-    assert!(index < 1u64 << (3 * bits), "index out of range for {bits} bits");
+    assert!(
+        index < 1u64 << (3 * bits),
+        "index out of range for {bits} bits"
+    );
     let mut x = deinterleave(index, bits);
     transpose_to_axes(&mut x, bits);
     x
@@ -167,7 +173,11 @@ mod tests {
                 let d: u32 = (0..3)
                     .map(|i| (w[0][i] as i64 - w[1][i] as i64).unsigned_abs() as u32)
                     .sum();
-                assert_eq!(d, 1, "non-adjacent step {:?} -> {:?} at bits={bits}", w[0], w[1]);
+                assert_eq!(
+                    d, 1,
+                    "non-adjacent step {:?} -> {:?} at bits={bits}",
+                    w[0], w[1]
+                );
             }
         }
     }
@@ -189,7 +199,10 @@ mod tests {
         let hilbert_total: f64 = order
             .windows(2)
             .map(|w| {
-                (0..3).map(|i| (w[0][i] as f64 - w[1][i] as f64).powi(2)).sum::<f64>().sqrt()
+                (0..3)
+                    .map(|i| (w[0][i] as f64 - w[1][i] as f64).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
             })
             .sum();
         let mut row_major = Vec::new();
@@ -203,10 +216,16 @@ mod tests {
         let rm_total: f64 = row_major
             .windows(2)
             .map(|w| {
-                (0..3).map(|i| (w[0][i] as f64 - w[1][i] as f64).powi(2)).sum::<f64>().sqrt()
+                (0..3)
+                    .map(|i| (w[0][i] as f64 - w[1][i] as f64).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
             })
             .sum();
-        assert!(hilbert_total < rm_total, "hilbert {hilbert_total} vs row-major {rm_total}");
+        assert!(
+            hilbert_total < rm_total,
+            "hilbert {hilbert_total} vs row-major {rm_total}"
+        );
     }
 
     #[test]

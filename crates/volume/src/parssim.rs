@@ -38,7 +38,12 @@ pub struct SimParams {
 impl SimParams {
     /// Sensible defaults for a `dims` grid.
     pub fn new(dims: Dims, seed: u64) -> Self {
-        SimParams { dims, seed, plumes_per_species: 5, noise: 0.04 }
+        SimParams {
+            dims,
+            seed,
+            plumes_per_species: 5,
+            noise: 0.04,
+        }
     }
 }
 
@@ -90,7 +95,11 @@ impl ParSSim {
             rng.gen_range(0.0..std::f32::consts::TAU),
             rng.gen_range(0.0..std::f32::consts::TAU),
         ];
-        ParSSim { params, plumes, phase }
+        ParSSim {
+            params,
+            plumes,
+            phase,
+        }
     }
 
     /// Grid dimensions fields are produced at.

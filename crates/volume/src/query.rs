@@ -85,7 +85,10 @@ mod tests {
     #[test]
     fn empty_range_selects_nothing() {
         let l = layout();
-        let r = CellRange { lo: (4, 4, 4), hi: (4, 8, 8) };
+        let r = CellRange {
+            lo: (4, 4, 4),
+            hi: (4, 8, 8),
+        };
         assert!(r.is_empty());
         assert!(chunks_intersecting(&l, &r).is_empty());
     }
@@ -93,7 +96,10 @@ mod tests {
     #[test]
     fn corner_range_selects_one_chunk() {
         let l = layout();
-        let r = CellRange { lo: (0, 0, 0), hi: (2, 2, 2) };
+        let r = CellRange {
+            lo: (0, 0, 0),
+            hi: (2, 2, 2),
+        };
         assert_eq!(chunks_intersecting(&l, &r), vec![ChunkId(0)]);
     }
 
@@ -101,7 +107,10 @@ mod tests {
     fn straddling_range_selects_neighbours() {
         let l = layout();
         // x span 3..5 crosses the x=4 chunk boundary.
-        let r = CellRange { lo: (3, 0, 0), hi: (5, 2, 2) };
+        let r = CellRange {
+            lo: (3, 0, 0),
+            hi: (5, 2, 2),
+        };
         let got = chunks_intersecting(&l, &r);
         assert_eq!(got, vec![ChunkId(0), ChunkId(1)]);
     }
@@ -109,7 +118,10 @@ mod tests {
     #[test]
     fn central_range_touches_all_octants() {
         let l = layout();
-        let r = CellRange { lo: (3, 3, 3), hi: (5, 5, 5) };
+        let r = CellRange {
+            lo: (3, 3, 3),
+            hi: (5, 5, 5),
+        };
         assert_eq!(chunks_intersecting(&l, &r).len(), 8);
     }
 }

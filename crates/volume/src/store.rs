@@ -122,7 +122,9 @@ impl Dataset {
 
     /// Total bytes of one timestep of one species.
     pub fn timestep_bytes(&self) -> u64 {
-        (0..self.inner.layout.count()).map(|i| self.chunk_bytes(ChunkId(i))).sum()
+        (0..self.inner.layout.count())
+            .map(|i| self.chunk_bytes(ChunkId(i)))
+            .sum()
     }
 
     /// Read chunk `id` of `species` at `timestep` (the actual point data;
@@ -157,7 +159,9 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let g = RectGrid::from_fn(Dims::new(3, 4, 5), |x, y, z| x as f32 + y as f32 * 0.5 - z as f32);
+        let g = RectGrid::from_fn(Dims::new(3, 4, 5), |x, y, z| {
+            x as f32 + y as f32 * 0.5 - z as f32
+        });
         let bytes = encode_chunk(&g);
         assert_eq!(bytes.len() as u64, 12 + g.dims.byte_size());
         assert_eq!(decode_chunk(&bytes).unwrap(), g);

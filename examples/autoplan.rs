@@ -46,10 +46,18 @@ fn main() {
     let mut best = (String::new(), f64::INFINITY);
     for grouping in [
         Grouping::RERaM,
-        Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
-        Grouping::REraSplit { era: Placement::one_per_host(&hosts) },
+        Grouping::RERaSplit {
+            raster: Placement::one_per_host(&hosts),
+        },
+        Grouping::REraSplit {
+            era: Placement::one_per_host(&hosts),
+        },
     ] {
-        for policy in [WritePolicy::RoundRobin, WritePolicy::WeightedRoundRobin, WritePolicy::demand_driven()] {
+        for policy in [
+            WritePolicy::RoundRobin,
+            WritePolicy::WeightedRoundRobin,
+            WritePolicy::demand_driven(),
+        ] {
             let spec = PipelineSpec {
                 grouping: grouping.clone(),
                 algorithm: Algorithm::ActivePixel,

@@ -29,7 +29,11 @@ struct DocSource {
 
 impl Filter for DocSource {
     fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
-        let corpus = ["the quick brown fox", "jumps over the lazy dog", "the dog barks"];
+        let corpus = [
+            "the quick brown fox",
+            "jumps over the lazy dog",
+            "the dog barks",
+        ];
         for i in 0..self.docs {
             let text = corpus[i as usize % corpus.len()].to_string();
             let bytes = text.len() as u64;
@@ -90,25 +94,38 @@ fn main() {
     let totals: Arc<Mutex<HashMap<String, u64>>> = Arc::default();
 
     let mut g = GraphBuilder::new();
-    let src = g.add_filter("docs", Placement::on_host(hosts[0], 1), |_| DocSource { docs: 30 });
+    let src = g.add_filter("docs", Placement::on_host(hosts[0], 1), |_| DocSource {
+        docs: 30,
+    });
     let wc = g.add_filter(
         "wordcount",
         Placement::one_per_host(&[hosts[1], hosts[2]]),
-        |_| WordCount { counts: HashMap::new() },
+        |_| WordCount {
+            counts: HashMap::new(),
+        },
     );
     let totals2 = totals.clone();
-    let comb = g.add_filter("combine", Placement::on_host(hosts[0], 1), move |_| Combine {
-        out: totals2.clone(),
+    let comb = g.add_filter("combine", Placement::on_host(hosts[0], 1), move |_| {
+        Combine {
+            out: totals2.clone(),
+        }
     });
     g.connect(src, wc, WritePolicy::demand_driven());
     g.connect(wc, comb, WritePolicy::RoundRobin);
 
     let report = run_app(&topo, g.build()).expect("run");
 
-    let mut counts: Vec<(String, u64)> =
-        totals.lock().unwrap().iter().map(|(w, &n)| (w.clone(), n)).collect();
+    let mut counts: Vec<(String, u64)> = totals
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(w, &n)| (w.clone(), n))
+        .collect();
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    println!("word counts after {:.4} virtual seconds:", report.elapsed.as_secs_f64());
+    println!(
+        "word counts after {:.4} virtual seconds:",
+        report.elapsed.as_secs_f64()
+    );
     for (w, n) in &counts {
         println!("  {n:>3}  {w}");
     }

@@ -31,7 +31,9 @@ fn main() {
             let cfg = Arc::new(cfg);
 
             let spec = PipelineSpec {
-                grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+                grouping: Grouping::RERaSplit {
+                    raster: Placement::one_per_host(&hosts),
+                },
                 algorithm: Algorithm::ActivePixel,
                 policy,
                 merge_host: blues[0],

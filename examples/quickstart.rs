@@ -28,7 +28,9 @@ fn main() {
     // 3. The pipeline: read+extract on every data node, one raster copy
     //    per node, demand-driven buffer scheduling, merge on node 0.
     let spec = PipelineSpec {
-        grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+        grouping: Grouping::RERaSplit {
+            raster: Placement::one_per_host(&hosts),
+        },
         algorithm: Algorithm::ActivePixel,
         policy: WritePolicy::demand_driven(),
         merge_host: hosts[0],
@@ -37,8 +39,13 @@ fn main() {
     // 4. Run one unit of work (one timestep).
     let result = dcapp::run_pipeline(&topo, &cfg, &spec).expect("pipeline run");
 
-    println!("rendered {}x{} image in {:.3} virtual seconds ({} engine events)",
-        cfg.camera.width, cfg.camera.height, result.elapsed.as_secs_f64(), result.report.events);
+    println!(
+        "rendered {}x{} image in {:.3} virtual seconds ({} engine events)",
+        cfg.camera.width,
+        cfg.camera.height,
+        result.elapsed.as_secs_f64(),
+        result.report.events
+    );
     for copy in &result.report.copies {
         let c = &copy.counters;
         println!(
@@ -55,8 +62,15 @@ fn main() {
 
     // 5. Check against the sequential reference renderer and save.
     let reference = dcapp::reference_image(&cfg);
-    assert_eq!(result.image.diff_pixels(&reference), 0, "distributed == sequential");
+    assert_eq!(
+        result.image.diff_pixels(&reference),
+        0,
+        "distributed == sequential"
+    );
     let path = examples::out_dir().join("quickstart.ppm");
     result.image.save_ppm(&path).expect("write image");
-    println!("image matches the sequential reference; saved to {}", path.display());
+    println!(
+        "image matches the sequential reference; saved to {}",
+        path.display()
+    );
 }

@@ -19,8 +19,20 @@ fn main() {
 
     let queries: [(&str, Option<CellRange>); 3] = [
         ("full volume", None),
-        ("upper half", Some(CellRange { lo: (0, 0, 32), hi: (64, 64, 64) })),
-        ("center core", Some(CellRange { lo: (24, 24, 24), hi: (40, 40, 40) })),
+        (
+            "upper half",
+            Some(CellRange {
+                lo: (0, 0, 32),
+                hi: (64, 64, 64),
+            }),
+        ),
+        (
+            "center core",
+            Some(CellRange {
+                lo: (24, 24, 24),
+                hi: (40, 40, 40),
+            }),
+        ),
     ];
 
     let dir = examples::out_dir();
@@ -30,7 +42,9 @@ fn main() {
         cfg.query = query;
         let cfg = Arc::new(cfg);
         let spec = PipelineSpec {
-            grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+            grouping: Grouping::RERaSplit {
+                raster: Placement::one_per_host(&hosts),
+            },
             algorithm: Algorithm::ActivePixel,
             policy: WritePolicy::demand_driven(),
             merge_host: hosts[0],
@@ -47,5 +61,7 @@ fn main() {
             path.display()
         );
     }
-    println!("\nsmaller queries touch fewer declustered chunks: less I/O, less compute, same pipeline");
+    println!(
+        "\nsmaller queries touch fewer declustered chunks: less I/O, less compute, same pipeline"
+    );
 }

@@ -22,7 +22,9 @@ fn main() {
     let cfg = Arc::new(cfg);
 
     let spec = PipelineSpec {
-        grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+        grouping: Grouping::RERaSplit {
+            raster: Placement::one_per_host(&hosts),
+        },
         algorithm: Algorithm::ActivePixel,
         policy: WritePolicy::demand_driven(),
         merge_host: hosts[0],
@@ -43,8 +45,14 @@ fn main() {
             path.display()
         );
     }
-    let avg = multi.uow_elapsed.iter().map(|d| d.as_secs_f64()).sum::<f64>()
+    let avg = multi
+        .uow_elapsed
+        .iter()
+        .map(|d| d.as_secs_f64())
+        .sum::<f64>()
         / multi.uow_elapsed.len() as f64;
-    println!("\naverage per-timestep render time: {avg:.3}s ({} engine events total)",
-        multi.report.events);
+    println!(
+        "\naverage per-timestep render time: {avg:.3}s ({} engine events total)",
+        multi.report.events
+    );
 }

@@ -1,0 +1,258 @@
+//! Offline shim for `criterion`: a minimal benchmark harness exposing the
+//! `criterion_group!` / `criterion_main!` / `benchmark_group` /
+//! `bench_function` / `Bencher::iter` surface. Timing is wall-clock with a
+//! calibration pass, a warm-up pass, and a median over fixed-size samples.
+//! Results are printed to stdout and retained on the [`Criterion`] value so
+//! harness binaries can export them (e.g. to JSON). See `shims/README.md`.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Inhibit constant-folding of benchmark inputs/outputs.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Declared per-iteration throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// All results measured so far (for JSON export by harness binaries).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        // Calibrate: how long does one iteration take?
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let mut per_iter;
+        loop {
+            f(&mut b);
+            per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+            if b.elapsed >= Duration::from_millis(1) || b.iters >= 1 << 20 {
+                break;
+            }
+            b.iters *= 8;
+        }
+        // Warm up.
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            f(&mut b);
+        }
+        // Measure: sample_size samples of ~(measurement / sample_size) each.
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let median_ns = samples[samples.len() / 2];
+        println!(
+            "{:<44} time: {:>12}/iter{}",
+            id,
+            fmt_ns(median_ns),
+            fmt_thrpt(throughput, median_ns)
+        );
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            throughput,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_thrpt(t: Option<Throughput>, median_ns: f64) -> String {
+    match t {
+        None => String::new(),
+        Some(Throughput::Elements(n)) => {
+            format!("   thrpt: {:.2} Melem/s", n as f64 / median_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "   thrpt: {:.2} MiB/s",
+                n as f64 / median_ns * 1e9 / (1 << 20) as f64
+            )
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Measure one benchmark function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        self.c.run_one(id, self.throughput, &mut f);
+        self
+    }
+
+    /// Close the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the harness-chosen number of iterations, timing it.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut c = $config;
+            $($target(&mut c);)*
+            c
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $(let _ = $group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns > 0.0);
+        assert_eq!(c.results()[0].id, "g/sum");
+    }
+}

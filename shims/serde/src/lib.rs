@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros.
+//! `use serde::{Serialize, Deserialize}` imports both the trait and the
+//! derive of each name (they live in different namespaces), exactly like
+//! the real crate. Nothing in the workspace serializes today; the derives
+//! exist so type annotations keep compiling. See `shims/README.md`.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

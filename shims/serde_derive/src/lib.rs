@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the `Serialize`/`Deserialize` derives
+//! expand to nothing. The workspace annotates types for future wire
+//! formats but never serializes today, so empty expansions are sound.
+//! See `shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -7,7 +7,9 @@ use integration_tests::{cluster, test_cfg, test_dataset};
 
 fn dc_spec(hosts: &[hetsim::HostId], alg: Algorithm) -> PipelineSpec {
     PipelineSpec {
-        grouping: Grouping::RERaSplit { raster: Placement::one_per_host(hosts) },
+        grouping: Grouping::RERaSplit {
+            raster: Placement::one_per_host(hosts),
+        },
         algorithm: alg,
         policy: WritePolicy::demand_driven(),
         merge_host: hosts[0],
@@ -31,7 +33,11 @@ fn adr_tree_merge_handles_odd_node_counts() {
         let (topo, hosts) = cluster(nodes);
         let cfg = test_cfg(test_dataset(21), hosts.clone(), 64);
         let a = adr::run_adr(&topo, &cfg).unwrap();
-        assert_eq!(a.image.diff_pixels(&dcapp::reference_image(&cfg)), 0, "{nodes} nodes");
+        assert_eq!(
+            a.image.diff_pixels(&dcapp::reference_image(&cfg)),
+            0,
+            "{nodes} nodes"
+        );
         let total: u64 = a.nodes.iter().map(|n| n.chunks).sum();
         assert_eq!(total, 36);
     }
@@ -81,7 +87,10 @@ fn zbuffer_pipeline_stalls_more_than_active_pixel() {
     // And it moves less data into the merge filter.
     let zb_bytes = zb.report.stream(zb.to_merge).total_bytes();
     let ap_bytes = ap.report.stream(ap.to_merge).total_bytes();
-    assert!(ap_bytes < zb_bytes, "AP merge bytes {ap_bytes} vs ZB {zb_bytes}");
+    assert!(
+        ap_bytes < zb_bytes,
+        "AP merge bytes {ap_bytes} vs ZB {zb_bytes}"
+    );
 }
 
 #[test]

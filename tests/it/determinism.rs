@@ -13,7 +13,9 @@ fn run_once(policy: WritePolicy, bg: u32) -> (u64, u64, Vec<u64>, isosurf::Image
     }
     let cfg = test_cfg(test_dataset(30), hosts.clone(), 128);
     let spec = PipelineSpec {
-        grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+        grouping: Grouping::RERaSplit {
+            raster: Placement::one_per_host(&hosts),
+        },
         algorithm: Algorithm::ActivePixel,
         policy,
         merge_host: hosts[0],
@@ -26,7 +28,12 @@ fn run_once(policy: WritePolicy, bg: u32) -> (u64, u64, Vec<u64>, isosurf::Image
         .iter()
         .map(|(_, c)| c.buffers_received)
         .collect();
-    (r.elapsed.as_nanos(), r.report.events, copyset_counts, r.image)
+    (
+        r.elapsed.as_nanos(),
+        r.report.events,
+        copyset_counts,
+        r.image,
+    )
 }
 
 #[test]
@@ -35,7 +42,12 @@ fn identical_runs_produce_identical_timelines() {
         for bg in [0u32, 4] {
             let a = run_once(policy, bg);
             let b = run_once(policy, bg);
-            assert_eq!(a.0, b.0, "elapsed nanos differ ({} bg={bg})", policy.label());
+            assert_eq!(
+                a.0,
+                b.0,
+                "elapsed nanos differ ({} bg={bg})",
+                policy.label()
+            );
             assert_eq!(a.1, b.1, "event counts differ");
             assert_eq!(a.2, b.2, "buffer distributions differ");
             assert_eq!(a.3.diff_pixels(&b.3), 0, "images differ");
@@ -49,7 +61,10 @@ fn adr_runs_are_deterministic() {
         let (topo, hosts) = cluster(4);
         let cfg = test_cfg(test_dataset(31), hosts, 128);
         let r = adr::run_adr(&topo, &cfg).unwrap();
-        (r.elapsed.as_nanos(), r.nodes.iter().map(|n| n.triangles).collect::<Vec<_>>())
+        (
+            r.elapsed.as_nanos(),
+            r.nodes.iter().map(|n| n.triangles).collect::<Vec<_>>(),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -66,7 +81,10 @@ fn different_seeds_change_the_timeline() {
             policy: WritePolicy::RoundRobin,
             merge_host: hosts[0],
         };
-        dcapp::run_pipeline(&topo, &cfg, &spec).unwrap().elapsed.as_nanos()
+        dcapp::run_pipeline(&topo, &cfg, &spec)
+            .unwrap()
+            .elapsed
+            .as_nanos()
     };
     assert_ne!(elapsed(100), elapsed(101));
 }

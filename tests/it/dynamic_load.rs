@@ -29,7 +29,9 @@ fn dd_adapts_when_load_arrives_mid_run() {
             Arc::new(c)
         };
         let spec = PipelineSpec {
-            grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+            grouping: Grouping::RERaSplit {
+                raster: Placement::one_per_host(&hosts),
+            },
             algorithm: Algorithm::ActivePixel,
             policy,
             merge_host: hosts[1],
@@ -125,7 +127,11 @@ fn dd_beats_rr_under_a_mid_run_load_storm() {
         let (topo, hosts) = cluster(3);
         let mut g = GraphBuilder::new();
         let s = g.add_filter("src", Placement::on_host(hosts[0], 1), |_| Src);
-        let w = g.add_filter("work", Placement::one_per_host(&[hosts[1], hosts[2]]), |_| Work);
+        let w = g.add_filter(
+            "work",
+            Placement::one_per_host(&[hosts[1], hosts[2]]),
+            |_| Work,
+        );
         g.connect(s, w, policy);
         let storm_cpu = topo.host(hosts[1]).cpu.clone();
         let report = datacutter::run_app_with(&topo, g.build(), 1, move |sim| {
@@ -143,7 +149,10 @@ fn dd_beats_rr_under_a_mid_run_load_storm() {
     };
     let rr = run(WritePolicy::RoundRobin);
     let dd = run(WritePolicy::demand_driven());
-    assert!(dd < rr, "DD ({dd:.3}s) should dodge the mid-run storm; RR took {rr:.3}s");
+    assert!(
+        dd < rr,
+        "DD ({dd:.3}s) should dodge the mid-run storm; RR took {rr:.3}s"
+    );
 }
 
 #[test]
@@ -154,7 +163,9 @@ fn multi_uow_run_absorbs_alternating_load() {
     topo.host(hosts[2]).cpu.set_bg_jobs(12);
     let cfg = test_cfg(test_dataset(61), hosts.clone(), 96);
     let spec = PipelineSpec {
-        grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+        grouping: Grouping::RERaSplit {
+            raster: Placement::one_per_host(&hosts),
+        },
         algorithm: Algorithm::ActivePixel,
         policy: WritePolicy::demand_driven(),
         merge_host: hosts[0],

@@ -1,0 +1,148 @@
+//! The parallel render kernels must be *bit-identical* to their serial
+//! counterparts on arbitrary inputs and thread counts — not merely
+//! equivalent up to reordering. The decompositions (z-slabs spliced in
+//! slab order, disjoint row bands, index-ordered tree reduction) are
+//! designed for this; these properties pin it down, including on forced
+//! depth ties where a sloppy decomposition would diverge.
+
+use proptest::prelude::*;
+
+use isosurf::{
+    extract_serial, extract_with, merge_batch_serial, merge_batch_with, merge_many_serial,
+    merge_many_with, ExtractScratch, ThreadPool, WinningPixel, ZBuffer,
+};
+use volume::{Dims, RectGrid};
+
+/// Splitmix-style scalar mix for deterministic test data.
+fn mix(s: &mut u64) -> u64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *s >> 16
+}
+
+/// A random grid whose values are quantized so the isosurface has plenty
+/// of exactly-equal corner values (degenerate marching-tet cases).
+fn random_grid(nx: u32, ny: u32, nz: u32, seed: u64) -> RectGrid {
+    let mut s = seed | 1;
+    RectGrid::from_fn(Dims::new(nx, ny, nz), |_, _, _| {
+        (mix(&mut s) % 11) as f32 / 10.0
+    })
+}
+
+/// A z-buffer with random plots; depths quantized to force cross-buffer
+/// ties.
+fn random_zbuffer(w: u32, h: u32, seed: u64) -> ZBuffer {
+    let mut zb = ZBuffer::new(w, h);
+    let mut s = seed | 1;
+    for _ in 0..(w as u64 * h as u64 * 2) {
+        let r = mix(&mut s);
+        let x = (r % w as u64) as u32;
+        let y = ((r >> 8) % h as u64) as u32;
+        let d = ((r >> 20) % 16) as f32;
+        zb.plot(x, y, d, [r as u8, (r >> 8) as u8, (r >> 16) as u8]);
+    }
+    zb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Slab-parallel extraction splices to exactly the serial triangle
+    /// stream, for any grid shape, isovalue, and thread count.
+    #[test]
+    fn parallel_extract_matches_serial(
+        nx in 2u32..12, ny in 2u32..12, nz in 2u32..16,
+        seed in any::<u64>(), iso in 0.05f32..0.95, threads in 2usize..5,
+    ) {
+        let grid = random_grid(nx, ny, nz, seed);
+        let origin = ((seed % 7) as u32, ((seed >> 8) % 7) as u32, ((seed >> 16) % 7) as u32);
+
+        let mut serial = Vec::new();
+        let stats_s = extract_serial(&grid, origin, iso, &mut serial);
+
+        let pool = ThreadPool::new(threads);
+        let mut scratch = ExtractScratch::default();
+        let mut par = Vec::new();
+        let stats_p = extract_with(&pool, &mut scratch, &grid, origin, iso, &mut par);
+
+        prop_assert_eq!(stats_s, stats_p);
+        prop_assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(par.iter()) {
+            for k in 0..3 {
+                prop_assert_eq!(a.v[k].x.to_bits(), b.v[k].x.to_bits());
+                prop_assert_eq!(a.v[k].y.to_bits(), b.v[k].y.to_bits());
+                prop_assert_eq!(a.v[k].z.to_bits(), b.v[k].z.to_bits());
+            }
+        }
+    }
+
+    /// Band-parallel pairwise merge equals the serial merge bit-for-bit,
+    /// ties included (equal depths keep the destination pixel).
+    #[test]
+    fn parallel_merge_matches_serial(
+        w in 1u32..64, h in 1u32..64, seed in any::<u64>(), threads in 2usize..5,
+    ) {
+        let a = random_zbuffer(w, h, seed);
+        let b = random_zbuffer(w, h, seed.wrapping_add(0x9e3779b97f4a7c15));
+
+        let mut serial = a.clone();
+        serial.merge_serial(&b);
+
+        let pool = ThreadPool::new(threads);
+        let mut par = a.clone();
+        par.merge_with(&pool, &b);
+
+        prop_assert_eq!(serial, par);
+    }
+
+    /// The tree reduction over N buffers equals the serial left fold,
+    /// ties included (lowest buffer index wins in both).
+    #[test]
+    fn merge_many_matches_serial_fold(
+        n in 1usize..9, w in 1u32..32, h in 1u32..32,
+        seed in any::<u64>(), threads in 2usize..5,
+    ) {
+        let bufs: Vec<ZBuffer> =
+            (0..n).map(|i| random_zbuffer(w, h, seed.wrapping_add(i as u64))).collect();
+
+        let mut serial = bufs.clone();
+        merge_many_serial(&mut serial);
+
+        let pool = ThreadPool::new(threads);
+        let mut par = bufs.clone();
+        merge_many_with(&pool, &mut par);
+
+        prop_assert_eq!(&serial[0], &par[0]);
+    }
+
+    /// Band-parallel WPA batch merging preserves the serial per-pixel
+    /// candidate order (strict less-than: first of equal depths wins).
+    #[test]
+    fn parallel_merge_batch_matches_serial(
+        w in 1u32..48, h in 2u32..48, len in 0usize..4000,
+        seed in any::<u64>(), threads in 2usize..5,
+    ) {
+        let mut s = seed | 1;
+        let batch: Vec<WinningPixel> = (0..len)
+            .map(|_| {
+                let r = mix(&mut s);
+                WinningPixel {
+                    x: (r % w as u64) as u16,
+                    y: ((r >> 8) % h as u64) as u16,
+                    depth: ((r >> 20) % 8) as f32,
+                    rgb: [r as u8, (r >> 8) as u8, (r >> 16) as u8],
+                }
+            })
+            .collect();
+
+        let mut serial = ZBuffer::new(w, h);
+        merge_batch_serial(&mut serial, &batch);
+
+        let pool = ThreadPool::new(threads);
+        let mut par = ZBuffer::new(w, h);
+        merge_batch_with(&pool, &mut par, &batch);
+
+        prop_assert_eq!(serial, par);
+    }
+}

@@ -10,8 +10,12 @@ use integration_tests::{cluster, test_cfg, test_dataset};
 fn all_groupings(hosts: &[hetsim::HostId]) -> Vec<Grouping> {
     vec![
         Grouping::RERaM,
-        Grouping::RERaSplit { raster: Placement::one_per_host(hosts) },
-        Grouping::REraSplit { era: Placement::one_per_host(hosts) },
+        Grouping::RERaSplit {
+            raster: Placement::one_per_host(hosts),
+        },
+        Grouping::REraSplit {
+            era: Placement::one_per_host(hosts),
+        },
     ]
 }
 
@@ -55,7 +59,9 @@ fn copy_count_does_not_change_output() {
     for copies in 1..=4u32 {
         let spec = PipelineSpec {
             grouping: Grouping::RERaSplit {
-                raster: Placement { per_host: hosts.iter().map(|&h| (h, copies)).collect() },
+                raster: Placement {
+                    per_host: hosts.iter().map(|&h| (h, copies)).collect(),
+                },
             },
             algorithm: Algorithm::ActivePixel,
             policy: WritePolicy::demand_driven(),
@@ -77,13 +83,19 @@ fn buffer_sizing_does_not_change_output() {
         c.wpa_capacity = wpa;
         let cfg = std::sync::Arc::new(c);
         let spec = PipelineSpec {
-            grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+            grouping: Grouping::RERaSplit {
+                raster: Placement::one_per_host(&hosts),
+            },
             algorithm: Algorithm::ActivePixel,
             policy: WritePolicy::demand_driven(),
             merge_host: hosts[0],
         };
         let r = dcapp::run_pipeline(&topo, &cfg, &spec).expect("run");
-        assert_eq!(r.image.diff_pixels(&reference), 0, "tri_batch={tri_batch} wpa={wpa}");
+        assert_eq!(
+            r.image.diff_pixels(&reference),
+            0,
+            "tri_batch={tri_batch} wpa={wpa}"
+        );
     }
 }
 
@@ -97,13 +109,19 @@ fn band_sizing_does_not_change_output() {
         c.zb_band_bytes = band_bytes;
         let cfg = std::sync::Arc::new(c);
         let spec = PipelineSpec {
-            grouping: Grouping::RERaSplit { raster: Placement::one_per_host(&hosts) },
+            grouping: Grouping::RERaSplit {
+                raster: Placement::one_per_host(&hosts),
+            },
             algorithm: Algorithm::ZBuffer,
             policy: WritePolicy::RoundRobin,
             merge_host: hosts[0],
         };
         let r = dcapp::run_pipeline(&topo, &cfg, &spec).expect("run");
-        assert_eq!(r.image.diff_pixels(&reference), 0, "band_bytes={band_bytes}");
+        assert_eq!(
+            r.image.diff_pixels(&reference),
+            0,
+            "band_bytes={band_bytes}"
+        );
     }
 }
 
@@ -124,6 +142,10 @@ fn species_and_timesteps_render_consistently() {
             merge_host: hosts[0],
         };
         let r = dcapp::run_pipeline(&topo, &cfg, &spec).expect("run");
-        assert_eq!(r.image.diff_pixels(&dcapp::reference_image(&cfg)), 0, "species {species}");
+        assert_eq!(
+            r.image.diff_pixels(&dcapp::reference_image(&cfg)),
+            0,
+            "species {species}"
+        );
     }
 }

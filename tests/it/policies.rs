@@ -6,7 +6,9 @@ use integration_tests::{cluster, test_cfg, test_dataset};
 
 fn spec(hosts: &[hetsim::HostId], policy: WritePolicy) -> PipelineSpec {
     PipelineSpec {
-        grouping: Grouping::RERaSplit { raster: Placement::one_per_host(hosts) },
+        grouping: Grouping::RERaSplit {
+            raster: Placement::one_per_host(hosts),
+        },
         algorithm: Algorithm::ActivePixel,
         policy,
         merge_host: hosts[0],
@@ -38,7 +40,9 @@ fn wrr_weights_proportionally_to_copies() {
     };
     let s = PipelineSpec {
         grouping: Grouping::RERaSplit {
-            raster: Placement { per_host: vec![(hosts[0], 1), (hosts[1], 3)] },
+            raster: Placement {
+                per_host: vec![(hosts[0], 1), (hosts[1], 3)],
+            },
         },
         algorithm: Algorithm::ActivePixel,
         policy: WritePolicy::WeightedRoundRobin,
@@ -49,7 +53,10 @@ fn wrr_weights_proportionally_to_copies() {
     let c0 = st.copysets[0].1.buffers_received as f64;
     let c1 = st.copysets[1].1.buffers_received as f64;
     let ratio = c1 / c0;
-    assert!((2.0..4.5).contains(&ratio), "expected ~3x weighting, got {ratio:.2} ({c0} vs {c1})");
+    assert!(
+        (2.0..4.5).contains(&ratio),
+        "expected ~3x weighting, got {ratio:.2} ({c0} vs {c1})"
+    );
 }
 
 #[test]
@@ -76,7 +83,9 @@ fn dd_beats_rr_under_heterogeneous_load() {
             topo.host(h).cpu.set_bg_jobs(8);
         }
         let cfg = test_cfg(test_dataset(13), hosts.clone(), 192);
-        dcapp::run_pipeline(&topo, &cfg, &spec(&hosts, policy)).unwrap().elapsed
+        dcapp::run_pipeline(&topo, &cfg, &spec(&hosts, policy))
+            .unwrap()
+            .elapsed
     };
     let rr = elapsed(WritePolicy::RoundRobin);
     let dd = elapsed(WritePolicy::demand_driven());
@@ -99,12 +108,18 @@ fn policies_agree_when_cluster_is_uniform_and_unloaded() {
         WritePolicy::demand_driven(),
     ] {
         times.push(
-            dcapp::run_pipeline(&topo, &cfg, &spec(&hosts, policy)).unwrap().elapsed.as_secs_f64(),
+            dcapp::run_pipeline(&topo, &cfg, &spec(&hosts, policy))
+                .unwrap()
+                .elapsed
+                .as_secs_f64(),
         );
     }
     let max = times.iter().cloned().fold(0.0, f64::max);
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(max / min < 1.5, "policies diverge on a uniform cluster: {times:?}");
+    assert!(
+        max / min < 1.5,
+        "policies diverge on a uniform cluster: {times:?}"
+    );
 }
 
 #[test]

@@ -29,7 +29,7 @@ proptest! {
         nx in 3u32..20, ny in 3u32..20, nz in 3u32..20,
         cx in 1u32..4, cy in 1u32..4, cz in 1u32..4,
     ) {
-        prop_assume!(nx - 1 >= cx && ny - 1 >= cy && nz - 1 >= cz);
+        prop_assume!(nx > cx && ny > cy && nz > cz);
         let layout = ChunkLayout::new(Dims::new(nx, ny, nz), (cx, cy, cz));
         let mut covered = 0u64;
         for info in layout.all() {
@@ -130,10 +130,21 @@ fn fill_triangle_never_plots_outside_viewport() {
         [(-5.0, 70.0), (70.0, -5.0), (70.0, 70.0)],
     ];
     for verts in cases {
-        let sv = |p: (f32, f32)| ScreenVertex { x: p.0, y: p.1, depth: 1.0 };
-        isosurf::fill_triangle(sv(verts[0]), sv(verts[1]), sv(verts[2]), 64, 64, |x, y, _| {
-            assert!(x < 64 && y < 64, "pixel ({x},{y}) outside 64x64");
-        });
+        let sv = |p: (f32, f32)| ScreenVertex {
+            x: p.0,
+            y: p.1,
+            depth: 1.0,
+        };
+        isosurf::fill_triangle(
+            sv(verts[0]),
+            sv(verts[1]),
+            sv(verts[2]),
+            64,
+            64,
+            |x, y, _| {
+                assert!(x < 64 && y < 64, "pixel ({x},{y}) outside 64x64");
+            },
+        );
     }
 }
 

@@ -24,8 +24,14 @@ fn pipeline_spans_all_four_clusters() {
     let r = dcapp::run_pipeline(&tb.topology, &cfg, &spec).expect("run");
     assert_eq!(r.image.diff_pixels(&dcapp::reference_image(&cfg)), 0);
     // Traffic crossed into Blue and Deathstar.
-    assert!(tb.topology.nic_bytes(tb.blue.1[0]).1 > 0, "blue received stream traffic");
-    assert!(tb.topology.nic_bytes(tb.deathstar.1).1 > 0, "deathstar received merge traffic");
+    assert!(
+        tb.topology.nic_bytes(tb.blue.1[0]).1 > 0,
+        "blue received stream traffic"
+    );
+    assert!(
+        tb.topology.nic_bytes(tb.deathstar.1).1 > 0,
+        "deathstar received merge traffic"
+    );
 }
 
 #[test]
@@ -35,7 +41,9 @@ fn eight_way_node_runs_seven_copies() {
     let mut per_host: Vec<(hetsim::HostId, u32)> = reds.iter().map(|&h| (h, 1)).collect();
     per_host.push((ds, 7));
     let spec = PipelineSpec {
-        grouping: Grouping::RERaSplit { raster: Placement { per_host } },
+        grouping: Grouping::RERaSplit {
+            raster: Placement { per_host },
+        },
         algorithm: Algorithm::ActivePixel,
         policy: WritePolicy::WeightedRoundRobin,
         merge_host: ds,
@@ -45,7 +53,10 @@ fn eight_way_node_runs_seven_copies() {
     // All 9 raster copies exist; the deathstar set received the weighted
     // majority of buffers.
     let s = r.report.stream(r.to_raster.unwrap());
-    let red_total: u64 = s.copysets[..2].iter().map(|(_, c)| c.buffers_received).sum();
+    let red_total: u64 = s.copysets[..2]
+        .iter()
+        .map(|(_, c)| c.buffers_received)
+        .sum();
     let ds_total = s.copysets[2].1.buffers_received;
     assert!(
         ds_total > red_total,
@@ -90,7 +101,9 @@ fn slow_uplink_hurts_remote_placement() {
         let cfg = test_cfg(test_dataset(42), vec![h0], 96);
         let era_host = if remote { h1 } else { h0 };
         let spec = PipelineSpec {
-            grouping: Grouping::REraSplit { era: Placement::on_host(era_host, 1) },
+            grouping: Grouping::REraSplit {
+                era: Placement::on_host(era_host, 1),
+            },
             algorithm: Algorithm::ActivePixel,
             policy: WritePolicy::RoundRobin,
             merge_host: h0,
