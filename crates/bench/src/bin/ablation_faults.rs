@@ -1,0 +1,87 @@
+//! **Ablation — fault injection and recovery** (non-paper): crash one of
+//! the two extract hosts partway into a fig-7-style skewed run and
+//! compare the three writer policies.
+//!
+//! Expected shapes: demand-driven replays every unacknowledged buffer to
+//! the surviving extract host and renders the *exact* clean image
+//! (diff px = 0) at the cost of extra elapsed time; RR/WRR have no
+//! acknowledgment state to replay from, so they finish degraded — the
+//! buffers queued at (or in flight to) the dead host are tallied as
+//! lost. Losses are bounded by the dead set's queue depth (a killed copy
+//! flushes its in-flight buffer), so the pixel diff is small and can be
+//! zero when the lost chunks carry no visible surface.
+
+use bench::{make_cfg, small_dataset, Table};
+use datacutter::{FaultOptions, Placement, WritePolicy};
+use dcapp::{Algorithm, Grouping, PipelineSpec};
+use hetsim::presets::rogue_blue_mix;
+use hetsim::{FaultPlan, SimTime};
+use volume::FilePlacement;
+
+fn main() {
+    let ds = small_dataset();
+    let (topo, rogues, blues) = rogue_blue_mix(2);
+    // Storage on the two Blue nodes with half of node 0's files moved to
+    // node 1 (the fig-7 skew scenario); extraction on the two Rogue
+    // nodes, raster and merge back on Blue.
+    let storage = vec![blues[0], blues[1]];
+    let cfg = {
+        let base = make_cfg(ds, storage, 2, 512);
+        let mut c = dcapp::clone_config(&base);
+        c.placement = FilePlacement::skewed(64, 2, 2, &[0], &[1], 50);
+        std::sync::Arc::new(c)
+    };
+
+    let mut t = Table::new(&[
+        "policy",
+        "clean s",
+        "faulted s",
+        "killed",
+        "replayed",
+        "lost",
+        "diff px",
+    ]);
+    for policy in [
+        WritePolicy::RoundRobin,
+        WritePolicy::WeightedRoundRobin,
+        WritePolicy::demand_driven(),
+    ] {
+        let spec = PipelineSpec {
+            grouping: Grouping::FourStage {
+                extract: Placement::one_per_host(&[rogues[0], rogues[1]]),
+                raster: Placement::on_host(blues[1], 1),
+            },
+            algorithm: Algorithm::ZBuffer,
+            policy,
+            merge_host: blues[0],
+        };
+        let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("clean run");
+        // Crash early: the raster/merge tail dominates total elapsed, so
+        // the R->E stream is only busy during the opening fraction of the
+        // run — a late failure would land after it has already drained.
+        let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(0.05);
+        let plan = FaultPlan::new().crash_host(rogues[1], crash_at);
+        let faulted = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, FaultOptions::new(plan))
+            .expect("faulted run");
+        let f = &faulted.report.faults;
+        t.row(vec![
+            policy.label().to_string(),
+            format!("{:.2}", clean.elapsed.as_secs_f64()),
+            format!("{:.2}", faulted.elapsed.as_secs_f64()),
+            f.copies_killed.to_string(),
+            f.buffers_replayed.to_string(),
+            f.buffers_lost.to_string(),
+            faulted.image.diff_pixels(&clean.image).to_string(),
+        ]);
+    }
+    t.print(
+        "Ablation: one extract host crashes at 5% of the clean run \
+         (2 Blue storage, skew 50%, 2 Rogue extract, ZBuffer 512x512)",
+    );
+    println!(
+        "\nshape check: DD should show replayed > 0, lost = 0, diff px = 0 \
+         (bit-identical recovery); RR/WRR should show lost > 0 (degraded \
+         completion, every dropped buffer accounted; the diff stays small \
+         because a killed copy still flushes its in-flight work)"
+    );
+}

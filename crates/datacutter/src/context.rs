@@ -3,10 +3,11 @@
 
 use std::sync::Arc;
 
-use hetsim::{Env, HostId, Receiver, Sender, SimDuration, Topology};
+use hetsim::{DeadlineRecv, Env, HostId, Receiver, Sender, SimDuration, SimTime, Topology};
 use parking_lot::Mutex;
 
 use crate::buffer::DataBuffer;
+use crate::fault::{raise_killed, FaultCtl};
 use crate::filter::CopyInfo;
 use crate::metrics::CopyCell;
 use crate::policy::{AckHandle, WriterState};
@@ -18,8 +19,8 @@ pub(crate) enum Envelope {
         buf: DataBuffer,
         ack: Option<AckHandle>,
     },
-    /// In-band end-of-work marker from one producer copy.
-    Eow,
+    /// In-band end-of-work marker from one producer copy (by copy index).
+    Eow { producer: usize },
     /// Injected once per consumer copy when all producers' markers for the
     /// current unit of work have been seen.
     UowDone,
@@ -37,12 +38,67 @@ pub(crate) enum OutMsg {
 }
 
 /// Per-copy-set end-of-work accounting: when markers from all producer
-/// copies have been seen for the current UOW, each consumer copy in the
-/// set gets one `UowDone`.
+/// copies have been seen for the current UOW — or the missing producers
+/// are provably dead under the active fault plan — each consumer copy in
+/// the set gets one `UowDone`.
 pub(crate) struct UowGate {
-    pub producers: u32,
-    pub copies: u32,
-    pub eows: u32,
+    /// Host of each producer copy, in copy-index order.
+    producer_hosts: Vec<HostId>,
+    /// Consumer copies in this set (each gets one `UowDone` per cycle).
+    copies: u32,
+    /// Which producer copies' markers have been seen this cycle.
+    eow_seen: Vec<bool>,
+    /// Completed end-of-work cycles (== the UOW the gate is waiting on).
+    cycle: u32,
+}
+
+impl UowGate {
+    pub fn new(producer_hosts: Vec<HostId>, copies: u32) -> Self {
+        let n = producer_hosts.len();
+        UowGate {
+            producer_hosts,
+            copies,
+            eow_seen: vec![false; n],
+            cycle: 0,
+        }
+    }
+
+    /// Record producer `producer`'s marker for the current cycle
+    /// (idempotent).
+    pub fn mark(&mut self, producer: usize) {
+        if producer < self.eow_seen.len() {
+            self.eow_seen[producer] = true;
+        }
+    }
+
+    /// Completed end-of-work cycles so far. A dead copy set's gate is
+    /// advanced by its reaper as salvage proceeds; live sets consult it to
+    /// avoid declaring end-of-work while replayed buffers are still in
+    /// flight.
+    pub fn cycle(&self) -> u32 {
+        self.cycle
+    }
+
+    /// Fire if every producer copy has either delivered its marker for the
+    /// cycle matching `uow` or is dead under `faults` at virtual time
+    /// `now`. The cycle guard keeps a consumer that has already finished
+    /// `uow` from double-firing on late liveness probes.
+    pub fn try_fire(&mut self, uow: u32, faults: Option<&FaultCtl>, now: SimTime) -> Option<u32> {
+        if self.cycle != uow {
+            return None;
+        }
+        let complete = self.eow_seen.iter().enumerate().all(|(i, &seen)| {
+            seen || faults.is_some_and(|c| c.plan.is_dead(self.producer_hosts[i], now))
+        });
+        if !complete {
+            return None;
+        }
+        self.cycle += 1;
+        for s in self.eow_seen.iter_mut() {
+            *s = false;
+        }
+        Some(self.copies)
+    }
 }
 
 pub(crate) struct InputPort {
@@ -50,6 +106,12 @@ pub(crate) struct InputPort {
     pub inject_tx: Sender<Envelope>,
     pub courier_tx: Sender<AckHandle>,
     pub gate: Arc<Mutex<UowGate>>,
+    /// Gates of the *other* copy sets on this stream, with their hosts.
+    /// When a peer set's host is dead its reaper may still be replaying
+    /// salvaged buffers into this queue; this set must not declare
+    /// end-of-work until the dead peer's gate has advanced past the
+    /// current UOW (all its salvageable traffic for the cycle forwarded).
+    pub peer_gates: Vec<(HostId, Arc<Mutex<UowGate>>)>,
     pub copyset_counters: crate::metrics::CopySetCell,
 }
 
@@ -72,12 +134,68 @@ pub struct FilterCtx {
     pub(crate) outputs: Vec<OutputPort>,
     pub(crate) metrics: CopyCell,
     pub(crate) trace: Option<(hetsim::Trace, String)>,
+    /// Fault control block when a plan is active (`None` ⇒ fault-free
+    /// fast path, bit-identical to the pre-fault runtime).
+    pub(crate) faults: Option<Arc<FaultCtl>>,
+    /// This copy's scheduled crash time, if its host is on the plan.
+    pub(crate) my_death: Option<SimTime>,
 }
 
 impl FilterCtx {
+    /// Unwind this copy as crashed if its host's failure time has passed.
+    /// Called at the fail-stop observation points: stream read and write
+    /// boundaries.
+    fn check_killed(&self) {
+        if let Some(d) = self.my_death {
+            if self.env.now() >= d {
+                raise_killed();
+            }
+        }
+    }
+
+    /// True when no dead peer copy set can still replay buffers for the
+    /// current UOW into `port`'s queue. A dead peer's reaper forwards
+    /// salvaged buffers in FIFO order and advances the dead gate's cycle
+    /// only after every producer's end-of-work marker (which trails all of
+    /// that producer's data) has been salvaged, so `cycle > uow` proves
+    /// all replays for `uow` have already been enqueued here.
+    fn replays_settled(&self, port: usize) -> bool {
+        let Some(ctl) = self.faults.as_ref().filter(|c| c.plan.has_crashes()) else {
+            return true;
+        };
+        let now = self.env.now();
+        self.inputs[port]
+            .peer_gates
+            .iter()
+            .all(|(h, g)| !ctl.plan.is_dead(*h, now) || g.lock().cycle() > self.uow)
+    }
+
+    /// If this host is inside a scheduled stall window, sleep until the
+    /// window ends (a transiently frozen host performs no work but does
+    /// not lose state).
+    fn stall_if_frozen(&self) {
+        if let Some(ctl) = &self.faults {
+            let now = self.env.now();
+            if let Some(end) = ctl.plan.stall_end(self.info.host, now) {
+                self.env.delay(end - now);
+            }
+        }
+    }
+
     /// This copy's identity (copy index, total copies, host).
     pub fn copy(&self) -> CopyInfo {
         self.info
+    }
+
+    /// True when the run executes under a fault plan that can kill hosts.
+    /// Failure is fail-stop at the read boundary: whatever a copy holds in
+    /// memory across buffers dies with it, and only buffers still queued
+    /// (never dequeued, hence never acknowledged) are replayed. A filter
+    /// that wants crash recovery to be lossless should therefore flush
+    /// per input buffer while this returns true instead of batching
+    /// output across buffers.
+    pub fn fail_stop_active(&self) -> bool {
+        self.faults.as_ref().is_some_and(|c| c.plan.has_crashes())
     }
 
     /// Index of the current unit of work (0-based). A work cycle runs
@@ -120,12 +238,53 @@ impl FilterCtx {
     /// paper puts it.
     pub fn read(&mut self, port: usize) -> Option<DataBuffer> {
         loop {
+            self.check_killed();
             let span = self
                 .trace
                 .as_ref()
                 .map(|(t, who)| (t.clone(), t.begin(&self.env, "read-wait", who.clone())));
             let t0 = self.env.now();
-            let got = self.inputs[port].rx.recv(&self.env);
+            let liveness = self
+                .faults
+                .as_ref()
+                .filter(|c| c.plan.has_crashes())
+                .cloned();
+            let got = if let Some(ctl) = liveness {
+                // Liveness-aware receive: wake every `timeout` to probe the
+                // gate for dead producers (and to observe our own death).
+                let tick = t0 + ctl.timeout;
+                let deadline = match self.my_death {
+                    Some(d) if d < tick => d,
+                    _ => tick,
+                };
+                match self.inputs[port].rx.recv_deadline(&self.env, deadline) {
+                    DeadlineRecv::Item(e) => Some(e),
+                    DeadlineRecv::Closed => None,
+                    DeadlineRecv::TimedOut => {
+                        self.metrics.lock().read_wait += self.env.now() - t0;
+                        if let Some((t, s)) = span {
+                            t.end(&self.env, s);
+                        }
+                        self.check_killed();
+                        let fired = if self.replays_settled(port) {
+                            let mut g = self.inputs[port].gate.lock();
+                            g.try_fire(self.uow, Some(&ctl), self.env.now())
+                        } else {
+                            None
+                        };
+                        if let Some(copies) = fired {
+                            for _ in 0..copies {
+                                let _ = self.inputs[port]
+                                    .inject_tx
+                                    .send(&self.env, Envelope::UowDone);
+                            }
+                        }
+                        continue;
+                    }
+                }
+            } else {
+                self.inputs[port].rx.recv(&self.env)
+            };
             let waited = self.env.now() - t0;
             {
                 let mut m = self.metrics.lock();
@@ -153,15 +312,18 @@ impl FilterCtx {
                     }
                     return Some(buf);
                 }
-                Some(Envelope::Eow) => {
+                Some(Envelope::Eow { producer }) => {
                     // One producer copy finished this UOW. When the whole
-                    // producer side is done, release every copy in the set.
+                    // producer side is done (dead producers counted done)
+                    // and no dead peer set can still replay into us,
+                    // release every copy in the set. If replays are still
+                    // pending, the next liveness probe retries the fire.
+                    let settled = self.replays_settled(port);
                     let complete = {
                         let mut g = self.inputs[port].gate.lock();
-                        g.eows += 1;
-                        if g.eows == g.producers {
-                            g.eows = 0;
-                            Some(g.copies)
+                        g.mark(producer);
+                        if settled {
+                            g.try_fire(self.uow, self.faults.as_deref(), self.env.now())
                         } else {
                             None
                         }
@@ -182,6 +344,13 @@ impl FilterCtx {
     /// Write `buf` to output `port`. The writer policy picks the consumer
     /// copy set (demand-driven writers may block here for window credit);
     /// the transfer itself is overlapped via a per-copy outbox.
+    ///
+    /// Deliberately *no* crash check here: failure is fail-stop at the
+    /// read boundary. A demand-driven buffer is acknowledged when it is
+    /// dequeued ("the buffer is now being processed"), so killing a copy
+    /// between dequeue and write would lose acknowledged work that replay
+    /// can never restore. Letting the in-flight unit flush keeps a
+    /// demand-driven run bit-identical after recovery.
     pub fn write(&mut self, port: usize, buf: DataBuffer) {
         let t0 = self.env.now();
         let out = &mut self.outputs[port];
@@ -250,6 +419,7 @@ impl FilterCtx {
     /// CPU (subject to its speed factor, other filter copies, and
     /// background jobs).
     pub fn compute(&mut self, work: SimDuration) {
+        self.stall_if_frozen();
         let span = self
             .trace
             .as_ref()
@@ -271,6 +441,11 @@ impl FilterCtx {
     /// count), blocking for queueing + service time. `sequential` skips
     /// most of the positioning overhead (continuation of a file scan).
     pub fn disk_read(&mut self, disk_index: usize, bytes: u64, sequential: bool) {
+        // Source filters have no stream-read boundary, so a crashed host
+        // is observed here — before new data is produced, never between
+        // a dequeue and the flush of its results.
+        self.check_killed();
+        self.stall_if_frozen();
         let host = self.topo.host(self.info.host);
         assert!(
             !host.disks.is_empty(),

@@ -1,0 +1,178 @@
+//! Failure handling for the filter runtime: structured run errors, the
+//! fault-injection options accepted by `run_app_faulted`, and the internal
+//! control block threaded through the runtime while a fault plan is active.
+//!
+//! The recovery model (see DESIGN.md §8): hosts fail *fail-stop* and a
+//! crashed filter copy is observed dead at its next stream-read (or write)
+//! boundary, so every buffer it already dequeued — and therefore
+//! acknowledged under the demand-driven policy — is fully processed and
+//! its output flushed. Buffers still queued at (or sent to) a dead copy
+//! set are salvaged by a per-set reaper process and, when they carry a DD
+//! ack handle, *replayed* to a surviving copy set; ack-less buffers
+//! (RR/WRR or `write_to` routing) cannot be safely re-addressed and are
+//! counted as lost, completing the run in degraded mode.
+
+use std::sync::Arc;
+
+use hetsim::{FaultPlan, HostId, SimDuration, SimError};
+use parking_lot::Mutex;
+
+/// A structured error from a pipeline run — either a failure of the
+/// simulation substrate or an application-level failure surfaced by the
+/// runtime (the former panic-on-error paths).
+#[derive(Debug)]
+pub enum RunError {
+    /// The simulation itself failed (deadlock or an unexpected panic).
+    Sim(SimError),
+    /// A filter's `process` callback returned an error.
+    Filter {
+        /// Name of the failing filter.
+        filter: String,
+        /// Which transparent copy failed.
+        copy: usize,
+        /// Host the copy ran on.
+        host: HostId,
+        /// Unit of work being processed.
+        uow: u32,
+        /// The filter's error message.
+        message: String,
+    },
+    /// Every copy set of a stream's consumer died and the run was not
+    /// allowed to continue in degraded mode
+    /// ([`FaultOptions::allow_degraded`] was `false`).
+    NoSurvivingConsumers {
+        /// Name of the stream whose buffers could not be delivered.
+        stream: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "{e}"),
+            RunError::Filter {
+                filter,
+                copy,
+                host,
+                uow,
+                message,
+            } => write!(
+                f,
+                "filter '{filter}' copy {copy} on host{} failed in uow {uow}: {message}",
+                host.0
+            ),
+            RunError::NoSurvivingConsumers { stream } => {
+                write!(f, "no surviving consumer copy set on stream '{stream}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// Fault-injection options for `run_app_faulted`.
+#[derive(Clone)]
+pub struct FaultOptions {
+    /// The scheduled faults (see [`hetsim::fault::FaultPlan`]).
+    pub plan: FaultPlan,
+    /// Idle-timeout (virtual time) after which a consumer blocked on an
+    /// empty stream probes peer liveness, and after which writers treat a
+    /// dead consumer host as detectably failed. Must exceed the worst-case
+    /// in-flight delivery latency of the topology, or end-of-work may be
+    /// concluded while a live producer's marker is still on the wire.
+    pub liveness_timeout: SimDuration,
+    /// When `true` (the default), a unit of work completes with partial
+    /// output if buffers are lost to crashes that replay cannot repair
+    /// (no ack handle, or no surviving copy set); the losses are tallied
+    /// in the run report. When `false`, the first irreparable loss aborts
+    /// the run with [`RunError::NoSurvivingConsumers`].
+    pub allow_degraded: bool,
+}
+
+impl FaultOptions {
+    /// Options for `plan` with the default liveness timeout (50 ms of
+    /// virtual time) and degraded mode allowed.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultOptions {
+            plan,
+            liveness_timeout: SimDuration::from_millis(50),
+            allow_degraded: true,
+        }
+    }
+
+    /// Override the liveness timeout.
+    pub fn liveness_timeout(mut self, timeout: SimDuration) -> Self {
+        self.liveness_timeout = timeout;
+        self
+    }
+
+    /// Set whether irreparable losses complete the run in degraded mode
+    /// (`true`) or abort it (`false`).
+    pub fn allow_degraded(mut self, allow: bool) -> Self {
+        self.allow_degraded = allow;
+        self
+    }
+}
+
+/// Shared cell carrying the first structured error of a run; the process
+/// that records it then panics with [`ABORT_MSG`] to stop the simulation,
+/// and the runtime maps the resulting `ProcessPanic` back to the cell's
+/// contents.
+pub(crate) type ErrorCell = Arc<Mutex<Option<RunError>>>;
+
+/// Panic message used when a process aborts the run after recording a
+/// structured error.
+pub(crate) const ABORT_MSG: &str = "run aborted (structured RunError recorded)";
+
+/// Record `err` (first writer wins) and abort the simulation.
+pub(crate) fn abort_run(cell: &ErrorCell, err: RunError) -> ! {
+    cell.lock().get_or_insert(err);
+    panic!("{ABORT_MSG}");
+}
+
+/// Sentinel panic payload unwinding a filter copy killed by a host crash;
+/// caught by the copy's spawn wrapper, which performs death bookkeeping
+/// (tally, barrier withdrawal) instead of failing the run.
+pub(crate) struct KilledMarker;
+
+/// Unwind the calling filter copy as crashed.
+pub(crate) fn raise_killed() -> ! {
+    std::panic::panic_any(KilledMarker);
+}
+
+/// Live fault tallies, harvested into `FaultReport` after the run.
+#[derive(Debug, Default)]
+pub(crate) struct FaultTallies {
+    pub copies_killed: u64,
+    pub buffers_replayed: u64,
+    pub bytes_replayed: u64,
+    pub buffers_lost: u64,
+    pub bytes_lost: u64,
+    pub retransmits: u64,
+}
+
+/// Runtime-internal fault control block, shared by filter contexts, writer
+/// policies, senders, and reapers while a plan is active.
+pub(crate) struct FaultCtl {
+    pub plan: FaultPlan,
+    pub timeout: SimDuration,
+    pub allow_degraded: bool,
+    pub tallies: Mutex<FaultTallies>,
+}
+
+impl FaultCtl {
+    pub fn new(opts: &FaultOptions) -> Arc<Self> {
+        Arc::new(FaultCtl {
+            plan: opts.plan.clone(),
+            timeout: opts.liveness_timeout,
+            allow_degraded: opts.allow_degraded,
+            tallies: Mutex::new(FaultTallies::default()),
+        })
+    }
+}

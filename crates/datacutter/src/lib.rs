@@ -70,6 +70,7 @@
 
 pub mod buffer;
 pub mod context;
+pub mod fault;
 pub mod filter;
 pub mod graph;
 pub mod metrics;
@@ -78,8 +79,9 @@ pub mod runtime;
 
 pub use buffer::{DataBuffer, ACK_WIRE_BYTES, BUFFER_OVERHEAD_BYTES};
 pub use context::FilterCtx;
+pub use fault::{FaultOptions, RunError};
 pub use filter::{CopyInfo, Filter, FilterError, FilterFactory};
 pub use graph::{AppGraph, FilterId, GraphBuilder, Placement, StreamId, DEFAULT_QUEUE_CAPACITY};
-pub use metrics::{CopyCounters, CopyReport, RunReport, StreamReport};
+pub use metrics::{CopyCounters, CopyReport, FaultReport, RunReport, StreamReport};
 pub use policy::{CopySetInfo, DemandState, WritePolicy};
-pub use runtime::{run_app, run_app_traced, run_app_uows, run_app_with};
+pub use runtime::{run_app, run_app_faulted, run_app_traced, run_app_uows, run_app_with};

@@ -88,6 +88,30 @@ impl StreamReport {
     }
 }
 
+/// Fault-injection outcome of a run: what was injected and what the
+/// runtime did about it. All-zero (and `injected` empty) for fault-free
+/// runs.
+#[derive(Debug, Clone, Default)]
+pub struct FaultReport {
+    /// Human-readable description of every scheduled fault.
+    pub injected: Vec<String>,
+    /// Filter copies killed by host crashes.
+    pub copies_killed: u64,
+    /// Buffers salvaged from dead copy sets and replayed to survivors.
+    pub buffers_replayed: u64,
+    /// Payload bytes replayed.
+    pub bytes_replayed: u64,
+    /// Buffers irrecoverably lost (no ack handle or no surviving set).
+    pub buffers_lost: u64,
+    /// Payload bytes lost.
+    pub bytes_lost: u64,
+    /// Message transmissions repeated because of injected drops.
+    pub retransmits: u64,
+    /// `true` when the run completed with partial output (`buffers_lost
+    /// > 0`).
+    pub degraded: bool,
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -102,6 +126,8 @@ pub struct RunReport {
     pub copies: Vec<CopyReport>,
     /// Per-stream metrics (cumulative across UOWs).
     pub streams: Vec<StreamReport>,
+    /// Fault-injection outcome (defaulted for fault-free runs).
+    pub faults: FaultReport,
 }
 
 impl RunReport {
@@ -206,6 +232,7 @@ mod tests {
                     ),
                 ],
             }],
+            faults: FaultReport::default(),
         }
     }
 

@@ -18,6 +18,8 @@ use hetsim::{Env, HostId, ProcessId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultCtl;
+
 /// Policy selector carried in stream specs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WritePolicy {
@@ -62,13 +64,21 @@ pub struct CopySetInfo {
 }
 
 /// Per-producer-copy policy state.
-pub enum WriterState {
+pub struct WriterState {
+    inner: WriterInner,
+}
+
+enum WriterInner {
     /// RR / WRR: a precomputed cyclic schedule of copy-set indices.
     Cyclic {
         /// Copy-set index per slot, repeated cyclically.
         schedule: Vec<usize>,
         /// Next slot.
         pos: usize,
+        /// Copy-set descriptions (for liveness checks under a fault plan).
+        sets: Vec<CopySetInfo>,
+        /// Fault control block, when a plan is active.
+        faults: Option<Arc<FaultCtl>>,
     },
     /// DD: shared credit state (also referenced by ack couriers).
     Demand(Arc<DemandState>),
@@ -78,10 +88,23 @@ impl WriterState {
     /// Build the state for `policy` over `sets`, for a producer running on
     /// `producer_host`.
     pub fn new(policy: WritePolicy, sets: &[CopySetInfo], producer_host: HostId) -> Self {
-        match policy {
-            WritePolicy::RoundRobin => WriterState::Cyclic {
+        Self::new_faulted(policy, sets, producer_host, None)
+    }
+
+    /// As [`WriterState::new`], threading the runtime's fault control block
+    /// so writers evict detectably-dead consumer hosts.
+    pub(crate) fn new_faulted(
+        policy: WritePolicy,
+        sets: &[CopySetInfo],
+        producer_host: HostId,
+        faults: Option<Arc<FaultCtl>>,
+    ) -> Self {
+        let inner = match policy {
+            WritePolicy::RoundRobin => WriterInner::Cyclic {
                 schedule: (0..sets.len()).collect(),
                 pos: 0,
+                sets: sets.to_vec(),
+                faults,
             },
             WritePolicy::WeightedRoundRobin => {
                 // Interleave hosts proportionally to copy counts rather than
@@ -95,31 +118,58 @@ impl WriterState {
                         }
                     }
                 }
-                WriterState::Cyclic { schedule, pos: 0 }
+                WriterInner::Cyclic {
+                    schedule,
+                    pos: 0,
+                    sets: sets.to_vec(),
+                    faults,
+                }
             }
-            WritePolicy::DemandDriven { window_per_copy } => WriterState::Demand(Arc::new(
-                DemandState::new(sets, producer_host, window_per_copy),
+            WritePolicy::DemandDriven { window_per_copy } => WriterInner::Demand(Arc::new(
+                DemandState::new(sets, producer_host, window_per_copy, faults),
             )),
-        }
+        };
+        WriterState { inner }
     }
 
     /// Pick the copy set for the next buffer, blocking (DD only) until a
-    /// window slot is free.
+    /// window slot is free. Under an active fault plan, consumer copy sets
+    /// whose hosts are detectably dead are skipped, rebalancing their
+    /// share onto the survivors.
     pub fn select(&mut self, env: &Env) -> usize {
-        match self {
-            WriterState::Cyclic { schedule, pos } => {
+        match &mut self.inner {
+            WriterInner::Cyclic {
+                schedule,
+                pos,
+                sets,
+                faults,
+            } => {
+                let n = schedule.len();
+                if let Some(ctl) = faults.as_ref().filter(|c| c.plan.has_crashes()) {
+                    let now = env.now();
+                    for _ in 0..n {
+                        let idx = schedule[*pos];
+                        *pos = (*pos + 1) % n;
+                        if !ctl.plan.detectably_dead(sets[idx].host, now, ctl.timeout) {
+                            return idx;
+                        }
+                    }
+                    // Every consumer set is detectably dead: fall through to
+                    // the scheduled pick; the dead set's reaper tallies the
+                    // buffer as lost (degraded mode).
+                }
                 let idx = schedule[*pos];
-                *pos = (*pos + 1) % schedule.len();
+                *pos = (*pos + 1) % n;
                 idx
             }
-            WriterState::Demand(state) => state.acquire_slot(env),
+            WriterInner::Demand(state) => state.acquire_slot(env),
         }
     }
 
     /// DD shared state, if this writer is demand-driven.
     pub fn demand_state(&self) -> Option<Arc<DemandState>> {
-        match self {
-            WriterState::Demand(s) => Some(s.clone()),
+        match &self.inner {
+            WriterInner::Demand(s) => Some(s.clone()),
             _ => None,
         }
     }
@@ -129,6 +179,7 @@ impl WriterState {
 pub struct DemandState {
     inner: Mutex<DemandInner>,
     producer_host: HostId,
+    faults: Option<Arc<FaultCtl>>,
 }
 
 struct DemandInner {
@@ -144,7 +195,12 @@ struct DemandInner {
 }
 
 impl DemandState {
-    fn new(sets: &[CopySetInfo], producer_host: HostId, window_per_copy: u32) -> Self {
+    fn new(
+        sets: &[CopySetInfo],
+        producer_host: HostId,
+        window_per_copy: u32,
+        faults: Option<Arc<FaultCtl>>,
+    ) -> Self {
         DemandState {
             inner: Mutex::new(DemandInner {
                 sets: sets.to_vec(),
@@ -158,6 +214,7 @@ impl DemandState {
                 cursor: 0,
             }),
             producer_host,
+            faults,
         }
     }
 
@@ -170,16 +227,42 @@ impl DemandState {
     /// Block until some copy set has window room, then take a slot on the
     /// least-loaded one. Ties prefer a co-located copy set; among equally
     /// loaded remote sets a rotating cursor spreads the choice evenly.
+    ///
+    /// Under a fault plan: detectably-dead consumer sets are skipped (their
+    /// window share rebalances onto survivors); if *every* set is dead the
+    /// buffer is routed anyway, ignoring window limits — the dead set's
+    /// reaper acknowledges salvaged buffers (and its `reroute` wakes
+    /// blocked producers), so this cannot deadlock.
     fn acquire_slot(&self, env: &Env) -> usize {
         loop {
             {
                 let mut st = self.inner.lock();
                 let n = st.sets.len();
+                let mut dead: Option<Vec<bool>> = None;
+                if let Some(ctl) = self.faults.as_ref().filter(|c| c.plan.has_crashes()) {
+                    let now = env.now();
+                    let mask: Vec<bool> = st
+                        .sets
+                        .iter()
+                        .map(|s| ctl.plan.detectably_dead(s.host, now, ctl.timeout))
+                        .collect();
+                    if mask.iter().all(|&d| d) {
+                        // Degraded: no surviving consumer set. Route to the
+                        // least-unacked set regardless of its window.
+                        let i = (0..n).min_by_key(|&i| st.unacked[i]).unwrap_or(0);
+                        st.unacked[i] += 1;
+                        st.sent[i] += 1;
+                        st.cursor = (i + 1) % n;
+                        return i;
+                    }
+                    dead = Some(mask);
+                }
+                let is_dead = |i: usize| dead.as_ref().is_some_and(|m| m[i]);
                 let start = st.cursor;
                 let mut best: Option<usize> = None;
                 for k in 0..n {
                     let i = (start + k) % n;
-                    if st.unacked[i] >= st.window[i] {
+                    if is_dead(i) || st.unacked[i] >= st.window[i] {
                         continue;
                     }
                     best = match best {
@@ -204,8 +287,39 @@ impl DemandState {
                 }
                 st.waiters.push(env.pid());
             }
-            env.block();
+            match self.faults.as_ref().filter(|c| c.plan.has_crashes()) {
+                // Timed block so we re-probe liveness: an ack may never come
+                // from a consumer set that died with our credit outstanding.
+                Some(ctl) => {
+                    env.block_until(env.now() + ctl.timeout);
+                }
+                None => env.block(),
+            }
         }
+    }
+
+    /// Move one outstanding (unacknowledged) buffer from dead copy set
+    /// `from` to the least-loaded set among `alive`, ignoring window
+    /// limits, and wake blocked producers. Returns the chosen set, or
+    /// `None` (releasing the credit) when no survivor exists. Used by the
+    /// runtime's reaper when replaying buffers salvaged from a dead set's
+    /// queue.
+    pub(crate) fn reroute(&self, env: &Env, from: usize, alive: &[usize]) -> Option<usize> {
+        let (pick, waiters) = {
+            let mut st = self.inner.lock();
+            st.unacked[from] = st.unacked[from].saturating_sub(1);
+            let pick = alive.iter().copied().min_by_key(|&i| st.unacked[i]);
+            if let Some(i) = pick {
+                st.unacked[i] += 1;
+                st.sent[i] += 1;
+            }
+            let waiters: Vec<ProcessId> = st.waiters.drain(..).collect();
+            (pick, waiters)
+        };
+        for pid in waiters {
+            env.wake(pid);
+        }
+        pick
     }
 
     /// Record an acknowledgment from copy set `idx`, releasing one window

@@ -11,16 +11,20 @@
 //! copy's next read returns `None`. Multi-UOW runs repeat the cycle with a
 //! global barrier in between.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
-use hetsim::{Env, SimError, SimTime, Simulation, Topology};
+use hetsim::{DeadlineRecv, Env, SimDuration, SimTime, Simulation, Topology};
 use parking_lot::Mutex;
 
 use crate::buffer::{ACK_WIRE_BYTES, EOW_WIRE_BYTES};
 use crate::context::{Envelope, FilterCtx, InputPort, OutMsg, OutputPort, UowGate};
+use crate::fault::{abort_run, ErrorCell, FaultCtl, FaultOptions, KilledMarker, RunError};
 use crate::filter::CopyInfo;
 use crate::graph::{AppGraph, FilterId};
-use crate::metrics::{CopyCell, CopyCounters, CopyReport, CopySetCell, RunReport, StreamReport};
+use crate::metrics::{
+    CopyCell, CopyCounters, CopyReport, CopySetCell, FaultReport, RunReport, StreamReport,
+};
 use crate::policy::{AckHandle, CopySetInfo, WriterState};
 
 /// Capacity of each per-copy outbox (models the kernel socket buffer that
@@ -31,10 +35,13 @@ const OUTBOX_CAPACITY: usize = 2;
 /// block on acknowledging.
 const COURIER_CAPACITY: usize = 1 << 16;
 
+/// Back-off before re-sending a message the fault plan dropped.
+const RETRANSMIT_DELAY: SimDuration = SimDuration::from_millis(1);
+
 /// Execute one unit of work of `graph` on `topo`. Equivalent to
 /// [`run_app_uows`] with a single cycle.
-pub fn run_app(topo: &Topology, graph: AppGraph) -> Result<RunReport, SimError> {
-    run_app_inner(topo, graph, 1, None)
+pub fn run_app(topo: &Topology, graph: AppGraph) -> Result<RunReport, RunError> {
+    run_app_full(topo, graph, 1, None, None, |_| {})
 }
 
 /// Execute `uows` consecutive units of work. Every filter copy runs the
@@ -43,8 +50,8 @@ pub fn run_app(topo: &Topology, graph: AppGraph) -> Result<RunReport, SimError> 
 /// streams, and a global barrier separates cycles (the next UOW starts
 /// only after every copy finished the previous one, like the paper's
 /// per-query execution).
-pub fn run_app_uows(topo: &Topology, graph: AppGraph, uows: u32) -> Result<RunReport, SimError> {
-    run_app_inner(topo, graph, uows, None)
+pub fn run_app_uows(topo: &Topology, graph: AppGraph, uows: u32) -> Result<RunReport, RunError> {
+    run_app_full(topo, graph, uows, None, None, |_| {})
 }
 
 /// Like [`run_app_uows`], recording per-copy compute and read-wait spans
@@ -54,8 +61,8 @@ pub fn run_app_traced(
     graph: AppGraph,
     uows: u32,
     trace: hetsim::Trace,
-) -> Result<RunReport, SimError> {
-    run_app_full(topo, graph, uows, Some(trace), |_| {})
+) -> Result<RunReport, RunError> {
+    run_app_full(topo, graph, uows, Some(trace), None, |_| {})
 }
 
 /// Like [`run_app_uows`], additionally letting the caller spawn auxiliary
@@ -71,17 +78,203 @@ pub fn run_app_with(
     graph: AppGraph,
     uows: u32,
     setup: impl FnOnce(&mut Simulation),
-) -> Result<RunReport, SimError> {
-    run_app_full(topo, graph, uows, None, setup)
+) -> Result<RunReport, RunError> {
+    run_app_full(topo, graph, uows, None, None, setup)
 }
 
-fn run_app_inner(
+/// Like [`run_app_uows`], injecting the faults scheduled in `opts` and
+/// running the recovery machinery: liveness-timeout death detection,
+/// writer-side eviction of dead consumer hosts, end-of-work accounting
+/// that tolerates dead producer copies, and replay of unacknowledged
+/// demand-driven buffers from dead copy sets to survivors. The returned
+/// report's [`RunReport::faults`] records what was injected and repaired.
+///
+/// Two caveats on the reported `elapsed` under a plan with crashes: a
+/// crash scheduled after the pipeline naturally finishes extends the run
+/// to roughly the crash time (the reaper waits for it), and even a
+/// triggered crash adds up to one liveness-timeout of teardown.
+pub fn run_app_faulted(
     topo: &Topology,
     graph: AppGraph,
     uows: u32,
-    trace: Option<hetsim::Trace>,
-) -> Result<RunReport, SimError> {
-    run_app_full(topo, graph, uows, trace, |_| {})
+    opts: FaultOptions,
+) -> Result<RunReport, RunError> {
+    run_app_full(topo, graph, uows, None, Some(opts), |_| {})
+}
+
+/// Salvages the copy-set queue of a host scheduled to crash: waits
+/// (without consuming) until the crash, then drains the queue for the
+/// rest of the run, replaying demand-driven buffers to surviving copy
+/// sets and tallying unrecoverable ones as lost.
+struct Reaper {
+    ctl: Arc<FaultCtl>,
+    errors: ErrorCell,
+    rx: hetsim::Receiver<Envelope>,
+    /// Replay targets: `(copyset_idx, sender)` for every set on the stream
+    /// with *no* scheduled death. Holding senders keeps a channel open, so
+    /// the reaper must not hold one to its own queue (it would never see
+    /// it close) nor to another doomed set's (two reapers would keep each
+    /// other alive); sets that die later just never receive replays.
+    survivors: Vec<(usize, hetsim::Sender<Envelope>)>,
+    sets: Vec<CopySetInfo>,
+    t_death: SimTime,
+    topo: Topology,
+    stream: String,
+    /// The dead set's own end-of-work gate: the reaper advances its cycle
+    /// as salvage proceeds so live peer sets know when no more replays
+    /// for a given UOW can arrive (see `FilterCtx::replays_settled`).
+    gate: Arc<Mutex<UowGate>>,
+    uows: u32,
+}
+
+impl Reaper {
+    fn run(self, env: Env) {
+        let tick = self.ctl.timeout;
+        // Phase 1: wait for the crash without consuming anything the live
+        // consumers should get; exit early if the stream drains and closes
+        // first (crash scheduled past the end of the run).
+        loop {
+            let now = env.now();
+            if now >= self.t_death {
+                break;
+            }
+            if self.rx.is_closed() && self.rx.is_empty() {
+                return;
+            }
+            let tick_end = now + tick;
+            let next = if self.t_death < tick_end {
+                self.t_death
+            } else {
+                tick_end
+            };
+            env.delay(next - now);
+        }
+        // Phase 2: the set's consumers are dead (they stop dequeuing at
+        // the crash instant); everything still in — or still arriving on —
+        // this queue is ours to salvage, until every producer-side sender
+        // hangs up.
+        loop {
+            self.advance_gate(&env);
+            let deadline = env.now() + tick;
+            match self.rx.recv_deadline(&env, deadline) {
+                DeadlineRecv::Closed => return,
+                DeadlineRecv::TimedOut => continue,
+                DeadlineRecv::Item(envelope) => self.salvage(&env, envelope),
+            }
+        }
+    }
+
+    /// Advance the dead set's gate through every end-of-work cycle whose
+    /// producer markers have all been salvaged (dead producers excused).
+    /// Because each producer's marker trails all of its data in the FIFO
+    /// queue, a cycle counted here has had every salvageable buffer
+    /// already forwarded to the survivors.
+    fn advance_gate(&self, env: &Env) {
+        let now = env.now();
+        let mut g = self.gate.lock();
+        while g.cycle() < self.uows {
+            let cycle = g.cycle();
+            if g.try_fire(cycle, Some(&self.ctl), now).is_none() {
+                break;
+            }
+        }
+    }
+
+    fn salvage(&self, env: &Env, envelope: Envelope) {
+        match envelope {
+            Envelope::Data {
+                buf,
+                ack: Some(ack),
+            } => {
+                let alive: Vec<usize> = self.survivors.iter().map(|&(i, _)| i).collect();
+                match ack.state.reroute(env, ack.copyset_idx, &alive) {
+                    Some(new_idx) => {
+                        // Replay: charge the retransmission from the
+                        // producer to the surviving host, then re-enqueue
+                        // with the ack handle re-addressed.
+                        self.topo.transfer(
+                            env,
+                            ack.state.producer_host(),
+                            self.sets[new_idx].host,
+                            buf.transport_bytes(),
+                        );
+                        let bytes = buf.wire_bytes();
+                        let replay = Envelope::Data {
+                            buf,
+                            ack: Some(AckHandle {
+                                state: ack.state.clone(),
+                                copyset_idx: new_idx,
+                            }),
+                        };
+                        let tx = self
+                            .survivors
+                            .iter()
+                            .find(|&&(i, _)| i == new_idx)
+                            .map(|(_, tx)| tx)
+                            .expect("reroute only picks from the survivor list");
+                        if tx.send(env, replay).is_ok() {
+                            let mut t = self.ctl.tallies.lock();
+                            t.buffers_replayed += 1;
+                            t.bytes_replayed += bytes;
+                        } else {
+                            self.lose(bytes);
+                        }
+                    }
+                    None => self.lose(buf.wire_bytes()),
+                }
+            }
+            // No ack handle (RR/WRR or content-routed `write_to`): the
+            // producer's routing decision cannot be replayed safely.
+            Envelope::Data { buf, ack: None } => self.lose(buf.wire_bytes()),
+            // A producer's end-of-work marker: no consumer will act on it,
+            // but it proves all of that producer's data for the cycle has
+            // been salvaged — record it so the dead gate can advance.
+            Envelope::Eow { producer } => {
+                self.gate.lock().mark(producer);
+                self.advance_gate(env);
+            }
+            Envelope::UowDone => {}
+        }
+    }
+
+    fn lose(&self, bytes: u64) {
+        {
+            let mut t = self.ctl.tallies.lock();
+            t.buffers_lost += 1;
+            t.bytes_lost += bytes;
+        }
+        if !self.ctl.allow_degraded {
+            abort_run(
+                &self.errors,
+                RunError::NoSurvivingConsumers {
+                    stream: self.stream.clone(),
+                },
+            );
+        }
+    }
+}
+
+/// Keep the process-wide panic hook from printing "thread panicked"
+/// noise for the runtime's two *sentinel* panics — the [`KilledMarker`]
+/// unwinding a crashed filter copy (caught at the copy's spawn wrapper)
+/// and the [`ABORT_MSG`] abort after a structured [`RunError`] was
+/// recorded (mapped back to the cell's contents). Real panics still
+/// reach the previous hook untouched.
+fn silence_sentinel_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let sentinel = payload.is::<KilledMarker>()
+                || payload
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s == crate::fault::ABORT_MSG);
+            if !sentinel {
+                prev(info);
+            }
+        }));
+    });
 }
 
 fn run_app_full(
@@ -89,13 +282,23 @@ fn run_app_full(
     graph: AppGraph,
     uows: u32,
     trace: Option<hetsim::Trace>,
+    faults: Option<FaultOptions>,
     setup: impl FnOnce(&mut Simulation),
-) -> Result<RunReport, SimError> {
+) -> Result<RunReport, RunError> {
     assert!(uows >= 1, "at least one unit of work");
+    silence_sentinel_panics();
     let graph = Arc::new(graph);
     let mut sim = Simulation::new();
     setup(&mut sim);
     let waker = sim.waker();
+
+    let error_cell: ErrorCell = Arc::new(Mutex::new(None));
+    let fault_ctl: Option<Arc<FaultCtl>> = faults.as_ref().map(FaultCtl::new);
+    if let Some(ctl) = &fault_ctl {
+        // Spawns the NIC-degradation drivers; crashes, stalls and drops
+        // are pure time-indexed queries consulted by the machinery below.
+        ctl.plan.install(&mut sim, topo);
+    }
 
     // ---- per-stream wiring ------------------------------------------------
     struct StreamRt {
@@ -110,7 +313,15 @@ fn run_app_full(
     let mut streams_rt: Vec<StreamRt> = Vec::with_capacity(graph.streams.len());
     for spec in &graph.streams {
         let consumer = &graph.filters[spec.to.0 as usize];
-        let producers = graph.filters[spec.from.0 as usize].placement.total_copies();
+        // Producer copy hosts in copy-index order: the end-of-work gate
+        // tracks markers per producer copy so dead producers can be
+        // excused without under- or over-counting.
+        let producer_hosts: Vec<hetsim::HostId> = graph.filters[spec.from.0 as usize]
+            .placement
+            .per_host
+            .iter()
+            .flat_map(|&(h, n)| (0..n).map(move |_| h))
+            .collect();
         let mut sets = Vec::new();
         let mut data_txs = Vec::new();
         let mut data_rxs = Vec::new();
@@ -125,11 +336,10 @@ fn run_app_full(
             let (tx, rx) = hetsim::channel(waker.clone(), cap.max(1));
             data_txs.push(tx);
             data_rxs.push(rx);
-            gates.push(Arc::new(Mutex::new(UowGate {
-                producers,
+            gates.push(Arc::new(Mutex::new(UowGate::new(
+                producer_hosts.clone(),
                 copies,
-                eows: 0,
-            })));
+            ))));
             let (ctx_tx, ctx_rx) = hetsim::channel::<AckHandle>(waker.clone(), COURIER_CAPACITY);
             courier_txs.push(ctx_tx);
             cells.push(CopySetCell::default());
@@ -145,6 +355,37 @@ fn run_app_full(
                     }
                 },
             );
+        }
+        // One reaper per copy set whose host is scheduled to crash. The
+        // reaper's receiver clone keeps the dead queue open so buffers
+        // sent before writers notice the death are salvaged, not dropped.
+        if let Some(ctl) = fault_ctl.as_ref().filter(|c| c.plan.has_crashes()) {
+            for (set_idx, set) in sets.iter().enumerate() {
+                let Some(t_death) = ctl.plan.host_death(set.host) else {
+                    continue;
+                };
+                let reaper = Reaper {
+                    ctl: ctl.clone(),
+                    errors: error_cell.clone(),
+                    rx: data_rxs[set_idx].clone(),
+                    survivors: sets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| ctl.plan.host_death(s.host).is_none())
+                        .map(|(i, _)| (i, data_txs[i].clone()))
+                        .collect(),
+                    sets: sets.clone(),
+                    t_death,
+                    topo: topo.clone(),
+                    stream: spec.name.clone(),
+                    gate: gates[set_idx].clone(),
+                    uows,
+                };
+                sim.spawn(
+                    format!("reaper:{}@h{}", spec.name, set.host.0),
+                    move |env: Env| reaper.run(env),
+                );
+            }
         }
         streams_rt.push(StreamRt {
             sets,
@@ -187,6 +428,13 @@ fn run_app_full(
                         inject_tx: rt.data_txs[set_idx].clone(),
                         courier_tx: rt.courier_txs[set_idx].clone(),
                         gate: rt.gates[set_idx].clone(),
+                        peer_gates: rt
+                            .sets
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != set_idx)
+                            .map(|(i, s)| (s.host, rt.gates[i].clone()))
+                            .collect(),
                         copyset_counters: rt.cells[set_idx].clone(),
                     });
                 }
@@ -201,9 +449,13 @@ fn run_app_full(
                     let targets = rt.data_txs.clone();
                     let sets = rt.sets.clone();
                     let topo2 = topo.clone();
+                    let sender_ctl = fault_ctl.clone();
+                    // Seeded-drop key: unique per (stream, producer copy).
+                    let drop_key = ((sid.0 as u64) << 32) | copy_index as u64;
                     sim.spawn(
                         format!("sender:{}#{}@h{}", spec.name, copy_index, host.0),
                         move |env: Env| {
+                            let mut seq: u64 = 0;
                             while let Some(msg) = outbox_rx.recv(&env) {
                                 match msg {
                                     OutMsg::Data {
@@ -215,6 +467,24 @@ fn run_app_full(
                                             _ => EOW_WIRE_BYTES,
                                         };
                                         let to = sets[copyset_idx].host;
+                                        if let Some(ctl) =
+                                            sender_ctl.as_ref().filter(|c| c.plan.has_drops())
+                                        {
+                                            if to != host {
+                                                // Each dropped transmission
+                                                // still occupied the wire: pay
+                                                // for it, wait out the
+                                                // retransmit timer, re-roll.
+                                                let mut attempt = 0u64;
+                                                while ctl.plan.should_drop(drop_key, seq, attempt) {
+                                                    topo2.transfer(&env, host, to, bytes);
+                                                    env.delay(RETRANSMIT_DELAY);
+                                                    ctl.tallies.lock().retransmits += 1;
+                                                    attempt += 1;
+                                                }
+                                            }
+                                        }
+                                        seq += 1;
                                         topo2.transfer(&env, host, to, bytes);
                                         if targets[copyset_idx].send(&env, envelope).is_err() {
                                             // Consumer gone: late buffer at
@@ -230,7 +500,12 @@ fn run_app_full(
                                                 sets[i].host,
                                                 EOW_WIRE_BYTES,
                                             );
-                                            let _ = tx.send(&env, Envelope::Eow);
+                                            let _ = tx.send(
+                                                &env,
+                                                Envelope::Eow {
+                                                    producer: copy_index,
+                                                },
+                                            );
                                         }
                                     }
                                 }
@@ -238,7 +513,12 @@ fn run_app_full(
                         },
                     );
                     outputs.push(OutputPort {
-                        writer: WriterState::new(spec.policy, &rt.sets, host),
+                        writer: WriterState::new_faulted(
+                            spec.policy,
+                            &rt.sets,
+                            host,
+                            fault_ctl.clone(),
+                        ),
                         outbox_tx,
                         targets: rt.sets.len(),
                     });
@@ -254,35 +534,68 @@ fn run_app_full(
                 let topo2 = topo.clone();
                 let graph2 = graph.clone();
                 let barrier2 = barrier.clone();
+                let barrier_out = barrier.clone();
                 let boundaries2 = uow_boundaries.clone();
                 let copy_name = format!("{}#{}@h{}", fspec.name, copy_index, host.0);
                 let trace2 = trace.clone().map(|t| (t, copy_name.clone()));
+                let fname = fspec.name.clone();
+                let copy_ctl = fault_ctl.clone();
+                let kill_ctl = fault_ctl.clone();
+                let copy_errors = error_cell.clone();
+                let my_death = fault_ctl.as_ref().and_then(|c| c.plan.host_death(host));
                 sim.spawn(copy_name, move |env: Env| {
-                    let mut filter = (graph2.filters[fid.0 as usize].factory)(info);
-                    let mut ctx = FilterCtx {
-                        env,
-                        topo: topo2,
-                        info,
-                        uow: 0,
-                        inputs,
-                        outputs,
-                        metrics: cell,
-                        trace: trace2,
-                    };
-                    for uow in 0..uows {
-                        ctx.uow = uow;
-                        filter.init(&mut ctx);
-                        if let Err(e) = filter.process(&mut ctx) {
-                            panic!("{e}");
-                        }
-                        filter.finalize(&mut ctx);
-                        ctx.emit_eow();
-                        if uow + 1 < uows {
-                            // Work cycles are separated by a global
-                            // barrier, like the paper's per-query runs.
-                            if barrier2.wait(ctx.env()) {
-                                boundaries2.lock().push(ctx.env().now());
+                    let env_out = env.clone();
+                    let body = AssertUnwindSafe(move || {
+                        let mut filter = (graph2.filters[fid.0 as usize].factory)(info);
+                        let mut ctx = FilterCtx {
+                            env,
+                            topo: topo2,
+                            info,
+                            uow: 0,
+                            inputs,
+                            outputs,
+                            metrics: cell,
+                            trace: trace2,
+                            faults: copy_ctl,
+                            my_death,
+                        };
+                        for uow in 0..uows {
+                            ctx.uow = uow;
+                            filter.init(&mut ctx);
+                            if let Err(e) = filter.process(&mut ctx) {
+                                abort_run(
+                                    &copy_errors,
+                                    RunError::Filter {
+                                        filter: fname.clone(),
+                                        copy: info.copy_index,
+                                        host,
+                                        uow,
+                                        message: e.to_string(),
+                                    },
+                                );
                             }
+                            filter.finalize(&mut ctx);
+                            ctx.emit_eow();
+                            if uow + 1 < uows {
+                                // Work cycles are separated by a global
+                                // barrier, like the paper's per-query runs.
+                                if barrier2.wait(ctx.env()) {
+                                    boundaries2.lock().push(ctx.env().now());
+                                }
+                            }
+                        }
+                    });
+                    if let Err(payload) = std::panic::catch_unwind(body) {
+                        if payload.is::<KilledMarker>() {
+                            // This copy's host crashed. Tally the death and
+                            // withdraw from the inter-UOW barrier so the
+                            // surviving copies are not stranded.
+                            if let Some(ctl) = &kill_ctl {
+                                ctl.tallies.lock().copies_killed += 1;
+                            }
+                            barrier_out.leave(&env_out);
+                        } else {
+                            std::panic::resume_unwind(payload);
                         }
                     }
                 });
@@ -308,7 +621,18 @@ fn run_app_full(
         .collect();
     drop(streams_rt);
 
-    let stats = sim.run()?;
+    let stats = match sim.run() {
+        Ok(stats) => stats,
+        Err(e) => {
+            // A process that recorded a structured error aborts the run
+            // with a sentinel panic; surface the recorded error instead of
+            // the raw simulation failure.
+            if let Some(recorded) = error_cell.lock().take() {
+                return Err(recorded);
+            }
+            return Err(RunError::Sim(e));
+        }
+    };
 
     let copies = copy_cells
         .into_iter()
@@ -337,12 +661,30 @@ fn run_app_full(
     let mut boundaries = std::mem::take(&mut *uow_boundaries.lock());
     boundaries.sort_unstable();
 
+    let faults_report = match &fault_ctl {
+        Some(ctl) => {
+            let t = ctl.tallies.lock();
+            FaultReport {
+                injected: ctl.plan.describe(),
+                copies_killed: t.copies_killed,
+                buffers_replayed: t.buffers_replayed,
+                bytes_replayed: t.bytes_replayed,
+                buffers_lost: t.buffers_lost,
+                bytes_lost: t.bytes_lost,
+                retransmits: t.retransmits,
+                degraded: t.buffers_lost > 0,
+            }
+        }
+        None => FaultReport::default(),
+    };
+
     Ok(RunReport {
         elapsed: stats.end_time - SimTime::ZERO,
         events: stats.events,
         uow_boundaries: boundaries,
         copies,
         streams,
+        faults: faults_report,
     })
 }
 
@@ -665,11 +1007,20 @@ mod tests {
         }
         g.add_filter("bad", Placement::on_host(HostId(0), 1), |_| Bad);
         match run_app(&topo, g.build()) {
-            Err(SimError::ProcessPanic { process, message }) => {
-                assert!(process.starts_with("bad#0"));
+            Err(RunError::Filter {
+                filter,
+                copy,
+                host,
+                uow,
+                message,
+            }) => {
+                assert_eq!(filter, "bad");
+                assert_eq!(copy, 0);
+                assert_eq!(host, HostId(0));
+                assert_eq!(uow, 0);
                 assert!(message.contains("broken"));
             }
-            other => panic!("expected panic error, got {other:?}"),
+            other => panic!("expected structured filter error, got {other:?}"),
         }
     }
 

@@ -1,7 +1,7 @@
 //! Running pipelines and validating their output.
 
-use datacutter::{run_app, RunReport};
-use hetsim::{SimDuration, SimError, Topology};
+use datacutter::{run_app, run_app_faulted, FaultOptions, RunError, RunReport};
+use hetsim::{SimDuration, Topology};
 use isosurf::Image;
 
 use crate::config::SharedConfig;
@@ -28,7 +28,7 @@ pub fn run_pipeline(
     topo: &Topology,
     cfg: &SharedConfig,
     spec: &PipelineSpec,
-) -> Result<PipelineResult, SimError> {
+) -> Result<PipelineResult, RunError> {
     let Pipeline {
         graph,
         image,
@@ -37,6 +37,40 @@ pub fn run_pipeline(
         filters,
     } = build_pipeline(cfg, spec);
     let report = run_app(topo, graph)?;
+    let mut images = std::mem::take(&mut *image.lock());
+    assert_eq!(images.len(), 1, "single-UOW run deposits exactly one image");
+    Ok(PipelineResult {
+        elapsed: report.elapsed,
+        report,
+        image: images.pop().expect("one image"),
+        to_raster,
+        to_merge,
+        filters,
+    })
+}
+
+/// Build and run `spec` once on `topo` under a fault plan: hosts crash,
+/// stall, or lose messages per `opts`, and the runtime's recovery
+/// machinery (liveness timeouts, writer eviction, demand-driven buffer
+/// replay) keeps the pipeline going. Under the demand-driven policy a
+/// crash of an extract/raster host replays every lost chunk to a
+/// surviving copy, so the rendered image is bit-identical to the
+/// fault-free run; under RR/WRR the run completes degraded with losses
+/// tallied in `report.faults`.
+pub fn run_pipeline_faulted(
+    topo: &Topology,
+    cfg: &SharedConfig,
+    spec: &PipelineSpec,
+    opts: FaultOptions,
+) -> Result<PipelineResult, RunError> {
+    let Pipeline {
+        graph,
+        image,
+        to_raster,
+        to_merge,
+        filters,
+    } = build_pipeline(cfg, spec);
+    let report = run_app_faulted(topo, graph, 1, opts)?;
     let mut images = std::mem::take(&mut *image.lock());
     assert_eq!(images.len(), 1, "single-UOW run deposits exactly one image");
     Ok(PipelineResult {
@@ -69,7 +103,7 @@ pub fn run_pipeline_uows(
     cfg: &SharedConfig,
     spec: &PipelineSpec,
     uows: u32,
-) -> Result<MultiUowResult, SimError> {
+) -> Result<MultiUowResult, RunError> {
     let Pipeline { graph, image, .. } = build_pipeline(cfg, spec);
     let report = datacutter::runtime::run_app_uows(topo, graph, uows)?;
     let images = std::mem::take(&mut *image.lock());
@@ -90,7 +124,7 @@ pub fn run_timesteps(
     cfg: &SharedConfig,
     spec: &PipelineSpec,
     timesteps: std::ops::Range<u32>,
-) -> Result<Vec<PipelineResult>, SimError> {
+) -> Result<Vec<PipelineResult>, RunError> {
     let mut out = Vec::new();
     for t in timesteps {
         let mut c = clone_config(cfg);

@@ -72,9 +72,18 @@ impl Filter for ExtractFilter {
     }
 
     fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        // Under a crash plan the copy may be killed between reads; any
+        // triangles batched across chunks would die with it even though
+        // their (already-acknowledged) chunks will not be replayed. Flush
+        // per chunk so a killed copy owes nothing for the chunks it
+        // consumed and recovery stays lossless.
+        let per_chunk = ctx.fail_stop_active();
         while let Some(b) = ctx.read(0) {
             let chunk = b.downcast_ctx::<ChunkPayload>("E filter input");
             self.stage.feed(ctx, chunk, write_tris);
+            if per_chunk {
+                self.stage.flush(ctx, write_tris);
+            }
         }
         self.stage.flush(ctx, write_tris);
         Ok(())

@@ -211,6 +211,20 @@ impl Env {
         self.yield_blocked(core);
     }
 
+    /// Park the calling process until either another process wakes it or
+    /// the virtual clock reaches `deadline`, whichever comes first. Unlike
+    /// [`Env::delay`], a genuine wake resumes the process early. Returns
+    /// `true` when the process was woken before the deadline and `false`
+    /// when the deadline expired. Building block for timed waits
+    /// (liveness probes, retransmit timers).
+    pub fn block_until(&self, deadline: SimTime) -> bool {
+        let mut core = self.shared.core.lock();
+        let at = deadline.max(core.now);
+        self.schedule_self(&mut core, at);
+        self.yield_blocked(core);
+        self.shared.core.lock().now < deadline
+    }
+
     /// Schedule a wake event (at the current instant) for `pid` if it is
     /// blocked. Safe to call for a process that has already been woken by
     /// another path: stale wakes are ignored via epochs. Returns `true` when
@@ -636,6 +650,28 @@ mod tests {
             assert!(env.wake(waiter));
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn block_until_times_out_and_wakes_early() {
+        let mut sim = Simulation::new();
+        let sleeper = sim.spawn("sleeper", |env| {
+            // No one wakes us: the deadline expires.
+            let woken = env.block_until(SimTime::ZERO + SimDuration::from_millis(3));
+            assert!(!woken);
+            assert_eq!(env.now().as_nanos(), 3_000_000);
+            // This time a peer wakes us well before the deadline.
+            let woken = env.block_until(env.now() + SimDuration::from_secs(10));
+            assert!(woken);
+            assert_eq!(env.now().as_nanos(), 5_000_000);
+        });
+        sim.spawn("waker", move |env| {
+            env.delay(SimDuration::from_millis(5));
+            env.wake(sleeper);
+        });
+        let stats = sim.run().unwrap();
+        // The stale 10s timeout event must not drag the clock forward.
+        assert_eq!(stats.end_time.as_nanos(), 5_000_000);
     }
 
     #[test]

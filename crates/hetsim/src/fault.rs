@@ -1,0 +1,336 @@
+//! Deterministic fault injection: a [`FaultPlan`] schedules host crashes,
+//! transient host stalls, NIC degradation windows, and seeded probabilistic
+//! message drops, all expressed in **virtual time** so every fault replays
+//! identically under the deterministic clock.
+//!
+//! The plan is a *pure oracle*: once built it is immutable, and every query
+//! (`is_dead`, `stall_end`, `should_drop`, ...) is a pure function of the
+//! plan and the current virtual time. Runtimes consult the oracle at their
+//! own failure boundaries (a copy checks for its host's death before each
+//! dequeue; a writer skips hosts whose death has become detectable), which
+//! keeps the failure semantics deterministic and replayable: two runs with
+//! the same plan observe exactly the same faults at exactly the same
+//! virtual instants.
+//!
+//! Only NIC-degradation windows need active drivers (they flip link state
+//! at their start and end times); [`FaultPlan::install`] spawns one short-
+//! lived process per window and nothing else, so an installed plan never
+//! keeps a simulation alive.
+//!
+//! ```
+//! use hetsim::fault::FaultPlan;
+//! use hetsim::{SimDuration, SimTime, HostId};
+//!
+//! let plan = FaultPlan::new()
+//!     .crash_host(HostId(2), SimTime::ZERO + SimDuration::from_millis(50))
+//!     .drop_messages(0xBEEF, 0.01);
+//! assert!(!plan.is_dead(HostId(2), SimTime::ZERO));
+//! assert!(plan.is_dead(HostId(2), SimTime::ZERO + SimDuration::from_millis(50)));
+//! ```
+
+use crate::engine::Simulation;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{HostId, Topology};
+
+/// A scheduled, immutable set of faults. Cheap to clone; build with the
+/// chained constructors, then hand copies to the runtime and call
+/// [`install`](FaultPlan::install) on the simulation.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    crashes: Vec<(HostId, SimTime)>,
+    stalls: Vec<(HostId, SimTime, SimDuration)>,
+    degrades: Vec<(HostId, SimTime, SimDuration, f64)>,
+    drop_rate: f64,
+    drop_seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule a fail-stop crash of `host` at virtual time `at`. Processes
+    /// placed on the host observe the crash at their next failure boundary
+    /// (runtime-defined; the DataCutter runtime uses stream-read edges).
+    pub fn crash_host(mut self, host: HostId, at: SimTime) -> Self {
+        self.crashes.push((host, at));
+        self
+    }
+
+    /// Schedule a transient stall (freeze) of `host` for `dur` starting at
+    /// `at`: compute and disk operations beginning inside the window are
+    /// delayed to its end.
+    pub fn stall_host(mut self, host: HostId, at: SimTime, dur: SimDuration) -> Self {
+        self.stalls.push((host, at, dur));
+        self
+    }
+
+    /// Degrade `host`'s NIC links (both directions) to `factor` of their
+    /// configured bandwidth for `dur` starting at `at`.
+    pub fn degrade_nic(mut self, host: HostId, at: SimTime, dur: SimDuration, factor: f64) -> Self {
+        self.degrades.push((host, at, dur, factor));
+        self
+    }
+
+    /// Drop each cross-host message independently with probability `rate`,
+    /// decided by a hash seeded with `seed` — the same (stream, message,
+    /// attempt) triple always gets the same verdict, so runs replay.
+    pub fn drop_messages(mut self, seed: u64, rate: f64) -> Self {
+        self.drop_seed = seed;
+        self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    // -- queries -----------------------------------------------------------
+
+    /// True when the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.stalls.is_empty()
+            && self.degrades.is_empty()
+            && self.drop_rate == 0.0
+    }
+
+    /// True when at least one host crash is scheduled.
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// True when probabilistic message drops are enabled.
+    pub fn has_drops(&self) -> bool {
+        self.drop_rate > 0.0
+    }
+
+    /// The (earliest) scheduled crash time of `host`, if any.
+    pub fn host_death(&self, host: HostId) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .filter(|&&(h, _)| h == host)
+            .map(|&(_, at)| at)
+            .min()
+    }
+
+    /// True once `host`'s scheduled crash time has been reached.
+    pub fn is_dead(&self, host: HostId, now: SimTime) -> bool {
+        self.host_death(host).is_some_and(|at| now >= at)
+    }
+
+    /// True once `host` has been dead for at least `timeout` — the point at
+    /// which a remote failure detector based on an idle-timeout of that
+    /// length may conclude the host is gone.
+    pub fn detectably_dead(&self, host: HostId, now: SimTime, timeout: SimDuration) -> bool {
+        self.host_death(host).is_some_and(|at| now >= at + timeout)
+    }
+
+    /// If `now` falls inside a stall window of `host`, the window's end.
+    pub fn stall_end(&self, host: HostId, now: SimTime) -> Option<SimTime> {
+        self.stalls
+            .iter()
+            .filter(|&&(h, at, dur)| h == host && now >= at && now < at + dur)
+            .map(|&(_, at, dur)| at + dur)
+            .max()
+    }
+
+    /// Seeded drop verdict for one delivery attempt of one message. Keys
+    /// are caller-chosen (stream id, sequence number, attempt counter);
+    /// identical keys always produce identical verdicts.
+    pub fn should_drop(&self, stream: u64, seq: u64, attempt: u64) -> bool {
+        if self.drop_rate <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(
+            self.drop_seed
+                ^ splitmix64(stream.wrapping_add(0x9E37_79B9_7F4A_7C15))
+                ^ splitmix64(
+                    seq.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                        .wrapping_add(attempt),
+                ),
+        );
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform in [0, 1)
+        u < self.drop_rate
+    }
+
+    /// Human-readable descriptions of every scheduled fault, for run
+    /// reports.
+    pub fn describe(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for &(h, at) in &self.crashes {
+            out.push(format!("crash host{} at {:.3}s", h.0, at.as_secs_f64()));
+        }
+        for &(h, at, dur) in &self.stalls {
+            out.push(format!(
+                "stall host{} at {:.3}s for {:.3}s",
+                h.0,
+                at.as_secs_f64(),
+                dur.as_secs_f64()
+            ));
+        }
+        for &(h, at, dur, f) in &self.degrades {
+            out.push(format!(
+                "degrade host{} nic x{:.2} at {:.3}s for {:.3}s",
+                h.0,
+                f,
+                at.as_secs_f64(),
+                dur.as_secs_f64()
+            ));
+        }
+        if self.drop_rate > 0.0 {
+            out.push(format!(
+                "drop messages p={} seed={:#x}",
+                self.drop_rate, self.drop_seed
+            ));
+        }
+        out
+    }
+
+    /// Spawn the driver processes the plan needs (one per NIC-degradation
+    /// window; crashes, stalls, and drops are pure queries and need none).
+    /// Every driver terminates at its window's end, so installing a plan
+    /// never deadlocks or prolongs an otherwise-finished run beyond the
+    /// last degradation window.
+    pub fn install(&self, sim: &mut Simulation, topo: &Topology) {
+        for (i, &(host, at, dur, factor)) in self.degrades.iter().enumerate() {
+            let topo = topo.clone();
+            sim.spawn(format!("fault-degrade-{i}"), move |env| {
+                if at > env.now() {
+                    env.delay(at - env.now());
+                }
+                let h = topo.host(host);
+                h.nic_tx().set_degrade(factor);
+                h.nic_rx().set_degrade(factor);
+                env.delay(dur);
+                h.nic_tx().set_degrade(1.0);
+                h.nic_rx().set_degrade(1.0);
+            });
+        }
+    }
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ClusterSpec, HostSpec, TopologyBuilder};
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn death_queries_follow_schedule() {
+        let plan = FaultPlan::new()
+            .crash_host(HostId(1), t(100))
+            .crash_host(HostId(1), t(50)); // earliest wins
+        assert_eq!(plan.host_death(HostId(1)), Some(t(50)));
+        assert_eq!(plan.host_death(HostId(0)), None);
+        assert!(!plan.is_dead(HostId(1), t(49)));
+        assert!(plan.is_dead(HostId(1), t(50)));
+        assert!(!plan.detectably_dead(HostId(1), t(59), SimDuration::from_millis(10)));
+        assert!(plan.detectably_dead(HostId(1), t(60), SimDuration::from_millis(10)));
+        assert!(plan.has_crashes());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn stall_window_reports_end() {
+        let plan = FaultPlan::new().stall_host(HostId(3), t(10), SimDuration::from_millis(5));
+        assert_eq!(plan.stall_end(HostId(3), t(9)), None);
+        assert_eq!(plan.stall_end(HostId(3), t(10)), Some(t(15)));
+        assert_eq!(plan.stall_end(HostId(3), t(14)), Some(t(15)));
+        assert_eq!(plan.stall_end(HostId(3), t(15)), None);
+        assert_eq!(plan.stall_end(HostId(0), t(12)), None);
+    }
+
+    #[test]
+    fn drops_are_seeded_and_deterministic() {
+        let plan = FaultPlan::new().drop_messages(42, 0.25);
+        let verdicts: Vec<bool> = (0..1000).map(|s| plan.should_drop(1, s, 0)).collect();
+        let again: Vec<bool> = (0..1000).map(|s| plan.should_drop(1, s, 0)).collect();
+        assert_eq!(verdicts, again, "same keys, same verdicts");
+        let dropped = verdicts.iter().filter(|&&d| d).count();
+        assert!(
+            (150..350).contains(&dropped),
+            "rate 0.25 over 1000: got {dropped}"
+        );
+        // A different attempt number re-rolls the verdict.
+        assert!((0..1000).any(|s| plan.should_drop(1, s, 0) != plan.should_drop(1, s, 1)));
+        // No drops configured -> never drops.
+        assert!(!FaultPlan::new().should_drop(1, 2, 3));
+    }
+
+    #[test]
+    fn describe_lists_every_fault() {
+        let plan = FaultPlan::new()
+            .crash_host(HostId(2), t(500))
+            .stall_host(HostId(1), t(200), SimDuration::from_millis(100))
+            .degrade_nic(HostId(0), t(0), SimDuration::from_millis(300), 0.25)
+            .drop_messages(7, 0.01);
+        let d = plan.describe();
+        assert_eq!(d.len(), 4);
+        assert!(d[0].contains("crash host2 at 0.500s"));
+        assert!(d[1].contains("stall host1"));
+        assert!(d[2].contains("degrade host0"));
+        assert!(d[3].contains("drop messages"));
+    }
+
+    #[test]
+    fn install_drives_degradation_window() {
+        let mut b = TopologyBuilder::new();
+        let c = b.add_cluster(ClusterSpec {
+            name: "c".into(),
+            nic_bandwidth_bps: 1000.0,
+            nic_latency: SimDuration::ZERO,
+        });
+        let h0 = b.add_host(
+            c,
+            HostSpec {
+                name: "h0".into(),
+                cores: 1,
+                speed: 1.0,
+                mem_mb: 512,
+                disks: 1,
+                disk_bandwidth_bps: 1e6,
+                disk_seek: SimDuration::ZERO,
+            },
+        );
+        let h1 = b.add_host(
+            c,
+            HostSpec {
+                name: "h1".into(),
+                cores: 1,
+                speed: 1.0,
+                mem_mb: 512,
+                disks: 1,
+                disk_bandwidth_bps: 1e6,
+                disk_seek: SimDuration::ZERO,
+            },
+        );
+        let topo = b.build();
+        let plan = FaultPlan::new().degrade_nic(h0, t(0), SimDuration::from_millis(2000), 0.5);
+        let mut sim = Simulation::new();
+        plan.install(&mut sim, &topo);
+        let topo2 = topo.clone();
+        sim.spawn("xfer", move |env| {
+            env.delay(SimDuration::from_millis(1));
+            // 500 B at 1000 B/s degraded x0.5 = 1.0s.
+            let start = env.now();
+            topo2.transfer(&env, h0, h1, 500);
+            let took = (env.now() - start).as_secs_f64();
+            assert!(
+                (0.99..1.01).contains(&took),
+                "degraded transfer took {took}"
+            );
+        });
+        sim.run().unwrap();
+        // Window over: bandwidth restored.
+        assert_eq!(topo.host(h0).nic_tx().bandwidth_bps(), 1000.0);
+    }
+}

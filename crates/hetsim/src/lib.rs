@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod load;
 pub mod presets;
 pub mod resources;
@@ -32,9 +33,10 @@ pub mod topology;
 pub mod trace;
 
 pub use engine::{Env, ProcessId, RunStats, SimError, Simulation, Waker};
+pub use fault::FaultPlan;
 pub use load::{drive_load, spawn_load_generator, LoadProfile};
 pub use resources::{Cpu, Disk, Link};
-pub use sync::{channel, Barrier, Receiver, Semaphore, SendError, Sender};
+pub use sync::{channel, Barrier, DeadlineRecv, Receiver, Semaphore, SendError, Sender};
 pub use time::{SimDuration, SimTime};
 pub use topology::{
     ClusterId, ClusterSpec, Host, HostId, HostSpec, HostUtilization, Topology, TopologyBuilder,

@@ -207,6 +207,9 @@ struct LinkState {
     name: String,
     bandwidth_bps: f64,
     latency: SimDuration,
+    /// Multiplier in `(0, 1]` applied to the configured bandwidth; lowered
+    /// by fault injection to model link degradation, restored afterwards.
+    degrade: f64,
     bytes: u64,
     transfers: u64,
     busy: SimDuration,
@@ -223,6 +226,7 @@ impl Link {
                 name: name.into(),
                 bandwidth_bps,
                 latency,
+                degrade: 1.0,
                 bytes: 0,
                 transfers: 0,
                 busy: SimDuration::ZERO,
@@ -237,7 +241,7 @@ impl Link {
         let (serialize, latency) = {
             let st = self.inner.lock();
             (
-                SimDuration::from_secs_f64(bytes as f64 / st.bandwidth_bps),
+                SimDuration::from_secs_f64(bytes as f64 / (st.bandwidth_bps * st.degrade)),
                 st.latency,
             )
         };
@@ -296,9 +300,23 @@ impl Link {
         self.inner.lock().busy
     }
 
-    /// Configured bandwidth in bytes/second.
+    /// Effective bandwidth in bytes/second (configured bandwidth times the
+    /// current degradation factor). Route planning and in-flight transfers
+    /// read this, so fault-injected degradation takes effect immediately.
     pub fn bandwidth_bps(&self) -> f64 {
-        self.inner.lock().bandwidth_bps
+        let st = self.inner.lock();
+        st.bandwidth_bps * st.degrade
+    }
+
+    /// Set the degradation factor (`1.0` = healthy). Values are clamped to
+    /// a small positive floor so bandwidth never reaches zero.
+    pub fn set_degrade(&self, factor: f64) {
+        self.inner.lock().degrade = factor.clamp(1e-6, 1.0);
+    }
+
+    /// Current degradation factor.
+    pub fn degrade(&self) -> f64 {
+        self.inner.lock().degrade
     }
 }
 
@@ -401,6 +419,24 @@ mod tests {
         sim.run().unwrap();
         assert_eq!(link.bytes(), 500);
         assert_eq!(link.transfers(), 1);
+    }
+
+    #[test]
+    fn link_degradation_slows_transfers() {
+        let mut sim = Simulation::new();
+        let link = Link::new("l", 1000.0, SimDuration::ZERO);
+        let l2 = link.clone();
+        sim.spawn("x", move |env| {
+            l2.transfer(&env, 500); // 0.5s healthy
+            assert_eq!(env.now().as_nanos(), 500_000_000);
+            l2.set_degrade(0.5);
+            assert_eq!(l2.bandwidth_bps(), 500.0);
+            l2.transfer(&env, 500); // 1.0s at half bandwidth
+            assert_eq!(env.now().as_nanos(), 1_500_000_000);
+            l2.set_degrade(1.0);
+            assert_eq!(l2.bandwidth_bps(), 1000.0);
+        });
+        sim.run().unwrap();
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::engine::{Env, ProcessId, Waker};
+use crate::time::SimTime;
 
 /// A counting semaphore on the virtual clock.
 ///
@@ -150,6 +151,28 @@ impl Barrier {
         }
     }
 
+    /// Permanently withdraw one participant (a crashed filter copy, for
+    /// example). If the remaining participants have all already arrived,
+    /// the current round is released immediately. Panics if called on a
+    /// barrier whose last participant would leave while others still wait.
+    pub fn leave(&self, env: &Env) {
+        let waiters = {
+            let mut st = self.inner.lock();
+            assert!(st.n >= 1, "leave on an empty barrier");
+            st.n -= 1;
+            if st.n > 0 && st.arrived == st.n {
+                st.arrived = 0;
+                st.generation += 1;
+                std::mem::take(&mut st.waiters)
+            } else {
+                Vec::new()
+            }
+        };
+        for pid in waiters {
+            env.wake(pid);
+        }
+    }
+
     /// Number of participants.
     pub fn participants(&self) -> usize {
         self.inner.lock().n
@@ -160,6 +183,17 @@ impl Barrier {
 /// the unsent value back to the caller.
 #[derive(Debug, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+/// Outcome of [`Receiver::recv_deadline`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum DeadlineRecv<T> {
+    /// An item arrived before the deadline.
+    Item(T),
+    /// The channel is empty and every sender has dropped.
+    Closed,
+    /// The deadline passed with the channel still empty but open.
+    TimedOut,
+}
 
 struct ChanState<T> {
     queue: VecDeque<T>,
@@ -269,6 +303,47 @@ impl<T: Send> Receiver<T> {
             }
             return item;
         }
+    }
+
+    /// Dequeue the next item, blocking at most until `deadline`. Used by
+    /// fault-aware consumers that must periodically probe peer liveness
+    /// instead of waiting forever on a stream a dead producer will never
+    /// feed again.
+    pub fn recv_deadline(&self, env: &Env, deadline: SimTime) -> DeadlineRecv<T> {
+        loop {
+            let (item, wake_tx) = {
+                let mut st = self.chan.state.lock();
+                if let Some(v) = st.queue.pop_front() {
+                    (v, st.send_waiters.pop_front())
+                } else if st.senders == 0 {
+                    return DeadlineRecv::Closed;
+                } else {
+                    st.recv_waiters.push_back(env.pid());
+                    drop(st);
+                    let woken = env.block_until(deadline);
+                    // On timeout our pid may still sit in `recv_waiters`;
+                    // it must be removed, or a later send would burn its
+                    // wake on us (a stale waiter) and strand a real one.
+                    let mut st = self.chan.state.lock();
+                    if let Some(pos) = st.recv_waiters.iter().position(|&p| p == env.pid()) {
+                        st.recv_waiters.remove(pos);
+                    }
+                    if !woken && st.queue.is_empty() && st.senders > 0 {
+                        return DeadlineRecv::TimedOut;
+                    }
+                    continue;
+                }
+            };
+            if let Some(pid) = wake_tx {
+                env.wake(pid);
+            }
+            return DeadlineRecv::Item(item);
+        }
+    }
+
+    /// True once every sender has dropped (items may still be queued).
+    pub fn is_closed(&self) -> bool {
+        self.chan.state.lock().senders == 0
     }
 
     /// Dequeue without blocking. `Ok(None)` means "empty but open";
@@ -478,6 +553,93 @@ mod tests {
             }
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn barrier_leave_releases_waiting_round() {
+        let mut sim = Simulation::new();
+        let barrier = Barrier::new(3);
+        let released: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2u32 {
+            let b = barrier.clone();
+            let released = released.clone();
+            sim.spawn(format!("p{i}"), move |env| {
+                env.delay(SimDuration::from_millis(i as u64 + 1));
+                b.wait(&env);
+                released.lock().push(env.now().as_nanos() / 1_000_000);
+            });
+        }
+        let b = barrier.clone();
+        sim.spawn("deserter", move |env| {
+            env.delay(SimDuration::from_millis(10));
+            b.leave(&env); // both peers already arrived: round fires now
+        });
+        sim.run().unwrap();
+        assert_eq!(*released.lock(), vec![10, 10]);
+        assert_eq!(barrier.participants(), 2);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>(sim.waker(), 2);
+        sim.spawn("slow-producer", move |env| {
+            env.delay(SimDuration::from_millis(30));
+            tx.send(&env, 7).unwrap();
+            // tx drops: channel closes
+        });
+        let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let log2 = log.clone();
+        sim.spawn("consumer", move |env| loop {
+            let deadline = env.now() + SimDuration::from_millis(10);
+            match rx.recv_deadline(&env, deadline) {
+                DeadlineRecv::Item(v) => log2.lock().push(format!("item {v}")),
+                DeadlineRecv::TimedOut => log2.lock().push("timeout".into()),
+                DeadlineRecv::Closed => {
+                    log2.lock().push("closed".into());
+                    break;
+                }
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *log.lock(),
+            vec!["timeout", "timeout", "item 7", "closed"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn recv_deadline_timeout_leaves_no_stale_waiter() {
+        // After consumer A times out, a send must wake consumer B (a live
+        // waiter), not be swallowed by A's stale registration.
+        let mut sim = Simulation::new();
+        let (tx, rx) = channel::<u32>(sim.waker(), 2);
+        let rx_b = rx.clone();
+        let got: Arc<Mutex<Vec<(char, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+        let got_a = got.clone();
+        sim.spawn("a", move |env| {
+            let r = rx.recv_deadline(&env, env.now() + SimDuration::from_millis(1));
+            assert_eq!(r, DeadlineRecv::TimedOut);
+            // A never touches the channel again.
+            env.delay(SimDuration::from_millis(100));
+            let _ = &got_a;
+        });
+        let got_b = got.clone();
+        sim.spawn("b", move |env| {
+            env.delay(SimDuration::from_millis(2));
+            if let Some(v) = rx_b.recv(&env) {
+                got_b.lock().push(('b', v));
+            }
+        });
+        sim.spawn("producer", move |env| {
+            env.delay(SimDuration::from_millis(5));
+            tx.send(&env, 42).unwrap();
+        });
+        sim.run().unwrap();
+        assert_eq!(*got.lock(), vec![('b', 42)]);
     }
 
     #[test]

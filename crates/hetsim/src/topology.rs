@@ -72,6 +72,18 @@ pub struct Host {
     nic_rx: Link,
 }
 
+impl Host {
+    /// Outbound NIC link (fault injection adjusts its degradation factor).
+    pub fn nic_tx(&self) -> &Link {
+        &self.nic_tx
+    }
+
+    /// Inbound NIC link.
+    pub fn nic_rx(&self) -> &Link {
+        &self.nic_rx
+    }
+}
+
 struct ClusterInfo {
     name: String,
 }

@@ -1,0 +1,166 @@
+//! Fault injection and recovery: the milestone's acceptance scenarios.
+//!
+//! A mid-run crash of one extract host under the demand-driven policy
+//! must leave the rendered image bit-identical to the fault-free run —
+//! every buffer that was queued at (or still in flight to) the dead copy
+//! set is replayed to the survivor via the DD acknowledgment machinery.
+//! The same crash under round robin has no acks to replay from, so the
+//! run completes *degraded*: it still terminates, renders what survived,
+//! and accounts for every lost buffer.
+
+use datacutter::{FaultOptions, Placement, RunError, WritePolicy};
+use dcapp::{Algorithm, Grouping, PipelineSpec};
+use hetsim::{FaultPlan, SimDuration, SimTime};
+use integration_tests::{cluster, test_cfg, test_dataset};
+
+/// `R–E–Ra–M` with the extract stage replicated on hosts 1 and 2 (so one
+/// of them can die and leave a survivor), raster on host 3, merge on
+/// host 4, all data on host 0.
+fn spec(hosts: &[hetsim::HostId], policy: WritePolicy) -> PipelineSpec {
+    PipelineSpec {
+        grouping: Grouping::FourStage {
+            extract: Placement::one_per_host(&[hosts[1], hosts[2]]),
+            raster: Placement::on_host(hosts[3], 1),
+        },
+        algorithm: Algorithm::ZBuffer,
+        policy,
+        merge_host: hosts[4],
+    }
+}
+
+#[test]
+fn dd_crash_mid_uow_replays_to_bit_identical_output() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(7), vec![hosts[0]], 96);
+    let spec = spec(&hosts, WritePolicy::demand_driven());
+
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free run");
+    assert!(clean.report.faults.injected.is_empty());
+
+    // Kill one extract host while the R->E stream is busy.
+    let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(0.25);
+    let plan = FaultPlan::new().crash_host(hosts[2], crash_at);
+    let faulted = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, FaultOptions::new(plan))
+        .expect("faulted run must still complete");
+
+    let f = &faulted.report.faults;
+    assert!(!f.injected.is_empty(), "the plan must be recorded");
+    assert!(
+        f.copies_killed >= 1,
+        "the copy on the dead host dies: {f:?}"
+    );
+    assert!(f.buffers_replayed > 0, "unacked buffers replayed: {f:?}");
+    assert_eq!(f.buffers_lost, 0, "DD replay loses nothing: {f:?}");
+    assert!(!f.degraded, "nothing lost, so not degraded: {f:?}");
+    assert_eq!(
+        faulted.image.diff_pixels(&clean.image),
+        0,
+        "replayed run must render the exact fault-free image"
+    );
+}
+
+#[test]
+fn rr_crash_completes_degraded_with_losses_accounted() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(7), vec![hosts[0]], 96);
+    let spec = spec(&hosts, WritePolicy::RoundRobin);
+
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free run");
+    // Early crash: the raster/merge tail dominates total elapsed, so only
+    // an early failure lands while the R->E stream is still busy.
+    let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(0.05);
+    let plan = FaultPlan::new().crash_host(hosts[2], crash_at);
+    let faulted = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, FaultOptions::new(plan))
+        .expect("degraded run must still complete");
+
+    let f = &faulted.report.faults;
+    assert!(f.copies_killed >= 1, "{f:?}");
+    assert_eq!(f.buffers_replayed, 0, "RR has no acks to replay: {f:?}");
+    assert!(
+        f.buffers_lost > 0,
+        "RR-routed buffers at the dead set are lost: {f:?}"
+    );
+    assert!(f.bytes_lost > 0, "{f:?}");
+    assert!(f.degraded, "losses mark the run degraded: {f:?}");
+}
+
+#[test]
+fn rr_crash_fails_fast_when_degraded_mode_disallowed() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(7), vec![hosts[0]], 96);
+    let spec = spec(&hosts, WritePolicy::RoundRobin);
+
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free run");
+    let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(0.05);
+    let plan = FaultPlan::new().crash_host(hosts[2], crash_at);
+    let opts = FaultOptions::new(plan).allow_degraded(false);
+    match dcapp::run_pipeline_faulted(&topo, &cfg, &spec, opts) {
+        Err(RunError::NoSurvivingConsumers { stream }) => {
+            assert!(!stream.is_empty());
+        }
+        Err(other) => panic!("expected NoSurvivingConsumers, got {other}"),
+        Ok(_) => panic!("expected NoSurvivingConsumers, got a completed run"),
+    }
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_unfaulted_runtime() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(11), vec![hosts[0]], 96);
+    let spec = spec(&hosts, WritePolicy::demand_driven());
+
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("run");
+    let nofault =
+        dcapp::run_pipeline_faulted(&topo, &cfg, &spec, FaultOptions::new(FaultPlan::new()))
+            .expect("run");
+    assert_eq!(
+        nofault.elapsed, clean.elapsed,
+        "empty plan must not perturb time"
+    );
+    assert_eq!(nofault.image.diff_pixels(&clean.image), 0);
+    assert_eq!(nofault.report.faults.copies_killed, 0);
+}
+
+#[test]
+fn stall_delays_but_preserves_output() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(13), vec![hosts[0]], 96);
+    let spec = spec(&hosts, WritePolicy::demand_driven());
+
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("run");
+    // Freeze the single raster copy: it is on the critical path, so the
+    // whole window must show up in the elapsed time.
+    let at = SimTime::ZERO + clean.elapsed.mul_f64(0.2);
+    let plan = FaultPlan::new().stall_host(hosts[3], at, SimDuration::from_millis(200));
+    let stalled = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, FaultOptions::new(plan))
+        .expect("stalled run");
+    assert_eq!(
+        stalled.image.diff_pixels(&clean.image),
+        0,
+        "a stall loses no state"
+    );
+    assert!(stalled.elapsed > clean.elapsed, "the freeze must cost time");
+    assert_eq!(stalled.report.faults.copies_killed, 0);
+}
+
+#[test]
+fn message_drops_force_retransmits_but_preserve_output() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(17), vec![hosts[0]], 96);
+    let spec = spec(&hosts, WritePolicy::demand_driven());
+
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("run");
+    let plan = FaultPlan::new().drop_messages(0xD00D, 0.08);
+    let lossy = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, FaultOptions::new(plan))
+        .expect("lossy run");
+    let f = &lossy.report.faults;
+    assert!(
+        f.retransmits > 0,
+        "an 8% drop rate must hit something: {f:?}"
+    );
+    assert_eq!(
+        f.buffers_lost, 0,
+        "drops retransmit, they do not lose: {f:?}"
+    );
+    assert_eq!(lossy.image.diff_pixels(&clean.image), 0);
+}

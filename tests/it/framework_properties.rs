@@ -8,9 +8,13 @@ use parking_lot::Mutex;
 use proptest::prelude::*;
 
 use datacutter::{
-    run_app, DataBuffer, Filter, FilterCtx, FilterError, GraphBuilder, Placement, WritePolicy,
+    run_app, run_app_faulted, DataBuffer, FaultOptions, Filter, FilterCtx, FilterError,
+    GraphBuilder, Placement, WritePolicy,
 };
-use hetsim::{channel, ClusterSpec, HostId, HostSpec, SimDuration, Simulation, TopologyBuilder};
+use hetsim::{
+    channel, ClusterSpec, FaultPlan, HostId, HostSpec, SimDuration, SimTime, Simulation,
+    TopologyBuilder,
+};
 
 fn topology(n: usize) -> (hetsim::Topology, Vec<HostId>) {
     let mut b = TopologyBuilder::new();
@@ -249,5 +253,73 @@ proptest! {
         // And not absurdly more than the serial worst case.
         let upper = total_work / speed + 1e-6;
         prop_assert!(elapsed <= upper * 1.001, "elapsed {elapsed} > ceiling {upper}");
+    }
+}
+
+/// Case count for the crash-recovery property; the scheduled `fault-heavy`
+/// CI job turns the dial up.
+#[cfg(feature = "fault-heavy")]
+const CRASH_CASES: u32 = 96;
+#[cfg(not(feature = "fault-heavy"))]
+const CRASH_CASES: u32 = 16;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CRASH_CASES))]
+
+    /// Crashing one relay host at a random virtual time under the
+    /// demand-driven policy never deadlocks the run, never delivers an
+    /// item twice, and — because unacknowledged buffers are replayed to
+    /// the surviving copy sets and a dying copy flushes its in-flight
+    /// item — never loses one either.
+    #[test]
+    fn random_crash_never_deadlocks_or_double_delivers(
+        n_hosts in 3usize..6,
+        copies in 1u32..3,
+        n_items in 1u32..60,
+        src_delay in 0u64..200,
+        work in 50u64..600,
+        crash_ms in 0u64..80,
+        victim_sel in 0usize..8,
+    ) {
+        let (topo, hosts) = topology(n_hosts);
+        let relay_hosts: Vec<HostId> = hosts[1..].to_vec();
+        let victim = relay_hosts[victim_sel % relay_hosts.len()];
+        let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut g = GraphBuilder::new();
+        let src = g.add_filter("src", Placement::on_host(hosts[0], 1), move |_| Numbers {
+            n: n_items,
+            delay_us: src_delay,
+        });
+        let relay = g.add_filter(
+            "relay",
+            Placement { per_host: relay_hosts.iter().map(|&h| (h, copies)).collect() },
+            move |_| Relay { work_us: work },
+        );
+        let out2 = out.clone();
+        let sink = g.add_filter("sink", Placement::on_host(hosts[0], 1), move |_| Gather {
+            out: out2.clone(),
+        });
+        g.connect(src, relay, WritePolicy::demand_driven());
+        g.connect(relay, sink, WritePolicy::RoundRobin);
+        let plan = FaultPlan::new()
+            .crash_host(victim, SimTime::ZERO + SimDuration::from_millis(crash_ms));
+        let opts = FaultOptions::new(plan).liveness_timeout(SimDuration::from_millis(10));
+        let report = match run_app_faulted(&topo, g.build(), 1, opts) {
+            Ok(r) => r,
+            Err(e) => return Err(format!("faulted run did not complete: {e}")),
+        };
+        let mut got = out.lock().clone();
+        got.sort_unstable();
+        let want: Vec<u32> = (0..n_items).collect();
+        prop_assert_eq!(
+            got,
+            want,
+            "crash of {:?} at {}ms: replayed {} lost {}",
+            victim,
+            crash_ms,
+            report.faults.buffers_replayed,
+            report.faults.buffers_lost
+        );
+        prop_assert_eq!(report.faults.buffers_lost, 0);
     }
 }
