@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use datacutter::{
-    run_app, DataBuffer, Filter, FilterCtx, FilterError, GraphBuilder, Placement, WritePolicy,
+    DataBuffer, Filter, FilterCtx, FilterError, GraphBuilder, Placement, Run, WritePolicy,
 };
 use hetsim::{
     channel, ClusterSpec, Env, HostId, HostSpec, SimDuration, Simulation, TopologyBuilder,
@@ -123,7 +123,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 let k = g.add_filter("snk", Placement::on_host(hosts[3], 1), |_| Snk);
                 g.connect(s, w, policy);
                 g.connect(w, k, WritePolicy::RoundRobin);
-                run_app(&topo, g.build()).unwrap().events
+                Run::new(g.build()).go(&topo).unwrap().events
             })
         });
     }

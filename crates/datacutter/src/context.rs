@@ -1,9 +1,14 @@
 //! The runtime context handed to each filter copy: stream reads/writes,
-//! CPU work, and disk I/O, all charged to the emulated cluster.
+//! CPU work, and disk I/O, all charged to the emulated cluster when the
+//! run executes on the virtual-time simulator. On the native wall-clock
+//! executor the same interface applies — reads and writes move real data
+//! through real channels — but cost-charging operations (`compute`,
+//! `disk_read`) only tally metrics, since there is no emulated hardware
+//! to occupy.
 
 use std::sync::Arc;
 
-use hetsim::{DeadlineRecv, Env, HostId, Receiver, Sender, SimDuration, SimTime, Topology};
+use hetsim::{DeadlineRecv, Env, HostId, SimDuration, SimTime, Topology};
 use parking_lot::Mutex;
 
 use crate::buffer::DataBuffer;
@@ -11,100 +16,14 @@ use crate::fault::{raise_killed, FaultCtl};
 use crate::filter::CopyInfo;
 use crate::metrics::CopyCell;
 use crate::policy::{AckHandle, WriterState};
-
-/// A message on a copy-set queue.
-pub(crate) enum Envelope {
-    /// A data buffer with its (optional) demand-driven ack handle.
-    Data {
-        buf: DataBuffer,
-        ack: Option<AckHandle>,
-    },
-    /// In-band end-of-work marker from one producer copy (by copy index).
-    Eow { producer: usize },
-    /// Injected once per consumer copy when all producers' markers for the
-    /// current unit of work have been seen.
-    UowDone,
-}
-
-/// Message from a filter copy to its per-stream outbox sender process.
-pub(crate) enum OutMsg {
-    /// Route one data envelope to the chosen copy set.
-    Data {
-        copyset_idx: usize,
-        envelope: Envelope,
-    },
-    /// Broadcast an end-of-work marker to every copy set.
-    Eow,
-}
-
-/// Per-copy-set end-of-work accounting: when markers from all producer
-/// copies have been seen for the current UOW — or the missing producers
-/// are provably dead under the active fault plan — each consumer copy in
-/// the set gets one `UowDone`.
-pub(crate) struct UowGate {
-    /// Host of each producer copy, in copy-index order.
-    producer_hosts: Vec<HostId>,
-    /// Consumer copies in this set (each gets one `UowDone` per cycle).
-    copies: u32,
-    /// Which producer copies' markers have been seen this cycle.
-    eow_seen: Vec<bool>,
-    /// Completed end-of-work cycles (== the UOW the gate is waiting on).
-    cycle: u32,
-}
-
-impl UowGate {
-    pub fn new(producer_hosts: Vec<HostId>, copies: u32) -> Self {
-        let n = producer_hosts.len();
-        UowGate {
-            producer_hosts,
-            copies,
-            eow_seen: vec![false; n],
-            cycle: 0,
-        }
-    }
-
-    /// Record producer `producer`'s marker for the current cycle
-    /// (idempotent).
-    pub fn mark(&mut self, producer: usize) {
-        if producer < self.eow_seen.len() {
-            self.eow_seen[producer] = true;
-        }
-    }
-
-    /// Completed end-of-work cycles so far. A dead copy set's gate is
-    /// advanced by its reaper as salvage proceeds; live sets consult it to
-    /// avoid declaring end-of-work while replayed buffers are still in
-    /// flight.
-    pub fn cycle(&self) -> u32 {
-        self.cycle
-    }
-
-    /// Fire if every producer copy has either delivered its marker for the
-    /// cycle matching `uow` or is dead under `faults` at virtual time
-    /// `now`. The cycle guard keeps a consumer that has already finished
-    /// `uow` from double-firing on late liveness probes.
-    pub fn try_fire(&mut self, uow: u32, faults: Option<&FaultCtl>, now: SimTime) -> Option<u32> {
-        if self.cycle != uow {
-            return None;
-        }
-        let complete = self.eow_seen.iter().enumerate().all(|(i, &seen)| {
-            seen || faults.is_some_and(|c| c.plan.is_dead(self.producer_hosts[i], now))
-        });
-        if !complete {
-            return None;
-        }
-        self.cycle += 1;
-        for s in self.eow_seen.iter_mut() {
-            *s = false;
-        }
-        Some(self.copies)
-    }
-}
+use crate::runtime::delivery::{Envelope, OutMsg};
+use crate::runtime::eow::UowGate;
+use crate::runtime::{ChanRx, ChanTx, ExecEnv};
 
 pub(crate) struct InputPort {
-    pub rx: Receiver<Envelope>,
-    pub inject_tx: Sender<Envelope>,
-    pub courier_tx: Sender<AckHandle>,
+    pub rx: ChanRx<Envelope>,
+    pub inject_tx: ChanTx<Envelope>,
+    pub courier_tx: ChanTx<AckHandle>,
     pub gate: Arc<Mutex<UowGate>>,
     /// Gates of the *other* copy sets on this stream, with their hosts.
     /// When a peer set's host is dead its reaper may still be replaying
@@ -117,7 +36,7 @@ pub(crate) struct InputPort {
 
 pub(crate) struct OutputPort {
     pub writer: WriterState,
-    pub outbox_tx: Sender<OutMsg>,
+    pub outbox_tx: ChanTx<OutMsg>,
     /// Number of consumer copy sets (valid `write_to` targets).
     pub targets: usize,
 }
@@ -126,7 +45,7 @@ pub(crate) struct OutputPort {
 /// (read / write with end-of-work), plus cost-charging compute and disk
 /// operations.
 pub struct FilterCtx {
-    pub(crate) env: Env,
+    pub(crate) env: ExecEnv,
     pub(crate) topo: Topology,
     pub(crate) info: CopyInfo,
     pub(crate) uow: u32,
@@ -211,13 +130,22 @@ impl FilterCtx {
         self.info.host
     }
 
-    /// Current virtual time.
+    /// Current time on the run's clock: virtual time under the simulator,
+    /// wall-clock time since run start under the native executor.
     pub fn now(&self) -> hetsim::SimTime {
         self.env.now()
     }
 
-    /// The simulation environment (for advanced filters spawning helpers).
-    pub fn env(&self) -> &Env {
+    /// The simulation environment, when this copy runs on the virtual-time
+    /// executor (for advanced filters spawning helper processes). `None`
+    /// under the native executor, where there is no simulation to drive.
+    pub fn sim_env(&self) -> Option<&Env> {
+        self.env.sim()
+    }
+
+    /// The execution environment of this copy, whichever substrate it runs
+    /// on.
+    pub fn exec_env(&self) -> &ExecEnv {
         &self.env
     }
 
@@ -239,10 +167,12 @@ impl FilterCtx {
     pub fn read(&mut self, port: usize) -> Option<DataBuffer> {
         loop {
             self.check_killed();
-            let span = self
-                .trace
-                .as_ref()
-                .map(|(t, who)| (t.clone(), t.begin(&self.env, "read-wait", who.clone())));
+            let span = self.trace.as_ref().map(|(t, who)| {
+                (
+                    t.clone(),
+                    t.begin_at(self.env.now(), "read-wait", who.clone()),
+                )
+            });
             let t0 = self.env.now();
             let liveness = self
                 .faults
@@ -263,7 +193,7 @@ impl FilterCtx {
                     DeadlineRecv::TimedOut => {
                         self.metrics.lock().read_wait += self.env.now() - t0;
                         if let Some((t, s)) = span {
-                            t.end(&self.env, s);
+                            t.end_at(self.env.now(), s);
                         }
                         self.check_killed();
                         let fired = if self.replays_settled(port) {
@@ -291,7 +221,7 @@ impl FilterCtx {
                 m.read_wait += waited;
             }
             if let Some((t, s)) = span {
-                t.end(&self.env, s);
+                t.end_at(self.env.now(), s);
             }
             match got {
                 Some(Envelope::Data { buf, ack }) => {
@@ -417,15 +347,20 @@ impl FilterCtx {
 
     /// Charge `work` seconds of reference-speed computation to this host's
     /// CPU (subject to its speed factor, other filter copies, and
-    /// background jobs).
+    /// background jobs). On the native executor there is no emulated CPU
+    /// to occupy: the call only tallies the work in the copy's metrics.
     pub fn compute(&mut self, work: SimDuration) {
         self.stall_if_frozen();
-        let span = self
-            .trace
-            .as_ref()
-            .map(|(t, who)| (t.clone(), t.begin(&self.env, "compute", who.clone())));
+        let span = self.trace.as_ref().map(|(t, who)| {
+            (
+                t.clone(),
+                t.begin_at(self.env.now(), "compute", who.clone()),
+            )
+        });
         let t0 = self.env.now();
-        self.topo.host(self.info.host).cpu.compute(&self.env, work);
+        if let ExecEnv::Sim(e) = &self.env {
+            self.topo.host(self.info.host).cpu.compute(e, work);
+        }
         let elapsed = self.env.now() - t0;
         {
             let mut m = self.metrics.lock();
@@ -433,13 +368,15 @@ impl FilterCtx {
             m.compute_elapsed += elapsed;
         }
         if let Some((t, s)) = span {
-            t.end(&self.env, s);
+            t.end_at(self.env.now(), s);
         }
     }
 
     /// Read `bytes` from local disk `disk_index` (modulo the host's disk
     /// count), blocking for queueing + service time. `sequential` skips
-    /// most of the positioning overhead (continuation of a file scan).
+    /// most of the positioning overhead (continuation of a file scan). On
+    /// the native executor the emulated disk is not charged; only the
+    /// byte tally is recorded.
     pub fn disk_read(&mut self, disk_index: usize, bytes: u64, sequential: bool) {
         // Source filters have no stream-read boundary, so a crashed host
         // is observed here — before new data is produced, never between
@@ -453,11 +390,13 @@ impl FilterCtx {
             self.info.host
         );
         let t0 = self.env.now();
-        let disk = &host.disks[disk_index % host.disks.len()];
-        if sequential {
-            disk.read_seq(&self.env, bytes);
-        } else {
-            disk.read(&self.env, bytes);
+        if let ExecEnv::Sim(e) = &self.env {
+            let disk = &host.disks[disk_index % host.disks.len()];
+            if sequential {
+                disk.read_seq(e, bytes);
+            } else {
+                disk.read(e, bytes);
+            }
         }
         let elapsed = self.env.now() - t0;
         let mut m = self.metrics.lock();

@@ -44,6 +44,13 @@ pub enum RunError {
         /// Name of the stream whose buffers could not be delivered.
         stream: String,
     },
+    /// The run was configured with a feature the selected executor does
+    /// not support (e.g. fault injection on the wall-clock native
+    /// executor, which has no virtual fault plan to consult).
+    Unsupported {
+        /// Description of the unsupported combination.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -63,6 +70,9 @@ impl std::fmt::Display for RunError {
             ),
             RunError::NoSurvivingConsumers { stream } => {
                 write!(f, "no surviving consumer copy set on stream '{stream}'")
+            }
+            RunError::Unsupported { what } => {
+                write!(f, "unsupported run configuration: {what}")
             }
         }
     }

@@ -17,15 +17,17 @@
 //!   demand-driven sliding window with acknowledgments ([`policy`]),
 //! * every run yields per-copy and per-stream [`metrics`].
 //!
-//! Execution happens on the `hetsim` emulated cluster: computation,
-//! disk reads, buffer transfers, and DD acknowledgments are all charged to
-//! the virtual clock, so heterogeneity (CPU speed, background load, slow
+//! Execution is substrate-pluggable (see [`runtime`]): by default a run
+//! executes on the `hetsim` emulated cluster, where computation, disk
+//! reads, buffer transfers, and DD acknowledgments are all charged to the
+//! virtual clock, so heterogeneity (CPU speed, background load, slow
 //! links, skewed data) shapes pipeline behaviour exactly as in the paper's
-//! testbed — deterministically.
+//! testbed — deterministically. The same graph also runs natively on real
+//! OS threads via `Run::new(graph).executor(NativeExecutor::new())`.
 //!
 //! ```
 //! use datacutter::{DataBuffer, Filter, FilterCtx, FilterError, GraphBuilder,
-//!                  Placement, WritePolicy, run_app};
+//!                  Placement, Run, WritePolicy};
 //! use hetsim::{ClusterSpec, HostSpec, HostId, SimDuration, TopologyBuilder};
 //!
 //! struct Produce;
@@ -62,7 +64,7 @@
 //! let p = g.add_filter("produce", Placement::on_host(h0, 1), |_| Produce);
 //! let q = g.add_filter("consume", Placement::on_host(h1, 2), |_| Consume);
 //! g.connect(p, q, WritePolicy::demand_driven());
-//! let report = run_app(&topo, g.build()).unwrap();
+//! let report = Run::new(g.build()).go(&topo).unwrap();
 //! assert_eq!(report.stream(datacutter::StreamId(0)).total_buffers(), 4);
 //! ```
 
@@ -84,4 +86,9 @@ pub use filter::{CopyInfo, Filter, FilterError, FilterFactory};
 pub use graph::{AppGraph, FilterId, GraphBuilder, Placement, StreamId, DEFAULT_QUEUE_CAPACITY};
 pub use metrics::{CopyCounters, CopyReport, FaultReport, RunReport, StreamReport};
 pub use policy::{CopySetInfo, DemandState, WritePolicy};
+#[allow(deprecated)]
 pub use runtime::{run_app, run_app_faulted, run_app_traced, run_app_uows, run_app_with};
+pub use runtime::{
+    Clock, ExecEnv, ExecStats, Executor, ExecutorChoice, NativeExecutor, Run, SimExecutor,
+    Transport, DEFAULT_COURIER_CAPACITY, DEFAULT_OUTBOX_CAPACITY, DEFAULT_RETRANSMIT_DELAY,
+};

@@ -12,13 +12,15 @@
 //!   prefer co-located copy sets) and blocks when every copy set is at its
 //!   window limit. Adapts to load at the cost of ack traffic.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
-use hetsim::{Env, HostId, ProcessId};
-use parking_lot::Mutex;
+use hetsim::{HostId, ProcessId};
+use parking_lot::{Condvar, Mutex};
 use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultCtl;
+use crate::runtime::native::{CancelScope, CancelWake};
+use crate::runtime::ExecEnv;
 
 /// Policy selector carried in stream specs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,16 +90,19 @@ impl WriterState {
     /// Build the state for `policy` over `sets`, for a producer running on
     /// `producer_host`.
     pub fn new(policy: WritePolicy, sets: &[CopySetInfo], producer_host: HostId) -> Self {
-        Self::new_faulted(policy, sets, producer_host, None)
+        Self::for_run(policy, sets, producer_host, None, None)
     }
 
     /// As [`WriterState::new`], threading the runtime's fault control block
-    /// so writers evict detectably-dead consumer hosts.
-    pub(crate) fn new_faulted(
+    /// (so writers evict detectably-dead consumer hosts) and the native
+    /// executor's cancellation scope (so demand-driven producers blocked
+    /// on window credit unblock when a failed run tears down).
+    pub(crate) fn for_run(
         policy: WritePolicy,
         sets: &[CopySetInfo],
         producer_host: HostId,
         faults: Option<Arc<FaultCtl>>,
+        cancel: Option<Arc<CancelScope>>,
     ) -> Self {
         let inner = match policy {
             WritePolicy::RoundRobin => WriterInner::Cyclic {
@@ -125,9 +130,19 @@ impl WriterState {
                     faults,
                 }
             }
-            WritePolicy::DemandDriven { window_per_copy } => WriterInner::Demand(Arc::new(
-                DemandState::new(sets, producer_host, window_per_copy, faults),
-            )),
+            WritePolicy::DemandDriven { window_per_copy } => {
+                let state = Arc::new(DemandState::new(
+                    sets,
+                    producer_host,
+                    window_per_copy,
+                    faults,
+                    cancel.clone(),
+                ));
+                if let Some(scope) = &cancel {
+                    scope.register(Arc::downgrade(&state) as Weak<dyn CancelWake>);
+                }
+                WriterInner::Demand(state)
+            }
         };
         WriterState { inner }
     }
@@ -136,7 +151,7 @@ impl WriterState {
     /// window slot is free. Under an active fault plan, consumer copy sets
     /// whose hosts are detectably dead are skipped, rebalancing their
     /// share onto the survivors.
-    pub fn select(&mut self, env: &Env) -> usize {
+    pub fn select(&mut self, env: &ExecEnv) -> usize {
         match &mut self.inner {
             WriterInner::Cyclic {
                 schedule,
@@ -178,8 +193,20 @@ impl WriterState {
 /// Shared demand-driven credit state for one producer copy.
 pub struct DemandState {
     inner: Mutex<DemandInner>,
+    /// Native producers blocked on window credit wait here (the sim path
+    /// uses the engine's wake list in `DemandInner::waiters` instead).
+    credit: Condvar,
     producer_host: HostId,
     faults: Option<Arc<FaultCtl>>,
+    /// Cancellation scope of a native run, so blocked producers unblock
+    /// during teardown.
+    cancel: Option<Arc<CancelScope>>,
+}
+
+impl CancelWake for DemandState {
+    fn wake_all(&self) {
+        self.credit.notify_all();
+    }
 }
 
 struct DemandInner {
@@ -200,6 +227,7 @@ impl DemandState {
         producer_host: HostId,
         window_per_copy: u32,
         faults: Option<Arc<FaultCtl>>,
+        cancel: Option<Arc<CancelScope>>,
     ) -> Self {
         DemandState {
             inner: Mutex::new(DemandInner {
@@ -213,8 +241,10 @@ impl DemandState {
                 sent: vec![0; sets.len()],
                 cursor: 0,
             }),
+            credit: Condvar::new(),
             producer_host,
             faults,
+            cancel,
         }
     }
 
@@ -233,67 +263,89 @@ impl DemandState {
     /// buffer is routed anyway, ignoring window limits — the dead set's
     /// reaper acknowledges salvaged buffers (and its `reroute` wakes
     /// blocked producers), so this cannot deadlock.
-    fn acquire_slot(&self, env: &Env) -> usize {
+    ///
+    /// Blocking is substrate-specific: sim producers park on the engine's
+    /// wake list (`env.block()`), native producers wait on the condvar
+    /// *while holding the credit lock*, so an ack can never slip between
+    /// the failed scan and the wait (no lost wakeups).
+    fn acquire_slot(&self, env: &ExecEnv) -> usize {
         loop {
-            {
-                let mut st = self.inner.lock();
-                let n = st.sets.len();
-                let mut dead: Option<Vec<bool>> = None;
-                if let Some(ctl) = self.faults.as_ref().filter(|c| c.plan.has_crashes()) {
-                    let now = env.now();
-                    let mask: Vec<bool> = st
-                        .sets
-                        .iter()
-                        .map(|s| ctl.plan.detectably_dead(s.host, now, ctl.timeout))
-                        .collect();
-                    if mask.iter().all(|&d| d) {
-                        // Degraded: no surviving consumer set. Route to the
-                        // least-unacked set regardless of its window.
+            let mut st = self.inner.lock();
+            let n = st.sets.len();
+            let mut dead: Option<Vec<bool>> = None;
+            if let Some(ctl) = self.faults.as_ref().filter(|c| c.plan.has_crashes()) {
+                let now = env.now();
+                let mask: Vec<bool> = st
+                    .sets
+                    .iter()
+                    .map(|s| ctl.plan.detectably_dead(s.host, now, ctl.timeout))
+                    .collect();
+                if mask.iter().all(|&d| d) {
+                    // Degraded: no surviving consumer set. Route to the
+                    // least-unacked set regardless of its window.
+                    let i = (0..n).min_by_key(|&i| st.unacked[i]).unwrap_or(0);
+                    st.unacked[i] += 1;
+                    st.sent[i] += 1;
+                    st.cursor = (i + 1) % n;
+                    return i;
+                }
+                dead = Some(mask);
+            }
+            let is_dead = |i: usize| dead.as_ref().is_some_and(|m| m[i]);
+            let start = st.cursor;
+            let mut best: Option<usize> = None;
+            for k in 0..n {
+                let i = (start + k) % n;
+                if is_dead(i) || st.unacked[i] >= st.window[i] {
+                    continue;
+                }
+                best = match best {
+                    None => Some(i),
+                    Some(b) => {
+                        // Fewest unacked wins; on ties a co-located set
+                        // beats a remote one (scan order settles
+                        // remote-vs-remote ties).
+                        let better = st.unacked[i] < st.unacked[b]
+                            || (st.unacked[i] == st.unacked[b]
+                                && st.sets[i].host == self.producer_host
+                                && st.sets[b].host != self.producer_host);
+                        Some(if better { i } else { b })
+                    }
+                };
+            }
+            if let Some(i) = best {
+                st.unacked[i] += 1;
+                st.sent[i] += 1;
+                st.cursor = (i + 1) % n;
+                return i;
+            }
+            match env {
+                ExecEnv::Sim(sim_env) => {
+                    st.waiters.push(sim_env.pid());
+                    drop(st);
+                    match self.faults.as_ref().filter(|c| c.plan.has_crashes()) {
+                        // Timed block so we re-probe liveness: an ack may
+                        // never come from a consumer set that died with our
+                        // credit outstanding.
+                        Some(ctl) => {
+                            sim_env.block_until(sim_env.now() + ctl.timeout);
+                        }
+                        None => sim_env.block(),
+                    }
+                }
+                ExecEnv::Native(_) => {
+                    if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                        // Teardown: hand out a slot so the producer can keep
+                        // unwinding (its sends discard under a cancelled
+                        // scope anyway).
                         let i = (0..n).min_by_key(|&i| st.unacked[i]).unwrap_or(0);
                         st.unacked[i] += 1;
                         st.sent[i] += 1;
                         st.cursor = (i + 1) % n;
                         return i;
                     }
-                    dead = Some(mask);
+                    self.credit.wait(&mut st);
                 }
-                let is_dead = |i: usize| dead.as_ref().is_some_and(|m| m[i]);
-                let start = st.cursor;
-                let mut best: Option<usize> = None;
-                for k in 0..n {
-                    let i = (start + k) % n;
-                    if is_dead(i) || st.unacked[i] >= st.window[i] {
-                        continue;
-                    }
-                    best = match best {
-                        None => Some(i),
-                        Some(b) => {
-                            // Fewest unacked wins; on ties a co-located set
-                            // beats a remote one (scan order settles
-                            // remote-vs-remote ties).
-                            let better = st.unacked[i] < st.unacked[b]
-                                || (st.unacked[i] == st.unacked[b]
-                                    && st.sets[i].host == self.producer_host
-                                    && st.sets[b].host != self.producer_host);
-                            Some(if better { i } else { b })
-                        }
-                    };
-                }
-                if let Some(i) = best {
-                    st.unacked[i] += 1;
-                    st.sent[i] += 1;
-                    st.cursor = (i + 1) % n;
-                    return i;
-                }
-                st.waiters.push(env.pid());
-            }
-            match self.faults.as_ref().filter(|c| c.plan.has_crashes()) {
-                // Timed block so we re-probe liveness: an ack may never come
-                // from a consumer set that died with our credit outstanding.
-                Some(ctl) => {
-                    env.block_until(env.now() + ctl.timeout);
-                }
-                None => env.block(),
             }
         }
     }
@@ -304,7 +356,7 @@ impl DemandState {
     /// `None` (releasing the credit) when no survivor exists. Used by the
     /// runtime's reaper when replaying buffers salvaged from a dead set's
     /// queue.
-    pub(crate) fn reroute(&self, env: &Env, from: usize, alive: &[usize]) -> Option<usize> {
+    pub(crate) fn reroute(&self, env: &ExecEnv, from: usize, alive: &[usize]) -> Option<usize> {
         let (pick, waiters) = {
             let mut st = self.inner.lock();
             st.unacked[from] = st.unacked[from].saturating_sub(1);
@@ -316,22 +368,32 @@ impl DemandState {
             let waiters: Vec<ProcessId> = st.waiters.drain(..).collect();
             (pick, waiters)
         };
-        for pid in waiters {
-            env.wake(pid);
-        }
+        self.wake(env, waiters);
         pick
     }
 
     /// Record an acknowledgment from copy set `idx`, releasing one window
     /// slot and waking any blocked producer.
-    pub fn ack(&self, env: &Env, idx: usize) {
+    pub fn ack(&self, env: &ExecEnv, idx: usize) {
         let waiters: Vec<ProcessId> = {
             let mut st = self.inner.lock();
             st.unacked[idx] = st.unacked[idx].saturating_sub(1);
             st.waiters.drain(..).collect()
         };
-        for pid in waiters {
-            env.wake(pid);
+        self.wake(env, waiters);
+    }
+
+    /// Wake producers blocked on window credit: sim processes by pid, native
+    /// threads via the condvar (the waiter re-checks under the lock, so
+    /// notifying after releasing it is safe).
+    fn wake(&self, env: &ExecEnv, waiters: Vec<ProcessId>) {
+        match env {
+            ExecEnv::Sim(e) => {
+                for pid in waiters {
+                    e.wake(pid);
+                }
+            }
+            ExecEnv::Native(_) => self.credit.notify_all(),
         }
     }
 
@@ -383,6 +445,7 @@ mod tests {
         let mut sim = Simulation::new();
         let sets = sets3();
         sim.spawn("p", move |env| {
+            let env = ExecEnv::from(env);
             let mut w = WriterState::new(WritePolicy::RoundRobin, &sets, HostId(0));
             let picks: Vec<usize> = (0..6).map(|_| w.select(&env)).collect();
             assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
@@ -395,6 +458,7 @@ mod tests {
         let mut sim = Simulation::new();
         let sets = sets3();
         sim.spawn("p", move |env| {
+            let env = ExecEnv::from(env);
             let mut w = WriterState::new(WritePolicy::WeightedRoundRobin, &sets, HostId(0));
             let picks: Vec<usize> = (0..8).map(|_| w.select(&env)).collect();
             // Schedule: round 0 -> 0,1,2; round 1 -> 1 (only host1 has 2
@@ -411,6 +475,7 @@ mod tests {
         let mut sim = Simulation::new();
         let sets = sets3();
         sim.spawn("p", move |env| {
+            let env = ExecEnv::from(env);
             let mut w = WriterState::new(
                 WritePolicy::DemandDriven { window_per_copy: 4 },
                 &sets,
@@ -432,6 +497,7 @@ mod tests {
         let mut sim = Simulation::new();
         let sets = sets3();
         sim.spawn("p", move |env| {
+            let env = ExecEnv::from(env);
             let mut w = WriterState::new(
                 WritePolicy::DemandDriven { window_per_copy: 4 },
                 &sets,
@@ -454,6 +520,7 @@ mod tests {
         let progress: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
         let prog2 = progress.clone();
         sim.spawn("p", move |env| {
+            let env = ExecEnv::from(env);
             let mut w = WriterState::new(
                 WritePolicy::DemandDriven { window_per_copy: 1 },
                 &sets,
@@ -467,6 +534,7 @@ mod tests {
         });
         sim.spawn("acker", move |env| {
             env.delay(hetsim::SimDuration::from_millis(50));
+            let env = ExecEnv::from(env);
             let st = state_slot.lock().clone().expect("producer ran first");
             st.ack(&env, 0);
         });
@@ -484,6 +552,7 @@ mod tests {
             copies: 3,
         }];
         sim.spawn("p", move |env| {
+            let env = ExecEnv::from(env);
             let mut w = WriterState::new(
                 WritePolicy::DemandDriven { window_per_copy: 2 },
                 &sets,

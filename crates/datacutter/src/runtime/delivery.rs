@@ -1,0 +1,148 @@
+//! The delivery layer: the envelope types that move on copy-set queues,
+//! the per-copy **outbox sender** processes (so communication overlaps
+//! computation), and the per-copy-set **ack courier** processes (so
+//! demand-driven acknowledgments travel the reverse network path without
+//! blocking the consumer). Retransmission of fault-plan-dropped messages
+//! also lives here.
+
+use std::sync::Arc;
+
+use hetsim::{HostId, SimDuration, Topology};
+
+use super::exec::{charge_transfer, ChanRx, ChanTx, ExecEnv, Executor};
+use crate::buffer::{DataBuffer, ACK_WIRE_BYTES, EOW_WIRE_BYTES};
+use crate::fault::FaultCtl;
+use crate::policy::{AckHandle, CopySetInfo};
+
+/// A message on a copy-set queue.
+pub(crate) enum Envelope {
+    /// A data buffer with its (optional) demand-driven ack handle.
+    Data {
+        buf: DataBuffer,
+        ack: Option<AckHandle>,
+    },
+    /// In-band end-of-work marker from one producer copy (by copy index).
+    Eow { producer: usize },
+    /// Injected once per consumer copy when all producers' markers for the
+    /// current unit of work have been seen.
+    UowDone,
+}
+
+/// Message from a filter copy to its per-stream outbox sender process.
+pub(crate) enum OutMsg {
+    /// Route one data envelope to the chosen copy set.
+    Data {
+        copyset_idx: usize,
+        envelope: Envelope,
+    },
+    /// Broadcast an end-of-work marker to every copy set.
+    Eow,
+}
+
+/// Spawn the ack courier for one consumer copy set: it pays the reverse
+/// network path for each acknowledgment, then credits the producer's
+/// demand window.
+pub(crate) fn spawn_courier<E: Executor>(
+    exec: &mut E,
+    stream_name: &str,
+    host: HostId,
+    topo: &Topology,
+    rx: ChanRx<AckHandle>,
+) {
+    let topo = topo.clone();
+    exec.spawn(
+        format!("courier:{stream_name}@h{}", host.0),
+        Box::new(move |env: ExecEnv| {
+            while let Some(ack) = rx.recv(&env) {
+                charge_transfer(&env, &topo, host, ack.state.producer_host(), ACK_WIRE_BYTES);
+                ack.state.ack(&env, ack.copyset_idx);
+            }
+        }),
+    );
+}
+
+/// Static configuration of one outbox sender process.
+pub(crate) struct SenderCfg {
+    pub stream_name: String,
+    /// Seeded-drop key base: the stream id (combined with the copy index).
+    pub stream_id: u32,
+    pub copy_index: usize,
+    pub host: HostId,
+    pub sets: Vec<CopySetInfo>,
+    pub targets: Vec<ChanTx<Envelope>>,
+    pub topo: Topology,
+    pub faults: Option<Arc<FaultCtl>>,
+    pub retransmit_delay: SimDuration,
+}
+
+/// Spawn the outbox sender for one (producer copy, output stream) pair: it
+/// drains the copy's outbox, charges wire transfers, applies the fault
+/// plan's message drops (paying and retrying each dropped transmission),
+/// and broadcasts end-of-work markers.
+pub(crate) fn spawn_sender<E: Executor>(exec: &mut E, cfg: SenderCfg, outbox_rx: ChanRx<OutMsg>) {
+    let SenderCfg {
+        stream_name,
+        stream_id,
+        copy_index,
+        host,
+        sets,
+        targets,
+        topo,
+        faults,
+        retransmit_delay,
+    } = cfg;
+    // Seeded-drop key: unique per (stream, producer copy).
+    let drop_key = ((stream_id as u64) << 32) | copy_index as u64;
+    exec.spawn(
+        format!("sender:{stream_name}#{copy_index}@h{}", host.0),
+        Box::new(move |env: ExecEnv| {
+            let mut seq: u64 = 0;
+            while let Some(msg) = outbox_rx.recv(&env) {
+                match msg {
+                    OutMsg::Data {
+                        copyset_idx,
+                        envelope,
+                    } => {
+                        let bytes = match &envelope {
+                            Envelope::Data { buf, .. } => buf.transport_bytes(),
+                            _ => EOW_WIRE_BYTES,
+                        };
+                        let to = sets[copyset_idx].host;
+                        if let Some(ctl) = faults.as_ref().filter(|c| c.plan.has_drops()) {
+                            if to != host {
+                                // Each dropped transmission still occupied
+                                // the wire: pay for it, wait out the
+                                // retransmit timer, re-roll.
+                                let mut attempt = 0u64;
+                                while ctl.plan.should_drop(drop_key, seq, attempt) {
+                                    charge_transfer(&env, &topo, host, to, bytes);
+                                    env.delay(retransmit_delay);
+                                    ctl.tallies.lock().retransmits += 1;
+                                    attempt += 1;
+                                }
+                            }
+                        }
+                        seq += 1;
+                        charge_transfer(&env, &topo, host, to, bytes);
+                        if targets[copyset_idx].send(&env, envelope).is_err() {
+                            // Consumer gone: late buffer at teardown; drop
+                            // it.
+                            break;
+                        }
+                    }
+                    OutMsg::Eow => {
+                        for (i, tx) in targets.iter().enumerate() {
+                            charge_transfer(&env, &topo, host, sets[i].host, EOW_WIRE_BYTES);
+                            let _ = tx.send(
+                                &env,
+                                Envelope::Eow {
+                                    producer: copy_index,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }),
+    );
+}

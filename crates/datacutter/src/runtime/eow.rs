@@ -1,0 +1,73 @@
+//! End-of-work accounting: the per-copy-set gate that turns in-band EOW
+//! markers from producer copies into `UowDone` tokens for consumer copies,
+//! once per unit of work. The global inter-UOW barrier lives in the
+//! executor substrate ([`super::exec::ExecBarrier`]); this module is the
+//! stream-local half of cycle separation.
+
+use hetsim::{HostId, SimTime};
+
+use crate::fault::FaultCtl;
+
+/// Per-copy-set end-of-work accounting: when markers from all producer
+/// copies have been seen for the current UOW — or the missing producers
+/// are provably dead under the active fault plan — each consumer copy in
+/// the set gets one `UowDone`.
+pub(crate) struct UowGate {
+    /// Host of each producer copy, in copy-index order.
+    producer_hosts: Vec<HostId>,
+    /// Consumer copies in this set (each gets one `UowDone` per cycle).
+    copies: u32,
+    /// Which producer copies' markers have been seen this cycle.
+    eow_seen: Vec<bool>,
+    /// Completed end-of-work cycles (== the UOW the gate is waiting on).
+    cycle: u32,
+}
+
+impl UowGate {
+    pub fn new(producer_hosts: Vec<HostId>, copies: u32) -> Self {
+        let n = producer_hosts.len();
+        UowGate {
+            producer_hosts,
+            copies,
+            eow_seen: vec![false; n],
+            cycle: 0,
+        }
+    }
+
+    /// Record producer `producer`'s marker for the current cycle
+    /// (idempotent).
+    pub fn mark(&mut self, producer: usize) {
+        if producer < self.eow_seen.len() {
+            self.eow_seen[producer] = true;
+        }
+    }
+
+    /// Completed end-of-work cycles so far. A dead copy set's gate is
+    /// advanced by its reaper as salvage proceeds; live sets consult it to
+    /// avoid declaring end-of-work while replayed buffers are still in
+    /// flight.
+    pub fn cycle(&self) -> u32 {
+        self.cycle
+    }
+
+    /// Fire if every producer copy has either delivered its marker for the
+    /// cycle matching `uow` or is dead under `faults` at virtual time
+    /// `now`. The cycle guard keeps a consumer that has already finished
+    /// `uow` from double-firing on late liveness probes.
+    pub fn try_fire(&mut self, uow: u32, faults: Option<&FaultCtl>, now: SimTime) -> Option<u32> {
+        if self.cycle != uow {
+            return None;
+        }
+        let complete = self.eow_seen.iter().enumerate().all(|(i, &seen)| {
+            seen || faults.is_some_and(|c| c.plan.is_dead(self.producer_hosts[i], now))
+        });
+        if !complete {
+            return None;
+        }
+        self.cycle += 1;
+        for s in self.eow_seen.iter_mut() {
+            *s = false;
+        }
+        Some(self.copies)
+    }
+}

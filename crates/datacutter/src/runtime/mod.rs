@@ -1,0 +1,432 @@
+//! The layered filter runtime: instantiates an [`AppGraph`] on a
+//! [`Topology`] and executes units of work on a pluggable substrate.
+//!
+//! * [`exec`] — the `Clock` / `Transport` / `Executor` trait family and
+//!   the virtual-time [`SimExecutor`],
+//! * [`native`] — the wall-clock [`NativeExecutor`] (real OS threads),
+//! * [`spawn`] — copy instantiation and stream wiring,
+//! * [`delivery`] — outbox senders, ack couriers, retransmission,
+//! * [`eow`] — end-of-work gates (UOW cycle separation),
+//! * [`reaper`] — dead-set salvage and demand-driven replay.
+//!
+//! Runs are configured with the [`Run`] builder:
+//!
+//! ```ignore
+//! let report = Run::new(graph)
+//!     .uows(3)
+//!     .trace(trace)
+//!     .go(&topo)?;
+//! ```
+//!
+//! End-of-work markers flow in-band: when a producer copy finishes its
+//! work cycle, an EOW marker is broadcast to every consumer copy set; once
+//! a copy set has seen the marker from every producer copy, each consumer
+//! copy's next read returns `None`. Multi-UOW runs repeat the cycle with a
+//! global barrier in between.
+
+pub mod delivery;
+pub mod eow;
+pub mod exec;
+pub mod native;
+pub mod reaper;
+pub mod spawn;
+
+use std::sync::Arc;
+
+use hetsim::{SimDuration, SimTime, Simulation, Topology};
+use parking_lot::Mutex;
+
+pub use exec::{
+    ChanRx, ChanTx, Clock, ExecBarrier, ExecEnv, ExecStats, Executor, SimExecutor, SimTransport,
+    Transport,
+};
+pub use native::{CancelScope, NativeEnv, NativeExecutor, NativeTransport};
+
+use crate::fault::{ErrorCell, FaultCtl, FaultOptions, KilledMarker, RunError};
+use crate::graph::AppGraph;
+use crate::metrics::{CopyReport, FaultReport, RunReport, StreamReport};
+
+/// Default capacity of each per-copy outbox (models the kernel socket
+/// buffer that lets a filter keep computing while a previous buffer is on
+/// the wire).
+pub const DEFAULT_OUTBOX_CAPACITY: usize = 2;
+
+/// Default capacity of ack courier queues. Consumers block on a full
+/// courier queue, but under the demand-driven policy the queue can never
+/// hold more acks than the producer side has window credit (each queued
+/// ack is an unacknowledged buffer), so with the default windows this
+/// bound is never reached; RR/WRR generate no acks at all. Raise it via
+/// [`Run::courier_capacity`] for graphs with very large DD windows.
+pub const DEFAULT_COURIER_CAPACITY: usize = 1024;
+
+/// Default back-off before re-sending a message the fault plan dropped.
+pub const DEFAULT_RETRANSMIT_DELAY: SimDuration = SimDuration::from_millis(1);
+
+/// Runtime tuning knobs carried from the [`Run`] builder into the wiring.
+#[derive(Clone, Copy)]
+pub(crate) struct Tuning {
+    pub outbox_capacity: usize,
+    pub courier_capacity: usize,
+    pub retransmit_delay: SimDuration,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            outbox_capacity: DEFAULT_OUTBOX_CAPACITY,
+            courier_capacity: DEFAULT_COURIER_CAPACITY,
+            retransmit_delay: DEFAULT_RETRANSMIT_DELAY,
+        }
+    }
+}
+
+/// The executor a [`Run`] uses, chosen at configuration time. Both
+/// variants convert via `From`, so `Run::executor` accepts either executor
+/// value directly.
+pub enum ExecutorChoice {
+    /// Deterministic virtual-time execution on the hetsim engine.
+    Sim(SimExecutor),
+    /// Wall-clock execution on real OS threads.
+    Native(NativeExecutor),
+}
+
+impl From<SimExecutor> for ExecutorChoice {
+    fn from(e: SimExecutor) -> Self {
+        ExecutorChoice::Sim(e)
+    }
+}
+
+impl From<NativeExecutor> for ExecutorChoice {
+    fn from(e: NativeExecutor) -> Self {
+        ExecutorChoice::Native(e)
+    }
+}
+
+/// A deferred simulation-setup hook (the `Run::setup` option).
+type SetupFn = Box<dyn FnOnce(&mut Simulation)>;
+
+/// Builder for one pipeline run. Replaces the former `run_app` /
+/// `run_app_uows` / `run_app_traced` / `run_app_with` / `run_app_faulted`
+/// free functions with one composable entry point — every option can be
+/// combined (e.g. trace + faults + custom setup in the same run).
+///
+/// Defaults: one unit of work, the virtual-time [`SimExecutor`], no trace,
+/// no faults, and the documented default capacities.
+pub struct Run {
+    graph: AppGraph,
+    uows: u32,
+    trace: Option<hetsim::Trace>,
+    faults: Option<FaultOptions>,
+    setup: Option<SetupFn>,
+    executor: ExecutorChoice,
+    tuning: Tuning,
+}
+
+impl Run {
+    /// Configure a run of `graph` with the defaults above.
+    pub fn new(graph: AppGraph) -> Self {
+        Run {
+            graph,
+            uows: 1,
+            trace: None,
+            faults: None,
+            setup: None,
+            executor: ExecutorChoice::Sim(SimExecutor::new()),
+            tuning: Tuning::default(),
+        }
+    }
+
+    /// Execute `n` consecutive units of work. Every filter copy runs the
+    /// full `init` → `process` → `finalize` cycle once per UOW (selecting
+    /// its work via [`crate::context::FilterCtx::uow`]); end-of-work
+    /// markers flow in-band on the streams, and a global barrier separates
+    /// cycles (the next UOW starts only after every copy finished the
+    /// previous one, like the paper's per-query execution).
+    pub fn uows(mut self, n: u32) -> Self {
+        self.uows = n;
+        self
+    }
+
+    /// Record per-copy compute and read-wait spans into `trace` for
+    /// timeline inspection. Works on both substrates (wall-clock spans
+    /// under the native executor).
+    pub fn trace(mut self, trace: hetsim::Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Inject the faults scheduled in `opts` and run the recovery
+    /// machinery: liveness-timeout death detection, writer-side eviction
+    /// of dead consumer hosts, end-of-work accounting that tolerates dead
+    /// producer copies, and replay of unacknowledged demand-driven buffers
+    /// from dead copy sets to survivors. The returned report's
+    /// [`RunReport::faults`] records what was injected and repaired.
+    /// Virtual-time only.
+    ///
+    /// Two caveats on the reported `elapsed` under a plan with crashes: a
+    /// crash scheduled after the pipeline naturally finishes extends the
+    /// run to roughly the crash time (the reaper waits for it), and even a
+    /// triggered crash adds up to one liveness-timeout of teardown.
+    pub fn faults(mut self, opts: FaultOptions) -> Self {
+        self.faults = Some(opts);
+        self
+    }
+
+    /// Spawn auxiliary processes into the pipeline's simulation before it
+    /// starts — e.g. a [`hetsim::spawn_load_generator`] storming a host
+    /// *while the pipeline runs*, the "varying resource availability"
+    /// scenario of the paper. Virtual-time only.
+    ///
+    /// Note: the run ends when every process — including auxiliaries — has
+    /// finished, so an auxiliary outliving the pipeline extends the
+    /// reported `elapsed`.
+    pub fn setup(mut self, setup: impl FnOnce(&mut Simulation) + 'static) -> Self {
+        self.setup = Some(Box::new(setup));
+        self
+    }
+
+    /// Choose the execution substrate (accepts a [`SimExecutor`] or
+    /// [`NativeExecutor`] value directly).
+    pub fn executor(mut self, executor: impl Into<ExecutorChoice>) -> Self {
+        self.executor = executor.into();
+        self
+    }
+
+    /// Capacity of each per-copy outbox (default
+    /// [`DEFAULT_OUTBOX_CAPACITY`]).
+    pub fn outbox_capacity(mut self, capacity: usize) -> Self {
+        self.tuning.outbox_capacity = capacity;
+        self
+    }
+
+    /// Capacity of the per-copy-set ack courier queues (default
+    /// [`DEFAULT_COURIER_CAPACITY`]).
+    pub fn courier_capacity(mut self, capacity: usize) -> Self {
+        self.tuning.courier_capacity = capacity;
+        self
+    }
+
+    /// Back-off before re-sending a message the fault plan dropped
+    /// (default [`DEFAULT_RETRANSMIT_DELAY`]).
+    pub fn retransmit_delay(mut self, delay: SimDuration) -> Self {
+        self.tuning.retransmit_delay = delay;
+        self
+    }
+
+    /// Execute the run on `topo` and harvest the report.
+    pub fn go(self, topo: &Topology) -> Result<RunReport, RunError> {
+        assert!(self.uows >= 1, "at least one unit of work");
+        assert!(
+            self.tuning.outbox_capacity >= 1 && self.tuning.courier_capacity >= 1,
+            "channel capacities must be at least 1"
+        );
+        silence_sentinel_panics();
+        let graph = Arc::new(self.graph);
+        let fault_ctl: Option<Arc<FaultCtl>> = self.faults.as_ref().map(FaultCtl::new);
+        match self.executor {
+            ExecutorChoice::Sim(mut exec) => {
+                if let Some(setup) = self.setup {
+                    setup(exec.simulation_mut());
+                }
+                if let Some(ctl) = &fault_ctl {
+                    // Spawns the NIC-degradation drivers; crashes, stalls
+                    // and drops are pure time-indexed queries consulted by
+                    // the runtime machinery.
+                    ctl.plan.install(exec.simulation_mut(), topo);
+                }
+                drive(
+                    exec,
+                    topo,
+                    graph,
+                    self.uows,
+                    self.trace,
+                    fault_ctl,
+                    self.tuning,
+                )
+            }
+            ExecutorChoice::Native(exec) => {
+                if self.faults.is_some() {
+                    return Err(RunError::Unsupported {
+                        what: "fault injection requires the virtual-time SimExecutor".into(),
+                    });
+                }
+                if self.setup.is_some() {
+                    return Err(RunError::Unsupported {
+                        what: "simulation setup hooks require the virtual-time SimExecutor".into(),
+                    });
+                }
+                drive(exec, topo, graph, self.uows, self.trace, None, self.tuning)
+            }
+        }
+    }
+}
+
+/// Wire, run, and harvest on any executor.
+fn drive<E: Executor>(
+    mut exec: E,
+    topo: &Topology,
+    graph: Arc<AppGraph>,
+    uows: u32,
+    trace: Option<hetsim::Trace>,
+    fault_ctl: Option<Arc<FaultCtl>>,
+    tuning: Tuning,
+) -> Result<RunReport, RunError> {
+    let error_cell: ErrorCell = Arc::new(Mutex::new(None));
+    let wiring = spawn::build(
+        &mut exec,
+        topo,
+        &graph,
+        uows,
+        trace,
+        fault_ctl.clone(),
+        error_cell.clone(),
+        &tuning,
+    );
+
+    let stats = match exec.run() {
+        Ok(stats) => stats,
+        Err(e) => {
+            // A process that recorded a structured error aborts the run
+            // with a sentinel panic; surface the recorded error instead of
+            // the raw substrate failure.
+            if let Some(recorded) = error_cell.lock().take() {
+                return Err(recorded);
+            }
+            return Err(RunError::Sim(e));
+        }
+    };
+
+    let copies = wiring
+        .copy_cells
+        .into_iter()
+        .map(|(filter, filter_name, copy_index, host, cell)| CopyReport {
+            filter,
+            filter_name,
+            copy_index,
+            host,
+            counters: cell.lock().clone(),
+        })
+        .collect();
+
+    let streams = wiring
+        .stream_sets
+        .into_iter()
+        .enumerate()
+        .map(|(i, sets)| StreamReport {
+            stream: crate::graph::StreamId(i as u32),
+            stream_name: graph.streams[i].name.clone(),
+            copysets: sets
+                .into_iter()
+                .map(|(h, c)| (h, c.lock().clone()))
+                .collect(),
+        })
+        .collect();
+
+    let mut boundaries = std::mem::take(&mut *wiring.uow_boundaries.lock());
+    boundaries.sort_unstable();
+
+    let faults_report = match &fault_ctl {
+        Some(ctl) => {
+            let t = ctl.tallies.lock();
+            FaultReport {
+                injected: ctl.plan.describe(),
+                copies_killed: t.copies_killed,
+                buffers_replayed: t.buffers_replayed,
+                bytes_replayed: t.bytes_replayed,
+                buffers_lost: t.buffers_lost,
+                bytes_lost: t.bytes_lost,
+                retransmits: t.retransmits,
+                degraded: t.buffers_lost > 0,
+            }
+        }
+        None => FaultReport::default(),
+    };
+
+    Ok(RunReport {
+        elapsed: stats.end_time - SimTime::ZERO,
+        events: stats.events,
+        uow_boundaries: boundaries,
+        copies,
+        streams,
+        faults: faults_report,
+    })
+}
+
+/// Keep the process-wide panic hook from printing "thread panicked"
+/// noise for the runtime's two *sentinel* panics — the [`KilledMarker`]
+/// unwinding a crashed filter copy (caught at the copy's spawn wrapper)
+/// and the [`crate::fault::ABORT_MSG`] abort after a structured
+/// [`RunError`] was recorded (mapped back to the cell's contents). Real
+/// panics still reach the previous hook untouched.
+fn silence_sentinel_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let sentinel = payload.is::<KilledMarker>()
+                || payload
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s == crate::fault::ABORT_MSG);
+            if !sentinel {
+                prev(info);
+            }
+        }));
+    });
+}
+
+// ---- deprecated compatibility wrappers -----------------------------------
+
+/// Execute one unit of work of `graph` on `topo`.
+#[deprecated(since = "0.2.0", note = "use `Run::new(graph).go(topo)`")]
+pub fn run_app(topo: &Topology, graph: AppGraph) -> Result<RunReport, RunError> {
+    Run::new(graph).go(topo)
+}
+
+/// Execute `uows` consecutive units of work.
+#[deprecated(since = "0.2.0", note = "use `Run::new(graph).uows(n).go(topo)`")]
+pub fn run_app_uows(topo: &Topology, graph: AppGraph, uows: u32) -> Result<RunReport, RunError> {
+    Run::new(graph).uows(uows).go(topo)
+}
+
+/// Execute `uows` units of work, recording spans into `trace`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::new(graph).uows(n).trace(t).go(topo)`"
+)]
+pub fn run_app_traced(
+    topo: &Topology,
+    graph: AppGraph,
+    uows: u32,
+    trace: hetsim::Trace,
+) -> Result<RunReport, RunError> {
+    Run::new(graph).uows(uows).trace(trace).go(topo)
+}
+
+/// Execute `uows` units of work after running `setup` on the simulation.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::new(graph).uows(n).setup(f).go(topo)`"
+)]
+pub fn run_app_with(
+    topo: &Topology,
+    graph: AppGraph,
+    uows: u32,
+    setup: impl FnOnce(&mut Simulation) + 'static,
+) -> Result<RunReport, RunError> {
+    Run::new(graph).uows(uows).setup(setup).go(topo)
+}
+
+/// Execute `uows` units of work under the fault plan in `opts`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::new(graph).uows(n).faults(opts).go(topo)`"
+)]
+pub fn run_app_faulted(
+    topo: &Topology,
+    graph: AppGraph,
+    uows: u32,
+    opts: FaultOptions,
+) -> Result<RunReport, RunError> {
+    Run::new(graph).uows(uows).faults(opts).go(topo)
+}

@@ -1,0 +1,537 @@
+//! The wall-clock executor: every runtime process (filter copy, outbox
+//! sender, ack courier) becomes a real OS thread, communicating over
+//! bounded mutex/condvar channels with the same blocking semantics as the
+//! simulation's cooperative channels. Nothing here charges virtual costs —
+//! computation, transfers and disk reads take however long the hardware
+//! takes — so runs are *fast* but not deterministic; output equality with
+//! [`super::exec::SimExecutor`] is guaranteed only for order-insensitive
+//! pipelines (which the isosurface application is by construction — see
+//! DESIGN.md §9).
+//!
+//! Teardown is the part virtual time gave us for free: the sim engine
+//! cancels every cooperative process when one panics, while native threads
+//! blocked in `recv`/`send`/barrier/DD-window waits would hang forever. A
+//! per-run [`CancelScope`] solves this: the first thread to panic flips the
+//! scope, every registered primitive wakes its waiters, and blocked
+//! operations fall through (sends discard, receives report closed, barrier
+//! waits return) so every thread can unwind and join.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use hetsim::{DeadlineRecv, SendError, SimDuration, SimError, SimTime};
+use parking_lot::{Condvar, Mutex};
+
+use super::exec::{
+    ChanRx, ChanTx, ExecBarrier, ExecEnv, ExecStats, Executor, SpawnBody, Transport,
+};
+
+/// Wall-clock environment of one native thread: time is nanoseconds since
+/// the run started, on the same `SimTime` axis the reports use.
+#[derive(Clone, Copy)]
+pub struct NativeEnv {
+    start: Instant,
+}
+
+impl NativeEnv {
+    /// Nanoseconds since the run started, as a [`SimTime`].
+    pub fn now(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(self.start.elapsed().as_nanos() as u64)
+    }
+
+    /// Really sleep for `d`.
+    pub fn sleep(&self, d: SimDuration) {
+        std::thread::sleep(Duration::from_nanos(d.as_nanos()));
+    }
+}
+
+impl super::exec::Clock for NativeEnv {
+    fn now(&self) -> SimTime {
+        NativeEnv::now(self)
+    }
+    fn sleep(&self, d: SimDuration) {
+        NativeEnv::sleep(self, d);
+    }
+}
+
+/// A primitive that can wake every thread blocked on it, so a cancelled
+/// run tears down instead of hanging.
+pub(crate) trait CancelWake: Send + Sync {
+    /// Wake all waiters; they re-check the scope and fall through.
+    fn wake_all(&self);
+}
+
+/// Cooperative cancellation scope of one native run. Created by the
+/// transport; flipped by the executor when a thread panics; consulted by
+/// every blocking primitive built on the transport.
+pub struct CancelScope {
+    cancelled: AtomicBool,
+    wakees: Mutex<Vec<Weak<dyn CancelWake>>>,
+}
+
+impl CancelScope {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(CancelScope {
+            cancelled: AtomicBool::new(false),
+            wakees: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// True once the run has been cancelled (a thread panicked).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Flip the scope and wake every registered primitive's waiters.
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+        for w in self.wakees.lock().iter() {
+            if let Some(p) = w.upgrade() {
+                p.wake_all();
+            }
+        }
+    }
+
+    /// Register a primitive to be woken on cancellation.
+    pub(crate) fn register(&self, wakee: Weak<dyn CancelWake>) {
+        self.wakees.lock().push(wakee);
+    }
+}
+
+// ---- bounded MPMC channel ------------------------------------------------
+
+struct NChanState<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// Shared core of a native channel: a bounded deque guarded by one mutex,
+/// with separate not-full / not-empty condvars (the crossbeam
+/// array-channel shape, simplified).
+struct NChan<T> {
+    st: Mutex<NChanState<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cancel: Arc<CancelScope>,
+}
+
+impl<T: Send> CancelWake for NChan<T> {
+    fn wake_all(&self) {
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// Sending half of a native bounded channel.
+pub struct NativeTx<T> {
+    ch: Arc<NChan<T>>,
+}
+
+/// Receiving half of a native bounded channel.
+pub struct NativeRx<T> {
+    ch: Arc<NChan<T>>,
+}
+
+pub(crate) fn native_channel<T: Send + 'static>(
+    capacity: usize,
+    cancel: &Arc<CancelScope>,
+) -> (NativeTx<T>, NativeRx<T>) {
+    assert!(capacity >= 1, "channel capacity must be at least 1");
+    let ch = Arc::new(NChan {
+        st: Mutex::new(NChanState {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        cancel: cancel.clone(),
+    });
+    cancel.register(Arc::downgrade(&ch) as Weak<dyn CancelWake>);
+    (NativeTx { ch: ch.clone() }, NativeRx { ch })
+}
+
+impl<T: Send> NativeTx<T> {
+    /// Send `value`, blocking while the queue is full. Returns the value
+    /// when every receiver is gone. On a cancelled run the value is
+    /// silently discarded (reported `Ok`) so producers unwinding through
+    /// teardown do not trip their own "channel closed" panics.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut slot = Some(value);
+        let mut st = self.ch.st.lock();
+        loop {
+            if self.ch.cancel.is_cancelled() {
+                return Ok(());
+            }
+            if st.receivers == 0 {
+                return Err(SendError(slot.take().expect("value still held")));
+            }
+            if st.queue.len() < self.ch.capacity {
+                st.queue.push_back(slot.take().expect("value still held"));
+                drop(st);
+                self.ch.not_empty.notify_one();
+                return Ok(());
+            }
+            self.ch.not_full.wait(&mut st);
+        }
+    }
+}
+
+impl<T: Send> NativeRx<T> {
+    /// Receive the next value; `None` once the queue is empty and every
+    /// sender is gone (or the run was cancelled).
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.ch.st.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.ch.not_full.notify_one();
+                return Some(v);
+            }
+            if st.senders == 0 || self.ch.cancel.is_cancelled() {
+                return None;
+            }
+            self.ch.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Receive with a deadline on the run's wall-clock `SimTime` axis.
+    pub fn recv_deadline(&self, env: &NativeEnv, deadline: SimTime) -> DeadlineRecv<T> {
+        let mut st = self.ch.st.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.ch.not_full.notify_one();
+                return DeadlineRecv::Item(v);
+            }
+            if st.senders == 0 || self.ch.cancel.is_cancelled() {
+                return DeadlineRecv::Closed;
+            }
+            let now = env.now();
+            if now >= deadline {
+                return DeadlineRecv::TimedOut;
+            }
+            let remaining = Duration::from_nanos(deadline.since(now).as_nanos());
+            let _ = self.ch.not_empty.wait_for(&mut st, remaining);
+        }
+    }
+
+    /// True when every sender has hung up.
+    pub fn is_closed(&self) -> bool {
+        self.ch.st.lock().senders == 0
+    }
+
+    /// True when no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.ch.st.lock().queue.is_empty()
+    }
+}
+
+impl<T> Clone for NativeTx<T> {
+    fn clone(&self) -> Self {
+        self.ch.st.lock().senders += 1;
+        NativeTx {
+            ch: self.ch.clone(),
+        }
+    }
+}
+
+impl<T> Drop for NativeTx<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.ch.st.lock();
+            st.senders -= 1;
+            st.senders == 0
+        };
+        if last {
+            self.ch.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Clone for NativeRx<T> {
+    fn clone(&self) -> Self {
+        self.ch.st.lock().receivers += 1;
+        NativeRx {
+            ch: self.ch.clone(),
+        }
+    }
+}
+
+impl<T> Drop for NativeRx<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.ch.st.lock();
+            st.receivers -= 1;
+            st.receivers == 0
+        };
+        if last {
+            self.ch.not_full.notify_all();
+        }
+    }
+}
+
+// ---- barrier -------------------------------------------------------------
+
+struct NBarState {
+    n: usize,
+    arrived: usize,
+    generation: u64,
+}
+
+struct NBarInner {
+    st: Mutex<NBarState>,
+    cv: Condvar,
+    cancel: Arc<CancelScope>,
+}
+
+impl CancelWake for NBarInner {
+    fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// A cyclic barrier over native threads, with the `leave` extension used
+/// when a participant withdraws permanently.
+#[derive(Clone)]
+pub struct NativeBarrier {
+    inner: Arc<NBarInner>,
+}
+
+pub(crate) fn native_barrier(participants: usize, cancel: &Arc<CancelScope>) -> NativeBarrier {
+    let inner = Arc::new(NBarInner {
+        st: Mutex::new(NBarState {
+            n: participants,
+            arrived: 0,
+            generation: 0,
+        }),
+        cv: Condvar::new(),
+        cancel: cancel.clone(),
+    });
+    cancel.register(Arc::downgrade(&inner) as Weak<dyn CancelWake>);
+    NativeBarrier { inner }
+}
+
+impl NativeBarrier {
+    /// Wait for all participants; the last arriver gets `true`. Returns
+    /// immediately (with `false`) on a cancelled run.
+    pub fn wait(&self) -> bool {
+        let mut st = self.inner.st.lock();
+        if self.inner.cancel.is_cancelled() {
+            return false;
+        }
+        st.arrived += 1;
+        if st.arrived >= st.n {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            drop(st);
+            self.inner.cv.notify_all();
+            return true;
+        }
+        let gen = st.generation;
+        while st.generation == gen && !self.inner.cancel.is_cancelled() {
+            self.inner.cv.wait(&mut st);
+        }
+        false
+    }
+
+    /// Withdraw permanently, releasing the current round if this
+    /// participant was the last one missing.
+    pub fn leave(&self) {
+        let release = {
+            let mut st = self.inner.st.lock();
+            st.n = st.n.saturating_sub(1);
+            if st.n > 0 && st.arrived >= st.n {
+                st.arrived = 0;
+                st.generation = st.generation.wrapping_add(1);
+                true
+            } else {
+                false
+            }
+        };
+        if release {
+            self.inner.cv.notify_all();
+        }
+    }
+}
+
+// ---- transport + executor ------------------------------------------------
+
+/// Transport building native channels and barriers, all registered with
+/// the run's [`CancelScope`].
+#[derive(Clone)]
+pub struct NativeTransport {
+    cancel: Arc<CancelScope>,
+}
+
+impl Transport for NativeTransport {
+    fn channel<T: Send + 'static>(&self, capacity: usize) -> (ChanTx<T>, ChanRx<T>) {
+        let (tx, rx) = native_channel(capacity, &self.cancel);
+        (ChanTx::Native(tx), ChanRx::Native(rx))
+    }
+
+    fn barrier(&self, participants: usize) -> ExecBarrier {
+        ExecBarrier::Native(native_barrier(participants, &self.cancel))
+    }
+
+    fn cancel_scope(&self) -> Option<Arc<CancelScope>> {
+        Some(self.cancel.clone())
+    }
+}
+
+/// The wall-clock executor: runs each registered process on its own OS
+/// thread. Spawning is deferred to [`Executor::run`] so wiring happens
+/// before any thread starts (mirroring the simulation, where nothing runs
+/// until `Simulation::run`).
+pub struct NativeExecutor {
+    start: Instant,
+    transport: NativeTransport,
+    pending: Vec<(String, SpawnBody)>,
+    first_panic: Arc<Mutex<Option<(String, String)>>>,
+}
+
+impl NativeExecutor {
+    /// A fresh native executor with its own cancellation scope.
+    pub fn new() -> Self {
+        NativeExecutor {
+            start: Instant::now(),
+            transport: NativeTransport {
+                cancel: CancelScope::new(),
+            },
+            pending: Vec::new(),
+            first_panic: Arc::new(Mutex::new(None)),
+        }
+    }
+}
+
+impl Default for NativeExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor for NativeExecutor {
+    type Transport = NativeTransport;
+
+    fn transport(&self) -> NativeTransport {
+        self.transport.clone()
+    }
+
+    fn spawn(&mut self, name: String, body: SpawnBody) {
+        self.pending.push((name, body));
+    }
+
+    fn run(&mut self) -> Result<ExecStats, SimError> {
+        let env = NativeEnv { start: self.start };
+        let processes = self.pending.len() as u32;
+        let mut handles = Vec::with_capacity(self.pending.len());
+        for (name, body) in self.pending.drain(..) {
+            let cancel = self.transport.cancel.clone();
+            let first_panic = self.first_panic.clone();
+            let thread_name = name.clone();
+            let handle = std::thread::Builder::new()
+                .name(name.clone())
+                .spawn(move || {
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(move || {
+                        body(ExecEnv::Native(env));
+                    }));
+                    if let Err(payload) = result {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                        first_panic.lock().get_or_insert((thread_name, message));
+                        cancel.cancel();
+                    }
+                })
+                .expect("spawn native executor thread");
+            handles.push(handle);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        let end_time = env.now();
+        if let Some((process, message)) = self.first_panic.lock().take() {
+            return Err(SimError::ProcessPanic { process, message });
+        }
+        Ok(ExecStats {
+            end_time,
+            events: 0,
+            processes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_round_trip_across_threads() {
+        let cancel = CancelScope::new();
+        let (tx, rx) = native_channel::<u32>(2, &cancel);
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let cancel = CancelScope::new();
+        let (tx, rx) = native_channel::<u32>(1, &cancel);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn cancel_unblocks_full_channel_send() {
+        let cancel = CancelScope::new();
+        let (tx, _rx) = native_channel::<u32>(1, &cancel);
+        tx.send(1).unwrap();
+        let c2 = cancel.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            c2.cancel();
+        });
+        // Queue is full and nobody receives: only cancellation lets this
+        // return (it discards the value and reports Ok).
+        assert!(tx.send(2).is_ok());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn barrier_releases_all_and_elects_one_leader() {
+        let cancel = CancelScope::new();
+        let b = native_barrier(4, &cancel);
+        let leaders = Arc::new(Mutex::new(0usize));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b2 = b.clone();
+            let l2 = leaders.clone();
+            handles.push(std::thread::spawn(move || {
+                if b2.wait() {
+                    *l2.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*leaders.lock(), 1);
+    }
+}

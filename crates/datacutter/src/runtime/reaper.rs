@@ -1,0 +1,169 @@
+//! Dead-set salvage: one reaper process per copy set whose host is
+//! scheduled to crash. The reaper waits (without consuming) until the
+//! crash, then drains the dead queue for the rest of the run, replaying
+//! demand-driven buffers to surviving copy sets and tallying
+//! unrecoverable ones as lost. Fault plans only exist under the
+//! virtual-time executor, so reapers are sim-only by construction.
+
+use std::sync::Arc;
+
+use hetsim::{DeadlineRecv, SimTime, Topology};
+use parking_lot::Mutex;
+
+use super::delivery::Envelope;
+use super::eow::UowGate;
+use super::exec::{ChanRx, ChanTx, ExecEnv};
+use crate::fault::{abort_run, ErrorCell, FaultCtl, RunError};
+use crate::policy::{AckHandle, CopySetInfo};
+
+/// Salvages the copy-set queue of a host scheduled to crash: waits
+/// (without consuming) until the crash, then drains the queue for the
+/// rest of the run, replaying demand-driven buffers to surviving copy
+/// sets and tallying unrecoverable ones as lost.
+pub(crate) struct Reaper {
+    pub ctl: Arc<FaultCtl>,
+    pub errors: ErrorCell,
+    pub rx: ChanRx<Envelope>,
+    /// Replay targets: `(copyset_idx, sender)` for every set on the stream
+    /// with *no* scheduled death. Holding senders keeps a channel open, so
+    /// the reaper must not hold one to its own queue (it would never see
+    /// it close) nor to another doomed set's (two reapers would keep each
+    /// other alive); sets that die later just never receive replays.
+    pub survivors: Vec<(usize, ChanTx<Envelope>)>,
+    pub sets: Vec<CopySetInfo>,
+    pub t_death: SimTime,
+    pub topo: Topology,
+    pub stream: String,
+    /// The dead set's own end-of-work gate: the reaper advances its cycle
+    /// as salvage proceeds so live peer sets know when no more replays
+    /// for a given UOW can arrive (see `FilterCtx::replays_settled`).
+    pub gate: Arc<Mutex<UowGate>>,
+    pub uows: u32,
+}
+
+impl Reaper {
+    pub fn run(self, env: ExecEnv) {
+        let tick = self.ctl.timeout;
+        // Phase 1: wait for the crash without consuming anything the live
+        // consumers should get; exit early if the stream drains and closes
+        // first (crash scheduled past the end of the run).
+        loop {
+            let now = env.now();
+            if now >= self.t_death {
+                break;
+            }
+            if self.rx.is_closed() && self.rx.is_empty() {
+                return;
+            }
+            let tick_end = now + tick;
+            let next = if self.t_death < tick_end {
+                self.t_death
+            } else {
+                tick_end
+            };
+            env.delay(next - now);
+        }
+        // Phase 2: the set's consumers are dead (they stop dequeuing at
+        // the crash instant); everything still in — or still arriving on —
+        // this queue is ours to salvage, until every producer-side sender
+        // hangs up.
+        loop {
+            self.advance_gate(&env);
+            let deadline = env.now() + tick;
+            match self.rx.recv_deadline(&env, deadline) {
+                DeadlineRecv::Closed => return,
+                DeadlineRecv::TimedOut => continue,
+                DeadlineRecv::Item(envelope) => self.salvage(&env, envelope),
+            }
+        }
+    }
+
+    /// Advance the dead set's gate through every end-of-work cycle whose
+    /// producer markers have all been salvaged (dead producers excused).
+    /// Because each producer's marker trails all of its data in the FIFO
+    /// queue, a cycle counted here has had every salvageable buffer
+    /// already forwarded to the survivors.
+    fn advance_gate(&self, env: &ExecEnv) {
+        let now = env.now();
+        let mut g = self.gate.lock();
+        while g.cycle() < self.uows {
+            let cycle = g.cycle();
+            if g.try_fire(cycle, Some(&self.ctl), now).is_none() {
+                break;
+            }
+        }
+    }
+
+    fn salvage(&self, env: &ExecEnv, envelope: Envelope) {
+        match envelope {
+            Envelope::Data {
+                buf,
+                ack: Some(ack),
+            } => {
+                let alive: Vec<usize> = self.survivors.iter().map(|&(i, _)| i).collect();
+                match ack.state.reroute(env, ack.copyset_idx, &alive) {
+                    Some(new_idx) => {
+                        // Replay: charge the retransmission from the
+                        // producer to the surviving host, then re-enqueue
+                        // with the ack handle re-addressed.
+                        self.topo.transfer(
+                            env.expect_sim(),
+                            ack.state.producer_host(),
+                            self.sets[new_idx].host,
+                            buf.transport_bytes(),
+                        );
+                        let bytes = buf.wire_bytes();
+                        let replay = Envelope::Data {
+                            buf,
+                            ack: Some(AckHandle {
+                                state: ack.state.clone(),
+                                copyset_idx: new_idx,
+                            }),
+                        };
+                        let tx = self
+                            .survivors
+                            .iter()
+                            .find(|&&(i, _)| i == new_idx)
+                            .map(|(_, tx)| tx)
+                            .expect("reroute only picks from the survivor list");
+                        if tx.send(env, replay).is_ok() {
+                            let mut t = self.ctl.tallies.lock();
+                            t.buffers_replayed += 1;
+                            t.bytes_replayed += bytes;
+                        } else {
+                            self.lose(bytes);
+                        }
+                    }
+                    None => self.lose(buf.wire_bytes()),
+                }
+            }
+            // No ack handle (RR/WRR or content-routed `write_to`): the
+            // producer's routing decision cannot be replayed safely.
+            Envelope::Data { buf, ack: None } => self.lose(buf.wire_bytes()),
+            // A producer's end-of-work marker: no consumer will act on it,
+            // but it proves all of that producer's data for the cycle has
+            // been salvaged — record it so the dead gate can advance.
+            Envelope::Eow { producer } => {
+                self.gate.lock().mark(producer);
+                self.advance_gate(env);
+            }
+            Envelope::UowDone => {}
+        }
+    }
+
+    fn lose(&self, bytes: u64) {
+        {
+            let mut t = self.ctl.tallies.lock();
+            t.buffers_lost += 1;
+            t.bytes_lost += bytes;
+        }
+        if !self.ctl.allow_degraded {
+            abort_run(
+                &self.errors,
+                RunError::NoSurvivingConsumers {
+                    stream: self.stream.clone(),
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Copy instantiation and wiring: builds the per-stream channels, gates
+//! and couriers, spawns one reaper per doomed copy set, then spawns every
+//! transparent filter copy with its input/output ports and outbox sender.
+//!
+//! **Spawn order is load-bearing.** On the deterministic substrate,
+//! registration order fixes process identity and therefore event order;
+//! this module preserves the exact sequence of the pre-refactor monolith —
+//! per stream: couriers (one per copy set, interleaved with channel
+//! creation); then reapers; then per filter copy: one sender per output
+//! port followed by the copy itself — so simulation runs stay bit-for-bit
+//! identical.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use hetsim::{HostId, SimTime, Topology};
+use parking_lot::Mutex;
+
+use super::delivery::{self, Envelope, SenderCfg};
+use super::eow::UowGate;
+use super::exec::{ChanRx, ChanTx, ExecEnv, Executor, Transport};
+use super::reaper::Reaper;
+use super::Tuning;
+use crate::context::{FilterCtx, InputPort, OutputPort};
+use crate::fault::{abort_run, ErrorCell, FaultCtl, KilledMarker, RunError};
+use crate::filter::CopyInfo;
+use crate::graph::{AppGraph, FilterId};
+use crate::metrics::{CopyCell, CopyCounters, CopySetCell};
+use crate::policy::{AckHandle, CopySetInfo, WriterState};
+
+/// Everything the driver needs to harvest a report after the run: the
+/// metric cells (shared with the spawned processes) and the barrier
+/// boundary log. Holds no channel endpoints, so queues close as soon as
+/// the last real user (sender process / filter copy) finishes.
+pub(crate) struct RunWiring {
+    pub copy_cells: Vec<(FilterId, String, usize, HostId, CopyCell)>,
+    pub uow_boundaries: Arc<Mutex<Vec<SimTime>>>,
+    /// Per stream: `(host, counters)` of each consumer copy set.
+    pub stream_sets: Vec<Vec<(HostId, CopySetCell)>>,
+}
+
+/// Wire `graph` onto `exec` and register every runtime process. Nothing
+/// runs until the driver calls [`Executor::run`].
+#[allow(clippy::too_many_arguments)] // one-call crate-internal wiring entry point
+pub(crate) fn build<E: Executor>(
+    exec: &mut E,
+    topo: &Topology,
+    graph: &Arc<AppGraph>,
+    uows: u32,
+    trace: Option<hetsim::Trace>,
+    fault_ctl: Option<Arc<FaultCtl>>,
+    error_cell: ErrorCell,
+    tuning: &Tuning,
+) -> RunWiring {
+    let transport = exec.transport();
+    let cancel = transport.cancel_scope();
+
+    // ---- per-stream wiring ------------------------------------------------
+    struct StreamRt {
+        sets: Vec<CopySetInfo>,
+        data_txs: Vec<ChanTx<Envelope>>,
+        data_rxs: Vec<ChanRx<Envelope>>,
+        courier_txs: Vec<ChanTx<AckHandle>>,
+        gates: Vec<Arc<Mutex<UowGate>>>,
+        cells: Vec<CopySetCell>,
+    }
+
+    let mut streams_rt: Vec<StreamRt> = Vec::with_capacity(graph.streams.len());
+    for spec in &graph.streams {
+        let consumer = &graph.filters[spec.to.0 as usize];
+        // Producer copy hosts in copy-index order: the end-of-work gate
+        // tracks markers per producer copy so dead producers can be
+        // excused without under- or over-counting.
+        let producer_hosts: Vec<HostId> = graph.filters[spec.from.0 as usize]
+            .placement
+            .per_host
+            .iter()
+            .flat_map(|&(h, n)| (0..n).map(move |_| h))
+            .collect();
+        let mut sets = Vec::new();
+        let mut data_txs = Vec::new();
+        let mut data_rxs = Vec::new();
+        let mut courier_txs = Vec::new();
+        let mut gates = Vec::new();
+        let mut cells = Vec::new();
+        for &(host, copies) in &consumer.placement.per_host {
+            sets.push(CopySetInfo { host, copies });
+            // Room for data plus the UowDone tokens injected at the end of
+            // each cycle.
+            let cap = spec.queue_capacity * copies as usize + copies as usize;
+            let (tx, rx) = transport.channel::<Envelope>(cap.max(1));
+            data_txs.push(tx);
+            data_rxs.push(rx);
+            gates.push(Arc::new(Mutex::new(UowGate::new(
+                producer_hosts.clone(),
+                copies,
+            ))));
+            let (ctx_tx, ctx_rx) = transport.channel::<AckHandle>(tuning.courier_capacity);
+            courier_txs.push(ctx_tx);
+            cells.push(CopySetCell::default());
+            delivery::spawn_courier(exec, &spec.name, host, topo, ctx_rx);
+        }
+        // One reaper per copy set whose host is scheduled to crash. The
+        // reaper's receiver clone keeps the dead queue open so buffers
+        // sent before writers notice the death are salvaged, not dropped.
+        if let Some(ctl) = fault_ctl.as_ref().filter(|c| c.plan.has_crashes()) {
+            for (set_idx, set) in sets.iter().enumerate() {
+                let Some(t_death) = ctl.plan.host_death(set.host) else {
+                    continue;
+                };
+                let reaper = Reaper {
+                    ctl: ctl.clone(),
+                    errors: error_cell.clone(),
+                    rx: data_rxs[set_idx].clone(),
+                    survivors: sets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| ctl.plan.host_death(s.host).is_none())
+                        .map(|(i, _)| (i, data_txs[i].clone()))
+                        .collect(),
+                    sets: sets.clone(),
+                    t_death,
+                    topo: topo.clone(),
+                    stream: spec.name.clone(),
+                    gate: gates[set_idx].clone(),
+                    uows,
+                };
+                exec.spawn(
+                    format!("reaper:{}@h{}", spec.name, set.host.0),
+                    Box::new(move |env: ExecEnv| reaper.run(env)),
+                );
+            }
+        }
+        streams_rt.push(StreamRt {
+            sets,
+            data_txs,
+            data_rxs,
+            courier_txs,
+            gates,
+            cells,
+        });
+    }
+
+    // ---- per-copy spawning ------------------------------------------------
+    let all_copies: u32 = graph
+        .filters
+        .iter()
+        .map(|f| f.placement.total_copies())
+        .sum();
+    let barrier = transport.barrier(all_copies as usize);
+    let uow_boundaries: Arc<Mutex<Vec<SimTime>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut copy_cells: Vec<(FilterId, String, usize, HostId, CopyCell)> = Vec::new();
+    for (fidx, fspec) in graph.filters.iter().enumerate() {
+        let fid = FilterId(fidx as u32);
+        let input_ids = graph.inputs_of(fid);
+        let output_ids = graph.outputs_of(fid);
+        let total_copies = fspec.placement.total_copies() as usize;
+
+        let mut copy_index = 0usize;
+        for (set_idx, &(host, copies)) in fspec.placement.per_host.iter().enumerate() {
+            for _k in 0..copies {
+                let cell: CopyCell = Arc::new(Mutex::new(CopyCounters::default()));
+                copy_cells.push((fid, fspec.name.clone(), copy_index, host, cell.clone()));
+
+                // Input ports: this copy shares its host's copy-set queue.
+                let mut inputs = Vec::new();
+                for &sid in &input_ids {
+                    let rt = &streams_rt[sid.0 as usize];
+                    inputs.push(InputPort {
+                        rx: rt.data_rxs[set_idx].clone(),
+                        inject_tx: rt.data_txs[set_idx].clone(),
+                        courier_tx: rt.courier_txs[set_idx].clone(),
+                        gate: rt.gates[set_idx].clone(),
+                        peer_gates: rt
+                            .sets
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| i != set_idx)
+                            .map(|(i, s)| (s.host, rt.gates[i].clone()))
+                            .collect(),
+                        copyset_counters: rt.cells[set_idx].clone(),
+                    });
+                }
+
+                // Output ports: per-copy writer state + outbox sender.
+                let mut outputs = Vec::new();
+                for &sid in &output_ids {
+                    let rt = &streams_rt[sid.0 as usize];
+                    let spec = &graph.streams[sid.0 as usize];
+                    let (outbox_tx, outbox_rx) =
+                        transport.channel::<super::delivery::OutMsg>(tuning.outbox_capacity);
+                    delivery::spawn_sender(
+                        exec,
+                        SenderCfg {
+                            stream_name: spec.name.clone(),
+                            stream_id: sid.0,
+                            copy_index,
+                            host,
+                            sets: rt.sets.clone(),
+                            targets: rt.data_txs.clone(),
+                            topo: topo.clone(),
+                            faults: fault_ctl.clone(),
+                            retransmit_delay: tuning.retransmit_delay,
+                        },
+                        outbox_rx,
+                    );
+                    outputs.push(OutputPort {
+                        writer: WriterState::for_run(
+                            spec.policy,
+                            &rt.sets,
+                            host,
+                            fault_ctl.clone(),
+                            cancel.clone(),
+                        ),
+                        outbox_tx,
+                        targets: rt.sets.len(),
+                    });
+                }
+
+                let info = CopyInfo {
+                    copy_index,
+                    total_copies,
+                    copyset_index: set_idx,
+                    total_copysets: fspec.placement.per_host.len(),
+                    host,
+                };
+                let topo2 = topo.clone();
+                let graph2 = graph.clone();
+                let barrier2 = barrier.clone();
+                let barrier_out = barrier.clone();
+                let boundaries2 = uow_boundaries.clone();
+                let copy_name = format!("{}#{}@h{}", fspec.name, copy_index, host.0);
+                let trace2 = trace.clone().map(|t| (t, copy_name.clone()));
+                let fname = fspec.name.clone();
+                let copy_ctl = fault_ctl.clone();
+                let kill_ctl = fault_ctl.clone();
+                let copy_errors = error_cell.clone();
+                let my_death = fault_ctl.as_ref().and_then(|c| c.plan.host_death(host));
+                exec.spawn(
+                    copy_name,
+                    Box::new(move |env: ExecEnv| {
+                        let env_out = env.clone();
+                        let body = AssertUnwindSafe(move || {
+                            let mut filter = (graph2.filters[fid.0 as usize].factory)(info);
+                            let mut ctx = FilterCtx {
+                                env,
+                                topo: topo2,
+                                info,
+                                uow: 0,
+                                inputs,
+                                outputs,
+                                metrics: cell,
+                                trace: trace2,
+                                faults: copy_ctl,
+                                my_death,
+                            };
+                            for uow in 0..uows {
+                                ctx.uow = uow;
+                                filter.init(&mut ctx);
+                                if let Err(e) = filter.process(&mut ctx) {
+                                    abort_run(
+                                        &copy_errors,
+                                        RunError::Filter {
+                                            filter: fname.clone(),
+                                            copy: info.copy_index,
+                                            host,
+                                            uow,
+                                            message: e.to_string(),
+                                        },
+                                    );
+                                }
+                                filter.finalize(&mut ctx);
+                                ctx.emit_eow();
+                                if uow + 1 < uows {
+                                    // Work cycles are separated by a global
+                                    // barrier, like the paper's per-query
+                                    // runs.
+                                    if barrier2.wait(&ctx.env) {
+                                        boundaries2.lock().push(ctx.env.now());
+                                    }
+                                }
+                            }
+                        });
+                        if let Err(payload) = std::panic::catch_unwind(body) {
+                            if payload.is::<KilledMarker>() {
+                                // This copy's host crashed. Tally the death
+                                // and withdraw from the inter-UOW barrier so
+                                // the surviving copies are not stranded.
+                                if let Some(ctl) = &kill_ctl {
+                                    ctl.tallies.lock().copies_killed += 1;
+                                }
+                                barrier_out.leave(&env_out);
+                            } else {
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    }),
+                );
+                copy_index += 1;
+            }
+        }
+    }
+
+    // Record the harvest targets, dropping the wiring originals so
+    // channels close when the last real user finishes.
+    let stream_sets: Vec<Vec<(HostId, CopySetCell)>> = streams_rt
+        .iter()
+        .map(|rt| {
+            rt.sets
+                .iter()
+                .map(|s| s.host)
+                .zip(rt.cells.iter().cloned())
+                .collect()
+        })
+        .collect();
+    drop(streams_rt);
+
+    RunWiring {
+        copy_cells,
+        uow_boundaries,
+        stream_sets,
+    }
+}

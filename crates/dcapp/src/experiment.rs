@@ -1,6 +1,6 @@
 //! Running pipelines and validating their output.
 
-use datacutter::{run_app, run_app_faulted, FaultOptions, RunError, RunReport};
+use datacutter::{ExecutorChoice, FaultOptions, Run, RunError, RunReport};
 use hetsim::{SimDuration, Topology};
 use isosurf::Image;
 
@@ -29,6 +29,20 @@ pub fn run_pipeline(
     cfg: &SharedConfig,
     spec: &PipelineSpec,
 ) -> Result<PipelineResult, RunError> {
+    run_pipeline_exec(topo, cfg, spec, datacutter::SimExecutor::new())
+}
+
+/// Build and run `spec` once on `topo` on an explicit execution substrate:
+/// pass a [`datacutter::SimExecutor`] for the deterministic virtual-time
+/// run or a [`datacutter::NativeExecutor`] to execute the same pipeline on
+/// real OS threads. The rendered image is bit-identical on both (merging
+/// is order-independent); only the timing/metrics semantics differ.
+pub fn run_pipeline_exec(
+    topo: &Topology,
+    cfg: &SharedConfig,
+    spec: &PipelineSpec,
+    exec: impl Into<ExecutorChoice>,
+) -> Result<PipelineResult, RunError> {
     let Pipeline {
         graph,
         image,
@@ -36,7 +50,7 @@ pub fn run_pipeline(
         to_merge,
         filters,
     } = build_pipeline(cfg, spec);
-    let report = run_app(topo, graph)?;
+    let report = Run::new(graph).executor(exec).go(topo)?;
     let mut images = std::mem::take(&mut *image.lock());
     assert_eq!(images.len(), 1, "single-UOW run deposits exactly one image");
     Ok(PipelineResult {
@@ -70,7 +84,7 @@ pub fn run_pipeline_faulted(
         to_merge,
         filters,
     } = build_pipeline(cfg, spec);
-    let report = run_app_faulted(topo, graph, 1, opts)?;
+    let report = Run::new(graph).faults(opts).go(topo)?;
     let mut images = std::mem::take(&mut *image.lock());
     assert_eq!(images.len(), 1, "single-UOW run deposits exactly one image");
     Ok(PipelineResult {
@@ -105,7 +119,7 @@ pub fn run_pipeline_uows(
     uows: u32,
 ) -> Result<MultiUowResult, RunError> {
     let Pipeline { graph, image, .. } = build_pipeline(cfg, spec);
-    let report = datacutter::runtime::run_app_uows(topo, graph, uows)?;
+    let report = Run::new(graph).uows(uows).go(topo)?;
     let images = std::mem::take(&mut *image.lock());
     assert_eq!(images.len(), uows as usize, "one image per unit of work");
     let uow_elapsed = report.uow_elapsed();

@@ -73,7 +73,7 @@ pub struct PipelineSpec {
 
 /// Handles returned with a built graph, for running and inspecting it.
 pub struct Pipeline {
-    /// The application graph, ready for `datacutter::run_app`.
+    /// The application graph, ready for `datacutter::Run`.
     pub graph: AppGraph,
     /// Where the merge filter deposits the final image.
     pub image: ImageSlot,

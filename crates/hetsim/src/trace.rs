@@ -106,20 +106,38 @@ impl Trace {
         label: impl Into<String>,
         detail: impl Into<String>,
     ) -> OpenSpan {
+        self.begin_at(env.now(), label, detail)
+    }
+
+    /// Open a span at an explicit timestamp. Lets recorders outside the
+    /// simulation (e.g. a wall-clock executor mapping real elapsed time
+    /// onto the [`SimTime`] axis) use the same trace machinery.
+    pub fn begin_at(
+        &self,
+        now: SimTime,
+        label: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> OpenSpan {
         OpenSpan {
             label: label.into(),
             detail: detail.into(),
-            start: env.now(),
+            start: now,
         }
     }
 
     /// Close a span at the current virtual time and record it.
     pub fn end(&self, env: &Env, open: OpenSpan) {
+        self.end_at(env.now(), open);
+    }
+
+    /// Close a span at an explicit timestamp and record it (the
+    /// counterpart of [`Trace::begin_at`]).
+    pub fn end_at(&self, now: SimTime, open: OpenSpan) {
         let span = Span {
             label: open.label,
             detail: open.detail,
             start: open.start,
-            end: env.now(),
+            end: now,
         };
         let mut t = self.inner.lock();
         if t.spans.len() < t.capacity {

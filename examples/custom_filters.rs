@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use datacutter::{
-    run_app, DataBuffer, Filter, FilterCtx, FilterError, GraphBuilder, Placement, WritePolicy,
+    DataBuffer, Filter, FilterCtx, FilterError, GraphBuilder, Placement, Run, WritePolicy,
 };
 use hetsim::presets::rogue_cluster;
 use hetsim::SimDuration;
@@ -113,7 +113,7 @@ fn main() {
     g.connect(src, wc, WritePolicy::demand_driven());
     g.connect(wc, comb, WritePolicy::RoundRobin);
 
-    let report = run_app(&topo, g.build()).expect("run");
+    let report = Run::new(g.build()).go(&topo).expect("run");
 
     let mut counts: Vec<(String, u64)> = totals
         .lock()

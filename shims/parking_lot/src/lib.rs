@@ -94,6 +94,19 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of a timed condition-variable wait ([`Condvar::wait_for`]).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// A condition variable usable with [`MutexGuard`], parking_lot-style.
 #[derive(Default)]
 pub struct Condvar {
@@ -112,6 +125,25 @@ impl Condvar {
         let g = guard.inner.take().expect("guard present");
         let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(g);
+    }
+
+    /// As [`Condvar::wait`], but give up after `timeout`. Returns a
+    /// [`WaitTimeoutResult`] telling whether the wait timed out (the lock
+    /// is reacquired before returning either way).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => e.into_inner(),
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
     }
 
     /// Wake one waiter.

@@ -4,6 +4,10 @@
 //! load *while the pipeline runs* and check that demand-driven scheduling
 //! adapts — per unit of work, and even within one.
 
+// Deliberately exercises the deprecated `run_app_with` compatibility
+// wrapper.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 
 use datacutter::{Placement, WritePolicy};

@@ -2,6 +2,9 @@
 //! message integrity, FIFO ordering, policy accounting, and determinism
 //! under randomized workloads.
 
+// Deliberately exercises the deprecated `run_app*` compatibility wrappers.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 
 use parking_lot::Mutex;

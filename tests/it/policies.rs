@@ -1,5 +1,8 @@
 //! End-to-end behaviour of the writer policies on the full application.
 
+// Deliberately exercises the deprecated `run_app` compatibility wrapper.
+#![allow(deprecated)]
+
 use datacutter::{Placement, WritePolicy};
 use dcapp::{Algorithm, Grouping, PipelineSpec};
 use integration_tests::{cluster, test_cfg, test_dataset};

@@ -1,0 +1,172 @@
+//! The [`datacutter::Run`] builder: option composition the former
+//! `run_app_*` free functions could not express (trace + faults + setup in
+//! one run), the promoted tuning knobs, and equivalence of the deprecated
+//! compatibility wrappers.
+
+use std::sync::Arc;
+
+use datacutter::{
+    DataBuffer, FaultOptions, Filter, FilterCtx, FilterError, GraphBuilder, Placement, Run,
+    WritePolicy, DEFAULT_COURIER_CAPACITY,
+};
+use hetsim::{spawn_load_generator, FaultPlan, LoadProfile, SimDuration, SimTime, Topology, Trace};
+use integration_tests::cluster;
+use parking_lot::Mutex;
+
+struct Src {
+    n: u32,
+}
+impl Filter for Src {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        for i in 0..self.n {
+            ctx.compute(SimDuration::from_millis(2));
+            ctx.write(0, DataBuffer::new(i, 1024));
+        }
+        Ok(())
+    }
+}
+
+struct Work;
+impl Filter for Work {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        while let Some(b) = ctx.read(0) {
+            let v = b.downcast::<u32>();
+            ctx.compute(SimDuration::from_millis(6));
+            ctx.write(0, DataBuffer::new(v, 1024));
+        }
+        Ok(())
+    }
+}
+
+struct Snk {
+    out: Arc<Mutex<Vec<u32>>>,
+}
+impl Filter for Snk {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        while let Some(b) = ctx.read(0) {
+            self.out.lock().push(b.downcast::<u32>());
+        }
+        Ok(())
+    }
+}
+
+fn workload(
+    topo: &Topology,
+    hosts: &[hetsim::HostId],
+    n: u32,
+) -> (datacutter::AppGraph, Arc<Mutex<Vec<u32>>>) {
+    let _ = topo;
+    let out: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut g = GraphBuilder::new();
+    let s = g.add_filter("src", Placement::on_host(hosts[0], 1), move |_| Src { n });
+    let w = g.add_filter(
+        "work",
+        Placement::one_per_host(&[hosts[1], hosts[2]]),
+        |_| Work,
+    );
+    let out2 = out.clone();
+    let k = g.add_filter("snk", Placement::on_host(hosts[0], 1), move |_| Snk {
+        out: out2.clone(),
+    });
+    g.connect(s, w, WritePolicy::demand_driven());
+    g.connect(w, k, WritePolicy::RoundRobin);
+    (g.build(), out)
+}
+
+/// Regression for the entry-point drift the former free functions forced:
+/// one run combining a trace, an injected host crash, AND a custom setup
+/// hook (a mid-run CPU storm) — a combination `run_app_traced` /
+/// `run_app_faulted` / `run_app_with` could only offer one at a time.
+#[test]
+fn trace_faults_and_setup_combine_in_one_run() {
+    let (topo, hosts) = cluster(3);
+    let (graph, out) = workload(&topo, &hosts, 40);
+    let trace = Trace::new();
+    let crash_at = SimTime::ZERO + SimDuration::from_millis(40);
+    let plan = FaultPlan::new().crash_host(hosts[2], crash_at);
+    let storm_cpu = topo.host(hosts[1]).cpu.clone();
+    let report = Run::new(graph)
+        .trace(trace.clone())
+        .faults(FaultOptions::new(plan))
+        .setup(move |sim| {
+            let profile = LoadProfile {
+                steps: vec![
+                    (SimDuration::from_millis(20), 0),
+                    (SimDuration::from_millis(100), 8),
+                ],
+            };
+            spawn_load_generator(sim, "storm", storm_cpu, profile);
+        })
+        .go(&topo)
+        .unwrap();
+    // The crash happened and was recovered (DD replay loses nothing).
+    let f = &report.faults;
+    assert!(!f.injected.is_empty());
+    assert!(f.copies_killed >= 1, "{f:?}");
+    assert_eq!(f.buffers_lost, 0, "{f:?}");
+    // Every item was still delivered exactly once.
+    let mut v = out.lock().clone();
+    v.sort_unstable();
+    assert_eq!(v, (0..40).collect::<Vec<u32>>());
+    // And the trace saw the copies working.
+    let busy = trace.busy_by_label();
+    let labels: Vec<&str> = busy.iter().map(|(l, _)| l.as_str()).collect();
+    assert!(labels.contains(&"compute"), "{labels:?}");
+    assert!(labels.contains(&"read-wait"), "{labels:?}");
+}
+
+/// The courier queue bound (formerly a silent `1 << 16`) is behaviourally
+/// inert: DD windows cap outstanding acks far below the default bound, so
+/// tightening or widening it leaves the run bit-identical.
+#[test]
+fn courier_capacity_default_is_behaviour_neutral() {
+    let run = |cap: usize| {
+        let (topo, hosts) = cluster(3);
+        let (graph, _out) = workload(&topo, &hosts, 30);
+        Run::new(graph).courier_capacity(cap).go(&topo).unwrap()
+    };
+    let tight = run(DEFAULT_COURIER_CAPACITY);
+    let wide = run(1 << 16);
+    assert_eq!(tight.elapsed, wide.elapsed);
+    assert_eq!(tight.events, wide.events);
+}
+
+/// A larger outbox deepens the compute/transfer overlap; the run must
+/// still deliver everything and never run slower.
+#[test]
+fn outbox_capacity_is_tunable() {
+    let run = |cap: usize| {
+        let (topo, hosts) = cluster(3);
+        let (graph, out) = workload(&topo, &hosts, 30);
+        let report = Run::new(graph).outbox_capacity(cap).go(&topo).unwrap();
+        let delivered = out.lock().len();
+        (report, delivered)
+    };
+    let (small, n_small) = run(1);
+    let (big, n_big) = run(8);
+    assert_eq!(n_small, 30);
+    assert_eq!(n_big, 30);
+    assert!(big.elapsed <= small.elapsed);
+}
+
+/// The deprecated free functions are thin wrappers over the builder:
+/// virtual-time determinism makes the equivalence exact.
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_match_builder() {
+    let run_builder = || {
+        let (topo, hosts) = cluster(3);
+        let (graph, _) = workload(&topo, &hosts, 25);
+        Run::new(graph).uows(2).go(&topo).unwrap()
+    };
+    let run_wrapper = || {
+        let (topo, hosts) = cluster(3);
+        let (graph, _) = workload(&topo, &hosts, 25);
+        datacutter::run_app_uows(&topo, graph, 2).unwrap()
+    };
+    let a = run_builder();
+    let b = run_wrapper();
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.uow_boundaries, b.uow_boundaries);
+}
