@@ -1,0 +1,366 @@
+//! **perf_sweep** — wall-clock timing of the data plane.
+//!
+//! Times scaled-down versions of the fig4/fig5/fig7 + table3 simulator
+//! sweeps plus the 8-copy native stress graph, and writes/merges the
+//! results into `BENCH_dataplane.json` so successive optimization PRs
+//! accumulate a before/after trajectory. Every simulated image is checked
+//! against the sequential reference; a mismatch (or a panic) fails the
+//! run — this is the regression sentinel the `perf-smoke` CI job relies
+//! on, since raw wall-clock numbers are too noisy to gate on in CI.
+//!
+//! Usage: `perf_sweep [--quick] [--label before|after] [--out FILE]
+//! [--no-out]`
+//!
+//! The canonical trajectory workflow: run `--label before` on the
+//! pre-optimization tree, optimize, then run `--label after`; the merged
+//! file keeps both columns and the tool prints the per-sweep reduction.
+
+use std::time::Instant;
+
+use bench::{load_hosts, make_cfg, small_dataset, Table};
+use datacutter::{NativeExecutor, Placement, WritePolicy};
+use dcapp::{
+    reference_image, run_pipeline, run_pipeline_exec, Algorithm, Grouping, PipelineSpec,
+    SharedConfig,
+};
+use hetsim::presets::{rogue_blue_mix, rogue_cluster};
+use hetsim::Topology;
+use volume::{Dataset, Dims, FilePlacement};
+
+/// One timed cell of a sweep.
+struct Entry {
+    id: String,
+    wall_ms: f64,
+    /// Virtual events dispatched (0 for native runs). Identical before
+    /// and after a bit-identity-preserving optimization.
+    events: u64,
+}
+
+struct Options {
+    quick: bool,
+    label: String,
+    out: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        label: "after".to_string(),
+        out: Some("BENCH_dataplane.json".to_string()),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--label" => opts.label = args.next().expect("--label needs a value"),
+            "--out" => opts.out = Some(args.next().expect("--out needs a value")),
+            "--no-out" => opts.out = None,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// The spec used by every simulated cell: the paper's best grouping
+/// (RE–Ra split, raster everywhere) under the demand-driven policy.
+fn spec(hosts: &[hetsim::HostId], alg: Algorithm, merge: hetsim::HostId) -> PipelineSpec {
+    PipelineSpec {
+        grouping: Grouping::RERaSplit {
+            raster: Placement::one_per_host(hosts),
+        },
+        algorithm: alg,
+        policy: WritePolicy::demand_driven(),
+        merge_host: merge,
+    }
+}
+
+/// Run one simulated cell, verify its image against `reference`, and
+/// record the wall-clock time.
+fn sim_cell(
+    entries: &mut Vec<Entry>,
+    id: String,
+    topo: &Topology,
+    cfg: &SharedConfig,
+    s: &PipelineSpec,
+    reference: &isosurf::Image,
+) {
+    let t0 = Instant::now();
+    let r = run_pipeline(topo, cfg, s).expect("sim run failed");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        r.image.diff_pixels(reference),
+        0,
+        "REGRESSION: {id} image diverged from reference"
+    );
+    entries.push(Entry {
+        id,
+        wall_ms,
+        events: r.report.events,
+    });
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut entries: Vec<Entry> = Vec::new();
+    let ds = small_dataset();
+    const IMAGE: u32 = 256;
+
+    // One reference per (dataset, timestep, image) — placement and
+    // topology do not affect pixels.
+    let reference = {
+        let (_, hosts) = rogue_cluster(2);
+        reference_image(&make_cfg(ds.clone(), hosts, 2, IMAGE))
+    };
+
+    // --- fig4: homogeneous Rogue cluster scaling -------------------------
+    let fig4_sizes: &[usize] = if opts.quick { &[2] } else { &[2, 4, 8] };
+    for &n in fig4_sizes {
+        let (topo, hosts) = rogue_cluster(n);
+        let cfg = make_cfg(ds.clone(), hosts.clone(), 2, IMAGE);
+        let s = spec(&hosts, Algorithm::ActivePixel, hosts[0]);
+        sim_cell(
+            &mut entries,
+            format!("fig4/n{n}"),
+            &topo,
+            &cfg,
+            &s,
+            &reference,
+        );
+    }
+
+    // --- fig5: heterogeneous mix under background load (the gated sweep) -
+    let fig5_sizes: &[usize] = if opts.quick { &[2] } else { &[2, 4] };
+    let fig5_bg: &[u32] = if opts.quick { &[0, 4] } else { &[0, 4, 16] };
+    let fig5_algs: &[Algorithm] = if opts.quick {
+        &[Algorithm::ActivePixel]
+    } else {
+        &[Algorithm::ZBuffer, Algorithm::ActivePixel]
+    };
+    for &n_each in fig5_sizes {
+        for &bg in fig5_bg {
+            for &alg in fig5_algs {
+                let (topo, rogues, blues) = rogue_blue_mix(n_each);
+                let mut hosts = rogues.clone();
+                hosts.extend(&blues);
+                let cfg = make_cfg(ds.clone(), hosts.clone(), 2, IMAGE);
+                load_hosts(&topo, &rogues, bg);
+                let s = spec(&hosts, alg, blues[0]);
+                sim_cell(
+                    &mut entries,
+                    format!("fig5/n{n_each}_bg{bg}_{}", alg.label()),
+                    &topo,
+                    &cfg,
+                    &s,
+                    &reference,
+                );
+            }
+        }
+    }
+
+    // --- fig7: skewed data distribution ----------------------------------
+    let fig7_skews: &[u32] = if opts.quick { &[50] } else { &[0, 50] };
+    for &skew in fig7_skews {
+        let (topo, rogues, blues) = rogue_blue_mix(2);
+        let hosts = vec![blues[0], blues[1], rogues[0], rogues[1]];
+        let cfg = {
+            let base = make_cfg(ds.clone(), hosts.clone(), 2, IMAGE);
+            let mut c = dcapp::clone_config(&base);
+            c.placement = FilePlacement::skewed(64, 4, 2, &[0, 1], &[2, 3], skew);
+            std::sync::Arc::new(c)
+        };
+        let s = spec(&hosts, Algorithm::ActivePixel, blues[0]);
+        sim_cell(
+            &mut entries,
+            format!("fig7/skew{skew}"),
+            &topo,
+            &cfg,
+            &s,
+            &reference,
+        );
+    }
+
+    // --- table3: DD buffer distribution (fine-grained batches) -----------
+    {
+        let (topo, rogues, blues) = rogue_blue_mix(2);
+        let mut hosts = rogues.clone();
+        hosts.extend(&blues);
+        let cfg = {
+            let base = make_cfg(ds.clone(), hosts.clone(), 2, IMAGE);
+            let mut c = dcapp::clone_config(&base);
+            c.tri_batch = 96;
+            std::sync::Arc::new(c)
+        };
+        load_hosts(&topo, &rogues, 16);
+        let s = spec(&hosts, Algorithm::ActivePixel, blues[0]);
+        sim_cell(
+            &mut entries,
+            "table3/bg16".to_string(),
+            &topo,
+            &cfg,
+            &s,
+            &reference,
+        );
+    }
+
+    // --- native: 8-copy stress graph on real OS threads ------------------
+    {
+        let nat_ds = Dataset::generate(Dims::new(25, 25, 49), (3, 3, 4), 16, 13);
+        let (topo, hosts) = rogue_cluster(4);
+        let cfg = make_cfg(nat_ds, hosts.clone(), 2, 96);
+        let nat_reference = reference_image(&cfg);
+        let s = PipelineSpec {
+            grouping: Grouping::RERaSplit {
+                raster: Placement {
+                    per_host: hosts.iter().map(|&h| (h, 2)).collect(),
+                },
+            },
+            algorithm: Algorithm::ActivePixel,
+            policy: WritePolicy::demand_driven(),
+            merge_host: hosts[0],
+        };
+        let rounds = if opts.quick { 1 } else { 3 };
+        let t0 = Instant::now();
+        for round in 0..rounds {
+            let r = run_pipeline_exec(&topo, &cfg, &s, NativeExecutor::new())
+                .expect("native run failed");
+            assert_eq!(
+                r.image.diff_pixels(&nat_reference),
+                0,
+                "REGRESSION: native stress round {round} diverged"
+            );
+        }
+        entries.push(Entry {
+            id: format!("native/stress8_x{rounds}"),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            events: 0,
+        });
+    }
+
+    // --- report -----------------------------------------------------------
+    let mut t = Table::new(&["sweep", "wall ms", "events"]);
+    for e in &entries {
+        t.row(vec![
+            e.id.clone(),
+            format!("{:.1}", e.wall_ms),
+            e.events.to_string(),
+        ]);
+    }
+    let mode = if opts.quick { "quick" } else { "full" };
+    t.print(&format!("perf_sweep ({mode}, label {})", opts.label));
+    let fig5_total: f64 = entries
+        .iter()
+        .filter(|e| e.id.starts_with("fig5/"))
+        .map(|e| e.wall_ms)
+        .sum();
+    entries.push(Entry {
+        id: "fig5/total".to_string(),
+        wall_ms: fig5_total,
+        events: 0,
+    });
+    println!("fig5 sweep total: {fig5_total:.1} ms");
+
+    if let Some(path) = opts.out {
+        let merged = merge(&path, &opts.label, &entries);
+        std::fs::write(&path, &merged).expect("write bench json");
+        println!("wrote {path}");
+        print_reductions(&merged);
+    }
+}
+
+/// Merge `entries` under `label` into the JSON at `path` (written only by
+/// this tool, so the line-oriented format below is a stable contract):
+/// one object per line, `"id"` first, then one `"<label>_wall_ms"` and
+/// optionally one `"events"` field per recorded label.
+fn merge(path: &str, label: &str, entries: &[Entry]) -> String {
+    let prior = std::fs::read_to_string(path).unwrap_or_default();
+    let mut rows: Vec<(String, Vec<(String, f64)>)> = prior.lines().filter_map(parse_row).collect();
+    for e in entries {
+        let key = format!("{label}_wall_ms");
+        let row = match rows.iter_mut().find(|(id, _)| *id == e.id) {
+            Some(r) => &mut r.1,
+            None => {
+                rows.push((e.id.clone(), Vec::new()));
+                &mut rows.last_mut().expect("just pushed").1
+            }
+        };
+        match row.iter_mut().find(|(k, _)| *k == key) {
+            Some(kv) => kv.1 = e.wall_ms,
+            None => row.push((key, e.wall_ms)),
+        }
+        if e.events > 0 {
+            match row.iter_mut().find(|(k, _)| k == "events") {
+                Some(kv) => kv.1 = e.events as f64,
+                None => row.push(("events".to_string(), e.events as f64)),
+            }
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, (id, kvs)) in rows.iter().enumerate() {
+        out.push_str(&format!("  {{\"id\": \"{id}\""));
+        for (k, v) in kvs {
+            if k == "events" {
+                out.push_str(&format!(", \"{k}\": {}", *v as u64));
+            } else {
+                out.push_str(&format!(", \"{k}\": {v:.1}"));
+            }
+        }
+        out.push('}');
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parse one row previously written by [`merge`].
+fn parse_row(line: &str) -> Option<(String, Vec<(String, f64)>)> {
+    let id_key = line.find("\"id\": \"")?;
+    let rest = &line[id_key + 7..];
+    let id = rest[..rest.find('"')?].to_string();
+    let mut kvs = Vec::new();
+    let mut s = &rest[rest.find('"')? + 1..];
+    while let Some(q) = s.find('"') {
+        let after = &s[q + 1..];
+        let Some(endq) = after.find('"') else { break };
+        let key = after[..endq].to_string();
+        let after_colon = &after[endq + 1..];
+        let Some(c) = after_colon.find(':') else {
+            break;
+        };
+        let tail = after_colon[c + 1..].trim_start();
+        let num: String = tail
+            .chars()
+            .take_while(|ch| ch.is_ascii_digit() || *ch == '.' || *ch == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            kvs.push((key, v));
+        }
+        s = &after_colon[c + 1..];
+    }
+    Some((id, kvs))
+}
+
+/// Print the before→after reduction for every row carrying both labels.
+fn print_reductions(json: &str) {
+    let mut printed_header = false;
+    for (id, kvs) in json.lines().filter_map(parse_row) {
+        let before = kvs
+            .iter()
+            .find(|(k, _)| k == "before_wall_ms")
+            .map(|kv| kv.1);
+        let after = kvs
+            .iter()
+            .find(|(k, _)| k == "after_wall_ms")
+            .map(|kv| kv.1);
+        if let (Some(b), Some(a)) = (before, after) {
+            if !printed_header {
+                println!("\nbefore -> after:");
+                printed_header = true;
+            }
+            let pct = (1.0 - a / b) * 100.0;
+            println!("  {id}: {b:.1} ms -> {a:.1} ms ({pct:+.1}% reduction)");
+        }
+    }
+}

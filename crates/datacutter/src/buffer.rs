@@ -6,7 +6,12 @@
 //! payload plus an explicit `wire_bytes` — the size the buffer *would*
 //! occupy on the wire, which is what the network emulation charges.
 
-use std::any::Any;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// Framing overhead charged per buffer on top of its payload bytes.
 pub const BUFFER_OVERHEAD_BYTES: u64 = 64;
@@ -82,6 +87,115 @@ impl std::fmt::Debug for DataBuffer {
     }
 }
 
+/// Recycles the heap boxes behind [`DataBuffer`] payloads across unit-of-work
+/// cycles.
+///
+/// Every buffer a filter writes allocates a `Box<dyn Any + Send>`; in steady
+/// state the pipeline creates and destroys one per delivered buffer. The slab
+/// keeps the erased boxes of consumed buffers in per-type free lists so the
+/// next `make` of the same payload type overwrites a recycled box in place
+/// instead of allocating. Payload *contents* are still moved in/out normally
+/// (so interior `Vec`s recycle through their own [`BufferPool`]s); only the
+/// outer box round-trips through the slab.
+///
+/// Clones share the same free lists, so one slab created at run build time
+/// can be handed to every filter copy. The slab is purely an allocation
+/// cache: it never changes what a buffer holds or reports, so runs with and
+/// without it are bit-identical.
+#[derive(Clone, Default)]
+pub struct BufferSlab {
+    inner: Arc<Mutex<FreeLists>>,
+    /// Boxes allocated because no recycled one was available.
+    misses: Arc<AtomicU64>,
+}
+
+/// Per-payload-type free lists of erased boxes.
+type FreeLists = HashMap<TypeId, Vec<Box<dyn Any + Send>>>;
+
+impl BufferSlab {
+    /// An empty slab (no recycled boxes yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap `payload` in a [`DataBuffer`], reusing a recycled box of the
+    /// same payload type when one is available.
+    pub fn make<T: Any + Send>(&self, payload: T, wire_bytes: u64) -> DataBuffer {
+        let recycled = self
+            .inner
+            .lock()
+            .get_mut(&TypeId::of::<T>())
+            .and_then(Vec::pop);
+        let payload: Box<dyn Any + Send> = match recycled {
+            Some(bx) => {
+                let mut bx = bx
+                    .downcast::<T>()
+                    .expect("slab free list keyed by TypeId holds matching boxes");
+                *bx = payload;
+                bx
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Box::new(payload)
+            }
+        };
+        DataBuffer {
+            payload,
+            wire_bytes,
+            type_name: std::any::type_name::<T>(),
+        }
+    }
+
+    /// Consume `buf`, take its payload, and return the emptied box to the
+    /// free list. The payload type must implement [`Default`] so the value
+    /// can be moved out while the box stays allocated.
+    pub fn recycle<T: Any + Send + Default>(&self, buf: DataBuffer) -> T {
+        self.recycle_ctx(buf, "stream")
+    }
+
+    /// [`recycle`](Self::recycle) with a caller-supplied context for the
+    /// mismatch panic, mirroring [`DataBuffer::downcast_ctx`].
+    pub fn recycle_ctx<T: Any + Send + Default>(&self, buf: DataBuffer, ctx: &str) -> T {
+        let mut bx = match buf.payload.downcast::<T>() {
+            Ok(bx) => bx,
+            Err(_) => panic!(
+                "{ctx}: payload type mismatch: expected {}, buffer holds {} ({} wire bytes)",
+                std::any::type_name::<T>(),
+                buf.type_name,
+                buf.wire_bytes,
+            ),
+        };
+        let value = std::mem::take(&mut *bx);
+        self.inner
+            .lock()
+            .entry(TypeId::of::<T>())
+            .or_default()
+            .push(bx as Box<dyn Any + Send>);
+        value
+    }
+
+    /// Number of boxes allocated fresh (free list empty at `make` time).
+    /// In steady state this stops growing: every `make` is fed by a prior
+    /// `recycle`.
+    pub fn allocated(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Boxes currently parked in free lists, across all payload types.
+    pub fn idle(&self) -> usize {
+        self.inner.lock().values().map(Vec::len).sum()
+    }
+}
+
+impl std::fmt::Debug for BufferSlab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferSlab")
+            .field("allocated", &self.allocated())
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +221,55 @@ mod tests {
     fn downcast_mismatch_panics() {
         let b = DataBuffer::new(1u32, 4);
         let _ = b.downcast::<String>();
+    }
+
+    #[test]
+    fn slab_recycles_boxes_per_type() {
+        let slab = BufferSlab::new();
+        let b = slab.make(vec![1u32, 2, 3], 12);
+        assert_eq!(slab.allocated(), 1);
+        assert_eq!(b.wire_bytes(), 12);
+        let v: Vec<u32> = slab.recycle(b);
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(slab.idle(), 1);
+        // Same type: the box is reused, no new allocation recorded.
+        let b2 = slab.make(vec![9u32], 4);
+        assert_eq!(slab.allocated(), 1);
+        assert_eq!(slab.idle(), 0);
+        assert_eq!(b2.downcast::<Vec<u32>>(), vec![9]);
+        // Different type: fresh allocation, independent free list.
+        let s = slab.make(String::from("x"), 1);
+        assert_eq!(slab.allocated(), 2);
+        let _: String = slab.recycle(s);
+    }
+
+    #[test]
+    fn slab_made_buffers_keep_diagnostics() {
+        let slab = BufferSlab::new();
+        let b = slab.make(1u32, 4);
+        let _: u32 = slab.recycle(b);
+        let b = slab.make(2u32, 8);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slab.recycle_ctx::<String>(b, "M filter input")
+        }))
+        .expect_err("mismatched recycle must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("M filter input"), "missing context: {msg}");
+        assert!(msg.contains("u32"), "missing actual type: {msg}");
+        assert!(msg.contains("8 wire bytes"), "missing wire size: {msg}");
+    }
+
+    #[test]
+    fn slab_clones_share_free_lists() {
+        let slab = BufferSlab::new();
+        let clone = slab.clone();
+        let b = slab.make(7i64, 8);
+        let _: i64 = clone.recycle(b);
+        assert_eq!(slab.idle(), 1);
+        let _ = clone.make(8i64, 8);
+        assert_eq!(slab.allocated(), 1, "clone must reuse the shared box");
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub struct FilterCtx {
     pub(crate) faults: Option<Arc<FaultCtl>>,
     /// This copy's scheduled crash time, if its host is on the plan.
     pub(crate) my_death: Option<SimTime>,
+    /// Run-wide recycler for `DataBuffer` payload boxes; shared by every
+    /// copy so boxes released by a consumer feed the next producer `make`.
+    pub(crate) slab: crate::buffer::BufferSlab,
 }
 
 impl FilterCtx {
@@ -123,6 +126,14 @@ impl FilterCtx {
     /// render).
     pub fn uow(&self) -> u32 {
         self.uow
+    }
+
+    /// The run-wide [`BufferSlab`](crate::buffer::BufferSlab). Filters that
+    /// produce and consume buffers in steady state should build them with
+    /// `slab.make` and unwrap them with `slab.recycle_ctx` so the payload
+    /// boxes cycle instead of being reallocated per buffer.
+    pub fn buffer_slab(&self) -> &crate::buffer::BufferSlab {
+        &self.slab
     }
 
     /// Host this copy runs on.

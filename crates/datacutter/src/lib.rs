@@ -79,7 +79,7 @@ pub mod metrics;
 pub mod policy;
 pub mod runtime;
 
-pub use buffer::{DataBuffer, ACK_WIRE_BYTES, BUFFER_OVERHEAD_BYTES};
+pub use buffer::{BufferSlab, DataBuffer, ACK_WIRE_BYTES, BUFFER_OVERHEAD_BYTES};
 pub use context::FilterCtx;
 pub use fault::{FaultOptions, RunError};
 pub use filter::{CopyInfo, Filter, FilterError, FilterFactory};

@@ -214,11 +214,18 @@ struct DemandInner {
     unacked: Vec<u32>,
     window: Vec<u32>,
     waiters: Vec<ProcessId>,
+    /// Native producers currently parked on the credit condvar; acks skip
+    /// the `notify_all` syscall entirely when this is zero (the common
+    /// case: windows rarely fill).
+    native_waiting: usize,
     /// Cumulative buffers sent per copy set (metrics).
     sent: Vec<u64>,
     /// Rotating scan start so ties among remote copy sets spread evenly
     /// instead of biasing toward low indices.
     cursor: usize,
+    /// Reused per-set liveness mask so fault-plan runs don't allocate one
+    /// `Vec<bool>` per `acquire_slot` call.
+    dead_scratch: Vec<bool>,
 }
 
 impl DemandState {
@@ -238,8 +245,10 @@ impl DemandState {
                     .map(|s| window_per_copy.max(1) * s.copies.max(1))
                     .collect(),
                 waiters: Vec::new(),
+                native_waiting: 0,
                 sent: vec![0; sets.len()],
                 cursor: 0,
+                dead_scratch: Vec::with_capacity(sets.len()),
             }),
             credit: Condvar::new(),
             producer_host,
@@ -272,15 +281,20 @@ impl DemandState {
         loop {
             let mut st = self.inner.lock();
             let n = st.sets.len();
-            let mut dead: Option<Vec<bool>> = None;
+            let mut use_dead = false;
             if let Some(ctl) = self.faults.as_ref().filter(|c| c.plan.has_crashes()) {
                 let now = env.now();
-                let mask: Vec<bool> = st
-                    .sets
-                    .iter()
-                    .map(|s| ctl.plan.detectably_dead(s.host, now, ctl.timeout))
-                    .collect();
-                if mask.iter().all(|&d| d) {
+                // Split borrow: refill the reused mask in place instead of
+                // collecting a fresh Vec<bool> per call.
+                let DemandInner {
+                    sets, dead_scratch, ..
+                } = &mut *st;
+                dead_scratch.clear();
+                dead_scratch.extend(
+                    sets.iter()
+                        .map(|s| ctl.plan.detectably_dead(s.host, now, ctl.timeout)),
+                );
+                if dead_scratch.iter().all(|&d| d) {
                     // Degraded: no surviving consumer set. Route to the
                     // least-unacked set regardless of its window.
                     let i = (0..n).min_by_key(|&i| st.unacked[i]).unwrap_or(0);
@@ -289,14 +303,13 @@ impl DemandState {
                     st.cursor = (i + 1) % n;
                     return i;
                 }
-                dead = Some(mask);
+                use_dead = true;
             }
-            let is_dead = |i: usize| dead.as_ref().is_some_and(|m| m[i]);
             let start = st.cursor;
             let mut best: Option<usize> = None;
             for k in 0..n {
                 let i = (start + k) % n;
-                if is_dead(i) || st.unacked[i] >= st.window[i] {
+                if (use_dead && st.dead_scratch[i]) || st.unacked[i] >= st.window[i] {
                     continue;
                 }
                 best = match best {
@@ -344,7 +357,9 @@ impl DemandState {
                         st.cursor = (i + 1) % n;
                         return i;
                     }
+                    st.native_waiting += 1;
                     self.credit.wait(&mut st);
+                    st.native_waiting -= 1;
                 }
             }
         }
@@ -357,7 +372,7 @@ impl DemandState {
     /// runtime's reaper when replaying buffers salvaged from a dead set's
     /// queue.
     pub(crate) fn reroute(&self, env: &ExecEnv, from: usize, alive: &[usize]) -> Option<usize> {
-        let (pick, waiters) = {
+        let (pick, waiters, native_waiting) = {
             let mut st = self.inner.lock();
             st.unacked[from] = st.unacked[from].saturating_sub(1);
             let pick = alive.iter().copied().min_by_key(|&i| st.unacked[i]);
@@ -365,35 +380,46 @@ impl DemandState {
                 st.unacked[i] += 1;
                 st.sent[i] += 1;
             }
-            let waiters: Vec<ProcessId> = st.waiters.drain(..).collect();
-            (pick, waiters)
+            (pick, std::mem::take(&mut st.waiters), st.native_waiting)
         };
-        self.wake(env, waiters);
+        self.wake(env, waiters, native_waiting);
         pick
     }
 
     /// Record an acknowledgment from copy set `idx`, releasing one window
     /// slot and waking any blocked producer.
     pub fn ack(&self, env: &ExecEnv, idx: usize) {
-        let waiters: Vec<ProcessId> = {
+        let (waiters, native_waiting) = {
             let mut st = self.inner.lock();
             st.unacked[idx] = st.unacked[idx].saturating_sub(1);
-            st.waiters.drain(..).collect()
+            (std::mem::take(&mut st.waiters), st.native_waiting)
         };
-        self.wake(env, waiters);
+        self.wake(env, waiters, native_waiting);
     }
 
     /// Wake producers blocked on window credit: sim processes by pid, native
     /// threads via the condvar (the waiter re-checks under the lock, so
-    /// notifying after releasing it is safe).
-    fn wake(&self, env: &ExecEnv, waiters: Vec<ProcessId>) {
+    /// notifying after releasing it is safe). The waiter list's capacity is
+    /// donated back to the shared state so steady-state acks never allocate.
+    fn wake(&self, env: &ExecEnv, mut waiters: Vec<ProcessId>, native_waiting: usize) {
         match env {
             ExecEnv::Sim(e) => {
-                for pid in waiters {
+                for pid in waiters.drain(..) {
                     e.wake(pid);
                 }
+                if waiters.capacity() > 0 {
+                    let mut st = self.inner.lock();
+                    if st.waiters.capacity() < waiters.capacity() {
+                        let prev = std::mem::replace(&mut st.waiters, waiters);
+                        st.waiters.extend(prev);
+                    }
+                }
             }
-            ExecEnv::Native(_) => self.credit.notify_all(),
+            ExecEnv::Native(_) => {
+                if native_waiting > 0 {
+                    self.credit.notify_all();
+                }
+            }
         }
     }
 

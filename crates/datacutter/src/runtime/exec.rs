@@ -192,6 +192,17 @@ impl<T: Send> ChanRx<T> {
             ChanRx::Native(rx) => rx.is_empty(),
         }
     }
+
+    /// Closed *and* empty in one probe — nothing queued and nothing can
+    /// arrive. Polling loops should prefer this over separate
+    /// `is_closed() && is_empty()` calls, which take the channel lock
+    /// twice per tick.
+    pub fn is_drained(&self) -> bool {
+        match self {
+            ChanRx::Sim(rx) => rx.is_drained(),
+            ChanRx::Native(rx) => rx.is_drained(),
+        }
+    }
 }
 
 impl<T: Send> Clone for ChanRx<T> {
@@ -238,6 +249,15 @@ impl ExecBarrier {
 pub trait Transport: Clone + Send + 'static {
     /// A bounded MPMC channel with `capacity` slots (at least 1).
     fn channel<T: Send + 'static>(&self, capacity: usize) -> (ChanTx<T>, ChanRx<T>);
+
+    /// A bounded channel the caller promises has exactly one producer and
+    /// one consumer (endpoints are never cloned). Transports may return a
+    /// cheaper lock-free implementation; the default is the plain MPMC
+    /// channel, so substrates that don't specialize (the deterministic
+    /// simulator) are unaffected.
+    fn spsc_channel<T: Send + 'static>(&self, capacity: usize) -> (ChanTx<T>, ChanRx<T>) {
+        self.channel(capacity)
+    }
 
     /// A cyclic barrier over `participants` processes.
     fn barrier(&self, participants: usize) -> ExecBarrier;

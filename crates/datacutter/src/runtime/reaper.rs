@@ -52,7 +52,7 @@ impl Reaper {
             if now >= self.t_death {
                 break;
             }
-            if self.rx.is_closed() && self.rx.is_empty() {
+            if self.rx.is_drained() {
                 return;
             }
             let tick_end = now + tick;

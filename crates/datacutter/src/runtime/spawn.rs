@@ -149,6 +149,9 @@ pub(crate) fn build<E: Executor>(
         .sum();
     let barrier = transport.barrier(all_copies as usize);
     let uow_boundaries: Arc<Mutex<Vec<SimTime>>> = Arc::new(Mutex::new(Vec::new()));
+    // One payload-box recycler for the whole run: boxes released when a
+    // consumer unwraps a buffer feed the next producer's `make`.
+    let slab = crate::buffer::BufferSlab::new();
 
     let mut copy_cells: Vec<(FilterId, String, usize, HostId, CopyCell)> = Vec::new();
     for (fidx, fspec) in graph.filters.iter().enumerate() {
@@ -188,8 +191,12 @@ pub(crate) fn build<E: Executor>(
                 for &sid in &output_ids {
                     let rt = &streams_rt[sid.0 as usize];
                     let spec = &graph.streams[sid.0 as usize];
+                    // SPSC by construction: the tx lives in this copy's
+                    // OutputPort, the rx in its sender process; neither is
+                    // ever cloned, so the native transport can use the
+                    // lock-free ring.
                     let (outbox_tx, outbox_rx) =
-                        transport.channel::<super::delivery::OutMsg>(tuning.outbox_capacity);
+                        transport.spsc_channel::<super::delivery::OutMsg>(tuning.outbox_capacity);
                     delivery::spawn_sender(
                         exec,
                         SenderCfg {
@@ -237,6 +244,7 @@ pub(crate) fn build<E: Executor>(
                 let kill_ctl = fault_ctl.clone();
                 let copy_errors = error_cell.clone();
                 let my_death = fault_ctl.as_ref().and_then(|c| c.plan.host_death(host));
+                let copy_slab = slab.clone();
                 exec.spawn(
                     copy_name,
                     Box::new(move |env: ExecEnv| {
@@ -254,6 +262,7 @@ pub(crate) fn build<E: Executor>(
                                 trace: trace2,
                                 faults: copy_ctl,
                                 my_death,
+                                slab: copy_slab,
                             };
                             for uow in 0..uows {
                                 ctx.uow = uow;

@@ -167,7 +167,7 @@ pub fn reference_image(cfg: &SharedConfig) -> Image {
     }
     let layout = cfg.dataset.layout();
     let mut tris = Vec::new();
-    for chunk in cfg.selected_chunks() {
+    for &chunk in cfg.selected_chunks() {
         let info = layout.info(chunk);
         let sub = layout.extract(&field, chunk);
         isosurf::extract(&sub, info.cell_origin, cfg.iso, &mut tris);
@@ -193,6 +193,7 @@ pub fn clone_config(cfg: &SharedConfig) -> crate::config::AppConfig {
         zb_band_bytes: cfg.zb_band_bytes,
         placement: cfg.placement.clone(),
         storage_hosts: cfg.storage_hosts.clone(),
+        selected_cache: std::sync::OnceLock::new(),
     }
 }
 

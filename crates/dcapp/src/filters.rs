@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use datacutter::{DataBuffer, Filter, FilterCtx, FilterError};
+use datacutter::{Filter, FilterCtx, FilterError};
 use isosurf::Image;
 use parking_lot::Mutex;
 
@@ -15,19 +15,26 @@ use crate::payload::{ChunkPayload, RaOut, TriBatch};
 /// of work, in UOW order).
 pub type ImageSlot = Arc<Mutex<Vec<Image>>>;
 
+// The write helpers wrap payloads through the run's `BufferSlab` and the
+// read sites unwrap through it, so in steady state the payload boxes cycle
+// producer → consumer → producer with no heap traffic.
+
 fn write_chunk(ctx: &mut FilterCtx, p: ChunkPayload) {
     let wire = p.wire_bytes();
-    ctx.write(0, DataBuffer::new(p, wire));
+    let buf = ctx.buffer_slab().make(p, wire);
+    ctx.write(0, buf);
 }
 
 fn write_tris(ctx: &mut FilterCtx, b: TriBatch) {
     let wire = b.wire_bytes();
-    ctx.write(0, DataBuffer::new(b, wire));
+    let buf = ctx.buffer_slab().make(b, wire);
+    ctx.write(0, buf);
 }
 
 fn write_raout(ctx: &mut FilterCtx, r: RaOut) {
     let wire = r.wire_bytes();
-    ctx.write(0, DataBuffer::new(r, wire));
+    let buf = ctx.buffer_slab().make(r, wire);
+    ctx.write(0, buf);
 }
 
 /// **R** — reads this node's declustered chunks and streams voxel buffers.
@@ -79,7 +86,9 @@ impl Filter for ExtractFilter {
         // consumed and recovery stays lossless.
         let per_chunk = ctx.fail_stop_active();
         while let Some(b) = ctx.read(0) {
-            let chunk = b.downcast_ctx::<ChunkPayload>("E filter input");
+            let chunk = ctx
+                .buffer_slab()
+                .recycle_ctx::<ChunkPayload>(b, "E filter input");
             self.stage.feed(ctx, chunk, write_tris);
             if per_chunk {
                 self.stage.flush(ctx, write_tris);
@@ -132,7 +141,9 @@ impl Filter for RasterFilter {
     fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
         let stage = self.stage.as_mut().expect("init ran");
         while let Some(b) = ctx.read(0) {
-            let batch = b.downcast_ctx::<TriBatch>("Ra filter input");
+            let batch = ctx
+                .buffer_slab()
+                .recycle_ctx::<TriBatch>(b, "Ra filter input");
             stage.feed(&self.cfg, ctx, batch, write_raout);
         }
         stage.finish(&self.cfg, ctx, write_raout);
@@ -171,7 +182,7 @@ impl Filter for MergeFilter {
     fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
         let stage = self.stage.as_mut().expect("init ran");
         while let Some(b) = ctx.read(0) {
-            let out = b.downcast_ctx::<RaOut>("M filter input");
+            let out = ctx.buffer_slab().recycle_ctx::<RaOut>(b, "M filter input");
             stage.feed(ctx, out);
         }
         Ok(())
@@ -251,7 +262,8 @@ impl Filter for PartitionedReadExtractFilter {
         let extract = &mut self.extract;
         let route = |ctx: &mut FilterCtx, band: usize, b: TriBatch| {
             let wire = b.wire_bytes();
-            ctx.write_to(0, band, DataBuffer::new(b, wire));
+            let buf = ctx.buffer_slab().make(b, wire);
+            ctx.write_to(0, band, buf);
         };
         self.read.run(ctx, |ctx, chunk| {
             extract.feed(ctx, chunk, route);
@@ -292,7 +304,9 @@ impl Filter for ExtractRasterFilter {
         let extract = &mut self.extract;
         let cfg = &self.cfg;
         while let Some(b) = ctx.read(0) {
-            let chunk = b.downcast_ctx::<ChunkPayload>("ERa filter input");
+            let chunk = ctx
+                .buffer_slab()
+                .recycle_ctx::<ChunkPayload>(b, "ERa filter input");
             extract.feed(ctx, chunk, |ctx, tris| {
                 raster.feed(cfg, ctx, tris, write_raout);
             });

@@ -24,9 +24,24 @@ impl ChunkPayload {
     }
 }
 
+/// An empty chunk (0-point grid) — the hollow state left behind when the
+/// payload is `mem::take`n out of a recycled buffer box.
+impl Default for ChunkPayload {
+    fn default() -> Self {
+        ChunkPayload {
+            origin: (0, 0, 0),
+            grid: RectGrid {
+                dims: volume::Dims::new(0, 0, 0),
+                data: Vec::new(),
+            },
+        }
+    }
+}
+
 /// E → Ra payload: a batch of extracted triangles. The buffer is pooled:
 /// dropping the batch (after rasterization) recycles it to the extract
 /// stage that produced it.
+#[derive(Default)]
 pub struct TriBatch {
     /// The triangles.
     pub tris: PoolVec<Triangle>,
@@ -56,6 +71,14 @@ pub enum RaOut {
     /// A batch of winning pixels (active-pixel algorithm; streamed
     /// throughout processing).
     Wpa(PoolVec<WinningPixel>),
+}
+
+/// An empty winning-pixel batch — the hollow state left behind when the
+/// payload is `mem::take`n out of a recycled buffer box.
+impl Default for RaOut {
+    fn default() -> Self {
+        RaOut::Wpa(PoolVec::default())
+    }
 }
 
 impl RaOut {

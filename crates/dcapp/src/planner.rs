@@ -46,7 +46,7 @@ const PROBE_CHUNKS: u32 = 16;
 /// Probe the dataset: extract a few representative chunks and scale.
 pub fn estimate_work(cfg: &SharedConfig) -> WorkEstimate {
     let selected: Vec<ChunkId> = {
-        let mut v: Vec<ChunkId> = cfg.selected_chunks().into_iter().collect();
+        let mut v: Vec<ChunkId> = cfg.selected_chunks().iter().copied().collect();
         v.sort_unstable();
         v
     };

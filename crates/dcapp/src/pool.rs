@@ -130,6 +130,17 @@ impl<T> From<Vec<T>> for PoolVec<T> {
     }
 }
 
+/// An empty, homeless buffer — the state `mem::take` leaves behind when a
+/// payload box is recycled through a [`BufferSlab`](datacutter::BufferSlab).
+impl<T> Default for PoolVec<T> {
+    fn default() -> Self {
+        PoolVec {
+            buf: Vec::new(),
+            home: None,
+        }
+    }
+}
+
 impl<T> Deref for PoolVec<T> {
     type Target = [T];
     fn deref(&self) -> &[T] {

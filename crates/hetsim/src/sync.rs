@@ -125,11 +125,14 @@ impl Barrier {
                 // Release the round.
                 st.arrived = 0;
                 st.generation += 1;
-                let waiters = std::mem::take(&mut st.waiters);
+                let mut waiters = std::mem::take(&mut st.waiters);
                 drop(st);
-                for pid in waiters {
+                for pid in waiters.drain(..) {
                     env.wake(pid);
                 }
+                // Donate the emptied vec back so the next round reuses
+                // its capacity instead of reallocating.
+                self.donate(waiters);
                 return true;
             }
             st.waiters.push(env.pid());
@@ -168,8 +171,22 @@ impl Barrier {
                 Vec::new()
             }
         };
-        for pid in waiters {
-            env.wake(pid);
+        if !waiters.is_empty() {
+            let mut waiters = waiters;
+            for pid in waiters.drain(..) {
+                env.wake(pid);
+            }
+            self.donate(waiters);
+        }
+    }
+
+    /// Hand an emptied waiter vec back to the barrier for reuse, keeping
+    /// the larger of the two buffers.
+    fn donate(&self, empty: Vec<ProcessId>) {
+        let mut st = self.inner.lock();
+        if st.waiters.capacity() < empty.capacity() {
+            let prev = std::mem::replace(&mut st.waiters, empty);
+            st.waiters.extend(prev);
         }
     }
 
@@ -346,6 +363,14 @@ impl<T: Send> Receiver<T> {
         self.chan.state.lock().senders == 0
     }
 
+    /// Closed *and* empty in one lock acquisition — nothing queued and
+    /// nothing can arrive. Prefer this in polling loops over separate
+    /// `is_closed() && is_empty()` probes.
+    pub fn is_drained(&self) -> bool {
+        let st = self.chan.state.lock();
+        st.senders == 0 && st.queue.is_empty()
+    }
+
     /// Dequeue without blocking. `Ok(None)` means "empty but open";
     /// `Err(())` means "empty and closed".
     #[allow(clippy::result_unit_err)] // closed-channel has no error payload
@@ -397,13 +422,13 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let wake: Vec<ProcessId> = {
+        let wake: VecDeque<ProcessId> = {
             let mut st = self.chan.state.lock();
             st.senders -= 1;
             if st.senders == 0 {
-                st.recv_waiters.drain(..).collect()
+                std::mem::take(&mut st.recv_waiters)
             } else {
-                Vec::new()
+                VecDeque::new()
             }
         };
         for pid in wake {
@@ -414,13 +439,13 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let wake: Vec<ProcessId> = {
+        let wake: VecDeque<ProcessId> = {
             let mut st = self.chan.state.lock();
             st.receivers -= 1;
             if st.receivers == 0 {
-                st.send_waiters.drain(..).collect()
+                std::mem::take(&mut st.send_waiters)
             } else {
-                Vec::new()
+                VecDeque::new()
             }
         };
         for pid in wake {

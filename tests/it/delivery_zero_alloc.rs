@@ -1,0 +1,158 @@
+//! Proof that the *simulated delivery path* reaches a zero-allocation
+//! steady state: once the run's `BufferSlab`, channel queues, and engine
+//! event slab are warm, each additional buffer carried producer → outbox →
+//! sender → stream queue → consumer performs no heap allocation at all.
+//!
+//! Methodology: two runs of an identical two-filter pipeline that differ
+//! **only** in how many buffers the producer emits (200 vs 2000). Every
+//! structural allocation — topology, threads, channels, warm-up of the
+//! recycling pools — is the same in both, so the difference in global
+//! allocation counts divided by the 1800 extra buffers is the steady-state
+//! allocations-per-delivered-buffer. The test asserts it rounds to zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use datacutter::{Filter, FilterCtx, FilterError, GraphBuilder, Placement, Run, WritePolicy};
+use hetsim::{ClusterSpec, HostId, HostSpec, SimDuration, TopologyBuilder};
+use parking_lot::Mutex;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn topology() -> (hetsim::Topology, Vec<HostId>) {
+    let mut b = TopologyBuilder::new();
+    let c = b.add_cluster(ClusterSpec {
+        name: "c".into(),
+        nic_bandwidth_bps: 100.0e6,
+        nic_latency: SimDuration::from_micros(50),
+    });
+    let hosts = (0..2)
+        .map(|i| {
+            b.add_host(
+                c,
+                HostSpec {
+                    name: format!("h{i}"),
+                    cores: 1,
+                    speed: 1.0,
+                    mem_mb: 256,
+                    disks: 1,
+                    disk_bandwidth_bps: 50.0e6,
+                    disk_seek: SimDuration::from_millis(5),
+                },
+            )
+        })
+        .collect();
+    (b.build(), hosts)
+}
+
+struct Src {
+    n: u32,
+}
+impl Filter for Src {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        for i in 0..self.n {
+            let b = ctx.buffer_slab().make(i as u64, 128);
+            ctx.write(0, b);
+        }
+        Ok(())
+    }
+}
+
+struct Sink {
+    sum: Arc<Mutex<u64>>,
+}
+impl Filter for Sink {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        let mut local = 0u64;
+        while let Some(b) = ctx.read(0) {
+            local = local.wrapping_add(ctx.buffer_slab().recycle::<u64>(b));
+        }
+        *self.sum.lock() = local;
+        Ok(())
+    }
+}
+
+/// Run the two-filter pipeline delivering `n` buffers; returns the global
+/// allocation count consumed by the whole run and the payload checksum
+/// (proof the buffers actually flowed).
+fn run_once(policy: WritePolicy, n: u32) -> (u64, u64) {
+    let (topo, hosts) = topology();
+    let sum: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+    let sum2 = sum.clone();
+    let mut g = GraphBuilder::new();
+    let src = g.add_filter("src", Placement::on_host(hosts[0], 1), move |_| Src { n });
+    let sink = g.add_filter("sink", Placement::on_host(hosts[1], 1), move |_| Sink {
+        sum: sum2.clone(),
+    });
+    g.connect(src, sink, policy);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    Run::new(g.build()).go(&topo).expect("pipeline run failed");
+    let after = ALLOCS.load(Ordering::Relaxed);
+    let got = *sum.lock();
+    (after - before, got)
+}
+
+fn expected_sum(n: u32) -> u64 {
+    (0..n as u64).sum()
+}
+
+fn assert_zero_marginal_allocs(policy: WritePolicy) {
+    const SMALL: u32 = 200;
+    const LARGE: u32 = 2000;
+    // Throwaway run to warm lazy statics, thread-spawn machinery, and the
+    // allocator itself, so the two measured runs are structurally identical.
+    let _ = run_once(policy, SMALL);
+
+    let (small_allocs, small_sum) = run_once(policy, SMALL);
+    let (large_allocs, large_sum) = run_once(policy, LARGE);
+    assert_eq!(small_sum, expected_sum(SMALL));
+    assert_eq!(large_sum, expected_sum(LARGE));
+
+    let extra_buffers = (LARGE - SMALL) as i64;
+    let delta = large_allocs as i64 - small_allocs as i64;
+    // Zero steady-state allocations per delivered buffer: the 1800 extra
+    // buffers may not add more than a sliver of amortized container growth
+    // (well under 2% of one allocation per buffer, and far from 1:1).
+    assert!(
+        delta <= extra_buffers / 64,
+        "{}: {} extra allocations for {} extra delivered buffers \
+         ({} vs {} total) — delivery path is allocating per buffer",
+        policy.label(),
+        delta,
+        extra_buffers,
+        large_allocs,
+        small_allocs,
+    );
+}
+
+#[test]
+fn round_robin_delivery_steady_state_is_allocation_free() {
+    assert_zero_marginal_allocs(WritePolicy::RoundRobin);
+}
+
+#[test]
+fn demand_driven_delivery_steady_state_is_allocation_free() {
+    assert_zero_marginal_allocs(WritePolicy::demand_driven());
+}

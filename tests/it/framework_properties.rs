@@ -326,3 +326,68 @@ proptest! {
         prop_assert_eq!(report.faults.buffers_lost, 0);
     }
 }
+
+// ---- BufferSlab properties -------------------------------------------------
+
+proptest! {
+    /// Random interleavings of `make` and `recycle` never alias live
+    /// payloads: every outstanding buffer keeps exactly the value it was
+    /// built with, even as boxes cycle through the slab's free lists
+    /// underneath.
+    #[test]
+    fn buffer_slab_never_aliases_live_payloads(
+        ops in prop::collection::vec((any::<bool>(), any::<u16>()), 1..200),
+    ) {
+        let slab = datacutter::BufferSlab::new();
+        let mut live: Vec<(DataBuffer, u64)> = Vec::new();
+        let mut token = 0u64;
+        for (do_recycle, sel) in ops {
+            if do_recycle && !live.is_empty() {
+                let (buf, expect) = live.remove(sel as usize % live.len());
+                let got: Vec<u64> = slab.recycle(buf);
+                prop_assert_eq!(got, vec![expect; 3]);
+            } else {
+                token += 1;
+                live.push((slab.make(vec![token; 3], token), token));
+            }
+            // If a recycled box were handed out while its previous owner
+            // was still live, the overwrite above would corrupt one of
+            // these payloads.
+            for (buf, expect) in &live {
+                prop_assert_eq!(buf.peek::<Vec<u64>>(), Some(&vec![*expect; 3]));
+                prop_assert_eq!(buf.wire_bytes(), *expect);
+            }
+        }
+        // Free-list bookkeeping: allocations are bounded by the peak number
+        // of simultaneously live buffers, not by the number of makes.
+        prop_assert!(slab.allocated() <= token);
+    }
+
+    /// Buffers built from recycled boxes carry fresh diagnostics — the new
+    /// `wire_bytes` and the new payload's type name, not the previous
+    /// occupant's.
+    #[test]
+    fn buffer_slab_recycled_buffers_keep_diagnostics(wires in prop::collection::vec(1u64..10_000, 1..40)) {
+        let slab = datacutter::BufferSlab::new();
+        // Seed the free list so every subsequent make reuses a box.
+        let seed = slab.make(vec![0u8], 1);
+        let _: Vec<u8> = slab.recycle(seed);
+        for &w in &wires {
+            let b = slab.make(vec![7u8, 8], w);
+            prop_assert_eq!(b.wire_bytes(), w);
+            prop_assert_eq!(b.peek::<Vec<u8>>(), Some(&vec![7u8, 8]));
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                slab.recycle_ctx::<String>(b, "diag probe")
+            }))
+            .expect_err("mismatched recycle must panic");
+            let msg = err.downcast_ref::<String>().expect("string panic payload");
+            prop_assert!(msg.contains("diag probe"), "missing context: {}", msg);
+            prop_assert!(msg.contains("alloc::vec::Vec<u8>"), "missing actual type: {}", msg);
+            prop_assert!(msg.contains(&format!("{w} wire bytes")), "missing wire size: {}", msg);
+            // The panicking recycle consumed the box; reseed for the next
+            // iteration.
+            let seed = slab.make(vec![0u8], 1);
+            let _: Vec<u8> = slab.recycle(seed);
+        }
+    }
+}
