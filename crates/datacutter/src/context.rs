@@ -12,12 +12,13 @@ use hetsim::{DeadlineRecv, Env, HostId, SimDuration, SimTime, Topology};
 use parking_lot::Mutex;
 
 use crate::buffer::DataBuffer;
-use crate::fault::{raise_killed, FaultCtl};
+use crate::fault::{abort_run, raise_killed, CopyHealth, ErrorCell, FaultCtl, RunError};
 use crate::filter::CopyInfo;
 use crate::metrics::CopyCell;
-use crate::policy::{AckHandle, WriterState};
+use crate::policy::{AckHandle, CopySetInfo, WriterState};
 use crate::runtime::delivery::{Envelope, OutMsg};
 use crate::runtime::eow::UowGate;
+use crate::runtime::exec::DeadlineSend;
 use crate::runtime::{ChanRx, ChanTx, ExecEnv};
 
 pub(crate) struct InputPort {
@@ -25,12 +26,13 @@ pub(crate) struct InputPort {
     pub inject_tx: ChanTx<Envelope>,
     pub courier_tx: ChanTx<AckHandle>,
     pub gate: Arc<Mutex<UowGate>>,
-    /// Gates of the *other* copy sets on this stream, with their hosts.
-    /// When a peer set's host is dead its reaper may still be replaying
-    /// salvaged buffers into this queue; this set must not declare
-    /// end-of-work until the dead peer's gate has advanced past the
-    /// current UOW (all its salvageable traffic for the cycle forwarded).
-    pub peer_gates: Vec<(HostId, Arc<Mutex<UowGate>>)>,
+    /// Gates of the *other* copy sets on this stream, with their set
+    /// descriptions. When a peer set is dead its reaper may still be
+    /// replaying salvaged buffers into this queue; this set must not
+    /// declare end-of-work until the dead peer's gate has advanced past
+    /// the current UOW (all its salvageable traffic for the cycle
+    /// forwarded).
+    pub peer_gates: Vec<(CopySetInfo, Arc<Mutex<UowGate>>)>,
     pub copyset_counters: crate::metrics::CopySetCell,
 }
 
@@ -61,6 +63,20 @@ pub struct FilterCtx {
     /// Run-wide recycler for `DataBuffer` payload boxes; shared by every
     /// copy so boxes released by a consumer feed the next producer `make`.
     pub(crate) slab: crate::buffer::BufferSlab,
+    /// Filter name (for structured errors).
+    pub(crate) name: Arc<str>,
+    /// Shared cell for the run's first structured error.
+    pub(crate) errors: ErrorCell,
+    /// Deadline for handing an acknowledgment to the courier queue; a
+    /// full queue past this is a [`RunError::CourierStall`].
+    pub(crate) courier_deadline: SimDuration,
+    /// Heartbeat record scanned by the supervisor (supervised runs only).
+    pub(crate) health: Option<Arc<CopyHealth>>,
+    /// Per-port latch: `true` once `read` returned end-of-work for the
+    /// current UOW. Keeps a supervised restart of the same UOW from
+    /// blocking on a port whose (single) `UowDone` token it already
+    /// consumed before panicking. Reset by [`begin_uow`](Self::begin_uow).
+    pub(crate) port_done: Vec<bool>,
 }
 
 impl FilterCtx {
@@ -75,6 +91,24 @@ impl FilterCtx {
         }
     }
 
+    /// Record a heartbeat (supervised runs; no-op otherwise).
+    fn beat(&self) {
+        if let Some(h) = &self.health {
+            h.beat(self.env.now());
+        }
+    }
+
+    /// Enter unit of work `uow`: advances the cycle counter and re-arms the
+    /// per-port end-of-work latches. Called by the copy loop at each cycle
+    /// start — and *not* on a supervised restart of the same UOW, so
+    /// already-consumed `UowDone` tokens stay consumed.
+    pub(crate) fn begin_uow(&mut self, uow: u32) {
+        self.uow = uow;
+        for d in self.port_done.iter_mut() {
+            *d = false;
+        }
+    }
+
     /// True when no dead peer copy set can still replay buffers for the
     /// current UOW into `port`'s queue. A dead peer's reaper forwards
     /// salvaged buffers in FIFO order and advances the dead gate's cycle
@@ -82,14 +116,14 @@ impl FilterCtx {
     /// that producer's data) has been salvaged, so `cycle > uow` proves
     /// all replays for `uow` have already been enqueued here.
     fn replays_settled(&self, port: usize) -> bool {
-        let Some(ctl) = self.faults.as_ref().filter(|c| c.plan.has_crashes()) else {
+        let Some(ctl) = self.faults.as_ref().filter(|c| c.crashes_possible()) else {
             return true;
         };
         let now = self.env.now();
         self.inputs[port]
             .peer_gates
             .iter()
-            .all(|(h, g)| !ctl.plan.is_dead(*h, now) || g.lock().cycle() > self.uow)
+            .all(|(s, g)| !ctl.set_dead(s, now) || g.lock().cycle() > self.uow)
     }
 
     /// If this host is inside a scheduled stall window, sleep until the
@@ -117,7 +151,7 @@ impl FilterCtx {
     /// per input buffer while this returns true instead of batching
     /// output across buffers.
     pub fn fail_stop_active(&self) -> bool {
-        self.faults.as_ref().is_some_and(|c| c.plan.has_crashes())
+        self.faults.as_ref().is_some_and(|c| c.crashes_possible())
     }
 
     /// Index of the current unit of work (0-based). A work cycle runs
@@ -176,8 +210,15 @@ impl FilterCtx {
     /// as they are dequeued — "the buffer is now being processed", as the
     /// paper puts it.
     pub fn read(&mut self, port: usize) -> Option<DataBuffer> {
+        if self.port_done[port] {
+            // A restarted copy re-reading a port whose end-of-work it
+            // already consumed this UOW: the token is gone, so answer
+            // from the latch instead of blocking on an empty queue.
+            return None;
+        }
         loop {
             self.check_killed();
+            self.beat();
             let span = self.trace.as_ref().map(|(t, who)| {
                 (
                     t.clone(),
@@ -188,7 +229,7 @@ impl FilterCtx {
             let liveness = self
                 .faults
                 .as_ref()
-                .filter(|c| c.plan.has_crashes())
+                .filter(|c| c.crashes_possible())
                 .cloned();
             let got = if let Some(ctl) = liveness {
                 // Liveness-aware receive: wake every `timeout` to probe the
@@ -249,7 +290,27 @@ impl FilterCtx {
                     if let Some(ack) = ack {
                         // Hand to the ack courier; the courier pays the
                         // reverse network path so this copy keeps working.
-                        let _ = self.inputs[port].courier_tx.send(&self.env, ack);
+                        // The handoff is bounded: a courier queue full past
+                        // the deadline means the courier is wedged, and
+                        // blocking indefinitely would wedge this copy too.
+                        let deadline = self.env.now() + self.courier_deadline;
+                        match self.inputs[port]
+                            .courier_tx
+                            .send_deadline(&self.env, ack, deadline)
+                        {
+                            DeadlineSend::Sent | DeadlineSend::Closed => {}
+                            DeadlineSend::TimedOut => {
+                                abort_run(
+                                    &self.errors,
+                                    RunError::CourierStall {
+                                        filter: self.name.to_string(),
+                                        copy: self.info.copy_index,
+                                        host: self.info.host,
+                                        waited: self.courier_deadline,
+                                    },
+                                );
+                            }
+                        }
                     }
                     return Some(buf);
                 }
@@ -277,7 +338,10 @@ impl FilterCtx {
                         }
                     }
                 }
-                Some(Envelope::UowDone) | None => return None,
+                Some(Envelope::UowDone) | None => {
+                    self.port_done[port] = true;
+                    return None;
+                }
             }
         }
     }
@@ -293,6 +357,7 @@ impl FilterCtx {
     /// can never restore. Letting the in-flight unit flush keeps a
     /// demand-driven run bit-identical after recovery.
     pub fn write(&mut self, port: usize, buf: DataBuffer) {
+        self.beat();
         let t0 = self.env.now();
         let out = &mut self.outputs[port];
         let idx = out.writer.select(&self.env);
@@ -301,7 +366,8 @@ impl FilterCtx {
             copyset_idx: idx,
         });
         let bytes = buf.wire_bytes();
-        out.outbox_tx
+        if out
+            .outbox_tx
             .send(
                 &self.env,
                 OutMsg::Data {
@@ -309,7 +375,18 @@ impl FilterCtx {
                     envelope: Envelope::Data { buf, ack },
                 },
             )
-            .unwrap_or_else(|_| panic!("outbox closed while filter still writing"));
+            .is_err()
+        {
+            abort_run(
+                &self.errors,
+                RunError::ChannelClosed {
+                    filter: self.name.to_string(),
+                    copy: self.info.copy_index,
+                    host: self.info.host,
+                    what: "outbox",
+                },
+            );
+        }
         let waited = self.env.now() - t0;
         let mut m = self.metrics.lock();
         m.buffers_out += 1;
@@ -323,10 +400,12 @@ impl FilterCtx {
     /// rendering, where a triangle must go to the raster copy set owning
     /// its screen region. No demand-driven acknowledgment is generated.
     pub fn write_to(&mut self, port: usize, copyset_idx: usize, buf: DataBuffer) {
+        self.beat();
         let t0 = self.env.now();
         let out = &mut self.outputs[port];
         let bytes = buf.wire_bytes();
-        out.outbox_tx
+        if out
+            .outbox_tx
             .send(
                 &self.env,
                 OutMsg::Data {
@@ -334,7 +413,18 @@ impl FilterCtx {
                     envelope: Envelope::Data { buf, ack: None },
                 },
             )
-            .unwrap_or_else(|_| panic!("outbox closed while filter still writing"));
+            .is_err()
+        {
+            abort_run(
+                &self.errors,
+                RunError::ChannelClosed {
+                    filter: self.name.to_string(),
+                    copy: self.info.copy_index,
+                    host: self.info.host,
+                    what: "outbox",
+                },
+            );
+        }
         let waited = self.env.now() - t0;
         let mut m = self.metrics.lock();
         m.buffers_out += 1;
@@ -361,6 +451,7 @@ impl FilterCtx {
     /// background jobs). On the native executor there is no emulated CPU
     /// to occupy: the call only tallies the work in the copy's metrics.
     pub fn compute(&mut self, work: SimDuration) {
+        self.beat();
         self.stall_if_frozen();
         let span = self.trace.as_ref().map(|(t, who)| {
             (
@@ -393,6 +484,7 @@ impl FilterCtx {
         // is observed here — before new data is produced, never between
         // a dequeue and the flush of its results.
         self.check_killed();
+        self.beat();
         self.stall_if_frozen();
         let host = self.topo.host(self.info.host);
         assert!(

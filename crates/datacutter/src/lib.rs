@@ -77,11 +77,15 @@ pub mod filter;
 pub mod graph;
 pub mod metrics;
 pub mod policy;
+// The runtime hosts the panic-containment and supervision machinery; an
+// `unwrap`/`expect` here is an uncontained panic path, so the banned-method
+// list in the workspace `clippy.toml` is enforced as an error.
+#[deny(clippy::disallowed_methods)]
 pub mod runtime;
 
 pub use buffer::{BufferSlab, DataBuffer, ACK_WIRE_BYTES, BUFFER_OVERHEAD_BYTES};
 pub use context::FilterCtx;
-pub use fault::{FaultOptions, RunError};
+pub use fault::{backoff_delay, FaultOptions, NativeFaultPlan, RunError, SupervisorPolicy};
 pub use filter::{CopyInfo, Filter, FilterError, FilterFactory};
 pub use graph::{AppGraph, FilterId, GraphBuilder, Placement, StreamId, DEFAULT_QUEUE_CAPACITY};
 pub use metrics::{CopyCounters, CopyReport, FaultReport, RunReport, StreamReport};
@@ -90,5 +94,6 @@ pub use policy::{CopySetInfo, DemandState, WritePolicy};
 pub use runtime::{run_app, run_app_faulted, run_app_traced, run_app_uows, run_app_with};
 pub use runtime::{
     Clock, ExecEnv, ExecStats, Executor, ExecutorChoice, NativeExecutor, Run, SimExecutor,
-    Transport, DEFAULT_COURIER_CAPACITY, DEFAULT_OUTBOX_CAPACITY, DEFAULT_RETRANSMIT_DELAY,
+    Transport, DEFAULT_COURIER_CAPACITY, DEFAULT_COURIER_DEADLINE, DEFAULT_OUTBOX_CAPACITY,
+    DEFAULT_RETRANSMIT_DELAY,
 };

@@ -107,8 +107,14 @@ pub struct FaultReport {
     pub bytes_lost: u64,
     /// Message transmissions repeated because of injected drops.
     pub retransmits: u64,
-    /// `true` when the run completed with partial output (`buffers_lost
-    /// > 0`).
+    /// Supervised in-place restarts of panicked filter copies.
+    pub restarts: u64,
+    /// Copies the supervisor declared dead for missing heartbeats.
+    pub copies_wedged: u64,
+    /// Messages held back by injected per-message delays.
+    pub messages_delayed: u64,
+    /// `true` when the run completed with partial output (buffers lost
+    /// or copies wedged).
     pub degraded: bool,
 }
 

@@ -63,6 +63,13 @@ pub struct CopySetInfo {
     pub host: HostId,
     /// Number of transparent copies in the set.
     pub copies: u32,
+    /// The consumer filter the set belongs to.
+    pub filter: crate::graph::FilterId,
+    /// Global (per-filter) index of the set's first copy; copies
+    /// `first_copy .. first_copy + copies` make up the set. Together with
+    /// `filter` this lets liveness queries consult the per-copy death
+    /// registry, not just the host's scheduled crash.
+    pub first_copy: usize,
 }
 
 /// Per-producer-copy policy state.
@@ -160,12 +167,12 @@ impl WriterState {
                 faults,
             } => {
                 let n = schedule.len();
-                if let Some(ctl) = faults.as_ref().filter(|c| c.plan.has_crashes()) {
+                if let Some(ctl) = faults.as_ref().filter(|c| c.crashes_possible()) {
                     let now = env.now();
                     for _ in 0..n {
                         let idx = schedule[*pos];
                         *pos = (*pos + 1) % n;
-                        if !ctl.plan.detectably_dead(sets[idx].host, now, ctl.timeout) {
+                        if !ctl.set_detectably_dead(&sets[idx], now) {
                             return idx;
                         }
                     }
@@ -282,7 +289,7 @@ impl DemandState {
             let mut st = self.inner.lock();
             let n = st.sets.len();
             let mut use_dead = false;
-            if let Some(ctl) = self.faults.as_ref().filter(|c| c.plan.has_crashes()) {
+            if let Some(ctl) = self.faults.as_ref().filter(|c| c.crashes_possible()) {
                 let now = env.now();
                 // Split borrow: refill the reused mask in place instead of
                 // collecting a fresh Vec<bool> per call.
@@ -290,10 +297,7 @@ impl DemandState {
                     sets, dead_scratch, ..
                 } = &mut *st;
                 dead_scratch.clear();
-                dead_scratch.extend(
-                    sets.iter()
-                        .map(|s| ctl.plan.detectably_dead(s.host, now, ctl.timeout)),
-                );
+                dead_scratch.extend(sets.iter().map(|s| ctl.set_detectably_dead(s, now)));
                 if dead_scratch.iter().all(|&d| d) {
                     // Degraded: no surviving consumer set. Route to the
                     // least-unacked set regardless of its window.
@@ -336,7 +340,7 @@ impl DemandState {
                 ExecEnv::Sim(sim_env) => {
                     st.waiters.push(sim_env.pid());
                     drop(st);
-                    match self.faults.as_ref().filter(|c| c.plan.has_crashes()) {
+                    match self.faults.as_ref().filter(|c| c.crashes_possible()) {
                         // Timed block so we re-probe liveness: an ack may
                         // never come from a consumer set that died with our
                         // credit outstanding.
@@ -358,7 +362,19 @@ impl DemandState {
                         return i;
                     }
                     st.native_waiting += 1;
-                    self.credit.wait(&mut st);
+                    match self.faults.as_ref().filter(|c| c.crashes_possible()) {
+                        // Timed wait for the same reason as the sim path
+                        // above: the ack releasing our credit may never
+                        // arrive from a consumer set that died (or is
+                        // declared dead by the supervisor) while holding it.
+                        Some(ctl) => {
+                            let _ = self.credit.wait_for(
+                                &mut st,
+                                std::time::Duration::from_nanos(ctl.timeout.as_nanos()),
+                            );
+                        }
+                        None => self.credit.wait(&mut st),
+                    }
                     st.native_waiting -= 1;
                 }
             }
@@ -449,20 +465,20 @@ mod tests {
     use super::*;
     use hetsim::Simulation;
 
+    fn set(host: HostId, copies: u32, first_copy: usize) -> CopySetInfo {
+        CopySetInfo {
+            host,
+            copies,
+            filter: crate::graph::FilterId(0),
+            first_copy,
+        }
+    }
+
     fn sets3() -> Vec<CopySetInfo> {
         vec![
-            CopySetInfo {
-                host: HostId(0),
-                copies: 1,
-            },
-            CopySetInfo {
-                host: HostId(1),
-                copies: 2,
-            },
-            CopySetInfo {
-                host: HostId(2),
-                copies: 1,
-            },
+            set(HostId(0), 1, 0),
+            set(HostId(1), 2, 1),
+            set(HostId(2), 1, 3),
         ]
     }
 
@@ -537,10 +553,7 @@ mod tests {
     #[test]
     fn dd_blocks_at_window_until_ack() {
         let mut sim = Simulation::new();
-        let sets = vec![CopySetInfo {
-            host: HostId(0),
-            copies: 1,
-        }];
+        let sets = vec![set(HostId(0), 1, 0)];
         let state_slot: Arc<Mutex<Option<Arc<DemandState>>>> = Arc::new(Mutex::new(None));
         let slot2 = state_slot.clone();
         let progress: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
@@ -573,10 +586,7 @@ mod tests {
     #[test]
     fn dd_window_scales_with_copies() {
         let mut sim = Simulation::new();
-        let sets = vec![CopySetInfo {
-            host: HostId(0),
-            copies: 3,
-        }];
+        let sets = vec![set(HostId(0), 3, 0)];
         sim.spawn("p", move |env| {
             let env = ExecEnv::from(env);
             let mut w = WriterState::new(

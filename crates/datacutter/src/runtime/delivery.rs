@@ -122,6 +122,18 @@ pub(crate) fn spawn_sender<E: Executor>(exec: &mut E, cfg: SenderCfg, outbox_rx:
                                 }
                             }
                         }
+                        if let Some(ctl) = faults.as_ref().filter(|c| c.plan.has_delays()) {
+                            // Seeded per-message latency injection (chaos
+                            // testing): hold the message on the wire for the
+                            // plan's extra delay before it reaches the
+                            // consumer queue.
+                            if to != host {
+                                if let Some(d) = ctl.plan.message_delay(drop_key, seq) {
+                                    env.delay(d);
+                                    ctl.tallies.lock().messages_delayed += 1;
+                                }
+                            }
+                        }
                         seq += 1;
                         charge_transfer(&env, &topo, host, to, bytes);
                         if targets[copyset_idx].send(&env, envelope).is_err() {

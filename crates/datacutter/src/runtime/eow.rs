@@ -7,14 +7,28 @@
 use hetsim::{HostId, SimTime};
 
 use crate::fault::FaultCtl;
+use crate::graph::FilterId;
+
+/// Identity of one producer copy feeding a gate: enough to ask the fault
+/// control block whether that specific copy is dead (scheduled host crash
+/// *or* a supervised death declaration).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ProducerRef {
+    /// Host the producer copy runs on.
+    pub host: HostId,
+    /// The producing filter.
+    pub filter: FilterId,
+    /// Global (per-filter) copy index.
+    pub copy: usize,
+}
 
 /// Per-copy-set end-of-work accounting: when markers from all producer
 /// copies have been seen for the current UOW — or the missing producers
 /// are provably dead under the active fault plan — each consumer copy in
 /// the set gets one `UowDone`.
 pub(crate) struct UowGate {
-    /// Host of each producer copy, in copy-index order.
-    producer_hosts: Vec<HostId>,
+    /// Producer copies feeding this gate, in copy-index order.
+    producers: Vec<ProducerRef>,
     /// Consumer copies in this set (each gets one `UowDone` per cycle).
     copies: u32,
     /// Which producer copies' markers have been seen this cycle.
@@ -24,10 +38,10 @@ pub(crate) struct UowGate {
 }
 
 impl UowGate {
-    pub fn new(producer_hosts: Vec<HostId>, copies: u32) -> Self {
-        let n = producer_hosts.len();
+    pub fn new(producers: Vec<ProducerRef>, copies: u32) -> Self {
+        let n = producers.len();
         UowGate {
-            producer_hosts,
+            producers,
             copies,
             eow_seen: vec![false; n],
             cycle: 0,
@@ -51,15 +65,19 @@ impl UowGate {
     }
 
     /// Fire if every producer copy has either delivered its marker for the
-    /// cycle matching `uow` or is dead under `faults` at virtual time
-    /// `now`. The cycle guard keeps a consumer that has already finished
-    /// `uow` from double-firing on late liveness probes.
+    /// cycle matching `uow` or is dead under `faults` at time `now` (by
+    /// scheduled crash or dynamic declaration). The cycle guard keeps a
+    /// consumer that has already finished `uow` from double-firing on late
+    /// liveness probes.
     pub fn try_fire(&mut self, uow: u32, faults: Option<&FaultCtl>, now: SimTime) -> Option<u32> {
         if self.cycle != uow {
             return None;
         }
         let complete = self.eow_seen.iter().enumerate().all(|(i, &seen)| {
-            seen || faults.is_some_and(|c| c.plan.is_dead(self.producer_hosts[i], now))
+            seen || faults.is_some_and(|c| {
+                let p = &self.producers[i];
+                c.copy_dead(p.filter, p.copy, p.host, now)
+            })
         });
         if !complete {
             return None;

@@ -78,10 +78,13 @@ impl ExecEnv {
     }
 
     /// The simulation environment of a process that is known to run on the
-    /// virtual-time substrate (fault machinery is sim-only by design).
+    /// virtual-time substrate (sim channel endpoints are only ever driven
+    /// by sim processes — the wiring layer guarantees it).
     pub(crate) fn expect_sim(&self) -> &Env {
-        self.sim()
-            .expect("this runtime path requires the virtual-time SimExecutor")
+        match self.sim() {
+            Some(e) => e,
+            None => unreachable!("this runtime path requires the virtual-time SimExecutor"),
+        }
     }
 }
 
@@ -136,6 +139,18 @@ pub enum ChanRx<T: Send> {
     Native(NativeRx<T>),
 }
 
+/// Outcome of a bounded-deadline send ([`ChanTx::send_deadline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineSend {
+    /// The value was enqueued.
+    Sent,
+    /// Every receiver hung up; the value was discarded.
+    Closed,
+    /// The channel stayed full until the deadline; the value was
+    /// discarded.
+    TimedOut,
+}
+
 impl<T: Send> ChanTx<T> {
     /// Send `value`, blocking while the channel is full. `Err` returns the
     /// value when every receiver is gone.
@@ -143,6 +158,25 @@ impl<T: Send> ChanTx<T> {
         match self {
             ChanTx::Sim(tx) => tx.send(env.expect_sim(), value),
             ChanTx::Native(tx) => tx.send(value),
+        }
+    }
+
+    /// Send with a deadline on the executor's time axis: block while the
+    /// channel is full, but give up at `deadline`. On the deterministic
+    /// simulator the deadline is not enforced — a sim channel drains in
+    /// bounded virtual time or the engine reports a deadlock, so the timed
+    /// variant degrades to the plain blocking send and scheduling stays
+    /// bit-identical to the pre-deadline runtime.
+    pub fn send_deadline(&self, env: &ExecEnv, value: T, deadline: SimTime) -> DeadlineSend {
+        match (self, env) {
+            (ChanTx::Sim(tx), _) => match tx.send(env.expect_sim(), value) {
+                Ok(()) => DeadlineSend::Sent,
+                Err(_) => DeadlineSend::Closed,
+            },
+            (ChanTx::Native(tx), ExecEnv::Native(ne)) => tx.send_deadline(ne, value, deadline),
+            (ChanTx::Native(_), ExecEnv::Sim(_)) => {
+                unreachable!("native channel endpoint driven from a sim process")
+            }
         }
     }
 }
@@ -268,6 +302,13 @@ pub trait Transport: Clone + Send + 'static {
     fn cancel_scope(&self) -> Option<Arc<CancelScope>> {
         None
     }
+
+    /// Declare the process spawned under `name` abandoned: it is presumed
+    /// wedged and will never finish, and the executor should not wait for
+    /// it at the end of the run. The default is a no-op — cooperative
+    /// substrates have no preemption problem; the native executor detaches
+    /// the thread.
+    fn abandon(&self, _name: &str) {}
 }
 
 /// Summary statistics of one executor run (mirrors [`hetsim::RunStats`]).

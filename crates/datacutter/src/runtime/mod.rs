@@ -7,7 +7,8 @@
 //! * [`spawn`] — copy instantiation and stream wiring,
 //! * [`delivery`] — outbox senders, ack couriers, retransmission,
 //! * [`eow`] — end-of-work gates (UOW cycle separation),
-//! * [`reaper`] — dead-set salvage and demand-driven replay.
+//! * [`reaper`] — dead-set salvage and demand-driven replay,
+//! * [`supervisor`] — wedge detection and eviction for supervised runs.
 //!
 //! Runs are configured with the [`Run`] builder:
 //!
@@ -30,6 +31,7 @@ pub mod exec;
 pub mod native;
 pub mod reaper;
 pub mod spawn;
+pub mod supervisor;
 
 use std::sync::Arc;
 
@@ -62,12 +64,20 @@ pub const DEFAULT_COURIER_CAPACITY: usize = 1024;
 /// Default back-off before re-sending a message the fault plan dropped.
 pub const DEFAULT_RETRANSMIT_DELAY: SimDuration = SimDuration::from_millis(1);
 
+/// Default deadline for handing an acknowledgment to a full courier
+/// queue; exceeding it fails the run with [`RunError::CourierStall`]
+/// instead of blocking forever. Enforced on the native executor (the
+/// deterministic substrate keeps the original blocking send so virtual
+/// timelines stay bit-identical).
+pub const DEFAULT_COURIER_DEADLINE: SimDuration = SimDuration::from_millis(5_000);
+
 /// Runtime tuning knobs carried from the [`Run`] builder into the wiring.
 #[derive(Clone, Copy)]
 pub(crate) struct Tuning {
     pub outbox_capacity: usize,
     pub courier_capacity: usize,
     pub retransmit_delay: SimDuration,
+    pub courier_deadline: SimDuration,
 }
 
 impl Default for Tuning {
@@ -76,6 +86,7 @@ impl Default for Tuning {
             outbox_capacity: DEFAULT_OUTBOX_CAPACITY,
             courier_capacity: DEFAULT_COURIER_CAPACITY,
             retransmit_delay: DEFAULT_RETRANSMIT_DELAY,
+            courier_deadline: DEFAULT_COURIER_DEADLINE,
         }
     }
 }
@@ -161,7 +172,12 @@ impl Run {
     /// producer copies, and replay of unacknowledged demand-driven buffers
     /// from dead copy sets to survivors. The returned report's
     /// [`RunReport::faults`] records what was injected and repaired.
-    /// Virtual-time only.
+    ///
+    /// Works on both substrates: the same plan runs bit-reproducibly on
+    /// the virtual-time executor and in wall-clock time on the native
+    /// executor (use [`crate::fault::NativeFaultPlan`] to build options
+    /// for the latter). NIC degradation (`degrade_nic`) needs the
+    /// simulation's bandwidth drivers and stays virtual-time only.
     ///
     /// Two caveats on the reported `elapsed` under a plan with crashes: a
     /// crash scheduled after the pipeline naturally finishes extends the
@@ -213,6 +229,15 @@ impl Run {
         self
     }
 
+    /// Deadline for handing an acknowledgment to a full courier queue
+    /// before the run fails with [`RunError::CourierStall`] (default
+    /// [`DEFAULT_COURIER_DEADLINE`]; native executor only — the
+    /// deterministic substrate keeps the original blocking send).
+    pub fn courier_deadline(mut self, deadline: SimDuration) -> Self {
+        self.tuning.courier_deadline = deadline;
+        self
+    }
+
     /// Execute the run on `topo` and harvest the report.
     pub fn go(self, topo: &Topology) -> Result<RunReport, RunError> {
         assert!(self.uows >= 1, "at least one unit of work");
@@ -245,17 +270,31 @@ impl Run {
                 )
             }
             ExecutorChoice::Native(exec) => {
-                if self.faults.is_some() {
-                    return Err(RunError::Unsupported {
-                        what: "fault injection requires the virtual-time SimExecutor".into(),
-                    });
+                // Crashes, stalls, drops, delays and supervision are pure
+                // time-indexed queries consulted by the runtime machinery
+                // and work on wall-clock time too; only NIC degradation
+                // needs the simulation's bandwidth drivers.
+                if let Some(ctl) = &fault_ctl {
+                    if ctl.plan.has_degrades() {
+                        return Err(RunError::Unsupported {
+                            what: "NIC degradation requires the virtual-time SimExecutor".into(),
+                        });
+                    }
                 }
                 if self.setup.is_some() {
                     return Err(RunError::Unsupported {
                         what: "simulation setup hooks require the virtual-time SimExecutor".into(),
                     });
                 }
-                drive(exec, topo, graph, self.uows, self.trace, None, self.tuning)
+                drive(
+                    exec,
+                    topo,
+                    graph,
+                    self.uows,
+                    self.trace,
+                    fault_ctl,
+                    self.tuning,
+                )
             }
         }
     }
@@ -336,7 +375,10 @@ fn drive<E: Executor>(
                 buffers_lost: t.buffers_lost,
                 bytes_lost: t.bytes_lost,
                 retransmits: t.retransmits,
-                degraded: t.buffers_lost > 0,
+                restarts: t.restarts,
+                copies_wedged: t.copies_wedged,
+                messages_delayed: t.messages_delayed,
+                degraded: t.buffers_lost > 0 || t.copies_wedged > 0,
             }
         }
         None => FaultReport::default(),
@@ -353,11 +395,14 @@ fn drive<E: Executor>(
 }
 
 /// Keep the process-wide panic hook from printing "thread panicked"
-/// noise for the runtime's two *sentinel* panics — the [`KilledMarker`]
-/// unwinding a crashed filter copy (caught at the copy's spawn wrapper)
-/// and the [`crate::fault::ABORT_MSG`] abort after a structured
-/// [`RunError`] was recorded (mapped back to the cell's contents). Real
-/// panics still reach the previous hook untouched.
+/// noise for panics the runtime handles itself: the two *sentinel*
+/// panics — the [`KilledMarker`] unwinding a crashed filter copy (caught
+/// at the copy's spawn wrapper) and the [`crate::fault::ABORT_MSG`]
+/// abort after a structured [`RunError`] was recorded (mapped back to
+/// the cell's contents) — plus any panic raised inside a filter-callback
+/// containment scope, which the copy wrapper converts to a structured
+/// error or a supervised restart. Real panics elsewhere still reach the
+/// previous hook untouched.
 fn silence_sentinel_panics() {
     static INSTALL: std::sync::Once = std::sync::Once::new();
     INSTALL.call_once(|| {
@@ -367,7 +412,8 @@ fn silence_sentinel_panics() {
             let sentinel = payload.is::<KilledMarker>()
                 || payload
                     .downcast_ref::<String>()
-                    .is_some_and(|s| s == crate::fault::ABORT_MSG);
+                    .is_some_and(|s| s == crate::fault::ABORT_MSG)
+                || crate::fault::panics_contained();
             if !sentinel {
                 prev(info);
             }

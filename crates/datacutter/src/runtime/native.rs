@@ -17,7 +17,7 @@
 //! waits return) so every thread can unwind and join.
 
 use std::cell::UnsafeCell;
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::mem::MaybeUninit;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
@@ -28,8 +28,18 @@ use hetsim::{DeadlineRecv, SendError, SimDuration, SimError, SimTime};
 use parking_lot::{Condvar, Mutex};
 
 use super::exec::{
-    ChanRx, ChanTx, ExecBarrier, ExecEnv, ExecStats, Executor, SpawnBody, Transport,
+    ChanRx, ChanTx, DeadlineSend, ExecBarrier, ExecEnv, ExecStats, Executor, SpawnBody, Transport,
 };
+
+/// Take the value a send loop is still holding. The loops below place the
+/// value in an `Option` so it can be returned on channel closure; inside
+/// the loop body the option is always occupied.
+fn held<T>(slot: &mut Option<T>) -> T {
+    match slot.take() {
+        Some(v) => v,
+        None => unreachable!("send loop still holds its value"),
+    }
+}
 
 /// Wall-clock environment of one native thread: time is nanoseconds since
 /// the run started, on the same `SimTime` axis the reports use.
@@ -195,14 +205,13 @@ impl<T: Send> Spsc<T> {
                 return Ok(());
             }
             if !self.rx_alive.load(Ordering::SeqCst) {
-                return Err(SendError(slot.take().expect("value still held")));
+                return Err(SendError(held(&mut slot)));
             }
             let tail = self.tail.load(Ordering::Relaxed);
             let head = self.head.load(Ordering::Acquire);
             if tail.wrapping_sub(head) <= self.mask {
                 unsafe {
-                    (*self.slots[tail & self.mask].get())
-                        .write(slot.take().expect("value still held"));
+                    (*self.slots[tail & self.mask].get()).write(held(&mut slot));
                 }
                 self.tail.store(tail.wrapping_add(1), Ordering::SeqCst);
                 if self.waiting.load(Ordering::SeqCst) & RX_WAITING != 0 {
@@ -417,10 +426,10 @@ impl<T: Send> NativeTx<T> {
                 return Ok(());
             }
             if st.receivers == 0 {
-                return Err(SendError(slot.take().expect("value still held")));
+                return Err(SendError(held(&mut slot)));
             }
             if st.queue.len() < ch.capacity {
-                st.queue.push_back(slot.take().expect("value still held"));
+                st.queue.push_back(held(&mut slot));
                 let wake = st.recv_waiting > 0;
                 drop(st);
                 if wake {
@@ -430,6 +439,53 @@ impl<T: Send> NativeTx<T> {
             }
             st.send_waiting += 1;
             ch.not_full.wait(&mut st);
+            st.send_waiting -= 1;
+        }
+    }
+
+    /// Send with a deadline on the run's wall-clock `SimTime` axis: block
+    /// while the queue is full, but give up (discarding the value) at
+    /// `deadline`. SPSC endpoints fall back to the plain blocking send —
+    /// the runtime only bounds its fan-in (MPMC) handoffs, and the SPSC
+    /// ring's consumer is the one peer whose liveness the producer already
+    /// tracks.
+    pub fn send_deadline(&self, env: &NativeEnv, value: T, deadline: SimTime) -> DeadlineSend {
+        let ch = match &self.inner {
+            TxEnd::Spsc(_) => {
+                return match self.send(value) {
+                    Ok(()) => DeadlineSend::Sent,
+                    Err(_) => DeadlineSend::Closed,
+                };
+            }
+            TxEnd::Mpmc(ch) => ch,
+        };
+        let mut slot = Some(value);
+        let mut st = ch.st.lock();
+        loop {
+            if ch.cancel.is_cancelled() {
+                // Match `send`: a cancelled run discards quietly so
+                // unwinding producers don't trip secondary failures.
+                return DeadlineSend::Sent;
+            }
+            if st.receivers == 0 {
+                return DeadlineSend::Closed;
+            }
+            if st.queue.len() < ch.capacity {
+                st.queue.push_back(held(&mut slot));
+                let wake = st.recv_waiting > 0;
+                drop(st);
+                if wake {
+                    ch.not_empty.notify_one();
+                }
+                return DeadlineSend::Sent;
+            }
+            let now = env.now();
+            if now >= deadline {
+                return DeadlineSend::TimedOut;
+            }
+            let remaining = Duration::from_nanos(deadline.since(now).as_nanos());
+            st.send_waiting += 1;
+            let _ = ch.not_full.wait_for(&mut st, remaining);
             st.send_waiting -= 1;
         }
     }
@@ -682,11 +738,28 @@ impl NativeBarrier {
 
 // ---- transport + executor ------------------------------------------------
 
+/// Completion ledger of one native run: which spawned threads have
+/// finished, and which have been declared abandoned (wedged — presumed
+/// never to finish). The executor's `run` waits until every thread is one
+/// or the other, joins the finished and detaches the abandoned.
+struct RunWaiters {
+    st: Mutex<RunWaitState>,
+    cv: Condvar,
+}
+
+struct RunWaitState {
+    /// Per-thread finished flags, indexed by spawn order. Sized by `run`.
+    done: Vec<bool>,
+    /// Thread names declared abandoned via [`Transport::abandon`].
+    abandoned: HashSet<String>,
+}
+
 /// Transport building native channels and barriers, all registered with
 /// the run's [`CancelScope`].
 #[derive(Clone)]
 pub struct NativeTransport {
     cancel: Arc<CancelScope>,
+    waiters: Arc<RunWaiters>,
 }
 
 impl Transport for NativeTransport {
@@ -706,6 +779,13 @@ impl Transport for NativeTransport {
 
     fn cancel_scope(&self) -> Option<Arc<CancelScope>> {
         Some(self.cancel.clone())
+    }
+
+    fn abandon(&self, name: &str) {
+        let mut st = self.waiters.st.lock();
+        st.abandoned.insert(name.to_string());
+        drop(st);
+        self.waiters.cv.notify_all();
     }
 }
 
@@ -727,6 +807,13 @@ impl NativeExecutor {
             start: Instant::now(),
             transport: NativeTransport {
                 cancel: CancelScope::new(),
+                waiters: Arc::new(RunWaiters {
+                    st: Mutex::new(RunWaitState {
+                        done: Vec::new(),
+                        abandoned: HashSet::new(),
+                    }),
+                    cv: Condvar::new(),
+                }),
             },
             pending: Vec::new(),
             first_panic: Arc::new(Mutex::new(None)),
@@ -754,12 +841,16 @@ impl Executor for NativeExecutor {
     fn run(&mut self) -> Result<ExecStats, SimError> {
         let env = NativeEnv { start: self.start };
         let processes = self.pending.len() as u32;
+        let waiters = self.transport.waiters.clone();
+        waiters.st.lock().done = vec![false; self.pending.len()];
         let mut handles = Vec::with_capacity(self.pending.len());
-        for (name, body) in self.pending.drain(..) {
+        let mut names = Vec::with_capacity(self.pending.len());
+        for (index, (name, body)) in self.pending.drain(..).enumerate() {
             let cancel = self.transport.cancel.clone();
             let first_panic = self.first_panic.clone();
             let thread_name = name.clone();
-            let handle = std::thread::Builder::new()
+            let w = waiters.clone();
+            let spawned = std::thread::Builder::new()
                 .name(name.clone())
                 .spawn(move || {
                     let result = std::panic::catch_unwind(AssertUnwindSafe(move || {
@@ -774,12 +865,41 @@ impl Executor for NativeExecutor {
                         first_panic.lock().get_or_insert((thread_name, message));
                         cancel.cancel();
                     }
-                })
-                .expect("spawn native executor thread");
+                    let mut st = w.st.lock();
+                    st.done[index] = true;
+                    drop(st);
+                    w.cv.notify_all();
+                });
+            let handle = match spawned {
+                Ok(h) => h,
+                Err(e) => panic!("spawn native executor thread: {e}"),
+            };
             handles.push(handle);
+            names.push(name);
         }
-        for h in handles {
-            let _ = h.join();
+        // Wait until every thread has either finished or been declared
+        // abandoned (wedged) by the supervisor; then join the finished and
+        // detach the abandoned (their detached threads die with the
+        // process, or whenever their blocking call finally returns).
+        {
+            let mut st = waiters.st.lock();
+            loop {
+                let pending = names
+                    .iter()
+                    .enumerate()
+                    .any(|(i, n)| !st.done[i] && !st.abandoned.contains(n));
+                if !pending {
+                    break;
+                }
+                waiters.cv.wait(&mut st);
+            }
+        }
+        for (i, h) in handles.into_iter().enumerate() {
+            let finished = waiters.st.lock().done[i];
+            if finished {
+                let _ = h.join();
+            }
+            // Not finished ⇒ abandoned: dropping the handle detaches it.
         }
         let end_time = env.now();
         if let Some((process, message)) = self.first_panic.lock().take() {
@@ -794,6 +914,7 @@ impl Executor for NativeExecutor {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

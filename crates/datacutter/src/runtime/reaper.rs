@@ -1,10 +1,21 @@
-//! Dead-set salvage: one reaper process per copy set whose host is
-//! scheduled to crash. The reaper waits (without consuming) until the
-//! crash, then drains the dead queue for the rest of the run, replaying
-//! demand-driven buffers to surviving copy sets and tallying
-//! unrecoverable ones as lost. Fault plans only exist under the
-//! virtual-time executor, so reapers are sim-only by construction.
+//! Dead-set salvage: a reaper process per doomed copy set. The reaper
+//! waits (without consuming) until the set's death, then drains the dead
+//! queue for the rest of the run, replaying demand-driven buffers to
+//! surviving copy sets and tallying unrecoverable ones as lost.
+//!
+//! Under a pure fault *plan* the doomed sets are known upfront, so spawn
+//! wires one reaper per scheduled death with a fixed death time — the
+//! original (bit-identical) configuration. Under *supervision* any copy
+//! can die at runtime (restart budget exhausted, wedge detection), so
+//! every set gets a reaper that probes the fault control block's merged
+//! death oracle each tick. Once the run's shutdown flag rises (every copy
+//! finished or died) a supervised reaper drains whatever is stranded in
+//! its queue — counting data buffers as lost, since no consumer remains —
+//! and exits; it must *not* simply wait for emptiness, because a wedged
+//! peer's reaper may replay buffers into a set that already completed the
+//! cycle before the wedge was even detected.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use hetsim::{DeadlineRecv, SimTime, Topology};
@@ -12,26 +23,34 @@ use parking_lot::Mutex;
 
 use super::delivery::Envelope;
 use super::eow::UowGate;
-use super::exec::{ChanRx, ChanTx, ExecEnv};
+use super::exec::{charge_transfer, ChanRx, ChanTx, ExecEnv};
+use super::native::CancelScope;
 use crate::fault::{abort_run, ErrorCell, FaultCtl, RunError};
 use crate::policy::{AckHandle, CopySetInfo};
 
-/// Salvages the copy-set queue of a host scheduled to crash: waits
-/// (without consuming) until the crash, then drains the queue for the
-/// rest of the run, replaying demand-driven buffers to surviving copy
-/// sets and tallying unrecoverable ones as lost.
+/// Salvages the copy-set queue of a doomed (or potentially doomed) copy
+/// set: waits without consuming until the set dies, then drains the queue
+/// for the rest of the run, replaying demand-driven buffers to surviving
+/// copy sets and tallying unrecoverable ones as lost.
 pub(crate) struct Reaper {
     pub ctl: Arc<FaultCtl>,
     pub errors: ErrorCell,
     pub rx: ChanRx<Envelope>,
-    /// Replay targets: `(copyset_idx, sender)` for every set on the stream
-    /// with *no* scheduled death. Holding senders keeps a channel open, so
-    /// the reaper must not hold one to its own queue (it would never see
-    /// it close) nor to another doomed set's (two reapers would keep each
-    /// other alive); sets that die later just never receive replays.
+    /// Replay targets: `(copyset_idx, sender)`. Under a pure plan this
+    /// lists every set with *no* scheduled death — holding senders keeps a
+    /// channel open, so the reaper must not hold one to its own queue (it
+    /// would never see it close) nor to another doomed set's (two reapers
+    /// would keep each other alive). Under supervision every other set is
+    /// listed (deaths aren't known upfront); the keep-alive problem is
+    /// solved by the shutdown flag instead, and dead targets are filtered
+    /// out at replay time.
     pub survivors: Vec<(usize, ChanTx<Envelope>)>,
     pub sets: Vec<CopySetInfo>,
-    pub t_death: SimTime,
+    /// This reaper's own copy set (`sets[own_idx]`), for the death oracle.
+    pub own_idx: usize,
+    /// The scheduled death, when wired from a pure plan; `None` under
+    /// supervision, where the death time is probed from `ctl` each tick.
+    pub t_death: Option<SimTime>,
     pub topo: Topology,
     pub stream: String,
     /// The dead set's own end-of-work gate: the reaper advances its cycle
@@ -39,40 +58,98 @@ pub(crate) struct Reaper {
     /// for a given UOW can arrive (see `FilterCtx::replays_settled`).
     pub gate: Arc<Mutex<UowGate>>,
     pub uows: u32,
+    /// Set once every filter copy of the run has finished or died;
+    /// supervised reapers use it as their drain-and-exit signal, since
+    /// cross-held survivor senders keep their channels from ever closing.
+    /// `None` under a pure plan.
+    pub shutdown: Option<Arc<AtomicBool>>,
+    /// The native run's cancellation scope (`None` on the simulator and
+    /// before the native transport hands one out). The supervisor flips
+    /// it as a last resort after abandoning a wedged thread; a waiting
+    /// reaper must observe it rather than sleep forever.
+    pub cancel: Option<Arc<CancelScope>>,
 }
 
 impl Reaper {
-    pub fn run(self, env: ExecEnv) {
+    /// The set's death time, as currently known.
+    fn death_time(&self) -> Option<SimTime> {
+        match self.t_death {
+            Some(t) => Some(t),
+            None => self.ctl.set_death(&self.sets[self.own_idx]),
+        }
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Acquire))
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+    }
+
+    pub fn run(mut self, env: ExecEnv) {
         let tick = self.ctl.timeout;
-        // Phase 1: wait for the crash without consuming anything the live
+        // Phase 1: wait for the death without consuming anything the live
         // consumers should get; exit early if the stream drains and closes
-        // first (crash scheduled past the end of the run).
+        // first (death scheduled past the end of the run, or a supervised
+        // set that never dies). Shutdown also ends the wait: every copy
+        // has finished or died, so nothing this queue holds — or still
+        // receives — will ever be consumed, and phase 2 absorbs it as
+        // losses instead of insisting on emptiness (a wedged peer's
+        // reaper may have replayed buffers here *after* this live set
+        // already completed the cycle).
         loop {
+            if self.cancelled() {
+                return;
+            }
             let now = env.now();
-            if now >= self.t_death {
-                break;
+            let death = self.death_time();
+            if let Some(t) = death {
+                if now >= t {
+                    break;
+                }
             }
             if self.rx.is_drained() {
                 return;
             }
+            if self.shutdown_requested() {
+                break;
+            }
             let tick_end = now + tick;
-            let next = if self.t_death < tick_end {
-                self.t_death
-            } else {
-                tick_end
+            let next = match death {
+                Some(t) if t < tick_end => t,
+                _ => tick_end,
             };
             env.delay(next - now);
         }
         // Phase 2: the set's consumers are dead (they stop dequeuing at
-        // the crash instant); everything still in — or still arriving on —
-        // this queue is ours to salvage, until every producer-side sender
-        // hangs up.
+        // the death instant) or the whole run has retired; everything
+        // still in — or still arriving on — this queue is ours to
+        // salvage, until every producer-side sender hangs up (pure plan)
+        // or the run shuts down (supervision). No cancellation check in
+        // this loop: on a cancelled scope `recv_deadline` keeps yielding
+        // queued items and reports `Closed` once empty, so the drain —
+        // and its loss accounting — always completes.
         loop {
+            if self.shutdown_requested() {
+                // The run is over. Release the cross-held survivor
+                // senders — peer reapers' queues can then close, and the
+                // cross-hold cycle cannot keep two drained reapers alive —
+                // and stop replaying: with every copy retired, a "replay"
+                // has no consumer and must be accounted a loss.
+                self.survivors.clear();
+            }
             self.advance_gate(&env);
             let deadline = env.now() + tick;
             match self.rx.recv_deadline(&env, deadline) {
                 DeadlineRecv::Closed => return,
-                DeadlineRecv::TimedOut => continue,
+                DeadlineRecv::TimedOut => {
+                    if self.shutdown_requested() && self.rx.is_empty() {
+                        return;
+                    }
+                }
                 DeadlineRecv::Item(envelope) => self.salvage(&env, envelope),
             }
         }
@@ -100,14 +177,26 @@ impl Reaper {
                 buf,
                 ack: Some(ack),
             } => {
-                let alive: Vec<usize> = self.survivors.iter().map(|&(i, _)| i).collect();
+                // Under supervision a listed target may itself have died
+                // since wiring; filter those out so two dead sets can't
+                // ping-pong a buffer between their reapers forever.
+                let now = env.now();
+                let supervised = self.shutdown.is_some();
+                let alive: Vec<usize> = self
+                    .survivors
+                    .iter()
+                    .map(|&(i, _)| i)
+                    .filter(|&i| !supervised || !self.ctl.set_dead(&self.sets[i], now))
+                    .collect();
                 match ack.state.reroute(env, ack.copyset_idx, &alive) {
                     Some(new_idx) => {
                         // Replay: charge the retransmission from the
-                        // producer to the surviving host, then re-enqueue
-                        // with the ack handle re-addressed.
-                        self.topo.transfer(
-                            env.expect_sim(),
+                        // producer to the surviving host (emulated network,
+                        // sim only), then re-enqueue with the ack handle
+                        // re-addressed.
+                        charge_transfer(
+                            env,
+                            &self.topo,
                             ack.state.producer_host(),
                             self.sets[new_idx].host,
                             buf.transport_bytes(),
@@ -120,12 +209,15 @@ impl Reaper {
                                 copyset_idx: new_idx,
                             }),
                         };
-                        let tx = self
+                        let tx = match self
                             .survivors
                             .iter()
                             .find(|&&(i, _)| i == new_idx)
                             .map(|(_, tx)| tx)
-                            .expect("reroute only picks from the survivor list");
+                        {
+                            Some(tx) => tx,
+                            None => unreachable!("reroute only picks from the survivor list"),
+                        };
                         if tx.send(env, replay).is_ok() {
                             let mut t = self.ctl.tallies.lock();
                             t.buffers_replayed += 1;

@@ -8,21 +8,48 @@
 //! per stream: couriers (one per copy set, interleaved with channel
 //! creation); then reapers; then per filter copy: one sender per output
 //! port followed by the copy itself — so simulation runs stay bit-for-bit
-//! identical.
+//! identical. Supervision (opt-in) appends processes strictly *after*
+//! that sequence (extra reapers per stream, the supervisor last), so
+//! plan-only runs are untouched.
+//!
+//! ## Panic containment and supervised restarts
+//!
+//! Every filter callback runs under `catch_unwind` inside a containment
+//! scope. The two runtime sentinels pass through untouched (the
+//! [`KilledMarker`] of a scheduled host crash, handled by the copy's
+//! outer wrapper; the abort sentinel of a recorded [`RunError`]). A
+//! *real* panic out of user filter code is converted:
+//!
+//! * unsupervised — the run aborts with [`RunError::FilterPanic`]; the
+//!   process never crashes;
+//! * supervised with restart budget left — the copy waits out a seeded,
+//!   jittered exponential backoff, re-instantiates its filter from the
+//!   graph's factory **on the same thread** (its channel endpoints cannot
+//!   be re-created) and resumes the current unit of work from the
+//!   remaining queue contents;
+//! * supervised, budget exhausted — the copy is declared dead in the
+//!   merged death oracle and takes the regular crash path (degraded
+//!   completion with loss accounting), or aborts the run when degraded
+//!   completion is disallowed.
 
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize};
 use std::sync::Arc;
 
 use hetsim::{HostId, SimTime, Topology};
 use parking_lot::Mutex;
 
 use super::delivery::{self, Envelope, SenderCfg};
-use super::eow::UowGate;
+use super::eow::{ProducerRef, UowGate};
 use super::exec::{ChanRx, ChanTx, ExecEnv, Executor, Transport};
 use super::reaper::Reaper;
+use super::supervisor::{copy_retired, CopyRecord, Supervisor};
 use super::Tuning;
 use crate::context::{FilterCtx, InputPort, OutputPort};
-use crate::fault::{abort_run, ErrorCell, FaultCtl, KilledMarker, RunError};
+use crate::fault::{
+    abort_run, contain_scope, panic_message, raise_killed, CopyHealth, CopyState, ErrorCell,
+    FaultCtl, KilledMarker, RunError, ABORT_MSG,
+};
 use crate::filter::CopyInfo;
 use crate::graph::{AppGraph, FilterId};
 use crate::metrics::{CopyCell, CopyCounters, CopySetCell};
@@ -37,6 +64,27 @@ pub(crate) struct RunWiring {
     pub uow_boundaries: Arc<Mutex<Vec<SimTime>>>,
     /// Per stream: `(host, counters)` of each consumer copy set.
     pub stream_sets: Vec<Vec<(HostId, CopySetCell)>>,
+}
+
+/// Retire a finished-or-dead copy from the supervised liveness
+/// accounting. The health-state transition is the arbiter against the
+/// supervisor's wedge scan: whoever moves the state out of `Running`
+/// owns the live-copy decrement, so a wedge declaration racing a
+/// late-finishing thread can never double-account. No-op on
+/// unsupervised runs (no health record).
+fn retire(
+    health: &Option<Arc<CopyHealth>>,
+    live: &Option<Arc<AtomicUsize>>,
+    shutdown: &Option<Arc<AtomicBool>>,
+    state: CopyState,
+) {
+    let Some(h) = health else { return };
+    if !h.try_transition(CopyState::Running, state) {
+        return;
+    }
+    if let (Some(l), Some(s)) = (live, shutdown) {
+        copy_retired(l, s);
+    }
 }
 
 /// Wire `graph` onto `exec` and register every runtime process. Nothing
@@ -54,6 +102,20 @@ pub(crate) fn build<E: Executor>(
 ) -> RunWiring {
     let transport = exec.transport();
     let cancel = transport.cancel_scope();
+    let all_copies: u32 = graph
+        .filters
+        .iter()
+        .map(|f| f.placement.total_copies())
+        .sum();
+
+    // Supervised-run shared state: the shutdown flag releases the
+    // always-on reapers and the supervisor once the live-copy count hits
+    // zero (every copy finished or died).
+    let supervised = fault_ctl.as_ref().is_some_and(|c| c.supervisor.is_some());
+    let shutdown: Option<Arc<AtomicBool>> = supervised.then(|| Arc::new(AtomicBool::new(false)));
+    let live: Option<Arc<AtomicUsize>> =
+        supervised.then(|| Arc::new(AtomicUsize::new(all_copies as usize)));
+    let mut records: Vec<CopyRecord> = Vec::new();
 
     // ---- per-stream wiring ------------------------------------------------
     struct StreamRt {
@@ -68,23 +130,39 @@ pub(crate) fn build<E: Executor>(
     let mut streams_rt: Vec<StreamRt> = Vec::with_capacity(graph.streams.len());
     for spec in &graph.streams {
         let consumer = &graph.filters[spec.to.0 as usize];
-        // Producer copy hosts in copy-index order: the end-of-work gate
-        // tracks markers per producer copy so dead producers can be
-        // excused without under- or over-counting.
-        let producer_hosts: Vec<HostId> = graph.filters[spec.from.0 as usize]
-            .placement
-            .per_host
-            .iter()
-            .flat_map(|&(h, n)| (0..n).map(move |_| h))
-            .collect();
+        // Producer copy references in copy-index order: the end-of-work
+        // gate tracks markers per producer copy so dead producers can be
+        // excused (by host crash or dynamic death) without under- or
+        // over-counting.
+        let producers: Vec<ProducerRef> = {
+            let mut v = Vec::new();
+            for &(h, n) in &graph.filters[spec.from.0 as usize].placement.per_host {
+                for _ in 0..n {
+                    let copy = v.len();
+                    v.push(ProducerRef {
+                        host: h,
+                        filter: spec.from,
+                        copy,
+                    });
+                }
+            }
+            v
+        };
         let mut sets = Vec::new();
         let mut data_txs = Vec::new();
         let mut data_rxs = Vec::new();
         let mut courier_txs = Vec::new();
         let mut gates = Vec::new();
         let mut cells = Vec::new();
+        let mut first_copy = 0usize;
         for &(host, copies) in &consumer.placement.per_host {
-            sets.push(CopySetInfo { host, copies });
+            sets.push(CopySetInfo {
+                host,
+                copies,
+                filter: spec.to,
+                first_copy,
+            });
+            first_copy += copies as usize;
             // Room for data plus the UowDone tokens injected at the end of
             // each cycle.
             let cap = spec.queue_capacity * copies as usize + copies as usize;
@@ -92,7 +170,7 @@ pub(crate) fn build<E: Executor>(
             data_txs.push(tx);
             data_rxs.push(rx);
             gates.push(Arc::new(Mutex::new(UowGate::new(
-                producer_hosts.clone(),
+                producers.clone(),
                 copies,
             ))));
             let (ctx_tx, ctx_rx) = transport.channel::<AckHandle>(tuning.courier_capacity);
@@ -100,30 +178,48 @@ pub(crate) fn build<E: Executor>(
             cells.push(CopySetCell::default());
             delivery::spawn_courier(exec, &spec.name, host, topo, ctx_rx);
         }
-        // One reaper per copy set whose host is scheduled to crash. The
-        // reaper's receiver clone keeps the dead queue open so buffers
-        // sent before writers notice the death are salvaged, not dropped.
-        if let Some(ctl) = fault_ctl.as_ref().filter(|c| c.plan.has_crashes()) {
+        // Reapers. Under a pure plan: one per copy set whose host is
+        // scheduled to crash, holding senders only to sets with no
+        // scheduled death (exactly the original, bit-identical wiring).
+        // Under supervision: one per set — any set can die at runtime —
+        // holding senders to every *other* set, with the death time
+        // probed from the merged oracle and the shutdown flag as the
+        // exit signal. Either way the reaper's receiver clone keeps the
+        // dead queue open so buffers sent before writers notice the
+        // death are salvaged, not dropped.
+        if let Some(ctl) = fault_ctl.as_ref().filter(|c| c.crashes_possible()) {
             for (set_idx, set) in sets.iter().enumerate() {
-                let Some(t_death) = ctl.plan.host_death(set.host) else {
+                let t_death = ctl.plan.host_death(set.host);
+                if t_death.is_none() && !supervised {
                     continue;
+                }
+                let survivors: Vec<(usize, ChanTx<Envelope>)> = if supervised {
+                    sets.iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != set_idx)
+                        .map(|(i, _)| (i, data_txs[i].clone()))
+                        .collect()
+                } else {
+                    sets.iter()
+                        .enumerate()
+                        .filter(|(_, s)| ctl.plan.host_death(s.host).is_none())
+                        .map(|(i, _)| (i, data_txs[i].clone()))
+                        .collect()
                 };
                 let reaper = Reaper {
                     ctl: ctl.clone(),
                     errors: error_cell.clone(),
                     rx: data_rxs[set_idx].clone(),
-                    survivors: sets
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| ctl.plan.host_death(s.host).is_none())
-                        .map(|(i, _)| (i, data_txs[i].clone()))
-                        .collect(),
+                    survivors,
                     sets: sets.clone(),
-                    t_death,
+                    own_idx: set_idx,
+                    t_death: if supervised { None } else { t_death },
                     topo: topo.clone(),
                     stream: spec.name.clone(),
                     gate: gates[set_idx].clone(),
                     uows,
+                    shutdown: shutdown.clone(),
+                    cancel: cancel.clone(),
                 };
                 exec.spawn(
                     format!("reaper:{}@h{}", spec.name, set.host.0),
@@ -142,11 +238,6 @@ pub(crate) fn build<E: Executor>(
     }
 
     // ---- per-copy spawning ------------------------------------------------
-    let all_copies: u32 = graph
-        .filters
-        .iter()
-        .map(|f| f.placement.total_copies())
-        .sum();
     let barrier = transport.barrier(all_copies as usize);
     let uow_boundaries: Arc<Mutex<Vec<SimTime>>> = Arc::new(Mutex::new(Vec::new()));
     // One payload-box recycler for the whole run: boxes released when a
@@ -180,7 +271,7 @@ pub(crate) fn build<E: Executor>(
                             .iter()
                             .enumerate()
                             .filter(|&(i, _)| i != set_idx)
-                            .map(|(i, s)| (s.host, rt.gates[i].clone()))
+                            .map(|(i, s)| (*s, rt.gates[i].clone()))
                             .collect(),
                         copyset_counters: rt.cells[set_idx].clone(),
                     });
@@ -242,15 +333,33 @@ pub(crate) fn build<E: Executor>(
                 let fname = fspec.name.clone();
                 let copy_ctl = fault_ctl.clone();
                 let kill_ctl = fault_ctl.clone();
+                let restart_ctl = fault_ctl.clone();
                 let copy_errors = error_cell.clone();
                 let my_death = fault_ctl.as_ref().and_then(|c| c.plan.host_death(host));
                 let copy_slab = slab.clone();
+                let policy = fault_ctl.as_ref().and_then(|c| c.supervisor);
+                let courier_deadline = tuning.courier_deadline;
+                let health: Option<Arc<CopyHealth>> =
+                    supervised.then(|| Arc::new(CopyHealth::new()));
+                if let Some(h) = &health {
+                    records.push(CopyRecord {
+                        filter: fid,
+                        copy: copy_index,
+                        thread: copy_name.clone(),
+                        health: h.clone(),
+                    });
+                }
+                let health_ctx = health.clone();
+                let health_out = health;
+                let live_out = live.clone();
+                let shutdown_out = shutdown.clone();
                 exec.spawn(
                     copy_name,
                     Box::new(move |env: ExecEnv| {
                         let env_out = env.clone();
                         let body = AssertUnwindSafe(move || {
                             let mut filter = (graph2.filters[fid.0 as usize].factory)(info);
+                            let n_inputs = inputs.len();
                             let mut ctx = FilterCtx {
                                 env,
                                 topo: topo2,
@@ -263,23 +372,111 @@ pub(crate) fn build<E: Executor>(
                                 faults: copy_ctl,
                                 my_death,
                                 slab: copy_slab,
+                                name: Arc::from(fname.as_str()),
+                                errors: copy_errors.clone(),
+                                courier_deadline,
+                                health: health_ctx,
+                                port_done: vec![false; n_inputs],
                             };
+                            if let Some(h) = &ctx.health {
+                                h.beat(ctx.env.now());
+                            }
+                            let copy_key = ((fid.0 as u64) << 32) | info.copy_index as u64;
+                            let mut restarts_used = 0u32;
                             for uow in 0..uows {
-                                ctx.uow = uow;
-                                filter.init(&mut ctx);
-                                if let Err(e) = filter.process(&mut ctx) {
-                                    abort_run(
-                                        &copy_errors,
-                                        RunError::Filter {
-                                            filter: fname.clone(),
-                                            copy: info.copy_index,
-                                            host,
-                                            uow,
-                                            message: e.to_string(),
+                                ctx.begin_uow(uow);
+                                loop {
+                                    // One attempt at this unit of work:
+                                    // every filter callback inside a
+                                    // containment scope.
+                                    let attempt = std::panic::catch_unwind(AssertUnwindSafe(
+                                        || -> Result<(), String> {
+                                            let _contain = contain_scope();
+                                            filter.init(&mut ctx);
+                                            filter.process(&mut ctx).map_err(|e| e.to_string())?;
+                                            filter.finalize(&mut ctx);
+                                            Ok(())
                                         },
-                                    );
+                                    ));
+                                    match attempt {
+                                        Ok(Ok(())) => break,
+                                        Ok(Err(message)) => abort_run(
+                                            &copy_errors,
+                                            RunError::Filter {
+                                                filter: fname.clone(),
+                                                copy: info.copy_index,
+                                                host,
+                                                uow,
+                                                message,
+                                            },
+                                        ),
+                                        Err(payload) => {
+                                            if payload.is::<KilledMarker>()
+                                                || payload
+                                                    .downcast_ref::<String>()
+                                                    .is_some_and(|s| s == ABORT_MSG)
+                                            {
+                                                // Runtime sentinels pass
+                                                // through: the kill to the
+                                                // outer wrapper's death
+                                                // bookkeeping, the abort to
+                                                // the driver.
+                                                std::panic::resume_unwind(payload);
+                                            }
+                                            let message = panic_message(payload.as_ref());
+                                            match policy {
+                                                Some(p) if restarts_used < p.max_restarts => {
+                                                    restarts_used += 1;
+                                                    if let Some(ctl) = &restart_ctl {
+                                                        ctl.tallies.lock().restarts += 1;
+                                                    }
+                                                    // Seeded jittered
+                                                    // exponential backoff,
+                                                    // then a fresh filter
+                                                    // instance resumes this
+                                                    // UOW from the remaining
+                                                    // queue contents.
+                                                    ctx.env.delay(p.restart_backoff(
+                                                        copy_key,
+                                                        restarts_used - 1,
+                                                    ));
+                                                    filter = (graph2.filters[fid.0 as usize]
+                                                        .factory)(
+                                                        info
+                                                    );
+                                                }
+                                                Some(_)
+                                                    if restart_ctl
+                                                        .as_ref()
+                                                        .is_some_and(|c| c.allow_degraded) =>
+                                                {
+                                                    // Budget exhausted:
+                                                    // declare the copy dead
+                                                    // and take the regular
+                                                    // crash path.
+                                                    if let Some(ctl) = &restart_ctl {
+                                                        ctl.register_copy_death(
+                                                            fid,
+                                                            info.copy_index,
+                                                            ctx.env.now(),
+                                                        );
+                                                    }
+                                                    raise_killed();
+                                                }
+                                                _ => abort_run(
+                                                    &copy_errors,
+                                                    RunError::FilterPanic {
+                                                        filter: fname.clone(),
+                                                        copy: info.copy_index,
+                                                        host,
+                                                        uow,
+                                                        message,
+                                                    },
+                                                ),
+                                            }
+                                        }
+                                    }
                                 }
-                                filter.finalize(&mut ctx);
                                 ctx.emit_eow();
                                 if uow + 1 < uows {
                                     // Work cycles are separated by a global
@@ -291,23 +488,52 @@ pub(crate) fn build<E: Executor>(
                                 }
                             }
                         });
-                        if let Err(payload) = std::panic::catch_unwind(body) {
-                            if payload.is::<KilledMarker>() {
-                                // This copy's host crashed. Tally the death
-                                // and withdraw from the inter-UOW barrier so
-                                // the surviving copies are not stranded.
-                                if let Some(ctl) = &kill_ctl {
-                                    ctl.tallies.lock().copies_killed += 1;
+                        match std::panic::catch_unwind(body) {
+                            Ok(()) => {
+                                retire(&health_out, &live_out, &shutdown_out, CopyState::Done)
+                            }
+                            Err(payload) => {
+                                if payload.is::<KilledMarker>() {
+                                    // This copy died (host crash or restart
+                                    // budget exhausted). Tally the death and
+                                    // withdraw from the inter-UOW barrier so
+                                    // the surviving copies are not stranded.
+                                    if let Some(ctl) = &kill_ctl {
+                                        ctl.tallies.lock().copies_killed += 1;
+                                    }
+                                    barrier_out.leave(&env_out);
+                                    retire(&health_out, &live_out, &shutdown_out, CopyState::Dead);
+                                } else {
+                                    std::panic::resume_unwind(payload);
                                 }
-                                barrier_out.leave(&env_out);
-                            } else {
-                                std::panic::resume_unwind(payload);
                             }
                         }
                     }),
                 );
                 copy_index += 1;
             }
+        }
+    }
+
+    // ---- supervisor (supervised runs only; spawned last) ------------------
+    if let Some(ctl) = fault_ctl.as_ref() {
+        if let (Some(policy), Some(shutdown), Some(live)) =
+            (ctl.supervisor, shutdown.clone(), live.clone())
+        {
+            let sup = Supervisor {
+                ctl: ctl.clone(),
+                policy,
+                records,
+                barrier: barrier.clone(),
+                shutdown,
+                live,
+                transport: transport.clone(),
+                cancel: cancel.clone(),
+            };
+            exec.spawn(
+                "supervisor".to_string(),
+                Box::new(move |env: ExecEnv| sup.run(env)),
+            );
         }
     }
 

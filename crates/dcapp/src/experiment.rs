@@ -77,6 +77,23 @@ pub fn run_pipeline_faulted(
     spec: &PipelineSpec,
     opts: FaultOptions,
 ) -> Result<PipelineResult, RunError> {
+    run_pipeline_faulted_exec(topo, cfg, spec, opts, datacutter::SimExecutor::new())
+}
+
+/// [`run_pipeline_faulted`] on an explicit execution substrate: the same
+/// fault plan drives either the deterministic virtual-time run or a
+/// wall-clock chaos run on real OS threads
+/// ([`datacutter::NativeExecutor`]; build the options with
+/// [`datacutter::NativeFaultPlan`]). On the native substrate the plan's
+/// times are wall-clock nanoseconds since run start, so crash/stall
+/// instants should be scaled to real pipeline durations.
+pub fn run_pipeline_faulted_exec(
+    topo: &Topology,
+    cfg: &SharedConfig,
+    spec: &PipelineSpec,
+    opts: FaultOptions,
+    exec: impl Into<ExecutorChoice>,
+) -> Result<PipelineResult, RunError> {
     let Pipeline {
         graph,
         image,
@@ -84,7 +101,7 @@ pub fn run_pipeline_faulted(
         to_merge,
         filters,
     } = build_pipeline(cfg, spec);
-    let report = Run::new(graph).faults(opts).go(topo)?;
+    let report = Run::new(graph).faults(opts).executor(exec).go(topo)?;
     let mut images = std::mem::take(&mut *image.lock());
     assert_eq!(images.len(), 1, "single-UOW run deposits exactly one image");
     Ok(PipelineResult {

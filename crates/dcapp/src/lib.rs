@@ -27,7 +27,8 @@ mod parts;
 pub use config::{Algorithm, AppConfig, CostModel, SharedConfig};
 pub use experiment::{
     avg_elapsed_secs, clone_config, reference_image, run_pipeline, run_pipeline_exec,
-    run_pipeline_faulted, run_pipeline_uows, run_timesteps, MultiUowResult, PipelineResult,
+    run_pipeline_faulted, run_pipeline_faulted_exec, run_pipeline_uows, run_timesteps,
+    MultiUowResult, PipelineResult,
 };
 pub use filters::{
     ExtractFilter, ExtractRasterFilter, ImageSlot, MergeFilter, PartitionedReadExtractFilter,

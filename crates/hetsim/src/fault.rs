@@ -42,6 +42,9 @@ pub struct FaultPlan {
     degrades: Vec<(HostId, SimTime, SimDuration, f64)>,
     drop_rate: f64,
     drop_seed: u64,
+    delay_rate: f64,
+    delay_seed: u64,
+    delay_dur: SimDuration,
 }
 
 impl FaultPlan {
@@ -82,6 +85,18 @@ impl FaultPlan {
         self
     }
 
+    /// Delay each cross-host message independently by `dur` with
+    /// probability `rate`, decided by a hash seeded with `seed`. Like
+    /// drops, the verdict is a pure function of the (stream, message) key,
+    /// so the same messages are delayed on every substrate — the chaos
+    /// layer's jitter injection stays replay-comparable sim-vs-native.
+    pub fn delay_messages(mut self, seed: u64, rate: f64, dur: SimDuration) -> Self {
+        self.delay_seed = seed;
+        self.delay_rate = rate.clamp(0.0, 1.0);
+        self.delay_dur = dur;
+        self
+    }
+
     // -- queries -----------------------------------------------------------
 
     /// True when the plan contains no faults at all.
@@ -90,6 +105,7 @@ impl FaultPlan {
             && self.stalls.is_empty()
             && self.degrades.is_empty()
             && self.drop_rate == 0.0
+            && self.delay_rate == 0.0
     }
 
     /// True when at least one host crash is scheduled.
@@ -100,6 +116,19 @@ impl FaultPlan {
     /// True when probabilistic message drops are enabled.
     pub fn has_drops(&self) -> bool {
         self.drop_rate > 0.0
+    }
+
+    /// True when probabilistic message delays are enabled.
+    pub fn has_delays(&self) -> bool {
+        self.delay_rate > 0.0
+    }
+
+    /// True when at least one NIC-degradation window is scheduled. These
+    /// are the only faults that need the simulator's installed drivers
+    /// (every other fault is a pure time-indexed query), so substrates
+    /// without emulated NICs reject plans where this is true.
+    pub fn has_degrades(&self) -> bool {
+        !self.degrades.is_empty()
     }
 
     /// The (earliest) scheduled crash time of `host`, if any.
@@ -151,6 +180,22 @@ impl FaultPlan {
         u < self.drop_rate
     }
 
+    /// Seeded delay verdict for one message: the extra latency to inject
+    /// before its (successful) transmission, or `None`. Keys are
+    /// caller-chosen, identical keys always produce identical verdicts.
+    pub fn message_delay(&self, stream: u64, seq: u64) -> Option<SimDuration> {
+        if self.delay_rate <= 0.0 {
+            return None;
+        }
+        let h = splitmix64(
+            self.delay_seed
+                ^ splitmix64(stream.wrapping_add(0xD1B5_4A32_D192_ED03))
+                ^ splitmix64(seq.wrapping_mul(0x94D0_49BB_1331_11EB)),
+        );
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        (u < self.delay_rate).then_some(self.delay_dur)
+    }
+
     /// Human-readable descriptions of every scheduled fault, for run
     /// reports.
     pub fn describe(&self) -> Vec<String> {
@@ -179,6 +224,14 @@ impl FaultPlan {
             out.push(format!(
                 "drop messages p={} seed={:#x}",
                 self.drop_rate, self.drop_seed
+            ));
+        }
+        if self.delay_rate > 0.0 {
+            out.push(format!(
+                "delay messages p={} by {:.3}s seed={:#x}",
+                self.delay_rate,
+                self.delay_dur.as_secs_f64(),
+                self.delay_seed
             ));
         }
         out
@@ -264,6 +317,28 @@ mod tests {
         assert!((0..1000).any(|s| plan.should_drop(1, s, 0) != plan.should_drop(1, s, 1)));
         // No drops configured -> never drops.
         assert!(!FaultPlan::new().should_drop(1, 2, 3));
+    }
+
+    #[test]
+    fn delays_are_seeded_and_deterministic() {
+        let plan = FaultPlan::new().delay_messages(7, 0.2, SimDuration::from_micros(250));
+        let verdicts: Vec<Option<SimDuration>> =
+            (0..1000).map(|s| plan.message_delay(3, s)).collect();
+        let again: Vec<Option<SimDuration>> = (0..1000).map(|s| plan.message_delay(3, s)).collect();
+        assert_eq!(verdicts, again, "same keys, same verdicts");
+        let delayed = verdicts.iter().filter(|v| v.is_some()).count();
+        assert!(
+            (100..320).contains(&delayed),
+            "rate 0.2 over 1000: got {delayed}"
+        );
+        assert!(verdicts
+            .iter()
+            .flatten()
+            .all(|&d| d == SimDuration::from_micros(250)));
+        assert!(FaultPlan::new().message_delay(1, 2).is_none());
+        assert!(plan.has_delays());
+        assert!(!plan.is_empty());
+        assert!(!plan.has_degrades());
     }
 
     #[test]

@@ -8,7 +8,13 @@
 //! run completes *degraded*: it still terminates, renders what survived,
 //! and accounts for every lost buffer.
 
-use datacutter::{FaultOptions, Placement, RunError, WritePolicy};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use datacutter::{
+    DataBuffer, FaultOptions, Filter, FilterCtx, FilterError, GraphBuilder, NativeExecutor,
+    NativeFaultPlan, Placement, Run, RunError, SimExecutor, SupervisorPolicy, WritePolicy,
+};
 use dcapp::{Algorithm, Grouping, PipelineSpec};
 use hetsim::{FaultPlan, SimDuration, SimTime};
 use integration_tests::{cluster, test_cfg, test_dataset};
@@ -163,4 +169,446 @@ fn message_drops_force_retransmits_but_preserve_output() {
         "drops retransmit, they do not lose: {f:?}"
     );
     assert_eq!(lossy.image.diff_pixels(&clean.image), 0);
+}
+
+// ---- native (wall-clock) chaos scenarios ---------------------------------
+//
+// The same fault plans, interpreted on the native executor's wall-clock
+// axis. Scenarios are built to have timing-independent accounting (a host
+// dead from t=0 kills exactly its copies on both substrates) so the
+// sim-vs-native parity assertions hold despite real-thread scheduling.
+
+fn ms(n: u64) -> SimDuration {
+    SimDuration::from_millis(n)
+}
+
+fn us(n: u64) -> SimDuration {
+    SimDuration::from_micros(n)
+}
+
+/// The acceptance parity scenario: one extract host dead from the first
+/// observation point, demand-driven replay on both substrates. The kill
+/// count and the loss accounting must match the equivalent sim run, and
+/// the rendered image must be bit-identical across substrates (merging is
+/// order-independent, and DD replay loses nothing).
+#[test]
+fn native_dd_crash_matches_sim_loss_accounting_and_pixels() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(7), vec![hosts[0]], 96);
+    let spec = spec(&hosts, WritePolicy::demand_driven());
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free run");
+
+    let plan = FaultPlan::new().crash_host(hosts[2], SimTime::ZERO);
+    let sim = dcapp::run_pipeline_faulted_exec(
+        &topo,
+        &cfg,
+        &spec,
+        FaultOptions::new(plan.clone()).liveness_timeout(ms(2)),
+        SimExecutor::new(),
+    )
+    .expect("sim faulted run");
+    let nat = dcapp::run_pipeline_faulted_exec(
+        &topo,
+        &cfg,
+        &spec,
+        FaultOptions::new(plan).liveness_timeout(ms(2)),
+        NativeExecutor::new(),
+    )
+    .expect("native faulted run must still complete");
+
+    for (label, f) in [("sim", &sim.report.faults), ("native", &nat.report.faults)] {
+        assert_eq!(
+            f.copies_killed, 1,
+            "{label}: exactly the host-2 extract copy dies: {f:?}"
+        );
+        assert_eq!(f.buffers_lost, 0, "{label}: DD replay loses nothing: {f:?}");
+        assert!(!f.degraded, "{label}: nothing lost, not degraded: {f:?}");
+    }
+    assert_eq!(sim.image.diff_pixels(&clean.image), 0);
+    assert_eq!(
+        nat.image.diff_pixels(&sim.image),
+        0,
+        "native chaos run must render the sim run's exact pixels"
+    );
+}
+
+/// Round robin has no acks to replay from, so a native run with a dead
+/// extract host completes *degraded*: every chunk routed to the dead set
+/// before eviction is tallied as lost, and the run still terminates. The
+/// liveness timeout is set past the extract phase so eviction never
+/// rescues the dead set — making the loss deterministic on wall clocks.
+#[test]
+fn native_rr_crash_completes_degraded_with_losses_accounted() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(7), vec![hosts[0]], 96);
+    let spec = spec(&hosts, WritePolicy::RoundRobin);
+
+    let plan = FaultPlan::new().crash_host(hosts[2], SimTime::ZERO);
+    let faulted = dcapp::run_pipeline_faulted_exec(
+        &topo,
+        &cfg,
+        &spec,
+        FaultOptions::new(plan).liveness_timeout(SimDuration::from_secs(60)),
+        NativeExecutor::new(),
+    )
+    .expect("degraded native run must still complete");
+
+    let f = &faulted.report.faults;
+    assert_eq!(f.copies_killed, 1, "{f:?}");
+    assert_eq!(f.buffers_replayed, 0, "RR has no acks to replay: {f:?}");
+    assert!(
+        f.buffers_lost > 0,
+        "RR keeps round-robining into the dead set: {f:?}"
+    );
+    assert!(f.bytes_lost > 0, "{f:?}");
+    assert!(f.degraded, "losses mark the run degraded: {f:?}");
+}
+
+/// Seeded message drops and per-message delay injection on real threads:
+/// the chaos layer retransmits and delays but must not lose anything, and
+/// the image stays bit-identical to the fault-free native run.
+#[test]
+fn native_drops_and_delays_preserve_output() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(17), vec![hosts[0]], 96);
+    let spec = spec(&hosts, WritePolicy::demand_driven());
+    let clean =
+        dcapp::run_pipeline_exec(&topo, &cfg, &spec, NativeExecutor::new()).expect("clean run");
+
+    let chaos = NativeFaultPlan::new()
+        .drop_messages(0xD00D, 0.08)
+        .delay_messages(0xD1A7, 0.10, us(200));
+    let lossy = dcapp::run_pipeline_faulted_exec(
+        &topo,
+        &cfg,
+        &spec,
+        chaos.options().liveness_timeout(ms(2)),
+        NativeExecutor::new(),
+    )
+    .expect("lossy native run");
+    let f = &lossy.report.faults;
+    assert!(f.retransmits > 0, "8% drops must hit something: {f:?}");
+    assert!(
+        f.messages_delayed > 0,
+        "10% delays must hit something: {f:?}"
+    );
+    assert_eq!(
+        f.buffers_lost, 0,
+        "drops retransmit, they do not lose: {f:?}"
+    );
+    assert_eq!(lossy.image.diff_pixels(&clean.image), 0);
+}
+
+// ---- supervised restarts (panic containment) ------------------------------
+
+/// A small src -> sink graph where one sink copy can be poisoned to panic
+/// or wedge; `seen` counts every buffer a sink copy actually consumed.
+struct ChaosGraph {
+    graph: datacutter::AppGraph,
+    seen: Arc<AtomicU64>,
+}
+
+const CHAOS_BUFFERS: u32 = 64;
+
+/// `sink_hosts.len()` single-copy sink sets. `poison` marks the global
+/// sink copy index that misbehaves; what it does is decided by `mode`.
+#[derive(Clone, Copy, PartialEq)]
+enum PoisonMode {
+    /// Panic on the first `process` call (before consuming anything),
+    /// then behave.
+    PanicOnce,
+    /// Panic on every `process` call.
+    PanicAlways,
+    /// Block without heartbeats (a real `std::thread::sleep`).
+    Wedge,
+}
+
+fn chaos_graph(
+    src_host: hetsim::HostId,
+    sink_hosts: &[hetsim::HostId],
+    poison: usize,
+    mode: PoisonMode,
+) -> ChaosGraph {
+    struct Src;
+    impl Filter for Src {
+        fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+            for i in 0..CHAOS_BUFFERS {
+                ctx.write(0, DataBuffer::new(i, 256));
+            }
+            Ok(())
+        }
+    }
+    struct Sink {
+        poisoned: bool,
+        mode: PoisonMode,
+        armed: Arc<AtomicBool>,
+        seen: Arc<AtomicU64>,
+    }
+    impl Filter for Sink {
+        fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+            if self.poisoned {
+                match self.mode {
+                    PoisonMode::PanicOnce => {
+                        if self.armed.swap(false, Ordering::SeqCst) {
+                            panic!("injected chaos panic");
+                        }
+                    }
+                    PoisonMode::PanicAlways => panic!("injected chaos panic"),
+                    PoisonMode::Wedge => {
+                        std::thread::sleep(std::time::Duration::from_secs(5));
+                        return Ok(());
+                    }
+                }
+            }
+            while let Some(b) = ctx.read(0) {
+                let _ = b.downcast::<u32>();
+                self.seen.fetch_add(1, Ordering::SeqCst);
+            }
+            Ok(())
+        }
+    }
+    let seen: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+    let armed = Arc::new(AtomicBool::new(true));
+    let mut g = GraphBuilder::new();
+    let s = g.add_filter("src", Placement::on_host(src_host, 1), |_| Src);
+    let seen2 = seen.clone();
+    let k = g.add_filter(
+        "snk",
+        Placement {
+            per_host: sink_hosts.iter().map(|&h| (h, 1)).collect(),
+        },
+        move |info| Sink {
+            poisoned: info.copy_index == poison,
+            mode,
+            armed: armed.clone(),
+            seen: seen2.clone(),
+        },
+    );
+    g.connect(s, k, WritePolicy::demand_driven());
+    ChaosGraph {
+        graph: g.build(),
+        seen,
+    }
+}
+
+/// Panic containment with a restart budget: the poisoned copy panics once
+/// mid-run, the supervisor machinery restarts it in place after the
+/// seeded backoff, and the run completes with zero loss — the panic never
+/// aborts the process and never shows up as a raw `ProcessPanic`.
+#[test]
+fn native_supervised_panic_restarts_and_completes() {
+    let (topo, hosts) = cluster(2);
+    let cg = chaos_graph(hosts[0], &[hosts[1]], 0, PoisonMode::PanicOnce);
+    let policy = SupervisorPolicy::new()
+        .max_restarts(2)
+        .backoff(us(50), ms(1));
+    let report = Run::new(cg.graph)
+        .executor(NativeExecutor::new())
+        .faults(
+            NativeFaultPlan::new()
+                .supervise(policy)
+                .options()
+                .liveness_timeout(ms(2)),
+        )
+        .go(&topo)
+        .expect("supervised run completes");
+    let f = &report.faults;
+    assert_eq!(f.restarts, 1, "{f:?}");
+    assert_eq!(f.copies_killed, 0, "restart rescued the copy: {f:?}");
+    assert_eq!(f.buffers_lost, 0, "{f:?}");
+    assert!(!f.degraded, "{f:?}");
+    assert_eq!(
+        cg.seen.load(Ordering::SeqCst),
+        CHAOS_BUFFERS as u64,
+        "the restarted copy resumes the unit of work and consumes everything"
+    );
+}
+
+/// The same supervised-restart machinery on the deterministic substrate:
+/// two identical runs replay the identical restart schedule and virtual
+/// timeline (backoff is a pure function of the policy seed).
+#[test]
+fn supervised_restart_is_deterministic_on_sim() {
+    let (topo, hosts) = cluster(2);
+    let run = || {
+        let cg = chaos_graph(hosts[0], &[hosts[1]], 0, PoisonMode::PanicOnce);
+        let policy = SupervisorPolicy::new()
+            .max_restarts(2)
+            .backoff(ms(1), ms(10));
+        let report = Run::new(cg.graph)
+            .faults(NativeFaultPlan::new().supervise(policy).options())
+            .go(&topo)
+            .expect("supervised sim run completes");
+        (
+            report.elapsed,
+            report.faults.restarts,
+            cg.seen.load(Ordering::SeqCst),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "supervised sim runs must be bit-identical");
+    assert_eq!(a.1, 1, "one restart");
+    assert_eq!(a.2, CHAOS_BUFFERS as u64);
+}
+
+/// Restart budget exhausted: the poisoned copy panics until its budget
+/// runs out, is declared dead in the merged death oracle, and the run
+/// completes via the regular crash path — unacked DD buffers replayed to
+/// the surviving sink set, nothing lost.
+#[test]
+fn native_restart_budget_exhausted_dies_and_replays_to_survivor() {
+    let (topo, hosts) = cluster(3);
+    let cg = chaos_graph(hosts[0], &[hosts[1], hosts[2]], 1, PoisonMode::PanicAlways);
+    let policy = SupervisorPolicy::new()
+        .max_restarts(1)
+        .backoff(us(50), ms(1));
+    let report = Run::new(cg.graph)
+        .executor(NativeExecutor::new())
+        .faults(
+            NativeFaultPlan::new()
+                .supervise(policy)
+                .options()
+                .liveness_timeout(ms(2)),
+        )
+        .go(&topo)
+        .expect("degraded-capable run completes");
+    let f = &report.faults;
+    assert_eq!(f.restarts, 1, "budget consumed: {f:?}");
+    assert_eq!(f.copies_killed, 1, "budget exhausted => dead: {f:?}");
+    assert_eq!(
+        f.buffers_lost, 0,
+        "DD replay salvages the dead queue: {f:?}"
+    );
+    assert_eq!(
+        cg.seen.load(Ordering::SeqCst),
+        CHAOS_BUFFERS as u64,
+        "the surviving sink set consumes every buffer"
+    );
+}
+
+/// Wall-clock wedge detection: a copy that blocks without heartbeats is
+/// declared dead by the supervisor, evicted from the barrier, and its
+/// thread abandoned — the run completes degraded in bounded time instead
+/// of hanging for the sleeper's five seconds.
+#[test]
+fn native_wedge_detection_completes_degraded() {
+    let (topo, hosts) = cluster(3);
+    let cg = chaos_graph(hosts[0], &[hosts[1], hosts[2]], 1, PoisonMode::Wedge);
+    let policy = SupervisorPolicy::new()
+        .heartbeat_interval(ms(2))
+        .wedge_timeout(ms(20));
+    let report = Run::new(cg.graph)
+        .executor(NativeExecutor::new())
+        .faults(
+            NativeFaultPlan::new()
+                .supervise(policy)
+                .options()
+                .liveness_timeout(ms(2)),
+        )
+        .go(&topo)
+        .expect("wedged run completes degraded");
+    let f = &report.faults;
+    assert_eq!(f.copies_wedged, 1, "{f:?}");
+    assert!(f.degraded, "a wedged copy marks the run degraded: {f:?}");
+    // Wedge detection has latency: the survivor may close the cycle
+    // before the sleeper is declared dead, in which case the buffers
+    // stranded in the wedged set's window cannot be replayed to anyone
+    // and must be accounted as losses. Conservation is exact either way.
+    let seen = cg.seen.load(Ordering::SeqCst);
+    assert!(
+        f.buffers_lost > 0,
+        "the wedged window never acks, so its buffers strand: {f:?}"
+    );
+    assert_eq!(
+        seen + f.buffers_lost,
+        CHAOS_BUFFERS as u64,
+        "every buffer is either consumed or accounted lost: seen={seen} {f:?}"
+    );
+    assert!(
+        report.elapsed < SimDuration::from_secs(2),
+        "the run must not wait out the sleeper: {:?}",
+        report.elapsed
+    );
+}
+
+/// Unsupervised panic containment: with no fault options at all, a
+/// panicking filter copy surfaces as a structured `FilterPanic` — on both
+/// substrates — instead of crashing the process or leaking a raw
+/// `ProcessPanic`.
+#[test]
+fn filter_panic_is_contained_as_structured_error() {
+    let (topo, hosts) = cluster(2);
+    for native in [false, true] {
+        let cg = chaos_graph(hosts[0], &[hosts[1]], 0, PoisonMode::PanicAlways);
+        let mut run = Run::new(cg.graph);
+        if native {
+            run = run.executor(NativeExecutor::new());
+        }
+        match run.go(&topo) {
+            Err(RunError::FilterPanic {
+                filter, message, ..
+            }) => {
+                assert_eq!(filter, "snk");
+                assert!(message.contains("injected chaos panic"), "{message}");
+            }
+            other => panic!("expected FilterPanic (native={native}), got {other:?}"),
+        }
+    }
+}
+
+// ---- backoff schedule properties -----------------------------------------
+
+mod backoff_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The supervised restart backoff is a pure function of
+        /// (policy, copy, attempt): identical inputs replay the identical
+        /// schedule, every delay stays inside the jittered exponential
+        /// envelope `[env/2, env]` with `env = min(base << attempt, cap)`,
+        /// and different seeds actually decorrelate the jitter.
+        #[test]
+        fn backoff_schedule_is_deterministic_and_bounded(
+            seed in any::<u64>(),
+            copy_key in any::<u64>(),
+            base_ms in 1u64..50,
+            cap_ms in 50u64..500,
+            attempt in 0u32..16,
+        ) {
+            let base = SimDuration::from_millis(base_ms);
+            let cap = SimDuration::from_millis(cap_ms);
+            let a = datacutter::backoff_delay(base, cap, seed, copy_key, attempt);
+            let b = datacutter::backoff_delay(base, cap, seed, copy_key, attempt);
+            prop_assert_eq!(a, b, "same inputs, same delay");
+
+            let envelope = base
+                .as_nanos()
+                .checked_shl(attempt)
+                .unwrap_or(u64::MAX)
+                .min(cap.as_nanos());
+            prop_assert!(a.as_nanos() >= envelope / 2, "jitter floor: {a:?} vs {envelope}");
+            prop_assert!(a.as_nanos() <= envelope, "jitter ceiling: {a:?} vs {envelope}");
+        }
+
+        /// Whole-schedule determinism per seed: the first eight attempts of
+        /// a copy replay exactly; perturbing the seed changes at least one
+        /// delay (the schedule really is seed-driven).
+        #[test]
+        fn backoff_schedules_replay_per_seed(
+            seed in any::<u64>(),
+            copy_key in any::<u64>(),
+        ) {
+            let base = SimDuration::from_millis(1);
+            let cap = SimDuration::from_millis(100);
+            let schedule = |s: u64| -> Vec<SimDuration> {
+                (0..8).map(|k| datacutter::backoff_delay(base, cap, s, copy_key, k)).collect()
+            };
+            prop_assert_eq!(schedule(seed), schedule(seed));
+            // A different seed must change the schedule.
+            let other = schedule(seed ^ 0xA5A5_A5A5_5A5A_5A5A);
+            prop_assert_ne!(schedule(seed), other);
+        }
+    }
 }

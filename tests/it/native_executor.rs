@@ -176,10 +176,12 @@ fn native_filter_error_is_structured() {
     }
 }
 
-/// Virtual-time-only features are rejected up front with a structured
-/// error, not silently ignored.
+/// Virtual-time-only features — NIC degradation (needs the simulation's
+/// bandwidth drivers) and setup hooks — are rejected up front with a
+/// structured error, not silently ignored. Crash/stall/drop/delay plans
+/// are accepted (see `it/faults.rs` for the native chaos scenarios).
 #[test]
-fn native_rejects_faults_and_setup() {
+fn native_rejects_degrades_and_setup() {
     let (topo, hosts) = cluster(2);
     let mk = || {
         let mut g = GraphBuilder::new();
@@ -192,13 +194,18 @@ fn native_rejects_faults_and_setup() {
         g.add_filter("quiet", Placement::on_host(hosts[0], 1), |_| Quiet);
         g.build()
     };
-    let plan = FaultPlan::new().crash_host(hosts[1], SimTime::ZERO + SimDuration::from_millis(1));
+    let plan = FaultPlan::new().degrade_nic(
+        hosts[1],
+        SimTime::ZERO + SimDuration::from_millis(1),
+        SimDuration::from_millis(1),
+        0.5,
+    );
     match Run::new(mk())
         .executor(NativeExecutor::new())
         .faults(FaultOptions::new(plan))
         .go(&topo)
     {
-        Err(RunError::Unsupported { what }) => assert!(what.contains("fault")),
+        Err(RunError::Unsupported { what }) => assert!(what.contains("degradation")),
         other => panic!("expected Unsupported, got {other:?}"),
     }
     match Run::new(mk())
