@@ -1,0 +1,173 @@
+//! **compositing_sweep** — the merge-bottleneck trajectory.
+//!
+//! Scales the raster stage to 4/16/64 copies under the z-buffer algorithm
+//! (whose merge traffic grows linearly with copy count — every copy ships
+//! its full dense buffer) and times the serial single-sink merge (`M`)
+//! against tile-owned compositing (`Mt` group + assembler). Virtual
+//! elapsed time is the headline number: it is deterministic, so the
+//! serial-vs-tiled ratio is a stable measure of how much of the merge
+//! fold the tile group takes off the critical path.
+//!
+//! Every cell is a correctness gate: the tiled image is FNV-digested and
+//! compared against the serial image's digest, and the serial image is
+//! diffed against the sequential reference. Any drift fails the run —
+//! this is the digest sentinel the `perf-smoke` CI job relies on.
+//!
+//! Usage: `compositing_sweep [--quick] [--out FILE] [--no-out]`
+//! Writes `BENCH_compositing.json` (one row per cell, fresh each run).
+
+use std::time::Instant;
+
+use bench::{make_cfg, small_dataset, Table};
+use datacutter::{Placement, WritePolicy};
+use dcapp::{reference_image, run_pipeline, Algorithm, Grouping, PipelineSpec};
+use hetsim::presets::rogue_cluster;
+
+/// FNV-1a over the image dimensions and pixels (the same fold the
+/// bit-identity test suites pin).
+fn image_digest(img: &isosurf::Image) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&(img.width as u64).to_le_bytes());
+    eat(&(img.height as u64).to_le_bytes());
+    for px in &img.data {
+        eat(px);
+    }
+    h
+}
+
+struct Row {
+    id: String,
+    virtual_ms: f64,
+    wall_ms: f64,
+    events: u64,
+    digest: u64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = Some("BENCH_compositing.json".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(args.next().expect("--out needs a value")),
+            "--no-out" => out = None,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    const IMAGE: u32 = 192;
+    const HOSTS: usize = 8;
+    let ds = small_dataset();
+    let ra_counts: &[usize] = if quick { &[4, 16] } else { &[4, 16, 64] };
+
+    let (topo, hosts) = rogue_cluster(HOSTS);
+    let cfg = make_cfg(ds, hosts.clone(), 2, IMAGE);
+    let reference = reference_image(&cfg);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n_ra in ra_counts {
+        let per = n_ra.div_ceil(HOSTS).max(1) as u32;
+        let raster = Placement {
+            per_host: hosts.iter().map(|&h| (h, per)).collect(),
+        };
+        // One merge copy set per host on the `merge_copies` strongest
+        // hosts (homogeneous here, so simply the first four).
+        let merge = Placement::one_per_host(&hosts[..cfg.merge_copies.min(HOSTS)]);
+
+        let cell = |id: String, grouping: Grouping| -> Row {
+            let s = PipelineSpec {
+                grouping,
+                algorithm: Algorithm::ZBuffer,
+                policy: WritePolicy::demand_driven(),
+                merge_host: hosts[0],
+            };
+            let t0 = Instant::now();
+            let r = run_pipeline(&topo, &cfg, &s).expect("sim run failed");
+            Row {
+                id,
+                virtual_ms: r.elapsed.as_secs_f64() * 1e3,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                events: r.report.events,
+                digest: {
+                    assert_eq!(
+                        r.image.diff_pixels(&reference),
+                        0,
+                        "REGRESSION: image diverged from the sequential reference"
+                    );
+                    image_digest(&r.image)
+                },
+            }
+        };
+
+        let serial = cell(
+            format!("compositing/ra{n_ra}/serial"),
+            Grouping::RERaSplit {
+                raster: raster.clone(),
+            },
+        );
+        let tiled = cell(
+            format!("compositing/ra{n_ra}/tilehash"),
+            Grouping::TileComposite {
+                raster,
+                merge: merge.clone(),
+            },
+        );
+        assert_eq!(
+            tiled.digest, serial.digest,
+            "DIGEST DRIFT at ra{n_ra}: tile-hash compositing no longer \
+             bit-identical to the serial merge"
+        );
+        println!(
+            "ra{n_ra}: serial {:.1} ms -> tiled {:.1} ms virtual ({:.2}x), digest {:#018x}",
+            serial.virtual_ms,
+            tiled.virtual_ms,
+            serial.virtual_ms / tiled.virtual_ms,
+            serial.digest,
+        );
+        rows.push(serial);
+        rows.push(tiled);
+    }
+
+    let mut t = Table::new(&["cell", "virtual ms", "wall ms", "events"]);
+    for r in &rows {
+        t.row(vec![
+            r.id.clone(),
+            format!("{:.1}", r.virtual_ms),
+            format!("{:.1}", r.wall_ms),
+            r.events.to_string(),
+        ]);
+    }
+    t.print(&format!(
+        "compositing_sweep ({})",
+        if quick { "quick" } else { "full" }
+    ));
+
+    if let Some(path) = out {
+        let mut json = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"id\": \"{}\", \"virtual_ms\": {:.1}, \"wall_ms\": {:.1}, \
+                 \"events\": {}, \"image_digest\": \"{:#018x}\"}}{}\n",
+                r.id,
+                r.virtual_ms,
+                r.wall_ms,
+                r.events,
+                r.digest,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("]\n");
+        std::fs::write(&path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

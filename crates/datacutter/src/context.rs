@@ -432,6 +432,20 @@ impl FilterCtx {
         m.write_wait += waited;
     }
 
+    /// Write `buf` to output `port` addressed to the copy set *owning*
+    /// tile `tile` under the stream's tile-hash mapping (`tile mod sets`,
+    /// falling through detectably-dead sets deterministically). This is
+    /// the producer half of [`WritePolicy::TileHash`]: the writer stamps
+    /// each buffer with the tile it belongs to and delivery becomes
+    /// content-addressed. Like [`write_to`](Self::write_to), no
+    /// demand-driven acknowledgment is generated.
+    ///
+    /// [`WritePolicy::TileHash`]: crate::WritePolicy::TileHash
+    pub fn write_tile(&mut self, port: usize, tile: u64, buf: DataBuffer) {
+        let idx = self.outputs[port].writer.select_tile(&self.env, tile);
+        self.write_to(port, idx, buf);
+    }
+
     /// Number of consumer copy sets on output `port` (the valid targets
     /// for [`write_to`](Self::write_to)).
     pub fn consumer_copysets(&self, port: usize) -> usize {

@@ -11,6 +11,13 @@
 //!   sends to the copy set with the fewest unacknowledged buffers (ties
 //!   prefer co-located copy sets) and blocks when every copy set is at its
 //!   window limit. Adapts to load at the cost of ack traffic.
+//! * **Tile Hash (TH)** — content-addressed: the producer stamps each
+//!   buffer with a tile index ([`crate::FilterCtx::write_tile`]) and the
+//!   buffer goes to the copy set owning that tile (`tile mod sets`). Every
+//!   fragment of a tile lands on the same consumer, so a group of merge
+//!   copies can composite disjoint image regions in parallel. Zero
+//!   overhead, no acks; under a fault plan a dead owner's tiles fall
+//!   through deterministically to the next live set.
 
 use std::sync::{Arc, Weak};
 
@@ -36,6 +43,11 @@ pub enum WritePolicy {
         /// `window_per_copy × copies`.
         window_per_copy: u32,
     },
+    /// Tile-hash routing: buffers written with
+    /// [`crate::FilterCtx::write_tile`] go to the copy set owning the
+    /// stamped tile (`tile mod sets`). Plain `write`s on a tile-hash
+    /// stream fall back to round robin.
+    TileHash,
 }
 
 impl WritePolicy {
@@ -51,6 +63,7 @@ impl WritePolicy {
             WritePolicy::RoundRobin => "RR",
             WritePolicy::WeightedRoundRobin => "WRR",
             WritePolicy::DemandDriven { .. } => "DD",
+            WritePolicy::TileHash => "TH",
         }
     }
 }
@@ -112,7 +125,10 @@ impl WriterState {
         cancel: Option<Arc<CancelScope>>,
     ) -> Self {
         let inner = match policy {
-            WritePolicy::RoundRobin => WriterInner::Cyclic {
+            // Tile-hash keeps the cyclic machinery for the rare untargeted
+            // `write` (round-robin fallback); `select_tile` does the
+            // content-addressed routing off the same set table.
+            WritePolicy::RoundRobin | WritePolicy::TileHash => WriterInner::Cyclic {
                 schedule: (0..sets.len()).collect(),
                 pos: 0,
                 sets: sets.to_vec(),
@@ -186,6 +202,39 @@ impl WriterState {
             }
             WriterInner::Demand(state) => state.acquire_slot(env),
         }
+    }
+
+    /// Pick the copy set owning `tile`: `tile mod sets`, the tile-hash
+    /// routing rule. Deterministic and stateless, so every producer copy
+    /// agrees on the owner without coordination and every fragment of a
+    /// tile lands on the same consumer. Under an active fault plan a
+    /// detectably-dead owner's tiles fall through to the next live set in
+    /// index order (`(owner + k) mod sets`) — still deterministic, so
+    /// rerouted fragments of one tile stay together. When every set is
+    /// dead the nominal owner is returned and its reaper tallies the
+    /// buffer as lost (degraded mode).
+    pub fn select_tile(&self, env: &ExecEnv, tile: u64) -> usize {
+        let (n, liveness) = match &self.inner {
+            WriterInner::Cyclic { sets, faults, .. } => (
+                sets.len(),
+                faults
+                    .as_ref()
+                    .filter(|c| c.crashes_possible())
+                    .map(|ctl| (ctl.clone(), sets)),
+            ),
+            WriterInner::Demand(state) => (state.inner.lock().sets.len(), None),
+        };
+        let owner = (tile % n.max(1) as u64) as usize;
+        if let Some((ctl, sets)) = liveness {
+            let now = env.now();
+            for k in 0..n {
+                let idx = (owner + k) % n;
+                if !ctl.set_detectably_dead(&sets[idx], now) {
+                    return idx;
+                }
+            }
+        }
+        owner
     }
 
     /// DD shared state, if this writer is demand-driven.
@@ -605,9 +654,85 @@ mod tests {
     }
 
     #[test]
+    fn tile_hash_routes_by_tile_modulo_sets() {
+        let mut sim = Simulation::new();
+        let sets = sets3();
+        sim.spawn("p", move |env| {
+            let env = ExecEnv::from(env);
+            let w = WriterState::new(WritePolicy::TileHash, &sets, HostId(0));
+            let picks: Vec<usize> = (0..7).map(|t| w.select_tile(&env, t)).collect();
+            assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+            // Same tile, same owner — always.
+            for _ in 0..3 {
+                assert_eq!(w.select_tile(&env, 4), 1);
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn tile_hash_is_deterministic_across_writers() {
+        let mut sim = Simulation::new();
+        let sets = sets3();
+        sim.spawn("p", move |env| {
+            let env = ExecEnv::from(env);
+            // Two independent producers (different hosts, fresh state) must
+            // agree on every owner: the routing is content-addressed.
+            let a = WriterState::new(WritePolicy::TileHash, &sets, HostId(0));
+            let b = WriterState::new(WritePolicy::TileHash, &sets, HostId(2));
+            for t in 0..64u64 {
+                assert_eq!(a.select_tile(&env, t), b.select_tile(&env, t), "tile {t}");
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn tile_hash_falls_through_dead_owner_deterministically() {
+        use crate::fault::FaultCtl;
+        use hetsim::{FaultPlan, SimDuration, SimTime};
+        let mut sim = Simulation::new();
+        let sets = sets3();
+        sim.spawn("p", move |env| {
+            // Host 1 (owner of tiles ≡ 1 mod 3) dies at t=0; after the
+            // liveness timeout its tiles fall through to set 2.
+            let plan = FaultPlan::new().crash_host(HostId(1), SimTime::ZERO);
+            let opts =
+                crate::fault::FaultOptions::new(plan).liveness_timeout(SimDuration::from_millis(1));
+            let ctl = FaultCtl::new(&opts);
+            env.delay(SimDuration::from_millis(5)); // past detection
+            let env = ExecEnv::from(env);
+            let w = WriterState::for_run(WritePolicy::TileHash, &sets, HostId(0), Some(ctl), None);
+            assert_eq!(w.select_tile(&env, 0), 0, "live owner keeps its tiles");
+            assert_eq!(
+                w.select_tile(&env, 1),
+                2,
+                "dead owner falls to next live set"
+            );
+            assert_eq!(w.select_tile(&env, 4), 2, "fall-through is stable per tile");
+            assert_eq!(w.select_tile(&env, 2), 2);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn tile_hash_plain_write_falls_back_to_round_robin() {
+        let mut sim = Simulation::new();
+        let sets = sets3();
+        sim.spawn("p", move |env| {
+            let env = ExecEnv::from(env);
+            let mut w = WriterState::new(WritePolicy::TileHash, &sets, HostId(0));
+            let picks: Vec<usize> = (0..6).map(|_| w.select(&env)).collect();
+            assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
     fn labels() {
         assert_eq!(WritePolicy::RoundRobin.label(), "RR");
         assert_eq!(WritePolicy::WeightedRoundRobin.label(), "WRR");
         assert_eq!(WritePolicy::demand_driven().label(), "DD");
+        assert_eq!(WritePolicy::TileHash.label(), "TH");
     }
 }

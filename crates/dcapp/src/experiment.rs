@@ -208,6 +208,8 @@ pub fn clone_config(cfg: &SharedConfig) -> crate::config::AppConfig {
         tri_batch: cfg.tri_batch,
         wpa_capacity: cfg.wpa_capacity,
         zb_band_bytes: cfg.zb_band_bytes,
+        tile_size: cfg.tile_size,
+        merge_copies: cfg.merge_copies,
         placement: cfg.placement.clone(),
         storage_hosts: cfg.storage_hosts.clone(),
         selected_cache: std::sync::OnceLock::new(),
@@ -465,6 +467,102 @@ mod tests {
         // 4 copies x full image vs 1 x full image.
         assert_eq!(vol_replicated, 4 * vol_partitioned);
         assert_eq!(rp.image.diff_pixels(&rr.image), 0);
+    }
+
+    #[test]
+    fn tile_composite_matches_reference_both_algorithms() {
+        let (topo, cfg) = small_setup(3, 96);
+        for alg in [Algorithm::ZBuffer, Algorithm::ActivePixel] {
+            let s = spec(
+                &topo,
+                &cfg,
+                Grouping::TileComposite {
+                    raster: Placement::one_per_host(&cfg.storage_hosts),
+                    merge: Placement::one_per_host(&cfg.storage_hosts),
+                },
+                alg,
+            );
+            let r = run_pipeline(&topo, &cfg, &s).unwrap();
+            assert_eq!(r.image.diff_pixels(&reference_image(&cfg)), 0, "{alg:?}");
+            assert_eq!(r.filters.len(), 4, "RE, Ra, Mt, A");
+        }
+    }
+
+    #[test]
+    fn tile_composite_is_bitwise_equal_to_single_sink_merge() {
+        // The tentpole invariant: distributing the merge over tile owners
+        // must not change a single pixel relative to the serial sink.
+        let (topo, cfg) = small_setup(3, 96);
+        for alg in [Algorithm::ZBuffer, Algorithm::ActivePixel] {
+            let serial = spec(
+                &topo,
+                &cfg,
+                Grouping::RERaSplit {
+                    raster: Placement::one_per_host(&cfg.storage_hosts),
+                },
+                alg,
+            );
+            let tiled = spec(
+                &topo,
+                &cfg,
+                Grouping::TileComposite {
+                    raster: Placement::one_per_host(&cfg.storage_hosts),
+                    merge: Placement::one_per_host(&cfg.storage_hosts),
+                },
+                alg,
+            );
+            let rs = run_pipeline(&topo, &cfg, &serial).unwrap();
+            let rt = run_pipeline(&topo, &cfg, &tiled).unwrap();
+            assert_eq!(rt.image.diff_pixels(&rs.image), 0, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn tile_composite_handles_extreme_tile_sizes() {
+        // One-row tiles (maximal splitting) and one giant tile (everything
+        // lands on one merge set) are both correct.
+        let (topo, cfg) = small_setup(2, 96);
+        for tile_size in [1u32, 7, 96, 10_000] {
+            let mut c = clone_config(&cfg);
+            c.tile_size = tile_size;
+            let c: SharedConfig = Arc::new(c);
+            let s = spec(
+                &topo,
+                &c,
+                Grouping::TileComposite {
+                    raster: Placement::one_per_host(&c.storage_hosts),
+                    merge: Placement::one_per_host(&c.storage_hosts),
+                },
+                Algorithm::ActivePixel,
+            );
+            let r = run_pipeline(&topo, &c, &s).unwrap();
+            assert_eq!(
+                r.image.diff_pixels(&reference_image(&c)),
+                0,
+                "tile_size={tile_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_composite_multi_uow_resets_tile_accumulators() {
+        // Leaked per-tile z-buffers would ghost earlier timesteps into
+        // later images, exactly like the single-sink regression test.
+        let (topo, cfg) = small_setup(2, 96);
+        let s = spec(
+            &topo,
+            &cfg,
+            Grouping::TileComposite {
+                raster: Placement::one_per_host(&cfg.storage_hosts),
+                merge: Placement::one_per_host(&cfg.storage_hosts),
+            },
+            Algorithm::ZBuffer,
+        );
+        let multi = run_pipeline_uows(&topo, &cfg, &s, 2).unwrap();
+        let mut c = clone_config(&cfg);
+        c.timestep = 1;
+        let reference = reference_image(&Arc::new(c));
+        assert_eq!(multi.images[1].diff_pixels(&reference), 0);
     }
 
     #[test]

@@ -8,8 +8,11 @@ use isosurf::Image;
 use parking_lot::Mutex;
 
 use crate::config::{Algorithm, SharedConfig};
-use crate::parts::{ExtractStage, MergeStage, RasterStage, ReadStage, RoutedExtractStage};
+use crate::parts::{
+    ExtractStage, MergeStage, RasterStage, ReadStage, RoutedExtractStage, TileMergeStage,
+};
 use crate::payload::{ChunkPayload, RaOut, TriBatch};
+use crate::tiles::TileSplitter;
 
 /// Shared slot the merge filter deposits final images into (one per unit
 /// of work, in UOW order).
@@ -147,6 +150,107 @@ impl Filter for RasterFilter {
             stage.feed(&self.cfg, ctx, batch, write_raout);
         }
         stage.finish(&self.cfg, ctx, write_raout);
+        Ok(())
+    }
+
+    fn finalize(&mut self, _ctx: &mut FilterCtx) {
+        self.stage = None;
+    }
+}
+
+/// **Ra/t** — [`RasterFilter`] for the tile-composite group: every
+/// outgoing partial result is cut at tile boundaries by a [`TileSplitter`]
+/// and routed to the merge copy set owning its tile via
+/// `FilterCtx::write_tile` over a tile-hash stream.
+pub struct TiledRasterFilter {
+    cfg: SharedConfig,
+    alg: Algorithm,
+    stage: Option<RasterStage>,
+    splitter: TileSplitter,
+}
+
+impl TiledRasterFilter {
+    /// Build for the given algorithm; tiling comes from `cfg.tile_rows()`.
+    pub fn new(cfg: SharedConfig, alg: Algorithm) -> Self {
+        let splitter = TileSplitter::new(cfg.tile_rows(), cfg.n_tiles());
+        TiledRasterFilter {
+            cfg,
+            alg,
+            stage: None,
+            splitter,
+        }
+    }
+}
+
+fn write_tile_raout(ctx: &mut FilterCtx, tile: u32, r: RaOut) {
+    let wire = r.wire_bytes();
+    let buf = ctx.buffer_slab().make(r, wire);
+    ctx.write_tile(0, tile as u64, buf);
+}
+
+impl Filter for TiledRasterFilter {
+    fn init(&mut self, _ctx: &mut FilterCtx) {
+        self.stage = Some(RasterStage::new(self.alg, &self.cfg));
+    }
+
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        let Self {
+            cfg,
+            stage,
+            splitter,
+            ..
+        } = self;
+        let stage = stage.as_mut().expect("init ran");
+        let mut sink = |ctx: &mut FilterCtx, r: RaOut| {
+            splitter.split(r, |tile, frag| write_tile_raout(ctx, tile, frag));
+        };
+        while let Some(b) = ctx.read(0) {
+            let batch = ctx
+                .buffer_slab()
+                .recycle_ctx::<TriBatch>(b, "Ra filter input");
+            stage.feed(cfg, ctx, batch, &mut sink);
+        }
+        stage.finish(cfg, ctx, &mut sink);
+        Ok(())
+    }
+
+    fn finalize(&mut self, _ctx: &mut FilterCtx) {
+        self.stage = None;
+    }
+}
+
+/// **Mt** — one copy of the parallel merge group: composites the tiles it
+/// owns (any tile it receives — ownership is enforced by the producer's
+/// tile-hash routing, and the fold is commutative, so fault-time rerouting
+/// composites correctly anywhere) and ships the finished tiles to the
+/// assembler once its input hits end-of-work.
+pub struct TileMergeFilter {
+    cfg: SharedConfig,
+    stage: Option<TileMergeStage>,
+}
+
+impl TileMergeFilter {
+    /// Build over the shared config's tiling.
+    pub fn new(cfg: SharedConfig) -> Self {
+        TileMergeFilter { cfg, stage: None }
+    }
+}
+
+impl Filter for TileMergeFilter {
+    fn init(&mut self, _ctx: &mut FilterCtx) {
+        self.stage = Some(TileMergeStage::new(self.cfg.clone()));
+    }
+
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        let stage = self.stage.as_mut().expect("init ran");
+        while let Some(b) = ctx.read(0) {
+            let out = ctx.buffer_slab().recycle_ctx::<RaOut>(b, "Mt filter input");
+            stage.feed(ctx, out);
+        }
+        // The read loop drained to end-of-work: every fragment for this
+        // copy's tiles has been folded, so the composited tiles are final
+        // and can travel to the assembler.
+        stage.finish(ctx, write_raout);
         Ok(())
     }
 

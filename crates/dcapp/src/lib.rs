@@ -21,6 +21,7 @@ pub mod payload;
 pub mod pipeline;
 pub mod planner;
 pub mod pool;
+pub mod tiles;
 
 mod parts;
 
@@ -32,9 +33,11 @@ pub use experiment::{
 };
 pub use filters::{
     ExtractFilter, ExtractRasterFilter, ImageSlot, MergeFilter, PartitionedReadExtractFilter,
-    RasterFilter, ReadExtractFilter, ReadExtractRasterFilter, ReadFilter,
+    RasterFilter, ReadExtractFilter, ReadExtractRasterFilter, ReadFilter, TileMergeFilter,
+    TiledRasterFilter,
 };
 pub use payload::{ChunkPayload, RaOut, TriBatch};
 pub use pipeline::{build_pipeline, Grouping, Pipeline, PipelineSpec};
 pub use planner::{estimate_work, plan, Plan, WorkEstimate};
 pub use pool::{BufferPool, PoolVec};
+pub use tiles::TileSplitter;

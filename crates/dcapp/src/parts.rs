@@ -7,7 +7,7 @@
 use datacutter::FilterCtx;
 use isosurf::{
     merge_batch, raster_triangle, ActivePixelBuffer, Image, Triangle, WinningPixel, ZBuffer,
-    BACKGROUND, EMPTY_DEPTH,
+    BACKGROUND,
 };
 
 use crate::config::{Algorithm, SharedConfig};
@@ -391,6 +391,85 @@ pub(crate) fn split_bands(height: u32, n: usize) -> Vec<(u32, u32)> {
         .collect()
 }
 
+/// One merge copy's accumulator in the tile-composite group: a small
+/// z-buffer **per owned tile**, materialized lazily when the first
+/// fragment for that tile arrives. The producer splits fragments at tile
+/// boundaries, so each incoming [`RaOut`] lies in exactly one tile and the
+/// fold is the same strict-`<` depth test the single-sink merge applies —
+/// compositing per tile and stitching is bit-identical to folding
+/// everything into one whole-image buffer.
+pub(crate) struct TileMergeStage {
+    pub cfg: SharedConfig,
+    tile_rows: u32,
+    tiles: Vec<Option<ZBuffer>>,
+    /// Depth entries folded (metrics).
+    pub entries: u64,
+}
+
+impl TileMergeStage {
+    pub fn new(cfg: SharedConfig) -> Self {
+        let tile_rows = cfg.tile_rows();
+        let n = cfg.n_tiles() as usize;
+        TileMergeStage {
+            cfg,
+            tile_rows,
+            tiles: (0..n).map(|_| None).collect(),
+            entries: 0,
+        }
+    }
+
+    fn tile_mut(&mut self, tile: u32) -> (&mut ZBuffer, u32) {
+        let (lo, hi) = crate::tiles::tile_range(tile, self.tile_rows, self.cfg.camera.height);
+        let w = self.cfg.camera.width;
+        let zb = self.tiles[tile as usize].get_or_insert_with(|| ZBuffer::new(w, hi - lo));
+        (zb, lo)
+    }
+
+    /// Fold one single-tile fragment.
+    pub fn feed(&mut self, ctx: &mut FilterCtx, out: RaOut) {
+        let entries = out.merge_entries();
+        if entries == 0 {
+            return;
+        }
+        match out {
+            RaOut::Band {
+                y0, depth, color, ..
+            } => {
+                let (zb, lo) = self.tile_mut(crate::tiles::tile_of_row(y0, self.tile_rows));
+                isosurf::merge_rows(zb, y0 - lo, &depth, &color);
+            }
+            RaOut::Wpa(batch) => {
+                let tile = crate::tiles::tile_of_row(batch[0].y as u32, self.tile_rows);
+                let (zb, lo) = self.tile_mut(tile);
+                isosurf::merge_batch_offset(zb, lo, &batch);
+            }
+        }
+        self.entries += entries;
+        ctx.compute(self.cfg.cost.merge_cost(entries));
+    }
+
+    /// Ship every composited tile downstream as a dense band, in ascending
+    /// tile order (call after the input stream hits end-of-work). The tile
+    /// buffers are moved, not copied.
+    pub fn finish(&mut self, ctx: &mut FilterCtx, mut sink: impl FnMut(&mut FilterCtx, RaOut)) {
+        for t in 0..self.tiles.len() {
+            if let Some(zb) = self.tiles[t].take() {
+                let (lo, _) =
+                    crate::tiles::tile_range(t as u32, self.tile_rows, self.cfg.camera.height);
+                sink(
+                    ctx,
+                    RaOut::Band {
+                        y0: lo,
+                        width: zb.width,
+                        depth: zb.depth.into(),
+                        color: zb.color.into(),
+                    },
+                );
+            }
+        }
+    }
+}
+
 /// The merge filter's accumulator: folds partial results into the final
 /// image. Handles both algorithms' payloads.
 pub(crate) struct MergeStage {
@@ -421,16 +500,7 @@ impl MergeStage {
                 color,
             } => {
                 debug_assert_eq!(width, self.zb.width);
-                let base = (y0 * width) as usize;
-                for (i, (&d, &c)) in depth.iter().zip(color.iter()).enumerate() {
-                    if d != EMPTY_DEPTH {
-                        let idx = base + i;
-                        if d < self.zb.depth[idx] {
-                            self.zb.depth[idx] = d;
-                            self.zb.color[idx] = c;
-                        }
-                    }
-                }
+                isosurf::merge_rows(&mut self.zb, y0, &depth, &color);
             }
             RaOut::Wpa(batch) => merge_batch(&mut self.zb, &batch),
         }

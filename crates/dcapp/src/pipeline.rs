@@ -8,7 +8,8 @@ use hetsim::HostId;
 use crate::config::{Algorithm, SharedConfig};
 use crate::filters::{
     ExtractFilter, ExtractRasterFilter, ImageSlot, MergeFilter, PartitionedReadExtractFilter,
-    RasterFilter, ReadExtractFilter, ReadExtractRasterFilter, ReadFilter,
+    RasterFilter, ReadExtractFilter, ReadExtractRasterFilter, ReadFilter, TileMergeFilter,
+    TiledRasterFilter,
 };
 
 /// How the application is decomposed into filters.
@@ -35,6 +36,21 @@ pub enum Grouping {
         /// Placement of the extract+raster copies.
         era: Placement,
     },
+    /// `RE–Ra–Mt–A`: **tile-owned compositing** — the merge becomes a
+    /// parallel filter group. The image is cut into fixed row-strip tiles
+    /// (`cfg.tile_size`); raster copies split every partial result at tile
+    /// boundaries and tile-hash-route each fragment to the merge copy set
+    /// owning its tile; each merge copy composites only its tiles; a
+    /// lightweight assembler (`A`, on `merge_host`) stitches the finished
+    /// tiles after end-of-work. Bit-identical to the single-sink merge —
+    /// the fold is the same commutative depth test over disjoint regions.
+    TileComposite {
+        /// Placement of the raster copies.
+        raster: Placement,
+        /// Placement of the merge group; each *host* is one copy set
+        /// owning the tiles congruent to its set index.
+        merge: Placement,
+    },
     /// `RE–Ra–M` with **image partitioning** (the paper's §6 alternative):
     /// each raster copy set owns one horizontal band of the screen;
     /// triangle batches are routed to the owning set, so the merge filter
@@ -55,6 +71,7 @@ impl Grouping {
             Grouping::RERaSplit { .. } => "RE-Ra-M",
             Grouping::REraSplit { .. } => "R-ERa-M",
             Grouping::ImagePartitioned { .. } => "RE-Ra-M/part",
+            Grouping::TileComposite { .. } => "RE-Ra-Mt-A",
         }
     }
 }
@@ -176,6 +193,32 @@ pub fn build_pipeline(cfg: &SharedConfig, spec: &PipelineSpec) -> Pipeline {
             let s_ra = g.connect(re, ra, spec.policy);
             let s_m = g.connect(ra, m, spec.policy);
             (vec![re, ra, m], Some(s_ra), s_m)
+        }
+        Grouping::TileComposite { raster, merge } => {
+            let cfg2 = cfg.clone();
+            let re = g.add_filter("RE", storage, move |info| {
+                ReadExtractFilter::new(cfg2.clone(), mk_read_index(info))
+            });
+            let cfg2 = cfg.clone();
+            let ra = g.add_filter("Ra", raster.clone(), move |_| {
+                TiledRasterFilter::new(cfg2.clone(), alg)
+            });
+            let cfg2 = cfg.clone();
+            let mt = g.add_filter("Mt", merge.clone(), move |_| {
+                TileMergeFilter::new(cfg2.clone())
+            });
+            let cfg2 = cfg.clone();
+            let slot = image.clone();
+            let a = g.add_filter("A", Placement::on_host(spec.merge_host, 1), move |_| {
+                MergeFilter::new(cfg2.clone(), slot.clone())
+            });
+            let s_ra = g.connect(re, ra, spec.policy);
+            // The merge-group stream is structurally tile-hash: fragments
+            // are routed by tile ownership, not by the spec policy.
+            let s_m = g.connect(ra, mt, WritePolicy::TileHash);
+            // One single-copy assembler set: policy is nominal.
+            g.connect(mt, a, WritePolicy::RoundRobin);
+            (vec![re, ra, mt, a], Some(s_ra), s_m)
         }
         Grouping::REraSplit { era } => {
             let cfg2 = cfg.clone();

@@ -217,7 +217,7 @@ pub fn plan(topo: &Topology, cfg: &SharedConfig, compute_hosts: &[HostId]) -> Pl
         r_era_secs,
     ));
 
-    let (label, grouping, secs) = candidates
+    let (label, mut grouping, secs) = candidates
         .iter()
         .min_by(|a, b| a.2.total_cmp(&b.2))
         .map(|(l, g, s)| (l.clone(), g.clone(), *s))
@@ -265,10 +265,35 @@ pub fn plan(topo: &Topology, cfg: &SharedConfig, compute_hosts: &[HostId]) -> Pl
         .max_by(|&&a, &&b| capacity(topo, a).total_cmp(&capacity(topo, b)))
         .expect("non-empty");
 
+    // Tile-composite upgrade: with a single merge copy every depth entry
+    // funnels through one host, so once that fold is a material fraction
+    // of the modeled makespan the merge stage serializes the graph. Split
+    // it into a tile-owned merge group (one copy set per host, tiles
+    // routed by tile-hash) when the config allows more than one merge
+    // copy and there are hosts to spread over.
+    let merge_secs = cost.merge_cost(est.pixels).as_secs_f64() / capacity(topo, merge_host);
+    let mut tile_note = String::new();
+    if cfg.merge_copies > 1 && compute_hosts.len() >= 2 && merge_secs > 0.25 * secs {
+        if let Grouping::RERaSplit { raster } = &grouping {
+            let mut by_cap = compute_hosts.to_vec();
+            by_cap.sort_by(|&a, &b| capacity(topo, b).total_cmp(&capacity(topo, a)));
+            by_cap.truncate(cfg.merge_copies);
+            grouping = Grouping::TileComposite {
+                raster: raster.clone(),
+                merge: Placement::one_per_host(&by_cap),
+            };
+            tile_note = format!(
+                "; merge fold ≈{merge_secs:.2}s would serialize — split into a \
+                 tile-hash merge group over {} hosts",
+                by_cap.len()
+            );
+        }
+    }
+
     let rationale = format!(
         "est. work: read {read_w:.2}s extract {extract_w:.2}s raster {raster_w:.2}s; \
          volumes: chunks {:.1}MB tris {:.1}MB; chose {label} ({secs:.2}s model) with {} \
-         ({} copies over {} hosts){}",
+         ({} copies over {} hosts){}{tile_note}",
         est.chunk_bytes as f64 / 1e6,
         est.tri_bytes as f64 / 1e6,
         policy.label(),
@@ -365,6 +390,32 @@ mod tests {
         let cfg = cfg_for(hosts.clone(), 256);
         let p = plan(&topo, &cfg, &hosts);
         assert_ne!(p.spec.grouping.label(), "R-ERa-M", "{}", p.rationale);
+    }
+
+    #[test]
+    fn planner_upgrades_serializing_merge_to_tile_group() {
+        let (topo, hosts) = rogue_cluster(4);
+        let mut c = AppConfig::new(dataset(), hosts.clone(), 2, 128, 128);
+        c.iso = 0.5;
+        // Make the single-sink fold dominate the makespan model.
+        c.cost.merge_per_entry = 1.0e-3;
+        let cfg: SharedConfig = Arc::new(c);
+        let p = plan(&topo, &cfg, &hosts);
+        assert_eq!(p.spec.grouping.label(), "RE-Ra-Mt-A", "{}", p.rationale);
+        if let Grouping::TileComposite { merge, .. } = &p.spec.grouping {
+            assert_eq!(merge.per_host.len(), cfg.merge_copies);
+        }
+        let r = crate::run_pipeline(&topo, &cfg, &p.spec).unwrap();
+        assert_eq!(r.image.diff_pixels(&crate::reference_image(&cfg)), 0);
+    }
+
+    #[test]
+    fn planner_keeps_single_sink_when_merge_is_light() {
+        // The default cost model's merge is cheap: no upgrade.
+        let (topo, hosts) = rogue_cluster(4);
+        let cfg = cfg_for(hosts.clone(), 256);
+        let p = plan(&topo, &cfg, &hosts);
+        assert_ne!(p.spec.grouping.label(), "RE-Ra-Mt-A", "{}", p.rationale);
     }
 
     #[test]

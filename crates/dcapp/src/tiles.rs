@@ -1,0 +1,258 @@
+//! Tile math and the producer-side splitter for tile-owned compositing.
+//!
+//! The output image is partitioned into fixed **tiles** — full-width row
+//! strips of `tile_rows` rows (the last tile may be shorter). Under the
+//! tile-hash writer policy each merge copy set owns the tiles congruent to
+//! its set index, so compositing parallelizes across disjoint screen
+//! regions instead of across buffers. The [`TileSplitter`] runs inside the
+//! raster filter and cuts every outgoing partial result at tile
+//! boundaries, so each shipped fragment falls inside exactly one tile and
+//! can be routed with [`FilterCtx::write_tile`](datacutter::FilterCtx::write_tile).
+//!
+//! All split buffers draw from per-copy [`BufferPool`]s, so after warm-up
+//! splitting allocates nothing: consumers dropping a fragment recycle its
+//! buffer back to the splitter that produced it.
+
+use isosurf::WinningPixel;
+
+use crate::payload::RaOut;
+use crate::pool::BufferPool;
+
+/// Rows per tile for a `tile_size` knob over an image of `height` rows,
+/// clamped to `[1, height]`.
+pub fn tile_rows(tile_size: u32, height: u32) -> u32 {
+    tile_size.clamp(1, height.max(1))
+}
+
+/// Number of tiles covering `height` rows at `tile_rows` rows per tile.
+pub fn n_tiles(height: u32, tile_rows: u32) -> u32 {
+    height.div_ceil(tile_rows.max(1)).max(1)
+}
+
+/// The tile owning image row `y`.
+pub fn tile_of_row(y: u32, tile_rows: u32) -> u32 {
+    y / tile_rows.max(1)
+}
+
+/// Row range `[lo, hi)` of `tile` (the last tile is clipped to `height`).
+pub fn tile_range(tile: u32, tile_rows: u32, height: u32) -> (u32, u32) {
+    let lo = (tile * tile_rows).min(height);
+    let hi = (lo + tile_rows).min(height);
+    (lo, hi)
+}
+
+/// Cuts raster output at tile boundaries so every emitted fragment lies in
+/// exactly one tile. Single-tile inputs pass through untouched (zero
+/// copies); straddling inputs are sliced into pooled per-tile buffers and
+/// the original is recycled to its producer on drop.
+pub struct TileSplitter {
+    tile_rows: u32,
+    /// Per-tile WPA accumulation slots, reused across calls so a split
+    /// performs no container allocation in steady state.
+    slots: Vec<Option<crate::pool::PoolVec<WinningPixel>>>,
+    wpool: BufferPool<WinningPixel>,
+    dpool: BufferPool<f32>,
+    cpool: BufferPool<[u8; 3]>,
+}
+
+impl TileSplitter {
+    /// A splitter for `n_tiles` tiles of `tile_rows` rows each.
+    pub fn new(tile_rows: u32, n_tiles: u32) -> Self {
+        TileSplitter {
+            tile_rows: tile_rows.max(1),
+            slots: (0..n_tiles).map(|_| None).collect(),
+            wpool: BufferPool::new(),
+            dpool: BufferPool::new(),
+            cpool: BufferPool::new(),
+        }
+    }
+
+    /// Split `out` at tile boundaries, handing each fragment to
+    /// `sink(tile, fragment)` in ascending tile order. Entry order within
+    /// each tile is preserved, so re-merging the fragments reproduces the
+    /// original contents exactly (the depth test is order-insensitive
+    /// anyway, but determinism is cheap to keep).
+    pub fn split(&mut self, out: RaOut, mut sink: impl FnMut(u32, RaOut)) {
+        let tr = self.tile_rows;
+        match out {
+            RaOut::Band {
+                y0,
+                width,
+                depth,
+                color,
+            } => {
+                let rows = depth.len() as u32 / width.max(1);
+                let first = tile_of_row(y0, tr);
+                let last = tile_of_row(y0 + rows.saturating_sub(1), tr);
+                if first == last {
+                    sink(
+                        first,
+                        RaOut::Band {
+                            y0,
+                            width,
+                            depth,
+                            color,
+                        },
+                    );
+                    return;
+                }
+                let mut y = y0;
+                let end = y0 + rows;
+                while y < end {
+                    let tile = tile_of_row(y, tr);
+                    let next = ((tile + 1) * tr).min(end);
+                    let a = ((y - y0) * width) as usize;
+                    let b = ((next - y0) * width) as usize;
+                    let mut d = self.dpool.take(b - a);
+                    d.buf_mut().extend_from_slice(&depth[a..b]);
+                    let mut c = self.cpool.take(b - a);
+                    c.buf_mut().extend_from_slice(&color[a..b]);
+                    sink(
+                        tile,
+                        RaOut::Band {
+                            y0: y,
+                            width,
+                            depth: d,
+                            color: c,
+                        },
+                    );
+                    y = next;
+                }
+            }
+            RaOut::Wpa(batch) => {
+                if batch.is_empty() {
+                    return;
+                }
+                let first = tile_of_row(batch[0].y as u32, tr);
+                if batch.iter().all(|wp| tile_of_row(wp.y as u32, tr) == first) {
+                    sink(first, RaOut::Wpa(batch));
+                    return;
+                }
+                let TileSplitter { slots, wpool, .. } = self;
+                for wp in batch.iter() {
+                    let t = tile_of_row(wp.y as u32, tr) as usize;
+                    slots[t]
+                        .get_or_insert_with(|| wpool.take(batch.len()))
+                        .buf_mut()
+                        .push(*wp);
+                }
+                for (t, slot) in slots.iter_mut().enumerate() {
+                    if let Some(part) = slot.take() {
+                        sink(t as u32, RaOut::Wpa(part));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_math_covers_every_row_once() {
+        for (h, ts) in [(96u32, 16u32), (97, 16), (5, 7), (1, 1), (100, 33)] {
+            let tr = tile_rows(ts, h);
+            let n = n_tiles(h, tr);
+            let mut covered = 0u32;
+            for t in 0..n {
+                let (lo, hi) = tile_range(t, tr, h);
+                assert!(lo < hi, "h={h} ts={ts} tile {t} is empty");
+                assert_eq!(lo, covered, "h={h} ts={ts} tile {t} leaves a gap");
+                for y in lo..hi {
+                    assert_eq!(tile_of_row(y, tr), t);
+                }
+                covered = hi;
+            }
+            assert_eq!(covered, h, "h={h} ts={ts} tiles don't cover the image");
+        }
+    }
+
+    #[test]
+    fn single_tile_band_passes_through() {
+        let mut s = TileSplitter::new(8, 4);
+        let mut got = Vec::new();
+        s.split(
+            RaOut::Band {
+                y0: 8,
+                width: 4,
+                depth: vec![1.0; 8].into(),
+                color: vec![[1; 3]; 8].into(),
+            },
+            |t, r| got.push((t, r.merge_entries())),
+        );
+        assert_eq!(got, vec![(1, 8)]);
+    }
+
+    #[test]
+    fn straddling_band_splits_at_boundaries() {
+        // 6 rows starting at y=6 over 4-row tiles: rows 6-7 (tile 1),
+        // 8-11 (tile 2).
+        let mut s = TileSplitter::new(4, 3);
+        let depth: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let color: Vec<[u8; 3]> = (0..12).map(|i| [i as u8; 3]).collect();
+        let mut got = Vec::new();
+        s.split(
+            RaOut::Band {
+                y0: 6,
+                width: 2,
+                depth: depth.into(),
+                color: color.into(),
+            },
+            |t, r| {
+                if let RaOut::Band { y0, depth, .. } = r {
+                    got.push((t, y0, depth.to_vec()));
+                }
+            },
+        );
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (1, 6, vec![0.0, 1.0, 2.0, 3.0]));
+        assert_eq!(
+            got[1],
+            (2, 8, vec![4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0])
+        );
+    }
+
+    #[test]
+    fn straddling_wpa_splits_preserving_order() {
+        let wp = |y: u16, d: f32| WinningPixel {
+            x: 0,
+            y,
+            depth: d,
+            rgb: [0; 3],
+        };
+        let mut s = TileSplitter::new(4, 3);
+        let batch = vec![wp(9, 1.0), wp(1, 2.0), wp(2, 3.0), wp(11, 4.0)];
+        let mut got = Vec::new();
+        s.split(RaOut::Wpa(batch.into()), |t, r| {
+            if let RaOut::Wpa(v) = r {
+                got.push((t, v.iter().map(|w| w.depth).collect::<Vec<_>>()));
+            }
+        });
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (0, vec![2.0, 3.0]));
+        assert_eq!(got[1], (2, vec![1.0, 4.0]));
+    }
+
+    #[test]
+    fn splitting_recycles_buffers() {
+        let mut s = TileSplitter::new(4, 3);
+        for _ in 0..50 {
+            let batch: Vec<WinningPixel> = (0..12)
+                .map(|i| WinningPixel {
+                    x: 0,
+                    y: i as u16,
+                    depth: 1.0,
+                    rgb: [0; 3],
+                })
+                .collect();
+            s.split(RaOut::Wpa(batch.into()), |_, r| drop(r));
+        }
+        assert!(
+            s.wpool.allocated() <= 3,
+            "steady-state WPA splitting must recycle ({} allocs)",
+            s.wpool.allocated()
+        );
+    }
+}

@@ -217,9 +217,56 @@ pub fn merge_batch_with(
     });
 }
 
+/// [`merge_batch_serial`] with a row offset: plot each winning pixel at
+/// `(x, y - y_offset)` of `target`. This is the WPA kernel of tile-owned
+/// compositing — a merge copy holds one small [`ZBuffer`] per owned tile
+/// (a row strip of the image) and folds batches whose entries all fall in
+/// that strip. Per-pixel candidate order is the batch order and the depth
+/// test is the same strict `<`, so compositing per tile and stitching is
+/// bit-identical to merging every batch into one whole-image buffer.
+pub fn merge_batch_offset(target: &mut ZBuffer, y_offset: u32, batch: &[WinningPixel]) {
+    for wp in batch {
+        debug_assert!(wp.y as u32 >= y_offset, "entry above the tile");
+        target.plot(wp.x as u32, wp.y as u32 - y_offset, wp.depth, wp.rgb);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_batch_offset_matches_whole_image_merge() {
+        // Route each entry to a 4-row tile buffer by offset merge, stitch,
+        // and compare against a single whole-image merge.
+        let mut batch = Vec::new();
+        let mut s = 7u64;
+        for _ in 0..500 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (s >> 33) as u32;
+            batch.push(WinningPixel {
+                x: (r % 8) as u16,
+                y: ((r >> 8) % 12) as u16,
+                depth: ((r >> 16) % 4) as f32,
+                rgb: [r as u8, (r >> 8) as u8, (r >> 16) as u8],
+            });
+        }
+        let mut whole = ZBuffer::new(8, 12);
+        merge_batch_serial(&mut whole, &batch);
+
+        let mut tiles: Vec<ZBuffer> = (0..3).map(|_| ZBuffer::new(8, 4)).collect();
+        for wp in &batch {
+            let t = wp.y as usize / 4;
+            merge_batch_offset(&mut tiles[t], t as u32 * 4, std::slice::from_ref(wp));
+        }
+        let mut stitched = ZBuffer::new(8, 12);
+        for (t, tile) in tiles.iter().enumerate() {
+            crate::zbuf::merge_rows(&mut stitched, t as u32 * 4, &tile.depth, &tile.color);
+        }
+        assert_eq!(whole, stitched);
+    }
 
     #[test]
     fn flushes_when_capacity_reached() {

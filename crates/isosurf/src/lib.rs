@@ -42,8 +42,8 @@ pub mod shade;
 pub mod zbuf;
 
 pub use active::{
-    merge_batch, merge_batch_serial, merge_batch_with, ActivePixelBuffer, WinningPixel,
-    WPA_ENTRY_WIRE_BYTES,
+    merge_batch, merge_batch_offset, merge_batch_serial, merge_batch_with, ActivePixelBuffer,
+    WinningPixel, WPA_ENTRY_WIRE_BYTES,
 };
 pub use camera::{Camera, Projector, ScreenVertex};
 pub use image::Image;
@@ -57,5 +57,6 @@ pub use raster::{fill_triangle, raster_triangle, RasterStats};
 pub use render::{render_active_pixel, render_zbuffer, render_zbuffer_with, BACKGROUND};
 pub use shade::{shade, species_material, Material};
 pub use zbuf::{
-    merge_many, merge_many_serial, merge_many_with, ZBuffer, EMPTY_DEPTH, ZBUF_ENTRY_WIRE_BYTES,
+    merge_many, merge_many_serial, merge_many_with, merge_rows, ZBuffer, EMPTY_DEPTH,
+    ZBUF_ENTRY_WIRE_BYTES,
 };

@@ -157,23 +157,18 @@ impl ZBuffer {
 
 /// Reduce `bufs` into `bufs[0]`, keeping the nearest surface per pixel.
 ///
-/// With the default-on `parallel` feature this is a tree reduction on the
-/// [global pool](crate::par::ThreadPool::global); the merge filter uses it
-/// to fold the per-copy partial buffers that accumulate at end-of-work.
-/// The depth test keeps the lower-index buffer on ties (strict `<`), the
-/// same tie-break a left-to-right serial fold applies, so the result is
-/// bit-identical to [`merge_many_serial`]. No-op on an empty slice.
+/// This is a plain serial left-to-right fold. An earlier revision
+/// auto-dispatched large inputs to the [`merge_many_with`] tree reduction,
+/// but BENCH_kernels.json showed the tree *regressing* the fold at every
+/// thread count tried (2–8 threads ≈ 36 ms vs ≈ 23 ms serial on the bench
+/// image): the kernel is memory-bound and the tree touches every
+/// intermediate buffer once per round instead of streaming each buffer
+/// through the single destination exactly once. The auto-dispatch (and its
+/// threshold plumbing) is retired; callers that really want the tree on an
+/// explicit pool can still call [`merge_many_with`] directly. The preferred
+/// way to parallelize merging is across *tiles* (disjoint image regions),
+/// not across buffers — see the tile-hash compositing pipeline in `dcapp`.
 pub fn merge_many(bufs: &mut [ZBuffer]) {
-    #[cfg(feature = "parallel")]
-    {
-        let pool = crate::par::ThreadPool::global();
-        if pool.threads() > 1
-            && bufs.len() >= 2
-            && bufs[0].depth.len() * (bufs.len() - 1) >= PAR_MIN_PIXELS
-        {
-            return merge_many_with(pool, bufs);
-        }
-    }
     merge_many_serial(bufs);
 }
 
@@ -220,6 +215,34 @@ pub fn merge_many_with(pool: &crate::par::ThreadPool, bufs: &mut [ZBuffer]) {
             dst.merge_serial(src);
         });
         gap *= 2;
+    }
+}
+
+/// Composite a row-major `(depth, color)` span into `dst` starting at row
+/// `row0` *of `dst`*, keeping the nearest surface per pixel (strict `<`,
+/// ties keep `dst` — the same test every other merge kernel applies, so
+/// tile-local compositing stays bit-identical to a whole-image fold).
+///
+/// This is the band kernel of tile-owned compositing: a merge copy holds
+/// one small [`ZBuffer`] per owned tile and folds incoming row-strip
+/// fragments at their tile-local offset. The span must be whole rows
+/// (`depth.len()` a multiple of `dst.width`).
+pub fn merge_rows(dst: &mut ZBuffer, row0: u32, depth: &[f32], color: &[[u8; 3]]) {
+    assert_eq!(depth.len(), color.len(), "span length mismatch");
+    assert!(
+        depth.len().is_multiple_of(dst.width.max(1) as usize),
+        "span must be whole rows"
+    );
+    let base = row0 as usize * dst.width as usize;
+    assert!(
+        base + depth.len() <= dst.depth.len(),
+        "span exceeds destination"
+    );
+    for (i, &d) in depth.iter().enumerate() {
+        if d != EMPTY_DEPTH && d < dst.depth[base + i] {
+            dst.depth[base + i] = d;
+            dst.color[base + i] = color[i];
+        }
     }
 }
 
@@ -347,6 +370,8 @@ mod tests {
                 merge_many_with(&pool, &mut tree);
                 assert_eq!(serial[0], tree[0], "n={n} threads={threads}");
             }
+            // `merge_many` is the serial fold by definition now; keep the
+            // assertion so a future re-dispatch must stay bit-identical.
             let mut auto = bufs.clone();
             merge_many(&mut auto);
             assert_eq!(serial[0], auto[0], "n={n} auto");
@@ -367,6 +392,38 @@ mod tests {
         let pool = crate::par::ThreadPool::new(4);
         merge_many_with(&pool, &mut bufs);
         assert_eq!(bufs[0].color[2 * 4 + 2], [0, 0, 0]);
+    }
+
+    #[test]
+    fn merge_rows_matches_whole_buffer_merge() {
+        // Splitting a buffer into row strips and compositing each strip at
+        // its offset must equal merging the whole buffer at once.
+        let base = noisy(16, 12, 40);
+        let other = noisy(16, 12, 41);
+        let mut whole = base.clone();
+        whole.merge_serial(&other);
+        for strip in [1u32, 3, 5, 12] {
+            let mut tiled = base.clone();
+            let mut y = 0u32;
+            while y < 12 {
+                let rows = strip.min(12 - y);
+                let a = y as usize * 16;
+                let b = (y + rows) as usize * 16;
+                merge_rows(&mut tiled, y, &other.depth[a..b], &other.color[a..b]);
+                y += rows;
+            }
+            assert_eq!(whole, tiled, "strip={strip}");
+        }
+    }
+
+    #[test]
+    fn merge_rows_ties_keep_destination() {
+        let mut dst = ZBuffer::new(2, 2);
+        dst.plot(0, 1, 4.0, [1, 1, 1]);
+        let depth = [4.0, EMPTY_DEPTH];
+        let color = [[9, 9, 9], [0, 0, 0]];
+        merge_rows(&mut dst, 1, &depth, &color);
+        assert_eq!(dst.color[2], [1, 1, 1], "equal depth keeps destination");
     }
 
     #[test]

@@ -18,79 +18,7 @@ use dcapp::{
 };
 use hetsim::presets::rogue_blue_mix;
 use hetsim::{FaultPlan, HostId, SimDuration, SimTime, Topology};
-use integration_tests::{test_cfg, test_dataset};
-
-/// FNV-1a, folded incrementally so the digest covers heterogeneous data.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-    fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-    fn bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-}
-
-fn image_digest(img: &isosurf::Image) -> u64 {
-    let mut h = Fnv::new();
-    h.u64(img.width as u64);
-    h.u64(img.height as u64);
-    for px in &img.data {
-        h.bytes(px);
-    }
-    h.0
-}
-
-/// Digest of everything the run measured: virtual completion time, engine
-/// event count, per-copy counters (the byte meters), per-stream copy-set
-/// counters, UOW boundaries and fault tallies.
-fn metrics_digest(r: &PipelineResult) -> u64 {
-    let mut h = Fnv::new();
-    let rep = &r.report;
-    h.u64(rep.elapsed.as_nanos());
-    h.u64(rep.events);
-    for b in &rep.uow_boundaries {
-        h.u64(b.as_nanos());
-    }
-    for c in &rep.copies {
-        h.u64(c.host.0 as u64);
-        h.u64(c.copy_index as u64);
-        h.u64(c.counters.buffers_in);
-        h.u64(c.counters.bytes_in);
-        h.u64(c.counters.buffers_out);
-        h.u64(c.counters.bytes_out);
-        h.u64(c.counters.work.as_nanos());
-        h.u64(c.counters.compute_elapsed.as_nanos());
-        h.u64(c.counters.read_wait.as_nanos());
-        h.u64(c.counters.write_wait.as_nanos());
-        h.u64(c.counters.disk_bytes);
-        h.u64(c.counters.disk_elapsed.as_nanos());
-    }
-    for s in &rep.streams {
-        for (host, cs) in &s.copysets {
-            h.u64(host.0 as u64);
-            h.u64(cs.buffers_received);
-            h.u64(cs.bytes_received);
-        }
-    }
-    h.u64(rep.faults.copies_killed);
-    h.u64(rep.faults.buffers_replayed);
-    h.u64(rep.faults.bytes_replayed);
-    h.u64(rep.faults.buffers_lost);
-    h.u64(rep.faults.bytes_lost);
-    h.u64(rep.faults.retransmits);
-    h.0
-}
+use integration_tests::{image_digest, metrics_digest, test_cfg, test_dataset};
 
 /// The fig5 heterogeneous setting, scaled for tests: 2 loaded Rogue + 2
 /// dedicated Blue hosts, raster everywhere, merge on Blue.

@@ -41,14 +41,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-fn topology() -> (hetsim::Topology, Vec<HostId>) {
+fn topology_n(n: usize) -> (hetsim::Topology, Vec<HostId>) {
     let mut b = TopologyBuilder::new();
     let c = b.add_cluster(ClusterSpec {
         name: "c".into(),
         nic_bandwidth_bps: 100.0e6,
         nic_latency: SimDuration::from_micros(50),
     });
-    let hosts = (0..2)
+    let hosts = (0..n)
         .map(|i| {
             b.add_host(
                 c,
@@ -65,6 +65,10 @@ fn topology() -> (hetsim::Topology, Vec<HostId>) {
         })
         .collect();
     (b.build(), hosts)
+}
+
+fn topology() -> (hetsim::Topology, Vec<HostId>) {
+    topology_n(2)
 }
 
 struct Src {
@@ -155,4 +159,86 @@ fn round_robin_delivery_steady_state_is_allocation_free() {
 #[test]
 fn demand_driven_delivery_steady_state_is_allocation_free() {
     assert_zero_marginal_allocs(WritePolicy::demand_driven());
+}
+
+// ---- tile-hash routing -----------------------------------------------------
+
+/// Producer that targets buffers by tile id, the way the tiled raster
+/// filter ships split fragments: `write_tile` resolves the owning copy
+/// set and takes the same slab-recycled targeted-write path.
+struct TileSrc {
+    n: u32,
+}
+impl Filter for TileSrc {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        for i in 0..self.n {
+            let b = ctx.buffer_slab().make(i as u64, 128);
+            // A rolling tile id exercises both owner sets.
+            ctx.write_tile(0, (i % 5) as u64, b);
+        }
+        Ok(())
+    }
+}
+
+/// Multi-set sink: copies accumulate into one shared counter (order
+/// doesn't matter for a wrapping sum).
+struct TileSink {
+    sum: Arc<AtomicU64>,
+}
+impl Filter for TileSink {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        while let Some(b) = ctx.read(0) {
+            let v = ctx.buffer_slab().recycle::<u64>(b);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+/// Tile-hash variant of [`run_once`]: one producer, **two** consumer copy
+/// sets so the modulo routing actually fans out.
+fn run_once_tiled(n: u32) -> (u64, u64) {
+    let (topo, hosts) = topology_n(3);
+    let sum: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+    let sum2 = sum.clone();
+    let mut g = GraphBuilder::new();
+    let src = g.add_filter("src", Placement::on_host(hosts[0], 1), move |_| TileSrc {
+        n,
+    });
+    let sink = g.add_filter("sink", Placement::one_per_host(&hosts[1..]), move |_| {
+        TileSink { sum: sum2.clone() }
+    });
+    g.connect(src, sink, WritePolicy::TileHash);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    Run::new(g.build())
+        .go(&topo)
+        .expect("tiled pipeline run failed");
+    let after = ALLOCS.load(Ordering::Relaxed);
+    let got = sum.load(Ordering::Relaxed);
+    (after - before, got)
+}
+
+/// The tile-hash write path (`write_tile` → targeted write) must hit the
+/// same zero-allocation steady state as the untargeted policies — this is
+/// what lets the tiled raster filter split every WPA batch without
+/// allocating per fragment.
+#[test]
+fn tile_hash_delivery_steady_state_is_allocation_free() {
+    const SMALL: u32 = 200;
+    const LARGE: u32 = 2000;
+    let _ = run_once_tiled(SMALL);
+
+    let (small_allocs, small_sum) = run_once_tiled(SMALL);
+    let (large_allocs, large_sum) = run_once_tiled(LARGE);
+    assert_eq!(small_sum, expected_sum(SMALL));
+    assert_eq!(large_sum, expected_sum(LARGE));
+
+    let extra_buffers = (LARGE - SMALL) as i64;
+    let delta = large_allocs as i64 - small_allocs as i64;
+    assert!(
+        delta <= extra_buffers / 64,
+        "tile-hash: {delta} extra allocations for {extra_buffers} extra delivered \
+         buffers ({large_allocs} vs {small_allocs} total) — the targeted \
+         delivery path is allocating per buffer",
+    );
 }

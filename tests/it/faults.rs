@@ -171,6 +171,128 @@ fn message_drops_force_retransmits_but_preserve_output() {
     assert_eq!(lossy.image.diff_pixels(&clean.image), 0);
 }
 
+// ---- tile-composite merge-group crashes -----------------------------------
+
+/// `RE–Ra–Mt–A` with the merge group split across hosts 2 and 3, which
+/// run **nothing else** — so crashing host 3 kills exactly one merge
+/// copy. Storage and RE sit on host 0, raster on host 1, the assembler
+/// on host 4.
+fn tiled_spec(hosts: &[hetsim::HostId]) -> PipelineSpec {
+    PipelineSpec {
+        grouping: Grouping::TileComposite {
+            raster: Placement::on_host(hosts[1], 1),
+            merge: Placement::one_per_host(&[hosts[2], hosts[3]]),
+        },
+        algorithm: Algorithm::ActivePixel,
+        policy: WritePolicy::demand_driven(),
+        merge_host: hosts[4],
+    }
+}
+
+/// Config tuned so the merge-group crash actually has fragments in
+/// flight: one-row tiles fan each WPA batch out into many fragments, and
+/// an inflated per-entry merge cost keeps the merge copies' queues deep
+/// for most of the run instead of draining each burst instantly.
+fn tiled_fault_cfg(hosts: &[hetsim::HostId]) -> dcapp::SharedConfig {
+    let mut cfg = dcapp::AppConfig::new(test_dataset(7), vec![hosts[0]], 2, 96, 96);
+    cfg.iso = 0.5;
+    cfg.tile_size = 1;
+    cfg.cost.merge_per_entry = 2.0e-3;
+    Arc::new(cfg)
+}
+
+/// Conservation on the tile-hash stream: every fragment the raster stage
+/// shipped was either dequeued by a merge copy or tallied as lost with
+/// the dead set — nothing double-counted, nothing vanished.
+fn assert_tile_stream_conservation(r: &dcapp::PipelineResult) {
+    let produced: u64 = r
+        .report
+        .copies
+        .iter()
+        .filter(|c| c.filter_name == "Ra")
+        .map(|c| c.counters.buffers_out)
+        .sum();
+    let consumed = r
+        .report
+        .streams
+        .iter()
+        .find(|s| s.stream == r.to_merge)
+        .expect("the Ra->Mt stream must be reported")
+        .total_buffers();
+    let lost = r.report.faults.buffers_lost;
+    assert_eq!(
+        consumed + lost,
+        produced,
+        "tile-hash conservation: consumed {consumed} + lost {lost} != produced {produced}"
+    );
+}
+
+/// A merge copy dies mid-run under demand-driven sources and tile-hash
+/// fragment routing. The tile-hash writer has no acks to replay, so the
+/// fragments queued at the dead set are lost — but the run completes,
+/// rerouting later fragments for the dead set's tiles to the survivor
+/// (compositing is commutative, so any copy can absorb any tile), and
+/// the loss accounting is exact.
+#[test]
+fn tiled_merge_copy_crash_recovers_with_exact_conservation() {
+    let (topo, hosts) = cluster(5);
+    let cfg = tiled_fault_cfg(&hosts);
+    let spec = tiled_spec(&hosts);
+
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free run");
+    // The crash must land while the Ra->Mt stream is busy: early enough
+    // that the merge copies are still working through their queues (the
+    // assembly fold dominates the tail of the run), late enough that
+    // fragments have reached the doomed set.
+    let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(0.12);
+    let plan = FaultPlan::new().crash_host(hosts[3], crash_at);
+    let opts = FaultOptions::new(plan).liveness_timeout(SimDuration::from_millis(10));
+    let faulted = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, opts)
+        .expect("run must survive a dead merge copy");
+
+    let f = &faulted.report.faults;
+    assert_eq!(f.copies_killed, 1, "only the host-3 Mt copy dies: {f:?}");
+    assert_eq!(
+        f.buffers_replayed, 0,
+        "tile-hash has no acks to replay: {f:?}"
+    );
+    assert!(
+        f.buffers_lost > 0,
+        "fragments queued at the dead merge set are lost: {f:?}"
+    );
+    assert!(f.degraded, "losses mark the run degraded: {f:?}");
+    assert_tile_stream_conservation(&faulted);
+}
+
+/// The same scenario on real threads, with the merge copy dead from the
+/// first observation point so the accounting is timing-independent: the
+/// run completes and conservation is exact regardless of how many
+/// fragments raced into the dead set before detection.
+#[test]
+fn native_tiled_merge_copy_crash_conserves_fragments() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(7), vec![hosts[0]], 96);
+    let spec = tiled_spec(&hosts);
+
+    let plan = FaultPlan::new().crash_host(hosts[3], SimTime::ZERO);
+    let faulted = dcapp::run_pipeline_faulted_exec(
+        &topo,
+        &cfg,
+        &spec,
+        FaultOptions::new(plan).liveness_timeout(SimDuration::from_millis(2)),
+        NativeExecutor::new(),
+    )
+    .expect("native run must survive a dead merge copy");
+
+    let f = &faulted.report.faults;
+    assert_eq!(f.copies_killed, 1, "only the host-3 Mt copy dies: {f:?}");
+    assert_eq!(
+        f.buffers_replayed, 0,
+        "tile-hash has no acks to replay: {f:?}"
+    );
+    assert_tile_stream_conservation(&faulted);
+}
+
 // ---- native (wall-clock) chaos scenarios ---------------------------------
 //
 // The same fault plans, interpreted on the native executor's wall-clock

@@ -1,0 +1,145 @@
+//! Property tests for the tile-compositing geometry and the producer-side
+//! splitter: every pixel belongs to exactly one tile, splitting is
+//! deterministic (so tile-hash routing is a pure function of content),
+//! and re-merging split fragments reproduces the unsplit composite
+//! bit-for-bit.
+
+use dcapp::tiles::{n_tiles, tile_of_row, tile_range, tile_rows};
+use dcapp::{RaOut, TileSplitter};
+use isosurf::{merge_batch, merge_batch_offset, merge_rows, WinningPixel, ZBuffer};
+use proptest::prelude::*;
+
+#[cfg(feature = "fault-heavy")]
+const CASES: u32 = 2048;
+#[cfg(not(feature = "fault-heavy"))]
+const CASES: u32 = 256;
+
+/// A pseudo-random winning-pixel batch over a `width`×`height` screen.
+/// Depths are quantized so collisions and exact ties occur; all values
+/// are exactly representable, so a different merge order could only
+/// differ through the depth-test tie-break (which the properties below
+/// pin).
+fn wpa_batch(width: u32, height: u32, n: usize, seed: u64) -> Vec<WinningPixel> {
+    let mut s = seed | 1;
+    let mut next = || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        s >> 33
+    };
+    (0..n)
+        .map(|_| WinningPixel {
+            x: (next() % width as u64) as u16,
+            y: (next() % height as u64) as u16,
+            depth: (next() % 8) as f32 * 0.25 - 1.0,
+            rgb: [next() as u8, next() as u8, next() as u8],
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Tile geometry: for any image height and tile-size knob, the tile
+    /// ranges partition `[0, height)` — every row falls in exactly one
+    /// tile, and that tile is the one `tile_of_row` names.
+    #[test]
+    fn every_row_lands_in_exactly_one_tile(
+        height in 1u32..2000,
+        tile_size in 0u32..300,
+    ) {
+        let tr = tile_rows(tile_size, height);
+        let n = n_tiles(height, tr);
+        let mut covered = 0u32;
+        for t in 0..n {
+            let (lo, hi) = tile_range(t, tr, height);
+            prop_assert!(lo < hi, "tile {t} of {n} is empty (tr={tr})");
+            prop_assert_eq!(lo, covered, "tile {} leaves a gap", t);
+            covered = hi;
+        }
+        prop_assert_eq!(covered, height, "tiles don't cover the image");
+        // Spot-check the row->tile map against the ranges.
+        for y in [0, height / 3, height / 2, height - 1] {
+            let t = tile_of_row(y, tr);
+            let (lo, hi) = tile_range(t, tr, height);
+            prop_assert!(lo <= y && y < hi, "row {y} outside its tile {t}");
+        }
+    }
+
+    /// Splitting is deterministic and single-tile: two independent
+    /// splitters fed the same batch emit the identical fragment sequence,
+    /// and every fragment's pixels lie inside the tile it was emitted
+    /// for. Tile-hash routing is `owner = tile % n_sets` on top of this,
+    /// so content-identical batches always reach the same merge copies.
+    #[test]
+    fn wpa_splitting_is_deterministic_and_tile_pure(
+        seed in any::<u64>(),
+        height in 1u32..128,
+        tile_size in 1u32..40,
+        n in 1usize..200,
+    ) {
+        let tr = tile_rows(tile_size, height);
+        let batch = wpa_batch(64, height, n, seed);
+        let run = || {
+            let mut s = TileSplitter::new(tr, n_tiles(height, tr));
+            let mut got: Vec<(u32, Vec<WinningPixel>)> = Vec::new();
+            s.split(RaOut::Wpa(batch.clone().into()), |t, r| {
+                if let RaOut::Wpa(v) = r {
+                    got.push((t, v.to_vec()));
+                }
+            });
+            got
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b, "splitting must be a pure function of content");
+        for (tile, frag) in &a {
+            for wp in frag {
+                prop_assert_eq!(
+                    tile_of_row(wp.y as u32, tr),
+                    *tile,
+                    "pixel y={} leaked out of tile {}", wp.y, tile
+                );
+            }
+        }
+    }
+
+    /// Round trip: compositing the split fragments into per-tile buffers
+    /// and stitching them back row-by-row yields exactly the composite of
+    /// the original batch into a full-height buffer.
+    #[test]
+    fn split_fragments_remerge_to_original_composite(
+        seed in any::<u64>(),
+        height in 1u32..96,
+        tile_size in 1u32..40,
+        n in 0usize..400,
+    ) {
+        const W: u32 = 24;
+        let tr = tile_rows(tile_size, height);
+        let nt = n_tiles(height, tr);
+        let batch = wpa_batch(W, height, n, seed);
+
+        let mut whole = ZBuffer::new(W, height);
+        merge_batch(&mut whole, &batch);
+
+        let mut tiles: Vec<Option<ZBuffer>> = (0..nt).map(|_| None).collect();
+        let mut s = TileSplitter::new(tr, nt);
+        s.split(RaOut::Wpa(batch.into()), |t, r| {
+            if let RaOut::Wpa(v) = r {
+                let (lo, hi) = tile_range(t, tr, height);
+                let zb = tiles[t as usize].get_or_insert_with(|| ZBuffer::new(W, hi - lo));
+                merge_batch_offset(zb, lo, &v);
+            }
+        });
+
+        let mut stitched = ZBuffer::new(W, height);
+        for (t, slot) in tiles.into_iter().enumerate() {
+            if let Some(zb) = slot {
+                let (lo, _) = tile_range(t as u32, tr, height);
+                merge_rows(&mut stitched, lo, &zb.depth, &zb.color);
+            }
+        }
+        prop_assert_eq!(&stitched.depth, &whole.depth, "depths diverged");
+        prop_assert_eq!(&stitched.color, &whole.color, "colors diverged");
+    }
+}
