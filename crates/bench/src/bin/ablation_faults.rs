@@ -1,24 +1,56 @@
 //! **Ablation — fault injection and recovery** (non-paper): crash one of
 //! the two extract hosts partway into a fig-7-style skewed run and
-//! compare the three writer policies.
+//! compare, per writer policy, three arms:
 //!
-//! Expected shapes: demand-driven replays every unacknowledged buffer to
-//! the surviving extract host and renders the *exact* clean image
-//! (diff px = 0) at the cost of extra elapsed time; RR/WRR have no
-//! acknowledgment state to replay from, so they finish degraded — the
-//! buffers queued at (or in flight to) the dead host are tallied as
-//! lost. Losses are bounded by the dead set's queue depth (a killed copy
-//! flushes its in-flight buffer), so the pixel diff is small and can be
-//! zero when the lost chunks carry no visible surface.
+//! - **fault-free** — the clean baseline;
+//! - **recovered** — the same crash under [`datacutter::Recovery::Lossless`]:
+//!   retention + replay + idempotent redelivery must finish with
+//!   `lost == 0` and the *exact* clean image under every policy, paying
+//!   only elapsed-time overhead;
+//! - **degraded** — the same crash under the default loss-accounted mode:
+//!   demand-driven replays its acknowledgment window and recovers
+//!   bit-identically anyway; RR/WRR have no acks and finish degraded
+//!   with every dropped buffer tallied.
+//!
+//! Writes `BENCH_faults.json` (one row per policy+arm, fresh each run)
+//! so CI can gate on the recovery contract: a recovered row with
+//! `lost > 0` or `diff_px > 0` is a regression, and the
+//! `recovered_overhead` ratio tracks what losslessness costs.
+//!
+//! Usage: `ablation_faults [--out FILE] [--no-out]`
 
 use bench::{make_cfg, small_dataset, Table};
 use datacutter::{FaultOptions, Placement, WritePolicy};
-use dcapp::{Algorithm, Grouping, PipelineSpec};
+use dcapp::{lossless_options, Algorithm, Grouping, PipelineSpec};
 use hetsim::presets::rogue_blue_mix;
 use hetsim::{FaultPlan, SimTime};
 use volume::FilePlacement;
 
+struct Row {
+    id: String,
+    virtual_s: f64,
+    killed: u64,
+    replayed: u64,
+    redelivered: u64,
+    suppressed: u64,
+    lost: u64,
+    diff_px: u64,
+}
+
 fn main() {
+    let mut out: Option<String> = Some("BENCH_faults.json".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(args.next().expect("--out needs a value")),
+            "--no-out" => out = None,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let ds = small_dataset();
     let (topo, rogues, blues) = rogue_blue_mix(2);
     // Storage on the two Blue nodes with half of node 0's files moved to
@@ -32,15 +64,7 @@ fn main() {
         std::sync::Arc::new(c)
     };
 
-    let mut t = Table::new(&[
-        "policy",
-        "clean s",
-        "faulted s",
-        "killed",
-        "replayed",
-        "lost",
-        "diff px",
-    ]);
+    let mut rows: Vec<Row> = Vec::new();
     for policy in [
         WritePolicy::RoundRobin,
         WritePolicy::WeightedRoundRobin,
@@ -60,28 +84,114 @@ fn main() {
         // the R->E stream is only busy during the opening fraction of the
         // run — a late failure would land after it has already drained.
         let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(0.05);
-        let plan = FaultPlan::new().crash_host(rogues[1], crash_at);
-        let faulted = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, FaultOptions::new(plan))
-            .expect("faulted run");
-        let f = &faulted.report.faults;
+        let plan = || FaultPlan::new().crash_host(rogues[1], crash_at);
+
+        let recovered = dcapp::run_pipeline_faulted(
+            &topo,
+            &cfg,
+            &spec,
+            lossless_options(&cfg, FaultOptions::new(plan())),
+        )
+        .expect("recovered run");
+        let degraded = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, FaultOptions::new(plan()))
+            .expect("degraded run");
+
+        let rf = &recovered.report.faults;
+        assert_eq!(
+            rf.buffers_lost,
+            0,
+            "REGRESSION ({}): lossless recovery lost buffers: {rf}",
+            policy.label()
+        );
+        let rdiff = recovered.image.diff_pixels(&clean.image);
+        assert_eq!(
+            rdiff,
+            0,
+            "REGRESSION ({}): recovered image diverged from fault-free",
+            policy.label()
+        );
+
+        let mut push = |arm: &str, r: &dcapp::PipelineResult, diff: u64| {
+            let f = &r.report.faults;
+            rows.push(Row {
+                id: format!("faults/{}/{arm}", policy.label()),
+                virtual_s: r.elapsed.as_secs_f64(),
+                killed: f.copies_killed,
+                replayed: f.buffers_replayed,
+                redelivered: f.buffers_redelivered,
+                suppressed: f.duplicates_suppressed,
+                lost: f.buffers_lost,
+                diff_px: diff,
+            });
+        };
+        push("clean", &clean, 0);
+        push("recovered", &recovered, rdiff);
+        let ddiff = degraded.image.diff_pixels(&clean.image);
+        push("degraded", &degraded, ddiff);
+    }
+
+    let mut t = Table::new(&[
+        "cell",
+        "virtual s",
+        "killed",
+        "replayed",
+        "redelivered",
+        "suppressed",
+        "lost",
+        "diff px",
+    ]);
+    for r in &rows {
         t.row(vec![
-            policy.label().to_string(),
-            format!("{:.2}", clean.elapsed.as_secs_f64()),
-            format!("{:.2}", faulted.elapsed.as_secs_f64()),
-            f.copies_killed.to_string(),
-            f.buffers_replayed.to_string(),
-            f.buffers_lost.to_string(),
-            faulted.image.diff_pixels(&clean.image).to_string(),
+            r.id.clone(),
+            format!("{:.2}", r.virtual_s),
+            r.killed.to_string(),
+            r.replayed.to_string(),
+            r.redelivered.to_string(),
+            r.suppressed.to_string(),
+            r.lost.to_string(),
+            r.diff_px.to_string(),
         ]);
     }
     t.print(
         "Ablation: one extract host crashes at 5% of the clean run \
          (2 Blue storage, skew 50%, 2 Rogue extract, ZBuffer 512x512)",
     );
+    for chunk in rows.chunks(3) {
+        if let [clean, recovered, _] = chunk {
+            println!(
+                "{}: recovered overhead {:.2}x over fault-free",
+                recovered.id,
+                recovered.virtual_s / clean.virtual_s
+            );
+        }
+    }
     println!(
-        "\nshape check: DD should show replayed > 0, lost = 0, diff px = 0 \
-         (bit-identical recovery); RR/WRR should show lost > 0 (degraded \
-         completion, every dropped buffer accounted; the diff stays small \
-         because a killed copy still flushes its in-flight work)"
+        "\nshape check: every recovered arm shows lost = 0, diff px = 0 \
+         (bit-identical lossless recovery); degraded DD also recovers \
+         exactly via its ack window, while degraded RR/WRR show lost > 0 \
+         with every dropped buffer accounted"
     );
+
+    if let Some(path) = out {
+        let mut json = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"id\": \"{}\", \"virtual_s\": {:.3}, \"killed\": {}, \
+                 \"replayed\": {}, \"redelivered\": {}, \"suppressed\": {}, \
+                 \"lost\": {}, \"diff_px\": {}}}{}\n",
+                r.id,
+                r.virtual_s,
+                r.killed,
+                r.replayed,
+                r.redelivered,
+                r.suppressed,
+                r.lost,
+                r.diff_px,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("]\n");
+        std::fs::write(&path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
 }

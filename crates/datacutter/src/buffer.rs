@@ -22,6 +22,11 @@ pub const ACK_WIRE_BYTES: u64 = 64;
 /// Wire size of an end-of-work marker message.
 pub const EOW_WIRE_BYTES: u64 = 32;
 
+/// Monomorphized replicator attached to replicable buffers: clones the
+/// erased payload into a slab-recycled box so the lossless-recovery layer
+/// can retain a replica without knowing the concrete type.
+type ReplicateFn = fn(&(dyn Any + Send), &BufferSlab, u64) -> DataBuffer;
+
 /// A unit of data flowing on a stream.
 pub struct DataBuffer {
     payload: Box<dyn Any + Send>,
@@ -29,6 +34,10 @@ pub struct DataBuffer {
     /// Name of the payload's concrete type, kept so a mis-wired downcast
     /// can say what the buffer actually holds.
     type_name: &'static str,
+    /// Set on buffers made via [`BufferSlab::make_replicable`]; `None`
+    /// means the payload cannot be replicated (no `Clone` was promised)
+    /// and the recovery layer must account the buffer as unretainable.
+    replicate: Option<ReplicateFn>,
 }
 
 impl DataBuffer {
@@ -39,7 +48,23 @@ impl DataBuffer {
             payload: Box::new(payload),
             wire_bytes,
             type_name: std::any::type_name::<T>(),
+            replicate: None,
         }
+    }
+
+    /// Clone this buffer's payload into a new, equally replicable buffer
+    /// (box supplied by `slab`), or `None` when the buffer was not made
+    /// replicable. Replicas of replicas work: the replicator travels with
+    /// every copy, so a retained entry can itself be re-replicated when a
+    /// second fault needs the same data again.
+    pub fn replicate(&self, slab: &BufferSlab) -> Option<DataBuffer> {
+        self.replicate
+            .map(|f| f(self.payload.as_ref(), slab, self.wire_bytes))
+    }
+
+    /// True when [`replicate`](Self::replicate) would succeed.
+    pub fn is_replicable(&self) -> bool {
+        self.replicate.is_some()
     }
 
     /// Declared payload wire size.
@@ -143,7 +168,46 @@ impl BufferSlab {
             payload,
             wire_bytes,
             type_name: std::any::type_name::<T>(),
+            replicate: None,
         }
+    }
+
+    /// [`make`](Self::make) for a `Clone` payload: the returned buffer
+    /// additionally carries a monomorphized replicator, so the recovery
+    /// layer can retain a slab-pooled replica of it while the original is
+    /// in flight ([`DataBuffer::replicate`]). Costs nothing unless a
+    /// replica is actually taken.
+    pub fn make_replicable<T: Any + Send + Clone>(
+        &self,
+        payload: T,
+        wire_bytes: u64,
+    ) -> DataBuffer {
+        fn replicate_impl<T: Any + Send + Clone>(
+            payload: &(dyn Any + Send),
+            slab: &BufferSlab,
+            wire_bytes: u64,
+        ) -> DataBuffer {
+            let payload = payload
+                .downcast_ref::<T>()
+                .expect("replicator is monomorphized for its buffer's payload type")
+                .clone();
+            slab.make_replicable(payload, wire_bytes)
+        }
+        let mut buf = self.make(payload, wire_bytes);
+        buf.replicate = Some(replicate_impl::<T>);
+        buf
+    }
+
+    /// Return `buf`'s payload box to the free list without recovering the
+    /// value — the type-erased counterpart of [`recycle`](Self::recycle),
+    /// used where the concrete payload type is unknown (suppressed
+    /// duplicate deliveries, evicted or settled retention entries). The
+    /// box is keyed by the payload's runtime `TypeId`, so a later `make`
+    /// of the same type reuses it; the stale contents are overwritten (and
+    /// their interior resources dropped) at that point.
+    pub fn repool(&self, buf: DataBuffer) {
+        let tid = buf.payload.as_ref().type_id();
+        self.inner.lock().entry(tid).or_default().push(buf.payload);
     }
 
     /// Consume `buf`, take its payload, and return the emptied box to the
@@ -259,6 +323,55 @@ mod tests {
         assert!(msg.contains("M filter input"), "missing context: {msg}");
         assert!(msg.contains("u32"), "missing actual type: {msg}");
         assert!(msg.contains("8 wire bytes"), "missing wire size: {msg}");
+    }
+
+    #[test]
+    fn replicable_buffers_clone_through_the_slab() {
+        let slab = BufferSlab::new();
+        let b = slab.make_replicable(vec![1u32, 2, 3], 12);
+        assert!(b.is_replicable());
+        let r = b.replicate(&slab).expect("replicable");
+        assert_eq!(r.wire_bytes(), 12);
+        assert!(r.is_replicable(), "replicas can themselves replicate");
+        let rr = r.replicate(&slab).expect("replica of replica");
+        assert_eq!(rr.downcast::<Vec<u32>>(), vec![1, 2, 3]);
+        assert_eq!(r.downcast::<Vec<u32>>(), vec![1, 2, 3]);
+        assert_eq!(b.downcast::<Vec<u32>>(), vec![1, 2, 3]);
+        // Plain buffers stay non-replicable.
+        let p = slab.make(5u64, 8);
+        assert!(!p.is_replicable());
+        assert!(p.replicate(&slab).is_none());
+    }
+
+    #[test]
+    fn repool_recycles_untyped_boxes() {
+        let slab = BufferSlab::new();
+        let b = slab.make(vec![1u8, 2], 2);
+        assert_eq!(slab.allocated(), 1);
+        slab.repool(b);
+        assert_eq!(slab.idle(), 1);
+        // The erased box feeds the next make of the same payload type.
+        let b2 = slab.make(vec![9u8], 1);
+        assert_eq!(slab.allocated(), 1, "repooled box must be reused");
+        assert_eq!(b2.downcast::<Vec<u8>>(), vec![9]);
+    }
+
+    #[test]
+    fn replicas_draw_boxes_from_the_free_list() {
+        let slab = BufferSlab::new();
+        let spare_a = slab.make_replicable(0u64, 8);
+        let spare_b = slab.make_replicable(0u64, 8);
+        slab.repool(spare_a);
+        slab.repool(spare_b);
+        let b = slab.make_replicable(7u64, 8);
+        let baseline = slab.allocated();
+        let r = b.replicate(&slab).expect("replicable");
+        assert_eq!(
+            slab.allocated(),
+            baseline,
+            "replica must reuse the pooled box"
+        );
+        assert_eq!(r.downcast::<u64>(), 7);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! `disk_read`) only tally metrics, since there is no emulated hardware
 //! to occupy.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use hetsim::{DeadlineRecv, Env, HostId, SimDuration, SimTime, Topology};
@@ -16,15 +17,16 @@ use crate::fault::{abort_run, raise_killed, CopyHealth, ErrorCell, FaultCtl, Run
 use crate::filter::CopyInfo;
 use crate::metrics::CopyCell;
 use crate::policy::{AckHandle, CopySetInfo, WriterState};
-use crate::runtime::delivery::{Envelope, OutMsg};
+use crate::runtime::delivery::{CourierMsg, Envelope, OutMsg};
 use crate::runtime::eow::UowGate;
 use crate::runtime::exec::DeadlineSend;
+use crate::runtime::retain::{Dedup, Provenance, StreamRetention};
 use crate::runtime::{ChanRx, ChanTx, ExecEnv};
 
 pub(crate) struct InputPort {
     pub rx: ChanRx<Envelope>,
     pub inject_tx: ChanTx<Envelope>,
-    pub courier_tx: ChanTx<AckHandle>,
+    pub courier_tx: ChanTx<CourierMsg>,
     pub gate: Arc<Mutex<UowGate>>,
     /// Gates of the *other* copy sets on this stream, with their set
     /// descriptions. When a peer set is dead its reaper may still be
@@ -34,6 +36,24 @@ pub(crate) struct InputPort {
     /// forwarded).
     pub peer_gates: Vec<(CopySetInfo, Arc<Mutex<UowGate>>)>,
     pub copyset_counters: crate::metrics::CopySetCell,
+    /// Lossless recovery: the copy set's shared dedup table (`None` ⇒
+    /// degraded mode, no recovery bookkeeping on the read path).
+    pub dedup: Option<Arc<Dedup>>,
+    /// Lossless recovery: the stream's retention, for re-fetching this
+    /// copy's consumed-but-unflushed buffers after a supervised restart.
+    pub retention: Option<Arc<StreamRetention>>,
+    /// Provenances this copy consumed in the current UOW. Settled over
+    /// the courier at clean end-of-work; harvested by
+    /// [`FilterCtx::prepare_restart_replay`] when the copy restarts
+    /// mid-UOW instead.
+    pub journal: Vec<Provenance>,
+    /// Replicas re-fetched for a restarted incarnation, served by `read`
+    /// before the shared queue (bypassing queue capacity, so a rebuild
+    /// can never deadlock on a full channel).
+    pub replay: VecDeque<(Provenance, DataBuffer)>,
+    /// The crashed incarnation had already consumed this UOW's
+    /// end-of-work token; re-signal end-of-work once `replay` drains.
+    pub replay_done: bool,
 }
 
 pub(crate) struct OutputPort {
@@ -41,6 +61,10 @@ pub(crate) struct OutputPort {
     pub outbox_tx: ChanTx<OutMsg>,
     /// Number of consumer copy sets (valid `write_to` targets).
     pub targets: usize,
+    /// Lossless recovery: the stream's retention — every replicable
+    /// buffer written is stamped with a provenance and retained until
+    /// the consumer settles it.
+    pub retention: Option<Arc<StreamRetention>>,
 }
 
 /// Execution context of one filter copy. Provides the stream interface
@@ -103,9 +127,82 @@ impl FilterCtx {
     /// start — and *not* on a supervised restart of the same UOW, so
     /// already-consumed `UowDone` tokens stay consumed.
     pub(crate) fn begin_uow(&mut self, uow: u32) {
+        // Settle any journal the filter left behind (it finished the
+        // cycle without draining the port to end-of-work) and drop stale
+        // restart replicas — both belong to the finished UOW.
+        for i in 0..self.inputs.len() {
+            self.settle_port(i);
+            while let Some((_, buf)) = self.inputs[i].replay.pop_front() {
+                self.slab.repool(buf);
+            }
+            self.inputs[i].replay_done = false;
+        }
         self.uow = uow;
         for d in self.port_done.iter_mut() {
             *d = false;
+        }
+    }
+
+    /// Settle input `port`'s journal: report the provenances this copy
+    /// consumed (and whose effects are now flushed) to the stream's
+    /// retention over the courier reverse path, releasing the retained
+    /// replicas. No-op in degraded mode or when nothing was journaled; a
+    /// full courier queue past the deadline only postpones the GC to run
+    /// teardown, so the result is ignored.
+    pub(crate) fn settle_port(&mut self, port: usize) {
+        let input = &mut self.inputs[port];
+        if input.dedup.is_none() || input.journal.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut input.journal);
+        let deadline = self.env.now() + self.courier_deadline;
+        let _ = input
+            .courier_tx
+            .send_deadline(&self.env, CourierMsg::Settle { items }, deadline);
+    }
+
+    /// Rebuild a supervised restart's lost input state: the crashed
+    /// incarnation's journaled (consumed-but-unflushed) buffers are
+    /// un-claimed from the set's dedup table, re-fetched from the
+    /// stream's retention, and queued on the port's local replay line so
+    /// the fresh filter instance consumes them before the shared queue.
+    /// Journal entries whose replicas were already evicted from the
+    /// bounded retention ring are unrecoverable and tallied as lost.
+    pub(crate) fn prepare_restart_replay(&mut self) {
+        let Some(ctl) = self.faults.clone() else {
+            return;
+        };
+        if !ctl.lossless() {
+            return;
+        }
+        let uow = self.uow;
+        let (mut refetched, mut refetched_bytes, mut evicted) = (0u64, 0u64, 0u64);
+        for (i, input) in self.inputs.iter_mut().enumerate() {
+            let (Some(dedup), Some(retention)) = (input.dedup.as_ref(), input.retention.as_ref())
+            else {
+                continue;
+            };
+            for p in std::mem::take(&mut input.journal) {
+                dedup.forget(uow, p);
+                match retention.fetch(p.copy, p.seq) {
+                    Some(buf) => {
+                        refetched += 1;
+                        refetched_bytes += buf.wire_bytes();
+                        input.replay.push_back((p, buf));
+                    }
+                    None => evicted += 1,
+                }
+            }
+            if self.port_done[i] {
+                self.port_done[i] = false;
+                input.replay_done = true;
+            }
+        }
+        if refetched > 0 || evicted > 0 {
+            let mut t = ctl.tallies.lock();
+            t.buffers_redelivered += refetched;
+            t.bytes_redelivered += refetched_bytes;
+            t.buffers_lost += evicted;
         }
     }
 
@@ -210,6 +307,29 @@ impl FilterCtx {
     /// as they are dequeued — "the buffer is now being processed", as the
     /// paper puts it.
     pub fn read(&mut self, port: usize) -> Option<DataBuffer> {
+        if let Some((p, buf)) = self.inputs[port].replay.pop_front() {
+            // Restart rebuild: serve the re-fetched replicas of the
+            // crashed incarnation's consumed buffers before touching the
+            // shared queue. Re-claim and re-journal each one — it is
+            // being processed again, and its replica must be settled (or
+            // re-fetched on a second crash) like any first delivery.
+            // Deliberately not counted in stream/copy metrics: the
+            // original delivery was already counted by this copy.
+            if let Some(d) = self.inputs[port].dedup.as_ref() {
+                let _ = d.claim(self.uow, p);
+            }
+            self.inputs[port].journal.push(p);
+            return Some(buf);
+        }
+        if self.inputs[port].replay_done {
+            // The crashed incarnation had consumed this UOW's (single)
+            // end-of-work token before dying; now that the rebuild has
+            // drained, re-signal end-of-work from the latch.
+            self.inputs[port].replay_done = false;
+            self.port_done[port] = true;
+            self.settle_port(port);
+            return None;
+        }
         if self.port_done[port] {
             // A restarted copy re-reading a port whose end-of-work it
             // already consumed this UOW: the token is gone, so answer
@@ -276,28 +396,21 @@ impl FilterCtx {
                 t.end_at(self.env.now(), s);
             }
             match got {
-                Some(Envelope::Data { buf, ack }) => {
-                    {
-                        let mut m = self.metrics.lock();
-                        m.buffers_in += 1;
-                        m.bytes_in += buf.wire_bytes();
-                    }
-                    {
-                        let mut c = self.inputs[port].copyset_counters.lock();
-                        c.buffers_received += 1;
-                        c.bytes_received += buf.wire_bytes();
-                    }
+                Some(Envelope::Data { buf, ack, prov }) => {
                     if let Some(ack) = ack {
                         // Hand to the ack courier; the courier pays the
                         // reverse network path so this copy keeps working.
                         // The handoff is bounded: a courier queue full past
                         // the deadline means the courier is wedged, and
                         // blocking indefinitely would wedge this copy too.
+                        // Credited even for a duplicate about to be
+                        // suppressed — the buffer was dequeued either way.
                         let deadline = self.env.now() + self.courier_deadline;
-                        match self.inputs[port]
-                            .courier_tx
-                            .send_deadline(&self.env, ack, deadline)
-                        {
+                        match self.inputs[port].courier_tx.send_deadline(
+                            &self.env,
+                            CourierMsg::Ack(ack),
+                            deadline,
+                        ) {
                             DeadlineSend::Sent | DeadlineSend::Closed => {}
                             DeadlineSend::TimedOut => {
                                 abort_run(
@@ -311,6 +424,37 @@ impl FilterCtx {
                                 );
                             }
                         }
+                    }
+                    let claimed = match (self.inputs[port].dedup.as_ref(), prov) {
+                        (Some(d), Some(p)) => d.claim(self.uow, p),
+                        _ => true,
+                    };
+                    if !claimed {
+                        // A copy of this set already processed this
+                        // provenance — an original racing its own
+                        // redelivered replica. Suppress it: recycle the
+                        // payload box and read on. Not counted in
+                        // stream/copy metrics (the claimed delivery was).
+                        self.slab.repool(buf);
+                        if let Some(ctl) = &self.faults {
+                            ctl.tallies.lock().duplicates_suppressed += 1;
+                        }
+                        continue;
+                    }
+                    if let Some(p) = prov {
+                        if self.inputs[port].dedup.is_some() {
+                            self.inputs[port].journal.push(p);
+                        }
+                    }
+                    {
+                        let mut m = self.metrics.lock();
+                        m.buffers_in += 1;
+                        m.bytes_in += buf.wire_bytes();
+                    }
+                    {
+                        let mut c = self.inputs[port].copyset_counters.lock();
+                        c.buffers_received += 1;
+                        c.bytes_received += buf.wire_bytes();
                     }
                     return Some(buf);
                 }
@@ -340,6 +484,9 @@ impl FilterCtx {
                 }
                 Some(Envelope::UowDone) | None => {
                     self.port_done[port] = true;
+                    // Clean end-of-work: everything journaled this UOW is
+                    // flushed downstream, so its retained replicas can go.
+                    self.settle_port(port);
                     return None;
                 }
             }
@@ -359,12 +506,17 @@ impl FilterCtx {
     pub fn write(&mut self, port: usize, buf: DataBuffer) {
         self.beat();
         let t0 = self.env.now();
+        let copy = self.info.copy_index;
         let out = &mut self.outputs[port];
         let idx = out.writer.select(&self.env);
         let ack = out.writer.demand_state().map(|state| AckHandle {
             state,
             copyset_idx: idx,
         });
+        let prov = out
+            .retention
+            .as_ref()
+            .and_then(|r| r.stamp(copy, idx, &buf));
         let bytes = buf.wire_bytes();
         if out
             .outbox_tx
@@ -372,7 +524,7 @@ impl FilterCtx {
                 &self.env,
                 OutMsg::Data {
                     copyset_idx: idx,
-                    envelope: Envelope::Data { buf, ack },
+                    envelope: Envelope::Data { buf, ack, prov },
                 },
             )
             .is_err()
@@ -402,7 +554,12 @@ impl FilterCtx {
     pub fn write_to(&mut self, port: usize, copyset_idx: usize, buf: DataBuffer) {
         self.beat();
         let t0 = self.env.now();
+        let copy = self.info.copy_index;
         let out = &mut self.outputs[port];
+        let prov = out
+            .retention
+            .as_ref()
+            .and_then(|r| r.stamp(copy, copyset_idx, &buf));
         let bytes = buf.wire_bytes();
         if out
             .outbox_tx
@@ -410,7 +567,11 @@ impl FilterCtx {
                 &self.env,
                 OutMsg::Data {
                     copyset_idx,
-                    envelope: Envelope::Data { buf, ack: None },
+                    envelope: Envelope::Data {
+                        buf,
+                        ack: None,
+                        prov,
+                    },
                 },
             )
             .is_err()

@@ -322,6 +322,38 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// How far the runtime goes to repair fault-induced data loss.
+///
+/// Under `Degraded` (the PR 5 contract and the default), buffers stranded
+/// at dead copy sets are replayed only when the demand-driven policy left
+/// an ack handle to re-address; everything else is tallied as lost and the
+/// run completes with partial output. Under `Lossless`, producers retain a
+/// slab-pooled replica of every sent buffer in bounded per-stream
+/// retention rings until the consuming copy set settles its unit of work;
+/// dead sets get their unsettled traffic redelivered to survivors (and
+/// restarted copies get their consumed-but-unflushed buffers re-injected),
+/// with sequence-number deduplication making the redelivery idempotent —
+/// a seeded crash then costs latency, not output. Lossless falls back to
+/// the degraded accounting when recovery is impossible (retention ring
+/// overflowed past `retention_depth`, a non-replicable payload, or no
+/// surviving consumer set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Recovery {
+    /// Loss-accounted completion: replay what the ack machinery can
+    /// re-address, tally the rest as lost.
+    #[default]
+    Degraded,
+    /// Retention + replay + idempotent redelivery: completed runs are
+    /// bit-identical to the fault-free run with zero loss.
+    Lossless,
+}
+
+/// Default capacity of each per-(producer copy, stream) retention ring
+/// under [`Recovery::Lossless`]. Bounds retained memory; a ring that
+/// overflows evicts its oldest replica (tallied), trading the lossless
+/// guarantee for the bound.
+pub const DEFAULT_RETENTION_DEPTH: usize = 4096;
+
 /// Chaos configuration for wall-clock runs: the shared [`FaultPlan`]
 /// (crashes, stalls, seeded drops and delays — interpreted on the native
 /// transport's wall-clock axis) plus the native supervision knobs. The
@@ -338,12 +370,27 @@ fn splitmix64(mut x: u64) -> u64 {
 ///     .faults(chaos)
 ///     .go(&topo)?;
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct NativeFaultPlan {
     /// The time-indexed fault schedule shared with the simulator.
     pub plan: FaultPlan,
     /// Supervision (restarts, heartbeats); `None` = fail-stop only.
     pub supervisor: Option<SupervisorPolicy>,
+    /// Recovery contract (see [`Recovery`]); `Degraded` by default.
+    pub recovery: Recovery,
+    /// Retention ring capacity under [`Recovery::Lossless`].
+    pub retention_depth: usize,
+}
+
+impl Default for NativeFaultPlan {
+    fn default() -> Self {
+        NativeFaultPlan {
+            plan: FaultPlan::new(),
+            supervisor: None,
+            recovery: Recovery::Degraded,
+            retention_depth: DEFAULT_RETENTION_DEPTH,
+        }
+    }
 }
 
 impl NativeFaultPlan {
@@ -356,7 +403,7 @@ impl NativeFaultPlan {
     pub fn from_plan(plan: FaultPlan) -> Self {
         NativeFaultPlan {
             plan,
-            supervisor: None,
+            ..Self::default()
         }
     }
 
@@ -395,11 +442,25 @@ impl NativeFaultPlan {
         self
     }
 
+    /// Demand lossless recovery (see [`Recovery::Lossless`]).
+    pub fn lossless(mut self) -> Self {
+        self.recovery = Recovery::Lossless;
+        self
+    }
+
+    /// Override the retention ring capacity used under lossless recovery.
+    pub fn retention_depth(mut self, depth: usize) -> Self {
+        self.retention_depth = depth;
+        self
+    }
+
     /// Convert into the [`FaultOptions`] the [`Run`](crate::runtime::Run)
     /// builder accepts.
     pub fn options(self) -> FaultOptions {
         let mut opts = FaultOptions::new(self.plan);
         opts.supervisor = self.supervisor;
+        opts.recovery = self.recovery;
+        opts.retention_depth = self.retention_depth;
         opts
     }
 }
@@ -432,6 +493,13 @@ pub struct FaultOptions {
     /// restart the copy under this policy instead of failing the run.
     /// `None` (the default) keeps the pure fail-stop semantics.
     pub supervisor: Option<SupervisorPolicy>,
+    /// Recovery contract: `Degraded` (default, PR 5's loss-accounted
+    /// completion) or `Lossless` (retention + replay + idempotent
+    /// redelivery; see [`Recovery`]).
+    pub recovery: Recovery,
+    /// Capacity of each per-(producer copy, stream) retention ring under
+    /// lossless recovery ([`DEFAULT_RETENTION_DEPTH`] by default).
+    pub retention_depth: usize,
 }
 
 impl FaultOptions {
@@ -443,7 +511,27 @@ impl FaultOptions {
             liveness_timeout: SimDuration::from_millis(50),
             allow_degraded: true,
             supervisor: None,
+            recovery: Recovery::Degraded,
+            retention_depth: DEFAULT_RETENTION_DEPTH,
         }
+    }
+
+    /// Demand lossless recovery (see [`Recovery::Lossless`]).
+    pub fn lossless(mut self) -> Self {
+        self.recovery = Recovery::Lossless;
+        self
+    }
+
+    /// Select the recovery contract explicitly.
+    pub fn recovery(mut self, recovery: Recovery) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Override the retention ring capacity used under lossless recovery.
+    pub fn retention_depth(mut self, depth: usize) -> Self {
+        self.retention_depth = depth;
+        self
     }
 
     /// Override the liveness timeout.
@@ -601,6 +689,27 @@ impl CopyHealth {
     }
 }
 
+/// One supervised restart of a panicked filter copy, recorded for the
+/// [`FaultReport`](crate::metrics::FaultReport) timeline.
+#[derive(Debug, Clone)]
+pub struct RestartEvent {
+    /// Name of the restarted filter.
+    pub filter: String,
+    /// Which transparent copy restarted.
+    pub copy: usize,
+    /// Host the copy runs on.
+    pub host: HostId,
+    /// Unit of work being processed when the copy panicked.
+    pub uow: u32,
+    /// Restart attempt number (1-based; compare against the policy's
+    /// `max_restarts` budget).
+    pub attempt: u32,
+    /// Backoff waited before re-instantiating the copy.
+    pub backoff: SimDuration,
+    /// Run-axis time at which the panic was contained.
+    pub at: SimTime,
+}
+
 /// Live fault tallies, harvested into `FaultReport` after the run.
 #[derive(Debug, Default)]
 pub(crate) struct FaultTallies {
@@ -613,6 +722,18 @@ pub(crate) struct FaultTallies {
     pub restarts: u64,
     pub copies_wedged: u64,
     pub messages_delayed: u64,
+    /// Retained replicas redelivered to a surviving set or a restarted
+    /// copy under lossless recovery.
+    pub buffers_redelivered: u64,
+    pub bytes_redelivered: u64,
+    /// Redelivered buffers a consumer suppressed as already processed
+    /// (sequence-number dedup).
+    pub duplicates_suppressed: u64,
+    /// Replicas evicted from full retention rings (bounded by
+    /// `retention_depth`); each eviction may surface later as a loss.
+    pub retention_evicted: u64,
+    /// Per-copy restart timeline (supervised runs).
+    pub restart_events: Vec<RestartEvent>,
 }
 
 /// Runtime-internal fault control block, shared by filter contexts, writer
@@ -623,6 +744,10 @@ pub(crate) struct FaultCtl {
     pub allow_degraded: bool,
     /// Supervision policy, when the run restarts crashed copies.
     pub supervisor: Option<SupervisorPolicy>,
+    /// Recovery contract the run executes under.
+    pub recovery: Recovery,
+    /// Retention ring capacity under lossless recovery.
+    pub retention_depth: usize,
     pub tallies: Mutex<FaultTallies>,
     /// Deaths declared at runtime (restart budget exhausted, wedge
     /// detection), keyed by (filter, copy index). The plan is immutable;
@@ -638,6 +763,8 @@ impl FaultCtl {
             timeout: opts.liveness_timeout,
             allow_degraded: opts.allow_degraded,
             supervisor: opts.supervisor,
+            recovery: opts.recovery,
+            retention_depth: opts.retention_depth.max(1),
             tallies: Mutex::new(FaultTallies::default()),
             dynamic: Mutex::new(HashMap::new()),
         })
@@ -648,6 +775,12 @@ impl FaultCtl {
     /// reads, writer eviction, settle checks).
     pub fn crashes_possible(&self) -> bool {
         self.plan.has_crashes() || self.supervisor.is_some()
+    }
+
+    /// True when the run retains, replays and deduplicates for lossless
+    /// recovery.
+    pub fn lossless(&self) -> bool {
+        self.recovery == Recovery::Lossless
     }
 
     /// Declare `(filter, copy)` dead as of `now` (idempotent; the earliest

@@ -85,7 +85,10 @@ pub mod runtime;
 
 pub use buffer::{BufferSlab, DataBuffer, ACK_WIRE_BYTES, BUFFER_OVERHEAD_BYTES};
 pub use context::FilterCtx;
-pub use fault::{backoff_delay, FaultOptions, NativeFaultPlan, RunError, SupervisorPolicy};
+pub use fault::{
+    backoff_delay, FaultOptions, NativeFaultPlan, Recovery, RestartEvent, RunError,
+    SupervisorPolicy, DEFAULT_RETENTION_DEPTH,
+};
 pub use filter::{CopyInfo, Filter, FilterError, FilterFactory};
 pub use graph::{AppGraph, FilterId, GraphBuilder, Placement, StreamId, DEFAULT_QUEUE_CAPACITY};
 pub use metrics::{CopyCounters, CopyReport, FaultReport, RunReport, StreamReport};

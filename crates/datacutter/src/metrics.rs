@@ -113,9 +113,91 @@ pub struct FaultReport {
     pub copies_wedged: u64,
     /// Messages held back by injected per-message delays.
     pub messages_delayed: u64,
+    /// Retained replicas redelivered under lossless recovery (to a
+    /// surviving copy set or a restarted copy).
+    pub buffers_redelivered: u64,
+    /// Payload bytes redelivered.
+    pub bytes_redelivered: u64,
+    /// Redelivered buffers consumers suppressed as already processed
+    /// (sequence-number dedup — proof redelivery was idempotent).
+    pub duplicates_suppressed: u64,
+    /// Replicas evicted from full retention rings (`retention_depth`
+    /// bound); non-zero means the lossless guarantee was at risk.
+    pub retention_evicted: u64,
+    /// Per-copy restart/backoff timeline of supervised restarts, in the
+    /// order they were contained.
+    pub restart_events: Vec<crate::fault::RestartEvent>,
     /// `true` when the run completed with partial output (buffers lost
     /// or copies wedged).
     pub degraded: bool,
+}
+
+impl std::fmt::Display for FaultReport {
+    /// Human-readable digest for chaos-job logs: injected faults, repair
+    /// tallies, and the per-copy restart/backoff timeline.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.injected.is_empty() && self.restarts == 0 && self.copies_killed == 0 {
+            return write!(f, "faults: none injected, none observed");
+        }
+        writeln!(f, "faults injected:")?;
+        if self.injected.is_empty() {
+            writeln!(f, "  (none scheduled; supervision only)")?;
+        }
+        for d in &self.injected {
+            writeln!(f, "  {d}")?;
+        }
+        writeln!(
+            f,
+            "outcome: {}",
+            if self.degraded {
+                "degraded (partial output)"
+            } else {
+                "complete"
+            }
+        )?;
+        writeln!(
+            f,
+            "  killed {} copies, wedged {}, restarted {}",
+            self.copies_killed, self.copies_wedged, self.restarts
+        )?;
+        writeln!(
+            f,
+            "  replayed {} buffers ({} B), redelivered {} ({} B), suppressed {} duplicates",
+            self.buffers_replayed,
+            self.bytes_replayed,
+            self.buffers_redelivered,
+            self.bytes_redelivered,
+            self.duplicates_suppressed
+        )?;
+        writeln!(
+            f,
+            "  lost {} buffers ({} B), evicted {} retained replicas, {} retransmits, {} delayed",
+            self.buffers_lost,
+            self.bytes_lost,
+            self.retention_evicted,
+            self.retransmits,
+            self.messages_delayed
+        )?;
+        if self.restart_events.is_empty() {
+            write!(f, "restart timeline: empty")?;
+        } else {
+            write!(f, "restart timeline:")?;
+            for e in &self.restart_events {
+                write!(
+                    f,
+                    "\n  {:>9.3}s  {}[{}]@host{} uow {}: attempt {} after {:.3}s backoff",
+                    e.at.as_secs_f64(),
+                    e.filter,
+                    e.copy,
+                    e.host.0,
+                    e.uow,
+                    e.attempt,
+                    e.backoff.as_secs_f64(),
+                )?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Everything measured in one run.

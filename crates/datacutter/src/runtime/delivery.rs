@@ -3,13 +3,16 @@
 //! computation), and the per-copy-set **ack courier** processes (so
 //! demand-driven acknowledgments travel the reverse network path without
 //! blocking the consumer). Retransmission of fault-plan-dropped messages
-//! also lives here.
+//! also lives here, as does settlement of retained replicas under
+//! lossless recovery (the courier carries `Settle` batches upstream over
+//! the same reverse path as demand acks).
 
 use std::sync::Arc;
 
 use hetsim::{HostId, SimDuration, Topology};
 
 use super::exec::{charge_transfer, ChanRx, ChanTx, ExecEnv, Executor};
+use super::retain::{Provenance, StreamRetention};
 use crate::buffer::{DataBuffer, ACK_WIRE_BYTES, EOW_WIRE_BYTES};
 use crate::fault::FaultCtl;
 use crate::policy::{AckHandle, CopySetInfo};
@@ -20,6 +23,11 @@ pub(crate) enum Envelope {
     Data {
         buf: DataBuffer,
         ack: Option<AckHandle>,
+        /// Retention identity (`(producer copy, per-stream seq)`) when the
+        /// stream runs under lossless recovery; `None` otherwise. A second
+        /// delivery (reaper forward or restart re-injection) carries the
+        /// original provenance so consumers can dedup it.
+        prov: Option<Provenance>,
     },
     /// In-band end-of-work marker from one producer copy (by copy index).
     Eow { producer: usize },
@@ -39,23 +47,63 @@ pub(crate) enum OutMsg {
     Eow,
 }
 
+/// Reverse-path message from a consumer copy set to the producers.
+pub(crate) enum CourierMsg {
+    /// Demand-driven window credit for one delivered buffer.
+    Ack(AckHandle),
+    /// Lossless-recovery settlement: these retained replicas were fully
+    /// consumed in a completed unit of work and may be garbage-collected.
+    Settle { items: Vec<Provenance> },
+}
+
 /// Spawn the ack courier for one consumer copy set: it pays the reverse
-/// network path for each acknowledgment, then credits the producer's
-/// demand window.
+/// network path for each acknowledgment (and each settlement batch), then
+/// credits the producer's demand window or garbage-collects the stream's
+/// retention ring.
 pub(crate) fn spawn_courier<E: Executor>(
     exec: &mut E,
     stream_name: &str,
     host: HostId,
     topo: &Topology,
-    rx: ChanRx<AckHandle>,
+    rx: ChanRx<CourierMsg>,
+    retention: Option<Arc<StreamRetention>>,
+    producer_hosts: Vec<HostId>,
 ) {
     let topo = topo.clone();
     exec.spawn(
         format!("courier:{stream_name}@h{}", host.0),
         Box::new(move |env: ExecEnv| {
-            while let Some(ack) = rx.recv(&env) {
-                charge_transfer(&env, &topo, host, ack.state.producer_host(), ACK_WIRE_BYTES);
-                ack.state.ack(&env, ack.copyset_idx);
+            while let Some(msg) = rx.recv(&env) {
+                match msg {
+                    CourierMsg::Ack(ack) => {
+                        charge_transfer(
+                            &env,
+                            &topo,
+                            host,
+                            ack.state.producer_host(),
+                            ACK_WIRE_BYTES,
+                        );
+                        ack.state.ack(&env, ack.copyset_idx);
+                    }
+                    CourierMsg::Settle { items } => {
+                        // One wire-sized settlement frame per producer copy
+                        // named in the batch (settlements are tiny and
+                        // batched per unit of work).
+                        let mut charged: u64 = 0;
+                        for p in &items {
+                            let bit = 1u64 << (p.copy as u64 % 64);
+                            if charged & bit == 0 {
+                                charged |= bit;
+                                let to =
+                                    producer_hosts.get(p.copy as usize).copied().unwrap_or(host);
+                                charge_transfer(&env, &topo, host, to, ACK_WIRE_BYTES);
+                            }
+                        }
+                        if let Some(r) = retention.as_ref() {
+                            r.settle(&items);
+                        }
+                    }
+                }
             }
         }),
     );
@@ -78,7 +126,8 @@ pub(crate) struct SenderCfg {
 /// Spawn the outbox sender for one (producer copy, output stream) pair: it
 /// drains the copy's outbox, charges wire transfers, applies the fault
 /// plan's message drops (paying and retrying each dropped transmission),
-/// and broadcasts end-of-work markers.
+/// emulates NIC degradation with serialization-time delays on the native
+/// substrate, and broadcasts end-of-work markers.
 pub(crate) fn spawn_sender<E: Executor>(exec: &mut E, cfg: SenderCfg, outbox_rx: ChanRx<OutMsg>) {
     let SenderCfg {
         stream_name,
@@ -130,6 +179,27 @@ pub(crate) fn spawn_sender<E: Executor>(exec: &mut E, cfg: SenderCfg, outbox_rx:
                             if to != host {
                                 if let Some(d) = ctl.plan.message_delay(drop_key, seq) {
                                     env.delay(d);
+                                    ctl.tallies.lock().messages_delayed += 1;
+                                }
+                            }
+                        }
+                        if let Some(ctl) = faults.as_ref().filter(|c| c.plan.has_degrades()) {
+                            // NIC degradation on the native substrate: the
+                            // virtual-time engine dilates transfers through
+                            // the topology's bandwidth drivers, but native
+                            // threads pay real wire costs, so the degraded
+                            // fraction of serialization time is injected
+                            // here as an explicit stall on the sending NIC.
+                            if !env.is_virtual() && to != host {
+                                let now = env.now();
+                                let f = ctl
+                                    .plan
+                                    .degrade_factor(host, now)
+                                    .min(ctl.plan.degrade_factor(to, now));
+                                if f < 1.0 {
+                                    let nominal = topo.path_cost_per_byte(host, to) * bytes as f64;
+                                    let extra = nominal * (1.0 / f.max(1e-6) - 1.0);
+                                    env.delay(SimDuration::from_secs_f64(extra));
                                     ctl.tallies.lock().messages_delayed += 1;
                                 }
                             }

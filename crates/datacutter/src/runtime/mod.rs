@@ -8,6 +8,7 @@
 //! * [`delivery`] — outbox senders, ack couriers, retransmission,
 //! * [`eow`] — end-of-work gates (UOW cycle separation),
 //! * [`reaper`] — dead-set salvage and demand-driven replay,
+//! * [`retain`] — lossless-recovery retention rings and seq-number dedup,
 //! * [`supervisor`] — wedge detection and eviction for supervised runs.
 //!
 //! Runs are configured with the [`Run`] builder:
@@ -30,6 +31,7 @@ pub mod eow;
 pub mod exec;
 pub mod native;
 pub mod reaper;
+pub mod retain;
 pub mod spawn;
 pub mod supervisor;
 
@@ -176,8 +178,17 @@ impl Run {
     /// Works on both substrates: the same plan runs bit-reproducibly on
     /// the virtual-time executor and in wall-clock time on the native
     /// executor (use [`crate::fault::NativeFaultPlan`] to build options
-    /// for the latter). NIC degradation (`degrade_nic`) needs the
-    /// simulation's bandwidth drivers and stays virtual-time only.
+    /// for the latter). NIC degradation (`degrade_nic`) uses the
+    /// simulation's bandwidth drivers under virtual time; the native
+    /// executor emulates the same windows by stalling senders for the
+    /// degraded fraction of each message's serialization time.
+    ///
+    /// With [`crate::fault::Recovery::Lossless`] the runtime additionally
+    /// retains sent buffers until consumers settle them, replays retained
+    /// replicas after crashes and supervised restarts, and dedups
+    /// redeliveries by sequence number — a crashed-and-recovered run then
+    /// reports `buffers_lost == 0` and produces output identical to a
+    /// fault-free run.
     ///
     /// Two caveats on the reported `elapsed` under a plan with crashes: a
     /// crash scheduled after the pipeline naturally finishes extends the
@@ -270,17 +281,11 @@ impl Run {
                 )
             }
             ExecutorChoice::Native(exec) => {
-                // Crashes, stalls, drops, delays and supervision are pure
-                // time-indexed queries consulted by the runtime machinery
-                // and work on wall-clock time too; only NIC degradation
-                // needs the simulation's bandwidth drivers.
-                if let Some(ctl) = &fault_ctl {
-                    if ctl.plan.has_degrades() {
-                        return Err(RunError::Unsupported {
-                            what: "NIC degradation requires the virtual-time SimExecutor".into(),
-                        });
-                    }
-                }
+                // Crashes, stalls, drops, delays, degradation windows and
+                // supervision are pure time-indexed queries consulted by
+                // the runtime machinery and work on wall-clock time too
+                // (degradation is emulated by sender-side stalls — see
+                // `delivery::spawn_sender`).
                 if self.setup.is_some() {
                     return Err(RunError::Unsupported {
                         what: "simulation setup hooks require the virtual-time SimExecutor".into(),
@@ -378,6 +383,11 @@ fn drive<E: Executor>(
                 restarts: t.restarts,
                 copies_wedged: t.copies_wedged,
                 messages_delayed: t.messages_delayed,
+                buffers_redelivered: t.buffers_redelivered,
+                bytes_redelivered: t.bytes_redelivered,
+                duplicates_suppressed: t.duplicates_suppressed,
+                retention_evicted: t.retention_evicted,
+                restart_events: t.restart_events.clone(),
                 degraded: t.buffers_lost > 0 || t.copies_wedged > 0,
             }
         }

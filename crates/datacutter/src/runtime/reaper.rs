@@ -18,13 +18,14 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use hetsim::{DeadlineRecv, SimTime, Topology};
+use hetsim::{DeadlineRecv, HostId, SimTime, Topology};
 use parking_lot::Mutex;
 
 use super::delivery::Envelope;
 use super::eow::UowGate;
 use super::exec::{charge_transfer, ChanRx, ChanTx, ExecEnv};
 use super::native::CancelScope;
+use super::retain::StreamRetention;
 use crate::fault::{abort_run, ErrorCell, FaultCtl, RunError};
 use crate::policy::{AckHandle, CopySetInfo};
 
@@ -68,6 +69,16 @@ pub(crate) struct Reaper {
     /// it as a last resort after abandoning a wedged thread; a waiting
     /// reaper must observe it rather than sleep forever.
     pub cancel: Option<Arc<CancelScope>>,
+    /// Lossless recovery: the stream's retention. When set, the reaper
+    /// forwards the dead set's unsettled retained replicas — and every
+    /// salvaged queue original, marked redelivered — to one deterministic
+    /// survivor (next alive set in index order, matching the tile-hash
+    /// writer's fall-through), and the survivor's dedup table suppresses
+    /// the overlap. `None` ⇒ degraded salvage only.
+    pub retention: Option<Arc<StreamRetention>>,
+    /// Host of each producer copy, indexed by copy (for charging replica
+    /// retransmissions from the producer side). Empty in degraded mode.
+    pub producer_hosts: Vec<HostId>,
 }
 
 impl Reaper {
@@ -141,6 +152,10 @@ impl Reaper {
                 // has no consumer and must be accounted a loss.
                 self.survivors.clear();
             }
+            // Redeliver before the gate can advance: a live peer holds
+            // its end-of-work until this dead gate passes the UOW, so
+            // replicas forwarded here are always consumed.
+            self.redeliver_retained(&env);
             self.advance_gate(&env);
             let deadline = env.now() + tick;
             match self.rx.recv_deadline(&env, deadline) {
@@ -171,71 +186,196 @@ impl Reaper {
         }
     }
 
-    fn salvage(&self, env: &ExecEnv, envelope: Envelope) {
-        match envelope {
-            Envelope::Data {
+    /// The deterministic forward target for lossless redelivery: the next
+    /// currently-alive survivor in index order after this dead set — the
+    /// same fall-through order the tile-hash writer probes, so forwarded
+    /// tiles land where post-death writes already go.
+    fn forward_target(&self, env: &ExecEnv) -> Option<(usize, &ChanTx<Envelope>)> {
+        let now = env.now();
+        let n = self.sets.len();
+        for k in 1..n {
+            let idx = (self.own_idx + k) % n;
+            if self.ctl.set_dead(&self.sets[idx], now) {
+                continue;
+            }
+            if let Some((_, tx)) = self.survivors.iter().find(|&&(i, _)| i == idx) {
+                return Some((idx, tx));
+            }
+        }
+        None
+    }
+
+    /// Lossless recovery: drain the retention entries addressed to this
+    /// dead set and forward the replicas to the deterministic survivor.
+    /// Called repeatedly through phase 2 — a producer that had not yet
+    /// noticed the death keeps stamping buffers at this set, and each
+    /// re-drain picks those up before the gate can advance past their
+    /// UOW (their end-of-work markers trail them through this queue).
+    fn redeliver_retained(&self, env: &ExecEnv) {
+        let Some(retention) = self.retention.as_ref() else {
+            return;
+        };
+        let drained = retention.drain_for_set(self.own_idx);
+        if drained.is_empty() {
+            return;
+        }
+        let target = self.forward_target(env).map(|(i, tx)| (i, tx.clone()));
+        for (p, buf) in drained {
+            let Some((idx, tx)) = target.as_ref() else {
+                self.lose(buf.wire_bytes());
+                continue;
+            };
+            let from = self
+                .producer_hosts
+                .get(p.copy as usize)
+                .copied()
+                .unwrap_or(self.sets[self.own_idx].host);
+            charge_transfer(
+                env,
+                &self.topo,
+                from,
+                self.sets[*idx].host,
+                buf.transport_bytes(),
+            );
+            let bytes = buf.wire_bytes();
+            let fwd = Envelope::Data {
                 buf,
-                ack: Some(ack),
-            } => {
-                // Under supervision a listed target may itself have died
-                // since wiring; filter those out so two dead sets can't
-                // ping-pong a buffer between their reapers forever.
-                let now = env.now();
-                let supervised = self.shutdown.is_some();
-                let alive: Vec<usize> = self
-                    .survivors
-                    .iter()
-                    .map(|&(i, _)| i)
-                    .filter(|&i| !supervised || !self.ctl.set_dead(&self.sets[i], now))
-                    .collect();
-                match ack.state.reroute(env, ack.copyset_idx, &alive) {
-                    Some(new_idx) => {
-                        // Replay: charge the retransmission from the
-                        // producer to the surviving host (emulated network,
-                        // sim only), then re-enqueue with the ack handle
-                        // re-addressed.
-                        charge_transfer(
-                            env,
-                            &self.topo,
-                            ack.state.producer_host(),
-                            self.sets[new_idx].host,
-                            buf.transport_bytes(),
-                        );
-                        let bytes = buf.wire_bytes();
-                        let replay = Envelope::Data {
-                            buf,
-                            ack: Some(AckHandle {
-                                state: ack.state.clone(),
-                                copyset_idx: new_idx,
-                            }),
-                        };
-                        let tx = match self
-                            .survivors
-                            .iter()
-                            .find(|&&(i, _)| i == new_idx)
-                            .map(|(_, tx)| tx)
-                        {
-                            Some(tx) => tx,
-                            None => unreachable!("reroute only picks from the survivor list"),
-                        };
-                        if tx.send(env, replay).is_ok() {
-                            let mut t = self.ctl.tallies.lock();
-                            t.buffers_replayed += 1;
-                            t.bytes_replayed += bytes;
-                        } else {
-                            self.lose(bytes);
-                        }
-                    }
-                    None => self.lose(buf.wire_bytes()),
+                ack: None,
+                prov: Some(p),
+            };
+            if tx.send(env, fwd).is_ok() {
+                let mut t = self.ctl.tallies.lock();
+                t.buffers_redelivered += 1;
+                t.bytes_redelivered += bytes;
+            } else {
+                self.lose(bytes);
+            }
+        }
+    }
+
+    /// Lossless salvage of one queued data envelope: forward it to the
+    /// deterministic survivor marked redelivered, keeping its provenance
+    /// so the survivor's dedup suppresses the overlap with the drained
+    /// retention replica (and so a replica already evicted from the
+    /// bounded ring still survives through this path). A demand-driven
+    /// ack handle is credited here — redelivery is not window-limited.
+    fn forward_original(
+        &self,
+        env: &ExecEnv,
+        buf: crate::buffer::DataBuffer,
+        ack: Option<AckHandle>,
+        prov: Option<super::retain::Provenance>,
+    ) {
+        if let Some(ack) = &ack {
+            ack.state.ack(env, ack.copyset_idx);
+        }
+        match self.forward_target(env) {
+            Some((idx, tx)) => {
+                charge_transfer(
+                    env,
+                    &self.topo,
+                    self.sets[self.own_idx].host,
+                    self.sets[idx].host,
+                    buf.transport_bytes(),
+                );
+                let bytes = buf.wire_bytes();
+                let fwd = Envelope::Data {
+                    buf,
+                    ack: None,
+                    prov,
+                };
+                if tx.send(env, fwd).is_ok() {
+                    let mut t = self.ctl.tallies.lock();
+                    t.buffers_replayed += 1;
+                    t.bytes_replayed += bytes;
+                } else {
+                    self.lose(bytes);
                 }
             }
-            // No ack handle (RR/WRR or content-routed `write_to`): the
-            // producer's routing decision cannot be replayed safely.
-            Envelope::Data { buf, ack: None } => self.lose(buf.wire_bytes()),
+            None => self.lose(buf.wire_bytes()),
+        }
+    }
+
+    /// Degraded salvage of one demand-driven data envelope: reroute it to
+    /// a survivor through the producer's window accounting, or account it
+    /// lost.
+    fn reroute_acked(&self, env: &ExecEnv, buf: crate::buffer::DataBuffer, ack: AckHandle) {
+        // Under supervision a listed target may itself have died
+        // since wiring; filter those out so two dead sets can't
+        // ping-pong a buffer between their reapers forever.
+        let now = env.now();
+        let supervised = self.shutdown.is_some();
+        let alive: Vec<usize> = self
+            .survivors
+            .iter()
+            .map(|&(i, _)| i)
+            .filter(|&i| !supervised || !self.ctl.set_dead(&self.sets[i], now))
+            .collect();
+        match ack.state.reroute(env, ack.copyset_idx, &alive) {
+            Some(new_idx) => {
+                // Replay: charge the retransmission from the
+                // producer to the surviving host (emulated network,
+                // sim only), then re-enqueue with the ack handle
+                // re-addressed.
+                charge_transfer(
+                    env,
+                    &self.topo,
+                    ack.state.producer_host(),
+                    self.sets[new_idx].host,
+                    buf.transport_bytes(),
+                );
+                let bytes = buf.wire_bytes();
+                let replay = Envelope::Data {
+                    buf,
+                    ack: Some(AckHandle {
+                        state: ack.state.clone(),
+                        copyset_idx: new_idx,
+                    }),
+                    prov: None,
+                };
+                let tx = match self
+                    .survivors
+                    .iter()
+                    .find(|&&(i, _)| i == new_idx)
+                    .map(|(_, tx)| tx)
+                {
+                    Some(tx) => tx,
+                    None => unreachable!("reroute only picks from the survivor list"),
+                };
+                if tx.send(env, replay).is_ok() {
+                    let mut t = self.ctl.tallies.lock();
+                    t.buffers_replayed += 1;
+                    t.bytes_replayed += bytes;
+                } else {
+                    self.lose(bytes);
+                }
+            }
+            None => self.lose(buf.wire_bytes()),
+        }
+    }
+
+    fn salvage(&self, env: &ExecEnv, envelope: Envelope) {
+        match envelope {
+            Envelope::Data { buf, ack, prov } => {
+                if self.retention.is_some() {
+                    self.forward_original(env, buf, ack, prov);
+                } else if let Some(ack) = ack {
+                    self.reroute_acked(env, buf, ack);
+                } else {
+                    // No ack handle (RR/WRR or content-routed `write_to`):
+                    // the producer's routing decision cannot be replayed
+                    // safely in degraded mode.
+                    self.lose(buf.wire_bytes());
+                }
+            }
             // A producer's end-of-work marker: no consumer will act on it,
             // but it proves all of that producer's data for the cycle has
             // been salvaged — record it so the dead gate can advance.
+            // Redeliver first: the marker trails all of its producer's
+            // stamps, so any replica it implies must be forwarded before
+            // the gate can release a waiting peer.
             Envelope::Eow { producer } => {
+                self.redeliver_retained(env);
                 self.gate.lock().mark(producer);
                 self.advance_gate(env);
             }

@@ -1,0 +1,323 @@
+//! Producer-side retention and consumer-side deduplication — the state
+//! behind [`Recovery::Lossless`](crate::fault::Recovery).
+//!
+//! Every stream of a lossless run owns one [`StreamRetention`]: per
+//! producer copy, a bounded ring of slab-pooled replicas of every buffer
+//! the copy sent, keyed by a monotonically increasing per-(producer copy,
+//! stream) sequence number stamped into the envelope as [`Provenance`].
+//! Entries leave the ring three ways:
+//!
+//! * **settled** — the consuming copy finishes its unit of work cleanly
+//!   and acks the sequence numbers it consumed over the stream's courier;
+//!   the replicas are recycled to the [`BufferSlab`].
+//! * **redelivered** — the consuming copy set died (reaper forwards the
+//!   set's unsettled replicas to survivors) or a supervised copy
+//!   restarted (its consumed-but-unflushed buffers are re-injected); the
+//!   replica carries the original [`Provenance`] so consumers deduplicate.
+//! * **evicted** — the ring is full (`retention_depth`); the oldest
+//!   replica is recycled and tallied, trading the lossless guarantee for
+//!   the memory bound.
+//!
+//! Consumer copy sets of a lossless stream share a [`Dedup`] table: every
+//! provenance-stamped delivery claims its `(producer copy, seq)` slot, and
+//! a second claim — an original racing its own redelivered replica —
+//! is suppressed, which is what makes redelivery idempotent. The table
+//! resets itself when the unit of work advances.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::{BufferSlab, DataBuffer};
+use crate::fault::FaultCtl;
+
+/// Where a retained buffer came from: which producer copy sent it and its
+/// per-(producer copy, stream) sequence number. Travels in the envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Provenance {
+    /// Producer copy index (global across the producer filter's copies).
+    pub copy: u32,
+    /// Monotonic sequence number of this send from that copy.
+    pub seq: u64,
+}
+
+/// One retained replica awaiting settlement.
+struct Retained {
+    seq: u64,
+    /// Consumer copy set the original was addressed to.
+    set_idx: usize,
+    buf: DataBuffer,
+}
+
+/// Per-producer-copy retention ring.
+#[derive(Default)]
+struct Ring {
+    entries: std::collections::VecDeque<Retained>,
+    next_seq: u64,
+}
+
+/// Retention state of one stream under lossless recovery: a ring per
+/// producer copy plus the shared slab and tallies. Shared (`Arc`) between
+/// the producer copies' output ports (stamp), the consumer sets' couriers
+/// (settle), the reapers (drain on set death), and restarted copies
+/// (fetch for re-injection).
+pub(crate) struct StreamRetention {
+    rings: Vec<Mutex<Ring>>,
+    depth: usize,
+    slab: BufferSlab,
+    ctl: Arc<FaultCtl>,
+}
+
+impl StreamRetention {
+    pub fn new(n_producer_copies: usize, slab: BufferSlab, ctl: Arc<FaultCtl>) -> Self {
+        StreamRetention {
+            rings: (0..n_producer_copies)
+                .map(|_| Mutex::new(Ring::default()))
+                .collect(),
+            depth: ctl.retention_depth,
+            slab,
+            ctl,
+        }
+    }
+
+    /// Stamp one outgoing buffer from producer `copy` addressed to
+    /// consumer set `set_idx`: allocate its sequence number and retain a
+    /// replica. Returns `None` (no provenance, nothing retained) when the
+    /// buffer is not replicable — such buffers stay recoverable only while
+    /// queued, exactly as in degraded mode.
+    pub fn stamp(&self, copy: usize, set_idx: usize, buf: &DataBuffer) -> Option<Provenance> {
+        let replica = buf.replicate(&self.slab)?;
+        let mut ring = self.rings[copy].lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.entries.push_back(Retained {
+            seq,
+            set_idx,
+            buf: replica,
+        });
+        let evicted = if ring.entries.len() > self.depth {
+            ring.entries.pop_front()
+        } else {
+            None
+        };
+        drop(ring);
+        if let Some(e) = evicted {
+            self.slab.repool(e.buf);
+            self.ctl.tallies.lock().retention_evicted += 1;
+        }
+        Some(Provenance {
+            copy: copy as u32,
+            seq,
+        })
+    }
+
+    /// Replicate the retained entry `(copy, seq)` for re-injection into a
+    /// restarted consumer. The entry stays retained (a second fault may
+    /// need it again); `None` when it was already settled or evicted.
+    pub fn fetch(&self, copy: u32, seq: u64) -> Option<DataBuffer> {
+        let ring = self.rings[copy as usize].lock();
+        let entry = ring.entries.iter().find(|e| e.seq == seq)?;
+        entry.buf.replicate(&self.slab)
+    }
+
+    /// Remove and return every entry addressed to the (dead) consumer set
+    /// `set_idx`, in deterministic (producer copy, seq) order, for the
+    /// reaper to forward to survivors.
+    pub fn drain_for_set(&self, set_idx: usize) -> Vec<(Provenance, DataBuffer)> {
+        let mut out = Vec::new();
+        for (copy, ring) in self.rings.iter().enumerate() {
+            let mut ring = ring.lock();
+            let mut kept = std::collections::VecDeque::with_capacity(ring.entries.len());
+            for e in ring.entries.drain(..) {
+                if e.set_idx == set_idx {
+                    out.push((
+                        Provenance {
+                            copy: copy as u32,
+                            seq: e.seq,
+                        },
+                        e.buf,
+                    ));
+                } else {
+                    kept.push_back(e);
+                }
+            }
+            ring.entries = kept;
+        }
+        out
+    }
+
+    /// Settle (GC) the entries a consumer copy acked after cleanly
+    /// finishing its unit of work: recycle their replicas to the slab.
+    pub fn settle(&self, items: &[Provenance]) {
+        for p in items {
+            let entry = {
+                let mut ring = self.rings[p.copy as usize].lock();
+                ring.entries
+                    .iter()
+                    .position(|e| e.seq == p.seq)
+                    .and_then(|i| ring.entries.remove(i))
+            };
+            if let Some(e) = entry {
+                self.slab.repool(e.buf);
+            }
+        }
+    }
+
+    /// Replicas currently retained across all rings (tests/diagnostics).
+    #[cfg(test)]
+    pub fn retained(&self) -> usize {
+        self.rings.iter().map(|r| r.lock().entries.len()).sum()
+    }
+}
+
+/// Sequence-number deduplication table of one consumer copy set on one
+/// lossless stream. Shared by the set's copies (they share the delivery
+/// queue, so an original and its redelivered replica may be dequeued by
+/// different copies). Self-clearing: claims are scoped to a unit of work,
+/// and the table resets when it sees the next one (all copies sit between
+/// the same global barriers, so a reset can never erase a live claim).
+pub(crate) struct Dedup {
+    inner: Mutex<DedupInner>,
+}
+
+#[derive(Default)]
+struct DedupInner {
+    uow: u32,
+    seen: HashSet<(u32, u64)>,
+}
+
+impl Dedup {
+    pub fn new() -> Self {
+        Dedup {
+            inner: Mutex::new(DedupInner::default()),
+        }
+    }
+
+    /// Claim `(copy, seq)` for processing in `uow`. `true` on first
+    /// claim; `false` means a copy of this set already processed it and
+    /// the caller must suppress the duplicate.
+    pub fn claim(&self, uow: u32, p: Provenance) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.uow != uow {
+            inner.uow = uow;
+            inner.seen.clear();
+        }
+        inner.seen.insert((p.copy, p.seq))
+    }
+
+    /// Release a claim: the incarnation that processed `(copy, seq)` died
+    /// before flushing, so its re-fetched replica must be processed
+    /// again rather than suppressed.
+    pub fn forget(&self, uow: u32, p: Provenance) {
+        let mut inner = self.inner.lock();
+        if inner.uow == uow {
+            inner.seen.remove(&(p.copy, p.seq));
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultOptions;
+    use hetsim::FaultPlan;
+
+    fn retention(depth: usize) -> StreamRetention {
+        let opts = FaultOptions::new(FaultPlan::new())
+            .lossless()
+            .retention_depth(depth);
+        StreamRetention::new(2, BufferSlab::new(), FaultCtl::new(&opts))
+    }
+
+    fn buf(slab: &BufferSlab, v: u64) -> DataBuffer {
+        slab.make_replicable(v, 8)
+    }
+
+    #[test]
+    fn stamp_assigns_monotonic_seqs_per_copy() {
+        let r = retention(16);
+        let slab = BufferSlab::new();
+        let a = r.stamp(0, 0, &buf(&slab, 1)).expect("replicable");
+        let b = r.stamp(0, 1, &buf(&slab, 2)).expect("replicable");
+        let c = r.stamp(1, 0, &buf(&slab, 3)).expect("replicable");
+        assert_eq!((a.copy, a.seq), (0, 0));
+        assert_eq!((b.copy, b.seq), (0, 1));
+        assert_eq!((c.copy, c.seq), (1, 0), "seqs are per producer copy");
+        assert_eq!(r.retained(), 3);
+    }
+
+    #[test]
+    fn non_replicable_buffers_are_not_retained() {
+        let r = retention(16);
+        let plain = DataBuffer::new(1u64, 8);
+        assert!(r.stamp(0, 0, &plain).is_none());
+        assert_eq!(r.retained(), 0);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_tallies() {
+        let slab = BufferSlab::new();
+        let opts = FaultOptions::new(FaultPlan::new())
+            .lossless()
+            .retention_depth(2);
+        let ctl = FaultCtl::new(&opts);
+        let r = StreamRetention::new(1, slab.clone(), ctl.clone());
+        for v in 0..5u64 {
+            r.stamp(0, 0, &buf(&slab, v));
+        }
+        assert_eq!(r.retained(), 2, "ring bounded at depth");
+        assert_eq!(ctl.tallies.lock().retention_evicted, 3);
+        // The oldest seqs are gone, the newest remain fetchable.
+        assert!(r.fetch(0, 0).is_none());
+        assert!(r.fetch(0, 4).is_some());
+    }
+
+    #[test]
+    fn fetch_keeps_the_entry_retained() {
+        let r = retention(16);
+        let slab = BufferSlab::new();
+        r.stamp(0, 0, &buf(&slab, 7)).expect("replicable");
+        let first = r.fetch(0, 0).expect("retained");
+        assert_eq!(first.downcast::<u64>(), 7);
+        let second = r.fetch(0, 0).expect("still retained after fetch");
+        assert_eq!(second.downcast::<u64>(), 7);
+    }
+
+    #[test]
+    fn drain_for_set_takes_only_that_sets_entries() {
+        let r = retention(16);
+        let slab = BufferSlab::new();
+        r.stamp(0, 0, &buf(&slab, 10));
+        r.stamp(0, 1, &buf(&slab, 11));
+        r.stamp(1, 1, &buf(&slab, 12));
+        let drained = r.drain_for_set(1);
+        assert_eq!(drained.len(), 2);
+        let vals: Vec<u64> = drained.into_iter().map(|(_, b)| b.downcast()).collect();
+        assert_eq!(vals, vec![11, 12], "deterministic (copy, seq) order");
+        assert_eq!(r.retained(), 1, "set 0's entry stays");
+    }
+
+    #[test]
+    fn settle_recycles_replicas() {
+        let r = retention(16);
+        let slab = BufferSlab::new();
+        let p = r.stamp(0, 0, &buf(&slab, 1)).expect("replicable");
+        r.settle(&[p]);
+        assert_eq!(r.retained(), 0);
+        // Settling twice (or an evicted entry) is a no-op.
+        r.settle(&[p]);
+    }
+
+    #[test]
+    fn dedup_claims_once_per_uow() {
+        let d = Dedup::new();
+        let p = Provenance { copy: 0, seq: 3 };
+        assert!(d.claim(0, p), "first claim processes");
+        assert!(!d.claim(0, p), "second claim suppresses");
+        assert!(d.claim(1, p), "next uow resets the table");
+        d.forget(1, p);
+        assert!(d.claim(1, p), "forgotten claims can be re-claimed");
+    }
+}

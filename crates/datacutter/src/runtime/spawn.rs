@@ -32,6 +32,7 @@
 //!   completion with loss accounting), or aborts the run when degraded
 //!   completion is disallowed.
 
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize};
 use std::sync::Arc;
@@ -39,21 +40,22 @@ use std::sync::Arc;
 use hetsim::{HostId, SimTime, Topology};
 use parking_lot::Mutex;
 
-use super::delivery::{self, Envelope, SenderCfg};
+use super::delivery::{self, CourierMsg, Envelope, SenderCfg};
 use super::eow::{ProducerRef, UowGate};
 use super::exec::{ChanRx, ChanTx, ExecEnv, Executor, Transport};
 use super::reaper::Reaper;
+use super::retain::{Dedup, StreamRetention};
 use super::supervisor::{copy_retired, CopyRecord, Supervisor};
 use super::Tuning;
 use crate::context::{FilterCtx, InputPort, OutputPort};
 use crate::fault::{
     abort_run, contain_scope, panic_message, raise_killed, CopyHealth, CopyState, ErrorCell,
-    FaultCtl, KilledMarker, RunError, ABORT_MSG,
+    FaultCtl, KilledMarker, RestartEvent, RunError, ABORT_MSG,
 };
 use crate::filter::CopyInfo;
 use crate::graph::{AppGraph, FilterId};
 use crate::metrics::{CopyCell, CopyCounters, CopySetCell};
-use crate::policy::{AckHandle, CopySetInfo, WriterState};
+use crate::policy::{CopySetInfo, WriterState};
 
 /// Everything the driver needs to harvest a report after the run: the
 /// metric cells (shared with the spawned processes) and the barrier
@@ -122,10 +124,20 @@ pub(crate) fn build<E: Executor>(
         sets: Vec<CopySetInfo>,
         data_txs: Vec<ChanTx<Envelope>>,
         data_rxs: Vec<ChanRx<Envelope>>,
-        courier_txs: Vec<ChanTx<AckHandle>>,
+        courier_txs: Vec<ChanTx<CourierMsg>>,
         gates: Vec<Arc<Mutex<UowGate>>>,
         cells: Vec<CopySetCell>,
+        /// Lossless recovery only: the stream's retention and one dedup
+        /// table per consumer copy set.
+        retention: Option<Arc<StreamRetention>>,
+        dedups: Vec<Option<Arc<Dedup>>>,
     }
+
+    // One payload-box recycler for the whole run: boxes released when a
+    // consumer unwraps a buffer feed the next producer's `make`, and
+    // lossless retention draws its replicas from the same pool.
+    let slab = crate::buffer::BufferSlab::new();
+    let lossless = fault_ctl.as_ref().is_some_and(|c| c.lossless());
 
     let mut streams_rt: Vec<StreamRt> = Vec::with_capacity(graph.streams.len());
     for spec in &graph.streams {
@@ -148,12 +160,22 @@ pub(crate) fn build<E: Executor>(
             }
             v
         };
+        let producer_hosts: Vec<HostId> = producers.iter().map(|p| p.host).collect();
+        let retention = match fault_ctl.as_ref() {
+            Some(ctl) if lossless => Some(Arc::new(StreamRetention::new(
+                producers.len(),
+                slab.clone(),
+                ctl.clone(),
+            ))),
+            _ => None,
+        };
         let mut sets = Vec::new();
         let mut data_txs = Vec::new();
         let mut data_rxs = Vec::new();
         let mut courier_txs = Vec::new();
         let mut gates = Vec::new();
         let mut cells = Vec::new();
+        let mut dedups = Vec::new();
         let mut first_copy = 0usize;
         for &(host, copies) in &consumer.placement.per_host {
             sets.push(CopySetInfo {
@@ -173,10 +195,19 @@ pub(crate) fn build<E: Executor>(
                 producers.clone(),
                 copies,
             ))));
-            let (ctx_tx, ctx_rx) = transport.channel::<AckHandle>(tuning.courier_capacity);
+            let (ctx_tx, ctx_rx) = transport.channel::<CourierMsg>(tuning.courier_capacity);
             courier_txs.push(ctx_tx);
             cells.push(CopySetCell::default());
-            delivery::spawn_courier(exec, &spec.name, host, topo, ctx_rx);
+            dedups.push(lossless.then(|| Arc::new(Dedup::new())));
+            delivery::spawn_courier(
+                exec,
+                &spec.name,
+                host,
+                topo,
+                ctx_rx,
+                retention.clone(),
+                producer_hosts.clone(),
+            );
         }
         // Reapers. Under a pure plan: one per copy set whose host is
         // scheduled to crash, holding senders only to sets with no
@@ -220,6 +251,8 @@ pub(crate) fn build<E: Executor>(
                     uows,
                     shutdown: shutdown.clone(),
                     cancel: cancel.clone(),
+                    retention: retention.clone(),
+                    producer_hosts: producer_hosts.clone(),
                 };
                 exec.spawn(
                     format!("reaper:{}@h{}", spec.name, set.host.0),
@@ -234,15 +267,14 @@ pub(crate) fn build<E: Executor>(
             courier_txs,
             gates,
             cells,
+            retention,
+            dedups,
         });
     }
 
     // ---- per-copy spawning ------------------------------------------------
     let barrier = transport.barrier(all_copies as usize);
     let uow_boundaries: Arc<Mutex<Vec<SimTime>>> = Arc::new(Mutex::new(Vec::new()));
-    // One payload-box recycler for the whole run: boxes released when a
-    // consumer unwraps a buffer feed the next producer's `make`.
-    let slab = crate::buffer::BufferSlab::new();
 
     let mut copy_cells: Vec<(FilterId, String, usize, HostId, CopyCell)> = Vec::new();
     for (fidx, fspec) in graph.filters.iter().enumerate() {
@@ -274,6 +306,11 @@ pub(crate) fn build<E: Executor>(
                             .map(|(i, s)| (*s, rt.gates[i].clone()))
                             .collect(),
                         copyset_counters: rt.cells[set_idx].clone(),
+                        dedup: rt.dedups[set_idx].clone(),
+                        retention: rt.retention.clone(),
+                        journal: Vec::new(),
+                        replay: VecDeque::new(),
+                        replay_done: false,
                     });
                 }
 
@@ -313,6 +350,7 @@ pub(crate) fn build<E: Executor>(
                         ),
                         outbox_tx,
                         targets: rt.sets.len(),
+                        retention: rt.retention.clone(),
                     });
                 }
 
@@ -427,19 +465,36 @@ pub(crate) fn build<E: Executor>(
                                             match policy {
                                                 Some(p) if restarts_used < p.max_restarts => {
                                                     restarts_used += 1;
+                                                    let backoff = p.restart_backoff(
+                                                        copy_key,
+                                                        restarts_used - 1,
+                                                    );
                                                     if let Some(ctl) = &restart_ctl {
-                                                        ctl.tallies.lock().restarts += 1;
+                                                        let mut t = ctl.tallies.lock();
+                                                        t.restarts += 1;
+                                                        t.restart_events.push(RestartEvent {
+                                                            filter: fname.clone(),
+                                                            copy: info.copy_index,
+                                                            host,
+                                                            uow,
+                                                            attempt: restarts_used,
+                                                            backoff,
+                                                            at: ctx.env.now(),
+                                                        });
                                                     }
                                                     // Seeded jittered
                                                     // exponential backoff,
                                                     // then a fresh filter
                                                     // instance resumes this
                                                     // UOW from the remaining
-                                                    // queue contents.
-                                                    ctx.env.delay(p.restart_backoff(
-                                                        copy_key,
-                                                        restarts_used - 1,
-                                                    ));
+                                                    // queue contents — plus,
+                                                    // under lossless
+                                                    // recovery, the crashed
+                                                    // incarnation's journaled
+                                                    // inputs re-fetched from
+                                                    // retention.
+                                                    ctx.env.delay(backoff);
+                                                    ctx.prepare_restart_replay();
                                                     filter = (graph2.filters[fid.0 as usize]
                                                         .factory)(
                                                         info

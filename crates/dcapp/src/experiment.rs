@@ -70,7 +70,10 @@ pub fn run_pipeline_exec(
 /// crash of an extract/raster host replays every lost chunk to a
 /// surviving copy, so the rendered image is bit-identical to the
 /// fault-free run; under RR/WRR the run completes degraded with losses
-/// tallied in `report.faults`.
+/// tallied in `report.faults` — unless the options request
+/// [`Recovery::Lossless`](datacutter::Recovery) (see
+/// [`lossless_options`]), in which case retention + replay make every
+/// policy complete with `lost == 0`.
 pub fn run_pipeline_faulted(
     topo: &Topology,
     cfg: &SharedConfig,
@@ -112,6 +115,16 @@ pub fn run_pipeline_faulted_exec(
         to_merge,
         filters,
     })
+}
+
+/// Upgrade fault options to [`Recovery::Lossless`](datacutter::Recovery)
+/// with the config's retention sizing: producers retain up to
+/// `cfg.retention_depth` sent-but-unsettled replicas per stream, crashed
+/// consumers are replayed or their traffic redelivered, and the run is
+/// expected to finish with `report.faults.lost() == 0` and an image
+/// bit-identical to the fault-free run.
+pub fn lossless_options(cfg: &SharedConfig, opts: FaultOptions) -> FaultOptions {
+    opts.lossless().retention_depth(cfg.retention_depth)
 }
 
 /// Result of a multi-UOW run: one image per unit of work (consecutive
@@ -210,6 +223,7 @@ pub fn clone_config(cfg: &SharedConfig) -> crate::config::AppConfig {
         zb_band_bytes: cfg.zb_band_bytes,
         tile_size: cfg.tile_size,
         merge_copies: cfg.merge_copies,
+        retention_depth: cfg.retention_depth,
         placement: cfg.placement.clone(),
         storage_hosts: cfg.storage_hosts.clone(),
         selected_cache: std::sync::OnceLock::new(),

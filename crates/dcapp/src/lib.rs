@@ -25,11 +25,11 @@ pub mod tiles;
 
 mod parts;
 
-pub use config::{Algorithm, AppConfig, CostModel, SharedConfig};
+pub use config::{Algorithm, AppConfig, ConfigError, CostModel, SharedConfig};
 pub use experiment::{
-    avg_elapsed_secs, clone_config, reference_image, run_pipeline, run_pipeline_exec,
-    run_pipeline_faulted, run_pipeline_faulted_exec, run_pipeline_uows, run_timesteps,
-    MultiUowResult, PipelineResult,
+    avg_elapsed_secs, clone_config, lossless_options, reference_image, run_pipeline,
+    run_pipeline_exec, run_pipeline_faulted, run_pipeline_faulted_exec, run_pipeline_uows,
+    run_timesteps, MultiUowResult, PipelineResult,
 };
 pub use filters::{
     ExtractFilter, ExtractRasterFilter, ImageSlot, MergeFilter, PartitionedReadExtractFilter,
@@ -37,7 +37,7 @@ pub use filters::{
     TiledRasterFilter,
 };
 pub use payload::{ChunkPayload, RaOut, TriBatch};
-pub use pipeline::{build_pipeline, Grouping, Pipeline, PipelineSpec};
+pub use pipeline::{build_pipeline, try_build_pipeline, Grouping, Pipeline, PipelineSpec};
 pub use planner::{estimate_work, plan, Plan, WorkEstimate};
 pub use pool::{BufferPool, PoolVec};
 pub use tiles::TileSplitter;

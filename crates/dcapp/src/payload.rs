@@ -9,6 +9,11 @@ use volume::RectGrid;
 use crate::pool::PoolVec;
 
 /// R → E payload: one sub-volume of voxel data.
+///
+/// `Clone` (here and on the other payloads) is what lets the delivery
+/// layer retain replicas for lossless recovery — see
+/// [`BufferSlab::make_replicable`](datacutter::BufferSlab).
+#[derive(Clone)]
 pub struct ChunkPayload {
     /// Global cell origin of the chunk (so extracted geometry lands in
     /// world coordinates).
@@ -41,7 +46,7 @@ impl Default for ChunkPayload {
 /// E → Ra payload: a batch of extracted triangles. The buffer is pooled:
 /// dropping the batch (after rasterization) recycles it to the extract
 /// stage that produced it.
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct TriBatch {
     /// The triangles.
     pub tris: PoolVec<Triangle>,
@@ -55,6 +60,7 @@ impl TriBatch {
 }
 
 /// Ra → M payload: partial rendering results under either algorithm.
+#[derive(Clone)]
 pub enum RaOut {
     /// A horizontal band of a dense z-buffer (z-buffer algorithm; sent
     /// only after end-of-work).

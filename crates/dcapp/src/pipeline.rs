@@ -107,7 +107,27 @@ pub struct Pipeline {
 ///
 /// Read-side filters (R, RE, or RERa) always run one copy per storage
 /// host, since they must sit with the data.
+///
+/// # Panics
+///
+/// On a config that fails [`AppConfig::validate`](crate::config::AppConfig::validate) —
+/// use [`try_build_pipeline`] to handle the [`ConfigError`] instead.
 pub fn build_pipeline(cfg: &SharedConfig, spec: &PipelineSpec) -> Pipeline {
+    match try_build_pipeline(cfg, spec) {
+        Ok(p) => p,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`build_pipeline`] with construction-time config validation: every
+/// sizing knob is checked before any filter factory runs, so a zero-sized
+/// batch or empty storage set is a structured [`ConfigError`] here rather
+/// than a panic or hang mid-run.
+pub fn try_build_pipeline(
+    cfg: &SharedConfig,
+    spec: &PipelineSpec,
+) -> Result<Pipeline, crate::config::ConfigError> {
+    cfg.validate()?;
     let image: ImageSlot = ImageSlot::default();
     let storage = Placement::one_per_host(&cfg.storage_hosts);
     let mut g = GraphBuilder::new();
@@ -240,11 +260,11 @@ pub fn build_pipeline(cfg: &SharedConfig, spec: &PipelineSpec) -> Pipeline {
         }
     };
 
-    Pipeline {
+    Ok(Pipeline {
         graph: g.build(),
         image,
         to_raster,
         to_merge,
         filters,
-    }
+    })
 }

@@ -124,6 +124,24 @@ impl<T> PoolVec<T> {
     }
 }
 
+/// Replication for lossless-recovery retention: the clone draws its
+/// backing buffer from the same pool (alloc-free at steady state) and
+/// recycles there on drop, so retained replicas cost no allocator traffic
+/// once the pool is warm.
+impl<T: Clone> Clone for PoolVec<T> {
+    fn clone(&self) -> Self {
+        let mut out = match &self.home {
+            Some(home) => home.take(self.buf.len()),
+            None => PoolVec {
+                buf: Vec::with_capacity(self.buf.len()),
+                home: None,
+            },
+        };
+        out.buf.extend(self.buf.iter().cloned());
+        out
+    }
+}
+
 impl<T> From<Vec<T>> for PoolVec<T> {
     fn from(buf: Vec<T>) -> Self {
         PoolVec { buf, home: None }

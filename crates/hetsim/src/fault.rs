@@ -161,6 +161,20 @@ impl FaultPlan {
             .max()
     }
 
+    /// NIC-degradation factor applying to `host` at `now`: the strongest
+    /// (smallest) factor among windows covering the instant, or `1.0`
+    /// when none does. A pure time-indexed query — substrates without
+    /// emulated NICs (the wall-clock executor) use it to translate a
+    /// degradation window into equivalent per-message transfer delays
+    /// instead of rejecting the plan.
+    pub fn degrade_factor(&self, host: HostId, now: SimTime) -> f64 {
+        self.degrades
+            .iter()
+            .filter(|&&(h, at, dur, _)| h == host && now >= at && now < at + dur)
+            .map(|&(_, _, _, f)| f)
+            .fold(1.0, f64::min)
+    }
+
     /// Seeded drop verdict for one delivery attempt of one message. Keys
     /// are caller-chosen (stream id, sequence number, attempt counter);
     /// identical keys always produce identical verdicts.
@@ -339,6 +353,27 @@ mod tests {
         assert!(plan.has_delays());
         assert!(!plan.is_empty());
         assert!(!plan.has_degrades());
+    }
+
+    #[test]
+    fn degrade_factor_tracks_windows() {
+        let plan = FaultPlan::new()
+            .degrade_nic(HostId(1), t(10), SimDuration::from_millis(10), 0.5)
+            .degrade_nic(HostId(1), t(15), SimDuration::from_millis(10), 0.25);
+        assert_eq!(plan.degrade_factor(HostId(1), t(9)), 1.0);
+        assert_eq!(plan.degrade_factor(HostId(1), t(10)), 0.5);
+        assert_eq!(
+            plan.degrade_factor(HostId(1), t(16)),
+            0.25,
+            "strongest window wins"
+        );
+        assert_eq!(plan.degrade_factor(HostId(1), t(22)), 0.25);
+        assert_eq!(plan.degrade_factor(HostId(1), t(25)), 1.0);
+        assert_eq!(
+            plan.degrade_factor(HostId(0), t(12)),
+            1.0,
+            "other hosts unaffected"
+        );
     }
 
     #[test]

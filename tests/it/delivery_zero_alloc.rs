@@ -161,6 +161,89 @@ fn demand_driven_delivery_steady_state_is_allocation_free() {
     assert_zero_marginal_allocs(WritePolicy::demand_driven());
 }
 
+// ---- lossless retention ----------------------------------------------------
+
+/// Source emitting *replicable* buffers, as the application filters do —
+/// the shape retention can stamp and retain.
+struct ReplicableSrc {
+    n: u32,
+}
+impl Filter for ReplicableSrc {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        for i in 0..self.n {
+            let b = ctx.buffer_slab().make_replicable(i as u64, 128);
+            ctx.write(0, b);
+        }
+        Ok(())
+    }
+}
+
+/// [`run_once`] with `Recovery::Lossless` and a bounded retention ring:
+/// every buffer is stamped with a provenance, a replica is cloned into
+/// the ring, the consumer claims the sequence number and journals it,
+/// and ring overflow evicts the oldest replica back into the slab pool.
+fn run_once_lossless(policy: WritePolicy, n: u32) -> (u64, u64) {
+    use datacutter::FaultOptions;
+    use hetsim::FaultPlan;
+    let (topo, hosts) = topology();
+    let sum: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+    let sum2 = sum.clone();
+    let mut g = GraphBuilder::new();
+    let src = g.add_filter("src", Placement::on_host(hosts[0], 1), move |_| {
+        ReplicableSrc { n }
+    });
+    let sink = g.add_filter("sink", Placement::on_host(hosts[1], 1), move |_| Sink {
+        sum: sum2.clone(),
+    });
+    g.connect(src, sink, policy);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    Run::new(g.build())
+        .faults(
+            FaultOptions::new(FaultPlan::new())
+                .lossless()
+                .retention_depth(64),
+        )
+        .go(&topo)
+        .expect("lossless pipeline run failed");
+    let after = ALLOCS.load(Ordering::Relaxed);
+    let got = *sum.lock();
+    (after - before, got)
+}
+
+/// Retention must not break the steady state: replica boxes cycle
+/// between the bounded ring and the slab pool (overflow evicts back to
+/// the pool, the next stamp takes from it), so the marginal cost per
+/// delivered buffer stays zero allocations even with recovery armed.
+/// Dedup sets and journals grow amortized — a handful of doublings over
+/// 1800 extra buffers, well inside the same sliver budget.
+#[test]
+fn lossless_retention_steady_state_is_allocation_free() {
+    const SMALL: u32 = 200;
+    const LARGE: u32 = 2000;
+    for policy in [WritePolicy::RoundRobin, WritePolicy::demand_driven()] {
+        let _ = run_once_lossless(policy, SMALL);
+
+        let (small_allocs, small_sum) = run_once_lossless(policy, SMALL);
+        let (large_allocs, large_sum) = run_once_lossless(policy, LARGE);
+        assert_eq!(small_sum, expected_sum(SMALL));
+        assert_eq!(large_sum, expected_sum(LARGE));
+
+        let extra_buffers = (LARGE - SMALL) as i64;
+        let delta = large_allocs as i64 - small_allocs as i64;
+        assert!(
+            delta <= extra_buffers / 64,
+            "{} + lossless retention: {} extra allocations for {} extra \
+             delivered buffers ({} vs {} total) — the retention path is \
+             allocating per buffer",
+            policy.label(),
+            delta,
+            extra_buffers,
+            large_allocs,
+            small_allocs,
+        );
+    }
+}
+
 // ---- tile-hash routing -----------------------------------------------------
 
 /// Producer that targets buffers by tile id, the way the tiled raster

@@ -12,8 +12,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use datacutter::{
-    DataBuffer, FaultOptions, Filter, FilterCtx, FilterError, GraphBuilder, NativeExecutor,
-    NativeFaultPlan, Placement, Run, RunError, SimExecutor, SupervisorPolicy, WritePolicy,
+    FaultOptions, Filter, FilterCtx, FilterError, GraphBuilder, NativeExecutor, NativeFaultPlan,
+    Placement, Run, RunError, SimExecutor, SupervisorPolicy, WritePolicy,
 };
 use dcapp::{Algorithm, Grouping, PipelineSpec};
 use hetsim::{FaultPlan, SimDuration, SimTime};
@@ -428,6 +428,10 @@ fn native_drops_and_delays_preserve_output() {
 struct ChaosGraph {
     graph: datacutter::AppGraph,
     seen: Arc<AtomicU64>,
+    /// The poisoned copy's accumulated payload sum, published when its
+    /// (possibly restarted) incarnation drains the stream — the probe
+    /// for "did replay rebuild the exact pre-crash state".
+    sum: Arc<AtomicU64>,
 }
 
 const CHAOS_BUFFERS: u32 = 64;
@@ -443,6 +447,10 @@ enum PoisonMode {
     PanicAlways,
     /// Block without heartbeats (a real `std::thread::sleep`).
     Wedge,
+    /// Consume this many buffers into filter state, then panic once —
+    /// the consumed prefix's effects die with the incarnation, so only
+    /// a journal replay can rebuild them.
+    PanicAfter(u32),
 }
 
 fn chaos_graph(
@@ -455,7 +463,10 @@ fn chaos_graph(
     impl Filter for Src {
         fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
             for i in 0..CHAOS_BUFFERS {
-                ctx.write(0, DataBuffer::new(i, 256));
+                // Replicable so lossless runs can retain replicas; plain
+                // runs are unaffected (retention is off without the knob).
+                let b = ctx.buffer_slab().make_replicable(i, 256);
+                ctx.write(0, b);
             }
             Ok(())
         }
@@ -465,6 +476,7 @@ fn chaos_graph(
         mode: PoisonMode,
         armed: Arc<AtomicBool>,
         seen: Arc<AtomicU64>,
+        sum: Arc<AtomicU64>,
     }
     impl Filter for Sink {
         fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
@@ -480,20 +492,37 @@ fn chaos_graph(
                         std::thread::sleep(std::time::Duration::from_secs(5));
                         return Ok(());
                     }
+                    PoisonMode::PanicAfter(_) => {}
                 }
             }
+            // Accumulate in *local* state so a panic genuinely destroys
+            // the partial sum; the poisoned copy publishes it only after
+            // draining the stream.
+            let mut local = 0u64;
+            let mut consumed = 0u32;
             while let Some(b) = ctx.read(0) {
-                let _ = b.downcast::<u32>();
+                local += b.downcast::<u32>() as u64;
                 self.seen.fetch_add(1, Ordering::SeqCst);
+                consumed += 1;
+                if let (true, PoisonMode::PanicAfter(k)) = (self.poisoned, self.mode) {
+                    if consumed == k && self.armed.swap(false, Ordering::SeqCst) {
+                        panic!("injected chaos panic");
+                    }
+                }
+            }
+            if self.poisoned {
+                self.sum.store(local, Ordering::SeqCst);
             }
             Ok(())
         }
     }
     let seen: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+    let sum: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
     let armed = Arc::new(AtomicBool::new(true));
     let mut g = GraphBuilder::new();
     let s = g.add_filter("src", Placement::on_host(src_host, 1), |_| Src);
     let seen2 = seen.clone();
+    let sum2 = sum.clone();
     let k = g.add_filter(
         "snk",
         Placement {
@@ -504,12 +533,14 @@ fn chaos_graph(
             mode,
             armed: armed.clone(),
             seen: seen2.clone(),
+            sum: sum2.clone(),
         },
     );
     g.connect(s, k, WritePolicy::demand_driven());
     ChaosGraph {
         graph: g.build(),
         seen,
+        sum,
     }
 }
 
@@ -677,6 +708,160 @@ fn filter_panic_is_contained_as_structured_error() {
             other => panic!("expected FilterPanic (native={native}), got {other:?}"),
         }
     }
+}
+
+// ---- lossless recovery: directed scenarios --------------------------------
+
+/// Replay after restart: the poisoned sink consumes a prefix into filter
+/// state and panics — the state dies with the incarnation. Under
+/// `Recovery::Lossless` the restarted copy forgets its dedup claims,
+/// re-fetches the journaled prefix from the producer's retention ring,
+/// and rebuilds the exact accumulator before draining the rest, on both
+/// substrates.
+#[test]
+fn lossless_restart_replays_journal_and_rebuilds_state() {
+    const K: u32 = 24;
+    let (topo, hosts) = cluster(2);
+    for native in [false, true] {
+        let cg = chaos_graph(hosts[0], &[hosts[1]], 0, PoisonMode::PanicAfter(K));
+        let policy = SupervisorPolicy::new()
+            .max_restarts(2)
+            .backoff(ms(1), ms(10));
+        let mut run = Run::new(cg.graph);
+        if native {
+            run = run.executor(NativeExecutor::new());
+        }
+        let report = run
+            .faults(
+                NativeFaultPlan::new()
+                    .supervise(policy)
+                    .options()
+                    .lossless()
+                    .liveness_timeout(ms(2)),
+            )
+            .go(&topo)
+            .expect("supervised lossless run completes");
+        let f = &report.faults;
+        assert_eq!(f.restarts, 1, "native={native}: {f}");
+        assert_eq!(f.copies_killed, 0, "restart rescued the copy: {f}");
+        assert_eq!(
+            f.buffers_redelivered, K as u64,
+            "native={native}: the journaled prefix is re-fetched: {f}"
+        );
+        assert_eq!(f.buffers_lost, 0, "native={native}: {f}");
+        assert!(!f.degraded, "native={native}: {f}");
+        let expect: u64 = (0..CHAOS_BUFFERS as u64).sum();
+        assert_eq!(
+            cg.sum.load(Ordering::SeqCst),
+            expect,
+            "native={native}: the restarted copy rebuilds the exact sum"
+        );
+        assert_eq!(
+            cg.seen.load(Ordering::SeqCst),
+            (CHAOS_BUFFERS + K) as u64,
+            "native={native}: prefix consumed twice, remainder once"
+        );
+    }
+}
+
+/// Duplicate suppression: a mid-run crash makes the reaper both forward
+/// the dead set's salvaged queue originals *and* redeliver the retained
+/// replicas of the same provenances — the survivor claims each sequence
+/// number once and repools the other copy, so nothing is double-counted
+/// and the image still matches the fault-free run exactly.
+#[test]
+fn lossless_mid_run_crash_suppresses_duplicate_redeliveries() {
+    let (topo, hosts) = cluster(5);
+    // The tiled config's inflated per-entry merge cost keeps the merge
+    // copies' queues deep for most of the run, so the dead set is
+    // guaranteed to hold salvageable originals when it dies.
+    let cfg = tiled_fault_cfg(&hosts);
+    let spec = tiled_spec(&hosts);
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free run");
+    let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(0.12);
+    let plan = FaultPlan::new().crash_host(hosts[3], crash_at);
+    let opts = dcapp::lossless_options(&cfg, FaultOptions::new(plan).liveness_timeout(ms(10)));
+    let faulted =
+        dcapp::run_pipeline_faulted(&topo, &cfg, &spec, opts).expect("lossless run completes");
+    let f = &faulted.report.faults;
+    assert!(
+        f.duplicates_suppressed > 0,
+        "salvaged originals and retained replicas must overlap: {f}"
+    );
+    assert_eq!(f.buffers_lost, 0, "{f}");
+    assert!(!f.degraded, "{f}");
+    assert_eq!(
+        faulted.image.diff_pixels(&clean.image),
+        0,
+        "suppression must not drop distinct data"
+    );
+}
+
+/// Retention-ring overflow: with a deliberately tiny `retention_depth`
+/// the ring evicts old replicas (tallied, repooled), and a later restart
+/// finds part of its journal gone — the run still completes, but
+/// degraded, with the misses accounted as losses instead of hanging or
+/// silently corrupting.
+#[test]
+fn retention_overflow_degrades_with_eviction_accounting() {
+    const K: u32 = 32;
+    let (topo, hosts) = cluster(2);
+    let cg = chaos_graph(hosts[0], &[hosts[1]], 0, PoisonMode::PanicAfter(K));
+    let policy = SupervisorPolicy::new()
+        .max_restarts(2)
+        .backoff(ms(1), ms(10));
+    let report = Run::new(cg.graph)
+        .faults(
+            NativeFaultPlan::new()
+                .supervise(policy)
+                .options()
+                .lossless()
+                .retention_depth(2)
+                .liveness_timeout(ms(2)),
+        )
+        .go(&topo)
+        .expect("overflowing run still completes");
+    let f = &report.faults;
+    assert_eq!(f.restarts, 1, "{f}");
+    assert!(f.retention_evicted > 0, "a depth-2 ring must evict: {f}");
+    assert!(
+        f.buffers_lost > 0,
+        "journal re-fetch misses evicted replicas: {f}"
+    );
+    assert!(f.degraded, "losses mark the run degraded: {f}");
+}
+
+/// Budget-exhausted fallback: when the only consumer set panics past its
+/// restart budget, lossless recovery has no survivor to redeliver to —
+/// the run falls back to PR 5's loss-accounted degraded completion
+/// instead of hanging or erroring.
+#[test]
+fn lossless_budget_exhausted_falls_back_to_degraded_completion() {
+    let (topo, hosts) = cluster(2);
+    let cg = chaos_graph(hosts[0], &[hosts[1]], 0, PoisonMode::PanicAlways);
+    let policy = SupervisorPolicy::new()
+        .max_restarts(1)
+        .backoff(us(50), ms(1));
+    let report = Run::new(cg.graph)
+        .faults(
+            NativeFaultPlan::new()
+                .supervise(policy)
+                .options()
+                .lossless()
+                .liveness_timeout(ms(2)),
+        )
+        .go(&topo)
+        .expect("lossless degrades rather than hangs when no survivor remains");
+    let f = &report.faults;
+    assert_eq!(f.restarts, 1, "budget consumed: {f}");
+    assert_eq!(f.copies_killed, 1, "budget exhausted => dead: {f}");
+    assert!(f.buffers_lost > 0, "no survivor to redeliver to: {f}");
+    assert!(f.degraded, "{f}");
+    assert_eq!(
+        cg.seen.load(Ordering::SeqCst),
+        0,
+        "the poisoned copy never consumed anything"
+    );
 }
 
 // ---- backoff schedule properties -----------------------------------------

@@ -176,12 +176,13 @@ fn native_filter_error_is_structured() {
     }
 }
 
-/// Virtual-time-only features — NIC degradation (needs the simulation's
-/// bandwidth drivers) and setup hooks — are rejected up front with a
-/// structured error, not silently ignored. Crash/stall/drop/delay plans
-/// are accepted (see `it/faults.rs` for the native chaos scenarios).
+/// NIC-degradation plans are accepted on the native executor (emulated as
+/// sender-side stalls sized from the topology's path cost — see
+/// `it/faults.rs` for a scenario with actual traffic), while setup hooks,
+/// which need the simulation object itself, are still rejected up front
+/// with a structured error rather than silently ignored.
 #[test]
-fn native_rejects_degrades_and_setup() {
+fn native_accepts_degrades_rejects_setup() {
     let (topo, hosts) = cluster(2);
     let mk = || {
         let mut g = GraphBuilder::new();
@@ -200,14 +201,14 @@ fn native_rejects_degrades_and_setup() {
         SimDuration::from_millis(1),
         0.5,
     );
-    match Run::new(mk())
+    let report = Run::new(mk())
         .executor(NativeExecutor::new())
         .faults(FaultOptions::new(plan))
         .go(&topo)
-    {
-        Err(RunError::Unsupported { what }) => assert!(what.contains("degradation")),
-        other => panic!("expected Unsupported, got {other:?}"),
-    }
+        .expect("degrade plans run natively via sender-side stall emulation");
+    // The quiet filter sends nothing cross-host, so nothing is delayed —
+    // the point is that the plan is accepted and the run completes.
+    assert_eq!(report.faults.messages_delayed, 0);
     match Run::new(mk())
         .executor(NativeExecutor::new())
         .setup(|_sim| {})

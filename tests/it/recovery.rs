@@ -1,0 +1,319 @@
+//! Lossless recovery: the tentpole acceptance suite.
+//!
+//! With [`datacutter::Recovery::Lossless`], producers retain every
+//! sent-but-unsettled buffer in slab-pooled retention rings, consumers
+//! deduplicate by per-(producer copy, stream) sequence number, and the
+//! reaper/supervisor replay or redeliver retained traffic when a copy
+//! dies — so a seeded crash plan completes with `lost == 0` and an image
+//! bit-identical to the fault-free run under *every* writer policy, on
+//! both the virtual-time simulator and the native executor.
+//!
+//! Two crash classes are distinguished deliberately:
+//!
+//! - **Dead-from-start** (`crash_host(h, SimTime::ZERO)`): the doomed
+//!   copy fail-stops at its first read boundary and never consumes, so
+//!   on top of the pixel/loss contract the per-stream delivery *totals*
+//!   are exactly invariant whenever the surviving stages' per-copy
+//!   batching is unchanged (the tile-hash scenario) — every unique
+//!   sequence number is claimed once somewhere.
+//! - **Mid-run**: the dead copy consumed buffers whose effects died with
+//!   its accumulator state; redelivery re-processes them at a survivor
+//!   (and streaming filters re-emit downstream), so totals legitimately
+//!   shift while the *image* stays bit-identical — every rendering fold
+//!   (z-buffer depth test, winning-pixel composition) is idempotent
+//!   under duplicated identical inputs.
+
+use std::sync::Arc;
+
+use datacutter::{FaultOptions, NativeExecutor, Placement, SimExecutor, WritePolicy};
+use dcapp::{lossless_options, Algorithm, Grouping, PipelineSpec};
+use hetsim::{FaultPlan, SimDuration, SimTime};
+use integration_tests::{cluster, recovery_digest, stream_totals_digest, test_cfg, test_dataset};
+
+fn ms(n: u64) -> SimDuration {
+    SimDuration::from_millis(n)
+}
+
+/// `R–E–Ra–M` with the extract stage replicated on hosts 1 and 2 (so one
+/// can die and leave a survivor), raster on host 3, merge on host 4, all
+/// data on host 0 — the same shape as the `faults.rs` scenarios.
+fn spec(hosts: &[hetsim::HostId], policy: WritePolicy) -> PipelineSpec {
+    PipelineSpec {
+        grouping: Grouping::FourStage {
+            extract: Placement::one_per_host(&[hosts[1], hosts[2]]),
+            raster: Placement::on_host(hosts[3], 1),
+        },
+        algorithm: Algorithm::ZBuffer,
+        policy,
+        merge_host: hosts[4],
+    }
+}
+
+/// Tile-owned compositing with the merge group on hosts 2 and 3.
+fn tiled_spec(hosts: &[hetsim::HostId]) -> PipelineSpec {
+    PipelineSpec {
+        grouping: Grouping::TileComposite {
+            raster: Placement::on_host(hosts[1], 1),
+            merge: Placement::one_per_host(&[hosts[2], hosts[3]]),
+        },
+        algorithm: Algorithm::ActivePixel,
+        policy: WritePolicy::demand_driven(),
+        merge_host: hosts[4],
+    }
+}
+
+/// One-row tiles and an inflated per-entry merge cost so a mid-run merge
+/// crash has real fragment traffic in flight.
+fn tiled_fault_cfg(hosts: &[hetsim::HostId]) -> dcapp::SharedConfig {
+    let mut cfg = dcapp::AppConfig::new(test_dataset(7), vec![hosts[0]], 2, 96, 96);
+    cfg.iso = 0.5;
+    cfg.tile_size = 1;
+    cfg.cost.merge_per_entry = 2.0e-3;
+    Arc::new(cfg)
+}
+
+/// The recovered run's invariants against its same-substrate fault-free
+/// baseline.
+///
+/// `dead_from_start` plans cannot guarantee replay traffic: the reaper
+/// may evict the dead set's writers before the first producer send, in
+/// which case routing around the corpse is the whole recovery. Mid-run
+/// plans are the opposite: traffic is in flight, so retained buffers
+/// must move.
+///
+/// `exact_totals` pins the per-stream delivery totals, which needs both
+/// a dead-from-start victim (it consumed nothing) *and* no surviving
+/// stage whose per-copy batching changes — losing one of two extract
+/// copies means one final partial `TriBatch` flush instead of two, so
+/// the FourStage shape shifts totals even when the victim never ran.
+fn assert_lossless(
+    label: &str,
+    clean: &dcapp::PipelineResult,
+    faulted: &dcapp::PipelineResult,
+    dead_from_start: bool,
+    exact_totals: bool,
+) {
+    let f = &faulted.report.faults;
+    assert!(f.copies_killed >= 1, "{label}: the victim must die: {f}");
+    assert_eq!(f.buffers_lost, 0, "{label}: lossless loses nothing: {f}");
+    assert_eq!(f.bytes_lost, 0, "{label}: {f}");
+    assert!(!f.degraded, "{label}: zero loss is not degraded: {f}");
+    if !dead_from_start {
+        assert!(
+            f.buffers_replayed + f.buffers_redelivered > 0,
+            "{label}: mid-run recovery must actually move retained traffic: {f}"
+        );
+    }
+    assert_eq!(
+        faulted.image.diff_pixels(&clean.image),
+        0,
+        "{label}: recovered image must be bit-identical to fault-free"
+    );
+    assert_eq!(
+        recovery_digest(faulted),
+        recovery_digest(clean),
+        "{label}: image+loss digest must match fault-free"
+    );
+    if exact_totals {
+        assert_eq!(
+            stream_totals_digest(faulted),
+            stream_totals_digest(clean),
+            "{label}: dead-from-start recovery delivers every seq exactly once"
+        );
+    }
+}
+
+/// The tentpole acceptance matrix: a dead-from-start crash of one extract
+/// host under RR, WRR, and DD completes with `lost == 0`, bit-identical
+/// pixels, and exactly invariant stream totals — on both substrates.
+#[test]
+fn lossless_dead_start_crash_bit_identical_all_policies_both_substrates() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(7), vec![hosts[0]], 96);
+    for policy in [
+        WritePolicy::RoundRobin,
+        WritePolicy::WeightedRoundRobin,
+        WritePolicy::demand_driven(),
+    ] {
+        let spec = spec(&hosts, policy);
+        let plan = || FaultPlan::new().crash_host(hosts[2], SimTime::ZERO);
+        let opts = || lossless_options(&cfg, FaultOptions::new(plan()).liveness_timeout(ms(2)));
+
+        let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free sim run");
+        let faulted = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, opts())
+            .expect("lossless sim run completes");
+        assert_lossless(
+            &format!("sim/{}", policy.label()),
+            &clean,
+            &faulted,
+            true,
+            false,
+        );
+
+        let clean_nat = dcapp::run_pipeline_exec(&topo, &cfg, &spec, NativeExecutor::new())
+            .expect("fault-free native run");
+        let faulted_nat =
+            dcapp::run_pipeline_faulted_exec(&topo, &cfg, &spec, opts(), NativeExecutor::new())
+                .expect("lossless native run completes");
+        assert_lossless(
+            &format!("native/{}", policy.label()),
+            &clean_nat,
+            &faulted_nat,
+            true,
+            false,
+        );
+    }
+}
+
+/// Same matrix entry for the tile-hash policy: a dead-from-start crash of
+/// one tile-owning merge set re-routes every fragment to the survivor
+/// (linear-probe fall-through), which flushes all tiles — `lost == 0`,
+/// identical pixels, exact totals, both substrates.
+#[test]
+fn lossless_dead_start_tile_hash_merge_crash_both_substrates() {
+    let (topo, hosts) = cluster(5);
+    let cfg = tiled_fault_cfg(&hosts);
+    let spec = tiled_spec(&hosts);
+    let plan = || FaultPlan::new().crash_host(hosts[3], SimTime::ZERO);
+    let opts = || lossless_options(&cfg, FaultOptions::new(plan()).liveness_timeout(ms(2)));
+
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free sim run");
+    let faulted = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, opts())
+        .expect("lossless tiled sim run completes");
+    assert_lossless("sim/tile-hash", &clean, &faulted, true, true);
+
+    let clean_nat = dcapp::run_pipeline_exec(&topo, &cfg, &spec, NativeExecutor::new())
+        .expect("fault-free native run");
+    let faulted_nat =
+        dcapp::run_pipeline_faulted_exec(&topo, &cfg, &spec, opts(), NativeExecutor::new())
+            .expect("lossless tiled native run completes");
+    assert_lossless("native/tile-hash", &clean_nat, &faulted_nat, true, true);
+}
+
+/// Mid-run crashes per policy (simulator, where the crash instant is
+/// deterministic): the dead copy has consumed-but-unsettled buffers, so
+/// totals shift, but the image stays bit-identical and nothing is lost.
+#[test]
+fn lossless_mid_run_crash_renders_identical_image_per_policy() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(7), vec![hosts[0]], 96);
+    for policy in [
+        WritePolicy::RoundRobin,
+        WritePolicy::WeightedRoundRobin,
+        WritePolicy::demand_driven(),
+    ] {
+        let spec = spec(&hosts, policy);
+        let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free run");
+        let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(0.25);
+        let plan = FaultPlan::new().crash_host(hosts[2], crash_at);
+        let opts = lossless_options(&cfg, FaultOptions::new(plan).liveness_timeout(ms(2)));
+        let faulted = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, opts)
+            .expect("lossless mid-run crash completes");
+        assert_lossless(
+            &format!("sim-midrun/{}", policy.label()),
+            &clean,
+            &faulted,
+            false,
+            false,
+        );
+    }
+}
+
+/// Mid-run death of a tile-owning merge copy: the survivor rebuilds the
+/// dead set's partially composited tiles from redelivered retained
+/// fragments, so the assembled image is still bit-identical.
+#[test]
+fn lossless_mid_run_tile_merge_crash_rebuilds_dead_tiles() {
+    let (topo, hosts) = cluster(5);
+    let cfg = tiled_fault_cfg(&hosts);
+    let spec = tiled_spec(&hosts);
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free run");
+    let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(0.12);
+    let plan = FaultPlan::new().crash_host(hosts[3], crash_at);
+    let opts = lossless_options(&cfg, FaultOptions::new(plan).liveness_timeout(ms(10)));
+    let faulted = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, opts)
+        .expect("lossless tiled mid-run crash completes");
+    assert_lossless("sim-midrun/tile-hash", &clean, &faulted, false, false);
+}
+
+/// Randomized acceptance: seeded datasets, any writer policy, either
+/// extract host, any crash instant in the first 60% of the run — every
+/// combination recovers to `lost == 0` and the exact fault-free image.
+/// The `fault-heavy` feature dials the case count up for soak runs.
+mod recovery_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cases() -> u32 {
+        if cfg!(feature = "fault-heavy") {
+            32
+        } else {
+            8
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(cases()))]
+        #[test]
+        fn seeded_crash_plans_recover_lossless(
+            policy_idx in 0usize..3,
+            victim in 1usize..=2,
+            frac in 0.0f64..0.6,
+            seed in 1u64..200,
+        ) {
+            let (topo, hosts) = cluster(5);
+            let cfg = test_cfg(test_dataset(seed), vec![hosts[0]], 64);
+            let policy = [
+                WritePolicy::RoundRobin,
+                WritePolicy::WeightedRoundRobin,
+                WritePolicy::demand_driven(),
+            ][policy_idx];
+            let spec = spec(&hosts, policy);
+            let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free run");
+            let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(frac);
+            let plan = FaultPlan::new().crash_host(hosts[victim], crash_at);
+            let opts =
+                lossless_options(&cfg, FaultOptions::new(plan).liveness_timeout(ms(2)));
+            let faulted = dcapp::run_pipeline_faulted(&topo, &cfg, &spec, opts)
+                .expect("lossless run completes");
+            let f = &faulted.report.faults;
+            prop_assert_eq!(f.buffers_lost, 0, "lossless loses nothing: {}", f);
+            prop_assert_eq!(f.bytes_lost, 0, "{}", f);
+            prop_assert!(!f.degraded, "{}", f);
+            prop_assert_eq!(
+                faulted.image.diff_pixels(&clean.image),
+                0,
+                "recovered image must match fault-free pixels"
+            );
+            prop_assert_eq!(recovery_digest(&faulted), recovery_digest(&clean));
+        }
+    }
+}
+
+/// Lossless is an *upgrade*, not a behavior change: an empty fault plan
+/// under `Recovery::Lossless` still renders the reference image and
+/// reports a quiet fault ledger (retention stamps and settles, but
+/// nothing is replayed, redelivered, or suppressed).
+#[test]
+fn lossless_empty_plan_is_quiet_and_correct() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(11), vec![hosts[0]], 96);
+    let spec = spec(&hosts, WritePolicy::demand_driven());
+    let clean = dcapp::run_pipeline(&topo, &cfg, &spec).expect("fault-free run");
+    for exec in ["sim", "native"] {
+        let opts = lossless_options(&cfg, FaultOptions::new(FaultPlan::new()));
+        let r = match exec {
+            "sim" => dcapp::run_pipeline_faulted_exec(&topo, &cfg, &spec, opts, SimExecutor::new()),
+            _ => dcapp::run_pipeline_faulted_exec(&topo, &cfg, &spec, opts, NativeExecutor::new()),
+        }
+        .expect("lossless no-fault run");
+        let f = &r.report.faults;
+        assert_eq!(r.image.diff_pixels(&clean.image), 0, "{exec}");
+        assert_eq!(f.buffers_replayed, 0, "{exec}: {f}");
+        assert_eq!(f.buffers_redelivered, 0, "{exec}: {f}");
+        assert_eq!(f.duplicates_suppressed, 0, "{exec}: {f}");
+        assert_eq!(f.retention_evicted, 0, "{exec}: {f}");
+        assert_eq!(f.buffers_lost, 0, "{exec}: {f}");
+        assert!(!f.degraded, "{exec}: {f}");
+    }
+}

@@ -66,6 +66,40 @@ pub fn image_digest(img: &isosurf::Image) -> u64 {
     h.0
 }
 
+/// Digest of the quantities [`Recovery::Lossless`](datacutter::Recovery)
+/// pins for *any* crash plan: the rendered pixels and the loss
+/// accounting. Elapsed time, per-copy distribution, and repair tallies
+/// legitimately differ between a recovered run and the fault-free run;
+/// the contract is zero loss and identical output, not an identical
+/// delivery schedule.
+pub fn recovery_digest(r: &PipelineResult) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(image_digest(&r.image));
+    h.u64(r.report.faults.buffers_lost);
+    h.u64(r.report.faults.bytes_lost);
+    h.u64(r.report.faults.degraded as u64);
+    h.0
+}
+
+/// Digest of the per-stream delivery totals (buffers and bytes summed
+/// over copy sets). Invariant under lossless recovery when the crashed
+/// copies had consumed nothing yet (dead-from-start plans) *and* no
+/// surviving stage re-batches — every unique sequence number is then
+/// claimed and counted exactly once somewhere. Mid-run crashes
+/// re-process consumed-but-unsettled buffers (their effects died with
+/// the crashed copy's accumulator), and losing a copy of a batching
+/// stage changes how many partial batches get flushed, so both
+/// legitimately shift these totals — use [`recovery_digest`] there
+/// instead.
+pub fn stream_totals_digest(r: &PipelineResult) -> u64 {
+    let mut h = Fnv::new();
+    for s in &r.report.streams {
+        h.u64(s.total_buffers());
+        h.u64(s.total_bytes());
+    }
+    h.0
+}
+
 /// Digest of everything the run measured: virtual completion time, engine
 /// event count, per-copy counters (the byte meters), per-stream copy-set
 /// counters, UOW boundaries and fault tallies.
