@@ -1,0 +1,176 @@
+//! **fanout_sweep** — the copies-per-core scaling curve of the
+//! cooperative task substrate.
+//!
+//! Scales the raster stage through 64 → 4096 transparent copies on a
+//! 4-host cluster and times the same graph on the thread-per-copy
+//! [`datacutter::NativeExecutor`] and the pool-multiplexed
+//! [`datacutter::TaskedExecutor`] (admission pool sized to the machine's
+//! cores, so the `copies/core` column is the oversubscription factor the
+//! paper-scale fan-out demands). The z-buffer algorithm keeps the merge
+//! traffic proportional to copy count, so the sweep stresses exactly what
+//! grows with fan-out: park/unpark churn on the channels, the DD credit
+//! window, and the end-of-work barrier.
+//!
+//! Every cell is a correctness gate: each wall-clock run's image is
+//! FNV-digested and compared against the virtual-time simulator's digest
+//! for the same scale (itself diffed against the sequential reference).
+//! Any drift fails the run — this is the digest sentinel the
+//! `perf-smoke` CI job relies on.
+//!
+//! Usage: `fanout_sweep [--quick] [--out FILE] [--no-out]`
+//! Writes `BENCH_fanout.json` (one row per cell, fresh each run).
+
+use std::time::Instant;
+
+use bench::{make_cfg, small_dataset, Table};
+use datacutter::{NativeExecutor, Placement, TaskedExecutor, WritePolicy};
+use dcapp::{reference_image, run_pipeline, run_pipeline_exec, Algorithm, Grouping, PipelineSpec};
+use hetsim::presets::rogue_cluster;
+
+/// FNV-1a over the image dimensions and pixels (the same fold the
+/// bit-identity test suites pin).
+fn image_digest(img: &isosurf::Image) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&(img.width as u64).to_le_bytes());
+    eat(&(img.height as u64).to_le_bytes());
+    for px in &img.data {
+        eat(px);
+    }
+    h
+}
+
+struct Row {
+    id: String,
+    copies: usize,
+    copies_per_core: f64,
+    wall_ms: f64,
+    digest: u64,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = Some("BENCH_fanout.json".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(args.next().expect("--out needs a value")),
+            "--no-out" => out = None,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    const IMAGE: u32 = 64;
+    const HOSTS: usize = 4;
+    let per_host: &[u32] = if quick {
+        &[16, 64]
+    } else {
+        &[16, 64, 256, 1024]
+    };
+    let workers = datacutter::runtime::tasked::default_workers();
+
+    let ds = small_dataset();
+    let (topo, hosts) = rogue_cluster(HOSTS);
+    let cfg = make_cfg(ds, hosts.clone(), 2, IMAGE);
+    let reference = reference_image(&cfg);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &per in per_host {
+        let copies = HOSTS * per as usize;
+        let spec = PipelineSpec {
+            grouping: Grouping::RERaSplit {
+                raster: Placement {
+                    per_host: hosts.iter().map(|&h| (h, per)).collect(),
+                },
+            },
+            algorithm: Algorithm::ZBuffer,
+            policy: WritePolicy::demand_driven(),
+            merge_host: hosts[0],
+        };
+
+        // Digest baseline on the deterministic substrate.
+        let sim = run_pipeline(&topo, &cfg, &spec).expect("sim run failed");
+        assert_eq!(
+            sim.image.diff_pixels(&reference),
+            0,
+            "REGRESSION: sim image diverged from the sequential reference at n{copies}"
+        );
+        let baseline = image_digest(&sim.image);
+
+        let cell = |id: String, exec: datacutter::ExecutorChoice| -> Row {
+            let t0 = Instant::now();
+            let r = run_pipeline_exec(&topo, &cfg, &spec, exec).expect("wall-clock run failed");
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let digest = image_digest(&r.image);
+            assert_eq!(
+                digest, baseline,
+                "DIGEST DRIFT at {id}: wall-clock fan-out no longer bit-identical to sim"
+            );
+            Row {
+                id,
+                copies,
+                copies_per_core: copies as f64 / workers as f64,
+                wall_ms,
+                digest,
+            }
+        };
+
+        let nat = cell(
+            format!("fanout/n{copies}/native"),
+            NativeExecutor::new().into(),
+        );
+        let tsk = cell(
+            format!("fanout/n{copies}/tasked"),
+            TaskedExecutor::new().into(),
+        );
+        println!(
+            "n{copies} ({:.0} copies/core): native {:.1} ms -> tasked {:.1} ms wall, digest {:#018x}",
+            tsk.copies_per_core, nat.wall_ms, tsk.wall_ms, tsk.digest,
+        );
+        rows.push(nat);
+        rows.push(tsk);
+    }
+
+    let mut t = Table::new(&["cell", "copies", "copies/core", "wall ms"]);
+    for r in &rows {
+        t.row(vec![
+            r.id.clone(),
+            r.copies.to_string(),
+            format!("{:.0}", r.copies_per_core),
+            format!("{:.1}", r.wall_ms),
+        ]);
+    }
+    t.print(&format!(
+        "fanout_sweep ({}, pool = {} workers)",
+        if quick { "quick" } else { "full" },
+        workers
+    ));
+
+    if let Some(path) = out {
+        let mut json = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"id\": \"{}\", \"copies\": {}, \"copies_per_core\": {:.1}, \
+                 \"wall_ms\": {:.1}, \"image_digest\": \"{:#018x}\"}}{}\n",
+                r.id,
+                r.copies,
+                r.copies_per_core,
+                r.wall_ms,
+                r.digest,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("]\n");
+        std::fs::write(&path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

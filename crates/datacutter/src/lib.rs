@@ -97,6 +97,6 @@ pub use policy::{CopySetInfo, DemandState, WritePolicy};
 pub use runtime::{run_app, run_app_faulted, run_app_traced, run_app_uows, run_app_with};
 pub use runtime::{
     Clock, ExecEnv, ExecStats, Executor, ExecutorChoice, NativeExecutor, Run, SimExecutor,
-    Transport, DEFAULT_COURIER_CAPACITY, DEFAULT_COURIER_DEADLINE, DEFAULT_OUTBOX_CAPACITY,
-    DEFAULT_RETRANSMIT_DELAY,
+    TaskedExecutor, Transport, DEFAULT_COURIER_CAPACITY, DEFAULT_COURIER_DEADLINE,
+    DEFAULT_OUTBOX_CAPACITY, DEFAULT_RETRANSMIT_DELAY,
 };

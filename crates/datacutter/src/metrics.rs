@@ -185,12 +185,13 @@ impl std::fmt::Display for FaultReport {
             for e in &self.restart_events {
                 write!(
                     f,
-                    "\n  {:>9.3}s  {}[{}]@host{} uow {}: attempt {} after {:.3}s backoff",
+                    "\n  {:>9.3}s  {}[{}]@host{} uow {}: {} attempt {} after {:.3}s backoff",
                     e.at.as_secs_f64(),
                     e.filter,
                     e.copy,
                     e.host.0,
                     e.uow,
+                    e.worker,
                     e.attempt,
                     e.backoff.as_secs_f64(),
                 )?;

@@ -22,11 +22,12 @@
 use std::sync::{Arc, Weak};
 
 use hetsim::{HostId, ProcessId};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::fault::FaultCtl;
 use crate::runtime::native::{CancelScope, CancelWake};
+use crate::runtime::park::{ParkSite, Parking};
 use crate::runtime::ExecEnv;
 
 /// Policy selector carried in stream specs.
@@ -251,7 +252,11 @@ pub struct DemandState {
     inner: Mutex<DemandInner>,
     /// Native producers blocked on window credit wait here (the sim path
     /// uses the engine's wake list in `DemandInner::waiters` instead).
-    credit: Condvar,
+    /// A [`ParkSite`] rather than a bare condvar so the same code blocks
+    /// correctly on both wall-clock substrates — thread-parked under the
+    /// native executor, waker-parked (slot-releasing) under the tasked
+    /// one. The site kind follows the run's cancel scope.
+    credit: ParkSite,
     producer_host: HostId,
     faults: Option<Arc<FaultCtl>>,
     /// Cancellation scope of a native run, so blocked producers unblock
@@ -306,7 +311,11 @@ impl DemandState {
                 cursor: 0,
                 dead_scratch: Vec::with_capacity(sets.len()),
             }),
-            credit: Condvar::new(),
+            credit: cancel
+                .as_ref()
+                .map(|c| c.parking())
+                .unwrap_or(Parking::Thread)
+                .site(),
             producer_host,
             faults,
             cancel,
@@ -417,7 +426,7 @@ impl DemandState {
                         // arrive from a consumer set that died (or is
                         // declared dead by the supervisor) while holding it.
                         Some(ctl) => {
-                            let _ = self.credit.wait_for(
+                            let _timed_out = self.credit.wait_for(
                                 &mut st,
                                 std::time::Duration::from_nanos(ctl.timeout.as_nanos()),
                             );

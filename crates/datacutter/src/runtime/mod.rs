@@ -4,6 +4,10 @@
 //! * [`exec`] — the `Clock` / `Transport` / `Executor` trait family and
 //!   the virtual-time [`SimExecutor`],
 //! * [`native`] — the wall-clock [`NativeExecutor`] (real OS threads),
+//! * [`park`] — the parking seam: how a runtime process blocks
+//!   (condvar-parked thread vs waker-parked task),
+//! * [`tasked`] — the cooperative [`TaskedExecutor`] (waker-parked tasks
+//!   multiplexed over a worker pool, for 4096-copy graphs on one machine),
 //! * [`spawn`] — copy instantiation and stream wiring,
 //! * [`delivery`] — outbox senders, ack couriers, retransmission,
 //! * [`eow`] — end-of-work gates (UOW cycle separation),
@@ -30,10 +34,12 @@ pub mod delivery;
 pub mod eow;
 pub mod exec;
 pub mod native;
+pub mod park;
 pub mod reaper;
 pub mod retain;
 pub mod spawn;
 pub mod supervisor;
+pub mod tasked;
 
 use std::sync::Arc;
 
@@ -45,6 +51,7 @@ pub use exec::{
     Transport,
 };
 pub use native::{CancelScope, NativeEnv, NativeExecutor, NativeTransport};
+pub use tasked::TaskedExecutor;
 
 use crate::fault::{ErrorCell, FaultCtl, FaultOptions, KilledMarker, RunError};
 use crate::graph::AppGraph;
@@ -93,14 +100,17 @@ impl Default for Tuning {
     }
 }
 
-/// The executor a [`Run`] uses, chosen at configuration time. Both
-/// variants convert via `From`, so `Run::executor` accepts either executor
+/// The executor a [`Run`] uses, chosen at configuration time. Every
+/// variant converts via `From`, so `Run::executor` accepts any executor
 /// value directly.
 pub enum ExecutorChoice {
     /// Deterministic virtual-time execution on the hetsim engine.
     Sim(SimExecutor),
-    /// Wall-clock execution on real OS threads.
+    /// Wall-clock execution on real OS threads, one per copy.
     Native(NativeExecutor),
+    /// Wall-clock execution on waker-parked tasks multiplexed over a
+    /// small worker pool (the massive fan-out substrate).
+    Tasked(TaskedExecutor),
 }
 
 impl From<SimExecutor> for ExecutorChoice {
@@ -112,6 +122,12 @@ impl From<SimExecutor> for ExecutorChoice {
 impl From<NativeExecutor> for ExecutorChoice {
     fn from(e: NativeExecutor) -> Self {
         ExecutorChoice::Native(e)
+    }
+}
+
+impl From<TaskedExecutor> for ExecutorChoice {
+    fn from(e: TaskedExecutor) -> Self {
+        ExecutorChoice::Tasked(e)
     }
 }
 
@@ -290,6 +306,44 @@ impl Run {
                     return Err(RunError::Unsupported {
                         what: "simulation setup hooks require the virtual-time SimExecutor".into(),
                     });
+                }
+                drive(
+                    exec,
+                    topo,
+                    graph,
+                    self.uows,
+                    self.trace,
+                    fault_ctl,
+                    self.tuning,
+                )
+            }
+            ExecutorChoice::Tasked(mut exec) => {
+                // Same wall-clock semantics as Native; only the blocking
+                // substrate differs (waker-parked tasks over a pool).
+                if self.setup.is_some() {
+                    return Err(RunError::Unsupported {
+                        what: "simulation setup hooks require the virtual-time SimExecutor".into(),
+                    });
+                }
+                if let Some(cap) = exec.task_cap() {
+                    let copies: usize = graph
+                        .filters
+                        .iter()
+                        .map(|f| f.placement.total_copies() as usize)
+                        .sum();
+                    if copies > cap {
+                        return Err(RunError::Unsupported {
+                            what: format!(
+                                "graph places {copies} filter copies, max_task_copies is {cap}"
+                            ),
+                        });
+                    }
+                    // The knob is measured in *filter copies*; the wiring
+                    // below also registers per-stream senders, couriers and
+                    // reapers, so the raw task-count guard in
+                    // `Executor::run` (meant for direct executor users)
+                    // must not re-count those against the same cap.
+                    exec.clear_task_cap();
                 }
                 drive(
                     exec,

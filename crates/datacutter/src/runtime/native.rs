@@ -15,6 +15,17 @@
 //! scope, every registered primitive wakes its waiters, and blocked
 //! operations fall through (sends discard, receives report closed, barrier
 //! waits return) so every thread can unwind and join.
+//!
+//! Since the parking refactor, no primitive here blocks on a condvar
+//! directly: every blocking edge is a [`super::park::ParkSite`] built
+//! from the transport's [`Parking`] mode. Under [`NativeExecutor`] the
+//! sites wrap condvars and behave exactly as before; under
+//! [`super::tasked::TaskedExecutor`] the same channels, barriers and
+//! completion ledger park carrier threads on waker queues and recycle
+//! their admission slots, which is what makes 4096-copy graphs viable.
+//! The executor skeleton itself ([`ExecCore`]) is shared by both
+//! substrates — only the worker mode (thread-per-copy vs admission-gated
+//! carriers) differs.
 
 use std::cell::UnsafeCell;
 use std::collections::{HashSet, VecDeque};
@@ -25,11 +36,13 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use hetsim::{DeadlineRecv, SendError, SimDuration, SimError, SimTime};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 
 use super::exec::{
-    ChanRx, ChanTx, DeadlineSend, ExecBarrier, ExecEnv, ExecStats, Executor, SpawnBody, Transport,
+    ChanRx, ChanTx, DeadlineSend, ExecBarrier, ExecEnv, ExecStats, Executor, SpawnBody, SpawnRole,
+    Transport,
 };
+use super::park::{self, ParkSite, Parking, Scheduler};
 
 /// Take the value a send loop is still holding. The loops below place the
 /// value in an `Option` so it can be returned on channel closure; inside
@@ -46,6 +59,7 @@ fn held<T>(slot: &mut Option<T>) -> T {
 #[derive(Clone, Copy)]
 pub struct NativeEnv {
     start: Instant,
+    parking: Parking,
 }
 
 impl NativeEnv {
@@ -54,9 +68,19 @@ impl NativeEnv {
         SimTime::ZERO + SimDuration::from_nanos(self.start.elapsed().as_nanos() as u64)
     }
 
-    /// Really sleep for `d`.
+    /// Really sleep for `d` — through the parking seam, so a sleeping
+    /// task on the cooperative substrate yields its admission slot.
     pub fn sleep(&self, d: SimDuration) {
-        std::thread::sleep(Duration::from_nanos(d.as_nanos()));
+        self.parking.sleep(Duration::from_nanos(d.as_nanos()));
+    }
+
+    /// Label of the worker substrate this environment runs on, for
+    /// human-facing incarnation ids (restart timelines).
+    pub(crate) fn worker_label(&self) -> &'static str {
+        match self.parking {
+            Parking::Thread => "thread",
+            Parking::Tasked => "task",
+        }
     }
 }
 
@@ -82,14 +106,32 @@ pub(crate) trait CancelWake: Send + Sync {
 pub struct CancelScope {
     cancelled: AtomicBool,
     wakees: Mutex<Vec<Weak<dyn CancelWake>>>,
+    /// Parking mode of the run this scope tears down. The scope is the
+    /// one teardown/wakeup handle every blocking primitive already
+    /// threads through, so it doubles as the carrier of the park seam:
+    /// primitives derive their [`ParkSite`]s from it.
+    parking: Parking,
 }
 
 impl CancelScope {
+    /// A thread-parking scope (only primitive unit tests build scopes
+    /// directly; run scopes come from the executors via `with_parking`).
+    #[cfg(test)]
     pub(crate) fn new() -> Arc<Self> {
+        Self::with_parking(Parking::Thread)
+    }
+
+    pub(crate) fn with_parking(parking: Parking) -> Arc<Self> {
         Arc::new(CancelScope {
             cancelled: AtomicBool::new(false),
             wakees: Mutex::new(Vec::new()),
+            parking,
         })
+    }
+
+    /// The parking mode primitives registered with this scope must use.
+    pub(crate) fn parking(&self) -> Parking {
+        self.parking
     }
 
     /// True once the run has been cancelled (a thread panicked).
@@ -128,13 +170,13 @@ struct NChanState<T> {
 }
 
 /// Shared core of a native channel: a bounded deque guarded by one mutex,
-/// with separate not-full / not-empty condvars (the crossbeam
-/// array-channel shape, simplified).
+/// with separate not-full / not-empty park sites (the crossbeam
+/// array-channel shape, simplified, behind the parking seam).
 struct NChan<T> {
     st: Mutex<NChanState<T>>,
     capacity: usize,
-    not_full: Condvar,
-    not_empty: Condvar,
+    not_full: ParkSite,
+    not_empty: ParkSite,
     cancel: Arc<CancelScope>,
 }
 
@@ -178,8 +220,8 @@ struct Spsc<T> {
     rx_alive: AtomicBool,
     waiting: AtomicU8,
     park: Mutex<()>,
-    not_empty: Condvar,
-    not_full: Condvar,
+    not_empty: ParkSite,
+    not_full: ParkSite,
     cancel: Arc<CancelScope>,
 }
 
@@ -350,6 +392,7 @@ pub(crate) fn native_channel<T: Send + 'static>(
     cancel: &Arc<CancelScope>,
 ) -> (NativeTx<T>, NativeRx<T>) {
     assert!(capacity >= 1, "channel capacity must be at least 1");
+    let parking = cancel.parking();
     let ch = Arc::new(NChan {
         st: Mutex::new(NChanState {
             queue: VecDeque::new(),
@@ -359,8 +402,8 @@ pub(crate) fn native_channel<T: Send + 'static>(
             recv_waiting: 0,
         }),
         capacity,
-        not_full: Condvar::new(),
-        not_empty: Condvar::new(),
+        not_full: parking.site(),
+        not_empty: parking.site(),
         cancel: cancel.clone(),
     });
     cancel.register(Arc::downgrade(&ch) as Weak<dyn CancelWake>);
@@ -394,8 +437,8 @@ pub(crate) fn native_spsc_channel<T: Send + 'static>(
         rx_alive: AtomicBool::new(true),
         waiting: AtomicU8::new(0),
         park: Mutex::new(()),
-        not_empty: Condvar::new(),
-        not_full: Condvar::new(),
+        not_empty: cancel.parking().site(),
+        not_full: cancel.parking().site(),
         cancel: cancel.clone(),
     });
     cancel.register(Arc::downgrade(&ch) as Weak<dyn CancelWake>);
@@ -662,7 +705,7 @@ struct NBarState {
 
 struct NBarInner {
     st: Mutex<NBarState>,
-    cv: Condvar,
+    cv: ParkSite,
     cancel: Arc<CancelScope>,
 }
 
@@ -686,7 +729,7 @@ pub(crate) fn native_barrier(participants: usize, cancel: &Arc<CancelScope>) -> 
             arrived: 0,
             generation: 0,
         }),
-        cv: Condvar::new(),
+        cv: cancel.parking().site(),
         cancel: cancel.clone(),
     });
     cancel.register(Arc::downgrade(&inner) as Weak<dyn CancelWake>);
@@ -744,7 +787,7 @@ impl NativeBarrier {
 /// or the other, joins the finished and detaches the abandoned.
 struct RunWaiters {
     st: Mutex<RunWaitState>,
-    cv: Condvar,
+    cv: ParkSite,
 }
 
 struct RunWaitState {
@@ -755,11 +798,15 @@ struct RunWaitState {
 }
 
 /// Transport building native channels and barriers, all registered with
-/// the run's [`CancelScope`].
+/// the run's [`CancelScope`] (which also carries the parking mode they
+/// inherit). Shared verbatim by the thread-per-copy and tasked
+/// executors; `sched` is present only on the latter, so `abandon` can
+/// replace the admission slot a wedged task occupies.
 #[derive(Clone)]
 pub struct NativeTransport {
     cancel: Arc<CancelScope>,
     waiters: Arc<RunWaiters>,
+    sched: Option<Arc<Scheduler>>,
 }
 
 impl Transport for NativeTransport {
@@ -786,90 +833,146 @@ impl Transport for NativeTransport {
         st.abandoned.insert(name.to_string());
         drop(st);
         self.waiters.cv.notify_all();
+        // A wedged task never parks, so it never gives its admission slot
+        // back — replace it or the pool shrinks for the rest of the run.
+        if let Some(s) = &self.sched {
+            s.forfeit_wedged();
+        }
     }
 }
 
-/// The wall-clock executor: runs each registered process on its own OS
-/// thread. Spawning is deferred to [`Executor::run`] so wiring happens
-/// before any thread starts (mirroring the simulation, where nothing runs
-/// until `Simulation::run`).
-pub struct NativeExecutor {
-    start: Instant,
-    transport: NativeTransport,
-    pending: Vec<(String, SpawnBody)>,
-    first_panic: Arc<Mutex<Option<(String, String)>>>,
+/// How a spawned process gets its CPU time — the worker-substrate seam
+/// behind both wall-clock executors.
+pub(crate) enum WorkerMode {
+    /// One free-running OS thread per process (the classic native model).
+    Thread,
+    /// One *carrier* OS thread per process, but with a small stack and an
+    /// admission [`Scheduler`] gating how many run at once. Workers park
+    /// through waker queues (see [`super::park`]); control processes run
+    /// unadmitted so supervision stays responsive under full load.
+    Tasked {
+        sched: Arc<Scheduler>,
+        /// Carrier stack size in bytes (thousands of carriers make the
+        /// default 8 MiB reservation per thread needlessly extravagant).
+        stack: usize,
+    },
 }
 
-impl NativeExecutor {
-    /// A fresh native executor with its own cancellation scope.
-    pub fn new() -> Self {
-        NativeExecutor {
+impl WorkerMode {
+    fn parking(&self) -> Parking {
+        match self {
+            WorkerMode::Thread => Parking::Thread,
+            WorkerMode::Tasked { .. } => Parking::Tasked,
+        }
+    }
+}
+
+/// The shared wall-clock executor skeleton: deferred spawning (wiring
+/// happens before any thread starts, mirroring the simulation), per-
+/// process panic containment, the completion/abandonment ledger, and
+/// join-or-detach teardown. [`NativeExecutor`] and
+/// [`super::tasked::TaskedExecutor`] are both thin shells over this —
+/// the only difference is the [`WorkerMode`].
+pub(crate) struct ExecCore {
+    start: Instant,
+    transport: NativeTransport,
+    pending: Vec<(SpawnRole, String, SpawnBody)>,
+    first_panic: Arc<Mutex<Option<(String, String)>>>,
+    mode: WorkerMode,
+}
+
+impl ExecCore {
+    pub fn new(mode: WorkerMode) -> Self {
+        let parking = mode.parking();
+        let sched = match &mode {
+            WorkerMode::Tasked { sched, .. } => Some(sched.clone()),
+            WorkerMode::Thread => None,
+        };
+        ExecCore {
             start: Instant::now(),
             transport: NativeTransport {
-                cancel: CancelScope::new(),
+                cancel: CancelScope::with_parking(parking),
                 waiters: Arc::new(RunWaiters {
                     st: Mutex::new(RunWaitState {
                         done: Vec::new(),
                         abandoned: HashSet::new(),
                     }),
-                    cv: Condvar::new(),
+                    cv: parking.site(),
                 }),
+                sched,
             },
             pending: Vec::new(),
             first_panic: Arc::new(Mutex::new(None)),
+            mode,
         }
     }
-}
 
-impl Default for NativeExecutor {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Executor for NativeExecutor {
-    type Transport = NativeTransport;
-
-    fn transport(&self) -> NativeTransport {
+    pub fn transport(&self) -> NativeTransport {
         self.transport.clone()
     }
 
-    fn spawn(&mut self, name: String, body: SpawnBody) {
-        self.pending.push((name, body));
+    pub fn spawn(&mut self, role: SpawnRole, name: String, body: SpawnBody) {
+        self.pending.push((role, name, body));
     }
 
-    fn run(&mut self) -> Result<ExecStats, SimError> {
-        let env = NativeEnv { start: self.start };
+    /// Processes registered so far (the tasked executor bounds this).
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn run(&mut self) -> Result<ExecStats, SimError> {
+        let env = NativeEnv {
+            start: self.start,
+            parking: self.mode.parking(),
+        };
         let processes = self.pending.len() as u32;
         let waiters = self.transport.waiters.clone();
         waiters.st.lock().done = vec![false; self.pending.len()];
         let mut handles = Vec::with_capacity(self.pending.len());
         let mut names = Vec::with_capacity(self.pending.len());
-        for (index, (name, body)) in self.pending.drain(..).enumerate() {
+        for (index, (role, name, body)) in self.pending.drain(..).enumerate() {
             let cancel = self.transport.cancel.clone();
             let first_panic = self.first_panic.clone();
             let thread_name = name.clone();
             let w = waiters.clone();
-            let spawned = std::thread::Builder::new()
-                .name(name.clone())
-                .spawn(move || {
-                    let result = std::panic::catch_unwind(AssertUnwindSafe(move || {
-                        body(ExecEnv::Native(env));
-                    }));
-                    if let Err(payload) = result {
-                        let message = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                        first_panic.lock().get_or_insert((thread_name, message));
-                        cancel.cancel();
-                    }
-                    let mut st = w.st.lock();
-                    st.done[index] = true;
-                    drop(st);
-                    w.cv.notify_all();
-                });
+            // Worker processes on the tasked substrate are admission-
+            // gated; control processes (and everything on the thread
+            // substrate) run free.
+            let admission = match (&self.mode, role) {
+                (WorkerMode::Tasked { sched, .. }, SpawnRole::Worker) => Some(sched.clone()),
+                _ => None,
+            };
+            let mut builder = std::thread::Builder::new().name(name.clone());
+            if let WorkerMode::Tasked { stack, .. } = &self.mode {
+                builder = builder.stack_size(*stack);
+            }
+            let spawned = builder.spawn(move || {
+                if let Some(s) = &admission {
+                    park::enter_admission(s.clone());
+                    s.acquire_slot(&park::current_cell());
+                }
+                let result = std::panic::catch_unwind(AssertUnwindSafe(move || {
+                    body(ExecEnv::Native(env));
+                }));
+                // Give the slot back before the (lock-taking) bookkeeping
+                // below, so a finishing task never stalls the pool.
+                if let Some(s) = &admission {
+                    s.release_slot();
+                }
+                if let Err(payload) = result {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                    first_panic.lock().get_or_insert((thread_name, message));
+                    cancel.cancel();
+                }
+                let mut st = w.st.lock();
+                st.done[index] = true;
+                drop(st);
+                w.cv.notify_all();
+            });
             let handle = match spawned {
                 Ok(h) => h,
                 Err(e) => panic!("spawn native executor thread: {e}"),
@@ -910,6 +1013,49 @@ impl Executor for NativeExecutor {
             events: 0,
             processes,
         })
+    }
+}
+
+/// The wall-clock executor: runs each registered process on its own OS
+/// thread. Spawning is deferred to [`Executor::run`] so wiring happens
+/// before any thread starts (mirroring the simulation, where nothing runs
+/// until `Simulation::run`).
+pub struct NativeExecutor {
+    core: ExecCore,
+}
+
+impl NativeExecutor {
+    /// A fresh native executor with its own cancellation scope.
+    pub fn new() -> Self {
+        NativeExecutor {
+            core: ExecCore::new(WorkerMode::Thread),
+        }
+    }
+}
+
+impl Default for NativeExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor for NativeExecutor {
+    type Transport = NativeTransport;
+
+    fn transport(&self) -> NativeTransport {
+        self.core.transport()
+    }
+
+    fn spawn(&mut self, name: String, body: SpawnBody) {
+        self.core.spawn(SpawnRole::Worker, name, body);
+    }
+
+    fn spawn_role(&mut self, role: SpawnRole, name: String, body: SpawnBody) {
+        self.core.spawn(role, name, body);
+    }
+
+    fn run(&mut self) -> Result<ExecStats, SimError> {
+        self.core.run()
     }
 }
 

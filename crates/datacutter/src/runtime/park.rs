@@ -1,0 +1,533 @@
+//! The park/unpark seam of the blocking runtime.
+//!
+//! Every place a native-substrate thread can block — the MPMC channel's
+//! not-full/not-empty edges, the SPSC ring's Dekker park, the barrier,
+//! the run-completion ledger, the demand-driven credit window, and
+//! `ExecEnv::delay` — parks through a [`ParkSite`] instead of a raw
+//! `parking_lot::Condvar`. A site is built from the transport's
+//! [`Parking`] mode and comes in two flavours:
+//!
+//! * **`Thread`** — wraps a `Condvar` verbatim. This is bit-for-bit the
+//!   pre-seam behaviour of [`super::native::NativeExecutor`]: the OS
+//!   blocks the thread, the kernel picks who wakes.
+//! * **`Tasked`** — a FIFO queue of per-thread [`WakeCell`] wakers.
+//!   Waiters register under the primitive's mutex (so registration is
+//!   atomic with the predicate check), release the mutex *and their
+//!   [`Scheduler`] admission slot*, and park on `std::thread::park`
+//!   until a notifier hands them their cell back. This is what lets
+//!   [`super::tasked::TaskedExecutor`] multiplex thousands of filter
+//!   copies over a worker pool sized to the core count: a blocked copy
+//!   costs a parked carrier thread and zero pool capacity.
+//!
+//! The seam is a closed enum rather than a trait object for the same
+//! reason `ExecEnv`/`ChanTx` are: the hot paths stay monomorphic and the
+//! runtime's shared types (`FilterCtx`, the channel ends) stay
+//! non-generic. Spurious wakeups are allowed on both arms — every wait
+//! site in the runtime is a predicate loop.
+//!
+//! ## Why admission is released around every park
+//!
+//! The cooperative substrate admits only `workers` tasks at a time. If a
+//! slot-holder blocked while keeping its slot, `workers` blocked tasks
+//! would wedge the whole run (classic pool starvation). So the tasked
+//! wait path always releases the slot *before* parking and reacquires it
+//! *before* relocking the primitive — reacquiring after relocking can
+//! deadlock when every slot-holder piles onto a mutex held by a
+//! slot-waiter.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+// ---- wakers ---------------------------------------------------------------
+
+/// One thread's waker: a handle to unpark it plus the signal flag that
+/// makes `unpark` tokens attributable. `wake` publishes the signal before
+/// unparking; the owner consumes it with an acquire swap, so a wake is
+/// never lost to a stray token and a stray token never counts as a wake.
+pub(crate) struct WakeCell {
+    thread: std::thread::Thread,
+    signal: AtomicBool,
+}
+
+impl WakeCell {
+    fn for_current_thread() -> Self {
+        WakeCell {
+            thread: std::thread::current(),
+            signal: AtomicBool::new(false),
+        }
+    }
+
+    /// Signal and unpark the owning thread.
+    pub fn wake(&self) {
+        self.signal.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+
+    /// Park the current (owning) thread until [`WakeCell::wake`],
+    /// consuming the signal.
+    fn block_until_signalled(&self) {
+        while !self.signal.swap(false, Ordering::AcqRel) {
+            std::thread::park();
+        }
+    }
+
+    /// As [`WakeCell::block_until_signalled`] but give up at `deadline`.
+    /// Returns `true` when signalled, `false` on timeout (the signal, if
+    /// it races in after the deadline check, is *not* consumed — callers
+    /// resolve that race under their waiter-queue lock).
+    fn block_until_signalled_by(&self, deadline: Instant) -> bool {
+        loop {
+            if self.signal.swap(false, Ordering::AcqRel) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            std::thread::park_timeout(deadline - now);
+        }
+    }
+}
+
+// ---- per-thread parker ----------------------------------------------------
+
+struct Parker {
+    cell: Arc<WakeCell>,
+    /// The admission scheduler this thread participates in, when it is a
+    /// tasked-executor *worker* carrier. Control threads (supervisor,
+    /// the executor's main thread) leave this empty and park without the
+    /// slot dance.
+    admission: RefCell<Option<Arc<Scheduler>>>,
+}
+
+thread_local! {
+    static PARKER: Parker = Parker {
+        cell: Arc::new(WakeCell::for_current_thread()),
+        admission: RefCell::new(None),
+    };
+}
+
+/// Mark the current thread as an admission-scheduled worker carrier: its
+/// parks on `Tasked` sites will release/reacquire a [`Scheduler`] slot.
+pub(crate) fn enter_admission(sched: Arc<Scheduler>) {
+    PARKER.with(|p| *p.admission.borrow_mut() = Some(sched));
+}
+
+/// The current thread's waker cell.
+pub(crate) fn current_cell() -> Arc<WakeCell> {
+    PARKER.with(|p| p.cell.clone())
+}
+
+fn parker() -> (Arc<WakeCell>, Option<Arc<Scheduler>>) {
+    PARKER.with(|p| (p.cell.clone(), p.admission.borrow().clone()))
+}
+
+// ---- admission scheduler --------------------------------------------------
+
+/// Counting-semaphore admission with FIFO direct hand-off: at most
+/// `workers` tasks run at once; a released slot passes straight to the
+/// longest-waiting task (its carrier is woken holding the slot, no
+/// re-contention). This is the entire scheduler of the cooperative
+/// executor — blocking, waking, and fairness all reduce to it plus the
+/// [`ParkSite`] waiter queues.
+pub(crate) struct Scheduler {
+    st: Mutex<SchedState>,
+}
+
+struct SchedState {
+    free: usize,
+    queue: VecDeque<Arc<WakeCell>>,
+}
+
+impl Scheduler {
+    pub fn new(workers: usize) -> Arc<Self> {
+        Arc::new(Scheduler {
+            st: Mutex::new(SchedState {
+                free: workers.max(1),
+                queue: VecDeque::new(),
+            }),
+        })
+    }
+
+    /// Acquire a run slot, parking FIFO behind earlier waiters when the
+    /// pool is saturated. `cell` must be the calling thread's own cell.
+    pub fn acquire_slot(&self, cell: &Arc<WakeCell>) {
+        {
+            let mut st = self.st.lock();
+            if st.free > 0 {
+                st.free -= 1;
+                return;
+            }
+            st.queue.push_back(cell.clone());
+        }
+        // Woken only by `release_slot`'s hand-off, already owning a slot.
+        cell.block_until_signalled();
+    }
+
+    /// Release a slot: hand it to the longest-waiting task, or bank it.
+    pub fn release_slot(&self) {
+        let handoff = {
+            let mut st = self.st.lock();
+            match st.queue.pop_front() {
+                Some(w) => Some(w),
+                None => {
+                    st.free += 1;
+                    None
+                }
+            }
+        };
+        if let Some(w) = handoff {
+            w.wake();
+        }
+    }
+
+    /// A supervisor abandoned a wedged (runnable, never-parking) task.
+    /// Its carrier keeps spinning on its OS thread — the kernel preempts
+    /// it — but the slot it occupies must be replaced or the pool shrinks
+    /// by one for the rest of the run.
+    pub fn forfeit_wedged(&self) {
+        self.release_slot();
+    }
+}
+
+// ---- parking mode + sites -------------------------------------------------
+
+/// Which parking substrate a run's blocking primitives use. Carried by
+/// the transport and its cancellation scope; `Copy` so environments can
+/// embed it freely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) enum Parking {
+    /// OS-thread parking via condvars (the native executor).
+    #[default]
+    Thread,
+    /// Waker-queue parking with admission slots (the tasked executor).
+    Tasked,
+}
+
+impl Parking {
+    /// Build one park site of this mode.
+    pub fn site(&self) -> ParkSite {
+        match self {
+            Parking::Thread => ParkSite::Thread(Condvar::new()),
+            Parking::Tasked => ParkSite::Tasked(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Substrate-aware sleep, used by `ExecEnv::delay` on native-style
+    /// environments: a plain OS sleep under thread parking; under tasked
+    /// parking the admission slot is released for the duration so a
+    /// sleeping task (restart backoff, supervisor heartbeat, courier
+    /// retransmit pacing) costs no pool capacity.
+    // Sanctioned blocking: this *is* the thread-parking implementation
+    // the disallowed-methods ban points everyone else at.
+    #[allow(clippy::disallowed_methods)]
+    pub fn sleep(&self, d: Duration) {
+        match self {
+            Parking::Thread => std::thread::sleep(d),
+            Parking::Tasked => {
+                let (_cell, sched) = parker();
+                if let Some(s) = &sched {
+                    s.release_slot();
+                }
+                let deadline = Instant::now() + d;
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    // Stray unpark tokens just shorten one lap.
+                    std::thread::park_timeout(deadline - now);
+                }
+                if let Some(s) = &sched {
+                    s.acquire_slot(&current_cell());
+                }
+            }
+        }
+    }
+}
+
+/// One blocking edge of a primitive (a condvar's worth of waiters).
+/// Waits must be called with the primitive's `MutexGuard`, exactly like a
+/// condvar; notifications may be issued with or without the lock held.
+pub(crate) enum ParkSite {
+    /// Condvar parking (bit-for-bit the pre-seam native behaviour).
+    Thread(Condvar),
+    /// FIFO waker queue. Registration happens under the caller's
+    /// primitive lock; pop-and-signal happens under the queue lock, which
+    /// is what makes the timed-wait deregistration race resolvable.
+    Tasked(Mutex<VecDeque<Arc<WakeCell>>>),
+}
+
+impl ParkSite {
+    /// Atomically release `guard`'s lock and wait for a notification,
+    /// reacquiring the lock before returning. May wake spuriously.
+    // Sanctioned blocking: the Thread arm is the condvar implementation
+    // itself; the Tasked arm parks the carrier after releasing its slot.
+    #[allow(clippy::disallowed_methods)]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match self {
+            ParkSite::Thread(cv) => cv.wait(guard),
+            ParkSite::Tasked(q) => {
+                let (cell, sched) = parker();
+                q.lock().push_back(cell.clone());
+                MutexGuard::unlocked(guard, || {
+                    if let Some(s) = &sched {
+                        s.release_slot();
+                    }
+                    cell.block_until_signalled();
+                    // Reacquire admission BEFORE relocking the primitive
+                    // (see module docs: the reverse order deadlocks).
+                    if let Some(s) = &sched {
+                        s.acquire_slot(&cell);
+                    }
+                });
+            }
+        }
+    }
+
+    /// As [`ParkSite::wait`] but give up after `timeout`. Returns `true`
+    /// when the wait timed out (the lock is reacquired either way).
+    // Sanctioned blocking: see `wait`.
+    #[allow(clippy::disallowed_methods)]
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        match self {
+            ParkSite::Thread(cv) => cv.wait_for(guard, timeout).timed_out(),
+            ParkSite::Tasked(q) => {
+                let (cell, sched) = parker();
+                q.lock().push_back(cell.clone());
+                MutexGuard::unlocked(guard, || {
+                    if let Some(s) = &sched {
+                        s.release_slot();
+                    }
+                    let deadline = Instant::now() + timeout;
+                    let timed_out = if cell.block_until_signalled_by(deadline) {
+                        false
+                    } else {
+                        // Deregister. If a notifier already popped us, its
+                        // signal was published under the queue lock before
+                        // the pop became visible — absorb it and report a
+                        // wake so no notification is lost.
+                        let removed = {
+                            let mut q = q.lock();
+                            match q.iter().position(|w| Arc::ptr_eq(w, &cell)) {
+                                Some(i) => {
+                                    q.remove(i);
+                                    true
+                                }
+                                None => false,
+                            }
+                        };
+                        if removed {
+                            true
+                        } else {
+                            cell.block_until_signalled();
+                            false
+                        }
+                    };
+                    if let Some(s) = &sched {
+                        s.acquire_slot(&cell);
+                    }
+                    timed_out
+                })
+            }
+        }
+    }
+
+    /// Wake one waiter (the longest-parked, on the tasked arm).
+    pub fn notify_one(&self) {
+        match self {
+            ParkSite::Thread(cv) => cv.notify_one(),
+            ParkSite::Tasked(q) => {
+                let mut q = q.lock();
+                if let Some(w) = q.pop_front() {
+                    // Signal under the queue lock: a timed waiter that
+                    // finds itself deregistered can then rely on the
+                    // signal already being visible.
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        match self {
+            ParkSite::Thread(cv) => cv.notify_all(),
+            ParkSite::Tasked(q) => {
+                let mut q = q.lock();
+                while let Some(w) = q.pop_front() {
+                    w.wake();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+
+    fn pair(parking: Parking) -> Arc<(Mutex<bool>, ParkSite)> {
+        Arc::new((Mutex::new(false), parking.site()))
+    }
+
+    fn wait_then_read(parking: Parking) -> bool {
+        let p = pair(parking);
+        let p2 = p.clone();
+        let t = std::thread::spawn(move || {
+            let (m, site) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                site.wait(&mut ready);
+            }
+            *ready
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        {
+            let (m, site) = &*p;
+            *m.lock() = true;
+            site.notify_all();
+        }
+        t.join().expect("waiter")
+    }
+
+    #[test]
+    fn thread_arm_wakes_waiter() {
+        assert!(wait_then_read(Parking::Thread));
+    }
+
+    #[test]
+    fn tasked_arm_wakes_waiter_without_admission() {
+        // No scheduler in TLS: plain waker parking (control threads).
+        assert!(wait_then_read(Parking::Tasked));
+    }
+
+    #[test]
+    fn tasked_wait_for_times_out_and_deregisters() {
+        let (m, site) = (Mutex::new(()), Parking::Tasked.site());
+        let mut g = m.lock();
+        let t0 = Instant::now();
+        assert!(site.wait_for(&mut g, Duration::from_millis(20)));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // The queue is empty again: a later notify wakes nobody stale.
+        if let ParkSite::Tasked(q) = &site {
+            assert!(q.lock().is_empty(), "timed-out waiter deregistered");
+        }
+    }
+
+    #[test]
+    fn tasked_wait_for_wake_beats_timeout() {
+        let p = pair(Parking::Tasked);
+        let p2 = p.clone();
+        let t = std::thread::spawn(move || {
+            let (m, site) = &*p2;
+            let mut ready = m.lock();
+            let mut timed_out = false;
+            while !*ready {
+                timed_out = site.wait_for(&mut ready, Duration::from_secs(5));
+                if timed_out {
+                    break;
+                }
+            }
+            timed_out
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        {
+            let (m, site) = &*p;
+            *m.lock() = true;
+            site.notify_one();
+        }
+        assert!(!t.join().expect("waiter"), "woken, not timed out");
+    }
+
+    #[test]
+    fn scheduler_admits_at_most_workers_and_hands_off_fifo() {
+        use std::sync::atomic::AtomicUsize;
+        let sched = Scheduler::new(2);
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let sched = sched.clone();
+            let running = running.clone();
+            let peak = peak.clone();
+            handles.push(std::thread::spawn(move || {
+                sched.acquire_slot(&current_cell());
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                running.fetch_sub(1, Ordering::SeqCst);
+                sched.release_slot();
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker");
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "admission cap respected");
+    }
+
+    #[test]
+    fn admission_released_around_tasked_wait() {
+        // One slot, two tasks: A parks on a site (releasing its slot), B
+        // runs and wakes A. Without slot release this deadlocks.
+        let sched = Scheduler::new(1);
+        let p = pair(Parking::Tasked);
+        let (pa, pb) = (p.clone(), p.clone());
+        let (sa, sb) = (sched.clone(), sched.clone());
+        let a = std::thread::spawn(move || {
+            enter_admission(sa.clone());
+            sa.acquire_slot(&current_cell());
+            let (m, site) = &*pa;
+            let mut ready = m.lock();
+            while !*ready {
+                site.wait(&mut ready);
+            }
+            drop(ready);
+            sa.release_slot();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let b = std::thread::spawn(move || {
+            enter_admission(sb.clone());
+            sb.acquire_slot(&current_cell());
+            let (m, site) = &*pb;
+            *m.lock() = true;
+            site.notify_all();
+            sb.release_slot();
+        });
+        a.join().expect("task A");
+        b.join().expect("task B");
+    }
+
+    #[test]
+    fn tasked_sleep_releases_the_slot() {
+        // One slot: a sleeping task must not starve the other.
+        let sched = Scheduler::new(1);
+        let s2 = sched.clone();
+        let a = std::thread::spawn(move || {
+            enter_admission(s2.clone());
+            s2.acquire_slot(&current_cell());
+            Parking::Tasked.sleep(Duration::from_millis(50));
+            s2.release_slot();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let t0 = Instant::now();
+        let s3 = sched.clone();
+        let b = std::thread::spawn(move || {
+            enter_admission(s3.clone());
+            s3.acquire_slot(&current_cell());
+            s3.release_slot();
+        });
+        b.join().expect("task B");
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "B admitted while A sleeps"
+        );
+        a.join().expect("task A");
+    }
+}

@@ -1,0 +1,300 @@
+//! The cooperative massive-fan-out executor: every runtime process is a
+//! **waker-parked task** multiplexed over a small worker pool.
+//!
+//! OS-thread-per-copy caps realistic graphs at a few hundred copies —
+//! not because threads are expensive to create, but because thousands of
+//! *runnable* threads thrash the scheduler and each blocked copy still
+//! costs a full condvar syscall round trip. Here each task gets a carrier
+//! thread with a small stack, and a [`Scheduler`] admits only
+//! `workers` of them at a time (default: the core count). Everything
+//! else — channels, SPSC rings, barriers, the DD credit window, delays —
+//! already blocks through the [`super::park`] seam, so a task that
+//! blocks releases its admission slot, parks its carrier on a waker
+//! queue, and costs the pool nothing until a peer wakes it. Panic
+//! containment, heartbeat supervision, budgeted restarts, and lossless
+//! retention run unchanged on this substrate: the executor skeleton is
+//! literally [`ExecCore`], shared with [`NativeExecutor`].
+//!
+//! This file is the cooperative path: the clippy `disallowed-methods`
+//! ban on `std::thread::sleep` / condvar waits applies here with **no
+//! allows** — wakers only. The sanctioned thread-blocking
+//! implementations live behind the seam in `runtime/park.rs`.
+//!
+//! [`NativeExecutor`]: super::native::NativeExecutor
+
+use hetsim::SimError;
+
+use super::exec::{ExecStats, Executor, SpawnBody, SpawnRole};
+use super::native::{ExecCore, NativeTransport, WorkerMode};
+use super::park::Scheduler;
+
+/// Default carrier stack: enough for a filter copy's deepest path (the
+/// extract kernels' recursion is shallow and batch-bounded), two orders
+/// of magnitude below the 8 MiB thread default. 4096 tasks reserve
+/// 2 GiB of *virtual* address space; resident cost is pages touched.
+const CARRIER_STACK: usize = 512 * 1024;
+
+/// The cooperative wall-clock executor. See the module docs; construct
+/// with [`TaskedExecutor::new`] (pool sized to the core count) or
+/// [`TaskedExecutor::with_workers`].
+pub struct TaskedExecutor {
+    core: ExecCore,
+    max_tasks: Option<usize>,
+    workers: usize,
+}
+
+/// Pool size used by [`TaskedExecutor::new`]: the machine's available
+/// parallelism (1 when it cannot be determined).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl TaskedExecutor {
+    /// A fresh tasked executor with a pool sized to the core count.
+    pub fn new() -> Self {
+        Self::with_workers(default_workers())
+    }
+
+    /// A fresh tasked executor admitting `workers` tasks at a time
+    /// (clamped to at least 1).
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        TaskedExecutor {
+            core: ExecCore::new(WorkerMode::Tasked {
+                sched: Scheduler::new(workers),
+                stack: CARRIER_STACK,
+            }),
+            max_tasks: None,
+            workers,
+        }
+    }
+
+    /// Cap the number of tasks a run may register (the `max_task_copies`
+    /// knob). [`Executor::run`] fails before starting anything when the
+    /// graph wires more.
+    pub fn max_tasks(mut self, cap: usize) -> Self {
+        self.max_tasks = Some(cap);
+        self
+    }
+
+    /// The admission-pool size this executor runs with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured task cap, if any.
+    pub(crate) fn task_cap(&self) -> Option<usize> {
+        self.max_tasks
+    }
+
+    /// Disarm the raw task-count guard in [`Executor::run`]. Called by
+    /// `Run::go` after validating the graph's *filter copy* count against
+    /// the cap: the run wiring also registers infrastructure tasks
+    /// (senders, couriers, reapers), which the `max_task_copies` knob
+    /// deliberately does not count.
+    pub(crate) fn clear_task_cap(&mut self) {
+        self.max_tasks = None;
+    }
+}
+
+impl Default for TaskedExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor for TaskedExecutor {
+    type Transport = NativeTransport;
+
+    fn transport(&self) -> NativeTransport {
+        self.core.transport()
+    }
+
+    fn spawn(&mut self, name: String, body: SpawnBody) {
+        self.core.spawn(SpawnRole::Worker, name, body);
+    }
+
+    fn spawn_role(&mut self, role: SpawnRole, name: String, body: SpawnBody) {
+        self.core.spawn(role, name, body);
+    }
+
+    fn run(&mut self) -> Result<ExecStats, SimError> {
+        if let Some(cap) = self.max_tasks {
+            let n = self.core.pending();
+            if n > cap {
+                return Err(SimError::ProcessPanic {
+                    process: "tasked-executor".to_string(),
+                    message: format!("graph registers {n} tasks, max_task_copies is {cap}"),
+                });
+            }
+        }
+        self.core.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::exec::{ChanTx, ExecEnv, Transport};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn tx_send<T: Send + 'static>(tx: &ChanTx<T>, env: &ExecEnv, v: T) {
+        if tx.send(env, v).is_err() {
+            panic!("receiver gone");
+        }
+    }
+
+    /// A fan-out/fan-in graph with far more tasks than workers: every
+    /// producer sends through a bounded channel into one consumer. With
+    /// slot-releasing parks this completes; with slot-holding blocking it
+    /// would wedge immediately (producers fill the queue and park while
+    /// the consumer waits for a slot).
+    #[test]
+    fn many_tasks_few_workers_complete() {
+        let mut exec = TaskedExecutor::with_workers(2);
+        let t = exec.transport();
+        let (tx, rx) = t.channel::<u32>(4);
+        const N: u32 = 64;
+        for i in 0..N {
+            let tx = tx.clone();
+            exec.spawn(
+                format!("producer-{i}"),
+                Box::new(move |env| {
+                    tx_send(&tx, &env, i);
+                }),
+            );
+        }
+        drop(tx);
+        let total = Arc::new(AtomicUsize::new(0));
+        let total2 = total.clone();
+        exec.spawn(
+            "consumer".to_string(),
+            Box::new(move |env| {
+                while let Some(v) = rx.recv(&env) {
+                    total2.fetch_add(v as usize, Ordering::SeqCst);
+                }
+            }),
+        );
+        let stats = match exec.run() {
+            Ok(s) => s,
+            Err(e) => panic!("run failed: {e:?}"),
+        };
+        assert_eq!(stats.processes, N + 1);
+        assert_eq!(total.load(Ordering::SeqCst), (0..N as usize).sum());
+    }
+
+    /// Barrier cycles across more tasks than workers: every participant
+    /// must park (releasing its slot) for any round to close.
+    #[test]
+    fn barrier_rounds_with_oversubscribed_pool() {
+        let mut exec = TaskedExecutor::with_workers(1);
+        let t = exec.transport();
+        const N: usize = 16;
+        let bar = t.barrier(N);
+        let rounds = Arc::new(AtomicUsize::new(0));
+        for i in 0..N {
+            let bar = bar.clone();
+            let rounds = rounds.clone();
+            exec.spawn(
+                format!("party-{i}"),
+                Box::new(move |env| {
+                    for _ in 0..3 {
+                        if bar.wait(&env) {
+                            rounds.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }),
+            );
+        }
+        match exec.run() {
+            Ok(_) => {}
+            Err(e) => panic!("run failed: {e:?}"),
+        }
+        assert_eq!(rounds.load(Ordering::SeqCst), 3, "one closer per round");
+    }
+
+    /// A panicking task cancels the run and surfaces as ProcessPanic,
+    /// with every other task unwound — containment works under admission.
+    #[test]
+    fn panic_cancels_and_reports() {
+        let mut exec = TaskedExecutor::with_workers(1);
+        let t = exec.transport();
+        let (tx, rx) = t.channel::<u32>(1);
+        exec.spawn(
+            "stuck-consumer".to_string(),
+            Box::new(move |env| {
+                // Blocks forever unless cancellation wakes it.
+                let _ = rx.recv(&env);
+            }),
+        );
+        exec.spawn(
+            "bomb".to_string(),
+            Box::new(move |_env| {
+                let _keep_open = &tx;
+                panic!("boom in task");
+            }),
+        );
+        match exec.run() {
+            Err(SimError::ProcessPanic { process, message }) => {
+                assert_eq!(process, "bomb");
+                assert!(message.contains("boom in task"));
+            }
+            other => panic!("expected ProcessPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn task_cap_rejects_oversized_graphs() {
+        let mut exec = TaskedExecutor::with_workers(1).max_tasks(1);
+        exec.spawn("a".to_string(), Box::new(|_| {}));
+        exec.spawn("b".to_string(), Box::new(|_| {}));
+        match exec.run() {
+            Err(SimError::ProcessPanic { message, .. }) => {
+                assert!(message.contains("max_task_copies"));
+            }
+            other => panic!("expected cap error, got {other:?}"),
+        }
+    }
+
+    /// Delays release the slot: a sleeping task must not block a peer
+    /// from being admitted (workers = 1).
+    #[test]
+    fn delay_yields_the_pool() {
+        use hetsim::SimDuration;
+        let mut exec = TaskedExecutor::with_workers(1);
+        let t = exec.transport();
+        let (tx, rx) = t.channel::<u32>(1);
+        exec.spawn(
+            "sleeper".to_string(),
+            Box::new(move |env| {
+                // Park for longer than the whole test should take; the
+                // peer must run during this window.
+                env.delay(SimDuration::from_millis(200));
+            }),
+        );
+        exec.spawn(
+            "worker".to_string(),
+            Box::new(move |env| {
+                tx_send(&tx, &env, 7);
+            }),
+        );
+        let got = Arc::new(AtomicUsize::new(0));
+        let got2 = got.clone();
+        exec.spawn(
+            "reader".to_string(),
+            Box::new(move |env| {
+                if let Some(v) = rx.recv(&env) {
+                    got2.store(v as usize, Ordering::SeqCst);
+                }
+            }),
+        );
+        match exec.run() {
+            Ok(_) => {}
+            Err(e) => panic!("run failed: {e:?}"),
+        }
+        assert_eq!(got.load(Ordering::SeqCst), 7);
+    }
+}

@@ -28,6 +28,8 @@ struct Args {
     grouping: String,
     policy: String,
     algorithm: String,
+    executor: String,
+    workers: usize,
     out: String,
     plan: bool,
     verbose: bool,
@@ -47,6 +49,8 @@ USAGE: dcrender [FLAGS]
   --grouping G     rera-m | re-ra-m | r-era-m | part (default re-ra-m)
   --policy P       rr | wrr | dd (default dd)
   --algorithm A    zb | ap (default ap)
+  --executor E     sim | native | tasked (default sim)
+  --workers N      tasked worker-pool size, 0 = core count (default 0)
   --out PATH       output PPM path (default render.ppm)
   --plan           let the planner choose grouping/placement/policy
   --verbose        print per-copy metrics and host utilization
@@ -64,6 +68,8 @@ fn parse_args() -> Args {
         grouping: "re-ra-m".into(),
         policy: "dd".into(),
         algorithm: "ap".into(),
+        executor: "sim".into(),
+        workers: 0,
         out: "render.ppm".into(),
         plan: false,
         verbose: false,
@@ -89,6 +95,8 @@ fn parse_args() -> Args {
             "--grouping" => a.grouping = next(&mut i),
             "--policy" => a.policy = next(&mut i),
             "--algorithm" => a.algorithm = next(&mut i),
+            "--executor" => a.executor = next(&mut i),
+            "--workers" => a.workers = next(&mut i).parse().expect("--workers"),
             "--out" => a.out = next(&mut i),
             "--plan" => a.plan = true,
             "--verbose" => a.verbose = true,
@@ -123,6 +131,15 @@ fn main() {
     cfg.species = args.species % volume::SPECIES_COUNT;
     cfg.timestep = args.timestep % volume::TIMESTEPS;
     cfg.material = isosurf::species_material(cfg.species);
+    cfg.executor = args.executor.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    });
+    cfg.worker_threads = args.workers;
+    if let Err(e) = cfg.validate() {
+        eprintln!("{e}");
+        exit(2);
+    }
     let cfg = Arc::new(cfg);
 
     let spec = if args.plan {
@@ -164,22 +181,30 @@ fn main() {
     };
 
     println!(
-        "rendering {}^3 cells at {}x{} on {} nodes: {} + {} + {}",
+        "rendering {}^3 cells at {}x{} on {} nodes: {} + {} + {} [{}]",
         args.grid,
         args.image,
         args.image,
         args.nodes,
         spec.grouping.label(),
         spec.policy.label(),
-        spec.algorithm.label()
+        spec.algorithm.label(),
+        cfg.executor
     );
-    let r = dcapp::run_pipeline(&topo, &cfg, &spec).unwrap_or_else(|e| {
-        eprintln!("run failed: {e}");
-        exit(1);
-    });
+    let r = dcapp::run_pipeline_exec(&topo, &cfg, &spec, dcapp::executor_for(&cfg)).unwrap_or_else(
+        |e| {
+            eprintln!("run failed: {e}");
+            exit(1);
+        },
+    );
     println!(
-        "done in {:.3} virtual seconds ({} engine events, {} surface pixels)",
+        "done in {:.3} {} seconds ({} engine events, {} surface pixels)",
         r.elapsed.as_secs_f64(),
+        if cfg.executor == dcapp::ExecutorKind::Sim {
+            "virtual"
+        } else {
+            "wall-clock"
+        },
         r.report.events,
         r.image.coverage(isosurf::BACKGROUND)
     );

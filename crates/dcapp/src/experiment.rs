@@ -4,8 +4,28 @@ use datacutter::{ExecutorChoice, FaultOptions, Run, RunError, RunReport};
 use hetsim::{SimDuration, Topology};
 use isosurf::Image;
 
-use crate::config::SharedConfig;
+use crate::config::{AppConfig, ExecutorKind, SharedConfig};
 use crate::pipeline::{build_pipeline, Pipeline, PipelineSpec};
+
+/// Build the executor a config asks for: `sim` (deterministic virtual
+/// time), `native` (one OS thread per copy) or `tasked` (waker-parked
+/// tasks over a pool of `worker_threads` carriers, capped at
+/// `max_task_copies` registered copies). Call [`AppConfig::validate`]
+/// first — the knobs are range-checked there, not here.
+pub fn executor_for(cfg: &AppConfig) -> ExecutorChoice {
+    match cfg.executor {
+        ExecutorKind::Sim => datacutter::SimExecutor::new().into(),
+        ExecutorKind::Native => datacutter::NativeExecutor::new().into(),
+        ExecutorKind::Tasked => {
+            let e = if cfg.worker_threads > 0 {
+                datacutter::TaskedExecutor::with_workers(cfg.worker_threads)
+            } else {
+                datacutter::TaskedExecutor::new()
+            };
+            e.max_tasks(cfg.max_task_copies).into()
+        }
+    }
+}
 
 /// Outcome of one pipeline run (one unit of work = one timestep rendered).
 pub struct PipelineResult {
@@ -224,6 +244,9 @@ pub fn clone_config(cfg: &SharedConfig) -> crate::config::AppConfig {
         tile_size: cfg.tile_size,
         merge_copies: cfg.merge_copies,
         retention_depth: cfg.retention_depth,
+        executor: cfg.executor,
+        worker_threads: cfg.worker_threads,
+        max_task_copies: cfg.max_task_copies,
         placement: cfg.placement.clone(),
         storage_hosts: cfg.storage_hosts.clone(),
         selected_cache: std::sync::OnceLock::new(),

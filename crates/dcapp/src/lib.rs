@@ -25,9 +25,9 @@ pub mod tiles;
 
 mod parts;
 
-pub use config::{Algorithm, AppConfig, ConfigError, CostModel, SharedConfig};
+pub use config::{Algorithm, AppConfig, ConfigError, CostModel, ExecutorKind, SharedConfig};
 pub use experiment::{
-    avg_elapsed_secs, clone_config, lossless_options, reference_image, run_pipeline,
+    avg_elapsed_secs, clone_config, executor_for, lossless_options, reference_image, run_pipeline,
     run_pipeline_exec, run_pipeline_faulted, run_pipeline_faulted_exec, run_pipeline_uows,
     run_timesteps, MultiUowResult, PipelineResult,
 };
