@@ -17,8 +17,11 @@
 //! Any drift fails the run — this is the digest sentinel the
 //! `perf-smoke` CI job relies on.
 //!
-//! Usage: `fanout_sweep [--quick] [--out FILE] [--no-out]`
+//! Usage: `fanout_sweep [--quick] [--reps N] [--out FILE] [--no-out]`
 //! Writes `BENCH_fanout.json` (one row per cell, fresh each run).
+//! `--reps N` times each wall-clock cell N times and reports the
+//! minimum — the standard de-noising for shared-machine benchmarking
+//! (every repetition still digest-gates its image).
 
 use std::time::Instant;
 
@@ -51,15 +54,28 @@ struct Row {
     copies_per_core: f64,
     wall_ms: f64,
     digest: u64,
+    /// Saturated-pool notifications delivered as deferred admission
+    /// hand-offs (tasked cells only; each is a futile carrier wakeup the
+    /// direct-wake scheme would have paid).
+    deferred_wakes: u64,
 }
 
 fn main() {
     let mut quick = false;
+    let mut reps: usize = 1;
     let mut out: Option<String> = Some("BENCH_fanout.json".to_string());
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--reps" => {
+                reps = args
+                    .next()
+                    .expect("--reps needs a value")
+                    .parse()
+                    .expect("--reps N");
+                assert!(reps >= 1, "--reps must be at least 1");
+            }
             "--out" => out = Some(args.next().expect("--out needs a value")),
             "--no-out" => out = None,
             other => {
@@ -106,47 +122,58 @@ fn main() {
         );
         let baseline = image_digest(&sim.image);
 
-        let cell = |id: String, exec: datacutter::ExecutorChoice| -> Row {
-            let t0 = Instant::now();
-            let r = run_pipeline_exec(&topo, &cfg, &spec, exec).expect("wall-clock run failed");
-            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let digest = image_digest(&r.image);
-            assert_eq!(
-                digest, baseline,
-                "DIGEST DRIFT at {id}: wall-clock fan-out no longer bit-identical to sim"
-            );
+        let cell = |id: String, exec: fn() -> datacutter::ExecutorChoice| -> Row {
+            let mut wall_ms = f64::INFINITY;
+            let mut digest = 0u64;
+            let mut deferred_wakes = 0u64;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let r =
+                    run_pipeline_exec(&topo, &cfg, &spec, exec()).expect("wall-clock run failed");
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                digest = image_digest(&r.image);
+                assert_eq!(
+                    digest, baseline,
+                    "DIGEST DRIFT at {id}: wall-clock fan-out no longer bit-identical to sim"
+                );
+                if ms < wall_ms {
+                    wall_ms = ms;
+                    deferred_wakes = r.report.deferred_wakes;
+                }
+            }
             Row {
                 id,
                 copies,
                 copies_per_core: copies as f64 / workers as f64,
                 wall_ms,
                 digest,
+                deferred_wakes,
             }
         };
 
-        let nat = cell(
-            format!("fanout/n{copies}/native"),
-            NativeExecutor::new().into(),
-        );
-        let tsk = cell(
-            format!("fanout/n{copies}/tasked"),
-            TaskedExecutor::new().into(),
-        );
+        let nat = cell(format!("fanout/n{copies}/native"), || {
+            NativeExecutor::new().into()
+        });
+        let tsk = cell(format!("fanout/n{copies}/tasked"), || {
+            TaskedExecutor::new().into()
+        });
         println!(
-            "n{copies} ({:.0} copies/core): native {:.1} ms -> tasked {:.1} ms wall, digest {:#018x}",
-            tsk.copies_per_core, nat.wall_ms, tsk.wall_ms, tsk.digest,
+            "n{copies} ({:.0} copies/core): native {:.1} ms -> tasked {:.1} ms wall \
+             ({} deferred wakes), digest {:#018x}",
+            tsk.copies_per_core, nat.wall_ms, tsk.wall_ms, tsk.deferred_wakes, tsk.digest,
         );
         rows.push(nat);
         rows.push(tsk);
     }
 
-    let mut t = Table::new(&["cell", "copies", "copies/core", "wall ms"]);
+    let mut t = Table::new(&["cell", "copies", "copies/core", "wall ms", "deferred wakes"]);
     for r in &rows {
         t.row(vec![
             r.id.clone(),
             r.copies.to_string(),
             format!("{:.0}", r.copies_per_core),
             format!("{:.1}", r.wall_ms),
+            r.deferred_wakes.to_string(),
         ]);
     }
     t.print(&format!(
@@ -160,11 +187,13 @@ fn main() {
         for (i, r) in rows.iter().enumerate() {
             json.push_str(&format!(
                 "  {{\"id\": \"{}\", \"copies\": {}, \"copies_per_core\": {:.1}, \
-                 \"wall_ms\": {:.1}, \"image_digest\": \"{:#018x}\"}}{}\n",
+                 \"wall_ms\": {:.1}, \"deferred_wakes\": {}, \
+                 \"image_digest\": \"{:#018x}\"}}{}\n",
                 r.id,
                 r.copies,
                 r.copies_per_core,
                 r.wall_ms,
+                r.deferred_wakes,
                 r.digest,
                 if i + 1 < rows.len() { "," } else { "" }
             ));

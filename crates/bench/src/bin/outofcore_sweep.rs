@@ -1,0 +1,244 @@
+//! **outofcore_sweep** — the out-of-core data plane under shrinking
+//! memory budgets, plus the shared chunk cache's warm-read savings.
+//!
+//! Two sweeps over the small reference dataset on a 4-host cluster:
+//!
+//! 1. **Budget sweep** — the same pipeline at an in-flight buffer budget
+//!    of 1/1, 1/4, and 1/16 of the dataset's timestep size (and
+//!    unbudgeted as the reference). Each cell records the spill/fault
+//!    counters, the disk-model write events the spill ring charged, and
+//!    the spill throughput on the virtual clock. Every image is
+//!    FNV-digested against the unbudgeted reference — a budget may cost
+//!    time, never bits.
+//! 2. **Cache sweep** — a cold run then a warm re-read through the same
+//!    shared chunk cache, recording disk-model read events and the hit
+//!    rate. The warm run must issue at most half the cold run's read
+//!    events (the out-of-core acceptance bar).
+//!
+//! Usage: `outofcore_sweep [--out FILE] [--no-out]`
+//! Writes `BENCH_outofcore.json` (one row per cell, fresh each run).
+
+use dcapp::{Algorithm, AppConfig, Grouping, PipelineSpec, SharedConfig};
+use std::sync::Arc;
+
+use bench::{small_dataset, Table, ISO};
+use datacutter::{Placement, WritePolicy};
+use hetsim::presets::rogue_cluster;
+use hetsim::{HostId, Topology};
+use volume::Dataset;
+
+/// FNV-1a over the image dimensions and pixels (the same fold the
+/// bit-identity test suites pin).
+fn image_digest(img: &isosurf::Image) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&(img.width as u64).to_le_bytes());
+    eat(&(img.height as u64).to_le_bytes());
+    for px in &img.data {
+        eat(px);
+    }
+    h
+}
+
+/// Cumulative disk-model event counters across every disk in the
+/// cluster. The sim Disks are shared handles, so deltas around a run
+/// isolate that run's traffic.
+fn disk_totals(topo: &Topology) -> (u64, u64, u64, u64) {
+    let mut reads = 0;
+    let mut bytes_read = 0;
+    let mut writes = 0;
+    let mut bytes_written = 0;
+    for host in topo.hosts() {
+        for d in &host.disks {
+            reads += d.reads();
+            bytes_read += d.bytes_read();
+            writes += d.writes();
+            bytes_written += d.bytes_written();
+        }
+    }
+    (reads, bytes_read, writes, bytes_written)
+}
+
+struct Row {
+    id: String,
+    budget_bytes: u64,
+    cache_bytes: u64,
+    spills: u64,
+    spill_bytes: u64,
+    faults: u64,
+    disk_reads: u64,
+    disk_writes: u64,
+    cache_hit_rate: f64,
+    spill_mb_per_s: f64,
+    elapsed_ms: f64,
+    digest: u64,
+}
+
+fn main() {
+    let mut out: Option<String> = Some("BENCH_outofcore.json".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(args.next().expect("--out needs a value")),
+            "--no-out" => out = None,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    const IMAGE: u32 = 64;
+    const HOSTS: usize = 4;
+    let ds = small_dataset();
+    let total = ds.timestep_bytes();
+    let (topo, hosts) = rogue_cluster(HOSTS);
+
+    let make = |dataset: Dataset, hosts: &[HostId], budget: u64, cache: u64| -> SharedConfig {
+        let mut cfg = AppConfig::new(dataset, hosts.to_vec(), 2, IMAGE, IMAGE);
+        cfg.iso = ISO;
+        cfg.memory_budget_bytes = budget;
+        cfg.cache_capacity = cache;
+        cfg.validate().expect("config validates");
+        Arc::new(cfg)
+    };
+    // The four-stage grouping keeps chunk payloads queued on cross-host
+    // streams, which is what a shrinking budget squeezes.
+    let spec = PipelineSpec {
+        grouping: Grouping::FourStage {
+            extract: Placement::on_host(hosts[1], 1),
+            raster: Placement::on_host(hosts[0], 1),
+        },
+        algorithm: Algorithm::ActivePixel,
+        policy: WritePolicy::demand_driven(),
+        merge_host: hosts[0],
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let run_cell = |id: String, cfg: &SharedConfig| -> Row {
+        let before = disk_totals(&topo);
+        let r = dcapp::run_pipeline(&topo, cfg, &spec).expect("sim run failed");
+        let after = disk_totals(&topo);
+        let ooc = r.report.ooc;
+        let elapsed_s = r.elapsed.as_secs_f64();
+        let stats = cfg.chunk_cache().map(|c| c.stats());
+        Row {
+            id,
+            budget_bytes: cfg.memory_budget_bytes,
+            cache_bytes: cfg.cache_capacity,
+            spills: ooc.spills,
+            spill_bytes: ooc.spill_bytes,
+            faults: ooc.faults,
+            disk_reads: after.0 - before.0,
+            disk_writes: after.2 - before.2,
+            cache_hit_rate: stats.map_or(0.0, |s| s.hit_rate()),
+            spill_mb_per_s: if elapsed_s > 0.0 {
+                ooc.spill_bytes as f64 / 1e6 / elapsed_s
+            } else {
+                0.0
+            },
+            elapsed_ms: elapsed_s * 1e3,
+            digest: image_digest(&r.image),
+        }
+    };
+
+    // --- budget sweep -----------------------------------------------------
+    let reference = run_cell(
+        "ooc/unbudgeted".to_string(),
+        &make(ds.clone(), &hosts, 0, 0),
+    );
+    let baseline = reference.digest;
+    assert_eq!(reference.spills, 0, "unbudgeted runs never spill");
+    rows.push(reference);
+    for (label, frac) in [("1_1", 1u64), ("1_4", 4), ("1_16", 16)] {
+        let cfg = make(ds.clone(), &hosts, total / frac, 0);
+        let row = run_cell(format!("ooc/budget_{label}"), &cfg);
+        assert_eq!(
+            row.digest, baseline,
+            "DIGEST DRIFT at {}: a memory budget may cost time, never bits",
+            row.id
+        );
+        rows.push(row);
+    }
+
+    // --- cache sweep ------------------------------------------------------
+    // One config, two runs: the OnceLock-held cache survives between
+    // them, so the second run re-reads through a warm cache.
+    let cached = make(ds.clone(), &hosts, 0, total);
+    let cold = run_cell("ooc/cache_cold".to_string(), &cached);
+    let warm = run_cell("ooc/cache_warm".to_string(), &cached);
+    assert_eq!(cold.digest, baseline, "DIGEST DRIFT at ooc/cache_cold");
+    assert_eq!(warm.digest, baseline, "DIGEST DRIFT at ooc/cache_warm");
+    assert!(
+        warm.disk_reads * 2 <= cold.disk_reads,
+        "REGRESSION: warm cache must at least halve disk read events \
+         (cold {} vs warm {})",
+        cold.disk_reads,
+        warm.disk_reads
+    );
+    rows.push(cold);
+    rows.push(warm);
+
+    let mut t = Table::new(&[
+        "cell",
+        "budget B",
+        "spills",
+        "spill B",
+        "disk rd",
+        "disk wr",
+        "hit rate",
+        "spill MB/s",
+        "virt ms",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.id.clone(),
+            r.budget_bytes.to_string(),
+            r.spills.to_string(),
+            r.spill_bytes.to_string(),
+            r.disk_reads.to_string(),
+            r.disk_writes.to_string(),
+            format!("{:.2}", r.cache_hit_rate),
+            format!("{:.2}", r.spill_mb_per_s),
+            format!("{:.1}", r.elapsed_ms),
+        ]);
+    }
+    t.print(&format!(
+        "outofcore_sweep (dataset {} B/timestep, {} hosts)",
+        total, HOSTS
+    ));
+
+    if let Some(path) = out {
+        let mut json = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"id\": \"{}\", \"budget_bytes\": {}, \"cache_bytes\": {}, \
+                 \"spills\": {}, \"spill_bytes\": {}, \"faults\": {}, \
+                 \"disk_reads\": {}, \"disk_writes\": {}, \
+                 \"cache_hit_rate\": {:.4}, \"spill_mb_per_s\": {:.3}, \
+                 \"elapsed_virtual_ms\": {:.3}, \"image_digest\": \"{:#018x}\"}}{}\n",
+                r.id,
+                r.budget_bytes,
+                r.cache_bytes,
+                r.spills,
+                r.spill_bytes,
+                r.faults,
+                r.disk_reads,
+                r.disk_writes,
+                r.cache_hit_rate,
+                r.spill_mb_per_s,
+                r.elapsed_ms,
+                r.digest,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("]\n");
+        std::fs::write(&path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+}

@@ -8,10 +8,13 @@
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+use crate::budget::{SpillRing, SpillTicket};
 
 /// Framing overhead charged per buffer on top of its payload bytes.
 pub const BUFFER_OVERHEAD_BYTES: u64 = 64;
@@ -27,6 +30,53 @@ pub const EOW_WIRE_BYTES: u64 = 32;
 /// can retain a replica without knowing the concrete type.
 type ReplicateFn = fn(&(dyn Any + Send), &BufferSlab, u64) -> DataBuffer;
 
+/// Serialization contract a payload must offer before the out-of-core
+/// layer may spill it to the [`SpillRing`] and fault it back in.
+///
+/// The encoding is private to the spill path (it never crosses hosts or
+/// versions), so implementations are free to pick the cheapest flat
+/// representation; the only requirement is `decode(encode(x)) == x` at
+/// the bit level — the framework's property tests check exactly that.
+pub trait SpillCodec {
+    /// Append this payload's encoded bytes to `out` (which arrives
+    /// cleared but with its capacity intact).
+    fn spill_encode(&self, out: &mut Vec<u8>);
+    /// Rebuild a payload from `spill_encode`'s output.
+    fn spill_decode(bytes: &[u8]) -> Option<Self>
+    where
+        Self: Sized;
+}
+
+impl SpillCodec for Vec<u8> {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn spill_decode(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
+
+/// Monomorphized encoder: appends the erased payload's spill bytes.
+type SpillEncodeFn = fn(&(dyn Any + Send), &mut Vec<u8>);
+
+/// Monomorphized decoder: rebuilds an equally spillable buffer from ring
+/// bytes (box supplied by the slab), or `None` on corrupt input.
+type SpillDecodeFn = fn(&[u8], &BufferSlab, u64) -> Option<DataBuffer>;
+
+/// The spill/fault pair carried by buffers made via
+/// [`BufferSlab::make_spillable`].
+#[derive(Clone, Copy)]
+struct SpillFns {
+    encode: SpillEncodeFn,
+    decode: SpillDecodeFn,
+}
+
+/// Placeholder payload installed while the real one is parked in the
+/// spill ring.
+struct SpilledPayload {
+    ticket: SpillTicket,
+}
+
 /// A unit of data flowing on a stream.
 pub struct DataBuffer {
     payload: Box<dyn Any + Send>,
@@ -38,6 +88,17 @@ pub struct DataBuffer {
     /// means the payload cannot be replicated (no `Clone` was promised)
     /// and the recovery layer must account the buffer as unretainable.
     replicate: Option<ReplicateFn>,
+    /// Set on buffers made via [`BufferSlab::make_spillable`]; carried
+    /// through spill and fault so a faulted buffer can spill again.
+    spill: Option<SpillFns>,
+    /// True while the stream's budget ledger holds an outstanding charge
+    /// for this resident payload — set by the write-side out-of-core step
+    /// and consumed by exactly one matching discharge on the read side.
+    /// Deliberately `false` on retention replicas and faulted-in rebuilds
+    /// (fresh buffers from [`DataBuffer::replicate`] / the spill decode
+    /// path), which were never charged: a replayed replica must not be
+    /// discharged, or the ledger underflows.
+    budget_charged: bool,
 }
 
 impl DataBuffer {
@@ -49,7 +110,19 @@ impl DataBuffer {
             wire_bytes,
             type_name: std::any::type_name::<T>(),
             replicate: None,
+            spill: None,
+            budget_charged: false,
         }
+    }
+
+    /// Mark the stream-budget charge banked for this resident payload.
+    pub(crate) fn set_budget_charged(&mut self) {
+        self.budget_charged = true;
+    }
+
+    /// Take the outstanding-charge mark; true at most once per charge.
+    pub(crate) fn take_budget_charged(&mut self) -> bool {
+        std::mem::take(&mut self.budget_charged)
     }
 
     /// Clone this buffer's payload into a new, equally replicable buffer
@@ -101,6 +174,67 @@ impl DataBuffer {
     /// Inspect the payload without consuming the buffer.
     pub fn peek<T: Any>(&self) -> Option<&T> {
         self.payload.downcast_ref::<T>()
+    }
+
+    /// True when the payload carries a [`SpillCodec`] (made via
+    /// [`BufferSlab::make_spillable`]) and may be parked in a spill ring.
+    pub fn is_spillable(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// True while the payload is parked in a spill ring (a
+    /// [`fault_in`](Self::fault_in) is required before it can be read).
+    pub fn is_spilled(&self) -> bool {
+        self.payload.is::<SpilledPayload>()
+    }
+
+    /// The parked payload's ring ticket, when spilled. Used to discard a
+    /// suppressed duplicate's slot without paying the read.
+    pub(crate) fn spilled_ticket(&self) -> Option<SpillTicket> {
+        self.payload
+            .downcast_ref::<SpilledPayload>()
+            .map(|s| s.ticket)
+    }
+
+    /// Park the payload in `ring`, dropping the in-memory box (that drop
+    /// is the actual memory release the budget manager banks on). Returns
+    /// the encoded byte count. No-op `Ok(0)` on non-spillable or
+    /// already-spilled buffers.
+    pub(crate) fn spill_out(&mut self, ring: &SpillRing) -> io::Result<u64> {
+        let Some(fns) = self.spill else {
+            return Ok(0);
+        };
+        if self.is_spilled() {
+            return Ok(0);
+        }
+        let mut bytes = Vec::new();
+        (fns.encode)(self.payload.as_ref(), &mut bytes);
+        let ticket = ring.spill(&bytes)?;
+        self.payload = Box::new(SpilledPayload { ticket });
+        Ok(bytes.len() as u64)
+    }
+
+    /// Redeem a spilled payload from `ring`, rebuilding it through `slab`
+    /// (slow path: the rebuild allocates unless the slab has a pooled box
+    /// of the payload type). Returns the encoded byte count read back.
+    /// No-op `Ok(0)` when the buffer is not spilled.
+    pub(crate) fn fault_in(&mut self, ring: &SpillRing, slab: &BufferSlab) -> io::Result<u64> {
+        let Some(spilled) = self.payload.downcast_ref::<SpilledPayload>() else {
+            return Ok(0);
+        };
+        let fns = self
+            .spill
+            .unwrap_or_else(|| unreachable!("spilled buffers keep their SpillFns"));
+        let ticket = spilled.ticket;
+        let bytes = ring.fault(ticket)?;
+        let rebuilt = (fns.decode)(&bytes, slab, self.wire_bytes).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt spilled payload ({} ring bytes)", bytes.len()),
+            )
+        })?;
+        *self = rebuilt;
+        Ok(bytes.len() as u64)
     }
 }
 
@@ -169,6 +303,8 @@ impl BufferSlab {
             wire_bytes,
             type_name: std::any::type_name::<T>(),
             replicate: None,
+            spill: None,
+            budget_charged: false,
         }
     }
 
@@ -195,6 +331,49 @@ impl BufferSlab {
         }
         let mut buf = self.make(payload, wire_bytes);
         buf.replicate = Some(replicate_impl::<T>);
+        buf
+    }
+
+    /// [`make_replicable`](Self::make_replicable) for a payload that also
+    /// implements [`SpillCodec`]: the returned buffer can be parked in a
+    /// [`SpillRing`] by the out-of-core layer and faulted back on demand.
+    /// Replicas (and faulted-in rebuilds) are themselves spillable, so
+    /// retention and spill compose. Costs nothing until a spill happens.
+    pub fn make_spillable<T: Any + Send + Clone + SpillCodec>(
+        &self,
+        payload: T,
+        wire_bytes: u64,
+    ) -> DataBuffer {
+        fn replicate_impl<T: Any + Send + Clone + SpillCodec>(
+            payload: &(dyn Any + Send),
+            slab: &BufferSlab,
+            wire_bytes: u64,
+        ) -> DataBuffer {
+            let payload = payload
+                .downcast_ref::<T>()
+                .expect("replicator is monomorphized for its buffer's payload type")
+                .clone();
+            slab.make_spillable(payload, wire_bytes)
+        }
+        fn encode_impl<T: Any + Send + SpillCodec>(payload: &(dyn Any + Send), out: &mut Vec<u8>) {
+            payload
+                .downcast_ref::<T>()
+                .expect("spill encoder is monomorphized for its buffer's payload type")
+                .spill_encode(out);
+        }
+        fn decode_impl<T: Any + Send + Clone + SpillCodec>(
+            bytes: &[u8],
+            slab: &BufferSlab,
+            wire_bytes: u64,
+        ) -> Option<DataBuffer> {
+            Some(slab.make_spillable(T::spill_decode(bytes)?, wire_bytes))
+        }
+        let mut buf = self.make(payload, wire_bytes);
+        buf.replicate = Some(replicate_impl::<T>);
+        buf.spill = Some(SpillFns {
+            encode: encode_impl::<T>,
+            decode: decode_impl::<T>,
+        });
         buf
     }
 
@@ -383,6 +562,74 @@ mod tests {
         assert_eq!(slab.idle(), 1);
         let _ = clone.make(8i64, 8);
         assert_eq!(slab.allocated(), 1, "clone must reuse the shared box");
+    }
+
+    #[test]
+    fn spillable_buffers_roundtrip_through_the_ring() {
+        let slab = BufferSlab::new();
+        let ring = SpillRing::create().unwrap();
+        let data: Vec<u8> = (0..64).map(|i| i * 3).collect();
+        let mut b = slab.make_spillable(data.clone(), 64);
+        assert!(b.is_spillable());
+        assert!(!b.is_spilled());
+
+        let wrote = b.spill_out(&ring).unwrap();
+        assert_eq!(wrote, 64);
+        assert!(b.is_spilled());
+        assert!(b.peek::<Vec<u8>>().is_none(), "payload left memory");
+        assert_eq!(b.wire_bytes(), 64, "wire size survives the spill");
+
+        let read = b.fault_in(&ring, &slab).unwrap();
+        assert_eq!(read, 64);
+        assert!(!b.is_spilled());
+        assert!(b.is_spillable(), "faulted buffers can spill again");
+        assert!(b.is_replicable(), "faulted buffers keep their replicator");
+        assert_eq!(b.downcast::<Vec<u8>>(), data, "bit-identical round trip");
+        assert_eq!((ring.spills(), ring.faults()), (1, 1));
+    }
+
+    #[test]
+    fn spill_is_a_noop_on_plain_and_already_spilled_buffers() {
+        let slab = BufferSlab::new();
+        let ring = SpillRing::create().unwrap();
+        let mut plain = slab.make(vec![1u8, 2], 2);
+        assert_eq!(plain.spill_out(&ring).unwrap(), 0);
+        assert!(!plain.is_spilled());
+
+        let mut b = slab.make_spillable(vec![5u8; 16], 16);
+        assert_eq!(b.spill_out(&ring).unwrap(), 16);
+        assert_eq!(b.spill_out(&ring).unwrap(), 0, "second spill is a no-op");
+        assert_eq!(ring.spills(), 1);
+        // fault_in on a resident buffer is equally inert.
+        let mut resident = slab.make_spillable(vec![7u8; 8], 8);
+        assert_eq!(resident.fault_in(&ring, &slab).unwrap(), 0);
+    }
+
+    #[test]
+    fn replicas_of_spillable_buffers_are_spillable() {
+        let slab = BufferSlab::new();
+        let ring = SpillRing::create().unwrap();
+        let b = slab.make_spillable(vec![9u8; 32], 32);
+        let mut r = b.replicate(&slab).expect("spillable implies replicable");
+        assert!(r.is_spillable());
+        assert_eq!(r.spill_out(&ring).unwrap(), 32);
+        assert_eq!(r.fault_in(&ring, &slab).unwrap(), 32);
+        assert_eq!(r.downcast::<Vec<u8>>(), vec![9u8; 32]);
+    }
+
+    #[test]
+    fn spilled_tickets_can_be_discarded_unread() {
+        let slab = BufferSlab::new();
+        let ring = SpillRing::create().unwrap();
+        let mut b = slab.make_spillable(vec![3u8; 48], 48);
+        b.spill_out(&ring).unwrap();
+        let t = b.spilled_ticket().expect("spilled buffer has a ticket");
+        ring.discard(t);
+        assert_eq!(ring.faults(), 0, "discard skips the read");
+        // The freed slot is immediately reusable.
+        let mut c = slab.make_spillable(vec![4u8; 48], 48);
+        c.spill_out(&ring).unwrap();
+        assert_eq!(ring.frontier_bytes(), 48, "slot reused, no growth");
     }
 
     #[test]

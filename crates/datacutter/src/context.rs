@@ -12,6 +12,7 @@ use std::sync::Arc;
 use hetsim::{DeadlineRecv, Env, HostId, SimDuration, SimTime, Topology};
 use parking_lot::Mutex;
 
+use crate::budget::StreamOoc;
 use crate::buffer::DataBuffer;
 use crate::fault::{abort_run, raise_killed, CopyHealth, ErrorCell, FaultCtl, RunError};
 use crate::filter::CopyInfo;
@@ -54,6 +55,9 @@ pub(crate) struct InputPort {
     /// The crashed incarnation had already consumed this UOW's
     /// end-of-work token; re-signal end-of-work once `replay` drains.
     pub replay_done: bool,
+    /// Out-of-core state of this stream (`None` ⇒ no memory budget; the
+    /// read path never touches the ledger or ring).
+    pub ooc: Option<Arc<StreamOoc>>,
 }
 
 pub(crate) struct OutputPort {
@@ -65,6 +69,9 @@ pub(crate) struct OutputPort {
     /// buffer written is stamped with a provenance and retained until
     /// the consumer settles it.
     pub retention: Option<Arc<StreamRetention>>,
+    /// Out-of-core state of this stream (`None` ⇒ no memory budget; the
+    /// write path never touches the ledger or ring).
+    pub ooc: Option<Arc<StreamOoc>>,
 }
 
 /// Execution context of one filter copy. Provides the stream interface
@@ -235,6 +242,91 @@ impl FilterCtx {
         }
     }
 
+    /// Write-side out-of-core step for one outgoing buffer: charge the
+    /// stream's budget share and, when the stream is over it, park the
+    /// payload in the spill ring — *after* the retention stamp (the
+    /// lossless-recovery replica is taken from the in-memory payload) and
+    /// *before* the outbox send. The spill write is charged to this
+    /// host's disk model under the virtual-time executor. Returns the
+    /// spill's `(ring_bytes, elapsed)`, both zero when nothing spilled.
+    fn ooc_outgoing(&mut self, port: usize, buf: &mut DataBuffer) -> (u64, SimDuration) {
+        let Some(ooc) = self.outputs[port].ooc.clone() else {
+            return (0, SimDuration::ZERO);
+        };
+        if !buf.is_spillable() || buf.is_spilled() {
+            return (0, SimDuration::ZERO);
+        }
+        let bytes = buf.wire_bytes();
+        if !ooc.charge(bytes) {
+            // Staying resident: the charge rides with the buffer until the
+            // consumer claims it. The mark keeps charge/discharge paired —
+            // replayed retention replicas (never charged) carry no mark and
+            // must never be discharged.
+            buf.set_budget_charged();
+            return (0, SimDuration::ZERO);
+        }
+        let t0 = self.env.now();
+        match buf.spill_out(&ooc.ring) {
+            Ok(n) => {
+                // The in-memory payload box just dropped — even when the
+                // encoding is empty (n == 0): the stream's residency falls
+                // by the payload's declared bytes either way.
+                ooc.discharge(bytes);
+                if n > 0 {
+                    if let ExecEnv::Sim(e) = &self.env {
+                        let host = self.topo.host(self.info.host);
+                        if let Some(d) = host.disks.first() {
+                            d.write(e, n);
+                        }
+                    }
+                }
+                (n, self.env.now() - t0)
+            }
+            Err(err) => abort_run(
+                &self.errors,
+                RunError::Spill {
+                    what: "write-side spill",
+                    message: err.to_string(),
+                },
+            ),
+        }
+    }
+
+    /// Read-side out-of-core step for one claimed incoming buffer: fault
+    /// a spilled payload back in (charging the disk model for the read),
+    /// or release a resident spillable payload's budget charge now that
+    /// it left the stream queue.
+    fn ooc_incoming(&mut self, port: usize, buf: &mut DataBuffer) {
+        let Some(ooc) = self.inputs[port].ooc.clone() else {
+            return;
+        };
+        if buf.is_spilled() {
+            let t0 = self.env.now();
+            match buf.fault_in(&ooc.ring, &self.slab) {
+                Ok(n) => {
+                    if let ExecEnv::Sim(e) = &self.env {
+                        let host = self.topo.host(self.info.host);
+                        if let Some(d) = host.disks.first() {
+                            d.read(e, n);
+                        }
+                    }
+                    let mut m = self.metrics.lock();
+                    m.disk_bytes += n;
+                    m.disk_elapsed += self.env.now() - t0;
+                }
+                Err(err) => abort_run(
+                    &self.errors,
+                    RunError::Spill {
+                        what: "read-side fault-in",
+                        message: err.to_string(),
+                    },
+                ),
+            }
+        } else if buf.take_budget_charged() {
+            ooc.discharge(buf.wire_bytes());
+        }
+    }
+
     /// This copy's identity (copy index, total copies, host).
     pub fn copy(&self) -> CopyInfo {
         self.info
@@ -396,7 +488,7 @@ impl FilterCtx {
                 t.end_at(self.env.now(), s);
             }
             match got {
-                Some(Envelope::Data { buf, ack, prov }) => {
+                Some(Envelope::Data { mut buf, ack, prov }) => {
                     if let Some(ack) = ack {
                         // Hand to the ack courier; the courier pays the
                         // reverse network path so this copy keeps working.
@@ -435,6 +527,16 @@ impl FilterCtx {
                         // redelivered replica. Suppress it: recycle the
                         // payload box and read on. Not counted in
                         // stream/copy metrics (the claimed delivery was).
+                        // A spilled duplicate's ring slot is freed without
+                        // paying the read; a resident spillable one
+                        // releases its budget charge.
+                        if let Some(ooc) = self.inputs[port].ooc.as_ref() {
+                            if let Some(t) = buf.spilled_ticket() {
+                                ooc.ring.discard(t);
+                            } else if buf.take_budget_charged() {
+                                ooc.discharge(buf.wire_bytes());
+                            }
+                        }
                         self.slab.repool(buf);
                         if let Some(ctl) = &self.faults {
                             ctl.tallies.lock().duplicates_suppressed += 1;
@@ -446,6 +548,7 @@ impl FilterCtx {
                             self.inputs[port].journal.push(p);
                         }
                     }
+                    self.ooc_incoming(port, &mut buf);
                     {
                         let mut m = self.metrics.lock();
                         m.buffers_in += 1;
@@ -503,7 +606,7 @@ impl FilterCtx {
     /// between dequeue and write would lose acknowledged work that replay
     /// can never restore. Letting the in-flight unit flush keeps a
     /// demand-driven run bit-identical after recovery.
-    pub fn write(&mut self, port: usize, buf: DataBuffer) {
+    pub fn write(&mut self, port: usize, mut buf: DataBuffer) {
         self.beat();
         let t0 = self.env.now();
         let copy = self.info.copy_index;
@@ -518,7 +621,8 @@ impl FilterCtx {
             .as_ref()
             .and_then(|r| r.stamp(copy, idx, &buf));
         let bytes = buf.wire_bytes();
-        if out
+        let (spill_bytes, spill_elapsed) = self.ooc_outgoing(port, &mut buf);
+        if self.outputs[port]
             .outbox_tx
             .send(
                 &self.env,
@@ -539,11 +643,13 @@ impl FilterCtx {
                 },
             );
         }
-        let waited = self.env.now() - t0;
+        let waited = self.env.now() - t0 - spill_elapsed;
         let mut m = self.metrics.lock();
         m.buffers_out += 1;
         m.bytes_out += bytes;
         m.write_wait += waited;
+        m.disk_bytes += spill_bytes;
+        m.disk_elapsed += spill_elapsed;
     }
 
     /// Write `buf` to output `port` addressed to a *specific* consumer
@@ -551,7 +657,7 @@ impl FilterCtx {
     /// policy. Used for content-based routing — e.g. image-partitioned
     /// rendering, where a triangle must go to the raster copy set owning
     /// its screen region. No demand-driven acknowledgment is generated.
-    pub fn write_to(&mut self, port: usize, copyset_idx: usize, buf: DataBuffer) {
+    pub fn write_to(&mut self, port: usize, copyset_idx: usize, mut buf: DataBuffer) {
         self.beat();
         let t0 = self.env.now();
         let copy = self.info.copy_index;
@@ -561,7 +667,8 @@ impl FilterCtx {
             .as_ref()
             .and_then(|r| r.stamp(copy, copyset_idx, &buf));
         let bytes = buf.wire_bytes();
-        if out
+        let (spill_bytes, spill_elapsed) = self.ooc_outgoing(port, &mut buf);
+        if self.outputs[port]
             .outbox_tx
             .send(
                 &self.env,
@@ -586,11 +693,13 @@ impl FilterCtx {
                 },
             );
         }
-        let waited = self.env.now() - t0;
+        let waited = self.env.now() - t0 - spill_elapsed;
         let mut m = self.metrics.lock();
         m.buffers_out += 1;
         m.bytes_out += bytes;
         m.write_wait += waited;
+        m.disk_bytes += spill_bytes;
+        m.disk_elapsed += spill_elapsed;
     }
 
     /// Write `buf` to output `port` addressed to the copy set *owning*
@@ -680,6 +789,16 @@ impl FilterCtx {
         let mut m = self.metrics.lock();
         m.disk_bytes += bytes;
         m.disk_elapsed += elapsed;
+    }
+
+    /// Record `bytes` of disk traffic performed on this copy's behalf by
+    /// a helper process that charged the disk model itself (e.g. a
+    /// read-ahead prefetcher spawned on the simulation clock): tallies
+    /// the copy's disk byte counter without touching the disk model or
+    /// blocking the copy.
+    pub fn note_disk_bytes(&mut self, bytes: u64) {
+        let mut m = self.metrics.lock();
+        m.disk_bytes += bytes;
     }
 
     /// The cluster topology (placement-aware filters may inspect it).

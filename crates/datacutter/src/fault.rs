@@ -115,6 +115,14 @@ pub enum RunError {
         /// Description of the unsupported combination.
         what: String,
     },
+    /// The out-of-core spill ring failed: the backing temp file could not
+    /// be created, or a spill/fault I/O on it errored.
+    Spill {
+        /// What the spill path was doing (e.g. "ring creation").
+        what: &'static str,
+        /// The underlying I/O error, as text.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -171,6 +179,9 @@ impl std::fmt::Display for RunError {
             }
             RunError::Unsupported { what } => {
                 write!(f, "unsupported run configuration: {what}")
+            }
+            RunError::Spill { what, message } => {
+                write!(f, "out-of-core spill ring failed during {what}: {message}")
             }
         }
     }

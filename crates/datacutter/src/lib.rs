@@ -70,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod buffer;
 pub mod context;
 pub mod fault;
@@ -83,7 +84,8 @@ pub mod policy;
 #[deny(clippy::disallowed_methods)]
 pub mod runtime;
 
-pub use buffer::{BufferSlab, DataBuffer, ACK_WIRE_BYTES, BUFFER_OVERHEAD_BYTES};
+pub use budget::{MemoryBudget, SpillRing, SpillTicket, StreamOoc};
+pub use buffer::{BufferSlab, DataBuffer, SpillCodec, ACK_WIRE_BYTES, BUFFER_OVERHEAD_BYTES};
 pub use context::FilterCtx;
 pub use fault::{
     backoff_delay, FaultOptions, NativeFaultPlan, Recovery, RestartEvent, RunError,
@@ -91,7 +93,7 @@ pub use fault::{
 };
 pub use filter::{CopyInfo, Filter, FilterError, FilterFactory};
 pub use graph::{AppGraph, FilterId, GraphBuilder, Placement, StreamId, DEFAULT_QUEUE_CAPACITY};
-pub use metrics::{CopyCounters, CopyReport, FaultReport, RunReport, StreamReport};
+pub use metrics::{CopyCounters, CopyReport, FaultReport, OocReport, RunReport, StreamReport};
 pub use policy::{CopySetInfo, DemandState, WritePolicy};
 #[allow(deprecated)]
 pub use runtime::{run_app, run_app_faulted, run_app_traced, run_app_uows, run_app_with};

@@ -201,6 +201,35 @@ impl std::fmt::Display for FaultReport {
     }
 }
 
+/// Out-of-core accounting of one run: the spill-ring traffic and the
+/// memory-budget ledger. All zeros when no [`crate::Run::memory_budget`]
+/// was configured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OocReport {
+    /// Configured run budget in bytes (0 = unlimited, out-of-core off).
+    pub memory_budget_bytes: u64,
+    /// Payloads parked in the spill ring.
+    pub spills: u64,
+    /// Encoded bytes written to the ring.
+    pub spill_bytes: u64,
+    /// Payloads faulted back in at readers.
+    pub faults: u64,
+    /// Encoded bytes read back from the ring.
+    pub fault_bytes: u64,
+    /// Cumulative bytes granted by the budget ledger.
+    pub granted_bytes: u64,
+    /// Cumulative bytes released back to the ledger.
+    pub released_bytes: u64,
+}
+
+impl OocReport {
+    /// Bytes still resident at harvest (`granted − released`); non-zero
+    /// means queued payloads were abandoned (e.g. a degraded run).
+    pub fn resident_bytes(&self) -> u64 {
+        self.granted_bytes.saturating_sub(self.released_bytes)
+    }
+}
+
 /// Everything measured in one run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -208,6 +237,10 @@ pub struct RunReport {
     pub elapsed: SimDuration,
     /// Wake events the engine dispatched (run-size indicator).
     pub events: u64,
+    /// Tasked-substrate notifications delivered as deferred admission
+    /// hand-offs instead of immediate wakes — each one a carrier wakeup
+    /// the pool was too saturated to use (0 on other executors).
+    pub deferred_wakes: u64,
     /// Virtual times at which each inter-UOW barrier released (length =
     /// `uows - 1`; empty for single-UOW runs).
     pub uow_boundaries: Vec<hetsim::SimTime>,
@@ -217,6 +250,8 @@ pub struct RunReport {
     pub streams: Vec<StreamReport>,
     /// Fault-injection outcome (defaulted for fault-free runs).
     pub faults: FaultReport,
+    /// Out-of-core outcome (all zeros when no memory budget was set).
+    pub ooc: OocReport,
 }
 
 impl RunReport {
@@ -292,6 +327,7 @@ mod tests {
         RunReport {
             elapsed: SimDuration::from_secs(1),
             events: 10,
+            deferred_wakes: 0,
             uow_boundaries: vec![],
             copies: vec![],
             streams: vec![StreamReport {
@@ -322,6 +358,7 @@ mod tests {
                 ],
             }],
             faults: FaultReport::default(),
+            ooc: OocReport::default(),
         }
     }
 

@@ -331,6 +331,10 @@ pub struct ExecStats {
     pub events: u64,
     /// Number of processes run.
     pub processes: u32,
+    /// Notifications the admission scheduler delivered as deferred slot
+    /// hand-offs instead of immediate wakes (tasked substrate only; each
+    /// one is a saved futile carrier wakeup — see `runtime/park.rs`).
+    pub deferred_wakes: u64,
 }
 
 /// A boxed process body handed to [`Executor::spawn`].
@@ -444,6 +448,7 @@ impl Executor for SimExecutor {
             end_time: s.end_time,
             events: s.events,
             processes: s.processes,
+            deferred_wakes: 0,
         })
     }
 }

@@ -87,6 +87,9 @@ pub(crate) struct Tuning {
     pub courier_capacity: usize,
     pub retransmit_delay: SimDuration,
     pub courier_deadline: SimDuration,
+    /// Byte budget for in-flight stream payloads (0 = unlimited; the
+    /// out-of-core spill path is off and runs are untouched).
+    pub memory_budget_bytes: u64,
 }
 
 impl Default for Tuning {
@@ -96,6 +99,7 @@ impl Default for Tuning {
             courier_capacity: DEFAULT_COURIER_CAPACITY,
             retransmit_delay: DEFAULT_RETRANSMIT_DELAY,
             courier_deadline: DEFAULT_COURIER_DEADLINE,
+            memory_budget_bytes: 0,
         }
     }
 }
@@ -265,6 +269,22 @@ impl Run {
         self
     }
 
+    /// Bound the bytes of in-flight stream payloads to `bytes`, split
+    /// evenly across the graph's streams (TPIE-style explicit memory
+    /// management). A stream whose queued spillable payloads exceed its
+    /// share parks the overflow in a run-wide spill ring (one unlinked
+    /// temp file) and faults it back in at the reader; under the
+    /// virtual-time executor both directions are charged to the host's
+    /// disk model. Only payloads built with
+    /// [`crate::BufferSlab::make_spillable`] participate — everything
+    /// else stays resident. `0` (the default) disables the out-of-core
+    /// path entirely; results are bit-identical either way, only timing
+    /// and the [`RunReport::ooc`](crate::RunReport) tallies change.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.tuning.memory_budget_bytes = bytes;
+        self
+    }
+
     /// Execute the run on `topo` and harvest the report.
     pub fn go(self, topo: &Topology) -> Result<RunReport, RunError> {
         assert!(self.uows >= 1, "at least one unit of work");
@@ -370,6 +390,24 @@ fn drive<E: Executor>(
     tuning: Tuning,
 ) -> Result<RunReport, RunError> {
     let error_cell: ErrorCell = Arc::new(Mutex::new(None));
+    // Out-of-core context: one ledger + one spill ring for the whole run,
+    // created only when a budget was configured (the zero-budget fast
+    // path allocates nothing and touches no temp file).
+    let ooc: Option<(
+        Arc<crate::budget::MemoryBudget>,
+        Arc<crate::budget::SpillRing>,
+    )> = if tuning.memory_budget_bytes > 0 {
+        let ring = crate::budget::SpillRing::create().map_err(|e| RunError::Spill {
+            what: "ring creation",
+            message: e.to_string(),
+        })?;
+        Some((
+            crate::budget::MemoryBudget::new(tuning.memory_budget_bytes),
+            ring,
+        ))
+    } else {
+        None
+    };
     let wiring = spawn::build(
         &mut exec,
         topo,
@@ -379,6 +417,7 @@ fn drive<E: Executor>(
         fault_ctl.clone(),
         error_cell.clone(),
         &tuning,
+        ooc.clone(),
     );
 
     let stats = match exec.run() {
@@ -448,13 +487,28 @@ fn drive<E: Executor>(
         None => FaultReport::default(),
     };
 
+    let ooc_report = match &ooc {
+        Some((ledger, ring)) => crate::metrics::OocReport {
+            memory_budget_bytes: ledger.total(),
+            spills: ring.spills(),
+            spill_bytes: ring.spill_bytes(),
+            faults: ring.faults(),
+            fault_bytes: ring.fault_bytes(),
+            granted_bytes: ledger.granted(),
+            released_bytes: ledger.released(),
+        },
+        None => crate::metrics::OocReport::default(),
+    };
+
     Ok(RunReport {
         elapsed: stats.end_time - SimTime::ZERO,
         events: stats.events,
+        deferred_wakes: stats.deferred_wakes,
         uow_boundaries: boundaries,
         copies,
         streams,
         faults: faults_report,
+        ooc: ooc_report,
     })
 }
 

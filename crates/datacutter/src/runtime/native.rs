@@ -793,6 +793,11 @@ struct RunWaiters {
 struct RunWaitState {
     /// Per-thread finished flags, indexed by spawn order. Sized by `run`.
     done: Vec<bool>,
+    /// Threads not yet finished. Lets a completing thread decide in O(1)
+    /// whether the run's waiter could be releasable: with no abandonment
+    /// in play only the *last* completion notifies, instead of every one
+    /// of thousands of finishing tasks waking the waiter to re-scan.
+    remaining: usize,
     /// Thread names declared abandoned via [`Transport::abandon`].
     abandoned: HashSet<String>,
 }
@@ -895,6 +900,7 @@ impl ExecCore {
                 waiters: Arc::new(RunWaiters {
                     st: Mutex::new(RunWaitState {
                         done: Vec::new(),
+                        remaining: 0,
                         abandoned: HashSet::new(),
                     }),
                     cv: parking.site(),
@@ -927,7 +933,11 @@ impl ExecCore {
         };
         let processes = self.pending.len() as u32;
         let waiters = self.transport.waiters.clone();
-        waiters.st.lock().done = vec![false; self.pending.len()];
+        {
+            let mut st = waiters.st.lock();
+            st.done = vec![false; self.pending.len()];
+            st.remaining = self.pending.len();
+        }
         let mut handles = Vec::with_capacity(self.pending.len());
         let mut names = Vec::with_capacity(self.pending.len());
         for (index, (role, name, body)) in self.pending.drain(..).enumerate() {
@@ -970,8 +980,16 @@ impl ExecCore {
                 }
                 let mut st = w.st.lock();
                 st.done[index] = true;
+                st.remaining -= 1;
+                // Only a completion that can release the run's waiter
+                // notifies: the last one, or any at all once a thread has
+                // been abandoned (the waiter's predicate then depends on
+                // the abandoned set, which it must re-scan itself).
+                let releasable = st.remaining == 0 || !st.abandoned.is_empty();
                 drop(st);
-                w.cv.notify_all();
+                if releasable {
+                    w.cv.notify_all();
+                }
             });
             let handle = match spawned {
                 Ok(h) => h,
@@ -1012,6 +1030,10 @@ impl ExecCore {
             end_time,
             events: 0,
             processes,
+            deferred_wakes: match &self.mode {
+                WorkerMode::Tasked { sched, .. } => sched.deferred_wakes(),
+                WorkerMode::Thread => 0,
+            },
         })
     }
 }

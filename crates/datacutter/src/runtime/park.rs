@@ -34,10 +34,25 @@
 //! *before* relocking the primitive — reacquiring after relocking can
 //! deadlock when every slot-holder piles onto a mutex held by a
 //! slot-waiter.
+//!
+//! ## Why notifications are routed through admission
+//!
+//! Waking an admission-scheduled waiter directly would put its carrier
+//! through a wake→contend→repark cycle whenever the pool is saturated:
+//! the OS schedules the carrier, `acquire_slot` finds no free slot, and
+//! the thread parks again inside the scheduler. At large fan-outs this
+//! wake storm doubles the context switches on the hottest path. Instead,
+//! [`ParkSite::notify_one`] hands a scheduled waiter to
+//! [`Scheduler::grant_to`]: when a slot is free the waiter is woken
+//! *already owning it* (the `granted` flag on its [`WakeCell`]); when the
+//! pool is saturated the wake itself is deferred — the cell joins the
+//! scheduler's FIFO and `release_slot`'s hand-off delivers the wake and
+//! the slot together. A notified carrier is therefore scheduled by the
+//! OS exactly once, with work it is admitted to run.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,6 +67,10 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 pub(crate) struct WakeCell {
     thread: std::thread::Thread,
     signal: AtomicBool,
+    /// Set (before the wake) when the waker hands this thread an
+    /// admission slot along with the wake, so the waiter can skip
+    /// `acquire_slot` entirely. Consumed by [`WakeCell::take_granted`].
+    granted: AtomicBool,
 }
 
 impl WakeCell {
@@ -59,6 +78,7 @@ impl WakeCell {
         WakeCell {
             thread: std::thread::current(),
             signal: AtomicBool::new(false),
+            granted: AtomicBool::new(false),
         }
     }
 
@@ -66,6 +86,18 @@ impl WakeCell {
     pub fn wake(&self) {
         self.signal.store(true, Ordering::Release);
         self.thread.unpark();
+    }
+
+    /// Signal, unpark, and pass ownership of an admission slot.
+    fn wake_with_slot(&self) {
+        self.granted.store(true, Ordering::Release);
+        self.wake();
+    }
+
+    /// Consume the slot-grant flag: `true` means the last wake carried
+    /// an admission slot this thread now owns.
+    fn take_granted(&self) -> bool {
+        self.granted.swap(false, Ordering::AcqRel)
     }
 
     /// Park the current (owning) thread until [`WakeCell::wake`],
@@ -137,6 +169,11 @@ fn parker() -> (Arc<WakeCell>, Option<Arc<Scheduler>>) {
 /// [`ParkSite`] waiter queues.
 pub(crate) struct Scheduler {
     st: Mutex<SchedState>,
+    /// Notifications whose wake was deferred because the pool was
+    /// saturated. Each one is a wake→contend→repark round trip the
+    /// direct-wake scheme would have paid (a futile OS wakeup of the
+    /// carrier); surfaced through `ExecStats` as `deferred_wakes`.
+    deferred: AtomicU64,
 }
 
 struct SchedState {
@@ -151,7 +188,14 @@ impl Scheduler {
                 free: workers.max(1),
                 queue: VecDeque::new(),
             }),
+            deferred: AtomicU64::new(0),
         })
+    }
+
+    /// Wake-storm savings counter: notifications delivered as deferred
+    /// slot hand-offs instead of immediate (futile) wakes.
+    pub fn deferred_wakes(&self) -> u64 {
+        self.deferred.load(Ordering::Relaxed)
     }
 
     /// Acquire a run slot, parking FIFO behind earlier waiters when the
@@ -167,6 +211,45 @@ impl Scheduler {
         }
         // Woken only by `release_slot`'s hand-off, already owning a slot.
         cell.block_until_signalled();
+        cell.take_granted();
+    }
+
+    /// Route a park-site notification through admission. With a free
+    /// slot the waiter is woken already owning it; with the pool
+    /// saturated the wake itself is deferred — the cell joins the FIFO
+    /// and `release_slot`'s hand-off wakes it when a slot frees. Either
+    /// way the carrier is scheduled at most once, admitted to run.
+    pub fn grant_to(&self, cell: &Arc<WakeCell>) {
+        let grant_now = {
+            let mut st = self.st.lock();
+            if st.free > 0 {
+                st.free -= 1;
+                true
+            } else {
+                st.queue.push_back(cell.clone());
+                self.deferred.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        };
+        if grant_now {
+            cell.wake_with_slot();
+        }
+    }
+
+    /// Remove `cell` from the hand-off FIFO, for a timed waiter backing
+    /// out of a deferred wake. `true` when the cell was still queued
+    /// (its wake had not been delivered); `false` when the hand-off
+    /// already popped it, in which case a slot-carrying wake is in
+    /// flight and the caller must absorb it.
+    pub fn deregister(&self, cell: &Arc<WakeCell>) -> bool {
+        let mut st = self.st.lock();
+        match st.queue.iter().position(|w| Arc::ptr_eq(w, cell)) {
+            Some(i) => {
+                st.queue.remove(i);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Release a slot: hand it to the longest-waiting task, or bank it.
@@ -182,7 +265,7 @@ impl Scheduler {
             }
         };
         if let Some(w) = handoff {
-            w.wake();
+            w.wake_with_slot();
         }
     }
 
@@ -251,6 +334,10 @@ impl Parking {
     }
 }
 
+/// A parked waiter: its wake cell plus the admission scheduler (when it
+/// has one) that a notification should grant a slot through.
+type TaskedWaiters = Mutex<VecDeque<(Arc<WakeCell>, Option<Arc<Scheduler>>)>>;
+
 /// One blocking edge of a primitive (a condvar's worth of waiters).
 /// Waits must be called with the primitive's `MutexGuard`, exactly like a
 /// condvar; notifications may be issued with or without the lock held.
@@ -259,8 +346,10 @@ pub(crate) enum ParkSite {
     Thread(Condvar),
     /// FIFO waker queue. Registration happens under the caller's
     /// primitive lock; pop-and-signal happens under the queue lock, which
-    /// is what makes the timed-wait deregistration race resolvable.
-    Tasked(Mutex<VecDeque<Arc<WakeCell>>>),
+    /// is what makes the timed-wait deregistration race resolvable. Each
+    /// entry carries the waiter's admission scheduler (when it has one)
+    /// so notifications can be routed through [`Scheduler::grant_to`].
+    Tasked(TaskedWaiters),
 }
 
 impl ParkSite {
@@ -274,16 +363,21 @@ impl ParkSite {
             ParkSite::Thread(cv) => cv.wait(guard),
             ParkSite::Tasked(q) => {
                 let (cell, sched) = parker();
-                q.lock().push_back(cell.clone());
+                q.lock().push_back((cell.clone(), sched.clone()));
                 MutexGuard::unlocked(guard, || {
                     if let Some(s) = &sched {
                         s.release_slot();
                     }
                     cell.block_until_signalled();
-                    // Reacquire admission BEFORE relocking the primitive
-                    // (see module docs: the reverse order deadlocks).
+                    // A notifier routed through `grant_to` delivers the
+                    // wake with a slot attached; only acquire one when
+                    // it did not. Reacquire admission BEFORE relocking
+                    // the primitive (see module docs: the reverse order
+                    // deadlocks).
                     if let Some(s) = &sched {
-                        s.acquire_slot(&cell);
+                        if !cell.take_granted() {
+                            s.acquire_slot(&cell);
+                        }
                     }
                 });
             }
@@ -299,7 +393,7 @@ impl ParkSite {
             ParkSite::Thread(cv) => cv.wait_for(guard, timeout).timed_out(),
             ParkSite::Tasked(q) => {
                 let (cell, sched) = parker();
-                q.lock().push_back(cell.clone());
+                q.lock().push_back((cell.clone(), sched.clone()));
                 MutexGuard::unlocked(guard, || {
                     if let Some(s) = &sched {
                         s.release_slot();
@@ -308,13 +402,17 @@ impl ParkSite {
                     let timed_out = if cell.block_until_signalled_by(deadline) {
                         false
                     } else {
-                        // Deregister. If a notifier already popped us, its
-                        // signal was published under the queue lock before
-                        // the pop became visible — absorb it and report a
-                        // wake so no notification is lost.
+                        // Deregister. Three places the cell can be:
+                        // still in the site queue (a genuine timeout);
+                        // in the scheduler FIFO (a notifier popped us
+                        // but deferred the wake — back out and report a
+                        // wake so the absorbed notification is not
+                        // lost); in neither (a wake is in flight, its
+                        // signal published before the pop became
+                        // visible — absorb it).
                         let removed = {
                             let mut q = q.lock();
-                            match q.iter().position(|w| Arc::ptr_eq(w, &cell)) {
+                            match q.iter().position(|(w, _)| Arc::ptr_eq(w, &cell)) {
                                 Some(i) => {
                                     q.remove(i);
                                     true
@@ -324,13 +422,17 @@ impl ParkSite {
                         };
                         if removed {
                             true
+                        } else if sched.as_ref().is_some_and(|s| s.deregister(&cell)) {
+                            false
                         } else {
                             cell.block_until_signalled();
                             false
                         }
                     };
                     if let Some(s) = &sched {
-                        s.acquire_slot(&cell);
+                        if !cell.take_granted() {
+                            s.acquire_slot(&cell);
+                        }
                     }
                     timed_out
                 })
@@ -344,11 +446,12 @@ impl ParkSite {
             ParkSite::Thread(cv) => cv.notify_one(),
             ParkSite::Tasked(q) => {
                 let mut q = q.lock();
-                if let Some(w) = q.pop_front() {
-                    // Signal under the queue lock: a timed waiter that
-                    // finds itself deregistered can then rely on the
-                    // signal already being visible.
-                    w.wake();
+                if let Some((w, sched)) = q.pop_front() {
+                    // Signal (or enqueue the deferred grant) under the
+                    // queue lock: a timed waiter that finds itself
+                    // deregistered can then rely on the wake already
+                    // being in the scheduler FIFO or in flight.
+                    Self::route_wake(&w, &sched);
                 }
             }
         }
@@ -360,10 +463,20 @@ impl ParkSite {
             ParkSite::Thread(cv) => cv.notify_all(),
             ParkSite::Tasked(q) => {
                 let mut q = q.lock();
-                while let Some(w) = q.pop_front() {
-                    w.wake();
+                while let Some((w, sched)) = q.pop_front() {
+                    Self::route_wake(&w, &sched);
                 }
             }
+        }
+    }
+
+    /// Deliver one tasked-arm notification: admission-scheduled waiters
+    /// go through [`Scheduler::grant_to`] (woken owning a slot, or
+    /// deferred until one frees); control threads get a plain wake.
+    fn route_wake(w: &Arc<WakeCell>, sched: &Option<Arc<Scheduler>>) {
+        match sched {
+            Some(s) => s.grant_to(w),
+            None => w.wake(),
         }
     }
 }
@@ -502,6 +615,83 @@ mod tests {
         });
         a.join().expect("task A");
         b.join().expect("task B");
+    }
+
+    #[test]
+    fn tasked_notify_defers_wake_until_slot_frees() {
+        use std::sync::atomic::AtomicBool;
+        // One slot. A parks on a site (releasing its slot); the main
+        // thread then occupies the slot and notifies. A's wake must be
+        // deferred — routed through the scheduler FIFO — until the slot
+        // is released, and A must come back already admitted.
+        let sched = Scheduler::new(1);
+        let p = pair(Parking::Tasked);
+        let woke = Arc::new(AtomicBool::new(false));
+        let (p2, s2, w2) = (p.clone(), sched.clone(), woke.clone());
+        let a = std::thread::spawn(move || {
+            enter_admission(s2.clone());
+            s2.acquire_slot(&current_cell());
+            let (m, site) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                site.wait(&mut ready);
+            }
+            w2.store(true, Ordering::SeqCst);
+            drop(ready);
+            s2.release_slot();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // Take the slot A released around its park.
+        sched.acquire_slot(&current_cell());
+        {
+            let (m, site) = &*p;
+            *m.lock() = true;
+            site.notify_one();
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(
+            !woke.load(Ordering::SeqCst),
+            "wake deferred while the pool is saturated"
+        );
+        sched.release_slot();
+        a.join().expect("task A");
+        assert!(woke.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn tasked_timed_waiter_backs_out_of_deferred_wake() {
+        // One slot. A parks with a short timeout; the main thread holds
+        // the slot and notifies, deferring A's wake into the scheduler
+        // FIFO. A times out, deregisters from the FIFO, and must report
+        // a wake (the notification was absorbed), then reacquire
+        // admission normally once the slot frees.
+        let sched = Scheduler::new(1);
+        let p = pair(Parking::Tasked);
+        let (p2, s2) = (p.clone(), sched.clone());
+        let a = std::thread::spawn(move || {
+            enter_admission(s2.clone());
+            s2.acquire_slot(&current_cell());
+            let (m, site) = &*p2;
+            let mut g = m.lock();
+            let timed_out = site.wait_for(&mut g, Duration::from_millis(40));
+            drop(g);
+            s2.release_slot();
+            timed_out
+        });
+        std::thread::sleep(Duration::from_millis(15));
+        sched.acquire_slot(&current_cell());
+        {
+            let (_, site) = &*p;
+            site.notify_one();
+        }
+        // Hold the slot past A's deadline so the deferred wake is still
+        // queued when A times out.
+        std::thread::sleep(Duration::from_millis(60));
+        sched.release_slot();
+        assert!(
+            !a.join().expect("task A"),
+            "absorbed notification reported as a wake"
+        );
     }
 
     #[test]

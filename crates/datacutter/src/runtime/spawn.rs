@@ -47,6 +47,7 @@ use super::reaper::Reaper;
 use super::retain::{Dedup, StreamRetention};
 use super::supervisor::{copy_retired, CopyRecord, Supervisor};
 use super::Tuning;
+use crate::budget::{MemoryBudget, SpillRing, StreamOoc};
 use crate::context::{FilterCtx, InputPort, OutputPort};
 use crate::fault::{
     abort_run, contain_scope, panic_message, raise_killed, CopyHealth, CopyState, ErrorCell,
@@ -101,6 +102,7 @@ pub(crate) fn build<E: Executor>(
     fault_ctl: Option<Arc<FaultCtl>>,
     error_cell: ErrorCell,
     tuning: &Tuning,
+    ooc: Option<(Arc<MemoryBudget>, Arc<SpillRing>)>,
 ) -> RunWiring {
     let transport = exec.transport();
     let cancel = transport.cancel_scope();
@@ -131,6 +133,10 @@ pub(crate) fn build<E: Executor>(
         /// table per consumer copy set.
         retention: Option<Arc<StreamRetention>>,
         dedups: Vec<Option<Arc<Dedup>>>,
+        /// Out-of-core state (budget share + spill ring), when a memory
+        /// budget is configured. One per stream, shared by every producer
+        /// and consumer port of the stream.
+        ooc: Option<Arc<StreamOoc>>,
     }
 
     // One payload-box recycler for the whole run: boxes released when a
@@ -138,6 +144,11 @@ pub(crate) fn build<E: Executor>(
     // lossless retention draws its replicas from the same pool.
     let slab = crate::buffer::BufferSlab::new();
     let lossless = fault_ctl.as_ref().is_some_and(|c| c.lossless());
+
+    // Memory budget: split evenly across the graph's streams. A stream
+    // whose in-flight spillable payloads exceed its share spills to the
+    // run-wide ring.
+    let stream_share = tuning.memory_budget_bytes / (graph.streams.len().max(1) as u64);
 
     let mut streams_rt: Vec<StreamRt> = Vec::with_capacity(graph.streams.len());
     for spec in &graph.streams {
@@ -269,6 +280,9 @@ pub(crate) fn build<E: Executor>(
             cells,
             retention,
             dedups,
+            ooc: ooc
+                .as_ref()
+                .map(|(ledger, ring)| StreamOoc::new(ledger.clone(), ring.clone(), stream_share)),
         });
     }
 
@@ -311,6 +325,7 @@ pub(crate) fn build<E: Executor>(
                         journal: Vec::new(),
                         replay: VecDeque::new(),
                         replay_done: false,
+                        ooc: rt.ooc.clone(),
                     });
                 }
 
@@ -351,6 +366,7 @@ pub(crate) fn build<E: Executor>(
                         outbox_tx,
                         targets: rt.sets.len(),
                         retention: rt.retention.clone(),
+                        ooc: rt.ooc.clone(),
                     });
                 }
 

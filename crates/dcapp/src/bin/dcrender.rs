@@ -30,6 +30,9 @@ struct Args {
     algorithm: String,
     executor: String,
     workers: usize,
+    memory_budget: u64,
+    cache_capacity: u64,
+    prefetch_depth: u32,
     out: String,
     plan: bool,
     verbose: bool,
@@ -51,6 +54,11 @@ USAGE: dcrender [FLAGS]
   --algorithm A    zb | ap (default ap)
   --executor E     sim | native | tasked (default sim)
   --workers N      tasked worker-pool size, 0 = core count (default 0)
+  --memory-budget B   in-flight stream-buffer byte budget; over-budget
+                      streams spill to a temp-file ring, 0 = off (default 0)
+  --cache-capacity B  shared decoded-chunk cache bytes, 0 = off (default 0)
+  --prefetch-depth N  read-ahead chunks in flight, sim executor only,
+                      0 = off (default 0)
   --out PATH       output PPM path (default render.ppm)
   --plan           let the planner choose grouping/placement/policy
   --verbose        print per-copy metrics and host utilization
@@ -70,6 +78,9 @@ fn parse_args() -> Args {
         algorithm: "ap".into(),
         executor: "sim".into(),
         workers: 0,
+        memory_budget: 0,
+        cache_capacity: 0,
+        prefetch_depth: 0,
         out: "render.ppm".into(),
         plan: false,
         verbose: false,
@@ -97,6 +108,13 @@ fn parse_args() -> Args {
             "--algorithm" => a.algorithm = next(&mut i),
             "--executor" => a.executor = next(&mut i),
             "--workers" => a.workers = next(&mut i).parse().expect("--workers"),
+            "--memory-budget" => a.memory_budget = next(&mut i).parse().expect("--memory-budget"),
+            "--cache-capacity" => {
+                a.cache_capacity = next(&mut i).parse().expect("--cache-capacity")
+            }
+            "--prefetch-depth" => {
+                a.prefetch_depth = next(&mut i).parse().expect("--prefetch-depth")
+            }
             "--out" => a.out = next(&mut i),
             "--plan" => a.plan = true,
             "--verbose" => a.verbose = true,
@@ -136,6 +154,9 @@ fn main() {
         exit(2);
     });
     cfg.worker_threads = args.workers;
+    cfg.memory_budget_bytes = args.memory_budget;
+    cfg.cache_capacity = args.cache_capacity;
+    cfg.prefetch_depth = args.prefetch_depth;
     if let Err(e) = cfg.validate() {
         eprintln!("{e}");
         exit(2);
@@ -208,6 +229,24 @@ fn main() {
         r.report.events,
         r.image.coverage(isosurf::BACKGROUND)
     );
+    if cfg.memory_budget_bytes > 0 {
+        let ooc = r.report.ooc;
+        println!(
+            "out-of-core: budget {} B, {} spills ({} B), {} faults ({} B)",
+            ooc.memory_budget_bytes, ooc.spills, ooc.spill_bytes, ooc.faults, ooc.fault_bytes
+        );
+    }
+    if let Some(cache) = cfg.chunk_cache() {
+        let s = cache.stats();
+        println!(
+            "chunk cache: {}/{} lookups hit ({:.0}%), {} B resident of {} B",
+            s.hits,
+            s.lookups(),
+            s.hit_rate() * 100.0,
+            s.resident_bytes,
+            s.capacity_bytes
+        );
+    }
     if args.verbose {
         for c in &r.report.copies {
             println!(

@@ -70,7 +70,10 @@ pub fn run_pipeline_exec(
         to_merge,
         filters,
     } = build_pipeline(cfg, spec);
-    let report = Run::new(graph).executor(exec).go(topo)?;
+    let report = Run::new(graph)
+        .memory_budget(cfg.memory_budget_bytes)
+        .executor(exec)
+        .go(topo)?;
     let mut images = std::mem::take(&mut *image.lock());
     assert_eq!(images.len(), 1, "single-UOW run deposits exactly one image");
     Ok(PipelineResult {
@@ -124,7 +127,11 @@ pub fn run_pipeline_faulted_exec(
         to_merge,
         filters,
     } = build_pipeline(cfg, spec);
-    let report = Run::new(graph).faults(opts).executor(exec).go(topo)?;
+    let report = Run::new(graph)
+        .memory_budget(cfg.memory_budget_bytes)
+        .faults(opts)
+        .executor(exec)
+        .go(topo)?;
     let mut images = std::mem::take(&mut *image.lock());
     assert_eq!(images.len(), 1, "single-UOW run deposits exactly one image");
     Ok(PipelineResult {
@@ -169,7 +176,10 @@ pub fn run_pipeline_uows(
     uows: u32,
 ) -> Result<MultiUowResult, RunError> {
     let Pipeline { graph, image, .. } = build_pipeline(cfg, spec);
-    let report = Run::new(graph).uows(uows).go(topo)?;
+    let report = Run::new(graph)
+        .memory_budget(cfg.memory_budget_bytes)
+        .uows(uows)
+        .go(topo)?;
     let images = std::mem::take(&mut *image.lock());
     assert_eq!(images.len(), uows as usize, "one image per unit of work");
     let uow_elapsed = report.uow_elapsed();
@@ -228,6 +238,9 @@ pub fn reference_image(cfg: &SharedConfig) -> Image {
 }
 
 /// Clone an `AppConfig` (datasets share storage; the rest is plain data).
+/// Lazily built derived state — the selected-chunk set and the chunk
+/// cache — starts fresh in the clone: a config whose query or knobs are
+/// about to change must not inherit state computed for the old ones.
 pub fn clone_config(cfg: &SharedConfig) -> crate::config::AppConfig {
     crate::config::AppConfig {
         dataset: cfg.dataset.clone(),
@@ -247,9 +260,13 @@ pub fn clone_config(cfg: &SharedConfig) -> crate::config::AppConfig {
         executor: cfg.executor,
         worker_threads: cfg.worker_threads,
         max_task_copies: cfg.max_task_copies,
+        memory_budget_bytes: cfg.memory_budget_bytes,
+        cache_capacity: cfg.cache_capacity,
+        prefetch_depth: cfg.prefetch_depth,
         placement: cfg.placement.clone(),
         storage_hosts: cfg.storage_hosts.clone(),
         selected_cache: std::sync::OnceLock::new(),
+        chunk_cache: std::sync::OnceLock::new(),
     }
 }
 
@@ -648,6 +665,92 @@ mod tests {
         c.timestep = 1;
         let reference = reference_image(&Arc::new(c));
         assert_eq!(multi.images[1].diff_pixels(&reference), 0);
+    }
+
+    fn total_disk_bytes(r: &PipelineResult) -> u64 {
+        r.report.copies.iter().map(|c| c.counters.disk_bytes).sum()
+    }
+
+    #[test]
+    fn warm_chunk_cache_skips_disk_traffic() {
+        let (topo, cfg) = small_setup(2, 96);
+        let mut c = clone_config(&cfg);
+        c.cache_capacity = 1 << 30;
+        let c: SharedConfig = Arc::new(c);
+        let s = spec(&topo, &c, Grouping::RERaM, Algorithm::ActivePixel);
+        let cold = run_pipeline(&topo, &c, &s).unwrap();
+        let warm = run_pipeline(&topo, &c, &s).unwrap();
+        assert_eq!(warm.image.diff_pixels(&cold.image), 0);
+        assert_eq!(cold.image.diff_pixels(&reference_image(&c)), 0);
+        assert!(total_disk_bytes(&cold) > 0, "cold run reads from disk");
+        assert_eq!(
+            total_disk_bytes(&warm),
+            0,
+            "warm run serves every chunk from the cache"
+        );
+        assert!(warm.elapsed < cold.elapsed, "cache hits skip disk time");
+        let stats = c.chunk_cache().expect("cache wired").stats();
+        assert_eq!(stats.hits + stats.misses, stats.lookups());
+        assert!(stats.hits >= 8, "second pass hits every chunk");
+        assert!(stats.resident_bytes <= stats.capacity_bytes);
+    }
+
+    #[test]
+    fn prefetched_run_matches_reference_and_disk_tally() {
+        let (topo, cfg) = small_setup(2, 96);
+        let s = spec(&topo, &cfg, Grouping::RERaM, Algorithm::ActivePixel);
+        let plain = run_pipeline(&topo, &cfg, &s).unwrap();
+        let mut c = clone_config(&cfg);
+        c.prefetch_depth = 4;
+        let c: SharedConfig = Arc::new(c);
+        let pre = run_pipeline(&topo, &c, &s).unwrap();
+        assert_eq!(pre.image.diff_pixels(&plain.image), 0);
+        assert_eq!(
+            total_disk_bytes(&pre),
+            total_disk_bytes(&plain),
+            "read-ahead moves the same bytes, just earlier"
+        );
+        assert!(
+            pre.elapsed <= plain.elapsed,
+            "overlapping retrieval with compute must not slow the run: \
+             {:?} vs {:?}",
+            pre.elapsed,
+            plain.elapsed
+        );
+    }
+
+    #[test]
+    fn budgeted_run_spills_and_stays_bit_identical() {
+        let (topo, cfg) = small_setup(2, 96);
+        let s = spec(
+            &topo,
+            &cfg,
+            Grouping::FourStage {
+                extract: Placement::on_host(cfg.storage_hosts[1], 1),
+                raster: Placement::on_host(cfg.storage_hosts[0], 1),
+            },
+            Algorithm::ActivePixel,
+        );
+        let free = run_pipeline(&topo, &cfg, &s).unwrap();
+        assert_eq!(free.report.ooc.spills, 0, "unbudgeted runs never spill");
+        let mut c = clone_config(&cfg);
+        c.memory_budget_bytes = c.dataset.chunk_bytes(volume::ChunkId(0));
+        c.validate().expect("one-chunk budget validates");
+        let c: SharedConfig = Arc::new(c);
+        let tight = run_pipeline(&topo, &c, &s).unwrap();
+        assert_eq!(tight.image.diff_pixels(&free.image), 0);
+        let ooc = tight.report.ooc;
+        assert!(ooc.spills > 0, "a one-chunk budget must force spills");
+        assert_eq!(ooc.spills, ooc.faults, "every spilled buffer re-faults");
+        assert_eq!(ooc.spill_bytes, ooc.fault_bytes);
+        assert_eq!(
+            ooc.resident_bytes(),
+            0,
+            "ledger drains when the run completes: granted {} released {}",
+            ooc.granted_bytes,
+            ooc.released_bytes
+        );
+        assert_eq!(ooc.memory_budget_bytes, c.memory_budget_bytes);
     }
 
     #[test]

@@ -21,24 +21,26 @@ pub type ImageSlot = Arc<Mutex<Vec<Image>>>;
 // The write helpers wrap payloads through the run's `BufferSlab` and the
 // read sites unwrap through it, so in steady state the payload boxes cycle
 // producer → consumer → producer with no heap traffic. Payloads go in via
-// `make_replicable` so runs under `Recovery::Lossless` can retain replicas;
-// without a fault plan this costs nothing over `make`.
+// `make_spillable` (replicable + spill-encodable): runs under
+// `Recovery::Lossless` can retain replicas, and runs under a memory
+// budget can spill queued buffers to the temp-file ring. Without a fault
+// plan or budget this costs nothing over `make`.
 
 fn write_chunk(ctx: &mut FilterCtx, p: ChunkPayload) {
     let wire = p.wire_bytes();
-    let buf = ctx.buffer_slab().make_replicable(p, wire);
+    let buf = ctx.buffer_slab().make_spillable(p, wire);
     ctx.write(0, buf);
 }
 
 fn write_tris(ctx: &mut FilterCtx, b: TriBatch) {
     let wire = b.wire_bytes();
-    let buf = ctx.buffer_slab().make_replicable(b, wire);
+    let buf = ctx.buffer_slab().make_spillable(b, wire);
     ctx.write(0, buf);
 }
 
 fn write_raout(ctx: &mut FilterCtx, r: RaOut) {
     let wire = r.wire_bytes();
-    let buf = ctx.buffer_slab().make_replicable(r, wire);
+    let buf = ctx.buffer_slab().make_spillable(r, wire);
     ctx.write(0, buf);
 }
 
@@ -186,7 +188,7 @@ impl TiledRasterFilter {
 
 fn write_tile_raout(ctx: &mut FilterCtx, tile: u32, r: RaOut) {
     let wire = r.wire_bytes();
-    let buf = ctx.buffer_slab().make_replicable(r, wire);
+    let buf = ctx.buffer_slab().make_spillable(r, wire);
     ctx.write_tile(0, tile as u64, buf);
 }
 
@@ -368,7 +370,7 @@ impl Filter for PartitionedReadExtractFilter {
         let extract = &mut self.extract;
         let route = |ctx: &mut FilterCtx, band: usize, b: TriBatch| {
             let wire = b.wire_bytes();
-            let buf = ctx.buffer_slab().make_replicable(b, wire);
+            let buf = ctx.buffer_slab().make_spillable(b, wire);
             ctx.write_to(0, band, buf);
         };
         self.read.run(ctx, |ctx, chunk| {

@@ -4,15 +4,46 @@
 //! then literally function composition, which is how the paper's grouped
 //! configurations behave.
 
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
 use datacutter::FilterCtx;
+use hetsim::{Env, Semaphore};
 use isosurf::{
     merge_batch, raster_triangle, ActivePixelBuffer, Image, Triangle, WinningPixel, ZBuffer,
     BACKGROUND,
 };
+use volume::{CacheKey, ChunkCache, ChunkId, RectGrid};
 
 use crate::config::{Algorithm, SharedConfig};
 use crate::payload::{ChunkPayload, RaOut, TriBatch};
 use crate::pool::BufferPool;
+
+/// One chunk the read stage will retrieve, in retrieval order.
+/// `reset_seek` marks reads that must pay the full positioning overhead
+/// regardless of what came before: the first chunk of a file, or a chunk
+/// following a query-skipped neighbour.
+#[derive(Clone, Copy)]
+struct PlanEntry {
+    chunk: ChunkId,
+    disk: u32,
+    bytes: u64,
+    reset_seek: bool,
+}
+
+/// One completed read-ahead fetch: the bytes it charged to the disk
+/// model and (when a cache is wired) the decoded grid.
+type Fetched = (u64, Option<Arc<RectGrid>>);
+
+/// Handshake between the read loop and its read-ahead helper process:
+/// `slots` bounds how far ahead the helper runs (`prefetch_depth`
+/// chunks), `ready` signals completed fetches, and `queue` carries what
+/// each fetch charged and (when a cache is wired) the decoded grid.
+struct Prefetch {
+    slots: Semaphore,
+    ready: Semaphore,
+    queue: Arc<Mutex<VecDeque<Fetched>>>,
+}
 
 /// Reads this storage node's declustered chunks off its local disks.
 pub(crate) struct ReadStage {
@@ -21,41 +52,185 @@ pub(crate) struct ReadStage {
 }
 
 impl ReadStage {
+    /// The node's retrieval plan: selected chunks in file/Hilbert order
+    /// with their disks, sizes, and seek-reset points.
+    fn plan(&self) -> Vec<PlanEntry> {
+        let selected = self.cfg.selected_chunks();
+        let mut out = Vec::new();
+        for (file, disk) in self.cfg.files_for_node(self.node_index) {
+            let mut reset_seek = true;
+            for &chunk in self.cfg.dataset.chunks_in_file(file) {
+                if !selected.contains(&chunk) {
+                    // Outside the range query: skipped chunks break the
+                    // sequential scan, so the next read re-seeks.
+                    reset_seek = true;
+                    continue;
+                }
+                out.push(PlanEntry {
+                    chunk,
+                    disk,
+                    bytes: self.cfg.dataset.chunk_bytes(chunk),
+                    reset_seek,
+                });
+                reset_seek = false;
+            }
+        }
+        out
+    }
+
+    /// Spawn the read-ahead helper on the simulation clock, when the
+    /// config asks for one and this copy runs under the sim executor.
+    /// The helper walks the plan up to `prefetch_depth` chunks ahead of
+    /// the main loop, charging the disk model (and filling the chunk
+    /// cache) so retrieval overlaps the main loop's compute.
+    fn spawn_prefetcher(
+        &self,
+        ctx: &FilterCtx,
+        timestep: u32,
+        plan: &[PlanEntry],
+        cache: Option<Arc<ChunkCache>>,
+    ) -> Option<Prefetch> {
+        if self.cfg.prefetch_depth == 0 || plan.is_empty() {
+            return None;
+        }
+        let env = ctx.sim_env()?;
+        let disks = ctx.topology().host(ctx.host()).disks.clone();
+        if disks.is_empty() {
+            return None;
+        }
+        let pf = Prefetch {
+            slots: Semaphore::new(self.cfg.prefetch_depth as u64),
+            ready: Semaphore::new(0),
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        };
+        let (slots, ready, queue) = (pf.slots.clone(), pf.ready.clone(), pf.queue.clone());
+        let cfg = self.cfg.clone();
+        let plan = plan.to_vec();
+        env.spawn(format!("prefetch:{}", self.node_index), move |env: Env| {
+            let mut head_on_track = false;
+            for e in &plan {
+                slots.acquire(&env);
+                let key = CacheKey {
+                    species: cfg.species,
+                    timestep,
+                    chunk: e.chunk,
+                };
+                let record = match cache.as_ref().and_then(|c| c.get(key)) {
+                    Some(grid) => {
+                        // Cache hit: no disk op, so the head has not
+                        // advanced and the next miss pays a full seek.
+                        head_on_track = false;
+                        (0, Some(grid))
+                    }
+                    None => {
+                        let d = &disks[e.disk as usize % disks.len()];
+                        if head_on_track && !e.reset_seek {
+                            d.read_seq(&env, e.bytes);
+                        } else {
+                            d.read(&env, e.bytes);
+                        }
+                        head_on_track = true;
+                        let got = cache.as_ref().map(|c| {
+                            let grid =
+                                Arc::new(cfg.dataset.read_chunk(cfg.species, timestep, e.chunk));
+                            c.insert(key, grid.clone());
+                            grid
+                        });
+                        (e.bytes, got)
+                    }
+                };
+                queue.lock().expect("prefetch queue").push_back(record);
+                ready.release(&env);
+            }
+        });
+        Some(pf)
+    }
+
     /// Stream every local chunk through `sink`, charging disk + CPU.
     /// Chunks within a file are read sequentially (Hilbert order), so only
     /// the first read of each file pays the full positioning overhead.
     /// Unit of work `k` renders timestep `cfg.timestep + k` (wrapped to
     /// the stored range), so a multi-UOW run browses consecutive
     /// timesteps like the paper's experiments.
+    ///
+    /// A configured [`ChunkCache`](crate::config::AppConfig::chunk_cache)
+    /// is consulted per chunk: hits skip the disk entirely (the next miss
+    /// re-seeks), misses read and populate. With `prefetch_depth > 0`
+    /// under the sim executor, retrieval is delegated to a read-ahead
+    /// helper process and this loop only tallies the bytes it charged.
     pub fn run(&self, ctx: &mut FilterCtx, mut sink: impl FnMut(&mut FilterCtx, ChunkPayload)) {
         let timestep = (self.cfg.timestep + ctx.uow()) % volume::TIMESTEPS;
-        let selected = self.cfg.selected_chunks();
-        for (file, disk) in self.cfg.files_for_node(self.node_index) {
-            let mut sequential = false;
-            for &chunk in self.cfg.dataset.chunks_in_file(file) {
-                if !selected.contains(&chunk) {
-                    // Outside the range query: skipped chunks break the
-                    // sequential scan, so the next read re-seeks.
-                    sequential = false;
-                    continue;
+        let plan = self.plan();
+        let cache = self.cfg.chunk_cache().cloned();
+        let prefetch = self.spawn_prefetcher(ctx, timestep, &plan, cache.clone());
+        let mut head_on_track = false;
+        for e in &plan {
+            let grid = match &prefetch {
+                Some(pf) => {
+                    {
+                        let env = ctx.sim_env().expect("prefetcher only spawns under sim");
+                        pf.ready.acquire(env);
+                    }
+                    let (charged, got) = pf
+                        .queue
+                        .lock()
+                        .expect("prefetch queue")
+                        .pop_front()
+                        .expect("one record per planned chunk");
+                    {
+                        let env = ctx.sim_env().expect("prefetcher only spawns under sim");
+                        pf.slots.release(env);
+                    }
+                    if charged > 0 {
+                        ctx.note_disk_bytes(charged);
+                    }
+                    ctx.compute(self.cfg.cost.read_cost(e.bytes));
+                    match got {
+                        Some(grid) => (*grid).clone(),
+                        None => self
+                            .cfg
+                            .dataset
+                            .read_chunk(self.cfg.species, timestep, e.chunk),
+                    }
                 }
-                let bytes = self.cfg.dataset.chunk_bytes(chunk);
-                ctx.disk_read(disk as usize, bytes, sequential);
-                sequential = true;
-                ctx.compute(self.cfg.cost.read_cost(bytes));
-                let info = self.cfg.dataset.chunk_info(chunk);
-                let grid = self
-                    .cfg
-                    .dataset
-                    .read_chunk(self.cfg.species, timestep, chunk);
-                sink(
-                    ctx,
-                    ChunkPayload {
-                        origin: info.cell_origin,
-                        grid,
-                    },
-                );
-            }
+                None => {
+                    let key = CacheKey {
+                        species: self.cfg.species,
+                        timestep,
+                        chunk: e.chunk,
+                    };
+                    match cache.as_ref().and_then(|c| c.get(key)) {
+                        Some(grid) => {
+                            // Cache hit: no disk traffic; the head did not
+                            // advance, so the next miss pays a full seek.
+                            head_on_track = false;
+                            ctx.compute(self.cfg.cost.read_cost(e.bytes));
+                            (*grid).clone()
+                        }
+                        None => {
+                            ctx.disk_read(e.disk as usize, e.bytes, head_on_track && !e.reset_seek);
+                            head_on_track = true;
+                            ctx.compute(self.cfg.cost.read_cost(e.bytes));
+                            let grid =
+                                self.cfg
+                                    .dataset
+                                    .read_chunk(self.cfg.species, timestep, e.chunk);
+                            if let Some(c) = &cache {
+                                c.insert(key, Arc::new(grid.clone()));
+                            }
+                            grid
+                        }
+                    }
+                }
+            };
+            let info = self.cfg.dataset.chunk_info(e.chunk);
+            sink(
+                ctx,
+                ChunkPayload {
+                    origin: info.cell_origin,
+                    grid,
+                },
+            );
         }
     }
 }

@@ -1,10 +1,13 @@
 //! Stream payload types exchanged between the application filters, with
-//! their wire sizes.
+//! their wire sizes — and their [`SpillCodec`] encodings, so a
+//! memory-budgeted run can spill any queued payload to the run's
+//! temp-file ring and re-fault it bit-identically at read time.
 
+use datacutter::SpillCodec;
 use isosurf::{
     Triangle, WinningPixel, TRIANGLE_WIRE_BYTES, WPA_ENTRY_WIRE_BYTES, ZBUF_ENTRY_WIRE_BYTES,
 };
-use volume::RectGrid;
+use volume::{Dims, RectGrid};
 
 use crate::pool::PoolVec;
 
@@ -105,6 +108,202 @@ impl RaOut {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Spill encodings. Plain little-endian layouts with a leading field count
+// where the length is not implied; `f32` bits travel via `to_le_bytes`, so
+// a spill → fault round trip is bit-exact. Decoded `PoolVec`s are homeless
+// (they free on drop instead of recycling) — a faulted-in buffer already
+// paid a disk round trip, so the extra allocation is noise.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor-style reader over a spill slice; every `take_*` returns `None`
+/// on underrun so corrupt ring data surfaces as a decode failure, not a
+/// panic.
+struct Rd<'a>(&'a [u8]);
+
+impl Rd<'_> {
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let (head, rest) = self.0.split_at_checked(N)?;
+        self.0 = rest;
+        head.try_into().ok()
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take::<4>().map(u32::from_le_bytes)
+    }
+
+    fn f32(&mut self) -> Option<f32> {
+        self.take::<4>().map(f32::from_le_bytes)
+    }
+
+    fn done(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl SpillCodec for ChunkPayload {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.origin.0);
+        put_u32(out, self.origin.1);
+        put_u32(out, self.origin.2);
+        put_u32(out, self.grid.dims.nx);
+        put_u32(out, self.grid.dims.ny);
+        put_u32(out, self.grid.dims.nz);
+        out.reserve(self.grid.data.len() * 4);
+        for &v in &self.grid.data {
+            put_f32(out, v);
+        }
+    }
+
+    fn spill_decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Rd(bytes);
+        let origin = (r.u32()?, r.u32()?, r.u32()?);
+        let dims = Dims {
+            nx: r.u32()?,
+            ny: r.u32()?,
+            nz: r.u32()?,
+        };
+        let n = (dims.nx as usize)
+            .checked_mul(dims.ny as usize)?
+            .checked_mul(dims.nz as usize)?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(r.f32()?);
+        }
+        if !r.done() {
+            return None;
+        }
+        Some(ChunkPayload {
+            origin,
+            grid: RectGrid { dims, data },
+        })
+    }
+}
+
+impl SpillCodec for TriBatch {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        out.reserve(self.tris.len() * TRIANGLE_WIRE_BYTES as usize);
+        for t in self.tris.iter() {
+            for v in t.v.iter().chain(std::iter::once(&t.normal)) {
+                put_f32(out, v.x);
+                put_f32(out, v.y);
+                put_f32(out, v.z);
+            }
+        }
+    }
+
+    fn spill_decode(bytes: &[u8]) -> Option<Self> {
+        if !bytes.len().is_multiple_of(TRIANGLE_WIRE_BYTES as usize) {
+            return None;
+        }
+        let mut r = Rd(bytes);
+        let mut tris = Vec::with_capacity(bytes.len() / TRIANGLE_WIRE_BYTES as usize);
+        while !r.done() {
+            let mut vs = [isosurf::Vec3::ZERO; 4];
+            for v in &mut vs {
+                *v = isosurf::vec3(r.f32()?, r.f32()?, r.f32()?);
+            }
+            tris.push(Triangle {
+                v: [vs[0], vs[1], vs[2]],
+                normal: vs[3],
+            });
+        }
+        Some(TriBatch { tris: tris.into() })
+    }
+}
+
+const RAOUT_BAND_TAG: u8 = 0;
+const RAOUT_WPA_TAG: u8 = 1;
+
+impl SpillCodec for RaOut {
+    fn spill_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RaOut::Band {
+                y0,
+                width,
+                depth,
+                color,
+            } => {
+                out.push(RAOUT_BAND_TAG);
+                put_u32(out, *y0);
+                put_u32(out, *width);
+                put_u32(out, depth.len() as u32);
+                out.reserve(depth.len() * 7);
+                for &d in depth.iter() {
+                    put_f32(out, d);
+                }
+                for rgb in color.iter() {
+                    out.extend_from_slice(rgb);
+                }
+            }
+            RaOut::Wpa(batch) => {
+                out.push(RAOUT_WPA_TAG);
+                put_u32(out, batch.len() as u32);
+                out.reserve(batch.len() * 11);
+                for p in batch.iter() {
+                    out.extend_from_slice(&p.x.to_le_bytes());
+                    out.extend_from_slice(&p.y.to_le_bytes());
+                    put_f32(out, p.depth);
+                    out.extend_from_slice(&p.rgb);
+                }
+            }
+        }
+    }
+
+    fn spill_decode(bytes: &[u8]) -> Option<Self> {
+        let (&tag, rest) = bytes.split_first()?;
+        let mut r = Rd(rest);
+        match tag {
+            RAOUT_BAND_TAG => {
+                let y0 = r.u32()?;
+                let width = r.u32()?;
+                let n = r.u32()? as usize;
+                let mut depth = Vec::with_capacity(n);
+                for _ in 0..n {
+                    depth.push(r.f32()?);
+                }
+                let mut color = Vec::with_capacity(n);
+                for _ in 0..n {
+                    color.push(r.take::<3>()?);
+                }
+                if !r.done() {
+                    return None;
+                }
+                Some(RaOut::Band {
+                    y0,
+                    width,
+                    depth: depth.into(),
+                    color: color.into(),
+                })
+            }
+            RAOUT_WPA_TAG => {
+                let n = r.u32()? as usize;
+                let mut batch = Vec::with_capacity(n);
+                for _ in 0..n {
+                    batch.push(WinningPixel {
+                        x: u16::from_le_bytes(r.take::<2>()?),
+                        y: u16::from_le_bytes(r.take::<2>()?),
+                        depth: r.f32()?,
+                        rgb: r.take::<3>()?,
+                    });
+                }
+                if !r.done() {
+                    return None;
+                }
+                Some(RaOut::Wpa(batch.into()))
+            }
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +350,94 @@ mod tests {
         );
         assert_eq!(wpa.wire_bytes(), 5 * WPA_ENTRY_WIRE_BYTES);
         assert_eq!(wpa.merge_entries(), 5);
+    }
+
+    fn round_trip<T: SpillCodec>(v: &T) -> T {
+        let mut bytes = Vec::new();
+        v.spill_encode(&mut bytes);
+        T::spill_decode(&bytes).expect("decode what we encoded")
+    }
+
+    #[test]
+    fn chunk_spill_round_trip_is_bit_identical() {
+        let p = ChunkPayload {
+            origin: (3, 5, 7),
+            grid: RectGrid {
+                dims: Dims::new(2, 3, 4),
+                data: (0..24).map(|i| (i as f32).sqrt()).collect(),
+            },
+        };
+        let q = round_trip(&p);
+        assert_eq!(q.origin, p.origin);
+        assert_eq!(q.grid.dims, p.grid.dims);
+        assert_eq!(
+            q.grid.data.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            p.grid.data.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tribatch_spill_round_trip() {
+        let t = Triangle {
+            v: [
+                isosurf::vec3(0.0, 1.5, -2.0),
+                isosurf::vec3(3.25, 4.0, 5.0),
+                isosurf::vec3(-6.0, 7.0, 8.5),
+            ],
+            normal: isosurf::vec3(0.0, 0.0, 1.0),
+        };
+        let b = TriBatch {
+            tris: vec![t, t].into(),
+        };
+        let c = round_trip(&b);
+        assert_eq!(c.tris.len(), 2);
+        assert_eq!(c.tris[1].v[2].z, 8.5);
+        assert_eq!(c.tris[0].normal.z, 1.0);
+    }
+
+    #[test]
+    fn raout_spill_round_trips_both_variants() {
+        let band = RaOut::Band {
+            y0: 9,
+            width: 4,
+            depth: vec![0.5, 1.0, f32::INFINITY, 2.0].into(),
+            color: vec![[1, 2, 3], [4, 5, 6], [7, 8, 9], [0, 0, 0]].into(),
+        };
+        match round_trip(&band) {
+            RaOut::Band {
+                y0, depth, color, ..
+            } => {
+                assert_eq!(y0, 9);
+                assert_eq!(depth[2], f32::INFINITY);
+                assert_eq!(color[1], [4, 5, 6]);
+            }
+            RaOut::Wpa(_) => panic!("band decoded as wpa"),
+        }
+        let wpa = RaOut::Wpa(
+            vec![WinningPixel {
+                x: 11,
+                y: 22,
+                depth: 0.25,
+                rgb: [9, 8, 7],
+            }]
+            .into(),
+        );
+        match round_trip(&wpa) {
+            RaOut::Wpa(b) => {
+                assert_eq!(
+                    (b[0].x, b[0].y, b[0].depth, b[0].rgb),
+                    (11, 22, 0.25, [9, 8, 7])
+                );
+            }
+            RaOut::Band { .. } => panic!("wpa decoded as band"),
+        }
+    }
+
+    #[test]
+    fn corrupt_spill_bytes_fail_to_decode() {
+        assert!(ChunkPayload::spill_decode(&[1, 2, 3]).is_none());
+        assert!(TriBatch::spill_decode(&[0; 47]).is_none());
+        assert!(RaOut::spill_decode(&[7]).is_none(), "unknown tag");
+        assert!(RaOut::spill_decode(&[]).is_none());
     }
 }

@@ -129,6 +129,8 @@ struct DiskState {
     seek: SimDuration,
     bytes_read: u64,
     reads: u64,
+    bytes_written: u64,
+    writes: u64,
     busy: SimDuration,
 }
 
@@ -144,6 +146,8 @@ impl Disk {
                 seek,
                 bytes_read: 0,
                 reads: 0,
+                bytes_written: 0,
+                writes: 0,
                 busy: SimDuration::ZERO,
             })),
         }
@@ -178,6 +182,35 @@ impl Disk {
         self.sem.release(env);
     }
 
+    /// Write `bytes` to the disk, blocking for queueing + service time
+    /// (full positioning overhead). Used by the out-of-core spill path:
+    /// a spilled buffer pays the same seek + transfer model as a read.
+    pub fn write(&self, env: &Env, bytes: u64) {
+        self.write_inner(env, bytes, 1.0);
+    }
+
+    /// Sequential continuation write (the head is already positioned —
+    /// e.g. consecutive slots of a spill ring).
+    pub fn write_seq(&self, env: &Env, bytes: u64) {
+        self.write_inner(env, bytes, 0.125);
+    }
+
+    fn write_inner(&self, env: &Env, bytes: u64, seek_frac: f64) {
+        self.sem.acquire(env);
+        let service = {
+            let st = self.inner.lock();
+            st.seek.mul_f64(seek_frac) + SimDuration::from_secs_f64(bytes as f64 / st.bandwidth_bps)
+        };
+        env.delay(service);
+        {
+            let mut st = self.inner.lock();
+            st.bytes_written += bytes;
+            st.writes += 1;
+            st.busy += service;
+        }
+        self.sem.release(env);
+    }
+
     /// Total bytes served.
     pub fn bytes_read(&self) -> u64 {
         self.inner.lock().bytes_read
@@ -186,6 +219,16 @@ impl Disk {
     /// Number of read requests served.
     pub fn reads(&self) -> u64 {
         self.inner.lock().reads
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.lock().bytes_written
+    }
+
+    /// Number of write requests served.
+    pub fn writes(&self) -> u64 {
+        self.inner.lock().writes
     }
 
     /// Accumulated service time.
@@ -405,6 +448,26 @@ mod tests {
         assert_eq!(*ends.lock(), vec![1010, 2020]);
         assert_eq!(disk.bytes_read(), 200);
         assert_eq!(disk.reads(), 2);
+    }
+
+    #[test]
+    fn disk_writes_share_the_queue_with_reads() {
+        let mut sim = Simulation::new();
+        let disk = Disk::new(100.0, SimDuration::from_millis(10)); // 100 B/s
+        let d2 = disk.clone();
+        sim.spawn("w", move |env| {
+            d2.write(&env, 100); // 1s + 10ms seek
+            assert_eq!(env.now().as_nanos() / 1_000_000, 1010);
+            d2.write_seq(&env, 100); // 1s + 1.25ms settling
+            assert_eq!(env.now().as_nanos() / 1_000_000, 2011);
+            d2.read(&env, 50); // 0.5s + 10ms
+            assert_eq!(env.now().as_nanos() / 1_000_000, 2521);
+        });
+        sim.run().unwrap();
+        assert_eq!(disk.bytes_written(), 200);
+        assert_eq!(disk.writes(), 2);
+        assert_eq!(disk.bytes_read(), 50);
+        assert_eq!(disk.reads(), 1);
     }
 
     #[test]

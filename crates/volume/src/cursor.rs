@@ -1,0 +1,320 @@
+//! Streaming chunk reads: iterate a data file's records in z-slab slices
+//! without materializing whole chunks.
+//!
+//! [`crate::DiskStore::read_file`] decodes every chunk of a file into
+//! memory at once — fine when the dataset fits in RAM, impossible when it
+//! is 10–100× larger. A [`ChunkCursor`] walks the same `.dcvf` file one
+//! record at a time and hands out **z-slabs**: because chunk payloads are
+//! stored x-fastest row-major (`index = (z*ny + y)*nx + x`), a run of
+//! consecutive z-planes is one contiguous byte range of the record, so a
+//! slab can be read straight off the disk into a bounded, reused scratch
+//! buffer. The caller chooses the scratch budget; the cursor never holds
+//! more than `max(budget, one z-plane)` of decoded data at a time.
+//!
+//! Chunks that are not wanted (outside the query's selected set) are
+//! skipped with a forward seek — no payload bytes are read for them,
+//! mirroring how the read filter's cost model charges only selected
+//! chunks.
+
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom};
+
+use crate::chunks::ChunkId;
+use crate::decluster::FileId;
+use crate::diskstore::DiskStore;
+use crate::grid::{Dims, RectGrid};
+
+/// Header of the record the cursor is positioned on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkHeader {
+    /// The chunk this record holds.
+    pub id: ChunkId,
+    /// Point dimensions of the chunk's grid.
+    pub dims: Dims,
+    /// Payload bytes of the record (12-byte dims header + f32 data).
+    pub payload_bytes: u64,
+}
+
+/// One streamed z-slab of the current chunk. Borrows the cursor's scratch
+/// buffer; consume it before asking for the next slab.
+#[derive(Debug)]
+pub struct Slab<'c> {
+    /// Chunk the slab belongs to.
+    pub chunk: ChunkId,
+    /// Full point dimensions of that chunk.
+    pub dims: Dims,
+    /// First z-plane (inclusive) of this slab, in chunk-local coordinates.
+    pub z0: u32,
+    /// Number of z-planes in this slab.
+    pub nz: u32,
+    /// The slab's values, x-fastest row-major over `nx × ny × nz` points.
+    pub data: &'c [f32],
+}
+
+/// Streaming reader over one declustered data file. See the module docs.
+pub struct ChunkCursor {
+    fh: fs::File,
+    records_left: u32,
+    cur: Option<CurChunk>,
+    /// Raw-byte scratch, reused across slabs (bounded by the budget).
+    scratch: Vec<u8>,
+    /// Decoded-value scratch, reused across slabs.
+    values: Vec<f32>,
+    /// Max bytes of payload materialized per slab (floor: one z-plane).
+    budget: usize,
+    /// Peak scratch bytes ever materialized (observability for tests and
+    /// the out-of-core bench).
+    peak_slab_bytes: usize,
+}
+
+struct CurChunk {
+    id: ChunkId,
+    dims: Dims,
+    z_next: u32,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+impl ChunkCursor {
+    /// Open a cursor over `file` of `store` with a per-slab scratch budget
+    /// of `budget_bytes` (clamped up to one z-plane of the chunk being
+    /// streamed — the minimum indivisible unit).
+    pub fn open(store: &DiskStore, file: FileId, budget_bytes: usize) -> io::Result<ChunkCursor> {
+        let mut fh = fs::File::open(store.data_file_path(file))?;
+        let mut header = [0u8; 12];
+        fh.read_exact(&mut header)?;
+        if &header[0..4] != b"DCVF" {
+            return Err(bad("bad data file magic"));
+        }
+        let records_left = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
+        Ok(ChunkCursor {
+            fh,
+            records_left,
+            cur: None,
+            scratch: Vec::new(),
+            values: Vec::new(),
+            budget: budget_bytes.max(1),
+            peak_slab_bytes: 0,
+        })
+    }
+
+    /// Advance to the next record, skipping (seeking past) whatever is
+    /// left of the current chunk. Returns `None` after the last record.
+    pub fn next_chunk(&mut self) -> io::Result<Option<ChunkHeader>> {
+        self.skip_rest_of_chunk()?;
+        if self.records_left == 0 {
+            return Ok(None);
+        }
+        self.records_left -= 1;
+        let mut rec = [0u8; 8];
+        self.fh.read_exact(&mut rec)?;
+        let id = ChunkId(u32::from_le_bytes(rec[0..4].try_into().expect("fixed")));
+        let len = u32::from_le_bytes(rec[4..8].try_into().expect("fixed")) as u64;
+        let mut dims_hdr = [0u8; 12];
+        self.fh.read_exact(&mut dims_hdr)?;
+        let dims = Dims::new(
+            u32::from_le_bytes(dims_hdr[0..4].try_into().expect("fixed")),
+            u32::from_le_bytes(dims_hdr[4..8].try_into().expect("fixed")),
+            u32::from_le_bytes(dims_hdr[8..12].try_into().expect("fixed")),
+        );
+        if len != 12 + dims.byte_size() {
+            return Err(bad("record length inconsistent with chunk dims"));
+        }
+        self.cur = Some(CurChunk {
+            id,
+            dims,
+            z_next: 0,
+        });
+        Ok(Some(ChunkHeader {
+            id,
+            dims,
+            payload_bytes: len,
+        }))
+    }
+
+    /// Stream the next z-slab of the current chunk into the reused scratch
+    /// buffer. Returns `None` once the chunk is fully consumed (or when no
+    /// chunk is current).
+    pub fn next_slab(&mut self) -> io::Result<Option<Slab<'_>>> {
+        let Some(cur) = &mut self.cur else {
+            return Ok(None);
+        };
+        if cur.z_next >= cur.dims.nz {
+            self.cur = None;
+            return Ok(None);
+        }
+        let plane_points = (cur.dims.nx * cur.dims.ny) as usize;
+        let plane_bytes = plane_points * 4;
+        // At least one z-plane per slab; otherwise as many whole planes as
+        // fit in the budget.
+        let nz_fit = (self.budget / plane_bytes.max(1)).max(1) as u32;
+        let z0 = cur.z_next;
+        let nz = nz_fit.min(cur.dims.nz - z0);
+        let bytes = plane_bytes * nz as usize;
+        self.scratch.resize(bytes, 0);
+        self.fh.read_exact(&mut self.scratch)?;
+        self.peak_slab_bytes = self.peak_slab_bytes.max(bytes);
+        let n = plane_points * nz as usize;
+        self.values.clear();
+        self.values.reserve(n);
+        for i in 0..n {
+            let off = i * 4;
+            self.values.push(f32::from_le_bytes(
+                self.scratch[off..off + 4].try_into().expect("fixed"),
+            ));
+        }
+        cur.z_next += nz;
+        let (id, dims) = (cur.id, cur.dims);
+        Ok(Some(Slab {
+            chunk: id,
+            dims,
+            z0,
+            nz,
+            data: &self.values,
+        }))
+    }
+
+    /// Seek past whatever payload of the current chunk has not been
+    /// streamed yet (cheap skip of unselected chunks).
+    fn skip_rest_of_chunk(&mut self) -> io::Result<()> {
+        if let Some(cur) = self.cur.take() {
+            let plane_bytes = (cur.dims.nx * cur.dims.ny) as u64 * 4;
+            let left = plane_bytes * (cur.dims.nz - cur.z_next) as u64;
+            if left > 0 {
+                self.fh.seek(SeekFrom::Current(left as i64))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Assemble the full grid of the *current* chunk by streaming its
+    /// remaining slabs (from-the-start equivalence with
+    /// [`DiskStore::read_chunk`] when called right after
+    /// [`next_chunk`](Self::next_chunk)). The per-slab memory stays
+    /// budget-bounded; only the destination grid is chunk-sized.
+    pub fn assemble_chunk(&mut self) -> io::Result<Option<(ChunkId, RectGrid)>> {
+        let Some(cur) = &self.cur else {
+            return Ok(None);
+        };
+        let (id, dims) = (cur.id, cur.dims);
+        let mut data = Vec::with_capacity(dims.points() as usize);
+        while let Some(slab) = self.next_slab()? {
+            data.extend_from_slice(slab.data);
+        }
+        if data.len() != dims.points() as usize {
+            return Err(bad("streamed chunk incomplete"));
+        }
+        Ok(Some((id, RectGrid { dims, data })))
+    }
+
+    /// Largest slab (in bytes) materialized so far.
+    pub fn peak_slab_bytes(&self) -> usize {
+        self.peak_slab_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diskstore::write_dataset;
+    use crate::store::Dataset;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("dcvol_cursor_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn dataset() -> Dataset {
+        Dataset::generate(Dims::new(9, 9, 17), (2, 2, 4), 6, 99)
+    }
+
+    #[test]
+    fn streamed_chunks_match_materialized_reads() {
+        let dir = tmpdir("equiv");
+        let ds = dataset();
+        let store = write_dataset(&dir, &ds, 0, 2).unwrap();
+        for f in 0..store.n_files() {
+            // A budget far below one chunk: every chunk streams in many
+            // slabs.
+            let mut cur = ChunkCursor::open(&store, FileId(f), 64).unwrap();
+            let full = store.read_file(FileId(f)).unwrap();
+            let mut i = 0;
+            while let Some(hdr) = cur.next_chunk().unwrap() {
+                let (id, grid) = cur.assemble_chunk().unwrap().unwrap();
+                assert_eq!(hdr.id, id);
+                assert_eq!((full[i].0, &full[i].1), (id, &grid), "chunk {}", id.0);
+                i += 1;
+            }
+            assert_eq!(i, full.len());
+            // Scratch stayed bounded: one z-plane of the 5x5-point chunks
+            // is 100 bytes (> the 64-byte budget, so the floor applies).
+            assert!(cur.peak_slab_bytes() <= 5 * 5 * 4, "one plane at most");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slabs_cover_each_chunk_exactly_once() {
+        let dir = tmpdir("cover");
+        let ds = dataset();
+        let store = write_dataset(&dir, &ds, 1, 0).unwrap();
+        let mut cur = ChunkCursor::open(&store, FileId(0), 200).unwrap();
+        while let Some(hdr) = cur.next_chunk().unwrap() {
+            let mut z = 0;
+            while let Some(slab) = cur.next_slab().unwrap() {
+                assert_eq!(slab.z0, z);
+                assert_eq!(
+                    slab.data.len() as u32,
+                    slab.dims.nx * slab.dims.ny * slab.nz
+                );
+                z += slab.nz;
+            }
+            assert_eq!(z, hdr.dims.nz, "slabs tile the z extent");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn skipping_unselected_chunks_seeks_not_reads() {
+        let dir = tmpdir("skip");
+        let ds = dataset();
+        let store = write_dataset(&dir, &ds, 0, 1).unwrap();
+        let ids = store.chunks_in_file(FileId(0)).to_vec();
+        assert!(ids.len() >= 2, "test needs at least two records");
+        // Stream only the last chunk; skip everything before it.
+        let want = *ids.last().unwrap();
+        let mut cur = ChunkCursor::open(&store, FileId(0), 1 << 20).unwrap();
+        let mut got = None;
+        while let Some(hdr) = cur.next_chunk().unwrap() {
+            if hdr.id == want {
+                got = cur.assemble_chunk().unwrap();
+            }
+            // else: next_chunk seeks past the payload.
+        }
+        let (id, grid) = got.expect("found the wanted chunk");
+        assert_eq!(id, want);
+        assert_eq!(grid, store.read_chunk(FileId(0), want).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn big_budget_yields_single_slab_per_chunk() {
+        let dir = tmpdir("one_slab");
+        let ds = dataset();
+        let store = write_dataset(&dir, &ds, 0, 0).unwrap();
+        let mut cur = ChunkCursor::open(&store, FileId(0), 1 << 20).unwrap();
+        while let Some(hdr) = cur.next_chunk().unwrap() {
+            let mut slabs = 0;
+            while let Some(slab) = cur.next_slab().unwrap() {
+                assert_eq!(slab.nz, hdr.dims.nz);
+                slabs += 1;
+            }
+            assert_eq!(slabs, 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -155,6 +155,21 @@ impl DiskStore {
         &self.layout
     }
 
+    /// Filesystem path of one data file (for streaming readers).
+    pub(crate) fn data_file_path(&self, file: FileId) -> PathBuf {
+        file_path(&self.dir, file)
+    }
+
+    /// Open a streaming [`ChunkCursor`](crate::cursor::ChunkCursor) over
+    /// `file`, materializing at most `budget_bytes` of payload per slab.
+    pub fn cursor(
+        &self,
+        file: FileId,
+        budget_bytes: usize,
+    ) -> io::Result<crate::cursor::ChunkCursor> {
+        crate::cursor::ChunkCursor::open(self, file, budget_bytes)
+    }
+
     /// Number of data files.
     pub fn n_files(&self) -> u32 {
         self.n_files

@@ -14,7 +14,9 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod chunks;
+pub mod cursor;
 pub mod decluster;
 pub mod diskstore;
 pub mod grid;
@@ -23,7 +25,9 @@ pub mod parssim;
 pub mod query;
 pub mod store;
 
+pub use cache::{CacheKey, CacheStats, ChunkCache};
 pub use chunks::{ChunkId, ChunkInfo, ChunkLayout};
+pub use cursor::{ChunkCursor, ChunkHeader, Slab};
 pub use decluster::{hilbert_decluster, Declustering, FileId, FilePlacement};
 pub use diskstore::{write_dataset, DiskStore};
 pub use grid::{Dims, RectGrid};

@@ -325,3 +325,152 @@ fn tile_hash_delivery_steady_state_is_allocation_free() {
          delivery path is allocating per buffer",
     );
 }
+
+// ---- warm chunk cache ------------------------------------------------------
+
+use volume::{CacheKey, ChunkCache, ChunkId, Dims, RectGrid};
+
+fn cache_key(c: u32) -> CacheKey {
+    CacheKey {
+        species: 0,
+        timestep: 0,
+        chunk: ChunkId(c),
+    }
+}
+
+/// A warm cache with `n` resident grids, each filled with its own index
+/// so delivered payloads are checksummable.
+fn warm_cache(n: u32) -> Arc<ChunkCache> {
+    let cache = ChunkCache::new(1 << 24);
+    for c in 0..n {
+        cache.insert(
+            cache_key(c),
+            Arc::new(RectGrid::filled(Dims::new(8, 8, 8), c as f32)),
+        );
+    }
+    cache
+}
+
+/// A cache hit is an `Arc` clone: strictly zero heap allocations, not
+/// just amortized-zero. This is the direct proof behind the cache module
+/// docs' claim.
+#[test]
+fn warm_cache_hits_are_strictly_allocation_free() {
+    let cache = warm_cache(8);
+    // Warm the lock and the counter cachelines.
+    for c in 0..8 {
+        assert!(cache.get(cache_key(c)).is_some());
+    }
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut touched = 0u64;
+    for i in 0..10_000u32 {
+        let g = cache.get(cache_key(i % 8)).expect("warm entry");
+        touched = touched.wrapping_add(g.data[0] as u64);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "10,000 cache hits allocated — an Arc clone must not touch the heap"
+    );
+    assert_eq!(touched, 10_000 / 8 * (0..8).sum::<u64>());
+}
+
+/// Source that serves every buffer from a warm [`ChunkCache`]: the
+/// payload is the hit's `Arc` clone, shipped through the recycling slab
+/// exactly the way the budgeted reader stage ships resident chunks.
+struct CachedSrc {
+    n: u32,
+    cache: Arc<ChunkCache>,
+}
+impl Filter for CachedSrc {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        for i in 0..self.n {
+            let g = self.cache.get(cache_key(i % 8));
+            debug_assert!(g.is_some(), "warm entry");
+            // `Option` wrapper gives the recycled box its hollow state
+            // (`recycle` needs `Default`); same size as the bare `Arc`.
+            let b = ctx.buffer_slab().make(g, 128);
+            ctx.write(0, b);
+        }
+        Ok(())
+    }
+}
+
+/// Consumer folding the cached grids' fill values (proof the shared data
+/// actually arrived) and recycling the boxes back to the slab.
+struct CachedSink {
+    sum: Arc<Mutex<u64>>,
+}
+impl Filter for CachedSink {
+    fn process(&mut self, ctx: &mut FilterCtx) -> Result<(), FilterError> {
+        let mut local = 0u64;
+        while let Some(b) = ctx.read(0) {
+            let g: Option<Arc<RectGrid>> = ctx.buffer_slab().recycle(b);
+            local = local.wrapping_add(g.expect("payload present").data[0] as u64);
+        }
+        *self.sum.lock() = local;
+        Ok(())
+    }
+}
+
+fn run_once_cached(policy: WritePolicy, n: u32) -> (u64, u64) {
+    let (topo, hosts) = topology();
+    // Built and warmed before the measured window, like the run-wide
+    // cache a prior query already populated.
+    let cache = warm_cache(8);
+    let sum: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+    let sum2 = sum.clone();
+    let mut g = GraphBuilder::new();
+    let src = g.add_filter("src", Placement::on_host(hosts[0], 1), move |_| CachedSrc {
+        n,
+        cache: cache.clone(),
+    });
+    let sink = g.add_filter("sink", Placement::on_host(hosts[1], 1), move |_| {
+        CachedSink { sum: sum2.clone() }
+    });
+    g.connect(src, sink, policy);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    Run::new(g.build())
+        .go(&topo)
+        .expect("cached pipeline run failed");
+    let after = ALLOCS.load(Ordering::Relaxed);
+    let got = *sum.lock();
+    (after - before, got)
+}
+
+fn expected_cached_sum(n: u32) -> u64 {
+    (0..n as u64).map(|i| i % 8).sum()
+}
+
+/// The full cache-hit delivery path — lookup, `Arc`-clone payload, slab
+/// box, channel, recycle — reaches the same zero-allocation steady state
+/// as the plain delivery path: a warm out-of-core reader adds no
+/// per-chunk heap traffic on top of it.
+#[test]
+fn warm_cache_delivery_steady_state_is_allocation_free() {
+    const SMALL: u32 = 200;
+    const LARGE: u32 = 2000;
+    for policy in [WritePolicy::RoundRobin, WritePolicy::demand_driven()] {
+        let _ = run_once_cached(policy, SMALL);
+
+        let (small_allocs, small_sum) = run_once_cached(policy, SMALL);
+        let (large_allocs, large_sum) = run_once_cached(policy, LARGE);
+        assert_eq!(small_sum, expected_cached_sum(SMALL));
+        assert_eq!(large_sum, expected_cached_sum(LARGE));
+
+        let extra_buffers = (LARGE - SMALL) as i64;
+        let delta = large_allocs as i64 - small_allocs as i64;
+        assert!(
+            delta <= extra_buffers / 64,
+            "{} + warm cache: {} extra allocations for {} extra delivered \
+             buffers ({} vs {} total) — the cache-hit delivery path is \
+             allocating per buffer",
+            policy.label(),
+            delta,
+            extra_buffers,
+            large_allocs,
+            small_allocs,
+        );
+    }
+}

@@ -391,3 +391,181 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Out-of-core data plane properties: the shared chunk cache, the spill
+// ring, and the memory-budget ledger. These pin the accounting invariants
+// the budgeted pipeline leans on — a cache that overshoots its capacity or
+// a ledger that leaks grants would silently defeat the whole budget.
+
+use datacutter::{MemoryBudget, SpillCodec, SpillRing, SpillTicket, StreamOoc};
+use volume::{CacheKey, ChunkCache, ChunkId, Dims, RectGrid};
+
+/// Minimal xorshift so scrambled orders derive from one proptest input.
+fn scramble(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Chunk-cache accounting holds after EVERY operation for random
+    /// interleavings of inserts (including same-key refreshes that grow or
+    /// shrink the entry) and lookups: the hit/miss counters sum to exactly
+    /// the lookups we issued, resident bytes never exceed capacity, and a
+    /// hit always returns the grid most recently inserted under its key —
+    /// never a stale refresh victim or another key's data.
+    #[test]
+    fn chunk_cache_accounting_holds_after_every_op(
+        cap_units in 1u64..5,
+        ops in prop::collection::vec((any::<bool>(), 0u32..10, 2u32..7), 1..120),
+    ) {
+        // Capacity in units of the largest possible entry, so any entry
+        // fits alone but small capacities force constant CLOCK churn.
+        let unit = Dims::new(6, 6, 6).byte_size();
+        let cache = ChunkCache::new(cap_units * unit);
+        // Model: last fill value inserted under each key. The cache may
+        // hold a subset of the model (evictions), never a superset.
+        let mut model: std::collections::HashMap<CacheKey, f32> = Default::default();
+        let mut lookups = 0u64;
+        for (i, (is_insert, key_sel, side)) in ops.into_iter().enumerate() {
+            let key = CacheKey {
+                species: key_sel % 2,
+                timestep: key_sel / 5,
+                chunk: ChunkId(key_sel % 5),
+            };
+            if is_insert {
+                let fill = i as f32;
+                let grid = Arc::new(RectGrid::filled(Dims::new(side, side, side), fill));
+                prop_assert!(cache.insert(key, grid), "entry sized to fit was rejected");
+                model.insert(key, fill);
+            } else {
+                lookups += 1;
+                if let Some(g) = cache.get(key) {
+                    prop_assert_eq!(
+                        Some(g.data[0]),
+                        model.get(&key).copied(),
+                        "hit returned a stale or foreign grid"
+                    );
+                }
+            }
+            let s = cache.stats();
+            prop_assert_eq!(s.hits + s.misses, lookups);
+            prop_assert!(
+                s.resident_bytes <= s.capacity_bytes,
+                "resident {} exceeds capacity {}",
+                s.resident_bytes,
+                s.capacity_bytes
+            );
+        }
+    }
+
+    /// Spill-ring round trips are bit-identical for random payload sizes
+    /// and contents, across out-of-order redemption and slot reuse, and
+    /// the byte counters conserve (everything spilled is faulted back).
+    /// After full drain the coalesced free list must satisfy any
+    /// frontier-sized allocation without growing the file.
+    #[test]
+    fn spill_ring_round_trips_bit_identical(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..512), 1..32),
+        order_seed in any::<u64>(),
+    ) {
+        let mut order_seed = order_seed | 1; // xorshift must not start at 0
+        let ring = SpillRing::create().expect("spill ring");
+        let mut parked: Vec<(SpillTicket, Vec<u8>)> = payloads
+            .iter()
+            .map(|p| (ring.spill(p).expect("spill"), p.clone()))
+            .collect();
+        while !parked.is_empty() {
+            let i = (scramble(&mut order_seed) >> 16) as usize % parked.len();
+            let (ticket, want) = parked.swap_remove(i);
+            prop_assert_eq!(ticket.len() as usize, want.len());
+            let got = ring.fault(ticket).expect("fault");
+            prop_assert_eq!(got, want, "spilled bytes came back different");
+        }
+        prop_assert_eq!(ring.spill_bytes(), ring.fault_bytes());
+        prop_assert_eq!(ring.spills(), ring.faults());
+        // Everything was freed: one more spill of frontier size must slot
+        // into the coalesced free space, not extend the file.
+        let frontier = ring.frontier_bytes();
+        if frontier > 0 {
+            let refill = vec![0xA5u8; frontier as usize];
+            let t = ring.spill(&refill).expect("refill spill");
+            prop_assert_eq!(ring.frontier_bytes(), frontier, "free list failed to coalesce");
+            ring.discard(t);
+        }
+    }
+
+    /// The chunk spill codec survives arbitrary `f32` bit patterns —
+    /// NaNs, infinities, negative zero — through a full encode → spill →
+    /// fault → decode round trip, bit for bit.
+    #[test]
+    fn chunk_payload_spill_codec_is_bit_exact(
+        origin in (any::<u32>(), any::<u32>(), any::<u32>()),
+        nx in 1u32..5,
+        ny in 1u32..5,
+        nz in 1u32..5,
+        bit_seed in any::<u64>(),
+    ) {
+        let mut bit_seed = bit_seed | 1;
+        let n = (nx * ny * nz) as usize;
+        let data: Vec<f32> = (0..n)
+            .map(|_| f32::from_bits(scramble(&mut bit_seed) as u32))
+            .collect();
+        let payload = dcapp::ChunkPayload {
+            origin,
+            grid: RectGrid { dims: Dims { nx, ny, nz }, data },
+        };
+        let mut bytes = Vec::new();
+        payload.spill_encode(&mut bytes);
+        let ring = SpillRing::create().expect("spill ring");
+        let ticket = ring.spill(&bytes).expect("spill");
+        let back = ring.fault(ticket).expect("fault");
+        let decoded = dcapp::ChunkPayload::spill_decode(&back).expect("decode");
+        prop_assert_eq!(decoded.origin, payload.origin);
+        prop_assert_eq!(decoded.grid.dims, payload.grid.dims);
+        let want: Vec<u32> = payload.grid.data.iter().map(|f| f.to_bits()).collect();
+        let got: Vec<u32> = decoded.grid.data.iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(got, want, "f32 bit patterns drifted through the spill path");
+    }
+
+    /// Ledger conservation: for any interleaving of charges and
+    /// discharges, `granted − released == resident` on the run-wide
+    /// ledger, the stream's resident count matches its outstanding
+    /// payloads exactly, and the spill verdict flips precisely when the
+    /// stream crosses its share.
+    #[test]
+    fn memory_budget_conserves_bytes(
+        share in 1u64..10_000,
+        ops in prop::collection::vec((any::<bool>(), 1u64..5_000), 1..200),
+    ) {
+        let ledger = MemoryBudget::new(share * 4);
+        let ring = SpillRing::create().expect("spill ring");
+        let stream = StreamOoc::new(ledger.clone(), ring, share);
+        let mut outstanding: Vec<u64> = Vec::new();
+        for (is_charge, bytes) in ops {
+            if is_charge || outstanding.is_empty() {
+                let over = stream.charge(bytes);
+                outstanding.push(bytes);
+                let resident: u64 = outstanding.iter().sum();
+                prop_assert_eq!(over, resident > share, "spill verdict disagrees with share");
+            } else {
+                let bytes = outstanding.pop().expect("non-empty");
+                stream.discharge(bytes);
+            }
+            let expect: u64 = outstanding.iter().sum();
+            prop_assert_eq!(stream.resident(), expect);
+            prop_assert_eq!(ledger.resident(), expect);
+            prop_assert_eq!(ledger.granted() - ledger.released(), ledger.resident());
+        }
+        // Drain: a balanced ledger ends exactly where it started.
+        for bytes in outstanding.drain(..) {
+            stream.discharge(bytes);
+        }
+        prop_assert_eq!(stream.resident(), 0);
+        prop_assert_eq!(ledger.granted(), ledger.released());
+    }
+}

@@ -1,0 +1,246 @@
+//! Out-of-core acceptance suite: a seeded 1/16-of-a-timestep memory
+//! budget — tight enough to force real spill traffic through the
+//! temp-file ring — must change **when** payloads sit in memory, never
+//! **what** the pipeline computes:
+//!
+//! - bit-identical pixels and per-stream delivery totals on the
+//!   virtual-time simulator under RR, WRR, DD, and the tile-hash merge
+//!   grouping;
+//! - bit-identical pixels on the wall-clock `NativeExecutor` and the
+//!   cooperative `TaskedExecutor`;
+//! - bit-identical pixels with a seeded mid-run host crash recovered by
+//!   `Recovery::Lossless` while the run is actively spilling;
+//! - and the shared chunk cache must at least halve the disk-model read
+//!   events of a warm re-read.
+
+use std::sync::Arc;
+
+use datacutter::{FaultOptions, NativeExecutor, Placement, TaskedExecutor, WritePolicy};
+use dcapp::{
+    clone_config, lossless_options, run_pipeline, run_pipeline_exec, run_pipeline_faulted,
+    Algorithm, Grouping, PipelineSpec, SharedConfig,
+};
+use hetsim::{FaultPlan, HostId, SimDuration, SimTime, Topology};
+use integration_tests::{cluster, image_digest, stream_totals_digest, test_cfg, test_dataset};
+
+/// `cfg` with an in-flight budget of `1/denom` of one timestep's bytes.
+fn budgeted(cfg: &SharedConfig, denom: u64) -> SharedConfig {
+    let mut c = clone_config(cfg);
+    c.memory_budget_bytes = c.dataset.timestep_bytes() / denom.max(1);
+    c.validate().expect("budgeted config validates");
+    Arc::new(c)
+}
+
+/// The recovery-suite `R–E–Ra–M` shape: data on host 0, extract
+/// replicated on hosts 1–2, raster on 3, merge on 4. Chunk payloads
+/// queue on the cross-host R→E streams — exactly what a shrinking
+/// budget squeezes into the spill ring.
+fn four_stage(hosts: &[HostId], policy: WritePolicy) -> PipelineSpec {
+    PipelineSpec {
+        grouping: Grouping::FourStage {
+            extract: Placement::one_per_host(&[hosts[1], hosts[2]]),
+            raster: Placement::on_host(hosts[3], 1),
+        },
+        algorithm: Algorithm::ZBuffer,
+        policy,
+        merge_host: hosts[4],
+    }
+}
+
+/// Tile-owned compositing (the `TileHash`-routed merge group) on hosts
+/// 2–3, raster on host 1.
+fn tiled(hosts: &[HostId]) -> PipelineSpec {
+    PipelineSpec {
+        grouping: Grouping::TileComposite {
+            raster: Placement::on_host(hosts[1], 1),
+            merge: Placement::one_per_host(&[hosts[2], hosts[3]]),
+        },
+        algorithm: Algorithm::ActivePixel,
+        policy: WritePolicy::demand_driven(),
+        merge_host: hosts[4],
+    }
+}
+
+fn assert_spilled(label: &str, r: &dcapp::PipelineResult) {
+    let ooc = r.report.ooc;
+    assert!(ooc.spills > 0, "{label}: a 1/16 budget must force spills");
+    assert_eq!(
+        ooc.spills, ooc.faults,
+        "{label}: every spilled buffer re-faults exactly once"
+    );
+    assert_eq!(ooc.spill_bytes, ooc.fault_bytes, "{label}");
+    assert_eq!(
+        ooc.resident_bytes(),
+        0,
+        "{label}: the ledger drains when the run completes \
+         (granted {} released {})",
+        ooc.granted_bytes,
+        ooc.released_bytes
+    );
+}
+
+/// Simulator identity matrix: RR, WRR, DD, and the tile-hash merge
+/// grouping, each unbudgeted vs 1/16-budgeted. Pixels must be
+/// bit-identical everywhere; per-stream delivery totals additionally
+/// pin under the deterministic policies (RR/WRR). Demand-driven routing
+/// reacts to virtual-clock timing, which spill/fault disk time shifts,
+/// so DD legitimately redistributes deliveries — but never bits.
+#[test]
+fn budget_1_16_is_bit_identical_on_sim_all_policies() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(11), vec![hosts[0]], 96);
+    let specs: Vec<(&str, bool, PipelineSpec)> = vec![
+        ("rr", true, four_stage(&hosts, WritePolicy::RoundRobin)),
+        (
+            "wrr",
+            true,
+            four_stage(&hosts, WritePolicy::WeightedRoundRobin),
+        ),
+        (
+            "dd",
+            false,
+            four_stage(&hosts, WritePolicy::demand_driven()),
+        ),
+        ("tile-hash", false, tiled(&hosts)),
+    ];
+    for (label, exact_totals, spec) in &specs {
+        let free = run_pipeline(&topo, &cfg, spec).expect("unbudgeted sim run");
+        assert_eq!(
+            free.report.ooc.spills, 0,
+            "{label}: unbudgeted never spills"
+        );
+        let tight_cfg = budgeted(&cfg, 16);
+        let tight = run_pipeline(&topo, &tight_cfg, spec).expect("budgeted sim run");
+        assert_spilled(&format!("sim/{label}"), &tight);
+        assert_eq!(
+            tight.image.diff_pixels(&free.image),
+            0,
+            "{label}: a memory budget may cost time, never bits"
+        );
+        if *exact_totals {
+            assert_eq!(
+                stream_totals_digest(&tight),
+                stream_totals_digest(&free),
+                "{label}: spilling must not change what any stream delivered"
+            );
+        }
+    }
+}
+
+/// Wall-clock identity: the budgeted run on the thread-per-copy and the
+/// cooperative executors renders the same pixels as the simulator's
+/// unbudgeted reference, with real spill traffic on both.
+#[test]
+fn budget_1_16_is_bit_identical_on_native_and_tasked() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(11), vec![hosts[0]], 96);
+    for (label, spec) in [
+        ("dd", four_stage(&hosts, WritePolicy::demand_driven())),
+        ("tile-hash", tiled(&hosts)),
+    ] {
+        let free = run_pipeline(&topo, &cfg, &spec).expect("unbudgeted sim run");
+        let want = image_digest(&free.image);
+        let tight_cfg = budgeted(&cfg, 16);
+        let native = run_pipeline_exec(&topo, &tight_cfg, &spec, NativeExecutor::new())
+            .expect("budgeted native run");
+        assert_spilled(&format!("native/{label}"), &native);
+        assert_eq!(
+            image_digest(&native.image),
+            want,
+            "native/{label}: budgeted wall-clock pixels diverged"
+        );
+        let tasked = run_pipeline_exec(&topo, &tight_cfg, &spec, TaskedExecutor::with_workers(2))
+            .expect("budgeted tasked run");
+        assert_spilled(&format!("tasked/{label}"), &tasked);
+        assert_eq!(
+            image_digest(&tasked.image),
+            want,
+            "tasked/{label}: budgeted cooperative pixels diverged"
+        );
+    }
+}
+
+/// Crash-under-spill: a seeded mid-run host crash recovered losslessly
+/// while the budget is actively spilling. The retention/replay machinery
+/// and the spill ring share the delivery path; neither may cost a pixel
+/// or a byte of loss.
+#[test]
+fn budget_1_16_survives_seeded_mid_run_crash_losslessly() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(11), vec![hosts[0]], 96);
+    let tight_cfg = budgeted(&cfg, 16);
+    for policy in [WritePolicy::RoundRobin, WritePolicy::demand_driven()] {
+        let spec = four_stage(&hosts, policy);
+        let clean = run_pipeline(&topo, &tight_cfg, &spec).expect("budgeted fault-free run");
+        assert_spilled(&format!("clean/{}", policy.label()), &clean);
+        let crash_at = SimTime::ZERO + clean.elapsed.mul_f64(0.25);
+        let plan = FaultPlan::new().crash_host(hosts[2], crash_at);
+        let opts = lossless_options(
+            &tight_cfg,
+            FaultOptions::new(plan).liveness_timeout(SimDuration::from_millis(2)),
+        );
+        let faulted = run_pipeline_faulted(&topo, &tight_cfg, &spec, opts)
+            .expect("budgeted lossless crash run completes");
+        let f = &faulted.report.faults;
+        assert!(f.copies_killed >= 1, "{}: victim must die", policy.label());
+        assert_eq!(
+            f.buffers_lost,
+            0,
+            "{}: lossless loses nothing",
+            policy.label()
+        );
+        assert_eq!(f.bytes_lost, 0, "{}", policy.label());
+        assert!(
+            faulted.report.ooc.spills > 0,
+            "{}: the crash run must still be spilling",
+            policy.label()
+        );
+        assert_eq!(
+            faulted.image.diff_pixels(&clean.image),
+            0,
+            "{}: recovered budgeted image must be bit-identical",
+            policy.label()
+        );
+    }
+}
+
+/// Disk-model read events summed over every disk in the cluster.
+fn disk_reads(topo: &Topology) -> u64 {
+    topo.hosts()
+        .iter()
+        .flat_map(|h| &h.disks)
+        .map(|d| d.reads())
+        .sum()
+}
+
+/// The warm-cache acceptance bar: a second pass over the same selection
+/// through the shared chunk cache must issue at most half the cold
+/// pass's disk-model read events (it actually issues zero — every chunk
+/// fits — but the bar is the contract).
+#[test]
+fn warm_cache_at_least_halves_disk_read_events() {
+    let (topo, hosts) = cluster(5);
+    let cfg = test_cfg(test_dataset(11), vec![hosts[0]], 96);
+    let mut c = clone_config(&cfg);
+    c.cache_capacity = c.dataset.timestep_bytes();
+    let c: SharedConfig = Arc::new(c);
+    let spec = four_stage(&hosts, WritePolicy::demand_driven());
+
+    let before = disk_reads(&topo);
+    let cold = run_pipeline(&topo, &c, &spec).expect("cold run");
+    let cold_reads = disk_reads(&topo) - before;
+
+    let before = disk_reads(&topo);
+    let warm = run_pipeline(&topo, &c, &spec).expect("warm run");
+    let warm_reads = disk_reads(&topo) - before;
+
+    assert_eq!(warm.image.diff_pixels(&cold.image), 0);
+    assert!(cold_reads > 0, "cold run must read from the disk model");
+    assert!(
+        warm_reads * 2 <= cold_reads,
+        "warm cache must at least halve disk read events (cold {cold_reads}, warm {warm_reads})"
+    );
+    let stats = c.chunk_cache().expect("cache wired").stats();
+    assert!(stats.hits > 0, "warm pass must actually hit");
+    assert!(stats.resident_bytes <= stats.capacity_bytes);
+}
