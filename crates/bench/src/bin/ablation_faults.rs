@@ -17,13 +17,24 @@
 //! `lost > 0` or `diff_px > 0` is a regression, and the
 //! `recovered_overhead` ratio tracks what losslessness costs.
 //!
+//! A second section ablates the **self-healing storage plane** on a
+//! memory-budgeted (spilling) run and writes `BENCH_storage.json`:
+//!
+//! - **baseline** — budgeted, checksummed spill frames (the default);
+//! - **no-checksum** — the same run with `checksum_spills = false`,
+//!   isolating what the FNV trailer costs;
+//! - **chaos** — seeded transient disk-error windows on every host,
+//!   healed by the retry/backoff ladder; must finish with `lost == 0`
+//!   and the exact baseline image, so CI gates the storage contract the
+//!   same way it gates lossless recovery.
+//!
 //! Usage: `ablation_faults [--out FILE] [--no-out]`
 
 use bench::{make_cfg, small_dataset, Table};
-use datacutter::{FaultOptions, Placement, WritePolicy};
+use datacutter::{DiskFaultKind, FaultOptions, Placement, WritePolicy};
 use dcapp::{lossless_options, Algorithm, Grouping, PipelineSpec};
 use hetsim::presets::rogue_blue_mix;
-use hetsim::{FaultPlan, SimTime};
+use hetsim::{FaultPlan, SimDuration, SimTime};
 use volume::FilePlacement;
 
 struct Row {
@@ -172,7 +183,7 @@ fn main() {
          with every dropped buffer accounted"
     );
 
-    if let Some(path) = out {
+    if let Some(path) = out.clone() {
         let mut json = String::from("[\n");
         for (i, r) in rows.iter().enumerate() {
             json.push_str(&format!(
@@ -192,6 +203,183 @@ fn main() {
         }
         json.push_str("]\n");
         std::fs::write(&path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+
+    storage_ablation(out.is_some());
+}
+
+/// One row of the storage-plane ablation.
+struct StorageRow {
+    id: String,
+    virtual_s: f64,
+    spills: u64,
+    spill_bytes: u64,
+    errors: u64,
+    retries: u64,
+    denied: u64,
+    corruptions: u64,
+    lost: u64,
+    diff_px: u64,
+}
+
+/// Checksum + retry overhead on a memory-budgeted (actively spilling)
+/// demand-driven run, with the healed-chaos contract gated by asserts.
+/// Writes `BENCH_storage.json` when `write_out` is set.
+fn storage_ablation(write_out: bool) {
+    let ds = small_dataset();
+    let (topo, rogues, blues) = rogue_blue_mix(2);
+    let base = make_cfg(ds, vec![blues[0], blues[1]], 2, 512);
+    let spec = PipelineSpec {
+        grouping: Grouping::FourStage {
+            extract: Placement::one_per_host(&[rogues[0], rogues[1]]),
+            raster: Placement::on_host(blues[1], 1),
+        },
+        algorithm: Algorithm::ZBuffer,
+        policy: WritePolicy::demand_driven(),
+        merge_host: blues[0],
+    };
+    // A 1/16-of-a-timestep budget forces real spill traffic, so the
+    // checksum and the retry ladder are both actually on the data path.
+    let budgeted = |checksum: bool| {
+        let mut c = dcapp::clone_config(&base);
+        c.memory_budget_bytes = c.dataset.timestep_bytes() / 16;
+        c.checksum_spills = checksum;
+        std::sync::Arc::new(c)
+    };
+    let with_cs = budgeted(true);
+    let without_cs = budgeted(false);
+
+    let baseline = dcapp::run_pipeline(&topo, &with_cs, &spec).expect("budgeted baseline");
+    assert!(
+        baseline.report.ooc.spills > 0,
+        "REGRESSION: the storage ablation budget no longer spills"
+    );
+    let raw = dcapp::run_pipeline(&topo, &without_cs, &spec).expect("checksum-off run");
+    let raw_diff = raw.image.diff_pixels(&baseline.image);
+    assert_eq!(raw_diff, 0, "REGRESSION: checksums changed pixels");
+
+    // Transient error windows on every host, both directions, healed by
+    // the seeded retry/backoff ladder.
+    let mut plan = FaultPlan::new().storage_seed(0x57AB);
+    for h in topo.hosts().iter().map(|h| h.id) {
+        plan = plan
+            .disk_error(
+                h,
+                SimTime::ZERO,
+                SimDuration::from_secs(3600),
+                0.25,
+                DiskFaultKind::Write,
+            )
+            .disk_error(
+                h,
+                SimTime::ZERO,
+                SimDuration::from_secs(3600),
+                0.25,
+                DiskFaultKind::Read,
+            );
+    }
+    let chaos = dcapp::run_pipeline_faulted(&topo, &with_cs, &spec, FaultOptions::new(plan))
+        .expect("storage-chaos run");
+    let cf = &chaos.report.faults;
+    assert!(
+        cf.disk_errors_injected > 0,
+        "REGRESSION: the storage chaos plan injected nothing: {cf}"
+    );
+    assert_eq!(
+        cf.buffers_lost, 0,
+        "REGRESSION: transient storage faults lost buffers: {cf}"
+    );
+    let chaos_diff = chaos.image.diff_pixels(&baseline.image);
+    assert_eq!(
+        chaos_diff, 0,
+        "REGRESSION: healed storage chaos diverged from the baseline image"
+    );
+
+    let row = |id: &str, r: &dcapp::PipelineResult, diff: u64| {
+        let f = &r.report.faults;
+        StorageRow {
+            id: format!("storage/{id}"),
+            virtual_s: r.elapsed.as_secs_f64(),
+            spills: r.report.ooc.spills,
+            spill_bytes: r.report.ooc.spill_bytes,
+            errors: f.disk_errors_injected,
+            retries: f.storage_retries,
+            denied: f.spills_denied,
+            corruptions: f.corruptions_detected,
+            lost: f.buffers_lost,
+            diff_px: diff,
+        }
+    };
+    let rows = vec![
+        row("no-checksum", &raw, raw_diff),
+        row("baseline", &baseline, 0),
+        row("chaos", &chaos, chaos_diff),
+    ];
+
+    let mut t = Table::new(&[
+        "cell",
+        "virtual s",
+        "spills",
+        "spill B",
+        "errors",
+        "retries",
+        "denied",
+        "corrupt",
+        "lost",
+        "diff px",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.id.clone(),
+            format!("{:.2}", r.virtual_s),
+            r.spills.to_string(),
+            r.spill_bytes.to_string(),
+            r.errors.to_string(),
+            r.retries.to_string(),
+            r.denied.to_string(),
+            r.corruptions.to_string(),
+            r.lost.to_string(),
+            r.diff_px.to_string(),
+        ]);
+    }
+    t.print(
+        "Ablation: checksummed spill frames and the storage retry ladder \
+         on a 1/16-budget DD run (2 Blue storage, 2 Rogue extract, \
+         ZBuffer 512x512)",
+    );
+    println!(
+        "storage/baseline: checksum overhead {:.3}x over no-checksum; \
+         storage/chaos: retry overhead {:.3}x over baseline \
+         (lost = 0, diff px = 0 in every arm)",
+        rows[1].virtual_s / rows[0].virtual_s,
+        rows[2].virtual_s / rows[1].virtual_s
+    );
+
+    if write_out {
+        let path = "BENCH_storage.json";
+        let mut json = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"id\": \"{}\", \"virtual_s\": {:.3}, \"spills\": {}, \
+                 \"spill_bytes\": {}, \"errors\": {}, \"retries\": {}, \
+                 \"denied\": {}, \"corruptions\": {}, \"lost\": {}, \
+                 \"diff_px\": {}}}{}\n",
+                r.id,
+                r.virtual_s,
+                r.spills,
+                r.spill_bytes,
+                r.errors,
+                r.retries,
+                r.denied,
+                r.corruptions,
+                r.lost,
+                r.diff_px,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("]\n");
+        std::fs::write(path, json).expect("write storage bench json");
         println!("wrote {path}");
     }
 }

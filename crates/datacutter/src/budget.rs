@@ -273,8 +273,9 @@ impl std::fmt::Debug for SpillRing {
 pub struct StreamOoc {
     /// Run-wide ledger.
     pub ledger: Arc<MemoryBudget>,
-    /// Run-wide spill backing store.
-    pub ring: Arc<SpillRing>,
+    /// Run-wide storage control block: the (lazily created) spill ring
+    /// plus the fault-verdict and retry machinery of the storage ladder.
+    pub storage: Arc<crate::storage::StorageCtl>,
     /// This stream's byte share of the run budget.
     pub share: u64,
     /// Bytes of in-flight queue payloads currently in memory.
@@ -283,10 +284,14 @@ pub struct StreamOoc {
 
 impl StreamOoc {
     /// Out-of-core state for one stream.
-    pub fn new(ledger: Arc<MemoryBudget>, ring: Arc<SpillRing>, share: u64) -> Arc<StreamOoc> {
+    pub fn new(
+        ledger: Arc<MemoryBudget>,
+        storage: Arc<crate::storage::StorageCtl>,
+        share: u64,
+    ) -> Arc<StreamOoc> {
         Arc::new(StreamOoc {
             ledger,
-            ring,
+            storage,
             share,
             resident: AtomicU64::new(0),
         })
@@ -392,8 +397,8 @@ mod tests {
     #[test]
     fn stream_ooc_share_tripwire() {
         let ledger = MemoryBudget::new(1000);
-        let ring = SpillRing::create().unwrap();
-        let s = StreamOoc::new(ledger.clone(), ring, 100);
+        let storage = crate::storage::StorageCtl::healthy();
+        let s = StreamOoc::new(ledger.clone(), storage, 100);
         assert!(!s.charge(60), "under share");
         assert!(s.charge(60), "over share");
         assert_eq!(s.resident(), 120);

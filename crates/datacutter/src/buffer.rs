@@ -75,7 +75,18 @@ struct SpillFns {
 /// spill ring.
 struct SpilledPayload {
     ticket: SpillTicket,
+    /// The ring holding the ticket — carried per payload so parked
+    /// frames survive a storage-ladder ring re-creation (old tickets
+    /// redeem against the retired ring they were written to, which the
+    /// `Arc` keeps alive).
+    ring: Arc<SpillRing>,
 }
+
+/// Tombstone installed when a spilled payload was lost to the storage
+/// plane (corrupt frame, or read retries exhausted and the slot
+/// discarded). The loss itself is accounted by the caller; the tombstone
+/// just makes a second redeem/discard inert.
+struct LostPayload;
 
 /// A unit of data flowing on a stream.
 pub struct DataBuffer {
@@ -188,37 +199,51 @@ impl DataBuffer {
         self.payload.is::<SpilledPayload>()
     }
 
-    /// The parked payload's ring ticket, when spilled. Used to discard a
-    /// suppressed duplicate's slot without paying the read.
-    pub(crate) fn spilled_ticket(&self) -> Option<SpillTicket> {
-        self.payload
-            .downcast_ref::<SpilledPayload>()
-            .map(|s| s.ticket)
-    }
-
-    /// Park the payload in `ring`, dropping the in-memory box (that drop
-    /// is the actual memory release the budget manager banks on). Returns
-    /// the encoded byte count. No-op `Ok(0)` on non-spillable or
-    /// already-spilled buffers.
-    pub(crate) fn spill_out(&mut self, ring: &SpillRing) -> io::Result<u64> {
-        let Some(fns) = self.spill else {
-            return Ok(0);
-        };
+    /// The parked payload's spill frame: the codec's encoding, sealed
+    /// with the FNV-1a checksum trailer when `checksum` is set. `None` on
+    /// non-spillable or already-spilled buffers. Encoding is separated
+    /// from the ring write so the storage ladder can retry a failing
+    /// write against the same frame without re-encoding.
+    pub(crate) fn spill_frame(&self, checksum: bool) -> Option<Vec<u8>> {
+        let fns = self.spill?;
         if self.is_spilled() {
-            return Ok(0);
+            return None;
         }
         let mut bytes = Vec::new();
         (fns.encode)(self.payload.as_ref(), &mut bytes);
-        let ticket = ring.spill(&bytes)?;
-        self.payload = Box::new(SpilledPayload { ticket });
-        Ok(bytes.len() as u64)
+        if checksum {
+            crate::storage::seal_frame(&mut bytes);
+        }
+        Some(bytes)
     }
 
-    /// Redeem a spilled payload from `ring`, rebuilding it through `slab`
-    /// (slow path: the rebuild allocates unless the slab has a pooled box
-    /// of the payload type). Returns the encoded byte count read back.
-    /// No-op `Ok(0)` when the buffer is not spilled.
-    pub(crate) fn fault_in(&mut self, ring: &SpillRing, slab: &BufferSlab) -> io::Result<u64> {
+    /// Park the payload: drop the in-memory box (that drop is the actual
+    /// memory release the budget manager banks on) and install the ring
+    /// ticket in its place.
+    pub(crate) fn park(&mut self, ring: Arc<SpillRing>, ticket: SpillTicket) {
+        self.payload = Box::new(SpilledPayload { ticket, ring });
+    }
+
+    /// Redeem a spilled payload from the ring it was parked in,
+    /// rebuilding it through `slab` (slow path: the rebuild allocates
+    /// unless the slab has a pooled box of the payload type). Returns the
+    /// frame byte count read back; `Ok(0)` when the buffer is not
+    /// spilled.
+    ///
+    /// `tamper` is the fault-injection seam: it mutates the raw frame
+    /// between the physical read and verification, exactly where real
+    /// bit-rot lands. With `checksum` set, a mismatching trailer — or an
+    /// undecodable payload — fails with [`io::ErrorKind::InvalidData`];
+    /// the ring slot was already freed by the read, so corruption is
+    /// *not* retryable: the payload becomes a tombstone and the caller
+    /// accounts the loss. A failed physical read (anything but
+    /// `InvalidData`) leaves the ticket intact and may be retried.
+    pub(crate) fn fault_in(
+        &mut self,
+        slab: &BufferSlab,
+        checksum: bool,
+        tamper: &dyn Fn(&mut Vec<u8>),
+    ) -> io::Result<u64> {
         let Some(spilled) = self.payload.downcast_ref::<SpilledPayload>() else {
             return Ok(0);
         };
@@ -226,15 +251,48 @@ impl DataBuffer {
             .spill
             .unwrap_or_else(|| unreachable!("spilled buffers keep their SpillFns"));
         let ticket = spilled.ticket;
-        let bytes = ring.fault(ticket)?;
-        let rebuilt = (fns.decode)(&bytes, slab, self.wire_bytes).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("corrupt spilled payload ({} ring bytes)", bytes.len()),
-            )
-        })?;
-        *self = rebuilt;
-        Ok(bytes.len() as u64)
+        let ring = spilled.ring.clone();
+        let mut bytes = ring.fault(ticket)?;
+        tamper(&mut bytes);
+        let decoded: Result<DataBuffer, String> = (|| {
+            let payload: &[u8] = if checksum {
+                crate::storage::open_frame(&bytes)?
+            } else {
+                &bytes
+            };
+            (fns.decode)(payload, slab, self.wire_bytes).ok_or_else(|| {
+                format!(
+                    "undecodable spilled payload ({} frame bytes)",
+                    payload.len()
+                )
+            })
+        })();
+        match decoded {
+            Ok(rebuilt) => {
+                let n = bytes.len() as u64;
+                *self = rebuilt;
+                Ok(n)
+            }
+            Err(detail) => {
+                // The slot is freed and the frame bytes are wrong: the
+                // payload is gone for good. Tombstone it so discard and
+                // repool paths stay inert.
+                self.payload = Box::new(LostPayload);
+                Err(io::Error::new(io::ErrorKind::InvalidData, detail))
+            }
+        }
+    }
+
+    /// Free a parked payload's ring slot without paying the read (a
+    /// suppressed duplicate, or read retries exhausted) and tombstone
+    /// the payload. `false` when the buffer was not spilled.
+    pub(crate) fn discard_spilled(&mut self) -> bool {
+        let Some(spilled) = self.payload.downcast_ref::<SpilledPayload>() else {
+            return false;
+        };
+        spilled.ring.discard(spilled.ticket);
+        self.payload = Box::new(LostPayload);
+        true
     }
 }
 
@@ -564,6 +622,22 @@ mod tests {
         assert_eq!(slab.allocated(), 1, "clone must reuse the shared box");
     }
 
+    /// Test-side stand-in for the context's spill ladder: encode a frame
+    /// (`checksum` framing optional), park it, return the frame bytes.
+    fn spill(b: &mut DataBuffer, ring: &Arc<SpillRing>, checksum: bool) -> u64 {
+        match b.spill_frame(checksum) {
+            Some(frame) => {
+                let t = ring.spill(&frame).expect("ring spill");
+                b.park(ring.clone(), t);
+                frame.len() as u64
+            }
+            None => 0,
+        }
+    }
+
+    /// The inert tamper closure (fault-free fault-in).
+    fn no_tamper(_: &mut Vec<u8>) {}
+
     #[test]
     fn spillable_buffers_roundtrip_through_the_ring() {
         let slab = BufferSlab::new();
@@ -573,13 +647,13 @@ mod tests {
         assert!(b.is_spillable());
         assert!(!b.is_spilled());
 
-        let wrote = b.spill_out(&ring).unwrap();
+        let wrote = spill(&mut b, &ring, false);
         assert_eq!(wrote, 64);
         assert!(b.is_spilled());
         assert!(b.peek::<Vec<u8>>().is_none(), "payload left memory");
         assert_eq!(b.wire_bytes(), 64, "wire size survives the spill");
 
-        let read = b.fault_in(&ring, &slab).unwrap();
+        let read = b.fault_in(&slab, false, &no_tamper).unwrap();
         assert_eq!(read, 64);
         assert!(!b.is_spilled());
         assert!(b.is_spillable(), "faulted buffers can spill again");
@@ -589,20 +663,48 @@ mod tests {
     }
 
     #[test]
+    fn checksummed_frames_roundtrip_and_detect_tampering() {
+        let slab = BufferSlab::new();
+        let ring = SpillRing::create().unwrap();
+        let data: Vec<u8> = (0..100).map(|i| (i * 7) as u8).collect();
+        let mut b = slab.make_spillable(data.clone(), 100);
+        let wrote = spill(&mut b, &ring, true);
+        assert_eq!(wrote, 100 + 8, "sealed frame carries the trailer");
+        let read = b.fault_in(&slab, true, &no_tamper).unwrap();
+        assert_eq!(read, 100 + 8);
+        assert_eq!(b.downcast::<Vec<u8>>(), data, "checksum costs no bits");
+
+        // A flipped bit under the trailer is detected, the payload is
+        // tombstoned, and the slot does not double-free.
+        let mut c = slab.make_spillable(data.clone(), 100);
+        spill(&mut c, &ring, true);
+        let err = c
+            .fault_in(&slab, true, &|frame| frame[13] ^= 0x20)
+            .expect_err("tampered frame must fail verification");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("checksum mismatch"),
+            "diagnostic names the mismatch: {err}"
+        );
+        assert!(!c.is_spilled(), "lost payload is tombstoned, not parked");
+        assert!(!c.discard_spilled(), "discard after loss is inert");
+    }
+
+    #[test]
     fn spill_is_a_noop_on_plain_and_already_spilled_buffers() {
         let slab = BufferSlab::new();
         let ring = SpillRing::create().unwrap();
-        let mut plain = slab.make(vec![1u8, 2], 2);
-        assert_eq!(plain.spill_out(&ring).unwrap(), 0);
+        let plain = slab.make(vec![1u8, 2], 2);
+        assert!(plain.spill_frame(false).is_none());
         assert!(!plain.is_spilled());
 
         let mut b = slab.make_spillable(vec![5u8; 16], 16);
-        assert_eq!(b.spill_out(&ring).unwrap(), 16);
-        assert_eq!(b.spill_out(&ring).unwrap(), 0, "second spill is a no-op");
+        assert_eq!(spill(&mut b, &ring, false), 16);
+        assert!(b.spill_frame(false).is_none(), "second spill is a no-op");
         assert_eq!(ring.spills(), 1);
         // fault_in on a resident buffer is equally inert.
         let mut resident = slab.make_spillable(vec![7u8; 8], 8);
-        assert_eq!(resident.fault_in(&ring, &slab).unwrap(), 0);
+        assert_eq!(resident.fault_in(&slab, false, &no_tamper).unwrap(), 0);
     }
 
     #[test]
@@ -612,8 +714,8 @@ mod tests {
         let b = slab.make_spillable(vec![9u8; 32], 32);
         let mut r = b.replicate(&slab).expect("spillable implies replicable");
         assert!(r.is_spillable());
-        assert_eq!(r.spill_out(&ring).unwrap(), 32);
-        assert_eq!(r.fault_in(&ring, &slab).unwrap(), 32);
+        assert_eq!(spill(&mut r, &ring, false), 32);
+        assert_eq!(r.fault_in(&slab, false, &no_tamper).unwrap(), 32);
         assert_eq!(r.downcast::<Vec<u8>>(), vec![9u8; 32]);
     }
 
@@ -622,13 +724,12 @@ mod tests {
         let slab = BufferSlab::new();
         let ring = SpillRing::create().unwrap();
         let mut b = slab.make_spillable(vec![3u8; 48], 48);
-        b.spill_out(&ring).unwrap();
-        let t = b.spilled_ticket().expect("spilled buffer has a ticket");
-        ring.discard(t);
+        spill(&mut b, &ring, false);
+        assert!(b.discard_spilled(), "spilled buffer discards its slot");
         assert_eq!(ring.faults(), 0, "discard skips the read");
         // The freed slot is immediately reusable.
         let mut c = slab.make_spillable(vec![4u8; 48], 48);
-        c.spill_out(&ring).unwrap();
+        spill(&mut c, &ring, false);
         assert_eq!(ring.frontier_bytes(), 48, "slot reused, no growth");
     }
 

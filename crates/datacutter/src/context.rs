@@ -242,6 +242,32 @@ impl FilterCtx {
         }
     }
 
+    /// Charge `n` spill-ring bytes to this host's disk model (virtual
+    /// time only), stretched by any active disk-degradation window: a
+    /// disk at factor `f` takes `1/f` the healthy time, so the extra
+    /// `elapsed · (1/f − 1)` is slept on top of the model's charge.
+    fn charge_spill_disk(&self, n: u64, write: bool, storage: &crate::storage::StorageCtl) {
+        if n == 0 {
+            return;
+        }
+        if let ExecEnv::Sim(e) = &self.env {
+            let host = self.topo.host(self.info.host);
+            if let Some(d) = host.disks.first() {
+                let t0 = e.now();
+                if write {
+                    d.write(e, n);
+                } else {
+                    d.read(e, n);
+                }
+                let f = storage.degrade_factor(self.info.host, t0);
+                if f < 1.0 {
+                    let spent = e.now() - t0;
+                    e.delay(spent.mul_f64(1.0 / f - 1.0));
+                }
+            }
+        }
+    }
+
     /// Write-side out-of-core step for one outgoing buffer: charge the
     /// stream's budget share and, when the stream is over it, park the
     /// payload in the spill ring — *after* the retention stamp (the
@@ -249,6 +275,15 @@ impl FilterCtx {
     /// *before* the outbox send. The spill write is charged to this
     /// host's disk model under the virtual-time executor. Returns the
     /// spill's `(ring_bytes, elapsed)`, both zero when nothing spilled.
+    ///
+    /// This is the write side of the storage ladder: the frame is encoded
+    /// (and checksummed) once; a transient write error — injected by the
+    /// plan or real — is retried under seeded jittered backoff up to the
+    /// storage retry budget; a write path still failing past the budget
+    /// re-creates a wedged ring once; and a write that fails even then is
+    /// *denied*, not fatal — the payload stays resident over budget with
+    /// its charge riding on the buffer, which costs memory headroom but
+    /// never bits or an abort.
     fn ooc_outgoing(&mut self, port: usize, buf: &mut DataBuffer) -> (u64, SimDuration) {
         let Some(ooc) = self.outputs[port].ooc.clone() else {
             return (0, SimDuration::ZERO);
@@ -265,30 +300,74 @@ impl FilterCtx {
             buf.set_budget_charged();
             return (0, SimDuration::ZERO);
         }
+        let storage = ooc.storage.clone();
+        let Some(frame) = buf.spill_frame(storage.checksum()) else {
+            // Unreachable given the spillability checks above; degrade
+            // safely rather than trusting it.
+            buf.set_budget_charged();
+            return (0, SimDuration::ZERO);
+        };
         let t0 = self.env.now();
-        match buf.spill_out(&ooc.ring) {
-            Ok(n) => {
-                // The in-memory payload box just dropped — even when the
-                // encoding is empty (n == 0): the stream's residency falls
-                // by the payload's declared bytes either way.
-                ooc.discharge(bytes);
-                if n > 0 {
-                    if let ExecEnv::Sim(e) = &self.env {
-                        let host = self.topo.host(self.info.host);
-                        if let Some(d) = host.disks.first() {
-                            d.write(e, n);
-                        }
-                    }
+        let host = self.info.host;
+        let op = storage.next_op();
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = if storage.injected_disk_error(
+                host,
+                hetsim::DiskFaultKind::Write,
+                self.env.now(),
+                op,
+                attempt as u64,
+            ) {
+                Err(crate::storage::StorageError::Io {
+                    what: "spill write",
+                    message: "injected disk write error".into(),
+                })
+            } else {
+                storage.ring().and_then(|ring| match ring.spill(&frame) {
+                    Ok(ticket) => Ok((ring, ticket)),
+                    Err(e) => Err(crate::storage::StorageError::Io {
+                        what: "spill write",
+                        message: e.to_string(),
+                    }),
+                })
+            };
+            match outcome {
+                Ok((ring, ticket)) => {
+                    // The in-memory payload box drops here — that drop is
+                    // the residency release the budget manager banks on.
+                    buf.park(ring, ticket);
+                    ooc.discharge(bytes);
+                    let n = frame.len() as u64;
+                    self.charge_spill_disk(n, true, &storage);
+                    return (n, self.env.now() - t0);
                 }
-                (n, self.env.now() - t0)
+                Err(err) => {
+                    if attempt < storage.retry_budget() {
+                        storage.note_retry();
+                        self.env.delay(storage.backoff(op, attempt));
+                        attempt += 1;
+                        continue;
+                    }
+                    // The retry budget is spent: the ring itself may be
+                    // wedged (e.g. ENOSPC on the temp filesystem).
+                    // Re-create it once and give the ladder one more rung
+                    // — the attempt key advances, so a genuinely
+                    // persistent error window denies this attempt too.
+                    if storage.recreate_ring(host, self.env.now()) {
+                        attempt += 1;
+                        continue;
+                    }
+                    // Bottom of the ladder: deny the spill and keep the
+                    // payload resident over budget. The charge rides with
+                    // the buffer (conservation intact), the denial is
+                    // tallied, and the run continues — degraded in memory
+                    // headroom, identical in bits.
+                    storage.note_spill_denied(host, self.env.now(), &err.to_string());
+                    buf.set_budget_charged();
+                    return (0, self.env.now() - t0);
+                }
             }
-            Err(err) => abort_run(
-                &self.errors,
-                RunError::Spill {
-                    what: "write-side spill",
-                    message: err.to_string(),
-                },
-            ),
         }
     }
 
@@ -296,34 +375,112 @@ impl FilterCtx {
     /// a spilled payload back in (charging the disk model for the read),
     /// or release a resident spillable payload's budget charge now that
     /// it left the stream queue.
-    fn ooc_incoming(&mut self, port: usize, buf: &mut DataBuffer) {
+    ///
+    /// This is the read side of the storage ladder. Transient read
+    /// errors (injected or real — a failed physical read leaves the ring
+    /// ticket intact) are retried under seeded backoff; a detected
+    /// corruption (checksum mismatch or undecodable frame — the slot is
+    /// already freed, so there is nothing left to retry) or a read that
+    /// fails past the budget falls back to loss-accounted recovery for
+    /// this one buffer. Returns `false` when the buffer was lost that
+    /// way (tallied; the caller suppresses it before any delivery
+    /// counter moves, so `consumed + lost == produced` stays exact) —
+    /// with no fault machinery active to account the loss, the run
+    /// aborts with the structured storage error instead.
+    fn ooc_incoming(&mut self, port: usize, buf: &mut DataBuffer) -> bool {
         let Some(ooc) = self.inputs[port].ooc.clone() else {
-            return;
+            return true;
         };
-        if buf.is_spilled() {
-            let t0 = self.env.now();
-            match buf.fault_in(&ooc.ring, &self.slab) {
+        if !buf.is_spilled() {
+            if buf.take_budget_charged() {
+                ooc.discharge(buf.wire_bytes());
+            }
+            return true;
+        }
+        let storage = ooc.storage.clone();
+        let host = self.info.host;
+        let t0 = self.env.now();
+        let op = storage.next_op();
+        let mut attempt: u32 = 0;
+        let error = loop {
+            if storage.injected_disk_error(
+                host,
+                hetsim::DiskFaultKind::Read,
+                self.env.now(),
+                op,
+                attempt as u64,
+            ) {
+                if attempt < storage.retry_budget() {
+                    storage.note_retry();
+                    self.env.delay(storage.backoff(op, attempt));
+                    attempt += 1;
+                    continue;
+                }
+                break crate::storage::StorageError::Io {
+                    what: "fault-in read",
+                    message: "injected disk read error (retry budget exhausted)".into(),
+                };
+            }
+            let now = self.env.now();
+            let tamper = |frame: &mut Vec<u8>| {
+                if let Some(bit) = storage.injected_corrupt_bit(
+                    host,
+                    now,
+                    op,
+                    attempt as u64,
+                    frame.len() as u64 * 8,
+                ) {
+                    frame[(bit / 8) as usize] ^= 1 << (bit % 8);
+                }
+            };
+            match buf.fault_in(&self.slab, storage.checksum(), &tamper) {
                 Ok(n) => {
-                    if let ExecEnv::Sim(e) = &self.env {
-                        let host = self.topo.host(self.info.host);
-                        if let Some(d) = host.disks.first() {
-                            d.read(e, n);
-                        }
-                    }
+                    self.charge_spill_disk(n, false, &storage);
                     let mut m = self.metrics.lock();
                     m.disk_bytes += n;
                     m.disk_elapsed += self.env.now() - t0;
+                    return true;
                 }
-                Err(err) => abort_run(
-                    &self.errors,
-                    RunError::Spill {
-                        what: "read-side fault-in",
-                        message: err.to_string(),
-                    },
-                ),
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    // The frame read back is not the frame written. The
+                    // ring slot is already freed and the payload
+                    // tombstoned — corruption is detected, accounted,
+                    // and final.
+                    storage.note_corruption(host, self.env.now(), &e.to_string());
+                    break crate::storage::StorageError::Corrupt {
+                        what: "fault-in decode",
+                        detail: e.to_string(),
+                    };
+                }
+                Err(e) => {
+                    if attempt < storage.retry_budget() {
+                        storage.note_retry();
+                        self.env.delay(storage.backoff(op, attempt));
+                        attempt += 1;
+                        continue;
+                    }
+                    // Unreadable past the budget: free the slot (the
+                    // ticket is still valid after a failed physical
+                    // read) and give the buffer up.
+                    buf.discard_spilled();
+                    break crate::storage::StorageError::Io {
+                        what: "fault-in read",
+                        message: e.to_string(),
+                    };
+                }
             }
-        } else if buf.take_budget_charged() {
-            ooc.discharge(buf.wire_bytes());
+        };
+        match self.faults.as_ref() {
+            Some(ctl) => {
+                // Fall back to PR 5's loss-accounted recovery for this
+                // one buffer: tally the loss here, before any delivery
+                // counter moves, and let the caller suppress it.
+                let mut t = ctl.tallies.lock();
+                t.buffers_lost += 1;
+                t.bytes_lost += buf.wire_bytes();
+                false
+            }
+            None => abort_run(&self.errors, RunError::Storage { error }),
         }
     }
 
@@ -531,9 +688,7 @@ impl FilterCtx {
                         // paying the read; a resident spillable one
                         // releases its budget charge.
                         if let Some(ooc) = self.inputs[port].ooc.as_ref() {
-                            if let Some(t) = buf.spilled_ticket() {
-                                ooc.ring.discard(t);
-                            } else if buf.take_budget_charged() {
+                            if !buf.discard_spilled() && buf.take_budget_charged() {
                                 ooc.discharge(buf.wire_bytes());
                             }
                         }
@@ -548,7 +703,15 @@ impl FilterCtx {
                             self.inputs[port].journal.push(p);
                         }
                     }
-                    self.ooc_incoming(port, &mut buf);
+                    if !self.ooc_incoming(port, &mut buf) {
+                        // The storage plane lost this buffer (corrupt or
+                        // unreadable spill frame); the loss is already
+                        // tallied. Recycle the box and read on — none of
+                        // the delivery counters below move, so
+                        // `consumed + lost == produced` stays exact.
+                        self.slab.repool(buf);
+                        continue;
+                    }
                     {
                         let mut m = self.metrics.lock();
                         m.buffers_in += 1;

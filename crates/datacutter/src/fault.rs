@@ -115,13 +115,15 @@ pub enum RunError {
         /// Description of the unsupported combination.
         what: String,
     },
-    /// The out-of-core spill ring failed: the backing temp file could not
-    /// be created, or a spill/fault I/O on it errored.
-    Spill {
-        /// What the spill path was doing (e.g. "ring creation").
-        what: &'static str,
-        /// The underlying I/O error, as text.
-        message: String,
+    /// The storage plane failed beyond what the self-healing ladder could
+    /// absorb — or was not allowed to absorb, because no fault machinery
+    /// was active to account the loss. Carries the structured
+    /// [`StorageError`](crate::storage::StorageError) that refines the
+    /// old stringly spill error.
+    Storage {
+        /// The structured storage failure (I/O, corruption, or ring
+        /// creation).
+        error: crate::storage::StorageError,
     },
 }
 
@@ -180,8 +182,8 @@ impl std::fmt::Display for RunError {
             RunError::Unsupported { what } => {
                 write!(f, "unsupported run configuration: {what}")
             }
-            RunError::Spill { what, message } => {
-                write!(f, "out-of-core spill ring failed during {what}: {message}")
+            RunError::Storage { error } => {
+                write!(f, "storage plane failed: {error}")
             }
         }
     }
@@ -443,6 +445,50 @@ impl NativeFaultPlan {
     /// (seeded).
     pub fn delay_messages(mut self, seed: u64, rate: f64, dur: SimDuration) -> Self {
         self.plan = self.plan.delay_messages(seed, rate, dur);
+        self
+    }
+
+    /// Slow `host`'s disk to `factor` of its healthy throughput inside
+    /// `[at, at + dur)`. A virtual-time timing effect (the wall-clock
+    /// executors have no disk model to stretch); error and corruption
+    /// windows below replay on every substrate.
+    pub fn degrade_disk(
+        mut self,
+        host: HostId,
+        at: SimTime,
+        dur: SimDuration,
+        factor: f64,
+    ) -> Self {
+        self.plan = self.plan.degrade_disk(host, at, dur, factor);
+        self
+    }
+
+    /// Fail each disk operation of `kind` on `host` with probability
+    /// `rate` inside `[at, at + dur)` (seeded, re-rolled per retry
+    /// attempt — see [`hetsim::FaultPlan::disk_error`]).
+    pub fn disk_error(
+        mut self,
+        host: HostId,
+        at: SimTime,
+        dur: SimDuration,
+        rate: f64,
+        kind: hetsim::DiskFaultKind,
+    ) -> Self {
+        self.plan = self.plan.disk_error(host, at, dur, rate, kind);
+        self
+    }
+
+    /// Flip one seeded bit in each disk read on `host` with probability
+    /// `rate` inside `[at, at + dur)` — what the checksummed spill frames
+    /// are there to catch.
+    pub fn corrupt_read(mut self, host: HostId, at: SimTime, dur: SimDuration, rate: f64) -> Self {
+        self.plan = self.plan.corrupt_read(host, at, dur, rate);
+        self
+    }
+
+    /// Seed for every storage verdict of the plan's disk events.
+    pub fn storage_seed(mut self, seed: u64) -> Self {
+        self.plan = self.plan.storage_seed(seed);
         self
     }
 

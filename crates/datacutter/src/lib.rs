@@ -83,6 +83,10 @@ pub mod policy;
 // list in the workspace `clippy.toml` is enforced as an error.
 #[deny(clippy::disallowed_methods)]
 pub mod runtime;
+// The storage plane is the self-healing layer under the spill path; a
+// panic here would defeat the degradation ladder it exists to provide.
+#[deny(clippy::disallowed_methods)]
+pub mod storage;
 
 pub use budget::{MemoryBudget, SpillRing, SpillTicket, StreamOoc};
 pub use buffer::{BufferSlab, DataBuffer, SpillCodec, ACK_WIRE_BYTES, BUFFER_OVERHEAD_BYTES};
@@ -93,6 +97,7 @@ pub use fault::{
 };
 pub use filter::{CopyInfo, Filter, FilterError, FilterFactory};
 pub use graph::{AppGraph, FilterId, GraphBuilder, Placement, StreamId, DEFAULT_QUEUE_CAPACITY};
+pub use hetsim::DiskFaultKind;
 pub use metrics::{CopyCounters, CopyReport, FaultReport, OocReport, RunReport, StreamReport};
 pub use policy::{CopySetInfo, DemandState, WritePolicy};
 #[allow(deprecated)]
@@ -101,4 +106,8 @@ pub use runtime::{
     Clock, ExecEnv, ExecStats, Executor, ExecutorChoice, NativeExecutor, Run, SimExecutor,
     TaskedExecutor, Transport, DEFAULT_COURIER_CAPACITY, DEFAULT_COURIER_DEADLINE,
     DEFAULT_OUTBOX_CAPACITY, DEFAULT_RETRANSMIT_DELAY,
+};
+pub use storage::{
+    fnv64, open_frame, seal_frame, StorageCtl, StorageError, StorageEvent,
+    DEFAULT_STORAGE_RETRY_BUDGET,
 };

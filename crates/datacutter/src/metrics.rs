@@ -127,6 +127,21 @@ pub struct FaultReport {
     /// Per-copy restart/backoff timeline of supervised restarts, in the
     /// order they were contained.
     pub restart_events: Vec<crate::fault::RestartEvent>,
+    /// Disk read/write errors the storage fault plan injected into the
+    /// spill plane (each consumed one ladder attempt).
+    pub disk_errors_injected: u64,
+    /// Spill/fault-in attempts repeated under seeded backoff by the
+    /// storage retry ladder.
+    pub storage_retries: u64,
+    /// Spill writes abandoned after the full ladder (retries + one ring
+    /// re-creation); each left its payload resident over budget.
+    pub spills_denied: u64,
+    /// Spill frames whose checksum or decode failed on fault-in; each
+    /// became one loss-accounted buffer.
+    pub corruptions_detected: u64,
+    /// Timeline of notable storage-plane events (ring re-creations,
+    /// denials, detected corruptions), bounded per run.
+    pub storage_events: Vec<crate::storage::StorageEvent>,
     /// `true` when the run completed with partial output (buffers lost
     /// or copies wedged).
     pub degraded: bool,
@@ -136,7 +151,16 @@ impl std::fmt::Display for FaultReport {
     /// Human-readable digest for chaos-job logs: injected faults, repair
     /// tallies, and the per-copy restart/backoff timeline.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.injected.is_empty() && self.restarts == 0 && self.copies_killed == 0 {
+        let storage_active = self.disk_errors_injected
+            + self.storage_retries
+            + self.spills_denied
+            + self.corruptions_detected
+            > 0;
+        if self.injected.is_empty()
+            && self.restarts == 0
+            && self.copies_killed == 0
+            && !storage_active
+        {
             return write!(f, "faults: none injected, none observed");
         }
         writeln!(f, "faults injected:")?;
@@ -178,6 +202,23 @@ impl std::fmt::Display for FaultReport {
             self.retransmits,
             self.messages_delayed
         )?;
+        writeln!(
+            f,
+            "  storage: {} disk errors injected, {} retries, {} spills denied, {} corruptions detected",
+            self.disk_errors_injected,
+            self.storage_retries,
+            self.spills_denied,
+            self.corruptions_detected
+        )?;
+        for e in &self.storage_events {
+            writeln!(
+                f,
+                "  {:>9.3}s  host{}: {}",
+                e.at.as_secs_f64(),
+                e.host.0,
+                e.detail
+            )?;
+        }
         if self.restart_events.is_empty() {
             write!(f, "restart timeline: empty")?;
         } else {

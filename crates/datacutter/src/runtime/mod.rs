@@ -90,6 +90,12 @@ pub(crate) struct Tuning {
     /// Byte budget for in-flight stream payloads (0 = unlimited; the
     /// out-of-core spill path is off and runs are untouched).
     pub memory_budget_bytes: u64,
+    /// Retries granted to a failing spill write or fault-in read before
+    /// the degradation ladder takes over.
+    pub storage_retry_budget: u32,
+    /// Seal every spill frame with an FNV-64 checksum verified on
+    /// fault-in (8 bytes per frame; detects any single-bit corruption).
+    pub checksum_spills: bool,
 }
 
 impl Default for Tuning {
@@ -100,6 +106,8 @@ impl Default for Tuning {
             retransmit_delay: DEFAULT_RETRANSMIT_DELAY,
             courier_deadline: DEFAULT_COURIER_DEADLINE,
             memory_budget_bytes: 0,
+            storage_retry_budget: crate::storage::DEFAULT_STORAGE_RETRY_BUDGET,
+            checksum_spills: true,
         }
     }
 }
@@ -285,6 +293,26 @@ impl Run {
         self
     }
 
+    /// Retries granted to a failing spill write or fault-in read before
+    /// the storage degradation ladder takes over (default
+    /// [`crate::storage::DEFAULT_STORAGE_RETRY_BUDGET`]). Each retry
+    /// sleeps a seeded, jittered, exponentially growing backoff; under
+    /// the virtual-time executor the sleeps are deterministic virtual
+    /// delays.
+    pub fn storage_retries(mut self, budget: u32) -> Self {
+        self.tuning.storage_retry_budget = budget;
+        self
+    }
+
+    /// Seal every spill frame with an FNV-64 checksum verified on
+    /// fault-in (default `true`). Costs 8 bytes per spilled frame and a
+    /// linear scan each way; guarantees any single-bit corruption of a
+    /// parked frame is detected rather than silently decoded.
+    pub fn checksum_spills(mut self, on: bool) -> Self {
+        self.tuning.checksum_spills = on;
+        self
+    }
+
     /// Execute the run on `topo` and harvest the report.
     pub fn go(self, topo: &Topology) -> Result<RunReport, RunError> {
         assert!(self.uows >= 1, "at least one unit of work");
@@ -390,20 +418,24 @@ fn drive<E: Executor>(
     tuning: Tuning,
 ) -> Result<RunReport, RunError> {
     let error_cell: ErrorCell = Arc::new(Mutex::new(None));
-    // Out-of-core context: one ledger + one spill ring for the whole run,
-    // created only when a budget was configured (the zero-budget fast
-    // path allocates nothing and touches no temp file).
+    // Out-of-core context: one ledger + one storage controller for the
+    // whole run, created only when a budget was configured (the
+    // zero-budget fast path allocates nothing). The controller creates
+    // the spill ring lazily on the first actual spill, so a budgeted run
+    // that never exceeds its shares touches no temp file — and a run
+    // whose temp filesystem is unusable only finds out (and degrades
+    // through the storage ladder, not an abort) if it really spills.
     let ooc: Option<(
         Arc<crate::budget::MemoryBudget>,
-        Arc<crate::budget::SpillRing>,
+        Arc<crate::storage::StorageCtl>,
     )> = if tuning.memory_budget_bytes > 0 {
-        let ring = crate::budget::SpillRing::create().map_err(|e| RunError::Spill {
-            what: "ring creation",
-            message: e.to_string(),
-        })?;
         Some((
             crate::budget::MemoryBudget::new(tuning.memory_budget_bytes),
-            ring,
+            crate::storage::StorageCtl::new(
+                fault_ctl.as_ref().map(|c| c.plan.clone()),
+                tuning.storage_retry_budget,
+                tuning.checksum_spills,
+            ),
         ))
     } else {
         None
@@ -462,7 +494,7 @@ fn drive<E: Executor>(
     let mut boundaries = std::mem::take(&mut *wiring.uow_boundaries.lock());
     boundaries.sort_unstable();
 
-    let faults_report = match &fault_ctl {
+    let mut faults_report = match &fault_ctl {
         Some(ctl) => {
             let t = ctl.tallies.lock();
             FaultReport {
@@ -482,18 +514,29 @@ fn drive<E: Executor>(
                 retention_evicted: t.retention_evicted,
                 restart_events: t.restart_events.clone(),
                 degraded: t.buffers_lost > 0 || t.copies_wedged > 0,
+                ..FaultReport::default()
             }
         }
         None => FaultReport::default(),
     };
+    if let Some((_, storage)) = &ooc {
+        // The storage plane tallies independently of the fault machinery
+        // — retries and denials fire (and report) even on plan-free runs
+        // where the temp filesystem itself misbehaves.
+        faults_report.disk_errors_injected = storage.disk_errors_injected();
+        faults_report.storage_retries = storage.storage_retries();
+        faults_report.spills_denied = storage.spills_denied();
+        faults_report.corruptions_detected = storage.corruptions_detected();
+        faults_report.storage_events = storage.events();
+    }
 
     let ooc_report = match &ooc {
-        Some((ledger, ring)) => crate::metrics::OocReport {
+        Some((ledger, storage)) => crate::metrics::OocReport {
             memory_budget_bytes: ledger.total(),
-            spills: ring.spills(),
-            spill_bytes: ring.spill_bytes(),
-            faults: ring.faults(),
-            fault_bytes: ring.fault_bytes(),
+            spills: storage.spills(),
+            spill_bytes: storage.spill_bytes(),
+            faults: storage.faults(),
+            fault_bytes: storage.fault_bytes(),
             granted_bytes: ledger.granted(),
             released_bytes: ledger.released(),
         },

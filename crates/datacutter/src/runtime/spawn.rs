@@ -47,7 +47,7 @@ use super::reaper::Reaper;
 use super::retain::{Dedup, StreamRetention};
 use super::supervisor::{copy_retired, CopyRecord, Supervisor};
 use super::Tuning;
-use crate::budget::{MemoryBudget, SpillRing, StreamOoc};
+use crate::budget::{MemoryBudget, StreamOoc};
 use crate::context::{FilterCtx, InputPort, OutputPort};
 use crate::fault::{
     abort_run, contain_scope, panic_message, raise_killed, CopyHealth, CopyState, ErrorCell,
@@ -57,6 +57,7 @@ use crate::filter::CopyInfo;
 use crate::graph::{AppGraph, FilterId};
 use crate::metrics::{CopyCell, CopyCounters, CopySetCell};
 use crate::policy::{CopySetInfo, WriterState};
+use crate::storage::StorageCtl;
 
 /// Everything the driver needs to harvest a report after the run: the
 /// metric cells (shared with the spawned processes) and the barrier
@@ -102,7 +103,7 @@ pub(crate) fn build<E: Executor>(
     fault_ctl: Option<Arc<FaultCtl>>,
     error_cell: ErrorCell,
     tuning: &Tuning,
-    ooc: Option<(Arc<MemoryBudget>, Arc<SpillRing>)>,
+    ooc: Option<(Arc<MemoryBudget>, Arc<StorageCtl>)>,
 ) -> RunWiring {
     let transport = exec.transport();
     let cancel = transport.cancel_scope();
@@ -280,9 +281,9 @@ pub(crate) fn build<E: Executor>(
             cells,
             retention,
             dedups,
-            ooc: ooc
-                .as_ref()
-                .map(|(ledger, ring)| StreamOoc::new(ledger.clone(), ring.clone(), stream_share)),
+            ooc: ooc.as_ref().map(|(ledger, storage)| {
+                StreamOoc::new(ledger.clone(), storage.clone(), stream_share)
+            }),
         });
     }
 

@@ -33,6 +33,8 @@ struct Args {
     memory_budget: u64,
     cache_capacity: u64,
     prefetch_depth: u32,
+    storage_faults: Option<u64>,
+    storage_retries: Option<u32>,
     out: String,
     plan: bool,
     verbose: bool,
@@ -59,6 +61,11 @@ USAGE: dcrender [FLAGS]
   --cache-capacity B  shared decoded-chunk cache bytes, 0 = off (default 0)
   --prefetch-depth N  read-ahead chunks in flight, sim executor only,
                       0 = off (default 0)
+  --storage-faults S  inject seeded transient disk errors into the spill
+                      ring (seed S); the run retries/degrades through the
+                      storage ladder and prints its fault report
+  --storage-retries N retry budget per storage op before degrading
+                      (default 8, max 64)
   --out PATH       output PPM path (default render.ppm)
   --plan           let the planner choose grouping/placement/policy
   --verbose        print per-copy metrics and host utilization
@@ -81,6 +88,8 @@ fn parse_args() -> Args {
         memory_budget: 0,
         cache_capacity: 0,
         prefetch_depth: 0,
+        storage_faults: None,
+        storage_retries: None,
         out: "render.ppm".into(),
         plan: false,
         verbose: false,
@@ -114,6 +123,12 @@ fn parse_args() -> Args {
             }
             "--prefetch-depth" => {
                 a.prefetch_depth = next(&mut i).parse().expect("--prefetch-depth")
+            }
+            "--storage-faults" => {
+                a.storage_faults = Some(next(&mut i).parse().expect("--storage-faults"))
+            }
+            "--storage-retries" => {
+                a.storage_retries = Some(next(&mut i).parse().expect("--storage-retries"))
             }
             "--out" => a.out = next(&mut i),
             "--plan" => a.plan = true,
@@ -157,6 +172,9 @@ fn main() {
     cfg.memory_budget_bytes = args.memory_budget;
     cfg.cache_capacity = args.cache_capacity;
     cfg.prefetch_depth = args.prefetch_depth;
+    if let Some(budget) = args.storage_retries {
+        cfg.storage_retry_budget = budget;
+    }
     if let Err(e) = cfg.validate() {
         eprintln!("{e}");
         exit(2);
@@ -212,12 +230,43 @@ fn main() {
         spec.algorithm.label(),
         cfg.executor
     );
-    let r = dcapp::run_pipeline_exec(&topo, &cfg, &spec, dcapp::executor_for(&cfg)).unwrap_or_else(
-        |e| {
-            eprintln!("run failed: {e}");
-            exit(1);
-        },
-    );
+    let r = if let Some(seed) = args.storage_faults {
+        // Seeded transient disk errors on every host's spill ring for the
+        // whole run window; the storage ladder retries through them, so the
+        // image stays bit-identical to a fault-free run.
+        let window = hetsim::SimDuration::from_secs(3600);
+        let mut chaos = datacutter::NativeFaultPlan::new().storage_seed(seed);
+        for &h in &hosts {
+            chaos = chaos
+                .disk_error(
+                    h,
+                    hetsim::SimTime::ZERO,
+                    window,
+                    0.2,
+                    hetsim::DiskFaultKind::Write,
+                )
+                .disk_error(
+                    h,
+                    hetsim::SimTime::ZERO,
+                    window,
+                    0.2,
+                    hetsim::DiskFaultKind::Read,
+                );
+        }
+        dcapp::run_pipeline_faulted_exec(
+            &topo,
+            &cfg,
+            &spec,
+            chaos.options(),
+            dcapp::executor_for(&cfg),
+        )
+    } else {
+        dcapp::run_pipeline_exec(&topo, &cfg, &spec, dcapp::executor_for(&cfg))
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        exit(1);
+    });
     println!(
         "done in {:.3} {} seconds ({} engine events, {} surface pixels)",
         r.elapsed.as_secs_f64(),
@@ -235,6 +284,9 @@ fn main() {
             "out-of-core: budget {} B, {} spills ({} B), {} faults ({} B)",
             ooc.memory_budget_bytes, ooc.spills, ooc.spill_bytes, ooc.faults, ooc.fault_bytes
         );
+    }
+    if args.storage_faults.is_some() {
+        println!("{}", r.report.faults);
     }
     if let Some(cache) = cfg.chunk_cache() {
         let s = cache.stats();

@@ -72,6 +72,8 @@ pub fn run_pipeline_exec(
     } = build_pipeline(cfg, spec);
     let report = Run::new(graph)
         .memory_budget(cfg.memory_budget_bytes)
+        .storage_retries(cfg.storage_retry_budget)
+        .checksum_spills(cfg.checksum_spills)
         .executor(exec)
         .go(topo)?;
     let mut images = std::mem::take(&mut *image.lock());
@@ -129,6 +131,8 @@ pub fn run_pipeline_faulted_exec(
     } = build_pipeline(cfg, spec);
     let report = Run::new(graph)
         .memory_budget(cfg.memory_budget_bytes)
+        .storage_retries(cfg.storage_retry_budget)
+        .checksum_spills(cfg.checksum_spills)
         .faults(opts)
         .executor(exec)
         .go(topo)?;
@@ -178,6 +182,8 @@ pub fn run_pipeline_uows(
     let Pipeline { graph, image, .. } = build_pipeline(cfg, spec);
     let report = Run::new(graph)
         .memory_budget(cfg.memory_budget_bytes)
+        .storage_retries(cfg.storage_retry_budget)
+        .checksum_spills(cfg.checksum_spills)
         .uows(uows)
         .go(topo)?;
     let images = std::mem::take(&mut *image.lock());
@@ -261,6 +267,8 @@ pub fn clone_config(cfg: &SharedConfig) -> crate::config::AppConfig {
         worker_threads: cfg.worker_threads,
         max_task_copies: cfg.max_task_copies,
         memory_budget_bytes: cfg.memory_budget_bytes,
+        storage_retry_budget: cfg.storage_retry_budget,
+        checksum_spills: cfg.checksum_spills,
         cache_capacity: cfg.cache_capacity,
         prefetch_depth: cfg.prefetch_depth,
         placement: cfg.placement.clone(),

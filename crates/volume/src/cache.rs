@@ -16,7 +16,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use crate::chunks::ChunkId;
 use crate::grid::RectGrid;
@@ -119,18 +121,26 @@ impl ChunkCache {
     /// Look `key` up, marking it recently used on a hit. The returned
     /// `Arc` clone shares the cached grid — no copy, no allocation.
     pub fn get(&self, key: CacheKey) -> Option<Arc<RectGrid>> {
-        let mut st = self.st.lock().expect("cache lock");
-        match st.map.get(&key).copied() {
-            Some(i) => {
-                let slot = st.slots[i].as_mut().expect("mapped slot occupied");
+        let mut st = self.st.lock();
+        let hit = st
+            .map
+            .get(&key)
+            .copied()
+            .and_then(|i| st.slots.get_mut(i))
+            .and_then(|s| s.as_mut())
+            .map(|slot| {
                 slot.referenced = true;
-                let grid = slot.grid.clone();
-                drop(st);
+                slot.grid.clone()
+            });
+        drop(st);
+        match hit {
+            Some(grid) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(grid)
             }
+            // A mapping to a vacated slot would land here too — counted
+            // as a miss rather than a panic (the caller just re-reads).
             None => {
-                drop(st);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -145,15 +155,17 @@ impl ChunkCache {
         if bytes > self.capacity {
             return false;
         }
-        let mut st = self.st.lock().expect("cache lock");
+        let mut st = self.st.lock();
         if let Some(&i) = st.map.get(&key) {
             // A refresh may grow the entry past what fits alongside the
             // other residents: drop the old entry and fall through to the
-            // fresh-insert path, which evicts until the new size fits.
-            let old = st.slots[i].take().expect("mapped slot occupied");
+            // fresh-insert path, which evicts until the new size fits. A
+            // mapping to an already-vacant slot only needs unmapping.
+            if let Some(old) = st.slots.get_mut(i).and_then(Option::take) {
+                st.resident -= old.bytes;
+            }
             st.free.push(i);
             st.map.remove(&key);
-            st.resident -= old.bytes;
         }
         let mut evicted = 0u64;
         while st.resident + bytes > self.capacity {
@@ -211,7 +223,7 @@ impl ChunkCache {
     /// Counter snapshot (consistent enough for reporting; counters are
     /// independently atomic).
     pub fn stats(&self) -> CacheStats {
-        let resident = self.st.lock().expect("cache lock").resident;
+        let resident = self.st.lock().resident;
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -224,7 +236,7 @@ impl ChunkCache {
 
     /// Bytes currently resident.
     pub fn resident_bytes(&self) -> u64 {
-        self.st.lock().expect("cache lock").resident
+        self.st.lock().resident
     }
 }
 
@@ -242,6 +254,7 @@ impl std::fmt::Debug for ChunkCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::grid::Dims;

@@ -128,6 +128,7 @@ fn axis_range(cells: u32, parts: u32, idx: u32) -> (u32, u32) {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

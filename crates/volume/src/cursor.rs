@@ -15,14 +15,24 @@
 //! skipped with a forward seek — no payload bytes are read for them,
 //! mirroring how the read filter's cost model charges only selected
 //! chunks.
+//!
+//! Integrity: the cursor folds every payload byte it reads (the 12-byte
+//! dims header and each slab) into a running FNV-64 digest and verifies
+//! the record's stored checksum when the chunk's last slab completes —
+//! so a fully-streamed chunk is exactly as corruption-protected as a
+//! [`crate::DiskStore::read_chunk`] (skipped chunks are seeked past and
+//! not verified, matching their zero read cost). Reads also consult the
+//! store's [`crate::integrity::ReadFaults`] seam, so injected disk
+//! errors and bit-flips exercise the same paths real ones would.
 
 use std::fs;
 use std::io::{self, Read, Seek, SeekFrom};
 
 use crate::chunks::ChunkId;
 use crate::decluster::FileId;
-use crate::diskstore::DiskStore;
+use crate::diskstore::{DiskStore, RECORD_TRAILER_BYTES};
 use crate::grid::{Dims, RectGrid};
+use crate::integrity::{FaultSeam, Fnv64};
 
 /// Header of the record the cursor is positioned on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,16 +75,30 @@ pub struct ChunkCursor {
     /// Peak scratch bytes ever materialized (observability for tests and
     /// the out-of-core bench).
     peak_slab_bytes: usize,
+    /// The owning store's injected-fault seam (shared op counter).
+    seam: FaultSeam,
 }
 
 struct CurChunk {
     id: ChunkId,
     dims: Dims,
     z_next: u32,
+    /// Running FNV-64 over the payload bytes streamed so far, verified
+    /// against the record trailer when the last slab completes.
+    digest: Fnv64,
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Read the little-endian `u32` at byte offset `at` of `b`, or a
+/// structured parse error for short input (no panicking slice).
+fn le_u32(b: &[u8], at: usize, what: &str) -> io::Result<u32> {
+    b.get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| bad(format!("short read parsing {what}")))
 }
 
 impl ChunkCursor {
@@ -88,7 +112,7 @@ impl ChunkCursor {
         if &header[0..4] != b"DCVF" {
             return Err(bad("bad data file magic"));
         }
-        let records_left = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
+        let records_left = le_u32(&header, 8, "data file record count")?;
         Ok(ChunkCursor {
             fh,
             records_left,
@@ -97,6 +121,7 @@ impl ChunkCursor {
             values: Vec::new(),
             budget: budget_bytes.max(1),
             peak_slab_bytes: 0,
+            seam: store.seam(),
         })
     }
 
@@ -110,22 +135,25 @@ impl ChunkCursor {
         self.records_left -= 1;
         let mut rec = [0u8; 8];
         self.fh.read_exact(&mut rec)?;
-        let id = ChunkId(u32::from_le_bytes(rec[0..4].try_into().expect("fixed")));
-        let len = u32::from_le_bytes(rec[4..8].try_into().expect("fixed")) as u64;
+        let id = ChunkId(le_u32(&rec, 0, "record chunk id")?);
+        let len = le_u32(&rec, 4, "record payload length")? as u64;
         let mut dims_hdr = [0u8; 12];
         self.fh.read_exact(&mut dims_hdr)?;
         let dims = Dims::new(
-            u32::from_le_bytes(dims_hdr[0..4].try_into().expect("fixed")),
-            u32::from_le_bytes(dims_hdr[4..8].try_into().expect("fixed")),
-            u32::from_le_bytes(dims_hdr[8..12].try_into().expect("fixed")),
+            le_u32(&dims_hdr, 0, "chunk dims")?,
+            le_u32(&dims_hdr, 4, "chunk dims")?,
+            le_u32(&dims_hdr, 8, "chunk dims")?,
         );
         if len != 12 + dims.byte_size() {
             return Err(bad("record length inconsistent with chunk dims"));
         }
+        let mut digest = Fnv64::new();
+        digest.update(&dims_hdr);
         self.cur = Some(CurChunk {
             id,
             dims,
             z_next: 0,
+            digest,
         });
         Ok(Some(ChunkHeader {
             id,
@@ -136,13 +164,28 @@ impl ChunkCursor {
 
     /// Stream the next z-slab of the current chunk into the reused scratch
     /// buffer. Returns `None` once the chunk is fully consumed (or when no
-    /// chunk is current).
+    /// chunk is current); the `None`-producing call verifies the record
+    /// checksum over everything streamed, so a corrupted chunk fails here
+    /// with [`io::ErrorKind::InvalidData`] rather than yielding bad data
+    /// unnoticed.
     pub fn next_slab(&mut self) -> io::Result<Option<Slab<'_>>> {
         let Some(cur) = &mut self.cur else {
             return Ok(None);
         };
         if cur.z_next >= cur.dims.nz {
+            // The chunk streamed completely: consume the trailer and
+            // verify the running digest against it.
+            let computed = cur.digest.finish();
+            let bytes = 12 + cur.dims.byte_size();
             self.cur = None;
+            let mut trailer = [0u8; RECORD_TRAILER_BYTES as usize];
+            self.fh.read_exact(&mut trailer)?;
+            let stored = u64::from_le_bytes(trailer);
+            if stored != computed {
+                return Err(bad(format!(
+                    "record checksum mismatch over {bytes} payload bytes: stored {stored:016x}, computed {computed:016x}"
+                )));
+            }
             return Ok(None);
         }
         let plane_points = (cur.dims.nx * cur.dims.ny) as usize;
@@ -153,17 +196,26 @@ impl ChunkCursor {
         let z0 = cur.z_next;
         let nz = nz_fit.min(cur.dims.nz - z0);
         let bytes = plane_bytes * nz as usize;
+        let op = self.seam.next_op();
+        if let Some(err) = self.seam.read_error(op) {
+            return Err(err);
+        }
         self.scratch.resize(bytes, 0);
         self.fh.read_exact(&mut self.scratch)?;
+        self.seam.tamper(op, &mut self.scratch);
+        cur.digest.update(&self.scratch);
         self.peak_slab_bytes = self.peak_slab_bytes.max(bytes);
         let n = plane_points * nz as usize;
         self.values.clear();
         self.values.reserve(n);
         for i in 0..n {
             let off = i * 4;
-            self.values.push(f32::from_le_bytes(
-                self.scratch[off..off + 4].try_into().expect("fixed"),
-            ));
+            let word = self
+                .scratch
+                .get(off..off + 4)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| bad("slab scratch shorter than its plane count"))?;
+            self.values.push(f32::from_le_bytes(word));
         }
         cur.z_next += nz;
         let (id, dims) = (cur.id, cur.dims);
@@ -177,14 +229,14 @@ impl ChunkCursor {
     }
 
     /// Seek past whatever payload of the current chunk has not been
-    /// streamed yet (cheap skip of unselected chunks).
+    /// streamed yet, plus the record trailer (cheap skip of unselected
+    /// chunks — skipped bytes are not checksum-verified, matching their
+    /// zero read cost).
     fn skip_rest_of_chunk(&mut self) -> io::Result<()> {
         if let Some(cur) = self.cur.take() {
             let plane_bytes = (cur.dims.nx * cur.dims.ny) as u64 * 4;
-            let left = plane_bytes * (cur.dims.nz - cur.z_next) as u64;
-            if left > 0 {
-                self.fh.seek(SeekFrom::Current(left as i64))?;
-            }
+            let left = plane_bytes * (cur.dims.nz - cur.z_next) as u64 + RECORD_TRAILER_BYTES;
+            self.fh.seek(SeekFrom::Current(left as i64))?;
         }
         Ok(())
     }
@@ -193,7 +245,8 @@ impl ChunkCursor {
     /// remaining slabs (from-the-start equivalence with
     /// [`DiskStore::read_chunk`] when called right after
     /// [`next_chunk`](Self::next_chunk)). The per-slab memory stays
-    /// budget-bounded; only the destination grid is chunk-sized.
+    /// budget-bounded; only the destination grid is chunk-sized. The
+    /// record checksum is verified before the grid is returned.
     pub fn assemble_chunk(&mut self) -> io::Result<Option<(ChunkId, RectGrid)>> {
         let Some(cur) = &self.cur else {
             return Ok(None);
@@ -216,6 +269,7 @@ impl ChunkCursor {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::diskstore::write_dataset;
@@ -315,6 +369,51 @@ mod tests {
             }
             assert_eq!(slabs, 1);
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streamed_reads_detect_stored_corruption() {
+        let dir = tmpdir("stream_corrupt");
+        let ds = dataset();
+        let store = write_dataset(&dir, &ds, 0, 0).unwrap();
+        let path = store.data_file_path(FileId(0));
+        let mut bytes = std::fs::read(&path).unwrap();
+        // One bit inside the first record's f32 data.
+        bytes[12 + 8 + 12 + 5] ^= 0x10;
+        std::fs::write(&path, bytes).unwrap();
+        let mut cur = ChunkCursor::open(&store, FileId(0), 64).unwrap();
+        cur.next_chunk().unwrap();
+        let err = cur.assemble_chunk().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum mismatch"), "got: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cursor_consults_the_store_fault_seam() {
+        use crate::integrity::ReadFaults;
+        use std::sync::Arc;
+        struct CorruptOp1;
+        impl ReadFaults for CorruptOp1 {
+            fn read_error(&self, _op: u64) -> Option<io::Error> {
+                None
+            }
+            fn corrupt_bit(&self, op: u64, _len_bits: u64) -> Option<u64> {
+                (op == 1).then_some(0)
+            }
+        }
+        let dir = tmpdir("seamed");
+        let ds = dataset();
+        let mut store = write_dataset(&dir, &ds, 0, 0).unwrap();
+        store.set_read_faults(Arc::new(CorruptOp1));
+        // Small budget: several slab reads per chunk, op 1 is the second
+        // slab of the first chunk — its bit-flip must fail the chunk's
+        // final checksum verification.
+        let mut cur = ChunkCursor::open(&store, FileId(0), 64).unwrap();
+        cur.next_chunk().unwrap();
+        let err = cur.assemble_chunk().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "got: {err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

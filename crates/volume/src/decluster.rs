@@ -123,6 +123,7 @@ impl FilePlacement {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::grid::Dims;

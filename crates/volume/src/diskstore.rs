@@ -10,32 +10,44 @@
 //!
 //! ```text
 //! magic "DCVF" | u32 version | u32 n_records
-//! repeated records: u32 chunk_id | u32 payload_len | payload (encode_chunk)
+//! repeated records: u32 chunk_id | u32 payload_len | payload (encode_chunk) | u64 fnv64(payload)
 //! ```
 //!
-//! A `manifest.dcm` file records the grid dims, chunk lattice, and file
-//! count so a store can be opened without out-of-band information.
+//! Version 2 sealed every record with an FNV-64 checksum of its payload;
+//! all read paths verify it and report a structured `InvalidData` error
+//! on mismatch (see [`crate::integrity`]). A `manifest.dcm` file records
+//! the grid dims, chunk lattice, and file count so a store can be opened
+//! without out-of-band information — and opening is hardened against
+//! truncated or garbage manifests: every parse failure is a structured
+//! error, never a panic.
 
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::chunks::{ChunkId, ChunkLayout};
 use crate::decluster::FileId;
 use crate::grid::{Dims, RectGrid};
+use crate::integrity::{fnv64, FaultSeam, ReadFaults};
 use crate::store::{decode_chunk, encode_chunk, Dataset};
 
 const FILE_MAGIC: &[u8; 4] = b"DCVF";
 const MANIFEST_MAGIC: &[u8; 4] = b"DCVM";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Bytes of the per-record FNV-64 trailer.
+pub(crate) const RECORD_TRAILER_BYTES: u64 = 8;
 
 /// A dataset materialized as data files in a directory.
+#[derive(Debug)]
 pub struct DiskStore {
     dir: PathBuf,
     layout: ChunkLayout,
     n_files: u32,
     /// Chunk ids per file, in record order.
     chunks_of_file: Vec<Vec<ChunkId>>,
+    /// Injected-read-fault seam, shared with cursors opened from here.
+    seam: FaultSeam,
 }
 
 fn file_path(dir: &Path, file: FileId) -> PathBuf {
@@ -87,6 +99,7 @@ pub fn write_dataset(
             out.extend_from_slice(&id.0.to_le_bytes());
             out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             out.extend_from_slice(&payload);
+            out.extend_from_slice(&fnv64(&payload).to_le_bytes());
         }
         let mut fh = fs::File::create(file_path(dir, file))?;
         fh.write_all(&out)?;
@@ -97,48 +110,152 @@ pub fn write_dataset(
         layout,
         n_files,
         chunks_of_file,
+        seam: FaultSeam::default(),
     })
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Read the little-endian `u32` at byte offset `at` of `m`, or a
+/// structured parse error naming `what` when `m` is too short. The
+/// panicking `expect("length checked")` this replaces turned a truncated
+/// manifest into an abort.
+fn le_u32(m: &[u8], at: usize, what: &str) -> io::Result<u32> {
+    match m.get(at..at + 4) {
+        Some(b) => {
+            // The slice is exactly 4 bytes by construction; map instead
+            // of unwrapping to keep this a no-panic path even if the
+            // bound above drifts.
+            b.try_into()
+                .map(u32::from_le_bytes)
+                .map_err(|_| bad(format!("short read parsing {what}")))
+        }
+        None => Err(bad(format!(
+            "{what}: need bytes {at}..{} of a {}-byte buffer",
+            at + 4,
+            m.len()
+        ))),
+    }
+}
+
+/// Parse and sanity-check a `.dcvf` file header, returning `n_records`.
+fn parse_file_header(header: &[u8; 12], what: &str) -> io::Result<u32> {
+    if &header[0..4] != FILE_MAGIC {
+        return Err(bad(format!("{what}: bad data file magic")));
+    }
+    let version = le_u32(header, 4, "data file version")?;
+    if version != VERSION {
+        return Err(bad(format!(
+            "{what}: unsupported data file version {version} (expected {VERSION})"
+        )));
+    }
+    le_u32(header, 8, "data file record count")
+}
+
+/// Read one record header (`chunk_id`, `payload_len`) from `fh`.
+fn read_record_header(fh: &mut fs::File) -> io::Result<(ChunkId, u32)> {
+    let mut rec = [0u8; 8];
+    fh.read_exact(&mut rec)?;
+    let id = le_u32(&rec, 0, "record chunk id")?;
+    let len = le_u32(&rec, 4, "record payload length")?;
+    Ok((ChunkId(id), len))
+}
+
+/// Read `len` payload bytes plus the FNV trailer, apply any injected
+/// fault from `seam`, and verify the checksum.
+fn read_sealed_payload(fh: &mut fs::File, len: u32, seam: &FaultSeam) -> io::Result<Vec<u8>> {
+    let op = seam.next_op();
+    if let Some(err) = seam.read_error(op) {
+        return Err(err);
+    }
+    let mut payload = vec![0u8; len as usize];
+    fh.read_exact(&mut payload)?;
+    let mut trailer = [0u8; RECORD_TRAILER_BYTES as usize];
+    fh.read_exact(&mut trailer)?;
+    seam.tamper(op, &mut payload);
+    let stored = u64::from_le_bytes(trailer);
+    let computed = fnv64(&payload);
+    if stored != computed {
+        return Err(bad(format!(
+            "record checksum mismatch over {len} payload bytes: stored {stored:016x}, computed {computed:016x}"
+        )));
+    }
+    Ok(payload)
+}
+
+/// Seek past a record's payload and trailer without reading it.
+fn skip_payload(fh: &mut fs::File, len: u32) -> io::Result<()> {
+    io::copy(
+        &mut Read::by_ref(fh).take(len as u64 + RECORD_TRAILER_BYTES),
+        &mut io::sink(),
+    )?;
+    Ok(())
 }
 
 impl DiskStore {
     /// Open a store previously written by [`write_dataset`].
+    ///
+    /// Robust against damaged inputs by construction: a truncated or
+    /// garbage manifest, a bad magic, an unsupported version, or a
+    /// record count inconsistent with the file's actual size all return
+    /// structured [`io::ErrorKind::InvalidData`] errors.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<DiskStore> {
         let dir = dir.as_ref().to_path_buf();
         let m = fs::read(dir.join("manifest.dcm"))?;
-        if m.len() < 8 + 7 * 4 || &m[0..4] != MANIFEST_MAGIC {
-            return Err(bad("bad manifest"));
+        if m.len() < 4 || &m[0..4] != MANIFEST_MAGIC {
+            return Err(bad("bad manifest magic"));
         }
-        let word = |i: usize| -> u32 {
-            u32::from_le_bytes(m[8 + i * 4..12 + i * 4].try_into().expect("length checked"))
-        };
-        let layout = ChunkLayout::new(
-            Dims::new(word(0), word(1), word(2)),
-            (word(3), word(4), word(5)),
-        );
-        let n_files = word(6);
+        let version = le_u32(&m, 4, "manifest version")?;
+        if version != VERSION {
+            return Err(bad(format!(
+                "unsupported manifest version {version} (expected {VERSION})"
+            )));
+        }
+        let word = |i: usize| le_u32(&m, 8 + i * 4, "manifest field");
+        let dims = Dims::new(word(0)?, word(1)?, word(2)?);
+        let chunks = (word(3)?, word(4)?, word(5)?);
+        let n_files = word(6)?;
+        if dims.nx == 0 || dims.ny == 0 || dims.nz == 0 {
+            return Err(bad("manifest declares an empty grid"));
+        }
+        if chunks.0 == 0 || chunks.1 == 0 || chunks.2 == 0 {
+            return Err(bad("manifest declares an empty chunk lattice"));
+        }
+        if chunks.0 > dims.nx || chunks.1 > dims.ny || chunks.2 > dims.nz {
+            return Err(bad("manifest chunk lattice exceeds the grid"));
+        }
+        if n_files == 0 {
+            return Err(bad("manifest declares zero data files"));
+        }
+        let layout = ChunkLayout::new(dims, chunks);
 
-        let mut chunks_of_file = Vec::with_capacity(n_files as usize);
+        // Reserve conservatively: an adversarial manifest can declare
+        // billions of files, and the first missing one errors out below
+        // — don't let the pre-allocation itself be the failure.
+        let mut chunks_of_file = Vec::with_capacity(n_files.min(1024) as usize);
         for f in 0..n_files {
-            let mut fh = fs::File::open(file_path(&dir, FileId(f)))?;
+            let path = file_path(&dir, FileId(f));
+            let file_bytes = fs::metadata(&path)?.len();
+            let mut fh = fs::File::open(&path)?;
             let mut header = [0u8; 12];
             fh.read_exact(&mut header)?;
-            if &header[0..4] != FILE_MAGIC {
-                return Err(bad("bad data file magic"));
+            let n_records = parse_file_header(&header, "open")?;
+            // Each record needs at least its 8-byte header plus the
+            // trailer; a count the file cannot possibly hold is garbage
+            // (and would otherwise reserve unbounded memory below).
+            let body = file_bytes.saturating_sub(12);
+            if n_records as u64 > body / (8 + RECORD_TRAILER_BYTES) {
+                return Err(bad(format!(
+                    "data file {f} declares {n_records} records in {body} body bytes"
+                )));
             }
-            let n_records = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
             let mut ids = Vec::with_capacity(n_records as usize);
-            let mut rec = [0u8; 8];
             for _ in 0..n_records {
-                fh.read_exact(&mut rec)?;
-                let id = u32::from_le_bytes(rec[0..4].try_into().expect("fixed"));
-                let len = u32::from_le_bytes(rec[4..8].try_into().expect("fixed"));
-                ids.push(ChunkId(id));
-                // Skip the payload.
-                io::copy(&mut Read::by_ref(&mut fh).take(len as u64), &mut io::sink())?;
+                let (id, len) = read_record_header(&mut fh)?;
+                ids.push(id);
+                skip_payload(&mut fh, len)?;
             }
             chunks_of_file.push(ids);
         }
@@ -147,7 +264,22 @@ impl DiskStore {
             layout,
             n_files,
             chunks_of_file,
+            seam: FaultSeam::default(),
         })
+    }
+
+    /// Install a read-fault injection hook: subsequent
+    /// [`read_chunk`](Self::read_chunk) / [`read_file`](Self::read_file)
+    /// payload reads — and the reads of cursors opened *after* this call
+    /// — consult it. See [`crate::integrity::ReadFaults`].
+    pub fn set_read_faults(&mut self, hook: Arc<dyn ReadFaults>) {
+        self.seam.hook = Some(hook);
+    }
+
+    /// Shared fault seam (cloned into cursors so the operation sequence
+    /// is global per store).
+    pub(crate) fn seam(&self) -> FaultSeam {
+        self.seam.clone()
     }
 
     /// The chunk layout.
@@ -177,26 +309,26 @@ impl DiskStore {
 
     /// Chunks stored in `file`, in record order.
     pub fn chunks_in_file(&self, file: FileId) -> &[ChunkId] {
-        &self.chunks_of_file[file.0 as usize]
+        self.chunks_of_file
+            .get(file.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
     }
 
-    /// Read one chunk's point data back from its data file.
+    /// Read one chunk's point data back from its data file, verifying
+    /// the record checksum.
     pub fn read_chunk(&self, file: FileId, chunk: ChunkId) -> io::Result<RectGrid> {
         let mut fh = fs::File::open(file_path(&self.dir, file))?;
         let mut header = [0u8; 12];
         fh.read_exact(&mut header)?;
-        let n_records = u32::from_le_bytes(header[8..12].try_into().expect("fixed"));
-        let mut rec = [0u8; 8];
+        let n_records = parse_file_header(&header, "read_chunk")?;
         for _ in 0..n_records {
-            fh.read_exact(&mut rec)?;
-            let id = u32::from_le_bytes(rec[0..4].try_into().expect("fixed"));
-            let len = u32::from_le_bytes(rec[4..8].try_into().expect("fixed")) as usize;
-            if id == chunk.0 {
-                let mut payload = vec![0u8; len];
-                fh.read_exact(&mut payload)?;
+            let (id, len) = read_record_header(&mut fh)?;
+            if id == chunk {
+                let payload = read_sealed_payload(&mut fh, len, &self.seam)?;
                 return decode_chunk(&payload).ok_or_else(|| bad("corrupt chunk payload"));
             }
-            io::copy(&mut Read::by_ref(&mut fh).take(len as u64), &mut io::sink())?;
+            skip_payload(&mut fh, len)?;
         }
         Err(io::Error::new(
             io::ErrorKind::NotFound,
@@ -205,22 +337,19 @@ impl DiskStore {
     }
 
     /// Read every chunk of `file` sequentially (the read filter's access
-    /// pattern: one pass over the file in Hilbert order).
+    /// pattern: one pass over the file in Hilbert order), verifying each
+    /// record checksum.
     pub fn read_file(&self, file: FileId) -> io::Result<Vec<(ChunkId, RectGrid)>> {
         let mut fh = fs::File::open(file_path(&self.dir, file))?;
         let mut header = [0u8; 12];
         fh.read_exact(&mut header)?;
-        let n_records = u32::from_le_bytes(header[8..12].try_into().expect("fixed"));
-        let mut out = Vec::with_capacity(n_records as usize);
-        let mut rec = [0u8; 8];
+        let n_records = parse_file_header(&header, "read_file")?;
+        let mut out = Vec::with_capacity(n_records.min(4096) as usize);
         for _ in 0..n_records {
-            fh.read_exact(&mut rec)?;
-            let id = u32::from_le_bytes(rec[0..4].try_into().expect("fixed"));
-            let len = u32::from_le_bytes(rec[4..8].try_into().expect("fixed")) as usize;
-            let mut payload = vec![0u8; len];
-            fh.read_exact(&mut payload)?;
+            let (id, len) = read_record_header(&mut fh)?;
+            let payload = read_sealed_payload(&mut fh, len, &self.seam)?;
             out.push((
-                ChunkId(id),
+                id,
                 decode_chunk(&payload).ok_or_else(|| bad("corrupt chunk"))?,
             ));
         }
@@ -229,8 +358,10 @@ impl DiskStore {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("dcvol_test_{tag}_{}", std::process::id()));
@@ -308,6 +439,96 @@ mod tests {
         write_dataset(&dir, &ds, 0, 0).unwrap();
         fs::write(dir.join("manifest.dcm"), b"garbage").unwrap();
         assert!(DiskStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipping_one_stored_payload_bit_is_detected() {
+        let dir = tmpdir("bitflip");
+        let ds = dataset();
+        let store = write_dataset(&dir, &ds, 0, 0).unwrap();
+        let path = store.data_file_path(FileId(0));
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one bit inside the first record's payload (header is
+        // 12 bytes, record header 8; +16 lands well inside the data).
+        bytes[12 + 8 + 16] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        let first = store.chunks_in_file(FileId(0))[0];
+        let err = store.read_chunk(FileId(0), first).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum mismatch"), "got: {err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_read_error_and_corruption_surface_structurally() {
+        struct FailFirstCorruptSecond;
+        impl ReadFaults for FailFirstCorruptSecond {
+            fn read_error(&self, op: u64) -> Option<io::Error> {
+                (op == 0).then(|| io::Error::other("injected read error"))
+            }
+            fn corrupt_bit(&self, op: u64, _len_bits: u64) -> Option<u64> {
+                (op == 1).then_some(3)
+            }
+        }
+        let dir = tmpdir("seam");
+        let ds = dataset();
+        let mut store = write_dataset(&dir, &ds, 0, 0).unwrap();
+        store.set_read_faults(Arc::new(FailFirstCorruptSecond));
+        let first = store.chunks_in_file(FileId(0))[0];
+        let e1 = store.read_chunk(FileId(0), first).unwrap_err();
+        assert_eq!(e1.to_string(), "injected read error");
+        let e2 = store.read_chunk(FileId(0), first).unwrap_err();
+        assert_eq!(e2.kind(), io::ErrorKind::InvalidData, "got: {e2}");
+        // Op 2 is clean again: detection never poisons the store.
+        assert!(store.read_chunk(FileId(0), first).is_ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    proptest! {
+        /// Hardening pin: `DiskStore::open` never panics on arbitrary
+        /// manifest bytes — truncated, garbage, or adversarial input all
+        /// come back as structured errors.
+        #[test]
+        fn open_survives_arbitrary_manifest_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+            let dir = tmpdir(&format!("propmanifest_{}", fnv64(&bytes)));
+            fs::create_dir_all(&dir).unwrap();
+            fs::write(dir.join("manifest.dcm"), &bytes).unwrap();
+            // Must return (almost surely an Err) without panicking.
+            let _ = DiskStore::open(&dir);
+            fs::remove_dir_all(&dir).unwrap();
+        }
+
+        /// A valid magic+version with arbitrary trailing fields must
+        /// still parse safely (short buffers are the expect-path this
+        /// guards) — and a declared record count far beyond the data
+        /// file's size is rejected, not allocated.
+        #[test]
+        fn open_survives_truncated_valid_prefixes(extra in prop::collection::vec(any::<u8>(), 0..32)) {
+            let mut m = Vec::new();
+            m.extend_from_slice(MANIFEST_MAGIC);
+            m.extend_from_slice(&VERSION.to_le_bytes());
+            m.extend_from_slice(&extra);
+            let dir = tmpdir(&format!("propprefix_{}", fnv64(&m)));
+            fs::create_dir_all(&dir).unwrap();
+            fs::write(dir.join("manifest.dcm"), &m).unwrap();
+            let _ = DiskStore::open(&dir);
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn absurd_record_counts_are_rejected_not_allocated() {
+        let dir = tmpdir("absurd");
+        let ds = dataset();
+        let store = write_dataset(&dir, &ds, 0, 0).unwrap();
+        let path = store.data_file_path(FileId(0));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, bytes).unwrap();
+        let err = DiskStore::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("records"), "got: {err}");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

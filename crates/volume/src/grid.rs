@@ -123,6 +123,7 @@ impl RectGrid {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

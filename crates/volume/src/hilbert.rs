@@ -128,6 +128,7 @@ pub fn hilbert_order(bits: u32) -> Vec<[u32; 3]> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

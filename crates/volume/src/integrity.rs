@@ -1,0 +1,184 @@
+//! Data integrity and fault-injection seam for the on-disk store.
+//!
+//! Every record of a `.dcvf` data file carries an FNV-64 checksum of its
+//! payload (written by [`crate::write_dataset`], verified by every read
+//! path: [`crate::DiskStore::read_chunk`], [`crate::DiskStore::read_file`]
+//! and the streaming [`crate::ChunkCursor`], which folds slab bytes into
+//! a running digest and checks the trailer when a chunk completes). A
+//! mismatch surfaces as a structured `InvalidData` error instead of a
+//! silently wrong grid — so a cache fill from any of these paths is
+//! checksum-verified data by construction.
+//!
+//! [`ReadFaults`] is the injection seam: a store can carry a hook that
+//! injects read errors or flips bits in just-read payload bytes, letting
+//! a fault plan exercise the exact same detection and error paths a real
+//! failing disk would, deterministically. The seam is deliberately free
+//! of any fault-plan vocabulary — implementors decide what "op `n`
+//! fails" means — so this crate stays independent of the simulator.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// FNV-1a over `bytes` (64-bit). The xor-then-multiply step is injective
+/// per input byte, so any single-bit flip of the hashed bytes changes
+/// the digest — the property the corruption proptests pin.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a (64-bit), for streaming readers that see a payload
+/// in slices. `Fnv64::new().update(a).update(b).finish()` equals
+/// [`fnv64`] over `a ++ b`.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::BASIS)
+    }
+
+    /// Fold `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// The digest over everything folded so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Injected disk-read faults consulted by [`crate::DiskStore`] and
+/// [`crate::ChunkCursor`] payload reads. Implementations must be pure
+/// functions of the operation index (plus whatever seed they closed
+/// over) so sim and native runs replay the same fault sequence.
+pub trait ReadFaults: Send + Sync {
+    /// Error to inject *instead of* performing read number `op`
+    /// (`None` ⇒ perform the real read).
+    fn read_error(&self, op: u64) -> Option<io::Error>;
+
+    /// Bit index (into `len_bits`) to flip in the bytes read by
+    /// operation `op` (`None` ⇒ leave the data intact). The flip happens
+    /// after the physical read and before checksum verification, so an
+    /// injected corruption is always *detected*, never decoded.
+    fn corrupt_bit(&self, op: u64, len_bits: u64) -> Option<u64>;
+}
+
+/// Shared read-fault state of one store: the hook plus the monotonic
+/// operation counter that keys it (shared with every cursor opened from
+/// the store, so the op sequence is global per store).
+#[derive(Clone, Default)]
+pub(crate) struct FaultSeam {
+    pub hook: Option<Arc<dyn ReadFaults>>,
+    pub ops: Arc<AtomicU64>,
+}
+
+impl FaultSeam {
+    /// Claim the next operation index.
+    pub fn next_op(&self) -> u64 {
+        self.ops.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Injected error for `op`, if any.
+    pub fn read_error(&self, op: u64) -> Option<io::Error> {
+        self.hook.as_ref().and_then(|h| h.read_error(op))
+    }
+
+    /// Apply any injected bit-flip for `op` to `bytes`.
+    pub fn tamper(&self, op: u64, bytes: &mut [u8]) {
+        if let Some(h) = &self.hook {
+            if let Some(bit) = h.corrupt_bit(op, bytes.len() as u64 * 8) {
+                if let Some(byte) = bytes.get_mut((bit / 8) as usize) {
+                    *byte ^= 1 << (bit % 8);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultSeam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultSeam")
+            .field("hooked", &self.hook.is_some())
+            .field("ops", &self.ops.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_digest_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        for split in [0usize, 1, 7, 128, 255, 256] {
+            let mut h = Fnv64::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), fnv64(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_digest() {
+        let data = b"heterogeneous storage".to_vec();
+        let clean = fnv64(&data);
+        for i in 0..data.len() * 8 {
+            let mut t = data.clone();
+            t[i / 8] ^= 1 << (i % 8);
+            assert_ne!(fnv64(&t), clean, "bit {i} flip went undetected");
+        }
+    }
+
+    #[test]
+    fn seam_without_a_hook_is_inert() {
+        let seam = FaultSeam::default();
+        assert_eq!(seam.next_op(), 0);
+        assert_eq!(seam.next_op(), 1);
+        assert!(seam.read_error(0).is_none());
+        let mut bytes = vec![0xAAu8; 8];
+        seam.tamper(2, &mut bytes);
+        assert_eq!(bytes, vec![0xAAu8; 8]);
+    }
+
+    #[test]
+    fn seam_applies_hook_verdicts() {
+        struct EveryOther;
+        impl ReadFaults for EveryOther {
+            fn read_error(&self, op: u64) -> Option<io::Error> {
+                op.is_multiple_of(2).then(|| io::Error::other("injected"))
+            }
+            fn corrupt_bit(&self, _op: u64, len_bits: u64) -> Option<u64> {
+                Some(len_bits - 1)
+            }
+        }
+        let seam = FaultSeam {
+            hook: Some(Arc::new(EveryOther)),
+            ops: Arc::default(),
+        };
+        assert!(seam.read_error(0).is_some());
+        assert!(seam.read_error(1).is_none());
+        let mut bytes = vec![0u8; 2];
+        seam.tamper(0, &mut bytes);
+        assert_eq!(bytes, vec![0, 0x80], "top bit of the last byte flipped");
+    }
+}

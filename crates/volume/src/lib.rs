@@ -13,6 +13,11 @@
 //! species over multiple timesteps.
 
 #![warn(missing_docs)]
+// The data layer sits under the runtime's self-healing storage plane: a
+// stray `unwrap`/`expect` here is an uncontained panic path that bypasses
+// the structured-error degradation ladder (test modules opt back in with
+// explicit `#[allow]`s). Enforced via the workspace `clippy.toml` ban.
+#![deny(clippy::disallowed_methods)]
 
 pub mod cache;
 pub mod chunks;
@@ -21,6 +26,7 @@ pub mod decluster;
 pub mod diskstore;
 pub mod grid;
 pub mod hilbert;
+pub mod integrity;
 pub mod parssim;
 pub mod query;
 pub mod store;
@@ -32,6 +38,7 @@ pub use decluster::{hilbert_decluster, Declustering, FileId, FilePlacement};
 pub use diskstore::{write_dataset, DiskStore};
 pub use grid::{Dims, RectGrid};
 pub use hilbert::{hilbert_coords, hilbert_index};
+pub use integrity::{fnv64, Fnv64, ReadFaults};
 pub use parssim::{ParSSim, SimParams, SPECIES_COUNT, TIMESTEPS};
 pub use query::{chunks_intersecting, CellRange};
 pub use store::{decode_chunk, encode_chunk, Dataset};

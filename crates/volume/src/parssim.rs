@@ -181,6 +181,7 @@ fn wrap01(v: f32) -> f32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

@@ -66,6 +66,7 @@ pub fn chunks_intersecting(layout: &ChunkLayout, range: &CellRange) -> Vec<Chunk
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::grid::Dims;

@@ -10,18 +10,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
-use parking_lot_shim::Mutex;
+use parking_lot::Mutex;
 
 use crate::chunks::{ChunkId, ChunkInfo, ChunkLayout};
 use crate::decluster::{hilbert_decluster, Declustering, FileId};
 use crate::grid::{Dims, RectGrid};
 use crate::parssim::{ParSSim, SimParams};
-
-// Tiny internal shim so this crate only depends on std (Mutex used below is
-// uncontended; std is fine).
-mod parking_lot_shim {
-    pub use std::sync::Mutex;
-}
 
 /// Binary encoding of one chunk: 3 × u32 LE point dims, then f32 LE data.
 pub fn encode_chunk(grid: &RectGrid) -> Bytes {
@@ -136,7 +130,7 @@ impl Dataset {
 
     /// The full field (cached) — used by tests and by reference renderings.
     pub fn field(&self, species: u32, timestep: u32) -> Arc<RectGrid> {
-        let mut cache = self.inner.cache.lock().expect("cache lock");
+        let mut cache = self.inner.cache.lock();
         cache
             .entry((species, timestep))
             .or_insert_with(|| Arc::new(self.inner.sim.field(species, timestep)))
@@ -145,11 +139,12 @@ impl Dataset {
 
     /// Drop cached fields (tests exercising regeneration determinism).
     pub fn clear_cache(&self) {
-        self.inner.cache.lock().expect("cache lock").clear();
+        self.inner.cache.lock().clear();
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

@@ -543,8 +543,7 @@ proptest! {
         ops in prop::collection::vec((any::<bool>(), 1u64..5_000), 1..200),
     ) {
         let ledger = MemoryBudget::new(share * 4);
-        let ring = SpillRing::create().expect("spill ring");
-        let stream = StreamOoc::new(ledger.clone(), ring, share);
+        let stream = StreamOoc::new(ledger.clone(), datacutter::StorageCtl::healthy(), share);
         let mut outstanding: Vec<u64> = Vec::new();
         for (is_charge, bytes) in ops {
             if is_charge || outstanding.is_empty() {
@@ -567,5 +566,197 @@ proptest! {
         }
         prop_assert_eq!(stream.resident(), 0);
         prop_assert_eq!(ledger.granted(), ledger.released());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing storage plane properties: every spill frame the budgeted
+// pipeline parks is sealed with an 8-byte FNV-1a trailer. The contract the
+// recovery ladder leans on is that *any* single bit flip anywhere in a
+// sealed frame — payload or trailer — is detected at fault-in (FNV-1a's
+// xor-then-odd-multiply step is injective, so one changed byte can never
+// cancel out), and that sealing is stable under re-spill: fault a frame
+// in, decode it, encode and seal it again, and the bytes are identical.
+
+use datacutter::{open_frame, seal_frame};
+use dcapp::{ChunkPayload, RaOut, TriBatch};
+use isosurf::{Triangle, WinningPixel};
+
+/// Encode `p` with its spill codec and seal the checksum trailer on —
+/// exactly what `DataBuffer::spill_frame` produces for the ring.
+fn sealed<T: SpillCodec>(p: &T) -> Vec<u8> {
+    let mut frame = Vec::new();
+    p.spill_encode(&mut frame);
+    seal_frame(&mut frame);
+    frame
+}
+
+/// A chunk payload whose voxels carry arbitrary `f32` bit patterns.
+fn chunk_payload(dims: Dims, bit_seed: &mut u64) -> ChunkPayload {
+    let n = (dims.nx * dims.ny * dims.nz) as usize;
+    ChunkPayload {
+        origin: (1, 2, 3),
+        grid: RectGrid {
+            dims,
+            data: (0..n)
+                .map(|_| f32::from_bits(scramble(bit_seed) as u32))
+                .collect(),
+        },
+    }
+}
+
+/// A triangle batch with arbitrary vertex/normal bit patterns.
+fn tri_batch(ntris: usize, bit_seed: &mut u64) -> TriBatch {
+    let f = |s: &mut u64| f32::from_bits(scramble(s) as u32);
+    let tris: Vec<Triangle> = (0..ntris)
+        .map(|_| Triangle {
+            v: [
+                isosurf::vec3(f(bit_seed), f(bit_seed), f(bit_seed)),
+                isosurf::vec3(f(bit_seed), f(bit_seed), f(bit_seed)),
+                isosurf::vec3(f(bit_seed), f(bit_seed), f(bit_seed)),
+            ],
+            normal: isosurf::vec3(f(bit_seed), f(bit_seed), f(bit_seed)),
+        })
+        .collect();
+    TriBatch { tris: tris.into() }
+}
+
+/// A raster-output payload in either variant.
+fn ra_out(band: bool, entries: usize, bit_seed: &mut u64) -> RaOut {
+    if band {
+        RaOut::Band {
+            y0: (scramble(bit_seed) % 97) as u32,
+            width: entries as u32,
+            depth: (0..entries)
+                .map(|_| f32::from_bits(scramble(bit_seed) as u32))
+                .collect::<Vec<_>>()
+                .into(),
+            color: (0..entries)
+                .map(|_| {
+                    let b = scramble(bit_seed);
+                    [b as u8, (b >> 8) as u8, (b >> 16) as u8]
+                })
+                .collect::<Vec<_>>()
+                .into(),
+        }
+    } else {
+        RaOut::Wpa(
+            (0..entries)
+                .map(|_| {
+                    let b = scramble(bit_seed);
+                    WinningPixel {
+                        x: b as u16,
+                        y: (b >> 16) as u16,
+                        depth: f32::from_bits((b >> 32) as u32),
+                        rgb: [b as u8, (b >> 8) as u8, (b >> 24) as u8],
+                    }
+                })
+                .collect::<Vec<_>>()
+                .into(),
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single bit flip in a sealed `ChunkPayload` frame is detected,
+    /// and the untampered frame opens to the exact encoded bits.
+    #[test]
+    fn sealed_chunk_frames_detect_any_single_bit_flip(
+        nx in 1u32..4, ny in 1u32..4, nz in 1u32..4,
+        bit_seed in any::<u64>(),
+        flip_sel in any::<u64>(),
+    ) {
+        let mut s = bit_seed | 1;
+        let p = chunk_payload(Dims { nx, ny, nz }, &mut s);
+        let frame = sealed(&p);
+        let body = open_frame(&frame).expect("untampered frame opens");
+        let q = ChunkPayload::spill_decode(body).expect("decode");
+        let want: Vec<u32> = p.grid.data.iter().map(|f| f.to_bits()).collect();
+        let got: Vec<u32> = q.grid.data.iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(got, want);
+        let bit = flip_sel % (frame.len() as u64 * 8);
+        let mut bad = frame.clone();
+        bad[(bit / 8) as usize] ^= 1 << (bit % 8);
+        prop_assert!(
+            open_frame(&bad).is_err(),
+            "flip of bit {} in a {}-byte chunk frame went undetected",
+            bit, frame.len()
+        );
+    }
+
+    /// Any single bit flip in a sealed `TriBatch` frame is detected —
+    /// including the empty batch, whose sealed frame is trailer-only.
+    #[test]
+    fn sealed_tri_frames_detect_any_single_bit_flip(
+        ntris in 0usize..5,
+        bit_seed in any::<u64>(),
+        flip_sel in any::<u64>(),
+    ) {
+        let mut s = bit_seed | 1;
+        let b = tri_batch(ntris, &mut s);
+        let frame = sealed(&b);
+        let body = open_frame(&frame).expect("untampered frame opens");
+        prop_assert_eq!(TriBatch::spill_decode(body).expect("decode").tris.len(), ntris);
+        let bit = flip_sel % (frame.len() as u64 * 8);
+        let mut bad = frame.clone();
+        bad[(bit / 8) as usize] ^= 1 << (bit % 8);
+        prop_assert!(
+            open_frame(&bad).is_err(),
+            "flip of bit {} in a {}-byte tri frame went undetected",
+            bit, frame.len()
+        );
+    }
+
+    /// Any single bit flip in a sealed `RaOut` frame — either variant —
+    /// is detected.
+    #[test]
+    fn sealed_raout_frames_detect_any_single_bit_flip(
+        band in any::<bool>(),
+        entries in 0usize..8,
+        bit_seed in any::<u64>(),
+        flip_sel in any::<u64>(),
+    ) {
+        let mut s = bit_seed | 1;
+        let r = ra_out(band, entries, &mut s);
+        let frame = sealed(&r);
+        let body = open_frame(&frame).expect("untampered frame opens");
+        prop_assert!(RaOut::spill_decode(body).is_some(), "decode");
+        let bit = flip_sel % (frame.len() as u64 * 8);
+        let mut bad = frame.clone();
+        bad[(bit / 8) as usize] ^= 1 << (bit % 8);
+        prop_assert!(
+            open_frame(&bad).is_err(),
+            "flip of bit {} in a {}-byte raout frame went undetected",
+            bit, frame.len()
+        );
+    }
+
+    /// Re-spill stability for all three codecs: open a sealed frame,
+    /// decode it, encode and seal the decoded payload again — the second
+    /// sealed frame must be byte-identical to the first, so a payload
+    /// that spills, faults in, and spills again never drifts (and its
+    /// checksum never changes).
+    #[test]
+    fn sealing_is_stable_under_re_spill(
+        nx in 1u32..4, ny in 1u32..4, nz in 1u32..4,
+        ntris in 0usize..5,
+        band in any::<bool>(),
+        entries in 0usize..8,
+        bit_seed in any::<u64>(),
+    ) {
+        let mut s = bit_seed | 1;
+        let chunk = sealed(&chunk_payload(Dims { nx, ny, nz }, &mut s));
+        let re = sealed(
+            &ChunkPayload::spill_decode(open_frame(&chunk).expect("open")).expect("decode"),
+        );
+        prop_assert_eq!(&re, &chunk, "chunk frame drifted across a re-spill");
+        let tri = sealed(&tri_batch(ntris, &mut s));
+        let re = sealed(&TriBatch::spill_decode(open_frame(&tri).expect("open")).expect("decode"));
+        prop_assert_eq!(&re, &tri, "tri frame drifted across a re-spill");
+        let ra = sealed(&ra_out(band, entries, &mut s));
+        let re = sealed(&RaOut::spill_decode(open_frame(&ra).expect("open")).expect("decode"));
+        prop_assert_eq!(&re, &ra, "raout frame drifted across a re-spill");
     }
 }
